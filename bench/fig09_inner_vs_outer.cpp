@@ -1,0 +1,59 @@
+// Fig. 9: inner- vs outer-loop parallelization for the U7-2 template
+// on the Enron network: per-iteration time for inner; per-iteration
+// and total time for outer (whole iterations run concurrently).
+//
+// Expected shape (paper): on a small graph, outer-loop parallelism
+// wins (~6x vs ~2.5x at 16 cores) because per-vertex parallelism
+// cannot amortize its overhead on few vertices.
+
+#include "core/counter.hpp"
+#include "common.hpp"
+#include "treelet/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fascia;
+  bench::Context ctx("fig09_inner_vs_outer: Fig. 9 series");
+  if (!ctx.parse(argc, argv)) return 0;
+
+  const Graph g = ctx.dataset("enron", 0.1);
+  bench::banner("Fig. 9", "inner vs outer loop parallelization, U7-2",
+                "enron-like, " + bench::describe_graph(g));
+
+  const auto& tree = catalog_entry("U7-2").tree;
+  const int iterations = 16;
+
+  TablePrinter table({"Cores", "inner t/iter (s)", "outer t/iter (s)",
+                      "outer total (s)"});
+  auto csv = ctx.csv({"cores", "inner_per_iter", "outer_per_iter",
+                      "outer_total"});
+
+  for (int cores : {1, 2, 4, 8, 12, 16}) {
+    CountOptions options;
+    options.iterations = iterations;
+    options.seed = ctx.seed;
+    options.num_threads = cores;
+
+    options.mode = ParallelMode::kInnerLoop;
+    const CountResult inner = count_template(g, tree, options);
+    const double inner_per_iter =
+        inner.seconds_total / static_cast<double>(iterations);
+
+    options.mode = ParallelMode::kOuterLoop;
+    const CountResult outer = count_template(g, tree, options);
+    const double outer_per_iter =
+        outer.seconds_total / static_cast<double>(iterations);
+
+    std::vector<std::string> row = {
+        TablePrinter::num(static_cast<long long>(cores)),
+        TablePrinter::num(inner_per_iter, 4),
+        TablePrinter::num(outer_per_iter, 4),
+        TablePrinter::num(outer.seconds_total, 3)};
+    csv.row(row);
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape (16-core node): outer-loop beats inner-loop on "
+      "this small graph (~6x vs ~2.5x).  Flat on a 1-core container.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks for the DP's hot paths (google-benchmark).
+//
+// The paper reports >90 % of runtime in the DP table reads (Alg. 2
+// line 12); these benchmarks isolate that read path for the three
+// layouts, plus the combinatorial indexing operations that FASCIA
+// replaces with lookups (§III-B) and the random coloring step.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "comb/colorset.hpp"
+#include "comb/split_table.hpp"
+#include "core/counter.hpp"
+#include "dp/table_compact.hpp"
+#include "dp/table_hash.hpp"
+#include "dp/table_naive.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "treelet/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace fascia {
+namespace {
+
+void BM_ColorsetIndexEncode(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  std::vector<int> colors(static_cast<std::size_t>(h));
+  std::iota(colors.begin(), colors.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(colorset_index(colors));
+    next_colorset(colors, 12);
+    if (colors[0] > 12 - h) std::iota(colors.begin(), colors.end(), 0);
+  }
+}
+BENCHMARK(BM_ColorsetIndexEncode)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_ColorsetDecode(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  const auto count = num_colorsets(12, h);
+  std::vector<int> out;
+  ColorsetIndex index = 0;
+  for (auto _ : state) {
+    colorset_colors(index, h, out);
+    benchmark::DoNotOptimize(out.data());
+    index = (index + 1) % count;
+  }
+}
+BENCHMARK(BM_ColorsetDecode)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_SplitTableBuild(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SplitTable table(12, h, h / 2);
+    benchmark::DoNotOptimize(table.num_parents());
+  }
+}
+BENCHMARK(BM_SplitTableBuild)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_SingleActiveScan(benchmark::State& state) {
+  // The inner loop of the one-at-a-time fast path: walk all
+  // (passive, parent) pairs for one color.
+  const SingleActiveSplit split(12, static_cast<int>(state.range(0)));
+  int color = 0;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& entry : split.entries(color)) {
+      sum += entry.parent - entry.passive;
+    }
+    benchmark::DoNotOptimize(sum);
+    color = (color + 1) % 12;
+  }
+}
+BENCHMARK(BM_SingleActiveScan)->Arg(6)->Arg(9)->Arg(12);
+
+template <class Table>
+void table_get_benchmark(benchmark::State& state) {
+  constexpr VertexId kN = 1 << 14;
+  constexpr std::uint32_t kSets = 462;  // C(11,5)
+  Table table(kN, kSets);
+  std::vector<double> row(kSets);
+  Xoshiro256 rng(7);
+  for (VertexId v = 0; v < kN; v += 2) {  // half the vertices active
+    for (auto& x : row) x = rng.uniform();
+    table.commit_row(v, row);
+  }
+  std::uint64_t key = 1;
+  for (auto _ : state) {
+    key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto v = static_cast<VertexId>((key >> 33) % kN);
+    const auto c = static_cast<ColorsetIndex>((key >> 20) % kSets);
+    benchmark::DoNotOptimize(table.get(v, c));
+  }
+}
+
+void BM_TableGetNaive(benchmark::State& state) {
+  table_get_benchmark<NaiveTable>(state);
+}
+void BM_TableGetCompact(benchmark::State& state) {
+  table_get_benchmark<CompactTable>(state);
+}
+void BM_TableGetHash(benchmark::State& state) {
+  table_get_benchmark<HashTable>(state);
+}
+BENCHMARK(BM_TableGetNaive);
+BENCHMARK(BM_TableGetCompact);
+BENCHMARK(BM_TableGetHash);
+
+void BM_RandomColoring(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> colors(n);
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    for (auto& c : colors) c = static_cast<std::uint8_t>(rng.bounded(12));
+    benchmark::DoNotOptimize(colors.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RandomColoring)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_FullIteration(benchmark::State& state) {
+  // One complete color-coding iteration, U5-2 on a small social-like
+  // network: the end-to-end unit everything above feeds into.
+  const Graph g = largest_component(chung_lu(4000, 20000, 2.2, 150, 5));
+  const auto& tree = catalog_entry("U5-2").tree;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    CountOptions options;
+    options.iterations = 1;
+    options.mode = ParallelMode::kSerial;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(count_template(g, tree, options).estimate);
+  }
+}
+BENCHMARK(BM_FullIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fascia
+
+BENCHMARK_MAIN();

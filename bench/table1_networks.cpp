@@ -1,0 +1,43 @@
+// Table I: network sizes and average/maximum degrees for all networks
+// used in the analysis.  Regenerates every Table I row from the
+// substitution generators (DESIGN.md §3) and prints the paper's target
+// values next to ours.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fascia;
+  bench::Context ctx("table1_networks: regenerate Table I");
+  if (!ctx.parse(argc, argv)) return 0;
+
+  bench::banner("Table I", "Slota & Madduri ICPP'13, Table I",
+                ctx.full ? "all 10 networks at paper scale"
+                         : "large networks scaled down (see --full)");
+
+  TablePrinter table({"Network", "n", "m", "d_avg", "d_max", "paper n",
+                      "paper m", "paper d_avg", "paper d_max"});
+  auto csv = ctx.csv({"network", "n", "m", "davg", "dmax", "paper_n",
+                      "paper_m", "paper_davg", "paper_dmax"});
+
+  for (const auto& spec : dataset_specs()) {
+    // Tiny networks always run at paper size; big ones shrink unless
+    // --full.
+    const double default_scale = spec.scalable ? 0.02 : 1.0;
+    const Graph g = make_dataset(spec.name, ctx.scale(default_scale),
+                                 ctx.seed);
+    std::vector<std::string> row = {
+        spec.paper_name,
+        TablePrinter::num(static_cast<long long>(g.num_vertices())),
+        TablePrinter::num(static_cast<long long>(g.num_edges())),
+        TablePrinter::num(g.avg_degree(), 1),
+        TablePrinter::num(static_cast<long long>(g.max_degree())),
+        TablePrinter::num(static_cast<long long>(spec.target_n)),
+        TablePrinter::num(static_cast<long long>(spec.target_m)),
+        TablePrinter::num(spec.target_avg_degree, 1),
+        TablePrinter::num(static_cast<long long>(spec.target_max_degree))};
+    csv.row(row);
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Graphlet degree distributions (§II-B / §V-F): per-vertex structural
+// fingerprints and Pržulj-style network comparison.
+//
+//   build/examples/graphlet_degree [--iterations 100] ...
+//
+// Estimates, for every vertex, how many U5-2 "forks" it centers; shows
+// the distribution; and compares two networks by GDD agreement.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analytics/gdd.hpp"
+#include "core/counter.hpp"
+#include "graph/datasets.hpp"
+#include "treelet/catalog.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fascia;
+  Cli cli("graphlet_degree: GDD analysis with the U5-2 central orbit");
+  cli.add_common();
+  cli.add_option("iterations", "color-coding iterations", "100");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const TreeTemplate& tmpl = catalog_entry("U5-2").tree;
+  const int orbit = u52_central_vertex();  // the degree-3 vertex
+
+  CountOptions options;
+  options.iterations = static_cast<int>(cli.integer("iterations"));
+  options.seed = seed;
+
+  const Graph ecoli = make_dataset("ecoli", 1.0, seed);
+  const CountResult result = graphlet_degrees(ecoli, tmpl, orbit, options);
+
+  // Distribution, log2-binned (heavy-tailed, like vertex degree).
+  std::printf("E. coli-like network (n=%d): graphlet degree distribution\n",
+              ecoli.num_vertices());
+  const auto histogram = log2_histogram(result.vertex_counts);
+  TablePrinter table({"graphlet degree", "vertices", "bar"});
+  for (std::size_t bin = 0; bin < histogram.size(); ++bin) {
+    if (histogram[bin] == 0) continue;
+    char range[64];
+    std::snprintf(range, sizeof range, "[2^%zu, 2^%zu)", bin, bin + 1);
+    const auto stars = std::min<std::size_t>(
+        50, 1 + histogram[bin] * 50 / ecoli.num_vertices());
+    table.add_row({range, TablePrinter::num(histogram[bin]),
+                   std::string(stars, '*')});
+  }
+  table.print();
+
+  // The most "fork-central" vertex, the GDD analogue of a hub.
+  std::size_t top = 0;
+  for (std::size_t v = 1; v < result.vertex_counts.size(); ++v) {
+    if (result.vertex_counts[v] > result.vertex_counts[top]) top = v;
+  }
+  std::printf("\nmost fork-central vertex: %zu (graphlet degree %.3e, "
+              "plain degree %lld)\n",
+              top, result.vertex_counts[top],
+              static_cast<long long>(ecoli.degree(static_cast<VertexId>(top))));
+
+  // Cross-network comparison: a fellow PPI network vs a road network.
+  const Graph yeast = make_dataset("scerevisiae", 1.0, seed);
+  const Graph road = make_dataset("road", 0.005, seed);
+  const auto yeast_degrees =
+      graphlet_degrees(yeast, tmpl, orbit, options).vertex_counts;
+  const auto road_degrees =
+      graphlet_degrees(road, tmpl, orbit, options).vertex_counts;
+
+  std::printf("\nGDD agreement (1.0 = identical distribution shape):\n");
+  std::printf("  E. coli vs S. cerevisiae : %.3f\n",
+              analytics::gdd_agreement(result.vertex_counts, yeast_degrees));
+  std::printf("  E. coli vs road network  : %.3f\n",
+              analytics::gdd_agreement(result.vertex_counts, road_degrees));
+  std::printf(
+      "\nexpected: the two PPI networks agree far better with each other "
+      "than either does with a road network.\n");
+  return 0;
+}

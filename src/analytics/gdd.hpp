@@ -1,0 +1,39 @@
+#pragma once
+// Graphlet degree distribution analysis (§II-B, §V-F).
+//
+// The graphlet degree of a vertex (for a template T and an orbit o) is
+// the number of embeddings of T in which the vertex plays role o.
+// FASCIA estimates these per-vertex counts via the per-vertex mode of
+// the counter (core/counter.hpp); this module turns degree vectors
+// into distributions and computes Pržulj's GDD-agreement metric
+// between two distributions (used by Fig. 16 to quantify how quickly
+// the estimated GDD approaches the exact one).
+//
+// Graphlet degrees reach 10^8+ on real networks, so distributions are
+// *sparse* maps from degree to vertex count, never dense arrays.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fascia::analytics {
+
+/// d(j): number of vertices whose (rounded) graphlet degree equals j,
+/// for each occurring j >= 1.  Degree-0 vertices are excluded,
+/// following Pržulj 2007.
+using GddHistogram = std::map<std::int64_t, double>;
+
+GddHistogram gdd_histogram(const std::vector<double>& degrees);
+
+/// Pržulj GDD agreement for one orbit:
+///   S(j)  = d(j) / j          (scaled distribution)
+///   N(j)  = S(j) / Σ S        (normalized)
+///   A     = 1 - (1/√2)·‖N1 - N2‖₂  in [0, 1], 1 = identical.
+double gdd_agreement(const std::vector<double>& degrees_a,
+                     const std::vector<double>& degrees_b);
+
+/// Same, but starting from precomputed histograms.
+double gdd_agreement_from_histograms(const GddHistogram& hist_a,
+                                     const GddHistogram& hist_b);
+
+}  // namespace fascia::analytics

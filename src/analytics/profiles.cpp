@@ -1,0 +1,65 @@
+#include "analytics/profiles.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fascia::analytics {
+
+namespace {
+
+/// Collects paired log10 values where both profiles are positive.
+std::pair<std::vector<double>, std::vector<double>> paired_logs(
+    const std::vector<double>& profile_a,
+    const std::vector<double>& profile_b) {
+  if (profile_a.size() != profile_b.size()) {
+    throw std::invalid_argument("profiles must have equal length");
+  }
+  std::vector<double> logs_a, logs_b;
+  for (std::size_t i = 0; i < profile_a.size(); ++i) {
+    if (profile_a[i] > 0.0 && profile_b[i] > 0.0) {
+      logs_a.push_back(std::log10(profile_a[i]));
+      logs_b.push_back(std::log10(profile_b[i]));
+    }
+  }
+  return {std::move(logs_a), std::move(logs_b)};
+}
+
+}  // namespace
+
+double profile_log_distance(const std::vector<double>& profile_a,
+                            const std::vector<double>& profile_b) {
+  const auto [logs_a, logs_b] = paired_logs(profile_a, profile_b);
+  if (logs_a.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < logs_a.size(); ++i) {
+    const double diff = logs_a[i] - logs_b[i];
+    sum_sq += diff * diff;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(logs_a.size()));
+}
+
+double profile_log_correlation(const std::vector<double>& profile_a,
+                               const std::vector<double>& profile_b) {
+  const auto [logs_a, logs_b] = paired_logs(profile_a, profile_b);
+  const std::size_t count = logs_a.size();
+  if (count < 2) return 1.0;
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    mean_a += logs_a[i];
+    mean_b += logs_b[i];
+  }
+  mean_a /= static_cast<double>(count);
+  mean_b /= static_cast<double>(count);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double da = logs_a[i] - mean_a;
+    const double db = logs_b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 1.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace fascia::analytics

@@ -1,0 +1,25 @@
+#pragma once
+// Motif-profile comparison utilities (§V-E).
+//
+// Figures 13-14 overlay the relative motif frequencies of several
+// networks to argue about structural similarity (the three unicellular
+// PPI networks cluster; C. elegans stands out; social vs road vs
+// random networks separate on templates 1-2).  These helpers quantify
+// that visual argument so the benches and tests can assert it.
+
+#include <vector>
+
+namespace fascia::analytics {
+
+/// Log-scale L2 distance between two relative-frequency profiles:
+/// sqrt(mean_i (log10(a_i / b_i))^2) over indices where both are
+/// positive.  0 = identical shape; robust to the orders-of-magnitude
+/// spread motif counts exhibit.
+double profile_log_distance(const std::vector<double>& profile_a,
+                            const std::vector<double>& profile_b);
+
+/// Pearson correlation of log10 profiles (1 = same shape).
+double profile_log_correlation(const std::vector<double>& profile_a,
+                               const std::vector<double>& profile_b);
+
+}  // namespace fascia::analytics

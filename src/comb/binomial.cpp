@@ -1,0 +1,47 @@
+#include "comb/binomial.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace fascia {
+
+namespace {
+
+struct PascalTriangle {
+  std::array<std::array<std::uint64_t, kMaxBinomialN + 1>,
+             kMaxBinomialN + 1>
+      c{};
+  PascalTriangle() noexcept {
+    for (int n = 0; n <= kMaxBinomialN; ++n) {
+      c[n][0] = 1;
+      for (int k = 1; k <= n; ++k) {
+        c[n][k] = c[n - 1][k - 1] + (k <= n - 1 ? c[n - 1][k] : 0);
+      }
+    }
+  }
+};
+
+const PascalTriangle kTriangle{};
+
+}  // namespace
+
+std::uint64_t choose(int n, int k) noexcept {
+  if (n < 0 || k < 0 || k > n) return 0;
+  assert(n <= kMaxBinomialN);
+  return kTriangle.c[static_cast<std::size_t>(n)][static_cast<std::size_t>(k)];
+}
+
+double falling_factorial(int n, int h) noexcept {
+  double p = 1.0;
+  for (int i = 0; i < h; ++i) p *= static_cast<double>(n - i);
+  return p;
+}
+
+double colorful_probability(int num_colors, int template_size) noexcept {
+  if (template_size > num_colors) return 0.0;
+  return falling_factorial(num_colors, template_size) /
+         std::pow(static_cast<double>(num_colors), template_size);
+}
+
+}  // namespace fascia

@@ -1,0 +1,28 @@
+#pragma once
+// Binomial coefficients for the combinatorial number system (§III-B of
+// the paper).  Templates have at most ~16 vertices in practice, so a
+// small precomputed Pascal triangle covers everything; the table is
+// built once at static-init time and lookups are branch-free.
+
+#include <cstdint>
+
+namespace fascia {
+
+/// Largest n for which choose(n, k) is tabulated.
+inline constexpr int kMaxBinomialN = 34;
+
+/// C(n, k); returns 0 when k < 0, k > n, or n < 0, which conveniently
+/// makes combinadic decoding loops simple.  n must be <= kMaxBinomialN.
+std::uint64_t choose(int n, int k) noexcept;
+
+/// Falling factorial n·(n-1)···(n-h+1) as a double (used for the
+/// colorful probability P = falling(k, h) / k^h, which overflows u64
+/// for large k only in intermediate states, never here for k <= 34).
+double falling_factorial(int n, int h) noexcept;
+
+/// Probability that h specific vertices all receive distinct colors
+/// when each independently gets one of k colors uniformly at random:
+///   P = k·(k-1)···(k-h+1) / k^h.
+double colorful_probability(int num_colors, int template_size) noexcept;
+
+}  // namespace fascia

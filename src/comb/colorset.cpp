@@ -1,0 +1,59 @@
+#include "comb/colorset.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fascia {
+
+ColorsetIndex colorset_index(std::span<const int> sorted_colors) noexcept {
+  std::uint64_t index = 0;
+  for (std::size_t i = 0; i < sorted_colors.size(); ++i) {
+    index += choose(sorted_colors[i], static_cast<int>(i) + 1);
+  }
+  return static_cast<ColorsetIndex>(index);
+}
+
+void colorset_colors(ColorsetIndex index, int h, std::vector<int>& out) {
+  out.clear();
+  out.resize(static_cast<std::size_t>(h));
+  // Greedy decode from the largest position: ch is the largest c with
+  // C(c, h) <= remaining index.
+  std::uint64_t rest = index;
+  for (int pos = h; pos >= 1; --pos) {
+    int c = pos - 1;  // smallest possible value at this position
+    while (choose(c + 1, pos) <= rest) ++c;
+    rest -= choose(c, pos);
+    out[static_cast<std::size_t>(pos - 1)] = c;
+  }
+}
+
+std::vector<int> colorset_colors(ColorsetIndex index, int h) {
+  std::vector<int> out;
+  colorset_colors(index, h, out);
+  return out;
+}
+
+bool next_colorset(std::span<int> colors, int k) noexcept {
+  // Colexicographic successor: the combinadic maps colex order onto
+  // increasing indices, so we advance the *smallest* position that has
+  // headroom and reset everything below it to {0, 1, ..., i-1}.
+  const int h = static_cast<int>(colors.size());
+  for (int i = 0; i < h; ++i) {
+    const int ceiling =
+        (i + 1 < h) ? colors[static_cast<std::size_t>(i + 1)] : k;
+    if (colors[static_cast<std::size_t>(i)] + 1 < ceiling) {
+      ++colors[static_cast<std::size_t>(i)];
+      for (int j = 0; j < i; ++j) colors[static_cast<std::size_t>(j)] = j;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool colorset_contains(ColorsetIndex index, int h, int c) {
+  std::vector<int> colors;
+  colorset_colors(index, h, colors);
+  return std::binary_search(colors.begin(), colors.end(), c);
+}
+
+}  // namespace fascia

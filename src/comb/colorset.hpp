@@ -1,0 +1,48 @@
+#pragma once
+// Colorset <-> integer bijection via the combinatorial number system.
+//
+// A colorset is a set of h distinct colors drawn from {0, ..., k-1}.
+// Sorting the set ascending as c1 < c2 < ... < ch, its index is
+//   I = C(c1, 1) + C(c2, 2) + ... + C(ch, h),
+// a bijection onto [0, C(k, h)).  Representing colorsets as one integer
+// is the paper's §III-B trick: the DP table's innermost dimension is a
+// plain array indexed by I, and set manipulation (splits, removals)
+// becomes precomputed integer lookups.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comb/binomial.hpp"
+
+namespace fascia {
+
+using ColorsetIndex = std::uint32_t;
+
+/// Number of colorsets of size h over k colors (= C(k, h)).
+inline std::uint32_t num_colorsets(int k, int h) noexcept {
+  return static_cast<std::uint32_t>(choose(k, h));
+}
+
+/// Encodes a strictly-increasing color sequence.  Precondition:
+/// colors are sorted ascending and distinct.
+ColorsetIndex colorset_index(std::span<const int> sorted_colors) noexcept;
+
+/// Decodes index I back into the h sorted colors it represents,
+/// appending to `out` (cleared first).
+void colorset_colors(ColorsetIndex index, int h, std::vector<int>& out);
+
+/// Convenience wrapper returning a fresh vector.
+std::vector<int> colorset_colors(ColorsetIndex index, int h);
+
+/// In-place *colexicographic* successor over size-h subsets of
+/// {0..k-1}.  Returns false when `colors` was the last subset.  Start
+/// from {0, 1, ..., h-1}.  Colex order matches combinadic index order,
+/// so iterating this way visits indices 0, 1, 2, ... exactly (a
+/// property the tests pin down).
+bool next_colorset(std::span<int> colors, int k) noexcept;
+
+/// True when color `c` is a member of the set encoded by (index, h).
+bool colorset_contains(ColorsetIndex index, int h, int c);
+
+}  // namespace fascia

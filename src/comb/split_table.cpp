@@ -1,0 +1,93 @@
+#include "comb/split_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace fascia {
+
+namespace {
+
+/// Enumerates all size-`a` position subsets of {0..h-1} as sorted index
+/// vectors, in colex order.
+std::vector<std::vector<int>> position_subsets(int h, int a) {
+  std::vector<std::vector<int>> subsets;
+  std::vector<int> pos(static_cast<std::size_t>(a));
+  std::iota(pos.begin(), pos.end(), 0);
+  do {
+    subsets.push_back(pos);
+  } while (next_colorset(pos, h));
+  return subsets;
+}
+
+}  // namespace
+
+SplitTable::SplitTable(int num_colors, int parent_size, int active_size)
+    : k_(num_colors), h_(parent_size), a_(active_size) {
+  if (a_ < 1 || a_ >= h_ || h_ > k_) {
+    throw std::invalid_argument("SplitTable: need 1 <= a < h <= k");
+  }
+  num_parents_ = num_colorsets(k_, h_);
+  per_parent_ = num_colorsets(h_, a_);
+  active_.resize(static_cast<std::size_t>(num_parents_) * per_parent_);
+  passive_.resize(static_cast<std::size_t>(num_parents_) * per_parent_);
+
+  const auto subsets = position_subsets(h_, a_);
+  assert(subsets.size() == per_parent_);
+
+  std::vector<int> parent_colors(static_cast<std::size_t>(h_));
+  std::iota(parent_colors.begin(), parent_colors.end(), 0);
+  std::vector<int> act(static_cast<std::size_t>(a_));
+  std::vector<int> pas(static_cast<std::size_t>(h_ - a_));
+
+  ColorsetIndex parent_index = 0;
+  do {
+    const std::size_t base = static_cast<std::size_t>(parent_index) * per_parent_;
+    for (std::size_t s = 0; s < subsets.size(); ++s) {
+      const auto& positions = subsets[s];
+      std::size_t ai = 0, pi = 0, next_pos = 0;
+      for (int i = 0; i < h_; ++i) {
+        if (next_pos < positions.size() && positions[next_pos] == i) {
+          act[ai++] = parent_colors[static_cast<std::size_t>(i)];
+          ++next_pos;
+        } else {
+          pas[pi++] = parent_colors[static_cast<std::size_t>(i)];
+        }
+      }
+      active_[base + s] = colorset_index(act);
+      passive_[base + s] = colorset_index(pas);
+    }
+    ++parent_index;
+  } while (next_colorset(parent_colors, k_));
+  assert(parent_index == num_parents_);
+}
+
+SingleActiveSplit::SingleActiveSplit(int num_colors, int parent_size)
+    : k_(num_colors), h_(parent_size) {
+  if (h_ < 2 || h_ > k_) {
+    throw std::invalid_argument("SingleActiveSplit: need 2 <= h <= k");
+  }
+  per_color_ = num_colorsets(k_ - 1, h_ - 1);
+  table_.resize(static_cast<std::size_t>(k_) * per_color_);
+
+  std::vector<int> passive(static_cast<std::size_t>(h_ - 1));
+  std::vector<int> parent(static_cast<std::size_t>(h_));
+  for (int c = 0; c < k_; ++c) {
+    std::size_t filled = 0;
+    std::iota(passive.begin(), passive.end(), 0);
+    do {
+      if (std::binary_search(passive.begin(), passive.end(), c)) continue;
+      parent.assign(passive.begin(), passive.end());
+      parent.insert(std::upper_bound(parent.begin(), parent.end(), c), c);
+      Entry entry;
+      entry.passive = colorset_index(passive);
+      entry.parent = colorset_index(parent);
+      table_[static_cast<std::size_t>(c) * per_color_ + filled] = entry;
+      ++filled;
+    } while (next_colorset(passive, k_));
+    assert(filled == per_color_);
+  }
+}
+
+}  // namespace fascia

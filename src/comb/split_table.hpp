@@ -1,0 +1,96 @@
+#pragma once
+// Precomputed colorset *split* tables (§III-B).
+//
+// The innermost loops of the dynamic program distribute a parent
+// colorset C (size h) onto an active child (size a) and a passive child
+// (size h-a) in every possible way.  Doing this with explicit color
+// arrays costs sorting/merging per step; FASCIA instead precomputes,
+// for every parent index I, the full list of (I_active, I_passive)
+// index pairs, turning the split enumeration into a linear scan of two
+// flat arrays.  Total storage across all subtemplates is O(2^k) —
+// a few megabytes even at k = 12.
+//
+// When the active child is a single vertex (the one-at-a-time
+// partitioning fast path, §III-D), only parent sets containing the
+// vertex's own color contribute, and the active index is fully
+// determined.  SingleActiveSplit stores, per color c, the list of
+// (I_passive, I_parent) pairs over all parents containing c — exactly
+// the (k-1)/k work reduction the paper describes.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comb/colorset.hpp"
+
+namespace fascia {
+
+/// General (h -> a + (h-a)) split table, a >= 1.
+class SplitTable {
+ public:
+  SplitTable(int num_colors, int parent_size, int active_size);
+
+  [[nodiscard]] int num_colors() const noexcept { return k_; }
+  [[nodiscard]] int parent_size() const noexcept { return h_; }
+  [[nodiscard]] int active_size() const noexcept { return a_; }
+
+  [[nodiscard]] std::uint32_t num_parents() const noexcept {
+    return num_parents_;
+  }
+  /// Splits per parent colorset: C(h, a).
+  [[nodiscard]] std::uint32_t splits_per_parent() const noexcept {
+    return per_parent_;
+  }
+
+  /// Active-child colorset indices for parent I (length splits_per_parent).
+  [[nodiscard]] std::span<const ColorsetIndex> active_indices(
+      ColorsetIndex parent) const noexcept {
+    return {active_.data() + static_cast<std::size_t>(parent) * per_parent_, per_parent_};
+  }
+  /// Passive-child colorset indices, parallel to active_indices.
+  [[nodiscard]] std::span<const ColorsetIndex> passive_indices(
+      ColorsetIndex parent) const noexcept {
+    return {passive_.data() + static_cast<std::size_t>(parent) * per_parent_, per_parent_};
+  }
+
+  /// Logical bytes held by the two flat arrays (for memory reports).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return (active_.size() + passive_.size()) * sizeof(ColorsetIndex);
+  }
+
+ private:
+  int k_, h_, a_;
+  std::uint32_t num_parents_, per_parent_;
+  std::vector<ColorsetIndex> active_;
+  std::vector<ColorsetIndex> passive_;
+};
+
+/// Specialized split table for active children of size 1.
+class SingleActiveSplit {
+ public:
+  struct Entry {
+    ColorsetIndex passive;  ///< index of parent-set-minus-{c} (size h-1)
+    ColorsetIndex parent;   ///< index of the parent set (size h)
+  };
+
+  SingleActiveSplit(int num_colors, int parent_size);
+
+  [[nodiscard]] int parent_size() const noexcept { return h_; }
+
+  /// All (passive, parent) pairs whose parent colorset contains `color`.
+  /// Length is C(k-1, h-1) for every color.
+  [[nodiscard]] std::span<const Entry> entries(int color) const noexcept {
+    return {table_.data() + static_cast<std::size_t>(color) * per_color_, per_color_};
+  }
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return table_.size() * sizeof(Entry);
+  }
+
+ private:
+  int k_, h_;
+  std::uint32_t per_color_;
+  std::vector<Entry> table_;
+};
+
+}  // namespace fascia

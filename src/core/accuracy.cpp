@@ -1,0 +1,90 @@
+#include "core/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/counter.hpp"
+#include "util/stats.hpp"
+
+namespace fascia {
+
+double theoretical_iterations(int num_colors, double epsilon, double delta) {
+  if (epsilon <= 0.0 || delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument(
+        "theoretical_iterations: need epsilon > 0 and delta in (0, 1)");
+  }
+  return std::exp(static_cast<double>(num_colors)) *
+         std::log(1.0 / delta) / (epsilon * epsilon);
+}
+
+double estimate_stderr(const CountResult& result) {
+  const auto iterations = result.per_iteration.size();
+  if (iterations < 2) return 0.0;
+  return stdev(result.per_iteration) /
+         std::sqrt(static_cast<double>(iterations));
+}
+
+double estimate_relative_stderr(const CountResult& result) {
+  if (result.estimate == 0.0) return 0.0;
+  return estimate_stderr(result) / std::abs(result.estimate);
+}
+
+AdaptiveResult adaptive_count(const Graph& graph, const TreeTemplate& tmpl,
+                              double target_relative_stderr,
+                              int max_iterations, CountOptions options,
+                              int batch_size) {
+  if (target_relative_stderr <= 0.0) {
+    throw std::invalid_argument("adaptive_count: target must be > 0");
+  }
+  if (max_iterations < 2) {
+    throw std::invalid_argument("adaptive_count: max_iterations must be >= 2");
+  }
+  if (batch_size <= 0) batch_size = std::max(4, max_iterations / 16);
+
+  AdaptiveResult adaptive;
+  CountResult& merged = adaptive.count;
+
+  // Each batch runs under its own derived seed; merged.per_iteration
+  // is the concatenation, so every iteration remains an i.i.d. sample
+  // and the result is deterministic in (options.seed, batch schedule).
+  int done = 0;
+  int batch_index = 0;
+  const std::uint64_t base_seed = options.seed;
+  while (done < max_iterations) {
+    const int batch = std::min(batch_size, max_iterations - done);
+    CountOptions batch_options = options;
+    batch_options.iterations = batch;
+    batch_options.seed =
+        base_seed + 0x9e3779b97f4a7c15ULL *
+                        static_cast<std::uint64_t>(batch_index + 1);
+    const CountResult part = count_template(graph, tmpl, batch_options);
+    if (batch_index == 0) {
+      merged = part;
+    } else {
+      merged.per_iteration.insert(merged.per_iteration.end(),
+                                  part.per_iteration.begin(),
+                                  part.per_iteration.end());
+      merged.seconds_per_iteration.insert(
+          merged.seconds_per_iteration.end(),
+          part.seconds_per_iteration.begin(),
+          part.seconds_per_iteration.end());
+      merged.seconds_total += part.seconds_total;
+      merged.peak_table_bytes =
+          std::max(merged.peak_table_bytes, part.peak_table_bytes);
+    }
+    merged.estimate = mean(merged.per_iteration);
+    done += batch;
+    ++batch_index;
+
+    adaptive.iterations_used = done;
+    adaptive.relative_stderr = estimate_relative_stderr(merged);
+    if (done >= 2 && adaptive.relative_stderr <= target_relative_stderr) {
+      adaptive.converged = true;
+      break;
+    }
+  }
+  return adaptive;
+}
+
+}  // namespace fascia

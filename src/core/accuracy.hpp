@@ -1,0 +1,52 @@
+#pragma once
+// Accuracy control (Alg. 1, line 2).
+//
+// The color-coding analysis guarantees a (1 ± ε) estimate with
+// confidence 1 - 2δ after N_iter ≈ e^k · log(1/δ) / ε² iterations —
+// but "the number of iterations necessary in practice is far lower"
+// (§III-A), which Figs. 10-11 demonstrate.  This header makes both
+// sides of that statement usable:
+//
+//   * theoretical_iterations() — the worst-case bound, for reporting;
+//   * estimate_stderr()        — the empirical standard error of the
+//                                running mean, from per-iteration
+//                                estimates (they are i.i.d.);
+//   * adaptive_count()         — iterate until the *relative* standard
+//                                error dips below a target (or a cap),
+//                                the practical analogue of (ε, δ).
+
+#include "core/count_options.hpp"
+#include "graph/graph.hpp"
+#include "treelet/tree_template.hpp"
+
+namespace fascia {
+
+/// Worst-case iteration bound e^k · ln(1/delta) / epsilon^2 from the
+/// Alon-Yuster-Zwick analysis as quoted in the paper.
+double theoretical_iterations(int num_colors, double epsilon, double delta);
+
+/// Standard error of the mean of the per-iteration estimates
+/// (sample stdev / sqrt(iterations)); 0 when fewer than 2 iterations.
+double estimate_stderr(const CountResult& result);
+
+/// Same, relative to the estimate (0 when the estimate is 0).
+double estimate_relative_stderr(const CountResult& result);
+
+struct AdaptiveResult {
+  CountResult count;            ///< merged result over all batches
+  int iterations_used = 0;
+  double relative_stderr = 0.0; ///< at termination
+  bool converged = false;       ///< hit the target (vs the cap)
+};
+
+/// Runs batches of iterations until the relative standard error of the
+/// running mean is <= `target_relative_stderr` or `max_iterations` is
+/// reached.  Deterministic in options.seed (batches continue the same
+/// iteration-seed sequence).  batch_size <= 0 picks a sensible default.
+AdaptiveResult adaptive_count(const Graph& graph, const TreeTemplate& tmpl,
+                              double target_relative_stderr,
+                              int max_iterations,
+                              CountOptions options = {},
+                              int batch_size = 0);
+
+}  // namespace fascia

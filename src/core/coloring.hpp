@@ -1,0 +1,37 @@
+#pragma once
+// Random coloring helpers shared by the tree and mixed counters.
+//
+// Iteration i's coloring depends only on (seed, i), which is what
+// makes every estimate deterministic across parallel modes and thread
+// counts.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace fascia::detail {
+
+/// Seed for iteration i, decorrelated from the base seed.
+inline std::uint64_t iteration_seed(std::uint64_t base, int iteration) {
+  std::uint64_t state = base + 0x632be59bd9b4e019ULL *
+                                   static_cast<std::uint64_t>(iteration + 1);
+  return splitmix64(state);
+}
+
+/// Uniform color in [0, num_colors) per vertex.
+inline std::vector<std::uint8_t> random_coloring(const Graph& graph,
+                                                 int num_colors,
+                                                 std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> colors(
+      static_cast<std::size_t>(graph.num_vertices()));
+  for (auto& color : colors) {
+    color = static_cast<std::uint8_t>(
+        rng.bounded(static_cast<std::uint32_t>(num_colors)));
+  }
+  return colors;
+}
+
+}  // namespace fascia::detail

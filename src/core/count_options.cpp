@@ -1,0 +1,17 @@
+#include "core/count_options.hpp"
+
+namespace fascia {
+
+const char* parallel_mode_name(ParallelMode mode) noexcept {
+  switch (mode) {
+    case ParallelMode::kSerial:
+      return "serial";
+    case ParallelMode::kInnerLoop:
+      return "inner";
+    case ParallelMode::kOuterLoop:
+      return "outer";
+  }
+  return "?";
+}
+
+}  // namespace fascia

@@ -1,0 +1,88 @@
+#pragma once
+// Options and results for the FASCIA counter (Alg. 1 + 2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dp/count_table.hpp"
+#include "treelet/partition.hpp"
+
+namespace fascia {
+
+/// §III-E: two multithreading modes.  Inner parallelizes the
+/// per-vertex loop of each DP pass (best for large graphs); outer runs
+/// whole iterations concurrently with private tables (best for small
+/// graphs, memory grows with thread count).
+enum class ParallelMode {
+  kSerial,
+  kInnerLoop,
+  kOuterLoop,
+};
+
+const char* parallel_mode_name(ParallelMode mode) noexcept;
+
+struct CountOptions {
+  /// Iterations of (random coloring + DP); Alg. 1 line 2 gives the
+  /// theoretical e^k·log(1/δ)/ε² bound, but "the number necessary in
+  /// practice is far lower" (§III-A) — Fig. 10 shows <1 % error after 3.
+  int iterations = 1;
+
+  /// Colors to use; 0 means "template size" (the paper's choice).
+  /// More colors raise the colorful probability at the cost of wider
+  /// tables.
+  int num_colors = 0;
+
+  TableKind table = TableKind::kCompact;
+  PartitionStrategy partition = PartitionStrategy::kOneAtATime;
+
+  /// Share DP tables between rooted-isomorphic subtemplates (§III-C).
+  bool share_tables = true;
+
+  ParallelMode mode = ParallelMode::kInnerLoop;
+
+  /// OpenMP threads; 0 = runtime default.
+  int num_threads = 0;
+
+  std::uint64_t seed = 1;
+
+  /// Template root override (-1 = strategy default).  Graphlet-degree
+  /// runs must root the template at the orbit vertex.
+  int root = -1;
+
+  /// Collect per-vertex rooted counts (graphlet degrees at the orbit
+  /// of the root), averaged across iterations.
+  bool per_vertex = false;
+};
+
+struct CountResult {
+  /// Mean of the per-iteration unbiased estimates (Alg. 1 line 7).
+  double estimate = 0.0;
+
+  /// Unbiased estimate from each iteration.
+  std::vector<double> per_iteration;
+
+  /// Graphlet degree of every vertex at the orbit of the template
+  /// root, averaged over iterations (filled when
+  /// CountOptions::per_vertex).
+  std::vector<double> vertex_counts;
+
+  // ---- instrumentation --------------------------------------------------
+  double seconds_total = 0.0;
+  std::vector<double> seconds_per_iteration;
+  std::size_t peak_table_bytes = 0;
+
+  // ---- algorithm constants (for reporting / verification) ---------------
+  double colorful_probability = 0.0;  ///< P in Alg. 2 line 21
+  std::uint64_t automorphisms = 0;    ///< alpha in Alg. 2 line 22
+  std::uint64_t root_stabilizer = 0;  ///< |Aut| / |orbit(root)|
+  double dp_cost = 0.0;               ///< Σ C(k,Sn)·C(Sn,an) (§III-D)
+  int max_live_tables = 0;
+  int num_subtemplates = 0;
+
+  /// Estimate after the first i+1 iterations (prefix means) — the
+  /// error-vs-iterations curves of Figs. 10-11 read these.
+  [[nodiscard]] std::vector<double> running_estimates() const;
+};
+
+}  // namespace fascia

@@ -1,0 +1,203 @@
+#include "core/counter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "comb/binomial.hpp"
+#include "core/coloring.hpp"
+#include "core/engine.hpp"
+#include "dp/table_compact.hpp"
+#include "dp/table_hash.hpp"
+#include "dp/table_naive.hpp"
+#include "treelet/canonical.hpp"
+#include "util/mem_tracker.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace fascia {
+
+namespace {
+
+using detail::iteration_seed;
+using detail::random_coloring;
+
+int resolve_threads(int requested) {
+#ifdef _OPENMP
+  return requested > 0 ? requested : omp_get_max_threads();
+#else
+  (void)requested;
+  return 1;
+#endif
+}
+
+void validate(const Graph& graph, const TreeTemplate& tmpl,
+              const CountOptions& options, int k) {
+  if (tmpl.has_labels() != graph.has_labels()) {
+    throw std::invalid_argument(
+        "count_template: template and graph must both be labeled or both "
+        "unlabeled");
+  }
+  if (k < tmpl.size()) {
+    throw std::invalid_argument(
+        "count_template: num_colors must be >= template size");
+  }
+  if (k > kMaxTemplateSize) {
+    throw std::invalid_argument("count_template: too many colors");
+  }
+  if (options.iterations < 1) {
+    throw std::invalid_argument("count_template: iterations must be >= 1");
+  }
+  if (options.root < -1 || options.root >= tmpl.size()) {
+    throw std::invalid_argument("count_template: root out of range");
+  }
+}
+
+/// The full Alg. 1 loop for a concrete table type.
+template <class Table>
+CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
+                      const CountOptions& options) {
+  const int k = effective_colors(tmpl, options);
+  validate(graph, tmpl, options, k);
+
+  const PartitionTree partition = partition_template(
+      tmpl, options.partition, options.share_tables, options.root);
+
+  CountResult result;
+  result.automorphisms = automorphisms(tmpl);
+  result.root_stabilizer = vertex_stabilizer(tmpl, partition.template_root());
+  result.colorful_probability = colorful_probability(k, tmpl.size());
+  result.dp_cost = partition.dp_cost(k);
+  result.max_live_tables = partition.max_live_tables();
+  result.num_subtemplates = partition.num_nodes();
+
+  // Colorful-homomorphism total -> occurrence estimate (Alg. 2 l.23):
+  // every occurrence contributes alpha rooted maps and survives
+  // coloring with probability P.
+  const double scale =
+      1.0 / (result.colorful_probability *
+             static_cast<double>(result.automorphisms));
+  // Per-vertex rooted totals count each occurrence through v once per
+  // stabilizer element of the root's orbit.
+  const double vertex_scale =
+      1.0 / (result.colorful_probability *
+             static_cast<double>(result.root_stabilizer));
+
+  const int iterations = options.iterations;
+  result.per_iteration.assign(static_cast<std::size_t>(iterations), 0.0);
+  result.seconds_per_iteration.assign(static_cast<std::size_t>(iterations),
+                                      0.0);
+  const auto n = static_cast<std::size_t>(graph.num_vertices());
+  std::vector<double> vertex_accumulator;
+  if (options.per_vertex) vertex_accumulator.assign(n, 0.0);
+
+  std::size_t peak_bytes = 0;
+  WallTimer total_timer;
+  {
+    PeakMemScope peak_scope(peak_bytes);
+
+    if (options.mode == ParallelMode::kOuterLoop) {
+      const int threads = resolve_threads(options.num_threads);
+#ifdef _OPENMP
+#pragma omp parallel num_threads(threads)
+#endif
+      {
+        // Each thread owns a private engine (and thus private tables:
+        // memory scales with thread count, §III-E).
+        DpEngine<Table> engine(graph, tmpl, partition, k);
+        std::vector<double> local_vertex;
+        if (options.per_vertex) local_vertex.assign(n, 0.0);
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic, 1)
+#endif
+        for (int iter = 0; iter < iterations; ++iter) {
+          WallTimer timer;
+          const ColorArray colors = random_coloring(
+              graph, k, iteration_seed(options.seed, iter));
+          const double raw =
+              engine.run(colors, /*parallel_inner=*/false,
+                         options.per_vertex ? &local_vertex : nullptr);
+          result.per_iteration[static_cast<std::size_t>(iter)] = raw * scale;
+          result.seconds_per_iteration[static_cast<std::size_t>(iter)] =
+              timer.elapsed_s();
+        }
+        if (options.per_vertex) {
+#ifdef _OPENMP
+#pragma omp critical(fascia_vertex_merge)
+#endif
+          for (std::size_t v = 0; v < n; ++v) {
+            vertex_accumulator[v] += local_vertex[v];
+          }
+        }
+      }
+      (void)threads;
+    } else {
+      const bool inner = options.mode == ParallelMode::kInnerLoop;
+#ifdef _OPENMP
+      if (inner && options.num_threads > 0) {
+        omp_set_num_threads(options.num_threads);
+      }
+#endif
+      DpEngine<Table> engine(graph, tmpl, partition, k);
+      for (int iter = 0; iter < iterations; ++iter) {
+        WallTimer timer;
+        const ColorArray colors =
+            random_coloring(graph, k, iteration_seed(options.seed, iter));
+        const double raw = engine.run(
+            colors, inner,
+            options.per_vertex ? &vertex_accumulator : nullptr);
+        result.per_iteration[static_cast<std::size_t>(iter)] = raw * scale;
+        result.seconds_per_iteration[static_cast<std::size_t>(iter)] =
+            timer.elapsed_s();
+      }
+    }
+  }
+
+  result.peak_table_bytes = peak_bytes;
+  result.seconds_total = total_timer.elapsed_s();
+  result.estimate = mean(result.per_iteration);
+  if (options.per_vertex) {
+    result.vertex_counts.assign(n, 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      result.vertex_counts[v] = vertex_accumulator[v] * vertex_scale /
+                                static_cast<double>(iterations);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int effective_colors(const TreeTemplate& tmpl, const CountOptions& options) {
+  return options.num_colors > 0 ? options.num_colors : tmpl.size();
+}
+
+CountResult count_template(const Graph& graph, const TreeTemplate& tmpl,
+                           const CountOptions& options) {
+  switch (options.table) {
+    case TableKind::kNaive:
+      return run_count<NaiveTable>(graph, tmpl, options);
+    case TableKind::kCompact:
+      return run_count<CompactTable>(graph, tmpl, options);
+    case TableKind::kHash:
+      return run_count<HashTable>(graph, tmpl, options);
+  }
+  throw std::logic_error("count_template: bad TableKind");
+}
+
+CountResult graphlet_degrees(const Graph& graph, const TreeTemplate& tmpl,
+                             int orbit_vertex, CountOptions options) {
+  options.root = orbit_vertex;
+  options.per_vertex = true;
+  return count_template(graph, tmpl, options);
+}
+
+std::vector<double> CountResult::running_estimates() const {
+  return prefix_means(per_iteration);
+}
+
+}  // namespace fascia

@@ -1,0 +1,355 @@
+#pragma once
+// The dynamic-programming engine (Alg. 2), templated on the count
+// table so the innermost loop is compile-time dispatched.
+//
+// One engine instance serves one (graph, template, partition, k)
+// combination and may run many iterations; tables are allocated per
+// node when its pass starts and freed on the partition's free_after
+// schedule (≤ ~4 live at once, §III-C), except in keep_tables mode
+// used by the embedding extractor.
+//
+// Kernel selection per non-leaf subtemplate S (size h, active child
+// size a, passive size p = h - a):
+//   * h == 2          — both children are single vertices: counts come
+//                       straight from the two endpoint colors.
+//   * a == 1          — the paper's one-at-a-time fast path: only the
+//                       C(k-1, h-1) colorsets containing color(v) are
+//                       touched (§III-D).
+//   * p == 1          — mirrored fast path keyed by the neighbor color.
+//   * otherwise       — general split-table kernel (Alg. 2 lines 7-15).
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "comb/binomial.hpp"
+#include "comb/split_table.hpp"
+#include "graph/graph.hpp"
+#include "treelet/partition.hpp"
+#include "treelet/tree_template.hpp"
+
+namespace fascia {
+
+/// Colors are small ints; one byte per vertex.
+using ColorArray = std::vector<std::uint8_t>;
+
+template <class Table>
+class DpEngine {
+ public:
+  DpEngine(const Graph& graph, const TreeTemplate& tmpl,
+           const PartitionTree& partition, int num_colors)
+      : graph_(graph), tmpl_(tmpl), partition_(partition), k_(num_colors) {
+    const int num_nodes = partition_.num_nodes();
+    tables_.resize(static_cast<std::size_t>(num_nodes));
+    single_splits_.resize(static_cast<std::size_t>(k_) + 1);
+    for (int i = 0; i < num_nodes; ++i) {
+      const Subtemplate& node = partition_.node(i);
+      if (node.is_leaf()) continue;
+      const int h = node.size();
+      const int a = partition_.node(node.active).size();
+      if (a == 1 || h - a == 1) {
+        if (h >= 2 && !single_splits_[static_cast<std::size_t>(h)]) {
+          single_splits_[static_cast<std::size_t>(h)].emplace(k_, h);
+        }
+      }
+      if (a > 1 && h - a > 1) {
+        general_splits_.try_emplace(std::make_pair(h, a), k_, h, a);
+      }
+    }
+    // Pair-index matrix for the h == 2 kernel: index of {c1, c2}.
+    pair_index_.assign(static_cast<std::size_t>(k_) * k_, 0);
+    for (int c1 = 0; c1 < k_; ++c1) {
+      for (int c2 = 0; c2 < k_; ++c2) {
+        if (c1 == c2) continue;
+        const int lo = std::min(c1, c2), hi = std::max(c1, c2);
+        const std::array<int, 2> colors = {lo, hi};
+        pair_index_[static_cast<std::size_t>(c1) * k_ + c2] =
+            colorset_index(colors);
+      }
+    }
+  }
+
+  /// One full bottom-up DP pass for a fixed coloring; returns the sum
+  /// over the root table (Alg. 2 line 20).  When per_vertex is
+  /// non-null it must have size n; root-table vertex totals are
+  /// *added* into it.
+  double run(const ColorArray& colors, bool parallel_inner,
+             std::vector<double>* per_vertex = nullptr,
+             bool keep_tables = false) {
+    release_all_tables();
+    const int num_nodes = partition_.num_nodes();
+    for (int i = 0; i < num_nodes; ++i) {
+      const Subtemplate& node = partition_.node(i);
+      if (node.is_leaf()) continue;
+      compute_node(i, colors, parallel_inner);
+      if (!keep_tables) {
+        for (int j = 0; j < i; ++j) {
+          if (partition_.node(j).free_after == i) {
+            tables_[static_cast<std::size_t>(j)].reset();
+          }
+        }
+      }
+    }
+
+    const int root = partition_.root_node();
+    if (partition_.node(root).is_leaf()) {
+      // Single-vertex template: every (label-matching) vertex counts 1.
+      double count = 0.0;
+      const int root_tv = partition_.node(root).root;
+      for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+        if (leaf_matches(root_tv, v)) {
+          count += 1.0;
+          if (per_vertex != nullptr) {
+            (*per_vertex)[static_cast<std::size_t>(v)] += 1.0;
+          }
+        }
+      }
+      return count;
+    }
+
+    const Table& table = *tables_[static_cast<std::size_t>(root)];
+    if (per_vertex != nullptr) {
+      for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+        (*per_vertex)[static_cast<std::size_t>(v)] += table.vertex_total(v);
+      }
+    }
+    const double total = table.total();
+    if (!keep_tables) release_all_tables();
+    return total;
+  }
+
+  /// Table for a node (nullptr for leaves or freed nodes); valid after
+  /// run(..., keep_tables = true).
+  [[nodiscard]] const Table* table(int node) const noexcept {
+    return tables_[static_cast<std::size_t>(node)].get();
+  }
+
+  [[nodiscard]] const PartitionTree& partition() const noexcept {
+    return partition_;
+  }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] int num_colors() const noexcept { return k_; }
+
+  void release_all_tables() noexcept {
+    for (auto& table : tables_) table.reset();
+  }
+
+ private:
+  /// Leaf base case (Alg. 2 line 4) with the labeled-mode filter: a
+  /// single-vertex subtemplate for template vertex tv matches graph
+  /// vertex v iff labels agree (§V-A).
+  [[nodiscard]] bool leaf_matches(int tv, VertexId v) const noexcept {
+    if (!tmpl_.has_labels() || !graph_.has_labels()) return true;
+    return tmpl_.label(tv) == graph_.label(v);
+  }
+
+  void compute_node(int index, const ColorArray& colors, bool parallel) {
+    const Subtemplate& node = partition_.node(index);
+    const int h = node.size();
+    const auto num_sets = num_colorsets(k_, h);
+    auto table = std::make_unique<Table>(graph_.num_vertices(), num_sets);
+
+    const Subtemplate& active = partition_.node(node.active);
+    const Subtemplate& passive = partition_.node(node.passive);
+    const int a = active.size();
+    const int p = passive.size();
+
+    if (h == 2) {
+      kernel_pair(*table, node, colors, parallel);
+    } else if (a == 1) {
+      kernel_single_active(*table, node, colors, parallel);
+    } else if (p == 1) {
+      kernel_single_passive(*table, node, colors, parallel);
+    } else {
+      kernel_general(*table, node, colors, parallel);
+    }
+    tables_[static_cast<std::size_t>(index)] = std::move(table);
+  }
+
+  // ---- kernels ----------------------------------------------------------
+  // Each loops over graph vertices (optionally OpenMP-parallel), fills
+  // a thread-private row buffer of C(k,h) counts for vertex v, and
+  // commits it.  commit_row is safe for distinct vertices by the table
+  // contract.
+
+  /// Per-thread scratch for one kernel pass.
+  struct Workspace {
+    std::vector<double> row;  ///< count per parent colorset, for one v
+    /// Compressed nonzero active-side entries (general kernel only):
+    /// the active table's value for (v, act) hoisted out of the
+    /// neighbor loop.
+    struct ActiveEntry {
+      ColorsetIndex parent;
+      ColorsetIndex passive;
+      double value;
+    };
+    std::vector<ActiveEntry> active_entries;
+  };
+
+  template <class Body>
+  void for_all_vertices(bool parallel, std::uint32_t row_width,
+                        Body&& body) {
+    const VertexId n = graph_.num_vertices();
+#ifdef _OPENMP
+    if (parallel) {
+#pragma omp parallel
+      {
+        Workspace workspace;
+        workspace.row.resize(row_width);
+#pragma omp for schedule(dynamic, 64)
+        for (VertexId v = 0; v < n; ++v) body(v, workspace);
+      }
+      return;
+    }
+#endif
+    Workspace workspace;
+    workspace.row.resize(row_width);
+    for (VertexId v = 0; v < n; ++v) body(v, workspace);
+  }
+
+  void kernel_pair(Table& out, const Subtemplate& node,
+                   const ColorArray& colors, bool parallel) {
+    const Subtemplate& active = partition_.node(node.active);
+    const Subtemplate& passive = partition_.node(node.passive);
+    const int tv_active = active.root;
+    const int tv_passive = passive.root;
+    for_all_vertices(
+        parallel, out.num_colorsets(),
+        [&](VertexId v, Workspace& ws) {
+          if (!leaf_matches(tv_active, v)) return;
+          auto& row = ws.row;
+          std::fill(row.begin(), row.end(), 0.0);
+          const int cv = colors[static_cast<std::size_t>(v)];
+          bool any = false;
+          for (VertexId u : graph_.neighbors(v)) {
+            const int cu = colors[static_cast<std::size_t>(u)];
+            if (cu == cv || !leaf_matches(tv_passive, u)) continue;
+            row[pair_index_[static_cast<std::size_t>(cv) * k_ + cu]] += 1.0;
+            any = true;
+          }
+          if (any) out.commit_row(v, row);
+        });
+  }
+
+  void kernel_single_active(Table& out, const Subtemplate& node,
+                            const ColorArray& colors, bool parallel) {
+    const Subtemplate& active = partition_.node(node.active);
+    const Table& tp = *tables_[static_cast<std::size_t>(node.passive)];
+    const SingleActiveSplit& split =
+        *single_splits_[static_cast<std::size_t>(node.size())];
+    const int tv_active = active.root;
+    for_all_vertices(
+        parallel, out.num_colorsets(),
+        [&](VertexId v, Workspace& ws) {
+          if (!leaf_matches(tv_active, v)) return;
+          auto& row = ws.row;
+          std::fill(row.begin(), row.end(), 0.0);
+          const int cv = colors[static_cast<std::size_t>(v)];
+          const auto entries = split.entries(cv);
+          bool any = false;
+          for (VertexId u : graph_.neighbors(v)) {
+            if (!tp.has_vertex(u)) continue;
+            any = true;
+            for (const auto& entry : entries) {
+              row[entry.parent] += tp.get(u, entry.passive);
+            }
+          }
+          if (any) out.commit_row(v, row);
+        });
+  }
+
+  void kernel_single_passive(Table& out, const Subtemplate& node,
+                             const ColorArray& colors, bool parallel) {
+    const Subtemplate& passive = partition_.node(node.passive);
+    const Table& ta = *tables_[static_cast<std::size_t>(node.active)];
+    const SingleActiveSplit& split =
+        *single_splits_[static_cast<std::size_t>(node.size())];
+    const int tv_passive = passive.root;
+    for_all_vertices(
+        parallel, out.num_colorsets(),
+        [&](VertexId v, Workspace& ws) {
+          if (!ta.has_vertex(v)) return;
+          auto& row = ws.row;
+          std::fill(row.begin(), row.end(), 0.0);
+          bool any = false;
+          for (VertexId u : graph_.neighbors(v)) {
+            if (!leaf_matches(tv_passive, u)) continue;
+            const int cu = colors[static_cast<std::size_t>(u)];
+            for (const auto& entry : split.entries(cu)) {
+              // entry.passive here indexes the parent set minus the
+              // neighbor's color — which is exactly the active child's
+              // colorset C_a.
+              const double count = ta.get(v, entry.passive);
+              if (count != 0.0) {
+                row[entry.parent] += count;
+                any = true;
+              }
+            }
+          }
+          if (any) out.commit_row(v, row);
+        });
+  }
+
+  void kernel_general(Table& out, const Subtemplate& node,
+                      const ColorArray& colors, bool parallel) {
+    (void)colors;  // colors only matter at the leaves
+    const Table& ta = *tables_[static_cast<std::size_t>(node.active)];
+    const Table& tp = *tables_[static_cast<std::size_t>(node.passive)];
+    const int h = node.size();
+    const int a = partition_.node(node.active).size();
+    const SplitTable& split = general_splits_.at(std::make_pair(h, a));
+    const auto num_parents = out.num_colorsets();
+    for_all_vertices(
+        parallel, num_parents,
+        [&](VertexId v, Workspace& ws) {
+          if (!ta.has_vertex(v)) return;
+          // The active side depends only on v: hoist its nonzero
+          // (parent, passive, value) triples out of the neighbor loop.
+          // Only ~C(k-1,h-1)·C(h-1,a-1) of the C(k,h)·C(h,a) split
+          // slots survive (those whose active set contains color(v)),
+          // so this both skips zeros and drops a table read per
+          // neighbor — the dominant cost per the paper's >90 % figure.
+          auto& entries = ws.active_entries;
+          entries.clear();
+          for (ColorsetIndex parent = 0; parent < num_parents; ++parent) {
+            const auto act = split.active_indices(parent);
+            const auto pas = split.passive_indices(parent);
+            for (std::size_t s = 0; s < act.size(); ++s) {
+              const double ca = ta.get(v, act[s]);
+              if (ca != 0.0) entries.push_back({parent, pas[s], ca});
+            }
+          }
+          if (entries.empty()) return;
+          auto& row = ws.row;
+          std::fill(row.begin(), row.end(), 0.0);
+          bool any = false;
+          for (VertexId u : graph_.neighbors(v)) {
+            if (!tp.has_vertex(u)) continue;
+            any = true;
+            for (const auto& entry : entries) {
+              row[entry.parent] += entry.value * tp.get(u, entry.passive);
+            }
+          }
+          if (any) out.commit_row(v, row);
+        });
+  }
+
+  const Graph& graph_;
+  const TreeTemplate& tmpl_;
+  const PartitionTree& partition_;
+  int k_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::optional<SingleActiveSplit>> single_splits_;
+  std::map<std::pair<int, int>, SplitTable> general_splits_;
+  std::vector<ColorsetIndex> pair_index_;
+};
+
+}  // namespace fascia

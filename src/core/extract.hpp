@@ -1,0 +1,60 @@
+#pragma once
+// Subgraph *enumeration* (the "E" in FASCIA): materialize concrete
+// embeddings, not just counts.
+//
+// After one DP pass the tables implicitly encode every colorful
+// embedding; walking them back down from the root yields embeddings
+// without re-searching the graph.  Two modes:
+//
+//   * sample_embeddings  — draws embeddings with probability
+//     proportional to their DP weight (uniform over colorful
+//     embeddings of the sampled coloring), re-coloring as needed.
+//   * enumerate_embeddings — exhaustively lists colorful embeddings of
+//     one coloring, up to a limit, optionally deduplicated to
+//     vertex-set occurrences (each set otherwise appears once per
+//     automorphism).
+//
+// Both return maps `vertices[template_vertex] = graph_vertex`.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/count_options.hpp"
+#include "graph/graph.hpp"
+#include "treelet/tree_template.hpp"
+
+namespace fascia {
+
+struct Embedding {
+  /// vertices[i] is the graph vertex playing template vertex i's role.
+  std::vector<VertexId> vertices;
+};
+
+/// Draws up to `how_many` embeddings (independently; duplicates
+/// possible, as in any sampling scheme).  Returns fewer only when the
+/// graph contains no embedding at all detectable within
+/// `max_coloring_attempts` recolorings.
+std::vector<Embedding> sample_embeddings(const Graph& graph,
+                                         const TreeTemplate& tmpl,
+                                         std::size_t how_many,
+                                         const CountOptions& options = {},
+                                         int max_coloring_attempts = 32);
+
+/// Lists colorful embeddings of the coloring derived from options.seed
+/// until `limit` is reached.  With dedup_sets, embeddings are reduced
+/// to distinct *copies* (vertex set + mapped edge set — occurrences in
+/// the paper's sense); each copy otherwise appears once per template
+/// automorphism.
+std::vector<Embedding> enumerate_embeddings(const Graph& graph,
+                                            const TreeTemplate& tmpl,
+                                            std::size_t limit,
+                                            bool dedup_sets = true,
+                                            const CountOptions& options = {});
+
+/// Validates that `embedding` really is a non-induced occurrence of
+/// `tmpl` in `graph` (distinct vertices, every template edge present,
+/// labels matching).  Used by tests and the quickstart example.
+bool is_valid_embedding(const Graph& graph, const TreeTemplate& tmpl,
+                        const Embedding& embedding);
+
+}  // namespace fascia

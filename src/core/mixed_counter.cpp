@@ -1,0 +1,132 @@
+#include "core/mixed_counter.hpp"
+
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "comb/binomial.hpp"
+#include "core/coloring.hpp"
+#include "core/counter.hpp"
+#include "core/mixed_engine.hpp"
+#include "dp/table_compact.hpp"
+#include "dp/table_hash.hpp"
+#include "dp/table_naive.hpp"
+#include "util/mem_tracker.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace fascia {
+
+namespace {
+
+using detail::iteration_seed;
+using detail::random_coloring;
+
+template <class Table>
+CountResult run_mixed(const Graph& graph, const MixedTemplate& tmpl,
+                      const CountOptions& options) {
+  const int k = options.num_colors > 0 ? options.num_colors : tmpl.size();
+  if (tmpl.has_labels() != graph.has_labels()) {
+    throw std::invalid_argument(
+        "count_mixed_template: template and graph must both be labeled or "
+        "both unlabeled");
+  }
+  if (k < tmpl.size() || k > kMaxTemplateSize) {
+    throw std::invalid_argument("count_mixed_template: bad color count");
+  }
+  if (options.iterations < 1) {
+    throw std::invalid_argument("count_mixed_template: iterations >= 1");
+  }
+  if (options.per_vertex) {
+    throw std::invalid_argument(
+        "count_mixed_template: per-vertex counts are tree-only");
+  }
+
+  const MixedPartition partition =
+      partition_mixed_template(tmpl, options.root);
+
+  CountResult result;
+  result.automorphisms = mixed_automorphisms(tmpl);
+  result.colorful_probability = colorful_probability(k, tmpl.size());
+  result.num_subtemplates = partition.num_nodes();
+  const double scale =
+      1.0 / (result.colorful_probability *
+             static_cast<double>(result.automorphisms));
+
+  const int iterations = options.iterations;
+  result.per_iteration.assign(static_cast<std::size_t>(iterations), 0.0);
+  result.seconds_per_iteration.assign(static_cast<std::size_t>(iterations),
+                                      0.0);
+
+  std::size_t peak_bytes = 0;
+  WallTimer total_timer;
+  {
+    PeakMemScope peak_scope(peak_bytes);
+    if (options.mode == ParallelMode::kOuterLoop) {
+#ifdef _OPENMP
+#pragma omp parallel num_threads( \
+    options.num_threads > 0 ? options.num_threads : omp_get_max_threads())
+#endif
+      {
+        MixedDpEngine<Table> engine(graph, tmpl, partition, k);
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic, 1)
+#endif
+        for (int iter = 0; iter < iterations; ++iter) {
+          WallTimer timer;
+          const auto colors =
+              random_coloring(graph, k, iteration_seed(options.seed, iter));
+          result.per_iteration[static_cast<std::size_t>(iter)] =
+              engine.run(colors, /*parallel_inner=*/false) * scale;
+          result.seconds_per_iteration[static_cast<std::size_t>(iter)] =
+              timer.elapsed_s();
+        }
+      }
+    } else {
+      const bool inner = options.mode == ParallelMode::kInnerLoop;
+#ifdef _OPENMP
+      if (inner && options.num_threads > 0) {
+        omp_set_num_threads(options.num_threads);
+      }
+#endif
+      MixedDpEngine<Table> engine(graph, tmpl, partition, k);
+      for (int iter = 0; iter < iterations; ++iter) {
+        WallTimer timer;
+        const auto colors =
+            random_coloring(graph, k, iteration_seed(options.seed, iter));
+        result.per_iteration[static_cast<std::size_t>(iter)] =
+            engine.run(colors, inner) * scale;
+        result.seconds_per_iteration[static_cast<std::size_t>(iter)] =
+            timer.elapsed_s();
+      }
+    }
+  }
+  result.peak_table_bytes = peak_bytes;
+  result.seconds_total = total_timer.elapsed_s();
+  result.estimate = mean(result.per_iteration);
+  return result;
+}
+
+}  // namespace
+
+CountResult count_mixed_template(const Graph& graph,
+                                 const MixedTemplate& tmpl,
+                                 const CountOptions& options) {
+  if (tmpl.is_tree()) {
+    return count_template(graph, tmpl.as_tree(), options);
+  }
+  switch (options.table) {
+    case TableKind::kNaive:
+      return run_mixed<NaiveTable>(graph, tmpl, options);
+    case TableKind::kCompact:
+      return run_mixed<CompactTable>(graph, tmpl, options);
+    case TableKind::kHash:
+      return run_mixed<HashTable>(graph, tmpl, options);
+  }
+  throw std::logic_error("count_mixed_template: bad TableKind");
+}
+
+}  // namespace fascia

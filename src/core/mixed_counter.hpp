@@ -1,0 +1,26 @@
+#pragma once
+// Counting API for mixed (edge + triangle block) templates — the
+// paper's "tree-like graph templates with triangles".
+//
+// Pure trees are delegated to the faster tree pipeline
+// (core/counter.hpp); templates with triangle blocks run through the
+// MixedDpEngine.  Estimates are unbiased exactly as for trees:
+//   final = colorful_maps / (P · |Aut|),
+// with |Aut| from pruned permutation search (mixed_automorphisms).
+
+#include "core/count_options.hpp"
+#include "graph/graph.hpp"
+#include "treelet/mixed_template.hpp"
+
+namespace fascia {
+
+/// Approximate count of non-induced occurrences of `tmpl`.
+/// Options honored: iterations, num_colors, table, mode (serial /
+/// inner / outer), num_threads, seed, root.  Tree-only options
+/// (partition strategy, share_tables, per_vertex) apply only when the
+/// template is a tree and is delegated.
+CountResult count_mixed_template(const Graph& graph,
+                                 const MixedTemplate& tmpl,
+                                 const CountOptions& options = {});
+
+}  // namespace fascia

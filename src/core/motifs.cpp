@@ -1,0 +1,42 @@
+#include "core/motifs.hpp"
+
+#include "core/counter.hpp"
+#include "treelet/free_trees.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace fascia {
+
+std::vector<double> MotifProfile::relative_frequencies() const {
+  const double average = mean(counts);
+  std::vector<double> rel(counts.size(), 0.0);
+  if (average == 0.0) return rel;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    rel[i] = counts[i] / average;
+  }
+  return rel;
+}
+
+MotifProfile count_all_treelets(const Graph& graph, int k,
+                                const CountOptions& options) {
+  MotifProfile profile;
+  profile.k = k;
+  profile.trees = all_free_trees(k);
+
+  WallTimer total_timer;
+  for (std::size_t i = 0; i < profile.trees.size(); ++i) {
+    WallTimer timer;
+    CountOptions per_tree = options;
+    // Decorrelate templates: same base seed but disjoint streams, so a
+    // profile is reproducible yet templates do not share colorings.
+    per_tree.seed = options.seed + 0x9e3779b9u * (i + 1);
+    const CountResult result = count_template(graph, profile.trees[i],
+                                              per_tree);
+    profile.counts.push_back(result.estimate);
+    profile.seconds.push_back(timer.elapsed_s());
+  }
+  profile.seconds_total = total_timer.elapsed_s();
+  return profile;
+}
+
+}  // namespace fascia

@@ -1,0 +1,34 @@
+#pragma once
+// Motif finding (§II-A, §V-E): estimate the count of *every*
+// non-isomorphic tree of a given size and derive the relative
+// frequency profile the paper plots in Figs. 13-14.
+
+#include <string>
+#include <vector>
+
+#include "core/count_options.hpp"
+#include "graph/graph.hpp"
+#include "treelet/tree_template.hpp"
+
+namespace fascia {
+
+struct MotifProfile {
+  int k = 0;                          ///< template size
+  std::vector<TreeTemplate> trees;    ///< all free trees of size k
+  std::vector<double> counts;         ///< estimated occurrence counts
+  std::vector<double> seconds;        ///< wall time per template
+  double seconds_total = 0.0;
+
+  /// counts scaled by the profile mean — the paper's normalization for
+  /// cross-network comparison ("scaled by each of the networks'
+  /// averages", Fig. 13).
+  [[nodiscard]] std::vector<double> relative_frequencies() const;
+};
+
+/// Counts all free trees on k vertices.  Template i of the profile is
+/// all_free_trees(k)[i] (deterministic order), so profiles from
+/// different networks align index-by-index.
+MotifProfile count_all_treelets(const Graph& graph, int k,
+                                const CountOptions& options);
+
+}  // namespace fascia

@@ -1,0 +1,29 @@
+#pragma once
+// Triangle template support (the paper's "tree-like graph templates
+// with triangles", §I/§II-C; our catalog's U3-2).
+//
+// A triangle cannot be split by a single edge cut, so it enters the
+// color-coding framework as a *base case*: its colorful count at a
+// vertex is computed directly by neighborhood intersection rather than
+// by the tree DP.  This file provides the standalone triangle counter
+// used by the Fig. 3/4/6 benches (U3-2 alone); exact counting is also
+// here since triangles are cheap to enumerate exactly — the benches
+// use it to report triangle-estimate error.
+
+#include "core/count_options.hpp"
+#include "graph/graph.hpp"
+
+namespace fascia {
+
+/// Exact number of triangles (with matching label multiset when
+/// `labels` has 3 entries and the graph is labeled).
+double exact_triangle_count(const Graph& graph,
+                            const std::vector<std::uint8_t>& labels = {});
+
+/// Color-coding estimate of the triangle count: `iterations` random
+/// colorings, counting colorful triangles and unbiasing by P and the
+/// labeled automorphism count.  Deterministic in options.seed.
+CountResult count_triangles(const Graph& graph, const CountOptions& options,
+                            const std::vector<std::uint8_t>& labels = {});
+
+}  // namespace fascia

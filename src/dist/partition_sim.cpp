@@ -1,0 +1,126 @@
+#include "dist/partition_sim.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "comb/binomial.hpp"
+#include "treelet/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fascia::dist {
+
+const char* partition_scheme_name(PartitionScheme scheme) noexcept {
+  switch (scheme) {
+    case PartitionScheme::kBlock:
+      return "block";
+    case PartitionScheme::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+std::vector<int> partition_vertices(VertexId n, int num_ranks,
+                                    PartitionScheme scheme,
+                                    std::uint64_t seed) {
+  if (num_ranks < 1) {
+    throw std::invalid_argument("partition_vertices: num_ranks >= 1");
+  }
+  std::vector<int> owner(static_cast<std::size_t>(n));
+  if (scheme == PartitionScheme::kBlock) {
+    // Contiguous ranges of ceil(n / P), last range possibly short.
+    const VertexId block =
+        (n + static_cast<VertexId>(num_ranks) - 1) /
+        static_cast<VertexId>(num_ranks);
+    for (VertexId v = 0; v < n; ++v) {
+      owner[static_cast<std::size_t>(v)] =
+          std::min(num_ranks - 1, static_cast<int>(v / std::max<VertexId>(1, block)));
+    }
+  } else {
+    // Hashed assignment: balanced in expectation, locality-blind.
+    for (VertexId v = 0; v < n; ++v) {
+      std::uint64_t state =
+          seed ^ (0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(v));
+      owner[static_cast<std::size_t>(v)] =
+          static_cast<int>(splitmix64(state) %
+                           static_cast<std::uint64_t>(num_ranks));
+    }
+  }
+  return owner;
+}
+
+DistSimResult simulate_distributed_dp(const Graph& graph,
+                                      const TreeTemplate& tmpl,
+                                      int num_colors, int num_ranks,
+                                      PartitionScheme scheme,
+                                      std::uint64_t seed) {
+  const int k = num_colors > 0 ? num_colors : tmpl.size();
+  if (k < tmpl.size()) {
+    throw std::invalid_argument("simulate_distributed_dp: k < |T|");
+  }
+
+  DistSimResult result;
+  result.num_ranks = num_ranks;
+  result.scheme = scheme;
+
+  const auto owner =
+      partition_vertices(graph.num_vertices(), num_ranks, scheme, seed);
+
+  // Work proxy and unique ghost neighbors per rank (graph-level: the
+  // same ghost set is exchanged once per subtemplate pass).
+  result.work_per_rank.assign(static_cast<std::size_t>(num_ranks), 0.0);
+  std::vector<std::set<VertexId>> ghosts(
+      static_cast<std::size_t>(num_ranks));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const int rank = owner[static_cast<std::size_t>(v)];
+    result.work_per_rank[static_cast<std::size_t>(rank)] +=
+        static_cast<double>(graph.degree(v));
+    for (VertexId u : graph.neighbors(v)) {
+      if (owner[static_cast<std::size_t>(u)] != rank) {
+        ghosts[static_cast<std::size_t>(rank)].insert(u);
+      }
+    }
+  }
+  result.ghosts_per_rank.reserve(static_cast<std::size_t>(num_ranks));
+  std::size_t total_ghosts = 0;
+  for (const auto& ghost_set : ghosts) {
+    result.ghosts_per_rank.push_back(ghost_set.size());
+    total_ghosts += ghost_set.size();
+  }
+
+  // Per non-leaf subtemplate: passive-child rows cross the network.
+  const PartitionTree partition =
+      partition_template(tmpl, PartitionStrategy::kOneAtATime, true);
+  for (const Subtemplate& node : partition.nodes()) {
+    if (node.is_leaf()) continue;
+    NodeCommCost cost;
+    cost.subtemplate_size = node.size();
+    cost.passive_size = partition.node(node.passive).size();
+    // Single-vertex passive children are implicit (color-only) and
+    // move nothing; larger children move full rows in this model.
+    if (cost.passive_size >= 2) {
+      cost.row_bytes =
+          static_cast<std::size_t>(choose(k, cost.passive_size)) *
+          sizeof(double);
+      cost.ghost_bytes = static_cast<double>(total_ghosts) *
+                         static_cast<double>(cost.row_bytes);
+    }
+    result.total_ghost_bytes += cost.ghost_bytes;
+    result.per_node.push_back(cost);
+  }
+
+  double max_work = 0.0, sum_work = 0.0;
+  for (double work : result.work_per_rank) {
+    max_work = std::max(max_work, work);
+    sum_work += work;
+  }
+  const double mean_work = sum_work / static_cast<double>(num_ranks);
+  result.load_imbalance = mean_work > 0.0 ? max_work / mean_work : 1.0;
+  result.replication = graph.num_vertices() > 0
+                           ? static_cast<double>(total_ghosts) /
+                                 static_cast<double>(graph.num_vertices())
+                           : 0.0;
+  return result;
+}
+
+}  // namespace fascia::dist

@@ -1,0 +1,75 @@
+#pragma once
+// Distributed-memory simulation (the paper's stated future work:
+// "consider partitioning the dynamic programming table for execution
+// on a distributed-memory platform", §VI).
+//
+// No MPI runtime is assumed (or available here); instead this module
+// *models* the distributed design the follow-on work explored: vertex
+// ownership is partitioned across P ranks, each rank computes the DP
+// rows of its owned vertices for every subtemplate (owner-computes),
+// and rows of non-owned neighbors ("ghosts") must be fetched once per
+// subtemplate pass.  The simulator reports, for a concrete
+// (graph, template, k, P, partition scheme):
+//
+//   * per-rank work proxies (Σ degree over owned vertices),
+//   * unique ghost rows per rank and the bytes they imply per
+//     iteration (row width = C(k, h_passive) doubles),
+//   * load imbalance (max/mean work) and ghost replication factor.
+//
+// The model is deliberately worst-case-dense: it charges a full row
+// per ghost vertex, ignoring the sparsity the compact/hash layouts
+// exploit — so reported volumes upper-bound a real implementation
+// (stated in DESIGN.md; the ablation bench explores the
+// block-vs-hash-partition locality question this future work hinges
+// on).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "treelet/tree_template.hpp"
+
+namespace fascia::dist {
+
+enum class PartitionScheme {
+  kBlock,  ///< contiguous vertex ranges (locality-friendly)
+  kHash,   ///< hashed round-robin (balance-friendly)
+};
+
+const char* partition_scheme_name(PartitionScheme scheme) noexcept;
+
+/// owner[v] in [0, num_ranks) for every vertex.
+std::vector<int> partition_vertices(VertexId n, int num_ranks,
+                                    PartitionScheme scheme,
+                                    std::uint64_t seed = 0);
+
+struct NodeCommCost {
+  int subtemplate_size = 0;    ///< h of the node being computed
+  int passive_size = 0;        ///< h of the passive child whose rows move
+  std::size_t row_bytes = 0;   ///< C(k, passive_size) * sizeof(double)
+  double ghost_bytes = 0.0;    ///< Σ_ranks ghosts(r) * row_bytes
+};
+
+struct DistSimResult {
+  int num_ranks = 0;
+  PartitionScheme scheme = PartitionScheme::kBlock;
+
+  std::vector<double> work_per_rank;        ///< Σ deg(v) over owned v
+  std::vector<std::size_t> ghosts_per_rank; ///< unique boundary neighbors
+  std::vector<NodeCommCost> per_node;       ///< non-leaf subtemplates
+
+  double total_ghost_bytes = 0.0;  ///< per color-coding iteration
+  double load_imbalance = 1.0;     ///< max work / mean work
+  double replication = 0.0;        ///< Σ ghosts / n
+};
+
+/// Simulates one iteration's communication/balance for the tree DP
+/// under the given partitioning.  k defaults to the template size when
+/// num_colors == 0.
+DistSimResult simulate_distributed_dp(const Graph& graph,
+                                      const TreeTemplate& tmpl,
+                                      int num_colors, int num_ranks,
+                                      PartitionScheme scheme,
+                                      std::uint64_t seed = 0);
+
+}  // namespace fascia::dist

@@ -1,0 +1,17 @@
+#include "dp/count_table.hpp"
+
+namespace fascia {
+
+const char* table_kind_name(TableKind kind) noexcept {
+  switch (kind) {
+    case TableKind::kNaive:
+      return "naive";
+    case TableKind::kCompact:
+      return "compact";
+    case TableKind::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+}  // namespace fascia

@@ -1,0 +1,57 @@
+#pragma once
+// Dynamic-programming count tables (§III-C).
+//
+// One table instance stores, for a single subtemplate of size h, the
+// count of colorful embeddings rooted at each graph vertex for each
+// colorset (indexed combinadically; see comb/colorset.hpp).  FASCIA's
+// key engineering contribution is abstracting this structure so the
+// layout can vary:
+//
+//   * NaiveTable   — dense n x C(k,h) array, everything initialized
+//                    (the paper's baseline in Figs. 6-7).
+//   * CompactTable — per-vertex rows allocated lazily on first commit;
+//                    uninitialized vertices answer has_vertex() false,
+//                    letting the DP skip them entirely (the paper's
+//                    "improved" layout; ~20 % memory saving unlabeled,
+//                    >90 % labeled).
+//   * HashTable    — open addressing keyed by vid·Nc + I (the paper's
+//                    hashing scheme; wins for high-selectivity
+//                    templates, e.g. long paths on road networks).
+//
+// The counter is *compile-time* polymorphic over the table type: the
+// innermost DP loop — where the paper measures >90 % of runtime — must
+// not pay a virtual call per read.  All three classes expose the same
+// duck-typed API:
+//
+//   bool   has_vertex(VertexId v) const;
+//   double get(VertexId v, ColorsetIndex idx) const;   // 0 when absent
+//   void   commit_row(VertexId v, std::span<const double> row);
+//   double total() const;
+//   double vertex_total(VertexId v) const;
+//   std::uint32_t num_colorsets() const;
+//   std::size_t bytes() const;
+//
+// commit_row may be called concurrently for *distinct* vertices (the
+// inner-loop parallel mode does exactly that); get/has_vertex are safe
+// concurrently with each other but not with commits to the same table.
+// The DP never reads a table it is still writing, so this contract is
+// naturally satisfied.  All layouts report logical allocations to
+// MemTracker so the Figs. 6-7 benches can compare peaks.
+
+#include <cstdint>
+
+#include "comb/colorset.hpp"
+#include "graph/graph.hpp"
+
+namespace fascia {
+
+/// Runtime selector used by CountOptions; maps to the classes above.
+enum class TableKind {
+  kNaive,
+  kCompact,
+  kHash,
+};
+
+const char* table_kind_name(TableKind kind) noexcept;
+
+}  // namespace fascia

@@ -1,0 +1,72 @@
+#include "dp/table_compact.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "util/mem_tracker.hpp"
+
+namespace fascia {
+
+namespace {
+
+// Row allocations are batched into MemTracker updates per commit; the
+// pointer array itself is charged up front.
+std::size_t row_bytes(std::uint32_t num_colorsets) {
+  return num_colorsets * sizeof(double);
+}
+
+}  // namespace
+
+CompactTable::CompactTable(VertexId n, std::uint32_t num_colorsets)
+    : n_(n), num_colorsets_(num_colorsets),
+      rows_(static_cast<std::size_t>(n)) {
+  MemTracker::add(rows_.size() * sizeof(rows_[0]));
+}
+
+CompactTable::~CompactTable() { MemTracker::sub(bytes()); }
+
+void CompactTable::commit_row(VertexId v, std::span<const double> row) {
+  const bool any_nonzero =
+      std::any_of(row.begin(), row.end(), [](double x) { return x != 0.0; });
+  if (!any_nonzero) return;
+  auto copy = std::make_unique<double[]>(num_colorsets_);
+  std::memcpy(copy.get(), row.data(), row_bytes(num_colorsets_));
+  rows_[static_cast<std::size_t>(v)] = std::move(copy);
+  MemTracker::add(row_bytes(num_colorsets_));
+}
+
+double CompactTable::total() const noexcept {
+  double sum = 0.0;
+  for (const auto& row : rows_) {
+    if (row == nullptr) continue;
+    for (std::uint32_t i = 0; i < num_colorsets_; ++i) sum += row[i];
+  }
+  return sum;
+}
+
+double CompactTable::vertex_total(VertexId v) const noexcept {
+  const double* row = rows_[static_cast<std::size_t>(v)].get();
+  if (row == nullptr) return 0.0;
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < num_colorsets_; ++i) sum += row[i];
+  return sum;
+}
+
+std::size_t CompactTable::bytes() const noexcept {
+  std::size_t held = rows_.size() * sizeof(rows_[0]);
+  for (const auto& row : rows_) {
+    if (row != nullptr) held += row_bytes(num_colorsets_);
+  }
+  return held;
+}
+
+VertexId CompactTable::num_active_vertices() const noexcept {
+  VertexId active = 0;
+  for (const auto& row : rows_) {
+    if (row != nullptr) ++active;
+  }
+  return active;
+}
+
+}  // namespace fascia

@@ -1,0 +1,55 @@
+#pragma once
+// The paper's "improved" layout: rows exist only for vertices that
+// received at least one nonzero count.  Besides the memory saving
+// (Fig. 6), the has_vertex() boolean check lets the DP skip whole
+// vertices and neighbor reads (§III-C) — the source of FASCIA's
+// speedup on selective (labeled / sparse) instances.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dp/count_table.hpp"
+
+namespace fascia {
+
+class CompactTable {
+ public:
+  CompactTable(VertexId n, std::uint32_t num_colorsets);
+  ~CompactTable();
+
+  CompactTable(const CompactTable&) = delete;
+  CompactTable& operator=(const CompactTable&) = delete;
+
+  [[nodiscard]] bool has_vertex(VertexId v) const noexcept {
+    return rows_[static_cast<std::size_t>(v)] != nullptr;
+  }
+
+  [[nodiscard]] double get(VertexId v, ColorsetIndex idx) const noexcept {
+    const double* row = rows_[static_cast<std::size_t>(v)].get();
+    return row == nullptr ? 0.0 : row[idx];
+  }
+
+  /// Allocates the vertex row iff `row` has a nonzero entry.  Safe to
+  /// call concurrently for distinct vertices: each writes its own slot
+  /// and operator new is thread-safe.
+  void commit_row(VertexId v, std::span<const double> row);
+
+  [[nodiscard]] double total() const noexcept;
+  [[nodiscard]] double vertex_total(VertexId v) const noexcept;
+
+  [[nodiscard]] std::uint32_t num_colorsets() const noexcept {
+    return num_colorsets_;
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept;
+
+  /// Vertices with at least one count (selectivity statistics).
+  [[nodiscard]] VertexId num_active_vertices() const noexcept;
+
+ private:
+  VertexId n_;
+  std::uint32_t num_colorsets_;
+  std::vector<std::unique_ptr<double[]>> rows_;
+};
+
+}  // namespace fascia

@@ -1,0 +1,40 @@
+#include "dp/table_naive.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/mem_tracker.hpp"
+
+namespace fascia {
+
+NaiveTable::NaiveTable(VertexId n, std::uint32_t num_colorsets)
+    : n_(n), num_colorsets_(num_colorsets) {
+  // First touch happens on the allocating thread; the counter's
+  // inner-parallel mode relies on commit_row's writes for page
+  // placement, which matches the paper's NUMA-aware initialization in
+  // spirit (a single-socket container cannot exercise it).
+  data_.assign(static_cast<std::size_t>(n_) * num_colorsets_, 0.0);
+  MemTracker::add(bytes());
+}
+
+NaiveTable::~NaiveTable() { MemTracker::sub(bytes()); }
+
+void NaiveTable::commit_row(VertexId v, std::span<const double> row) noexcept {
+  std::memcpy(data_.data() + static_cast<std::size_t>(v) * num_colorsets_,
+              row.data(), num_colorsets_ * sizeof(double));
+}
+
+double NaiveTable::total() const noexcept {
+  double sum = 0.0;
+  for (double x : data_) sum += x;
+  return sum;
+}
+
+double NaiveTable::vertex_total(VertexId v) const noexcept {
+  const double* row = data_.data() + static_cast<std::size_t>(v) * num_colorsets_;
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < num_colorsets_; ++i) sum += row[i];
+  return sum;
+}
+
+}  // namespace fascia

@@ -1,0 +1,45 @@
+#pragma once
+// Dense count table: n x C(k,h) doubles, all initialized.  This is the
+// paper's naive baseline: no per-vertex existence tracking, so
+// has_vertex() is constant true and the DP cannot skip empty vertices.
+
+#include <span>
+#include <vector>
+
+#include "dp/count_table.hpp"
+
+namespace fascia {
+
+class NaiveTable {
+ public:
+  NaiveTable(VertexId n, std::uint32_t num_colorsets);
+  ~NaiveTable();
+
+  NaiveTable(const NaiveTable&) = delete;
+  NaiveTable& operator=(const NaiveTable&) = delete;
+
+  [[nodiscard]] bool has_vertex(VertexId) const noexcept { return true; }
+
+  [[nodiscard]] double get(VertexId v, ColorsetIndex idx) const noexcept {
+    return data_[static_cast<std::size_t>(v) * num_colorsets_ + idx];
+  }
+
+  void commit_row(VertexId v, std::span<const double> row) noexcept;
+
+  [[nodiscard]] double total() const noexcept;
+  [[nodiscard]] double vertex_total(VertexId v) const noexcept;
+
+  [[nodiscard]] std::uint32_t num_colorsets() const noexcept {
+    return num_colorsets_;
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return data_.size() * sizeof(double);
+  }
+
+ private:
+  VertexId n_;
+  std::uint32_t num_colorsets_;
+  std::vector<double> data_;
+};
+
+}  // namespace fascia

@@ -1,0 +1,201 @@
+#include "exact/backtrack.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "treelet/canonical.hpp"
+
+namespace fascia::exact {
+
+namespace {
+
+/// BFS order of template vertices from a chosen start, with for each
+/// vertex the list of earlier-ordered template neighbors (adjacency
+/// constraints to check during extension).  Works for any template
+/// type exposing size()/neighbors()/labels (trees and mixed).
+struct MatchPlan {
+  std::vector<int> order;                      ///< template vertices
+  std::vector<int> anchor;                     ///< earlier nbr used to extend
+  std::vector<std::vector<int>> back_edges;    ///< other earlier nbrs
+};
+
+template <class TemplateT>
+MatchPlan make_plan(const TemplateT& tmpl, int start) {
+  MatchPlan plan;
+  std::vector<char> placed(static_cast<std::size_t>(tmpl.size()), 0);
+  std::vector<int> position(static_cast<std::size_t>(tmpl.size()), -1);
+  plan.order.push_back(start);
+  placed[static_cast<std::size_t>(start)] = 1;
+  position[static_cast<std::size_t>(start)] = 0;
+  for (std::size_t i = 0; i < plan.order.size(); ++i) {
+    for (int u : tmpl.neighbors(plan.order[i])) {
+      if (!placed[static_cast<std::size_t>(u)]) {
+        placed[static_cast<std::size_t>(u)] = 1;
+        position[static_cast<std::size_t>(u)] =
+            static_cast<int>(plan.order.size());
+        plan.order.push_back(u);
+      }
+    }
+  }
+  plan.anchor.assign(plan.order.size(), -1);
+  plan.back_edges.assign(plan.order.size(), {});
+  for (std::size_t pos = 1; pos < plan.order.size(); ++pos) {
+    const int tv = plan.order[pos];
+    for (int u : tmpl.neighbors(tv)) {
+      const int up = position[static_cast<std::size_t>(u)];
+      if (up < static_cast<int>(pos)) {
+        if (plan.anchor[pos] < 0) {
+          plan.anchor[pos] = up;  // position (not vertex) of the anchor
+        } else {
+          plan.back_edges[pos].push_back(up);
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+/// Counts injective extensions of a partial map where position 0 is
+/// pinned to `root_image`.
+template <class TemplateT>
+double count_from(const Graph& graph, const TemplateT& tmpl,
+                  const MatchPlan& plan, VertexId root_image,
+                  std::vector<VertexId>& image, std::vector<char>& used) {
+  struct State {
+    double total = 0.0;
+  } state;
+
+  const auto k = plan.order.size();
+  // Iterative DFS would obscure the logic; template sizes are <= 16 so
+  // recursion depth is trivially safe.
+  auto recurse = [&](auto&& self, std::size_t pos) -> void {
+    if (pos == k) {
+      state.total += 1.0;
+      return;
+    }
+    const int tv = plan.order[pos];
+    const VertexId anchor_image =
+        image[static_cast<std::size_t>(plan.anchor[pos])];
+    for (VertexId v : graph.neighbors(anchor_image)) {
+      if (used[static_cast<std::size_t>(v)]) continue;
+      if (tmpl.has_labels() && graph.has_labels() &&
+          tmpl.label(tv) != graph.label(v)) {
+        continue;
+      }
+      bool consistent = true;
+      for (int back_pos : plan.back_edges[pos]) {
+        if (!graph.has_edge(image[static_cast<std::size_t>(back_pos)], v)) {
+          consistent = false;
+          break;
+        }
+      }
+      if (!consistent) continue;
+      image[pos] = v;
+      used[static_cast<std::size_t>(v)] = 1;
+      self(self, pos + 1);
+      used[static_cast<std::size_t>(v)] = 0;
+    }
+  };
+
+  if (tmpl.has_labels() && graph.has_labels() &&
+      tmpl.label(plan.order[0]) != graph.label(root_image)) {
+    return 0.0;
+  }
+  image[0] = root_image;
+  used[static_cast<std::size_t>(root_image)] = 1;
+  recurse(recurse, 1);
+  used[static_cast<std::size_t>(root_image)] = 0;
+  return state.total;
+}
+
+template <class TemplateT>
+double total_maps(const Graph& graph, const TemplateT& tmpl, int start,
+                  std::vector<double>* per_root) {
+  const MatchPlan plan = make_plan(tmpl, start);
+  const VertexId n = graph.num_vertices();
+  double total = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+  {
+    std::vector<VertexId> image(plan.order.size(), -1);
+    std::vector<char> used(static_cast<std::size_t>(n), 0);
+    double local = 0.0;
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic, 16)
+#endif
+    for (VertexId v = 0; v < n; ++v) {
+      const double maps = count_from(graph, tmpl, plan, v, image, used);
+      local += maps;
+      if (per_root != nullptr) {
+        (*per_root)[static_cast<std::size_t>(v)] = maps;
+      }
+    }
+#ifdef _OPENMP
+#pragma omp atomic
+#endif
+    total += local;
+  }
+  return total;
+}
+
+/// Shared front door for both template kinds.
+template <class TemplateT>
+double count_maps_impl(const Graph& graph, const TemplateT& tmpl) {
+  if (tmpl.size() == 1) {
+    if (!tmpl.has_labels() || !graph.has_labels()) {
+      return static_cast<double>(graph.num_vertices());
+    }
+    double matches = 0.0;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (graph.label(v) == tmpl.label(0)) matches += 1.0;
+    }
+    return matches;
+  }
+  return total_maps(graph, tmpl, 0, nullptr);
+}
+
+}  // namespace
+
+double count_maps(const Graph& graph, const TreeTemplate& tmpl) {
+  return count_maps_impl(graph, tmpl);
+}
+
+double count_embeddings(const Graph& graph, const TreeTemplate& tmpl) {
+  return count_maps(graph, tmpl) /
+         static_cast<double>(automorphisms(tmpl));
+}
+
+double count_maps(const Graph& graph, const MixedTemplate& tmpl) {
+  return count_maps_impl(graph, tmpl);
+}
+
+double count_embeddings(const Graph& graph, const MixedTemplate& tmpl) {
+  return count_maps(graph, tmpl) /
+         static_cast<double>(mixed_automorphisms(tmpl));
+}
+
+std::vector<double> per_vertex_counts(const Graph& graph,
+                                      const TreeTemplate& tmpl,
+                                      int orbit_vertex) {
+  std::vector<double> per_root(static_cast<std::size_t>(graph.num_vertices()),
+                               0.0);
+  if (tmpl.size() == 1) {
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const bool match = !tmpl.has_labels() || !graph.has_labels() ||
+                         graph.label(v) == tmpl.label(0);
+      per_root[static_cast<std::size_t>(v)] = match ? 1.0 : 0.0;
+    }
+    return per_root;
+  }
+  total_maps(graph, tmpl, orbit_vertex, &per_root);
+  // Rooted maps through v count each occurrence once per stabilizer
+  // element of the orbit vertex.
+  const double stab =
+      static_cast<double>(vertex_stabilizer(tmpl, orbit_vertex));
+  for (double& count : per_root) count /= stab;
+  return per_root;
+}
+
+}  // namespace fascia::exact

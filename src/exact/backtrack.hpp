@@ -1,0 +1,43 @@
+#pragma once
+// Exact subgraph counting by exhaustive backtracking — the paper's
+// "naive exact count implementation" (§V-C) and the ground truth for
+// every error-analysis experiment (Figs. 10-12, 16).
+//
+// Counts injective maps of the template into the graph by extending a
+// BFS-ordered partial assignment, then divides by |Aut(T)| to get
+// non-induced occurrence counts.  Runtime is O(n · d^(k-1)) — fine on
+// the paper's small networks (PPI, circuit), days on Portland-scale
+// inputs, which is exactly the gap FASCIA exists to close.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "treelet/mixed_template.hpp"
+#include "treelet/tree_template.hpp"
+
+namespace fascia::exact {
+
+/// Number of non-induced occurrences (vertex-set copies × their
+/// distinct embeddings / alpha — i.e. injective maps / alpha).
+/// Labels respected when both sides carry them.
+double count_embeddings(const Graph& graph, const TreeTemplate& tmpl);
+
+/// Injective map count (not divided by automorphisms); exposed for
+/// tests that cross-check the colorful DP.
+double count_maps(const Graph& graph, const TreeTemplate& tmpl);
+
+/// Exact graphlet degrees: out[v] = number of occurrences in which v
+/// plays the role of `orbit_vertex` (or any vertex in its orbit).
+std::vector<double> per_vertex_counts(const Graph& graph,
+                                      const TreeTemplate& tmpl,
+                                      int orbit_vertex);
+
+// ---- mixed (edge + triangle block) templates -----------------------------
+// Same semantics; the matcher checks *all* template edges (anchor +
+// back edges), so cycles cost nothing extra.
+
+double count_maps(const Graph& graph, const MixedTemplate& tmpl);
+double count_embeddings(const Graph& graph, const MixedTemplate& tmpl);
+
+}  // namespace fascia::exact

@@ -1,0 +1,185 @@
+#include "exact/pattern_growth.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "treelet/canonical.hpp"
+#include "treelet/free_trees.hpp"
+
+namespace fascia::exact {
+
+namespace {
+
+/// A candidate extension: graph edge (inside -> outside) plus the
+/// position of the inside endpoint in the partial subtree.
+struct Candidate {
+  VertexId outside;
+  int inside_position;
+};
+
+class Enumerator {
+ public:
+  Enumerator(const Graph& graph, int k) : graph_(graph), k_(k) {
+    trees_ = all_free_trees(k);
+    for (std::size_t i = 0; i < trees_.size(); ++i) {
+      shape_index_.emplace(ahu_free(trees_[i]), i);
+    }
+    counts_.assign(trees_.size(), 0.0);
+  }
+
+  void run() {
+    const VertexId n = graph_.num_vertices();
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+    {
+      Workspace ws(k_, trees_.size());
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic, 16)
+#endif
+      for (VertexId start = 0; start < n; ++start) {
+        ws.vertices.clear();
+        ws.vertices.push_back(start);
+        ws.parent.clear();
+        ws.parent.push_back(-1);
+        ws.candidates.clear();
+        for (VertexId u : graph_.neighbors(start)) {
+          // Min-vertex rooting: the subtree's smallest vertex is the
+          // start, so candidates never dip below it.
+          if (u > start) ws.candidates.push_back({u, 0});
+        }
+        grow(ws, 0, ws.candidates.size());
+      }
+#ifdef _OPENMP
+#pragma omp critical(fascia_pattern_growth_merge)
+#endif
+      {
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+          counts_[i] += ws.counts[i];
+        }
+        subtrees_ += ws.subtrees;
+      }
+    }
+  }
+
+  [[nodiscard]] PatternGrowthResult result() && {
+    PatternGrowthResult out;
+    out.counts = std::move(counts_);
+    out.trees = std::move(trees_);
+    out.subtrees_visited = subtrees_;
+    return out;
+  }
+
+ private:
+  struct Workspace {
+    Workspace(int k, std::size_t num_shapes) : counts(num_shapes, 0.0) {
+      vertices.reserve(static_cast<std::size_t>(k));
+      parent.reserve(static_cast<std::size_t>(k));
+    }
+    std::vector<VertexId> vertices;     ///< partial subtree, growth order
+    std::vector<int> parent;            ///< parent position per vertex
+    std::vector<Candidate> candidates;  ///< shared DFS stack (see grow)
+    /// Packed parent vector -> shape index (4 bits per slot suffices
+    /// for k <= kMaxTemplateSize): parent sequences on < k positions
+    /// number at most (k-1)!, so this cache saturates immediately and
+    /// classification becomes one hash lookup per subtree.
+    std::unordered_map<std::uint64_t, std::size_t> shape_cache;
+    std::vector<double> counts;
+    double subtrees = 0.0;
+  };
+
+  /// Binary-partition growth over the shared candidate stack: the
+  /// active window is [begin, end) with end == candidates.size() on
+  /// entry.  Candidate i is included (its new edges appended, window
+  /// [i+1, new_end)) or skipped permanently within this branch.  The
+  /// stack is restored before returning, so the caller's window
+  /// survives — this replaces a frontier copy per recursion step with
+  /// O(1) amortized bookkeeping.
+  void grow(Workspace& ws, std::size_t begin, std::size_t end) {
+    if (static_cast<int>(ws.vertices.size()) == k_) {
+      classify(ws);
+      return;
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      const Candidate cand = ws.candidates[i];
+      // The outside vertex may have been absorbed by an earlier
+      // include on this path; a second edge to it would close a cycle.
+      if (std::find(ws.vertices.begin(), ws.vertices.end(), cand.outside) !=
+          ws.vertices.end()) {
+        continue;
+      }
+      ws.vertices.push_back(cand.outside);
+      ws.parent.push_back(cand.inside_position);
+
+      const int new_position = static_cast<int>(ws.vertices.size()) - 1;
+      const VertexId root = ws.vertices.front();
+      for (VertexId u : graph_.neighbors(cand.outside)) {
+        if (u <= root) continue;
+        if (std::find(ws.vertices.begin(), ws.vertices.end(), u) !=
+            ws.vertices.end()) {
+          continue;
+        }
+        ws.candidates.push_back({u, new_position});
+      }
+      grow(ws, i + 1, ws.candidates.size());
+      ws.candidates.resize(end);
+
+      ws.vertices.pop_back();
+      ws.parent.pop_back();
+    }
+  }
+
+  void classify(Workspace& ws) {
+    ws.subtrees += 1.0;
+    std::uint64_t key = 0;
+    for (std::size_t i = 1; i < ws.parent.size(); ++i) {
+      key = (key << 4) | static_cast<std::uint64_t>(ws.parent[i]);
+    }
+    auto cached = ws.shape_cache.find(key);
+    if (cached == ws.shape_cache.end()) {
+      TreeTemplate::EdgeList edges;
+      for (std::size_t i = 1; i < ws.parent.size(); ++i) {
+        edges.emplace_back(ws.parent[i], static_cast<int>(i));
+      }
+      const TreeTemplate shape = TreeTemplate::from_edges(k_, edges);
+      const auto it = shape_index_.find(ahu_free(shape));
+      if (it == shape_index_.end()) {
+        throw std::logic_error("pattern_growth: unknown tree shape");
+      }
+      cached = ws.shape_cache.emplace(key, it->second).first;
+    }
+    ws.counts[cached->second] += 1.0;
+  }
+
+  const Graph& graph_;
+  int k_;
+  std::vector<TreeTemplate> trees_;
+  std::map<std::string, std::size_t> shape_index_;
+  std::vector<double> counts_;
+  double subtrees_ = 0.0;
+};
+
+}  // namespace
+
+PatternGrowthResult count_all_trees_by_growth(const Graph& graph, int k) {
+  if (k < 1 || k > kMaxTemplateSize) {
+    throw std::invalid_argument("count_all_trees_by_growth: bad k");
+  }
+  if (k == 1) {
+    PatternGrowthResult out;
+    out.trees = all_free_trees(1);
+    out.counts = {static_cast<double>(graph.num_vertices())};
+    out.subtrees_visited = out.counts[0];
+    return out;
+  }
+  Enumerator enumerator(graph, k);
+  enumerator.run();
+  return std::move(enumerator).result();
+}
+
+}  // namespace fascia::exact

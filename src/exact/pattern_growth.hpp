@@ -1,0 +1,46 @@
+#pragma once
+// Pattern-growth exact enumeration — our stand-in for MODA (§V-C).
+//
+// MODA (Omidi et al. 2009) accelerates motif search by reusing the
+// mappings of smaller patterns when counting larger ones via an
+// "expansion tree" of templates.  We reproduce the idea for tree
+// motifs: instead of running an independent backtracking search per
+// template (the naive baseline), ONE traversal enumerates every
+// k-vertex subtree of the graph exactly once — growing each partial
+// subtree edge by edge — and classifies its shape by canonical form.
+// All C(k) tree templates are therefore counted simultaneously,
+// sharing all partial-mapping work, which is MODA's essential
+// advantage over naive search.  Like MODA (and unlike FASCIA) it is
+// exact and enumerative, so it cannot scale to large dense graphs —
+// the §V-C comparison bench shows exactly that crossover.
+//
+// Dedup strategy: classic binary partition.  At each step the first
+// frontier edge e is either *included* (recurse with e's endpoint
+// added) or *excluded forever within this branch*; every k-vertex
+// subtree containing the current partial tree is reached exactly once.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "treelet/tree_template.hpp"
+
+namespace fascia::exact {
+
+struct PatternGrowthResult {
+  /// Occurrence count per free tree of size k, aligned with
+  /// all_free_trees(k) order.
+  std::vector<double> counts;
+  std::vector<TreeTemplate> trees;
+  /// Total subtrees (of the graph) visited — i.e. Σ counts·alpha_i is
+  /// NOT this; a graph subtree is one vertex-set-with-edges object.
+  double subtrees_visited = 0.0;
+};
+
+/// Enumerates all k-vertex subtrees of `graph` and tallies them per
+/// template shape.  Exact; intended for small/medium graphs.
+PatternGrowthResult count_all_trees_by_growth(const Graph& graph, int k);
+
+}  // namespace fascia::exact

@@ -1,0 +1,102 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fascia {
+
+Graph build_graph(VertexId n, const EdgeList& edges) {
+  if (n < 0) throw std::invalid_argument("build_graph: negative n");
+
+  // Normalize to (min, max) orientation, drop self loops, sort, dedup.
+  EdgeList cleaned;
+  cleaned.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || v < 0 || u >= n || v >= n) {
+      throw std::invalid_argument("build_graph: endpoint out of range");
+    }
+    if (u == v) continue;
+    cleaned.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(cleaned.begin(), cleaned.end());
+  cleaned.erase(std::unique(cleaned.begin(), cleaned.end()), cleaned.end());
+
+  // Degree counting pass, then prefix sum, then fill.
+  std::vector<EdgeCount> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : cleaned) {
+    ++offsets[static_cast<std::size_t>(u) + 1];
+    ++offsets[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> adjacency(static_cast<std::size_t>(offsets.back()));
+  std::vector<EdgeCount> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : cleaned) {
+    adjacency[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    adjacency[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+  // Edges were processed in sorted (u, v) order, so each vertex's
+  // neighbor list is already ascending for the 'u' side but not for the
+  // 'v' side; sort each list to restore the invariant.
+  for (VertexId v = 0; v < n; ++v) {
+    auto begin = adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[static_cast<std::size_t>(v)]);
+    auto end = adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[static_cast<std::size_t>(v) + 1]);
+    std::sort(begin, end);
+  }
+
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+Graph build_graph(const EdgeList& edges) {
+  VertexId n = 0;
+  for (const auto& [u, v] : edges) n = std::max({n, u + 1, v + 1});
+  return build_graph(n, edges);
+}
+
+EdgeList edge_list(const Graph& graph) {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(graph.num_edges()));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId u : graph.neighbors(v)) {
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  return edges;
+}
+
+Graph induced_subgraph(const Graph& graph, const std::vector<VertexId>& keep,
+                       std::vector<VertexId>* old_to_new) {
+  std::vector<VertexId> map(static_cast<std::size_t>(graph.num_vertices()), -1);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const VertexId v = keep[i];
+    if (v < 0 || v >= graph.num_vertices()) {
+      throw std::invalid_argument("induced_subgraph: vertex out of range");
+    }
+    if (map[static_cast<std::size_t>(v)] != -1) {
+      throw std::invalid_argument("induced_subgraph: duplicate vertex");
+    }
+    map[static_cast<std::size_t>(v)] = static_cast<VertexId>(i);
+  }
+
+  EdgeList edges;
+  for (VertexId v : keep) {
+    for (VertexId u : graph.neighbors(v)) {
+      const VertexId nv = map[static_cast<std::size_t>(v)];
+      const VertexId nu = map[static_cast<std::size_t>(u)];
+      if (nu != -1 && nv < nu) edges.emplace_back(nv, nu);
+    }
+  }
+  Graph sub = build_graph(static_cast<VertexId>(keep.size()), edges);
+
+  if (graph.has_labels()) {
+    std::vector<std::uint8_t> labels(keep.size());
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+      labels[i] = graph.label(keep[i]);
+    }
+    sub.set_labels(std::move(labels), graph.num_label_values());
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return sub;
+}
+
+}  // namespace fascia

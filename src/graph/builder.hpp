@@ -1,0 +1,36 @@
+#pragma once
+// Edge-list -> CSR construction.
+//
+// Accepts arbitrary (possibly duplicated, self-looped, unordered) edge
+// lists and produces a clean symmetric CSR Graph.  Used by the I/O
+// layer, every generator, and tests that build graphs by hand.
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fascia {
+
+using Edge = std::pair<VertexId, VertexId>;
+using EdgeList = std::vector<Edge>;
+
+/// Builds an undirected graph over vertices [0, n).  Self loops are
+/// dropped; duplicate edges (in either orientation) are merged.
+/// Endpoints outside [0, n) throw std::invalid_argument.
+Graph build_graph(VertexId n, const EdgeList& edges);
+
+/// Like build_graph but derives n = 1 + max endpoint.
+Graph build_graph(const EdgeList& edges);
+
+/// Extracts the edge list back out of a graph (u < v per edge, sorted).
+EdgeList edge_list(const Graph& graph);
+
+/// Returns the subgraph induced on `keep` (any order, no duplicates),
+/// with vertices relabeled densely in the order given.  `old_to_new`,
+/// when non-null, receives the mapping (-1 for dropped vertices).
+/// Labels are carried over.
+Graph induced_subgraph(const Graph& graph, const std::vector<VertexId>& keep,
+                       std::vector<VertexId>* old_to_new = nullptr);
+
+}  // namespace fascia

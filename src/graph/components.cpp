@@ -1,0 +1,63 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace fascia {
+
+std::vector<VertexId> connected_components(const Graph& graph,
+                                           VertexId& num_components) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> component(static_cast<std::size_t>(n), -1);
+  std::vector<VertexId> frontier;
+  VertexId next_id = 0;
+
+  for (VertexId source = 0; source < n; ++source) {
+    if (component[static_cast<std::size_t>(source)] != -1) continue;
+    component[static_cast<std::size_t>(source)] = next_id;
+    frontier.clear();
+    frontier.push_back(source);
+    while (!frontier.empty()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      for (VertexId u : graph.neighbors(v)) {
+        if (component[static_cast<std::size_t>(u)] == -1) {
+          component[static_cast<std::size_t>(u)] = next_id;
+          frontier.push_back(u);
+        }
+      }
+    }
+    ++next_id;
+  }
+  num_components = next_id;
+  return component;
+}
+
+Graph largest_component(const Graph& graph) {
+  VertexId num_components = 0;
+  const auto component = connected_components(graph, num_components);
+  if (num_components <= 1) {
+    // Already connected (or empty): rebuild cheaply via induced subgraph
+    // to keep behaviour uniform.
+    std::vector<VertexId> all(static_cast<std::size_t>(graph.num_vertices()));
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<VertexId>(i);
+    }
+    return induced_subgraph(graph, all);
+  }
+
+  std::vector<EdgeCount> size(static_cast<std::size_t>(num_components), 0);
+  for (VertexId c : component) ++size[static_cast<std::size_t>(c)];
+  const auto best = static_cast<VertexId>(std::distance(
+      size.begin(), std::max_element(size.begin(), size.end())));
+
+  std::vector<VertexId> keep;
+  keep.reserve(static_cast<std::size_t>(size[static_cast<std::size_t>(best)]));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (component[static_cast<std::size_t>(v)] == best) keep.push_back(v);
+  }
+  return induced_subgraph(graph, keep);
+}
+
+}  // namespace fascia

@@ -1,0 +1,21 @@
+#pragma once
+// Connected components.  The paper analyzes only the largest connected
+// component of every network (§IV-A); all dataset constructors funnel
+// through largest_component().
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fascia {
+
+/// Per-vertex component id (0-based, dense); returns the number of
+/// components through `num_components`.
+std::vector<VertexId> connected_components(const Graph& graph,
+                                           VertexId& num_components);
+
+/// The subgraph induced on the largest connected component, densely
+/// relabeled (labels carried over).  Ties broken by lowest component id.
+Graph largest_component(const Graph& graph);
+
+}  // namespace fascia

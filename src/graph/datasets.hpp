@@ -1,0 +1,53 @@
+#pragma once
+// Named dataset registry reproducing the paper's Table I.
+//
+// Every bench pulls its input network from here so the substitution
+// policy (DESIGN.md §3) lives in exactly one place.  Each name maps to
+// the paper's dataset, its Table I target sizes, and the generator that
+// stands in for it.  `scale` in (0, 1] shrinks n and m proportionally
+// (keeping average degree) so the full figure sweeps finish on a small
+// container; --full runs pass scale = 1.  The tiny networks (PPI,
+// circuit) are always generated at full size.
+//
+// When a real edge-list file is available, `load_or_make` reads it
+// instead, restoring the paper's exact inputs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fascia {
+
+struct DatasetSpec {
+  std::string name;         ///< registry key, e.g. "enron"
+  std::string paper_name;   ///< Table I row, e.g. "Enron"
+  VertexId target_n;        ///< Table I vertex count
+  EdgeCount target_m;       ///< Table I edge count
+  double target_avg_degree; ///< Table I d_avg
+  EdgeCount target_max_degree;  ///< Table I d_max
+  bool scalable;            ///< false: always generated at full size
+  std::string topology;     ///< generator family used as the stand-in
+};
+
+/// All ten Table I rows, in paper order.
+const std::vector<DatasetSpec>& dataset_specs();
+
+/// Spec lookup by registry key; throws std::invalid_argument on
+/// unknown names.
+const DatasetSpec& dataset_spec(const std::string& name);
+
+/// Generates the stand-in network: the spec's generator at `scale`,
+/// reduced to its largest connected component (as the paper does).
+/// Deterministic in (name, scale, seed).  `spec.scalable` is advisory
+/// (benches run non-scalable datasets at 1.0 by default); any scale in
+/// (0, 1] is honored.
+Graph make_dataset(const std::string& name, double scale, std::uint64_t seed);
+
+/// If `file` is non-empty, loads that edge list (LCC-reduced);
+/// otherwise defers to make_dataset.
+Graph load_or_make(const std::string& name, const std::string& file,
+                   double scale, std::uint64_t seed);
+
+}  // namespace fascia

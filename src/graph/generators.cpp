@@ -1,0 +1,341 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace fascia {
+
+namespace {
+
+/// Packs an undirected edge into one u64 for hash-set dedup during
+/// rejection sampling (u < v always).
+std::uint64_t edge_key(VertexId u, VertexId v) noexcept {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+/// Walker alias method for O(1) draws from a fixed discrete
+/// distribution; used by the Chung-Lu and contact-network generators
+/// where millions of weighted endpoint draws are needed.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights) {
+    const std::size_t n = weights.size();
+    if (n == 0) throw std::invalid_argument("DiscreteSampler: empty weights");
+    prob_.resize(n);
+    alias_.resize(n);
+    double total = 0.0;
+    for (double w : weights) total += w;
+
+    std::vector<double> scaled(n);
+    std::vector<std::uint32_t> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::uint32_t s = small.back();
+      small.pop_back();
+      const std::uint32_t l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] -= 1.0 - scaled[s];
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (std::uint32_t s : small) prob_[s] = 1.0;
+    for (std::uint32_t l : large) prob_[l] = 1.0;
+  }
+
+  std::uint32_t draw(Xoshiro256& rng) const noexcept {
+    const auto i = rng.bounded(static_cast<std::uint32_t>(prob_.size()));
+    return rng.uniform() < prob_[i] ? i : alias_[i];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace
+
+Graph erdos_renyi_gnm(VertexId n, EdgeCount m, std::uint64_t seed) {
+  if (n < 2) return build_graph(n, {});
+  const double max_edges =
+      0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  m = std::min<EdgeCount>(m, static_cast<EdgeCount>(max_edges));
+
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  while (static_cast<EdgeCount>(edges.size()) < m) {
+    const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint32_t>(n)));
+    const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint32_t>(n)));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) edges.emplace_back(u, v);
+  }
+  return build_graph(n, edges);
+}
+
+Graph erdos_renyi_gnp(VertexId n, double p, std::uint64_t seed) {
+  if (p <= 0.0 || n < 2) return build_graph(n, {});
+  if (p >= 1.0) p = 1.0;
+
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  // Geometric skipping over the n(n-1)/2 pair slots: slots are visited
+  // in increasing order, so the slot -> (row, col) decode can walk rows
+  // forward monotonically (amortized O(1) per sampled edge).
+  const double log_q = std::log1p(-p);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1) / 2;
+  std::uint64_t slot = 0;
+  std::uint64_t row_start = 0;
+  VertexId row = 0;
+  while (true) {
+    const double r = rng.uniform();
+    const auto skip = (p >= 1.0)
+                          ? std::uint64_t{0}
+                          : static_cast<std::uint64_t>(
+                                std::floor(std::log1p(-r) / log_q));
+    slot += skip;
+    if (slot >= total) break;
+    // Row u owns (n-1-u) slots: pairs (u, u+1) ... (u, n-1).
+    while (row_start + static_cast<std::uint64_t>(n - 1 - row) <= slot) {
+      row_start += static_cast<std::uint64_t>(n - 1 - row);
+      ++row;
+    }
+    const auto v = static_cast<VertexId>(
+        static_cast<std::uint64_t>(row) + 1 + (slot - row_start));
+    edges.emplace_back(row, v);
+    ++slot;
+  }
+  return build_graph(n, edges);
+}
+
+Graph chung_lu(VertexId n, EdgeCount target_m, double gamma,
+               EdgeCount max_degree_target, std::uint64_t seed) {
+  if (n < 2 || target_m <= 0) return build_graph(n, {});
+  if (gamma <= 1.0) throw std::invalid_argument("chung_lu: gamma must be > 1");
+
+  // Truncated power-law weights: w_i ~ i^{-1/(gamma-1)}, scaled to sum
+  // to 2m, then capped at max_degree_target and rescaled once.
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  const double exponent = -1.0 / (gamma - 1.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), exponent);
+    sum += weights[i];
+  }
+  const double scale = 2.0 * static_cast<double>(target_m) / sum;
+  for (double& w : weights) {
+    w = std::min(w * scale, static_cast<double>(max_degree_target));
+  }
+
+  DiscreteSampler sampler(weights);
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(target_m) * 2);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(target_m));
+
+  // Rejection-sample distinct weighted pairs.  Cap attempts so heavily
+  // saturated parameter choices terminate (slightly under target m).
+  const EdgeCount max_attempts = target_m * 20;
+  EdgeCount attempts = 0;
+  while (static_cast<EdgeCount>(edges.size()) < target_m &&
+         attempts++ < max_attempts) {
+    const auto u = static_cast<VertexId>(sampler.draw(rng));
+    const auto v = static_cast<VertexId>(sampler.draw(rng));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) edges.emplace_back(u, v);
+  }
+  return build_graph(n, edges);
+}
+
+Graph grid_road(VertexId n_target, double keep_fraction, std::uint64_t seed) {
+  const auto side = static_cast<VertexId>(
+      std::llround(std::ceil(std::sqrt(static_cast<double>(n_target)))));
+  const VertexId n = side * side;
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(2) * static_cast<std::size_t>(n));
+  for (VertexId r = 0; r < side; ++r) {
+    for (VertexId c = 0; c < side; ++c) {
+      const VertexId v = r * side + c;
+      if (c + 1 < side && rng.uniform() < keep_fraction) {
+        edges.emplace_back(v, v + 1);
+      }
+      if (r + 1 < side && rng.uniform() < keep_fraction) {
+        edges.emplace_back(v, v + side);
+      }
+    }
+  }
+  return build_graph(n, edges);
+}
+
+Graph contact_network(VertexId n_people, double target_avg_degree,
+                      std::uint64_t seed) {
+  if (n_people < 2) return build_graph(n_people, {});
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+
+  // --- households: contiguous blocks of size 2-6 (mean 4), full cliques.
+  double household_degree_sum = 0.0;
+  VertexId begin = 0;
+  while (begin < n_people) {
+    const auto size = static_cast<VertexId>(
+        std::min<std::uint32_t>(2 + rng.bounded(5),
+                                static_cast<std::uint32_t>(n_people - begin)));
+    for (VertexId i = 0; i < size; ++i) {
+      for (VertexId j = i + 1; j < size; ++j) {
+        edges.emplace_back(begin + i, begin + j);
+      }
+    }
+    household_degree_sum += static_cast<double>(size) *
+                            static_cast<double>(size - 1);
+    begin += size;
+  }
+  const double household_avg =
+      household_degree_sum / static_cast<double>(n_people);
+
+  // --- locations: heavy-tailed popularity; each person attends two.
+  const auto num_locations =
+      std::max<VertexId>(8, n_people / 50);
+  std::vector<double> popularity(static_cast<std::size_t>(num_locations));
+  for (std::size_t i = 0; i < popularity.size(); ++i) {
+    popularity[i] = 1.0 / static_cast<double>(i + 1);  // Zipf(1)
+  }
+  DiscreteSampler location_sampler(popularity);
+  std::vector<std::vector<VertexId>> members(
+      static_cast<std::size_t>(num_locations));
+  for (VertexId person = 0; person < n_people; ++person) {
+    // Realistic periphery: some people stay home (degree = household
+    // only), some visit a single location.  This is what gives the
+    // NDSSL-style network its low-degree tail — and what makes the
+    // lazily-allocated DP table pay off on unlabeled templates
+    // (paper Fig. 6).
+    const double roll = rng.uniform();
+    const int visits = roll < 0.12 ? 0 : (roll < 0.40 ? 1 : 2);
+    for (int visit = 0; visit < visits; ++visit) {
+      members[location_sampler.draw(rng)].push_back(person);
+    }
+  }
+
+  // --- contacts: sample pairs inside each location.  The number of
+  // pairs per location is proportional to its membership so busy
+  // locations create hubs; the global constant hits target_avg_degree.
+  const double needed_avg =
+      std::max(0.0, target_avg_degree - household_avg);
+  const double total_pairs =
+      needed_avg * static_cast<double>(n_people) / 2.0;
+  double membership_sum = 0.0;
+  for (const auto& list : members) {
+    membership_sum += static_cast<double>(list.size());
+  }
+  for (const auto& list : members) {
+    if (list.size() < 2) continue;
+    const double share =
+        total_pairs * static_cast<double>(list.size()) / membership_sum;
+    const auto pairs = static_cast<EdgeCount>(std::llround(share));
+    for (EdgeCount p = 0; p < pairs; ++p) {
+      const VertexId u = list[rng.bounded(static_cast<std::uint32_t>(list.size()))];
+      const VertexId v = list[rng.bounded(static_cast<std::uint32_t>(list.size()))];
+      if (u != v) edges.emplace_back(u, v);
+    }
+  }
+  return build_graph(n_people, edges);
+}
+
+Graph near_tree(VertexId n, EdgeCount m, std::uint64_t seed) {
+  if (n < 2) return build_graph(n, {});
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  std::unordered_set<std::uint64_t> seen;
+  for (VertexId v = 1; v < n; ++v) {
+    const auto parent = static_cast<VertexId>(rng.bounded(static_cast<std::uint32_t>(v)));
+    edges.emplace_back(parent, v);
+    seen.insert(edge_key(parent, v));
+  }
+  EdgeCount extra = m - (n - 1);
+  EdgeCount attempts = 0;
+  while (extra > 0 && attempts++ < m * 50) {
+    const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint32_t>(n)));
+    const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint32_t>(n)));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) {
+      edges.emplace_back(u, v);
+      --extra;
+    }
+  }
+  return build_graph(n, edges);
+}
+
+Graph random_tree(VertexId n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (VertexId v = 1; v < n; ++v) {
+    const auto parent = static_cast<VertexId>(rng.bounded(static_cast<std::uint32_t>(v)));
+    edges.emplace_back(parent, v);
+  }
+  return build_graph(n, edges);
+}
+
+Graph rewire_preserving_degrees(const Graph& graph, double swaps_per_edge,
+                                std::uint64_t seed) {
+  EdgeList edges;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId u : graph.neighbors(v)) {
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  if (edges.size() < 2) return build_graph(graph.num_vertices(), edges);
+
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) present.insert(edge_key(u, v));
+
+  Xoshiro256 rng(seed);
+  const auto attempts = static_cast<EdgeCount>(
+      swaps_per_edge * static_cast<double>(edges.size()));
+  for (EdgeCount attempt = 0; attempt < attempts; ++attempt) {
+    const auto i = rng.bounded(static_cast<std::uint32_t>(edges.size()));
+    const auto j = rng.bounded(static_cast<std::uint32_t>(edges.size()));
+    if (i == j) continue;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    // Randomize orientation so both swap patterns are reachable.
+    if (rng.uniform() < 0.5) std::swap(c, d);
+    // Proposed rewiring: (a,b),(c,d) -> (a,d),(c,b).
+    if (a == d || c == b) continue;                      // self loops
+    if (present.count(edge_key(a, d)) != 0) continue;    // duplicates
+    if (present.count(edge_key(c, b)) != 0) continue;
+    present.erase(edge_key(a, b));
+    present.erase(edge_key(c, d));
+    present.insert(edge_key(a, d));
+    present.insert(edge_key(c, b));
+    edges[i] = {std::min(a, d), std::max(a, d)};
+    edges[j] = {std::min(c, b), std::max(c, b)};
+  }
+  Graph rewired = build_graph(graph.num_vertices(), edges);
+  if (graph.has_labels()) {
+    std::vector<std::uint8_t> labels(graph.labels().begin(),
+                                     graph.labels().end());
+    rewired.set_labels(std::move(labels), graph.num_label_values());
+  }
+  return rewired;
+}
+
+}  // namespace fascia

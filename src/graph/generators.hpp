@@ -1,0 +1,69 @@
+#pragma once
+// Synthetic network generators.
+//
+// The paper evaluates on ten concrete datasets (Table I): SNAP social
+// networks, DIP protein-interaction networks, a road network, an
+// ISCAS89 circuit, and the NDSSL Portland synthetic contact network.
+// Those files are not redistributable with this repository, so each
+// topology *class* gets a generator that reproduces the structural
+// features the color-coding DP is sensitive to — size, average degree,
+// degree tail — as documented in DESIGN.md §3.  When real edge lists
+// are available the benches load them instead (see graph/io.hpp).
+//
+// All generators are deterministic in (parameters, seed) and return
+// cleaned CSR graphs (not necessarily connected; callers wanting the
+// paper's setting should pass the result through largest_component()).
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace fascia {
+
+/// G(n, m): exactly m distinct uniform edges (m is clamped to the
+/// maximum possible).  Matches the paper's Erdős–Rényi baseline, which
+/// was "modeled after the size and average degree of the Enron network".
+Graph erdos_renyi_gnm(VertexId n, EdgeCount m, std::uint64_t seed);
+
+/// G(n, p): each pair independently with probability p.  Uses geometric
+/// skipping so the cost is O(n + m), not O(n^2).
+Graph erdos_renyi_gnp(VertexId n, double p, std::uint64_t seed);
+
+/// Chung–Lu expected-degree model with a truncated power-law weight
+/// sequence: heavy-tailed degrees like the social and PPI networks.
+/// `gamma` is the tail exponent (2.0-2.5 typical), `max_degree_target`
+/// caps the largest expected degree (Table I's d_max column).
+Graph chung_lu(VertexId n, EdgeCount target_m, double gamma,
+               EdgeCount max_degree_target, std::uint64_t seed);
+
+/// Road-like network: a sqrt(n) x sqrt(n) grid whose edges are kept
+/// independently with probability `keep_fraction`.  keep ~ 0.7 yields
+/// the PA road network's d_avg ~ 2.8 with d_max <= 4 (paper: 9).
+Graph grid_road(VertexId n_target, double keep_fraction, std::uint64_t seed);
+
+/// Portland-style synthetic social contact network: people grouped
+/// into small households (cliques) and co-located at heavy-tailed
+/// activity locations which contribute random contact edges.  Produces
+/// high average degree (tunable) with a sub-power-law tail, matching
+/// the NDSSL network's d_avg 39.3 / d_max 275 shape.
+Graph contact_network(VertexId n_people, double target_avg_degree,
+                      std::uint64_t seed);
+
+/// Circuit-like near-tree: a random spanning tree plus `m - (n-1)`
+/// extra random edges.  Matches the ISCAS89 s420 profile
+/// (n=252, m=399, d_avg 3.1, d_max 14).
+Graph near_tree(VertexId n, EdgeCount m, std::uint64_t seed);
+
+/// Uniform random recursive tree on n vertices (tests, baselines).
+Graph random_tree(VertexId n, std::uint64_t seed);
+
+/// Degree-preserving randomization by double-edge swaps (the Milo et
+/// al. motif null model, the paper's reference [1]): picks two edges
+/// (a,b), (c,d) and rewires to (a,d), (c,b) when that creates no self
+/// loop or duplicate.  `swaps_per_edge` rounds of m attempted swaps
+/// decorrelate the structure while every vertex keeps its exact
+/// degree.  Deterministic in seed.
+Graph rewire_preserving_degrees(const Graph& graph, double swaps_per_edge,
+                                std::uint64_t seed);
+
+}  // namespace fascia

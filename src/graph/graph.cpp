@@ -1,0 +1,74 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fascia {
+
+Graph::Graph(std::vector<EdgeCount> offsets, std::vector<VertexId> adjacency)
+    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+  if (offsets_.empty()) {
+    throw std::invalid_argument("Graph: offsets must have at least 1 entry");
+  }
+  if (offsets_.front() != 0 ||
+      offsets_.back() != static_cast<EdgeCount>(adjacency_.size())) {
+    throw std::invalid_argument("Graph: offsets do not frame adjacency");
+  }
+  if (!std::is_sorted(offsets_.begin(), offsets_.end())) {
+    throw std::invalid_argument("Graph: offsets must be non-decreasing");
+  }
+}
+
+EdgeCount Graph::max_degree() const noexcept {
+  EdgeCount best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+double Graph::avg_degree() const noexcept {
+  if (num_vertices() == 0) return 0.0;
+  return static_cast<double>(adjacency_.size()) /
+         static_cast<double>(num_vertices());
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
+  if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
+    return false;
+  }
+  // Probe the smaller adjacency list; both are sorted.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void Graph::set_labels(std::vector<std::uint8_t> labels, int num_values) {
+  if (static_cast<VertexId>(labels.size()) != num_vertices()) {
+    throw std::invalid_argument("Graph: label array size != n");
+  }
+  if (num_values < 1 || num_values > 255) {
+    throw std::invalid_argument("Graph: need 1 <= num_values <= 255");
+  }
+  for (std::uint8_t value : labels) {
+    if (value >= num_values) {
+      throw std::invalid_argument("Graph: label value out of range");
+    }
+  }
+  labels_ = std::move(labels);
+  num_label_values_ = num_values;
+}
+
+void Graph::clear_labels() noexcept {
+  labels_.clear();
+  labels_.shrink_to_fit();
+  num_label_values_ = 0;
+}
+
+std::size_t Graph::bytes() const noexcept {
+  return offsets_.size() * sizeof(EdgeCount) +
+         adjacency_.size() * sizeof(VertexId) +
+         labels_.size() * sizeof(std::uint8_t);
+}
+
+}  // namespace fascia

@@ -1,0 +1,73 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fascia {
+
+Graph read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_edge_list: cannot open " + path);
+
+  EdgeList edges;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    long long u = 0, v = 0;
+    if (!(fields >> u >> v)) {
+      throw std::runtime_error("read_edge_list: malformed line " +
+                               std::to_string(line_no) + " in " + path);
+    }
+    if (u < 0 || v < 0 || u > INT32_MAX || v > INT32_MAX) {
+      throw std::runtime_error("read_edge_list: id out of range at line " +
+                               std::to_string(line_no));
+    }
+    edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return build_graph(edges);
+}
+
+void write_edge_list(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_edge_list: cannot open " + path);
+  out << "# " << graph.num_vertices() << ' ' << graph.num_edges() << '\n';
+  for (const auto& [u, v] : edge_list(graph)) {
+    out << u << ' ' << v << '\n';
+  }
+}
+
+void read_labels(Graph& graph, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_labels: cannot open " + path);
+  std::vector<std::uint8_t> labels;
+  labels.reserve(static_cast<std::size_t>(graph.num_vertices()));
+  std::string line;
+  int max_label = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const int value = std::stoi(line);
+    if (value < 0 || value > 254) {
+      throw std::runtime_error("read_labels: label out of range: " + line);
+    }
+    labels.push_back(static_cast<std::uint8_t>(value));
+    max_label = std::max(max_label, value);
+  }
+  graph.set_labels(std::move(labels), max_label + 1);
+}
+
+void write_labels(const Graph& graph, const std::string& path) {
+  if (!graph.has_labels()) {
+    throw std::runtime_error("write_labels: graph has no labels");
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_labels: cannot open " + path);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    out << static_cast<int>(graph.label(v)) << '\n';
+  }
+}
+
+}  // namespace fascia

@@ -1,0 +1,29 @@
+#pragma once
+// Plain-text graph I/O.
+//
+// Format: one "u v" pair per line, '#' or '%' comment lines ignored,
+// whitespace-separated, 0-based ids (SNAP files, which are the paper's
+// data source, parse directly).  Labels: one integer per line, line i
+// labeling vertex i.
+
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+
+namespace fascia {
+
+/// Reads an edge list; throws std::runtime_error on unreadable files or
+/// malformed lines.  The result is cleaned (dedup, no self loops).
+Graph read_edge_list(const std::string& path);
+
+/// Writes "u v" lines (u < v), preceded by a "# n m" comment header.
+void write_edge_list(const Graph& graph, const std::string& path);
+
+/// Reads per-vertex labels and attaches them to the graph.
+/// num_values is derived as 1 + max label.
+void read_labels(Graph& graph, const std::string& path);
+
+void write_labels(const Graph& graph, const std::string& path);
+
+}  // namespace fascia

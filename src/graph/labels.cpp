@@ -1,0 +1,61 @@
+#include "graph/labels.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace fascia {
+
+void assign_random_labels(Graph& graph, int num_values, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> labels(
+      static_cast<std::size_t>(graph.num_vertices()));
+  for (auto& value : labels) {
+    value = static_cast<std::uint8_t>(
+        rng.bounded(static_cast<std::uint32_t>(num_values)));
+  }
+  graph.set_labels(std::move(labels), num_values);
+}
+
+void assign_weighted_labels(Graph& graph, const std::vector<double>& weights,
+                            std::uint64_t seed) {
+  if (weights.empty() || weights.size() > 255) {
+    throw std::invalid_argument("assign_weighted_labels: bad weight count");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("negative label weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("all label weights zero");
+
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> labels(
+      static_cast<std::size_t>(graph.num_vertices()));
+  for (auto& value : labels) {
+    double r = rng.uniform() * total;
+    std::uint8_t chosen = static_cast<std::uint8_t>(weights.size() - 1);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (r < weights[i]) {
+        chosen = static_cast<std::uint8_t>(i);
+        break;
+      }
+      r -= weights[i];
+    }
+    value = chosen;
+  }
+  graph.set_labels(std::move(labels), static_cast<int>(weights.size()));
+}
+
+void assign_demographic_labels(Graph& graph, std::uint64_t seed) {
+  // gender (2) x age group (4): weights are the product marginals.
+  const std::vector<double> age = {0.22, 0.30, 0.33, 0.15};
+  std::vector<double> weights;
+  weights.reserve(8);
+  for (int gender = 0; gender < 2; ++gender) {
+    for (double a : age) weights.push_back(0.5 * a);
+  }
+  assign_weighted_labels(graph, weights, seed);
+}
+
+}  // namespace fascia

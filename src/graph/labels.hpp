@@ -1,0 +1,32 @@
+#pragma once
+// Vertex label assignment for the labeled-template experiments.
+//
+// The paper labels the Portland network with "two genders and four
+// different age groupings for eight total different labels" derived
+// from NDSSL demographic data (§IV-A), and otherwise "assume[s]
+// randomly-assigned labels" (§V-A).  We provide both a uniform random
+// assignment and a demographic-style assignment with realistic
+// marginals (gender ~ 50/50, ages skewed), which is what the Fig. 4
+// bench uses.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fascia {
+
+/// Uniform random labels over [0, num_values).
+void assign_random_labels(Graph& graph, int num_values, std::uint64_t seed);
+
+/// Weighted random labels; weights need not be normalized.
+void assign_weighted_labels(Graph& graph, const std::vector<double>& weights,
+                            std::uint64_t seed);
+
+/// Portland-style 8-label demographic assignment:
+/// label = gender * 4 + age_group, gender ~ Bernoulli(0.5),
+/// age group weights {0.22, 0.30, 0.33, 0.15} (child / young adult /
+/// adult / senior).
+void assign_demographic_labels(Graph& graph, std::uint64_t seed);
+
+}  // namespace fascia

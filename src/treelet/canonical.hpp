@@ -1,0 +1,63 @@
+#pragma once
+// Tree canonicalization, automorphism counting, and vertex orbits.
+//
+// Three consumers:
+//   * the counter divides by alpha = |Aut(T)| when converting colorful
+//     embedding counts to occurrence counts (Alg. 2, line 23),
+//   * the partitioner shares DP tables between subtemplates with equal
+//     rooted canonical form (the paper's rooted-symmetry memory
+//     optimization, §III-C),
+//   * graphlet-degree analysis needs vertex orbits and stabilizer sizes
+//     (§V-F).
+//
+// All of it is AHU (Aho-Hopcroft-Ullman) canonical strings.  For trees,
+// two vertices lie in the same automorphism orbit iff the tree's
+// canonical strings rooted at them are equal, and |Aut| factors over
+// the centroid(s) — both classical facts the tests verify against
+// brute-force permutation search.
+//
+// Labels, when present, participate in the canonical strings, so every
+// function here automatically answers the *label-preserving* question
+// on labeled templates.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "treelet/tree_template.hpp"
+
+namespace fascia {
+
+/// Canonical string of the template rooted at `root`.  Equal strings
+/// <=> rooted-isomorphic (labels respected).
+std::string ahu_rooted(const TreeTemplate& t, int root);
+
+/// Canonical string of a *rooted subtree*: the connected subset
+/// `vertices` of t (must induce a subtree) rooted at `root`.
+/// Used by the partitioner to key subtemplate tables.
+std::string ahu_rooted_subtree(const TreeTemplate& t,
+                               const std::vector<int>& vertices, int root);
+
+/// The 1 or 2 centroid vertices of the tree.
+std::vector<int> centroids(const TreeTemplate& t);
+
+/// Canonical string of the free (unrooted) tree.
+std::string ahu_free(const TreeTemplate& t);
+
+/// |Aut(T, root)|: automorphisms fixing the root.
+std::uint64_t rooted_automorphisms(const TreeTemplate& t, int root);
+
+/// alpha = |Aut(T)| of the free tree.
+std::uint64_t automorphisms(const TreeTemplate& t);
+
+/// Orbit partition: out[v] = smallest vertex in v's automorphism orbit.
+std::vector<int> vertex_orbits(const TreeTemplate& t);
+
+/// |{sigma in Aut(T) : sigma(v) = v ... pointwise on v}| — the
+/// stabilizer size of vertex v; equals |Aut| / |orbit(v)|.
+std::uint64_t vertex_stabilizer(const TreeTemplate& t, int v);
+
+/// Free-tree isomorphism (labels respected).
+bool isomorphic(const TreeTemplate& a, const TreeTemplate& b);
+
+}  // namespace fascia

@@ -1,0 +1,70 @@
+#include "treelet/catalog.hpp"
+
+#include <stdexcept>
+
+namespace fascia {
+
+namespace {
+
+std::vector<CatalogEntry> build_catalog() {
+  std::vector<CatalogEntry> catalog;
+  auto add_tree = [&catalog](const std::string& name, int k,
+                             const TreeTemplate::EdgeList& edges) {
+    catalog.push_back({name, k, false, TreeTemplate::from_edges(k, edges)});
+  };
+
+  add_tree("U3-1", 3, {{0, 1}, {1, 2}});
+  // U3-2: triangle.  TreeTemplate cannot hold a cycle; the entry keeps
+  // P3 as a placeholder and is flagged so callers dispatch to the
+  // triangle counter.
+  catalog.push_back({"U3-2", 3, true, TreeTemplate::path(3)});
+
+  add_tree("U5-1", 5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  // U5-2: "chair"/fork — vertex 1 has degree 3 (the GDD central orbit).
+  add_tree("U5-2", 5, {{0, 1}, {1, 2}, {1, 3}, {3, 4}});
+
+  add_tree("U7-1", 7,
+           {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  // U7-2: spider with three length-2 legs; legs permute freely, giving
+  // the rooted symmetry §III-C exploits.
+  add_tree("U7-2", 7,
+           {{0, 1}, {1, 2}, {0, 3}, {3, 4}, {0, 5}, {5, 6}});
+
+  TreeTemplate::EdgeList path10;
+  for (int v = 0; v + 1 < 10; ++v) path10.emplace_back(v, v + 1);
+  add_tree("U10-1", 10, path10);
+  // U10-2: near-balanced binary tree.
+  add_tree("U10-2", 10,
+           {{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 6},
+            {3, 7}, {3, 8}, {4, 9}});
+
+  TreeTemplate::EdgeList path12;
+  for (int v = 0; v + 1 < 12; ++v) path12.emplace_back(v, v + 1);
+  add_tree("U12-1", 12, path12);
+  // U12-2: two adjacent hubs, each carrying length-2 branches — every
+  // single-edge cut leaves a large, colorset-rich active child, which
+  // is what stresses the partitioning (§V-A).
+  add_tree("U12-2", 12,
+           {{0, 1},
+            {0, 2}, {2, 3}, {0, 4}, {4, 5},
+            {1, 6}, {6, 7}, {1, 8}, {8, 9}, {1, 10}, {10, 11}});
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& template_catalog() {
+  static const std::vector<CatalogEntry> catalog = build_catalog();
+  return catalog;
+}
+
+const CatalogEntry& catalog_entry(const std::string& name) {
+  for (const auto& entry : template_catalog()) {
+    if (entry.name == name) return entry;
+  }
+  throw std::invalid_argument("catalog_entry: unknown template " + name);
+}
+
+int u52_central_vertex() { return 1; }
+
+}  // namespace fascia

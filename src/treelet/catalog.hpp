@@ -1,0 +1,44 @@
+#pragma once
+// The paper's named templates (Fig. 2): U3-1 ... U12-2.
+//
+// The "-1" templates are simple paths (stated explicitly in §IV-B).
+// The "-2" shapes are drawn in the paper's Figure 2, which is not
+// machine-readable in our source text, so we reconstruct them from the
+// properties the text asserts:
+//   * U5-2  has a degree-3 "central orbit" vertex (§V-F uses it),
+//   * U7-2  has an "obvious" rooted automorphism (§III-C) — we use the
+//     spider with three length-2 legs,
+//   * U10-2 is "a more complex structure" — a near-balanced binary tree,
+//   * U12-2 was "explicitly designed to stress subtemplate
+//     partitioning" (§V-A) — two adjacent hubs with length-2 branches,
+//   * U3-2  is the triangle: the only 3-vertex alternative to the path,
+//     and the reason the paper mentions support for "tree-like
+//     templates with triangles".  It is flagged `is_triangle` and
+//     handled by the dedicated triangle counter.
+// EXPERIMENTS.md records this reconstruction as a substitution.
+
+#include <string>
+#include <vector>
+
+#include "treelet/tree_template.hpp"
+
+namespace fascia {
+
+struct CatalogEntry {
+  std::string name;    ///< e.g. "U7-2"
+  int size;            ///< template vertex count
+  bool is_triangle;    ///< true only for U3-2
+  TreeTemplate tree;   ///< valid when !is_triangle; U3-2 holds P3 here
+};
+
+/// All ten templates in paper order:
+/// U3-1, U3-2, U5-1, U5-2, U7-1, U7-2, U10-1, U10-2, U12-1, U12-2.
+const std::vector<CatalogEntry>& template_catalog();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+const CatalogEntry& catalog_entry(const std::string& name);
+
+/// The U5-2 vertex whose orbit the GDD experiments use (degree 3).
+int u52_central_vertex();
+
+}  // namespace fascia

@@ -1,0 +1,93 @@
+#include "treelet/free_trees.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "treelet/canonical.hpp"
+
+namespace fascia {
+
+std::vector<std::vector<int>> all_level_sequences(int k) {
+  if (k < 1) return {};
+  // Beyer-Hedetniemi: start from the path sequence [1, 2, ..., k];
+  // successor: find the last position p with L[p] > 2, decrement it,
+  // and copy the prefix pattern to the right.  Terminates at the star
+  // sequence [1, 2, 2, ..., 2].
+  std::vector<std::vector<int>> all;
+  std::vector<int> levels(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) levels[static_cast<std::size_t>(i)] = i + 1;
+
+  while (true) {
+    all.push_back(levels);
+    int p = -1;
+    for (int i = k - 1; i >= 0; --i) {
+      if (levels[static_cast<std::size_t>(i)] > 2) {
+        p = i;
+        break;
+      }
+    }
+    if (p < 0) break;  // reached the star (or k <= 2)
+    // q: parent position of p after decrement — the last position
+    // before p whose level is levels[p] - 2 + 1 = levels[p] - 1 ... per
+    // the classical algorithm, q is the last i < p with
+    // levels[i] == levels[p] - 1.
+    --levels[static_cast<std::size_t>(p)];
+    int q = -1;
+    for (int i = p - 1; i >= 0; --i) {
+      if (levels[static_cast<std::size_t>(i)] ==
+          levels[static_cast<std::size_t>(p)]) {
+        q = i;
+        break;
+      }
+    }
+    // Copy the segment starting at q cyclically over [p, k).
+    for (int i = p + 1; i < k; ++i) {
+      levels[static_cast<std::size_t>(i)] =
+          levels[static_cast<std::size_t>(i - (p - q))];
+    }
+  }
+  return all;
+}
+
+TreeTemplate tree_from_level_sequence(const std::vector<int>& levels) {
+  const int k = static_cast<int>(levels.size());
+  if (k < 1 || levels[0] != 1) {
+    throw std::invalid_argument("tree_from_level_sequence: bad sequence");
+  }
+  TreeTemplate::EdgeList edges;
+  for (int i = 1; i < k; ++i) {
+    int parent = -1;
+    for (int j = i - 1; j >= 0; --j) {
+      if (levels[static_cast<std::size_t>(j)] ==
+          levels[static_cast<std::size_t>(i)] - 1) {
+        parent = j;
+        break;
+      }
+    }
+    if (parent < 0) {
+      throw std::invalid_argument("tree_from_level_sequence: orphan vertex");
+    }
+    edges.emplace_back(parent, i);
+  }
+  return TreeTemplate::from_edges(k, edges);
+}
+
+std::vector<TreeTemplate> all_free_trees(int k) {
+  if (k < 1 || k > kMaxTemplateSize) {
+    throw std::invalid_argument("all_free_trees: size out of range");
+  }
+  std::map<std::string, TreeTemplate> canonical;
+  for (const auto& levels : all_level_sequences(k)) {
+    TreeTemplate t = tree_from_level_sequence(levels);
+    canonical.emplace(ahu_free(t), std::move(t));
+  }
+  std::vector<TreeTemplate> out;
+  out.reserve(canonical.size());
+  for (auto& [canon, tree] : canonical) out.push_back(std::move(tree));
+  return out;
+}
+
+std::size_t num_free_trees(int k) { return all_free_trees(k).size(); }
+
+}  // namespace fascia

@@ -1,0 +1,39 @@
+#pragma once
+// Enumeration of all non-isomorphic free trees on k vertices.
+//
+// Motif finding (§IV-B, Figs. 5, 11-14) sweeps "all possible tree
+// templates" of a given size: 11 at k=7, 106 at k=10, 551 at k=12.
+// We enumerate rooted trees by level sequence with the
+// Beyer-Hedetniemi successor algorithm (constant amortized time) and
+// keep one representative per free-tree isomorphism class via AHU
+// canonical strings.  At k <= 12 the rooted-tree universe is < 5000
+// entries, so the filter costs nothing; correct counts are pinned by
+// tests against OEIS A000055.
+
+#include <vector>
+
+#include "treelet/tree_template.hpp"
+
+namespace fascia {
+
+/// All free trees on k vertices (1 <= k <= kMaxTemplateSize), one
+/// canonical representative each, in deterministic order (sorted by
+/// canonical string).  Vertex 0 is the root of the generating level
+/// sequence, which is a centroid-ish but unspecified vertex; callers
+/// that care about orbits should use vertex_orbits().
+std::vector<TreeTemplate> all_free_trees(int k);
+
+/// Number of free trees on k vertices (OEIS A000055):
+/// 1, 1, 1, 1, 2, 3, 6, 11, 23, 47, 106, 235, 551 for k = 0..12.
+std::size_t num_free_trees(int k);
+
+/// All rooted trees on k vertices as level sequences
+/// (Beyer-Hedetniemi order).  Exposed for tests; each sequence L has
+/// L[0] = 1 and L[i] <= L[i-1] + 1.
+std::vector<std::vector<int>> all_level_sequences(int k);
+
+/// Converts a level sequence to a TreeTemplate (vertex i's parent is
+/// the nearest previous vertex with level L[i] - 1).
+TreeTemplate tree_from_level_sequence(const std::vector<int>& levels);
+
+}  // namespace fascia

@@ -1,0 +1,74 @@
+#pragma once
+// Partitioning of mixed (edge + triangle block) templates.
+//
+// As for trees, only cuts at the current root are legal.  Two node
+// kinds beyond leaves:
+//   * edge join     — the root's bridge (root, w) is cut; passive is
+//                     w's branch (identical to the tree partitioner).
+//   * triangle join — a triangle block (root, x, y) incident to the
+//                     root is removed; the two passive children are
+//                     x's and y's branches, whose images must be
+//                     mutually adjacent graph neighbors of the root's
+//                     image.
+//
+// No rooted-canonical table sharing here: AHU strings do not cover
+// graphs with cycles, and mixed templates are small enough that the
+// tree pipeline's memory optimization is not worth a graph-canonical
+// form (documented in DESIGN.md).
+
+#include <string>
+#include <vector>
+
+#include "treelet/mixed_template.hpp"
+
+namespace fascia {
+
+struct MixedSubtemplate {
+  enum class Kind { kLeaf, kEdgeJoin, kTriangleJoin };
+
+  std::vector<int> vertices;  ///< sorted template vertex ids
+  int root = -1;
+  Kind kind = Kind::kLeaf;
+  int active = -1;     ///< node index; contains the root
+  int passive = -1;    ///< edge join: branch; triangle join: x's branch
+  int passive2 = -1;   ///< triangle join only: y's branch
+  int free_after = -1;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(vertices.size());
+  }
+  [[nodiscard]] bool is_leaf() const noexcept {
+    return kind == Kind::kLeaf;
+  }
+};
+
+class MixedPartition {
+ public:
+  [[nodiscard]] const std::vector<MixedSubtemplate>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const MixedSubtemplate& node(int index) const noexcept {
+    return nodes_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] int root_node() const noexcept { return num_nodes() - 1; }
+  [[nodiscard]] int template_root() const noexcept {
+    return nodes_.back().root;
+  }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend MixedPartition partition_mixed_template(const MixedTemplate&, int);
+  std::vector<MixedSubtemplate> nodes_;
+};
+
+/// Partitions `t` rooted at `root` (-1: smallest-degree vertex not
+/// inside a triangle when one exists, else vertex 0).  Nodes come out
+/// in bottom-up topological order; back() is the full template.
+MixedPartition partition_mixed_template(const MixedTemplate& t,
+                                        int root = -1);
+
+}  // namespace fascia

@@ -1,0 +1,313 @@
+#include "treelet/mixed_template.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fascia {
+
+namespace {
+
+/// Biconnected blocks via the classical lowpoint DFS with an edge
+/// stack.  Templates are tiny (k <= 16), clarity over speed.
+std::vector<std::vector<std::pair<int, int>>> biconnected_blocks(
+    int k, const std::vector<std::vector<int>>& adjacency) {
+  std::vector<int> depth(static_cast<std::size_t>(k), -1);
+  std::vector<int> low(static_cast<std::size_t>(k), 0);
+  std::vector<std::pair<int, int>> edge_stack;
+  std::vector<std::vector<std::pair<int, int>>> blocks;
+
+  std::function<void(int, int, int)> dfs = [&](int v, int parent, int d) {
+    depth[static_cast<std::size_t>(v)] = d;
+    low[static_cast<std::size_t>(v)] = d;
+    for (int u : adjacency[static_cast<std::size_t>(v)]) {
+      if (u == parent) continue;
+      if (depth[static_cast<std::size_t>(u)] == -1) {
+        edge_stack.emplace_back(v, u);
+        dfs(u, v, d + 1);
+        low[static_cast<std::size_t>(v)] = std::min(
+            low[static_cast<std::size_t>(v)], low[static_cast<std::size_t>(u)]);
+        if (low[static_cast<std::size_t>(u)] >= d) {
+          // v is an articulation point (or root): pop one block.
+          std::vector<std::pair<int, int>> block;
+          while (!edge_stack.empty()) {
+            const auto edge = edge_stack.back();
+            edge_stack.pop_back();
+            block.push_back(edge);
+            if (edge == std::make_pair(v, u)) break;
+          }
+          blocks.push_back(std::move(block));
+        }
+      } else if (depth[static_cast<std::size_t>(u)] <
+                 depth[static_cast<std::size_t>(v)]) {
+        edge_stack.emplace_back(v, u);
+        low[static_cast<std::size_t>(v)] = std::min(
+            low[static_cast<std::size_t>(v)],
+            depth[static_cast<std::size_t>(u)]);
+      }
+    }
+  };
+  if (k > 0) dfs(0, -1, 0);
+
+  // Connectivity: every vertex must have been reached (k == 1 trivial).
+  for (int v = 0; v < k; ++v) {
+    if (depth[static_cast<std::size_t>(v)] == -1 && (k > 1 || v > 0)) {
+      throw std::invalid_argument("MixedTemplate: not connected");
+    }
+  }
+  return blocks;
+}
+
+}  // namespace
+
+MixedTemplate MixedTemplate::from_edges(int k, const EdgeList& edges) {
+  if (k < 1 || k > kMaxTemplateSize) {
+    throw std::invalid_argument("MixedTemplate: size out of range");
+  }
+  MixedTemplate t;
+  t.k_ = k;
+  t.adjacency_.resize(static_cast<std::size_t>(k));
+  std::set<std::pair<int, int>> seen;
+  for (auto [u, v] : edges) {
+    if (u < 0 || v < 0 || u >= k || v >= k) {
+      throw std::invalid_argument("MixedTemplate: endpoint out of range");
+    }
+    if (u == v) throw std::invalid_argument("MixedTemplate: self loop");
+    if (u > v) std::swap(u, v);
+    if (!seen.emplace(u, v).second) {
+      throw std::invalid_argument("MixedTemplate: duplicate edge");
+    }
+    t.adjacency_[static_cast<std::size_t>(u)].push_back(v);
+    t.adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  }
+  for (auto& list : t.adjacency_) std::sort(list.begin(), list.end());
+
+  const auto blocks = biconnected_blocks(k, t.adjacency_);
+  for (const auto& block : blocks) {
+    if (block.size() == 1) continue;  // bridge edge
+    if (block.size() == 3) {
+      std::set<int> vertices;
+      for (auto [a, b] : block) {
+        vertices.insert(a);
+        vertices.insert(b);
+      }
+      if (vertices.size() == 3) {
+        std::array<int, 3> triangle{};
+        std::copy(vertices.begin(), vertices.end(), triangle.begin());
+        t.triangles_.push_back(triangle);
+        continue;
+      }
+    }
+    throw std::invalid_argument(
+        "MixedTemplate: blocks must be single edges or triangles "
+        "(found a larger biconnected component)");
+  }
+  std::sort(t.triangles_.begin(), t.triangles_.end());
+  return t;
+}
+
+MixedTemplate MixedTemplate::from_tree(const TreeTemplate& tree) {
+  MixedTemplate t = from_edges(tree.size(), tree.edges());
+  if (tree.has_labels()) {
+    std::vector<std::uint8_t> labels(static_cast<std::size_t>(tree.size()));
+    for (int v = 0; v < tree.size(); ++v) {
+      labels[static_cast<std::size_t>(v)] = tree.label(v);
+    }
+    t.set_labels(std::move(labels));
+  }
+  return t;
+}
+
+MixedTemplate MixedTemplate::triangle() {
+  return from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+MixedTemplate MixedTemplate::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int k = -1;
+  EdgeList edges;
+  std::vector<std::uint8_t> labels;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string first;
+    if (!(fields >> first)) continue;
+    if (first == "label") {
+      int value = 0;
+      if (!(fields >> value) || value < 0 || value > 254) {
+        throw std::invalid_argument("MixedTemplate::parse: bad label line");
+      }
+      labels.push_back(static_cast<std::uint8_t>(value));
+    } else if (k < 0) {
+      k = std::stoi(first);
+    } else {
+      const int u = std::stoi(first);
+      int v = 0;
+      if (!(fields >> v)) {
+        throw std::invalid_argument("MixedTemplate::parse: bad edge line");
+      }
+      edges.emplace_back(u, v);
+    }
+  }
+  if (k < 0) throw std::invalid_argument("MixedTemplate::parse: missing size");
+  MixedTemplate t = from_edges(k, edges);
+  if (!labels.empty()) t.set_labels(std::move(labels));
+  return t;
+}
+
+MixedTemplate MixedTemplate::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("MixedTemplate::load: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+bool MixedTemplate::has_edge(int u, int v) const noexcept {
+  if (u < 0 || v < 0 || u >= k_ || v >= k_) return false;
+  const auto& list = adjacency_[static_cast<std::size_t>(u)];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+MixedTemplate::EdgeList MixedTemplate::edges() const {
+  EdgeList out;
+  for (int v = 0; v < k_; ++v) {
+    for (int u : neighbors(v)) {
+      if (v < u) out.emplace_back(v, u);
+    }
+  }
+  return out;
+}
+
+bool MixedTemplate::edge_in_triangle(int u, int v) const noexcept {
+  for (const auto& triangle : triangles_) {
+    const bool has_u = triangle[0] == u || triangle[1] == u || triangle[2] == u;
+    const bool has_v = triangle[0] == v || triangle[1] == v || triangle[2] == v;
+    if (has_u && has_v) return true;
+  }
+  return false;
+}
+
+TreeTemplate MixedTemplate::as_tree() const {
+  if (!is_tree()) {
+    throw std::logic_error("MixedTemplate::as_tree: template has triangles");
+  }
+  TreeTemplate tree = TreeTemplate::from_edges(k_, edges());
+  if (has_labels()) tree.set_labels(labels_);
+  return tree;
+}
+
+void MixedTemplate::set_labels(std::vector<std::uint8_t> labels) {
+  if (static_cast<int>(labels.size()) != k_) {
+    throw std::invalid_argument("MixedTemplate: label array size != k");
+  }
+  labels_ = std::move(labels);
+}
+
+std::string MixedTemplate::describe() const {
+  std::ostringstream out;
+  out << "mixed(k=" << k_ << "; edges:";
+  for (auto [u, v] : edges()) out << ' ' << u << '-' << v;
+  out << "; triangles:" << triangles_.size();
+  if (has_labels()) {
+    out << "; labels:";
+    for (int v = 0; v < k_; ++v) out << ' ' << static_cast<int>(label(v));
+  }
+  out << ')';
+  return out.str();
+}
+
+namespace {
+
+/// Backtracking over adjacency/label-preserving bijections; calls
+/// `sink(image)` for every automorphism.
+template <class Sink>
+void enumerate_automorphisms(const MixedTemplate& t, Sink&& sink) {
+  const int k = t.size();
+  std::vector<int> image(static_cast<std::size_t>(k), -1);
+  std::vector<char> used(static_cast<std::size_t>(k), 0);
+
+  std::function<void(int)> place = [&](int v) {
+    if (v == k) {
+      sink(image);
+      return;
+    }
+    for (int target = 0; target < k; ++target) {
+      if (used[static_cast<std::size_t>(target)]) continue;
+      if (t.degree(target) != t.degree(v)) continue;
+      if (t.has_labels() && t.label(target) != t.label(v)) continue;
+      bool consistent = true;
+      for (int u : t.neighbors(v)) {
+        if (u < v && !t.has_edge(image[static_cast<std::size_t>(u)], target)) {
+          consistent = false;
+          break;
+        }
+      }
+      // Non-edges must also map to non-edges (bijective on a fixed
+      // vertex set => checking mapped edges count suffices, but the
+      // incremental check needs the reverse direction too).
+      if (consistent) {
+        for (int u = 0; u < v; ++u) {
+          if (!t.has_edge(u, v) &&
+              t.has_edge(image[static_cast<std::size_t>(u)], target)) {
+            consistent = false;
+            break;
+          }
+        }
+      }
+      if (!consistent) continue;
+      image[static_cast<std::size_t>(v)] = target;
+      used[static_cast<std::size_t>(target)] = 1;
+      place(v + 1);
+      used[static_cast<std::size_t>(target)] = 0;
+      image[static_cast<std::size_t>(v)] = -1;
+    }
+  };
+  place(0);
+}
+
+}  // namespace
+
+std::uint64_t mixed_automorphisms(const MixedTemplate& t) {
+  std::uint64_t count = 0;
+  enumerate_automorphisms(t, [&](const std::vector<int>&) { ++count; });
+  return count;
+}
+
+std::vector<int> mixed_vertex_orbits(const MixedTemplate& t) {
+  const int k = t.size();
+  std::vector<int> orbit(static_cast<std::size_t>(k));
+  for (int v = 0; v < k; ++v) orbit[static_cast<std::size_t>(v)] = v;
+  enumerate_automorphisms(t, [&](const std::vector<int>& image) {
+    for (int v = 0; v < k; ++v) {
+      const int target = image[static_cast<std::size_t>(v)];
+      const int rep = std::min(orbit[static_cast<std::size_t>(v)],
+                               orbit[static_cast<std::size_t>(target)]);
+      orbit[static_cast<std::size_t>(v)] = rep;
+      orbit[static_cast<std::size_t>(target)] = rep;
+    }
+  });
+  // Compress to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < k; ++v) {
+      const int rep =
+          orbit[static_cast<std::size_t>(orbit[static_cast<std::size_t>(v)])];
+      if (rep != orbit[static_cast<std::size_t>(v)]) {
+        orbit[static_cast<std::size_t>(v)] = rep;
+        changed = true;
+      }
+    }
+  }
+  return orbit;
+}
+
+}  // namespace fascia

@@ -1,0 +1,100 @@
+#pragma once
+// "Tree-like graph templates with triangles" (paper §I, §II-C).
+//
+// The color-coding DP extends beyond trees to any template that can be
+// fully partitioned through cuts: FASCIA supports templates whose
+// biconnected blocks are single edges or triangles (a "block tree" of
+// edges and triangles).  A triangle block cannot be split by one edge
+// cut, so it becomes a DP join of *three* pieces: the active side at
+// the root plus two passive subtrees anchored at the triangle's other
+// corners, whose images must be adjacent graph vertices.
+//
+// MixedTemplate validates exactly that class.  Trees are the special
+// case with no triangle blocks (counting those should use the faster
+// TreeTemplate pipeline; count_mixed_template() delegates).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "treelet/tree_template.hpp"
+
+namespace fascia {
+
+class MixedTemplate {
+ public:
+  using EdgeList = std::vector<std::pair<int, int>>;
+
+  /// Validates: connected, every biconnected block is a single edge or
+  /// a triangle (3 vertices, 3 edges).  Throws std::invalid_argument
+  /// otherwise (e.g. for squares, diamonds, K4).
+  static MixedTemplate from_edges(int k, const EdgeList& edges);
+
+  /// A tree is trivially a mixed template.
+  static MixedTemplate from_tree(const TreeTemplate& tree);
+
+  /// Triangle with trees hanging off: convenience for tests/benches.
+  static MixedTemplate triangle();
+
+  /// Parses the same text format as TreeTemplate ("k", then "u v"
+  /// edge lines — any number of them — then optional "label L" lines).
+  static MixedTemplate parse(const std::string& text);
+  static MixedTemplate load(const std::string& path);
+
+  [[nodiscard]] int size() const noexcept { return k_; }
+  [[nodiscard]] int num_edges() const noexcept {
+    return k_ - 1 + static_cast<int>(triangles_.size());
+  }
+
+  [[nodiscard]] std::span<const int> neighbors(int v) const noexcept {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] int degree(int v) const noexcept {
+    return static_cast<int>(adjacency_[static_cast<std::size_t>(v)].size());
+  }
+  [[nodiscard]] bool has_edge(int u, int v) const noexcept;
+  [[nodiscard]] EdgeList edges() const;
+
+  /// Triangle blocks, each as sorted vertex triples.
+  [[nodiscard]] const std::vector<std::array<int, 3>>& triangles()
+      const noexcept {
+    return triangles_;
+  }
+  [[nodiscard]] bool is_tree() const noexcept { return triangles_.empty(); }
+
+  /// True when edge (u, v) belongs to a triangle block.
+  [[nodiscard]] bool edge_in_triangle(int u, int v) const noexcept;
+
+  /// The tree view; only valid when is_tree().
+  [[nodiscard]] TreeTemplate as_tree() const;
+
+  // ---- labels -----------------------------------------------------------
+  [[nodiscard]] bool has_labels() const noexcept { return !labels_.empty(); }
+  [[nodiscard]] std::uint8_t label(int v) const noexcept {
+    return labels_[static_cast<std::size_t>(v)];
+  }
+  void set_labels(std::vector<std::uint8_t> labels);
+  void clear_labels() noexcept { labels_.clear(); }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  int k_ = 0;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::array<int, 3>> triangles_;
+  std::vector<std::uint8_t> labels_;
+};
+
+/// |Aut| of a mixed template by pruned backtracking over
+/// adjacency-preserving (and label-preserving) vertex permutations.
+/// Fine for k <= kMaxTemplateSize.
+std::uint64_t mixed_automorphisms(const MixedTemplate& t);
+
+/// Orbit representative per vertex (smallest vertex in the orbit),
+/// computed with the same backtracking.
+std::vector<int> mixed_vertex_orbits(const MixedTemplate& t);
+
+}  // namespace fascia

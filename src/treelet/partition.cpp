@@ -1,0 +1,236 @@
+#include "treelet/partition.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "comb/binomial.hpp"
+#include "treelet/canonical.hpp"
+
+namespace fascia {
+
+namespace {
+
+/// Working view of a subtemplate during recursion.
+struct SubView {
+  std::vector<int> vertices;  // sorted
+  int root;
+};
+
+bool contains(const std::vector<int>& sorted, int v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+/// Vertices reachable from `start` inside `vertices` without crossing
+/// the edge (cut_a, cut_b).
+std::vector<int> side_of_cut(const TreeTemplate& t,
+                             const std::vector<int>& vertices, int start,
+                             int cut_a, int cut_b) {
+  std::vector<int> side;
+  std::vector<int> stack = {start};
+  std::vector<char> seen(static_cast<std::size_t>(t.size()), 0);
+  seen[static_cast<std::size_t>(start)] = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    side.push_back(v);
+    for (int u : t.neighbors(v)) {
+      if (!contains(vertices, u)) continue;
+      if ((v == cut_a && u == cut_b) || (v == cut_b && u == cut_a)) continue;
+      if (!seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+  std::sort(side.begin(), side.end());
+  return side;
+}
+
+class Builder {
+ public:
+  Builder(const TreeTemplate& t, PartitionStrategy strategy, bool share)
+      : t_(t), strategy_(strategy), share_(share) {}
+
+  int build(const SubView& view) {
+    const std::string canon =
+        ahu_rooted_subtree(t_, view.vertices, view.root);
+    if (share_) {
+      if (auto it = memo_.find(canon); it != memo_.end()) return it->second;
+    }
+
+    Subtemplate node;
+    node.vertices = view.vertices;
+    node.root = view.root;
+    node.canon = canon;
+
+    if (view.vertices.size() > 1) {
+      const auto [cut_root_side, cut_other] = choose_cut(view);
+      SubView active_view, passive_view;
+      active_view.vertices = side_of_cut(t_, view.vertices, view.root,
+                                         cut_root_side, cut_other);
+      active_view.root = view.root;
+      const int passive_root =
+          contains(active_view.vertices, cut_root_side) ? cut_other
+                                                        : cut_root_side;
+      passive_view.vertices = side_of_cut(t_, view.vertices, passive_root,
+                                          cut_root_side, cut_other);
+      passive_view.root = passive_root;
+
+      // Children first: indices stay topologically ordered.
+      node.active = build(active_view);
+      node.passive = build(passive_view);
+    }
+
+    nodes_.push_back(std::move(node));
+    const int index = static_cast<int>(nodes_.size()) - 1;
+    if (share_) memo_.emplace(nodes_.back().canon, index);
+    return index;
+  }
+
+  std::vector<Subtemplate> take() { return std::move(nodes_); }
+
+ private:
+  /// Returns the cut edge (root, w).  The DP recurrence joins the
+  /// passive child's root to the *image of the active root* via a
+  /// graph edge, so only edges adjacent to the current root are legal
+  /// cuts ("a single edge adjacent to the root is cut", §III-A).
+  std::pair<int, int> choose_cut(const SubView& view) const {
+    int best_w = -1;
+    int best_branch = t_.size() + 1;
+    for (int w : t_.neighbors(view.root)) {
+      if (!contains(view.vertices, w)) continue;
+      const auto branch =
+          side_of_cut(t_, view.vertices, w, view.root, w);
+      const int branch_size = static_cast<int>(branch.size());
+      int score;
+      if (strategy_ == PartitionStrategy::kOneAtATime) {
+        // Peel the smallest branch; when the root is a leaf this makes
+        // the active child the single partitioned vertex (§III-D).
+        score = branch_size;
+      } else {
+        // kBalanced: most even split available at this root.
+        score = std::abs(2 * branch_size -
+                         static_cast<int>(view.vertices.size()));
+      }
+      // Ties keep the first candidate, i.e. the smallest w (neighbor
+      // lists are sorted) — deterministic partitions.
+      if (best_w < 0 || score < best_branch) {
+        best_w = w;
+        best_branch = score;
+      }
+    }
+    if (best_w < 0) {
+      throw std::logic_error("choose_cut: root has no neighbor in subtemplate");
+    }
+    return {view.root, best_w};
+  }
+
+  const TreeTemplate& t_;
+  PartitionStrategy strategy_;
+  bool share_;
+  std::vector<Subtemplate> nodes_;
+  std::map<std::string, int> memo_;
+};
+
+int pick_default_root(const TreeTemplate& t, PartitionStrategy strategy) {
+  if (strategy == PartitionStrategy::kBalanced) return centroids(t)[0];
+  // One-at-a-time: any leaf enables the single-active fast path at the
+  // top level; pick the smallest.
+  for (int v = 0; v < t.size(); ++v) {
+    if (t.degree(v) <= 1) return v;
+  }
+  return 0;  // unreachable for valid trees
+}
+
+}  // namespace
+
+PartitionTree partition_template(const TreeTemplate& t,
+                                 PartitionStrategy strategy,
+                                 bool share_tables, int root) {
+  if (root < -1 || root >= t.size()) {
+    throw std::invalid_argument("partition_template: root out of range");
+  }
+  if (root == -1) root = pick_default_root(t, strategy);
+
+  Builder builder(t, strategy, share_tables);
+  SubView top;
+  top.vertices.resize(static_cast<std::size_t>(t.size()));
+  for (int v = 0; v < t.size(); ++v) {
+    top.vertices[static_cast<std::size_t>(v)] = v;
+  }
+  top.root = root;
+  builder.build(top);
+
+  PartitionTree tree;
+  tree.nodes_ = builder.take();
+
+  // Lifetime analysis: a node's table can be freed after the last node
+  // that consumes it has been computed.
+  for (std::size_t i = 0; i + 1 < tree.nodes_.size(); ++i) {
+    int last_use = -1;
+    for (std::size_t j = 0; j < tree.nodes_.size(); ++j) {
+      if (tree.nodes_[j].active == static_cast<int>(i) ||
+          tree.nodes_[j].passive == static_cast<int>(i)) {
+        last_use = static_cast<int>(j);
+      }
+    }
+    tree.nodes_[i].free_after = last_use;
+  }
+  tree.nodes_.back().free_after = -1;  // final table feeds the total
+  return tree;
+}
+
+double PartitionTree::dp_cost(int num_colors) const {
+  double cost = 0.0;
+  for (const auto& node : nodes_) {
+    if (node.is_leaf()) continue;
+    const int h = node.size();
+    const int a = nodes_[static_cast<std::size_t>(node.active)].size();
+    cost += static_cast<double>(choose(num_colors, h)) *
+            static_cast<double>(choose(h, a));
+  }
+  return cost;
+}
+
+int PartitionTree::max_live_tables() const {
+  int live = 0, peak = 0;
+  std::vector<char> alive(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!alive[i]) {
+      alive[i] = 1;
+      ++live;
+    }
+    peak = std::max(peak, live);
+    // Free children whose last use was this node.
+    for (std::size_t j = 0; j < i; ++j) {
+      if (alive[j] && nodes_[j].free_after == static_cast<int>(i)) {
+        alive[j] = 0;
+        --live;
+      }
+    }
+  }
+  return peak;
+}
+
+std::string PartitionTree::describe() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& node = nodes_[i];
+    out << '[' << i << "] size=" << node.size() << " root=" << node.root
+        << " verts={";
+    for (std::size_t v = 0; v < node.vertices.size(); ++v) {
+      out << (v ? "," : "") << node.vertices[v];
+    }
+    out << '}';
+    if (!node.is_leaf()) {
+      out << " active=" << node.active << " passive=" << node.passive;
+    }
+    out << " free_after=" << node.free_after << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fascia

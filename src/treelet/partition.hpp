@@ -1,0 +1,101 @@
+#pragma once
+// Template partitioning via single edge cuts (§III-A, §III-D).
+//
+// The template is recursively split into an *active* child (the side
+// containing the parent's root) and a *passive* child (the other side,
+// rooted at the cut endpoint), down to single vertices.  The counter
+// then walks the resulting DAG bottom-up.
+//
+// Only edges *adjacent to the current root* are legal cuts: the DP
+// joins the passive child's root to the image of the active root
+// through a graph edge, so the cut edge must be incident to the root
+// ("a single edge adjacent to the root is cut", §III-A).  Within that
+// constraint, two strategies:
+//   * kOneAtATime — peel the smallest root branch per cut; whenever
+//     the root is a leaf of the current subtemplate the *active* child
+//     becomes the single partitioned vertex, enabling the fast path
+//     that reduces per-vertex work by a factor (k-1)/k (§III-D).
+//     FASCIA's default.
+//   * kBalanced — cut the root edge that splits the subtemplate most
+//     evenly, approximating the classical cost-minimizing split
+//     Σ C(k,Sn)·C(Sn,an).
+//
+// Independently, `share_tables` merges subtemplates with identical
+// rooted canonical form (the paper's rooted-automorphism memory
+// optimization, §III-C): the partition becomes a DAG and shared nodes
+// are computed once.  Lifetime analysis marks when each node's DP
+// table can be freed; the paper observes at most ~4 live tables, which
+// `max_live_tables()` lets benches verify.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "treelet/tree_template.hpp"
+
+namespace fascia {
+
+enum class PartitionStrategy {
+  kOneAtATime,
+  kBalanced,
+};
+
+struct Subtemplate {
+  std::vector<int> vertices;  ///< sorted template vertex ids
+  int root = -1;              ///< template vertex id of the root
+  int active = -1;            ///< node index of active child; -1 for leaves
+  int passive = -1;           ///< node index of passive child; -1 for leaves
+  std::string canon;          ///< rooted canonical key (labels included)
+  int free_after = -1;        ///< last node index needing this table; -1 = root
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(vertices.size());
+  }
+  [[nodiscard]] bool is_leaf() const noexcept { return active < 0; }
+};
+
+class PartitionTree {
+ public:
+  /// Nodes in bottom-up (topological) order; back() is the full template.
+  [[nodiscard]] const std::vector<Subtemplate>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const Subtemplate& node(int index) const noexcept {
+    return nodes_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] int root_node() const noexcept { return num_nodes() - 1; }
+
+  /// Template vertex the whole count is rooted at.
+  [[nodiscard]] int template_root() const noexcept {
+    return nodes_.back().root;
+  }
+
+  /// Classical DP cost model: Σ over non-leaf nodes of
+  /// C(k, h)·C(h, a), counting shared nodes once (§III-D).
+  [[nodiscard]] double dp_cost(int num_colors) const;
+
+  /// Peak number of simultaneously live DP tables under the
+  /// free_after schedule (paper: ≤ 4 with its ordering).
+  [[nodiscard]] int max_live_tables() const;
+
+  /// Multi-line human-readable dump (debugging, docs).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend PartitionTree partition_template(const TreeTemplate&,
+                                          PartitionStrategy, bool, int);
+  std::vector<Subtemplate> nodes_;
+};
+
+/// Partitions `t`.  `root` fixes the template root (needed for
+/// graphlet-degree runs, where the root must be the orbit vertex);
+/// -1 lets the strategy choose (a leaf for kOneAtATime, a centroid
+/// for kBalanced).
+PartitionTree partition_template(const TreeTemplate& t,
+                                 PartitionStrategy strategy,
+                                 bool share_tables = true, int root = -1);
+
+}  // namespace fascia

@@ -1,0 +1,147 @@
+#include "treelet/tree_template.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace fascia {
+
+TreeTemplate TreeTemplate::from_edges(int k, const EdgeList& edges) {
+  if (k < 1 || k > kMaxTemplateSize) {
+    throw std::invalid_argument("TreeTemplate: size out of range");
+  }
+  if (static_cast<int>(edges.size()) != k - 1) {
+    throw std::invalid_argument("TreeTemplate: a tree on k vertices has k-1 edges");
+  }
+
+  TreeTemplate t;
+  t.k_ = k;
+  t.adjacency_.resize(static_cast<std::size_t>(k));
+  std::set<std::pair<int, int>> seen;
+  for (auto [u, v] : edges) {
+    if (u < 0 || v < 0 || u >= k || v >= k) {
+      throw std::invalid_argument("TreeTemplate: endpoint out of range");
+    }
+    if (u == v) throw std::invalid_argument("TreeTemplate: self loop");
+    if (u > v) std::swap(u, v);
+    if (!seen.emplace(u, v).second) {
+      throw std::invalid_argument("TreeTemplate: duplicate edge");
+    }
+    t.adjacency_[static_cast<std::size_t>(u)].push_back(v);
+    t.adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  }
+  for (auto& list : t.adjacency_) std::sort(list.begin(), list.end());
+
+  // Connectivity check (k-1 edges + connected => tree).
+  std::vector<char> visited(static_cast<std::size_t>(k), 0);
+  std::vector<int> stack = {0};
+  visited[0] = 1;
+  int reached = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int u : t.neighbors(v)) {
+      if (!visited[static_cast<std::size_t>(u)]) {
+        visited[static_cast<std::size_t>(u)] = 1;
+        ++reached;
+        stack.push_back(u);
+      }
+    }
+  }
+  if (reached != k) throw std::invalid_argument("TreeTemplate: not connected");
+  return t;
+}
+
+TreeTemplate TreeTemplate::path(int k) {
+  EdgeList edges;
+  for (int v = 0; v + 1 < k; ++v) edges.emplace_back(v, v + 1);
+  return from_edges(k, edges);
+}
+
+TreeTemplate TreeTemplate::star(int k) {
+  EdgeList edges;
+  for (int v = 1; v < k; ++v) edges.emplace_back(0, v);
+  return from_edges(k, edges);
+}
+
+TreeTemplate TreeTemplate::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int k = -1;
+  EdgeList edges;
+  std::vector<std::uint8_t> labels;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string first;
+    if (!(fields >> first)) continue;
+    if (first == "label") {
+      int value = 0;
+      if (!(fields >> value) || value < 0 || value > 254) {
+        throw std::invalid_argument("TreeTemplate::parse: bad label line");
+      }
+      labels.push_back(static_cast<std::uint8_t>(value));
+    } else if (k < 0) {
+      k = std::stoi(first);
+    } else {
+      const int u = std::stoi(first);
+      int v = 0;
+      if (!(fields >> v)) {
+        throw std::invalid_argument("TreeTemplate::parse: bad edge line");
+      }
+      edges.emplace_back(u, v);
+    }
+  }
+  if (k < 0) throw std::invalid_argument("TreeTemplate::parse: missing size");
+  TreeTemplate t = from_edges(k, edges);
+  if (!labels.empty()) t.set_labels(std::move(labels));
+  return t;
+}
+
+TreeTemplate TreeTemplate::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("TreeTemplate::load: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+bool TreeTemplate::has_edge(int u, int v) const noexcept {
+  if (u < 0 || v < 0 || u >= k_ || v >= k_) return false;
+  const auto& list = adjacency_[static_cast<std::size_t>(u)];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+TreeTemplate::EdgeList TreeTemplate::edges() const {
+  EdgeList out;
+  for (int v = 0; v < k_; ++v) {
+    for (int u : neighbors(v)) {
+      if (v < u) out.emplace_back(v, u);
+    }
+  }
+  return out;
+}
+
+void TreeTemplate::set_labels(std::vector<std::uint8_t> labels) {
+  if (static_cast<int>(labels.size()) != k_) {
+    throw std::invalid_argument("TreeTemplate: label array size != k");
+  }
+  labels_ = std::move(labels);
+}
+
+std::string TreeTemplate::describe() const {
+  std::ostringstream out;
+  out << "tree(k=" << k_ << "; edges:";
+  for (auto [u, v] : edges()) out << ' ' << u << '-' << v;
+  if (has_labels()) {
+    out << "; labels:";
+    for (int v = 0; v < k_; ++v) out << ' ' << static_cast<int>(label(v));
+  }
+  out << ')';
+  return out.str();
+}
+
+}  // namespace fascia

@@ -1,0 +1,72 @@
+#pragma once
+// Tree templates (the paper's "subgraphs"/"templates"/"treelets").
+//
+// FASCIA counts non-induced occurrences of a k-vertex tree in a large
+// graph.  TreeTemplate is a small validated adjacency structure
+// (connected, acyclic, k <= kMaxTemplateSize) with optional per-vertex
+// labels for the labeled-counting mode (Fig. 4).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fascia {
+
+/// Color-coding memory is ~C(k, h) per vertex; 16 is a generous cap
+/// (the paper stops at 12).
+inline constexpr int kMaxTemplateSize = 16;
+
+class TreeTemplate {
+ public:
+  using EdgeList = std::vector<std::pair<int, int>>;
+
+  /// Validates: k in [1, kMaxTemplateSize], exactly k-1 edges, connected,
+  /// endpoints in range, no self loops, no duplicates.
+  static TreeTemplate from_edges(int k, const EdgeList& edges);
+
+  /// Path on k vertices: 0-1-2-...-(k-1).
+  static TreeTemplate path(int k);
+
+  /// Star on k vertices: center 0 adjacent to 1..k-1.
+  static TreeTemplate star(int k);
+
+  /// Parses the text format: first non-comment line "k", then k-1
+  /// "u v" edge lines, then optionally k "label L" lines ("label"
+  /// literal keyword).  '#' starts a comment.
+  static TreeTemplate parse(const std::string& text);
+  static TreeTemplate load(const std::string& path);
+
+  [[nodiscard]] int size() const noexcept { return k_; }
+  [[nodiscard]] int num_edges() const noexcept { return k_ - 1; }
+
+  [[nodiscard]] std::span<const int> neighbors(int v) const noexcept {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] int degree(int v) const noexcept {
+    return static_cast<int>(adjacency_[static_cast<std::size_t>(v)].size());
+  }
+  [[nodiscard]] bool has_edge(int u, int v) const noexcept;
+
+  /// All edges, each once, (min, max) orientation, sorted.
+  [[nodiscard]] EdgeList edges() const;
+
+  // ---- labels -----------------------------------------------------------
+  [[nodiscard]] bool has_labels() const noexcept { return !labels_.empty(); }
+  [[nodiscard]] std::uint8_t label(int v) const noexcept {
+    return labels_[static_cast<std::size_t>(v)];
+  }
+  void set_labels(std::vector<std::uint8_t> labels);
+  void clear_labels() noexcept { labels_.clear(); }
+
+  /// Human-readable one-line description (used in bench output).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  int k_ = 0;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::uint8_t> labels_;
+};
+
+}  // namespace fascia

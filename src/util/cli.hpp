@@ -1,0 +1,54 @@
+#pragma once
+// Tiny command-line parser shared by benches and examples.
+//
+// Supports `--flag`, `--key value`, and `--key=value` forms.  Unknown
+// arguments raise an error so typos in bench sweeps fail loudly.  Every
+// bench registers the common options (--full, --seed, --csv, --threads,
+// --scale) through `add_common()`.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fascia {
+
+class Cli {
+ public:
+  explicit Cli(std::string program_description);
+
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Registers --full, --seed, --scale, --threads, --csv.
+  void add_common();
+
+  /// Parses argv; on `--help` prints usage and returns false (caller
+  /// should exit 0).  Throws std::invalid_argument on unknown options.
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] long long integer(const std::string& name) const;
+  [[nodiscard]] double real(const std::string& name) const;
+
+  /// True when --full was passed or FASCIA_FULL=1 is in the environment.
+  [[nodiscard]] bool full_scale() const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::string value;   // default, then parsed
+    bool seen = false;
+  };
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Spec> specs_;
+};
+
+}  // namespace fascia

@@ -1,0 +1,36 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace fascia {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header) {
+  out_.open(path);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  row(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace fascia

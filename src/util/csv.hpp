@@ -1,0 +1,31 @@
+#pragma once
+// Minimal CSV emission so bench results can be post-processed (plotted)
+// without parsing the ASCII tables.  Each bench writes its series to
+// stdout as a table and, when --csv FILE is given, also as CSV.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fascia {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  Throws
+  /// std::runtime_error if the file cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// No-op writer: rows are discarded.  Lets benches call `row()`
+  /// unconditionally.
+  CsvWriter() = default;
+
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] bool active() const { return out_.is_open(); }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace fascia

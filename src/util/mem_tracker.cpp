@@ -1,0 +1,44 @@
+#include "util/mem_tracker.hpp"
+
+namespace fascia {
+
+std::atomic<std::int64_t> MemTracker::current_{0};
+std::atomic<std::int64_t> MemTracker::peak_{0};
+
+void MemTracker::add(std::size_t bytes) noexcept {
+  const std::int64_t now =
+      current_.fetch_add(static_cast<std::int64_t>(bytes),
+                         std::memory_order_relaxed) +
+      static_cast<std::int64_t>(bytes);
+  std::int64_t prev = peak_.load(std::memory_order_relaxed);
+  while (now > prev &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemTracker::sub(std::size_t bytes) noexcept {
+  current_.fetch_sub(static_cast<std::int64_t>(bytes),
+                     std::memory_order_relaxed);
+}
+
+std::size_t MemTracker::current() noexcept {
+  const std::int64_t v = current_.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+std::size_t MemTracker::peak() noexcept {
+  const std::int64_t v = peak_.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+void MemTracker::reset_peak() noexcept {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+void MemTracker::reset_all() noexcept {
+  current_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fascia

@@ -1,0 +1,53 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation for FASCIA.
+//
+// The color-coding algorithm assigns a random color to every vertex on
+// every iteration, so RNG throughput matters (it is the only per-vertex
+// work besides the DP itself on single-vertex subtemplates).  We use
+// xoshiro256** seeded through splitmix64, with long-jump support so each
+// OpenMP thread can own a provably non-overlapping stream.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace fascia {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, re-typed).  Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from a single 64-bit seed via splitmix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Advances the stream by 2^192 steps: used to derive per-thread
+  /// sub-streams that cannot overlap in any realistic run.
+  void long_jump() noexcept;
+
+  /// Returns a generator `stream_index` long-jumps ahead of `*this`
+  /// without disturbing this generator's state.
+  [[nodiscard]] Xoshiro256 split(unsigned stream_index) const noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint32_t bounded(std::uint32_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// splitmix64: used for seeding and for hashing small integers.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace fascia

@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fascia {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stdev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(
+      xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double relative_error(double estimate, double exact) {
+  if (exact == 0.0) {
+    return estimate == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(estimate - exact) / std::abs(exact);
+}
+
+std::vector<double> prefix_means(const std::vector<double>& xs) {
+  std::vector<double> out(xs.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum += xs[i];
+    out[i] = sum / static_cast<double>(i + 1);
+  }
+  return out;
+}
+
+std::vector<std::size_t> integer_histogram(const std::vector<double>& xs,
+                                           std::size_t max_bin) {
+  std::vector<std::size_t> counts(max_bin + 1, 0);
+  for (double x : xs) {
+    auto k = static_cast<long long>(std::llround(x));
+    if (k < 0) k = 0;
+    if (static_cast<std::size_t>(k) > max_bin) k = static_cast<long long>(max_bin);
+    ++counts[static_cast<std::size_t>(k)];
+  }
+  return counts;
+}
+
+std::vector<std::size_t> log2_histogram(const std::vector<double>& xs) {
+  std::vector<std::size_t> counts;
+  for (double x : xs) {
+    std::size_t bin = 0;
+    if (x >= 1.0) bin = static_cast<std::size_t>(std::floor(std::log2(x)));
+    if (bin >= counts.size()) counts.resize(bin + 1, 0);
+    ++counts[bin];
+  }
+  return counts;
+}
+
+}  // namespace fascia

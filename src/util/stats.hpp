@@ -1,0 +1,32 @@
+#pragma once
+// Small statistics helpers used by the error-analysis benches
+// (Figs. 10-12) and the analytics module.
+
+#include <cstddef>
+#include <vector>
+
+namespace fascia {
+
+double mean(const std::vector<double>& xs);
+double stdev(const std::vector<double>& xs);           ///< sample stdev
+double median(std::vector<double> xs);                 ///< by copy
+
+/// |estimate - exact| / exact; returns 0 when exact == 0 and the
+/// estimate is also 0, and +inf when exact == 0 but estimate != 0.
+double relative_error(double estimate, double exact);
+
+/// Running mean over a prefix: out[i] = mean(xs[0..i]).  Used for the
+/// "error after N iterations" curves.
+std::vector<double> prefix_means(const std::vector<double>& xs);
+
+/// Histogram with explicit integer-valued bins [0, max]; counts[k] is
+/// the number of samples equal to k after rounding.  Used for graphlet
+/// degree distributions.
+std::vector<std::size_t> integer_histogram(const std::vector<double>& xs,
+                                           std::size_t max_bin);
+
+/// Geometric (log2) binning for heavy-tailed distributions: bin i holds
+/// values in [2^i, 2^(i+1)).  Values < 1 land in bin 0.
+std::vector<std::size_t> log2_histogram(const std::vector<double>& xs);
+
+}  // namespace fascia

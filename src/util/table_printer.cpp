@@ -1,0 +1,83 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace fascia {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::num(std::size_t v) { return std::to_string(v); }
+
+std::string TablePrinter::num(long long v) { return std::to_string(v); }
+
+std::string TablePrinter::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::bytes(std::size_t v) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double x = static_cast<double>(v);
+  int u = 0;
+  while (x >= 1024.0 && u < 4) {
+    x /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f %s", x, units[u]);
+  return buf;
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << cells[c];
+      out << std::string(width[c] - cells[c].size(), ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace fascia

@@ -1,0 +1,37 @@
+#pragma once
+// Aligned ASCII table output.  Every bench binary prints its paper
+// table/figure data through this so the harness output is uniform and
+// grep-able (rows prefixed with nothing, header separated by dashes).
+
+#include <string>
+#include <vector>
+
+namespace fascia {
+
+class TablePrinter {
+ public:
+  /// Column headers define the table width.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with sensible precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::size_t v);
+  static std::string num(long long v);
+  static std::string bytes(std::size_t v);  ///< human units (KiB/MiB/GiB)
+  static std::string sci(double v, int precision = 3);  ///< scientific
+
+  /// Renders the table to a string (also used by tests).
+  [[nodiscard]] std::string str() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fascia

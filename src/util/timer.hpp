@@ -1,0 +1,30 @@
+#pragma once
+// Wall-clock timing helpers used by the benchmark harness and the
+// counter's per-phase instrumentation.
+
+#include <chrono>
+
+namespace fascia {
+
+/// Simple monotonic stopwatch.  `elapsed_s()` may be called repeatedly;
+/// `restart()` resets the origin.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_s() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fascia

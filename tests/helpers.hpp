@@ -1,0 +1,183 @@
+#pragma once
+// Shared test utilities: small reference implementations the suites
+// cross-check the library against.  Everything here is deliberately
+// naive — clarity over speed.
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+#include "treelet/tree_template.hpp"
+
+namespace fascia::testing {
+
+/// Brute-force count of injective homomorphisms (maps) of `tmpl` into
+/// `graph`, optionally restricted to colorful maps under `colors`
+/// (pass empty for unrestricted).  Labels respected when both sides
+/// have them.  Works for TreeTemplate and MixedTemplate alike.
+template <class TemplateT>
+double brute_force_maps(const Graph& graph, const TemplateT& tmpl,
+                        const std::vector<std::uint8_t>& colors = {}) {
+  std::vector<int> order{0};
+  std::vector<int> parent(static_cast<std::size_t>(tmpl.size()), -1);
+  std::vector<char> placed(static_cast<std::size_t>(tmpl.size()), 0);
+  placed[0] = 1;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (int u : tmpl.neighbors(order[i])) {
+      if (!placed[static_cast<std::size_t>(u)]) {
+        placed[static_cast<std::size_t>(u)] = 1;
+        parent[static_cast<std::size_t>(u)] = order[i];
+        order.push_back(u);
+      }
+    }
+  }
+
+  std::vector<VertexId> image(static_cast<std::size_t>(tmpl.size()), -1);
+  std::vector<char> vertex_used(static_cast<std::size_t>(graph.num_vertices()), 0);
+  std::vector<char> color_used(32, 0);
+  double maps = 0.0;
+
+  std::function<void(std::size_t)> recurse = [&](std::size_t pos) {
+    if (pos == order.size()) {
+      maps += 1.0;
+      return;
+    }
+    const int tv = order[pos];
+    auto try_vertex = [&](VertexId v) {
+      if (vertex_used[static_cast<std::size_t>(v)]) return;
+      if (!colors.empty() && color_used[colors[static_cast<std::size_t>(v)]]) {
+        return;
+      }
+      if (tmpl.has_labels() && graph.has_labels() &&
+          tmpl.label(tv) != graph.label(v)) {
+        return;
+      }
+      for (int u : tmpl.neighbors(tv)) {
+        if (image[static_cast<std::size_t>(u)] >= 0 &&
+            !graph.has_edge(image[static_cast<std::size_t>(u)], v)) {
+          return;
+        }
+      }
+      image[static_cast<std::size_t>(tv)] = v;
+      vertex_used[static_cast<std::size_t>(v)] = 1;
+      if (!colors.empty()) color_used[colors[static_cast<std::size_t>(v)]] = 1;
+      recurse(pos + 1);
+      if (!colors.empty()) color_used[colors[static_cast<std::size_t>(v)]] = 0;
+      vertex_used[static_cast<std::size_t>(v)] = 0;
+      image[static_cast<std::size_t>(tv)] = -1;
+    };
+    if (pos == 0) {
+      for (VertexId v = 0; v < graph.num_vertices(); ++v) try_vertex(v);
+    } else {
+      const VertexId anchor =
+          image[static_cast<std::size_t>(parent[static_cast<std::size_t>(tv)])];
+      for (VertexId v : graph.neighbors(anchor)) try_vertex(v);
+    }
+  };
+  recurse(0);
+  return maps;
+}
+
+/// Brute-force |Aut|: tries all k! permutations.
+inline std::uint64_t brute_force_automorphisms(const TreeTemplate& tmpl) {
+  const int k = tmpl.size();
+  std::vector<int> perm(static_cast<std::size_t>(k));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::uint64_t count = 0;
+  do {
+    bool ok = true;
+    for (auto [u, v] : tmpl.edges()) {
+      if (!tmpl.has_edge(perm[static_cast<std::size_t>(u)],
+                         perm[static_cast<std::size_t>(v)])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && tmpl.has_labels()) {
+      for (int v = 0; v < k && ok; ++v) {
+        ok = tmpl.label(v) == tmpl.label(perm[static_cast<std::size_t>(v)]);
+      }
+    }
+    if (ok) ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return count;
+}
+
+/// Brute-force vertex orbits via permutation search.
+inline std::vector<int> brute_force_orbits(const TreeTemplate& tmpl) {
+  const int k = tmpl.size();
+  std::vector<int> orbit(static_cast<std::size_t>(k));
+  std::iota(orbit.begin(), orbit.end(), 0);
+  std::vector<int> perm(static_cast<std::size_t>(k));
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    bool ok = true;
+    for (auto [u, v] : tmpl.edges()) {
+      if (!tmpl.has_edge(perm[static_cast<std::size_t>(u)],
+                         perm[static_cast<std::size_t>(v)])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (int v = 0; v < k; ++v) {
+        const int target = perm[static_cast<std::size_t>(v)];
+        const int rep = std::min(orbit[static_cast<std::size_t>(v)],
+                                 orbit[static_cast<std::size_t>(target)]);
+        // Union by minimum representative (iterated to closure below).
+        orbit[static_cast<std::size_t>(v)] = rep;
+        orbit[static_cast<std::size_t>(target)] = rep;
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  // Path-compress representatives to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < k; ++v) {
+      const int rep = orbit[static_cast<std::size_t>(
+          orbit[static_cast<std::size_t>(v)])];
+      if (rep != orbit[static_cast<std::size_t>(v)]) {
+        orbit[static_cast<std::size_t>(v)] = rep;
+        changed = true;
+      }
+    }
+  }
+  return orbit;
+}
+
+/// Tiny deterministic test graphs.
+inline Graph triangle_graph() {
+  return build_graph(3, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+inline Graph complete_graph(VertexId n) {
+  EdgeList edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return build_graph(n, edges);
+}
+
+inline Graph cycle_graph(VertexId n) {
+  EdgeList edges;
+  for (VertexId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return build_graph(n, edges);
+}
+
+inline Graph path_graph(VertexId n) {
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return build_graph(n, edges);
+}
+
+inline Graph star_graph(VertexId n) {
+  EdgeList edges;
+  for (VertexId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return build_graph(n, edges);
+}
+
+}  // namespace fascia::testing

@@ -1,0 +1,80 @@
+#include "comb/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fascia {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(choose(0, 0), 1u);
+  EXPECT_EQ(choose(5, 0), 1u);
+  EXPECT_EQ(choose(5, 5), 1u);
+  EXPECT_EQ(choose(5, 2), 10u);
+  EXPECT_EQ(choose(12, 6), 924u);
+  EXPECT_EQ(choose(34, 17), 2333606220u);
+}
+
+TEST(Binomial, OutOfRangeIsZero) {
+  EXPECT_EQ(choose(3, 4), 0u);
+  EXPECT_EQ(choose(-1, 0), 0u);
+  EXPECT_EQ(choose(3, -1), 0u);
+}
+
+class PascalIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PascalIdentity, RecurrenceHolds) {
+  const int n = GetParam();
+  for (int k = 1; k < n; ++k) {
+    EXPECT_EQ(choose(n, k), choose(n - 1, k - 1) + choose(n - 1, k));
+  }
+}
+
+TEST_P(PascalIdentity, RowSumsToPowerOfTwo) {
+  const int n = GetParam();
+  std::uint64_t sum = 0;
+  for (int k = 0; k <= n; ++k) sum += choose(n, k);
+  EXPECT_EQ(sum, std::uint64_t{1} << n);
+}
+
+TEST_P(PascalIdentity, Symmetry) {
+  const int n = GetParam();
+  for (int k = 0; k <= n; ++k) {
+    EXPECT_EQ(choose(n, k), choose(n, n - k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, PascalIdentity,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16, 20, 34));
+
+TEST(Binomial, FallingFactorial) {
+  EXPECT_DOUBLE_EQ(falling_factorial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(falling_factorial(5, 1), 5.0);
+  EXPECT_DOUBLE_EQ(falling_factorial(5, 3), 60.0);
+  EXPECT_DOUBLE_EQ(falling_factorial(12, 12), 479001600.0);
+}
+
+TEST(Binomial, ColorfulProbabilityMatchesFormula) {
+  // P(k=h) = k! / k^k.
+  EXPECT_NEAR(colorful_probability(3, 3), 6.0 / 27.0, 1e-15);
+  EXPECT_NEAR(colorful_probability(5, 5), 120.0 / 3125.0, 1e-15);
+  // h > k impossible.
+  EXPECT_DOUBLE_EQ(colorful_probability(3, 4), 0.0);
+  // Extra colors raise the probability.
+  EXPECT_GT(colorful_probability(8, 5), colorful_probability(5, 5));
+  // h = 1 is always colorful.
+  EXPECT_DOUBLE_EQ(colorful_probability(7, 1), 1.0);
+}
+
+TEST(Binomial, ColorfulProbabilityMonotoneInColors) {
+  double previous = 0.0;
+  for (int k = 7; k <= 16; ++k) {
+    const double p = colorful_probability(k, 7);
+    EXPECT_GT(p, previous);
+    previous = p;
+  }
+}
+
+}  // namespace
+}  // namespace fascia

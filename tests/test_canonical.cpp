@@ -1,0 +1,125 @@
+#include "treelet/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "treelet/free_trees.hpp"
+
+namespace fascia {
+namespace {
+
+TEST(Canonical, RootedEqualityDetectsSymmetry) {
+  // Path 0-1-2: ends are equivalent, middle is not.
+  const TreeTemplate path = TreeTemplate::path(3);
+  EXPECT_EQ(ahu_rooted(path, 0), ahu_rooted(path, 2));
+  EXPECT_NE(ahu_rooted(path, 0), ahu_rooted(path, 1));
+}
+
+TEST(Canonical, CentroidsOfPath) {
+  EXPECT_EQ(centroids(TreeTemplate::path(5)), (std::vector<int>{2}));
+  EXPECT_EQ(centroids(TreeTemplate::path(4)), (std::vector<int>{1, 2}));
+  EXPECT_EQ(centroids(TreeTemplate::path(1)), (std::vector<int>{0}));
+  EXPECT_EQ(centroids(TreeTemplate::path(2)), (std::vector<int>{0, 1}));
+}
+
+TEST(Canonical, CentroidOfStarIsCenter) {
+  EXPECT_EQ(centroids(TreeTemplate::star(7)), (std::vector<int>{0}));
+}
+
+TEST(Canonical, FreeFormIdentifiesIsomorphs) {
+  // Same star written with different vertex numberings.
+  const TreeTemplate a = TreeTemplate::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  const TreeTemplate b = TreeTemplate::from_edges(4, {{3, 0}, {3, 1}, {3, 2}});
+  EXPECT_EQ(ahu_free(a), ahu_free(b));
+  EXPECT_TRUE(isomorphic(a, b));
+  EXPECT_NE(ahu_free(a), ahu_free(TreeTemplate::path(4)));
+  EXPECT_FALSE(isomorphic(a, TreeTemplate::path(4)));
+}
+
+TEST(Canonical, LabelsBreakSymmetry) {
+  TreeTemplate labeled = TreeTemplate::path(3);
+  labeled.set_labels({0, 0, 1});
+  EXPECT_NE(ahu_rooted(labeled, 0), ahu_rooted(labeled, 2));
+  EXPECT_EQ(automorphisms(labeled), 1u);
+  TreeTemplate symmetric = TreeTemplate::path(3);
+  symmetric.set_labels({1, 0, 1});
+  EXPECT_EQ(automorphisms(symmetric), 2u);
+}
+
+TEST(Canonical, KnownAutomorphismCounts) {
+  EXPECT_EQ(automorphisms(TreeTemplate::path(2)), 2u);
+  EXPECT_EQ(automorphisms(TreeTemplate::path(5)), 2u);
+  EXPECT_EQ(automorphisms(TreeTemplate::star(5)), 24u);  // 4!
+  // Double star (two centers with two leaves each): 2 * 2! * 2! = 8.
+  const TreeTemplate double_star =
+      TreeTemplate::from_edges(6, {{0, 1}, {0, 2}, {0, 3}, {3, 4}, {3, 5}});
+  EXPECT_EQ(automorphisms(double_star), 8u);
+}
+
+class AutomorphismsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutomorphismsBruteForce, MatchesPermutationSearch) {
+  // Exhaustive over ALL free trees of size k: the strongest possible
+  // pin on the centroid-factorization logic.
+  const int k = GetParam();
+  for (const TreeTemplate& tree : all_free_trees(k)) {
+    EXPECT_EQ(automorphisms(tree), testing::brute_force_automorphisms(tree))
+        << tree.describe();
+  }
+}
+
+TEST_P(AutomorphismsBruteForce, OrbitsMatchPermutationSearch) {
+  const int k = GetParam();
+  for (const TreeTemplate& tree : all_free_trees(k)) {
+    const auto ours = vertex_orbits(tree);
+    const auto brute = testing::brute_force_orbits(tree);
+    // Compare partitions: same-orbit relation must be identical.
+    for (int u = 0; u < k; ++u) {
+      for (int v = 0; v < k; ++v) {
+        EXPECT_EQ(ours[u] == ours[v], brute[u] == brute[v])
+            << tree.describe() << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTreesUpTo8, AutomorphismsBruteForce,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(Canonical, RootedAutomorphismsOfStar) {
+  const TreeTemplate star = TreeTemplate::star(5);
+  EXPECT_EQ(rooted_automorphisms(star, 0), 24u);  // center fixed: 4!
+  EXPECT_EQ(rooted_automorphisms(star, 1), 6u);   // one leaf fixed: 3!
+}
+
+TEST(Canonical, StabilizerTimesOrbitIsGroupOrder) {
+  for (int k = 3; k <= 7; ++k) {
+    for (const TreeTemplate& tree : all_free_trees(k)) {
+      const auto orbits = vertex_orbits(tree);
+      const std::uint64_t alpha = automorphisms(tree);
+      for (int v = 0; v < k; ++v) {
+        std::uint64_t orbit_size = 0;
+        for (int u = 0; u < k; ++u) {
+          if (orbits[u] == orbits[v]) ++orbit_size;
+        }
+        EXPECT_EQ(vertex_stabilizer(tree, v) * orbit_size, alpha);
+      }
+    }
+  }
+}
+
+TEST(Canonical, SubtreeCanonicalKeying) {
+  // In U7-2-like spider, the three length-2 legs have identical rooted
+  // canonical subtree strings.
+  const TreeTemplate spider = TreeTemplate::from_edges(
+      7, {{0, 1}, {1, 2}, {0, 3}, {3, 4}, {0, 5}, {5, 6}});
+  EXPECT_EQ(ahu_rooted_subtree(spider, {1, 2}, 1),
+            ahu_rooted_subtree(spider, {3, 4}, 3));
+  // A 3-path rooted at its end vs its middle are different rooted trees.
+  EXPECT_NE(ahu_rooted_subtree(spider, {0, 1, 2}, 0),
+            ahu_rooted_subtree(spider, {0, 1, 2}, 1));
+  EXPECT_THROW(ahu_rooted_subtree(spider, {1, 2}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fascia

@@ -1,0 +1,80 @@
+#include "treelet/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "treelet/canonical.hpp"
+#include "treelet/partition.hpp"
+
+namespace fascia {
+namespace {
+
+TEST(Catalog, TenTemplatesInPaperOrder) {
+  const auto& catalog = template_catalog();
+  ASSERT_EQ(catalog.size(), 10u);
+  const char* expected[] = {"U3-1", "U3-2", "U5-1", "U5-2", "U7-1",
+                            "U7-2", "U10-1", "U10-2", "U12-1", "U12-2"};
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog[i].name, expected[i]);
+  }
+}
+
+TEST(Catalog, SizesMatchNames) {
+  for (const auto& entry : template_catalog()) {
+    const int expected = std::stoi(entry.name.substr(1, entry.name.find('-') - 1));
+    EXPECT_EQ(entry.size, expected) << entry.name;
+    EXPECT_EQ(entry.tree.size(), expected) << entry.name;
+  }
+}
+
+TEST(Catalog, DashOneTemplatesArePaths) {
+  for (const char* name : {"U3-1", "U5-1", "U7-1", "U10-1", "U12-1"}) {
+    const auto& entry = catalog_entry(name);
+    EXPECT_TRUE(isomorphic(entry.tree, TreeTemplate::path(entry.size)))
+        << name;
+  }
+}
+
+TEST(Catalog, OnlyU32IsTriangle) {
+  for (const auto& entry : template_catalog()) {
+    EXPECT_EQ(entry.is_triangle, entry.name == "U3-2") << entry.name;
+  }
+}
+
+TEST(Catalog, U52HasDegreeThreeCentralVertex) {
+  // §V-F roots the GDD analysis at U5-2's degree-3 vertex.
+  const auto& entry = catalog_entry("U5-2");
+  EXPECT_EQ(entry.tree.degree(u52_central_vertex()), 3);
+}
+
+TEST(Catalog, U72HasRootedSymmetry) {
+  // §III-C: "An obvious example can be seen in template U7-2" — its
+  // automorphism group is nontrivial (three interchangeable legs).
+  EXPECT_EQ(automorphisms(catalog_entry("U7-2").tree), 6u);
+}
+
+TEST(Catalog, DashTwoTemplatesAreNotPaths) {
+  for (const char* name : {"U5-2", "U7-2", "U10-2", "U12-2"}) {
+    const auto& entry = catalog_entry(name);
+    EXPECT_FALSE(isomorphic(entry.tree, TreeTemplate::path(entry.size)))
+        << name;
+  }
+}
+
+TEST(Catalog, UnknownNameThrows) {
+  EXPECT_THROW(catalog_entry("U99-1"), std::invalid_argument);
+}
+
+TEST(Catalog, U122StressesPartitioning) {
+  // U12-2's one-at-a-time DP cost exceeds the plain path's — it was
+  // "explicitly designed to stress subtemplate partitioning" (§V-A).
+  const auto& complex_tree = catalog_entry("U12-2").tree;
+  const auto& path_tree = catalog_entry("U12-1").tree;
+  const auto cost = [](const TreeTemplate& t) {
+    return partition_template(t, PartitionStrategy::kOneAtATime, true)
+        .dp_cost(12);
+  };
+  EXPECT_GT(cost(complex_tree), cost(path_tree));
+}
+
+}  // namespace
+}  // namespace fascia

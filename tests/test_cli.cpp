@@ -1,0 +1,91 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace fascia {
+namespace {
+
+bool parse(Cli& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return cli.parse(static_cast<int>(args.size()),
+                   const_cast<char**>(args.data()));
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli("test");
+  cli.add_common();
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_FALSE(cli.flag("full"));
+  EXPECT_EQ(cli.integer("seed"), 42);
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 1.0);
+  EXPECT_EQ(cli.str("csv"), "");
+}
+
+TEST(Cli, FlagAndOptionForms) {
+  Cli cli("test");
+  cli.add_common();
+  ASSERT_TRUE(parse(cli, {"--full", "--seed", "7", "--scale=0.25"}));
+  EXPECT_TRUE(cli.flag("full"));
+  EXPECT_EQ(cli.integer("seed"), 7);
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 0.25);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  Cli cli("test");
+  cli.add_common();
+  EXPECT_THROW(parse(cli, {"--bogus"}), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli("test");
+  cli.add_common();
+  EXPECT_THROW(parse(cli, {"--seed"}), std::invalid_argument);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  Cli cli("test");
+  cli.add_common();
+  EXPECT_THROW(parse(cli, {"--full=1"}), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentThrows) {
+  Cli cli("test");
+  cli.add_common();
+  EXPECT_THROW(parse(cli, {"stray"}), std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("test");
+  cli.add_common();
+  EXPECT_FALSE(parse(cli, {"--help"}));
+}
+
+TEST(Cli, UnregisteredLookupThrows) {
+  Cli cli("test");
+  EXPECT_THROW(cli.str("nothere"), std::logic_error);
+}
+
+TEST(Cli, FullScaleViaEnvironment) {
+  Cli cli("test");
+  cli.add_common();
+  ASSERT_TRUE(parse(cli, {}));
+  ::setenv("FASCIA_FULL", "1", 1);
+  EXPECT_TRUE(cli.full_scale());
+  ::unsetenv("FASCIA_FULL");
+  EXPECT_FALSE(cli.full_scale());
+}
+
+TEST(Cli, UsageListsOptions) {
+  Cli cli("my-tool");
+  cli.add_option("alpha", "the alpha value", "3");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("my-tool"), std::string::npos);
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("the alpha value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fascia

@@ -1,0 +1,88 @@
+#include "comb/colorset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace fascia {
+namespace {
+
+TEST(Colorset, KnownIndices) {
+  // k=4, h=2 in colex order.
+  EXPECT_EQ(colorset_index(std::vector<int>{0, 1}), 0u);
+  EXPECT_EQ(colorset_index(std::vector<int>{0, 2}), 1u);
+  EXPECT_EQ(colorset_index(std::vector<int>{1, 2}), 2u);
+  EXPECT_EQ(colorset_index(std::vector<int>{0, 3}), 3u);
+  EXPECT_EQ(colorset_index(std::vector<int>{1, 3}), 4u);
+  EXPECT_EQ(colorset_index(std::vector<int>{2, 3}), 5u);
+}
+
+TEST(Colorset, SingletonIndexIsColor) {
+  for (int c = 0; c < 12; ++c) {
+    EXPECT_EQ(colorset_index(std::vector<int>{c}),
+              static_cast<ColorsetIndex>(c));
+  }
+}
+
+struct KhParam {
+  int k;
+  int h;
+};
+
+class ColorsetRoundTrip : public ::testing::TestWithParam<KhParam> {};
+
+TEST_P(ColorsetRoundTrip, EncodeDecodeBijective) {
+  const auto [k, h] = GetParam();
+  const auto count = num_colorsets(k, h);
+  std::set<std::vector<int>> seen;
+  for (ColorsetIndex index = 0; index < count; ++index) {
+    const auto colors = colorset_colors(index, h);
+    ASSERT_EQ(static_cast<int>(colors.size()), h);
+    for (std::size_t i = 0; i + 1 < colors.size(); ++i) {
+      ASSERT_LT(colors[i], colors[i + 1]);
+    }
+    ASSERT_LT(colors.back(), k);
+    ASSERT_GE(colors.front(), 0);
+    EXPECT_EQ(colorset_index(colors), index);
+    EXPECT_TRUE(seen.insert(colors).second);
+  }
+  EXPECT_EQ(seen.size(), count);
+}
+
+TEST_P(ColorsetRoundTrip, ColexIterationMatchesIndexOrder) {
+  const auto [k, h] = GetParam();
+  std::vector<int> colors(static_cast<std::size_t>(h));
+  std::iota(colors.begin(), colors.end(), 0);
+  ColorsetIndex expected = 0;
+  do {
+    EXPECT_EQ(colorset_index(colors), expected);
+    ++expected;
+  } while (next_colorset(colors, k));
+  EXPECT_EQ(expected, num_colorsets(k, h));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ColorsetRoundTrip,
+    ::testing::Values(KhParam{3, 1}, KhParam{3, 3}, KhParam{5, 2},
+                      KhParam{7, 4}, KhParam{10, 5}, KhParam{12, 6},
+                      KhParam{12, 12}, KhParam{16, 3}));
+
+TEST(Colorset, ContainsIsMembership) {
+  const std::vector<int> colors = {1, 3, 4};
+  const ColorsetIndex index = colorset_index(colors);
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_EQ(colorset_contains(index, 3, c),
+              c == 1 || c == 3 || c == 4);
+  }
+}
+
+TEST(Colorset, NumColorsets) {
+  EXPECT_EQ(num_colorsets(12, 6), 924u);
+  EXPECT_EQ(num_colorsets(5, 5), 1u);
+  EXPECT_EQ(num_colorsets(5, 0), 1u);
+}
+
+}  // namespace
+}  // namespace fascia

@@ -1,0 +1,69 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "helpers.hpp"
+
+namespace fascia {
+namespace {
+
+TEST(Components, SingleComponent) {
+  const Graph g = testing::path_graph(5);
+  VertexId count = 0;
+  const auto ids = connected_components(g, count);
+  EXPECT_EQ(count, 1);
+  for (VertexId id : ids) EXPECT_EQ(id, 0);
+}
+
+TEST(Components, CountsDisjointPieces) {
+  // Two triangles and an isolated vertex.
+  const Graph g = build_graph(
+      7, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  VertexId count = 0;
+  const auto ids = connected_components(g, count);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_EQ(ids[3], ids[5]);
+  EXPECT_NE(ids[0], ids[3]);
+  EXPECT_NE(ids[6], ids[0]);
+  EXPECT_NE(ids[6], ids[3]);
+}
+
+TEST(Components, LargestComponentExtraction) {
+  // Component A: path of 4; component B: triangle.
+  const Graph g = build_graph(
+      7, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {4, 6}});
+  const Graph largest = largest_component(g);
+  EXPECT_EQ(largest.num_vertices(), 4);
+  EXPECT_EQ(largest.num_edges(), 3);
+}
+
+TEST(Components, LargestOfConnectedGraphIsItself) {
+  const Graph g = testing::cycle_graph(6);
+  const Graph largest = largest_component(g);
+  EXPECT_EQ(largest.num_vertices(), 6);
+  EXPECT_EQ(largest.num_edges(), 6);
+}
+
+TEST(Components, LabelsSurviveExtraction) {
+  Graph g = build_graph(5, {{0, 1}, {1, 2}, {3, 4}});
+  g.set_labels({0, 1, 2, 3, 3}, 4);
+  const Graph largest = largest_component(g);
+  ASSERT_EQ(largest.num_vertices(), 3);
+  ASSERT_TRUE(largest.has_labels());
+  EXPECT_EQ(largest.label(0), 0);
+  EXPECT_EQ(largest.label(1), 1);
+  EXPECT_EQ(largest.label(2), 2);
+}
+
+TEST(Components, IsolatedVerticesAreComponents) {
+  const Graph g = build_graph(4, {{1, 2}});
+  VertexId count = 0;
+  connected_components(g, count);
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace fascia

@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fascia {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "fascia_csv_basic.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row({"1", "2"});
+    csv.row({"x", "y"});
+  }
+  EXPECT_EQ(slurp(path), "a,b\n1,2\nx,y\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  const std::string path = ::testing::TempDir() + "fascia_csv_escape.csv";
+  {
+    CsvWriter csv(path, {"h"});
+    csv.row({"has,comma"});
+    csv.row({"has\"quote"});
+  }
+  EXPECT_EQ(slurp(path), "h\n\"has,comma\"\n\"has\"\"quote\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, InactiveWriterDiscardsRows) {
+  CsvWriter csv;  // no file
+  EXPECT_FALSE(csv.active());
+  csv.row({"anything"});  // must not crash
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fascia

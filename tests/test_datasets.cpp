@@ -1,0 +1,103 @@
+#include "graph/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/components.hpp"
+#include "graph/io.hpp"
+
+namespace fascia {
+namespace {
+
+TEST(Datasets, TableOneHasTenRows) {
+  EXPECT_EQ(dataset_specs().size(), 10u);
+  EXPECT_EQ(dataset_specs().front().name, "portland");
+  EXPECT_EQ(dataset_specs().back().name, "celegans");
+}
+
+TEST(Datasets, SpecLookup) {
+  const auto& spec = dataset_spec("enron");
+  EXPECT_EQ(spec.paper_name, "Enron");
+  EXPECT_EQ(spec.target_n, 33'696);
+  EXPECT_EQ(spec.target_m, 180'811);
+  EXPECT_THROW(dataset_spec("nope"), std::invalid_argument);
+}
+
+TEST(Datasets, ScaleValidation) {
+  EXPECT_THROW(make_dataset("enron", 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(make_dataset("enron", 1.5, 1), std::invalid_argument);
+}
+
+class SmallDatasetBuild : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SmallDatasetBuild, BuildsConnectedAtFullSize) {
+  // The non-scalable datasets are tiny enough to build at paper size.
+  const Graph g = make_dataset(GetParam(), 1.0, 7);
+  const auto& spec = dataset_spec(GetParam());
+  VertexId components = 0;
+  connected_components(g, components);
+  EXPECT_EQ(components, 1);
+  // Largest component retains the bulk of the generated network.
+  EXPECT_GE(g.num_vertices(), spec.target_n / 2);
+  EXPECT_LE(g.num_vertices(), spec.target_n);
+  // Average degree in the right ballpark (factor ~1.6 tolerance: LCC
+  // extraction shifts it).
+  EXPECT_GT(g.avg_degree(), spec.target_avg_degree / 1.6);
+  EXPECT_LT(g.avg_degree(), spec.target_avg_degree * 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyNetworks, SmallDatasetBuild,
+                         ::testing::Values("circuit", "ecoli", "hpylori",
+                                           "celegans", "scerevisiae"));
+
+class ScaledDatasetBuild : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScaledDatasetBuild, BuildsAtReducedScale) {
+  const double scale = 0.01;
+  const Graph g = make_dataset(GetParam(), scale, 7);
+  const auto& spec = dataset_spec(GetParam());
+  const double target_n = spec.target_n * scale;
+  EXPECT_GT(g.num_vertices(), target_n * 0.3);
+  EXPECT_LT(g.num_vertices(), target_n * 1.6);
+  VertexId components = 0;
+  connected_components(g, components);
+  EXPECT_EQ(components, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(BigNetworks, ScaledDatasetBuild,
+                         ::testing::Values("portland", "enron", "gnp",
+                                           "slashdot", "road"));
+
+TEST(Datasets, DeterministicInSeed) {
+  const Graph a = make_dataset("hpylori", 1.0, 5);
+  const Graph b = make_dataset("hpylori", 1.0, 5);
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(Datasets, DifferentDatasetsDifferentStreams) {
+  // Same seed, different names must not produce identical graphs.
+  const Graph a = make_dataset("ecoli", 1.0, 5);
+  const Graph b = make_dataset("celegans", 1.0, 5);
+  EXPECT_NE(a.num_edges(), b.num_edges());
+}
+
+TEST(Datasets, LoadOrMakePrefersFile) {
+  const std::string path = ::testing::TempDir() + "fascia_dataset_file.txt";
+  {
+    std::ofstream out(path);
+    out << "0 1\n1 2\n2 0\n";
+  }
+  const Graph g = load_or_make("enron", path, 1.0, 1);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  std::remove(path.c_str());
+
+  const Graph generated = load_or_make("hpylori", "", 1.0, 1);
+  EXPECT_GT(generated.num_vertices(), 100);
+}
+
+}  // namespace
+}  // namespace fascia

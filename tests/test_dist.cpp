@@ -1,0 +1,117 @@
+#include "dist/partition_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comb/binomial.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+#include "treelet/catalog.hpp"
+
+namespace fascia::dist {
+namespace {
+
+TEST(VertexPartition, CoversAllVerticesWithValidOwners) {
+  for (auto scheme : {PartitionScheme::kBlock, PartitionScheme::kHash}) {
+    const auto owner = partition_vertices(1000, 7, scheme, 3);
+    ASSERT_EQ(owner.size(), 1000u);
+    for (int rank : owner) {
+      EXPECT_GE(rank, 0);
+      EXPECT_LT(rank, 7);
+    }
+  }
+}
+
+TEST(VertexPartition, BlockIsContiguousAndBalanced) {
+  const auto owner = partition_vertices(100, 4, PartitionScheme::kBlock);
+  EXPECT_TRUE(std::is_sorted(owner.begin(), owner.end()));
+  std::vector<int> counts(4, 0);
+  for (int rank : owner) ++counts[static_cast<std::size_t>(rank)];
+  for (int count : counts) EXPECT_EQ(count, 25);
+}
+
+TEST(VertexPartition, HashRoughlyBalanced) {
+  const auto owner = partition_vertices(8000, 8, PartitionScheme::kHash, 5);
+  std::vector<int> counts(8, 0);
+  for (int rank : owner) ++counts[static_cast<std::size_t>(rank)];
+  for (int count : counts) EXPECT_NEAR(count, 1000, 150);
+}
+
+TEST(VertexPartition, SingleRankOwnsEverything) {
+  const auto owner = partition_vertices(50, 1, PartitionScheme::kBlock);
+  for (int rank : owner) EXPECT_EQ(rank, 0);
+}
+
+TEST(VertexPartition, Validation) {
+  EXPECT_THROW(partition_vertices(10, 0, PartitionScheme::kBlock),
+               std::invalid_argument);
+}
+
+TEST(DistSim, SingleRankHasNoCommunication) {
+  const Graph g = testing::complete_graph(20);
+  const auto result = simulate_distributed_dp(
+      g, TreeTemplate::path(5), 0, 1, PartitionScheme::kBlock);
+  EXPECT_DOUBLE_EQ(result.total_ghost_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(result.replication, 0.0);
+  EXPECT_DOUBLE_EQ(result.load_imbalance, 1.0);
+}
+
+TEST(DistSim, HandComputedGhostsOnPath) {
+  // Path 0-1-2-3 split into ranks {0,1} and {2,3}: each rank has one
+  // ghost (the far endpoint of the cut edge 1-2).
+  const Graph g = testing::path_graph(4);
+  const auto result = simulate_distributed_dp(
+      g, TreeTemplate::path(3), 0, 2, PartitionScheme::kBlock);
+  ASSERT_EQ(result.ghosts_per_rank.size(), 2u);
+  EXPECT_EQ(result.ghosts_per_rank[0], 1u);
+  EXPECT_EQ(result.ghosts_per_rank[1], 1u);
+  EXPECT_DOUBLE_EQ(result.replication, 0.5);
+}
+
+TEST(DistSim, MoreRanksNeverLessCommunication) {
+  const Graph g = largest_component(chung_lu(2000, 8000, 2.2, 100, 7));
+  double previous = -1.0;
+  for (int ranks : {2, 4, 8, 16}) {
+    const auto result = simulate_distributed_dp(
+        g, catalog_entry("U7-1").tree, 0, ranks, PartitionScheme::kHash, 3);
+    EXPECT_GE(result.total_ghost_bytes, previous);
+    previous = result.total_ghost_bytes;
+  }
+}
+
+TEST(DistSim, BlockBeatsHashOnRoadLocality) {
+  // Grid road networks have strong vertex locality: contiguous blocks
+  // cut few edges, hashed ownership cuts almost all of them.
+  const Graph g = largest_component(grid_road(4000, 0.72, 5));
+  const auto block = simulate_distributed_dp(
+      g, catalog_entry("U7-1").tree, 0, 8, PartitionScheme::kBlock);
+  const auto hash = simulate_distributed_dp(
+      g, catalog_entry("U7-1").tree, 0, 8, PartitionScheme::kHash, 5);
+  EXPECT_LT(block.total_ghost_bytes, hash.total_ghost_bytes / 4.0);
+}
+
+TEST(DistSim, RowBytesTrackPassiveChildWidth) {
+  const Graph g = testing::complete_graph(12);
+  const auto result = simulate_distributed_dp(
+      g, catalog_entry("U7-2").tree, 0, 3, PartitionScheme::kBlock);
+  for (const auto& node : result.per_node) {
+    if (node.passive_size >= 2) {
+      EXPECT_EQ(node.row_bytes,
+                choose(7, node.passive_size) * sizeof(double));
+    } else {
+      EXPECT_EQ(node.row_bytes, 0u);
+    }
+  }
+}
+
+TEST(DistSim, Validation) {
+  const Graph g = testing::path_graph(4);
+  EXPECT_THROW(simulate_distributed_dp(g, TreeTemplate::path(5), 3, 2,
+                                       PartitionScheme::kBlock),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fascia::dist

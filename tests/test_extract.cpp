@@ -1,0 +1,119 @@
+#include "core/extract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/counter.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/labels.hpp"
+#include "helpers.hpp"
+#include "treelet/catalog.hpp"
+
+namespace fascia {
+namespace {
+
+Graph test_graph() {
+  static const Graph g = largest_component(erdos_renyi_gnm(50, 130, 23));
+  return g;
+}
+
+TEST(Extract, SampledEmbeddingsAreValid) {
+  const Graph g = test_graph();
+  for (const char* name : {"U3-1", "U5-1", "U5-2", "U7-2"}) {
+    const TreeTemplate& tree = catalog_entry(name).tree;
+    const auto embeddings = sample_embeddings(g, tree, 25);
+    EXPECT_GT(embeddings.size(), 0u) << name;
+    for (const auto& embedding : embeddings) {
+      EXPECT_TRUE(is_valid_embedding(g, tree, embedding)) << name;
+    }
+  }
+}
+
+TEST(Extract, SamplingDeterministicInSeed) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  CountOptions options;
+  options.seed = 77;
+  const auto a = sample_embeddings(g, tree, 10, options);
+  const auto b = sample_embeddings(g, tree, 10, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vertices, b[i].vertices);
+  }
+}
+
+TEST(Extract, EnumerationMatchesColorfulOccurrenceCount) {
+  // For one fixed coloring, every colorful copy (vertex set + edges)
+  // is discovered exactly alpha times as a map; dedup reduces to
+  // occurrence counts.
+  const Graph g = test_graph();
+  const TreeTemplate tree = TreeTemplate::path(4);
+  CountOptions options;
+  options.seed = 9;
+  const auto with_dedup =
+      enumerate_embeddings(g, tree, 1u << 20, /*dedup_sets=*/true, options);
+  const auto without_dedup =
+      enumerate_embeddings(g, tree, 1u << 20, /*dedup_sets=*/false, options);
+  // Path has alpha = 2: every copy appears exactly twice as a map.
+  EXPECT_EQ(without_dedup.size(), 2 * with_dedup.size());
+  for (const auto& embedding : without_dedup) {
+    EXPECT_TRUE(is_valid_embedding(g, tree, embedding));
+  }
+}
+
+TEST(Extract, EnumerationRespectsLimit) {
+  const Graph g = test_graph();
+  const TreeTemplate tree = TreeTemplate::path(3);
+  const auto embeddings = enumerate_embeddings(g, tree, 7);
+  EXPECT_LE(embeddings.size(), 7u);
+}
+
+TEST(Extract, EnumeratedCopiesAreDistinct) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-1").tree;
+  const auto embeddings = enumerate_embeddings(g, tree, 500, true);
+  std::set<std::vector<std::pair<VertexId, VertexId>>> copies;
+  for (const auto& embedding : embeddings) {
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    for (auto [a, b] : tree.edges()) {
+      const VertexId u = embedding.vertices[static_cast<std::size_t>(a)];
+      const VertexId v = embedding.vertices[static_cast<std::size_t>(b)];
+      edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+    std::sort(edges.begin(), edges.end());
+    EXPECT_TRUE(copies.insert(edges).second);
+  }
+}
+
+TEST(Extract, LabeledEmbeddingsRespectLabels) {
+  Graph g = test_graph();
+  assign_random_labels(g, 2, 4);
+  TreeTemplate tree = TreeTemplate::path(3);
+  tree.set_labels({0, 1, 0});
+  const auto embeddings = sample_embeddings(g, tree, 10);
+  for (const auto& embedding : embeddings) {
+    EXPECT_TRUE(is_valid_embedding(g, tree, embedding));
+  }
+}
+
+TEST(Extract, ValidatorCatchesBadEmbeddings) {
+  const Graph g = testing::path_graph(4);
+  const TreeTemplate tree = TreeTemplate::path(3);
+  EXPECT_TRUE(is_valid_embedding(g, tree, {{0, 1, 2}}));
+  EXPECT_FALSE(is_valid_embedding(g, tree, {{0, 1}}));        // wrong size
+  EXPECT_FALSE(is_valid_embedding(g, tree, {{0, 1, 1}}));     // repeat
+  EXPECT_FALSE(is_valid_embedding(g, tree, {{0, 2, 3}}));     // missing edge
+  EXPECT_FALSE(is_valid_embedding(g, tree, {{0, 1, 9}}));     // out of range
+}
+
+TEST(Extract, NoEmbeddingsInTooSmallGraph) {
+  const Graph g = testing::path_graph(2);
+  const TreeTemplate tree = TreeTemplate::path(5);
+  EXPECT_TRUE(sample_embeddings(g, tree, 5).empty());
+  EXPECT_TRUE(enumerate_embeddings(g, tree, 5).empty());
+}
+
+}  // namespace
+}  // namespace fascia

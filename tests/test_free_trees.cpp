@@ -1,0 +1,104 @@
+#include "treelet/free_trees.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "treelet/canonical.hpp"
+
+namespace fascia {
+namespace {
+
+TEST(FreeTrees, CountsMatchOeisA000055) {
+  // 1, 1, 1, 2, 3, 6, 11, 23, 47, 106, 235, 551 for k = 1..12.
+  const std::size_t expected[] = {1, 1, 1, 2, 3, 6, 11, 23, 47, 106, 235, 551};
+  for (int k = 1; k <= 12; ++k) {
+    EXPECT_EQ(num_free_trees(k), expected[k - 1]) << "k=" << k;
+  }
+}
+
+TEST(FreeTrees, PaperCitedCounts) {
+  // §IV-B: "k = 7, 10, and 12 would imply 11, 106, and 551 possible
+  // tree topologies, respectively."
+  EXPECT_EQ(num_free_trees(7), 11u);
+  EXPECT_EQ(num_free_trees(10), 106u);
+  EXPECT_EQ(num_free_trees(12), 551u);
+}
+
+class FreeTreeProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(FreeTreeProperties, PairwiseNonIsomorphic) {
+  const int k = GetParam();
+  const auto trees = all_free_trees(k);
+  std::set<std::string> canon;
+  for (const auto& tree : trees) {
+    EXPECT_EQ(tree.size(), k);
+    EXPECT_TRUE(canon.insert(ahu_free(tree)).second);
+  }
+}
+
+TEST_P(FreeTreeProperties, DeterministicOrder) {
+  const int k = GetParam();
+  const auto first = all_free_trees(k);
+  const auto second = all_free_trees(k);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].edges(), second[i].edges());
+  }
+}
+
+TEST_P(FreeTreeProperties, ContainsPathAndStar) {
+  const int k = GetParam();
+  const auto trees = all_free_trees(k);
+  const std::string path_canon = ahu_free(TreeTemplate::path(k));
+  const std::string star_canon = ahu_free(TreeTemplate::star(k));
+  int found_path = 0, found_star = 0;
+  for (const auto& tree : trees) {
+    found_path += (ahu_free(tree) == path_canon);
+    found_star += (ahu_free(tree) == star_canon);
+  }
+  EXPECT_EQ(found_path, 1);
+  EXPECT_EQ(found_star, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FreeTreeProperties,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 10));
+
+TEST(FreeTrees, LevelSequencesWellFormed) {
+  for (int k = 2; k <= 8; ++k) {
+    for (const auto& levels : all_level_sequences(k)) {
+      ASSERT_EQ(static_cast<int>(levels.size()), k);
+      EXPECT_EQ(levels[0], 1);
+      for (std::size_t i = 1; i < levels.size(); ++i) {
+        EXPECT_GE(levels[i], 2);
+        EXPECT_LE(levels[i], levels[i - 1] + 1);
+      }
+    }
+  }
+}
+
+TEST(FreeTrees, RootedCountsMatchOeisA000081) {
+  // Rooted trees: 1, 1, 2, 4, 9, 20, 48, 115, 286, 719 for k = 1..10.
+  const std::size_t expected[] = {1, 1, 2, 4, 9, 20, 48, 115, 286, 719};
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_EQ(all_level_sequences(k).size(), expected[k - 1]) << "k=" << k;
+  }
+}
+
+TEST(FreeTrees, LevelSequenceToTree) {
+  const TreeTemplate t = tree_from_level_sequence({1, 2, 3, 2});
+  // 0 -> 1 -> 2, 0 -> 3.
+  EXPECT_TRUE(t.has_edge(0, 1));
+  EXPECT_TRUE(t.has_edge(1, 2));
+  EXPECT_TRUE(t.has_edge(0, 3));
+  EXPECT_THROW(tree_from_level_sequence({2, 1}), std::invalid_argument);
+  EXPECT_THROW(tree_from_level_sequence({1, 3}), std::invalid_argument);
+}
+
+TEST(FreeTrees, SizeValidation) {
+  EXPECT_THROW(all_free_trees(0), std::invalid_argument);
+  EXPECT_THROW(all_free_trees(kMaxTemplateSize + 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fascia

@@ -1,0 +1,84 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "helpers.hpp"
+
+namespace fascia {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(GraphIo, WriteReadRoundTrip) {
+  const Graph original = testing::complete_graph(5);
+  const std::string path = temp_path("fascia_roundtrip.txt");
+  write_edge_list(original, path);
+  const Graph loaded = read_edge_list(path);
+  EXPECT_EQ(loaded.num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  EXPECT_EQ(edge_list(loaded), edge_list(original));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, SkipsCommentsAndBlank) {
+  const std::string path = temp_path("fascia_comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# SNAP style header\n% matrix-market style\n\n0 1\n1 2\n";
+  }
+  const Graph g = read_edge_list(path);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MalformedLineThrows) {
+  const std::string path = temp_path("fascia_malformed.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot numbers here\n";
+  }
+  EXPECT_THROW(read_edge_list(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list("/no/such/file.txt"), std::runtime_error);
+}
+
+TEST(GraphIo, LabelsRoundTrip) {
+  Graph g = testing::path_graph(4);
+  g.set_labels({2, 0, 1, 2}, 3);
+  const std::string path = temp_path("fascia_labels.txt");
+  write_labels(g, path);
+
+  Graph fresh = testing::path_graph(4);
+  read_labels(fresh, path);
+  ASSERT_TRUE(fresh.has_labels());
+  EXPECT_EQ(fresh.num_label_values(), 3);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(fresh.label(v), g.label(v));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, WriteLabelsWithoutLabelsThrows) {
+  const Graph g = testing::path_graph(3);
+  EXPECT_THROW(write_labels(g, temp_path("x.txt")), std::runtime_error);
+}
+
+TEST(GraphIo, DuplicateEdgesInFileMerged) {
+  const std::string path = temp_path("fascia_dups.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n1 0\n0 1\n";
+  }
+  EXPECT_EQ(read_edge_list(path).num_edges(), 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fascia

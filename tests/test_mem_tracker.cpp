@@ -1,0 +1,58 @@
+#include "util/mem_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fascia {
+namespace {
+
+class MemTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MemTracker::reset_all(); }
+  void TearDown() override { MemTracker::reset_all(); }
+};
+
+TEST_F(MemTrackerTest, AddSubTracksCurrent) {
+  MemTracker::add(100);
+  EXPECT_EQ(MemTracker::current(), 100u);
+  MemTracker::add(50);
+  EXPECT_EQ(MemTracker::current(), 150u);
+  MemTracker::sub(100);
+  EXPECT_EQ(MemTracker::current(), 50u);
+}
+
+TEST_F(MemTrackerTest, PeakIsHighWaterMark) {
+  MemTracker::add(100);
+  MemTracker::sub(100);
+  MemTracker::add(40);
+  EXPECT_EQ(MemTracker::peak(), 100u);
+  EXPECT_EQ(MemTracker::current(), 40u);
+}
+
+TEST_F(MemTrackerTest, ResetPeakDropsToCurrent) {
+  MemTracker::add(100);
+  MemTracker::sub(60);
+  MemTracker::reset_peak();
+  EXPECT_EQ(MemTracker::peak(), 40u);
+  MemTracker::add(10);
+  EXPECT_EQ(MemTracker::peak(), 50u);
+}
+
+TEST_F(MemTrackerTest, PeakMemScopeMeasuresWindow) {
+  MemTracker::add(1000);
+  std::size_t measured = 0;
+  {
+    PeakMemScope scope(measured);
+    MemTracker::add(500);
+    MemTracker::sub(500);
+  }
+  EXPECT_EQ(measured, 1500u);
+  MemTracker::sub(1000);
+}
+
+TEST_F(MemTrackerTest, CurrentNeverNegative) {
+  MemTracker::sub(10);  // underflow clamps to 0 at read time
+  EXPECT_EQ(MemTracker::current(), 0u);
+}
+
+}  // namespace
+}  // namespace fascia

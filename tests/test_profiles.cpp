@@ -1,0 +1,57 @@
+#include "analytics/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fascia::analytics {
+namespace {
+
+TEST(Profiles, DistanceZeroForIdentical) {
+  const std::vector<double> profile = {1.0, 10.0, 100.0};
+  EXPECT_DOUBLE_EQ(profile_log_distance(profile, profile), 0.0);
+}
+
+TEST(Profiles, DistanceDetectsScaleDifference) {
+  const std::vector<double> a = {1.0, 1.0, 1.0};
+  const std::vector<double> b = {10.0, 10.0, 10.0};
+  EXPECT_NEAR(profile_log_distance(a, b), 1.0, 1e-12);  // one decade
+}
+
+TEST(Profiles, DistanceSkipsZeros) {
+  const std::vector<double> a = {0.0, 10.0};
+  const std::vector<double> b = {5.0, 10.0};
+  EXPECT_DOUBLE_EQ(profile_log_distance(a, b), 0.0);
+}
+
+TEST(Profiles, MismatchedLengthsThrow) {
+  EXPECT_THROW(profile_log_distance({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(profile_log_correlation({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Profiles, CorrelationOneForProportionalProfiles) {
+  const std::vector<double> a = {1.0, 10.0, 100.0, 1000.0};
+  const std::vector<double> b = {2.0, 20.0, 200.0, 2000.0};
+  EXPECT_NEAR(profile_log_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Profiles, CorrelationNegativeForOpposedProfiles) {
+  const std::vector<double> a = {1.0, 10.0, 100.0};
+  const std::vector<double> b = {100.0, 10.0, 1.0};
+  EXPECT_NEAR(profile_log_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(Profiles, CorrelationDegenerateCases) {
+  // Constant profiles have zero variance: define correlation as 1.
+  EXPECT_DOUBLE_EQ(profile_log_correlation({5.0, 5.0}, {1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(profile_log_correlation({1.0}, {2.0}), 1.0);
+}
+
+TEST(Profiles, SymmetricDistance) {
+  const std::vector<double> a = {1.0, 4.0, 9.0};
+  const std::vector<double> b = {2.0, 3.0, 20.0};
+  EXPECT_DOUBLE_EQ(profile_log_distance(a, b), profile_log_distance(b, a));
+}
+
+}  // namespace
+}  // namespace fascia::analytics

@@ -1,0 +1,105 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace fascia {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint32_t bound : {1u, 2u, 3u, 7u, 10u, 1000u}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversAllValues) {
+  Xoshiro256 rng(3);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.bounded(12));
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int count : counts) {
+    EXPECT_NEAR(count, expected, expected * 0.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsDoNotOverlap) {
+  Xoshiro256 base(99);
+  Xoshiro256 s0 = base.split(0);
+  Xoshiro256 s1 = base.split(1);
+  std::set<std::uint64_t> from_s0;
+  for (int i = 0; i < 1000; ++i) from_s0.insert(s0());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) collisions += from_s0.count(s1());
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Xoshiro256 a(123), b(123);
+  (void)a.split(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitmixDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Rng, SplitmixSequenceAdvances) {
+  std::uint64_t state = 42;
+  const auto first = splitmix64(state);
+  const auto second = splitmix64(state);
+  EXPECT_NE(first, second);
+}
+
+TEST(Rng, LongJumpChangesState) {
+  Xoshiro256 a(1), b(1);
+  b.long_jump();
+  EXPECT_NE(a(), b());
+}
+
+}  // namespace
+}  // namespace fascia

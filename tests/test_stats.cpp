@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fascia {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(Stats, StdevBasics) {
+  EXPECT_DOUBLE_EQ(stdev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stdev({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stdev({1.0, 1.0, 1.0}), 0.0);
+  EXPECT_NEAR(stdev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(relative_error(1.0, 0.0)));
+  EXPECT_DOUBLE_EQ(relative_error(-50.0, -100.0), 0.5);
+}
+
+TEST(Stats, PrefixMeans) {
+  const auto prefixes = prefix_means({2.0, 4.0, 6.0});
+  ASSERT_EQ(prefixes.size(), 3u);
+  EXPECT_DOUBLE_EQ(prefixes[0], 2.0);
+  EXPECT_DOUBLE_EQ(prefixes[1], 3.0);
+  EXPECT_DOUBLE_EQ(prefixes[2], 4.0);
+}
+
+TEST(Stats, PrefixMeansEmpty) {
+  EXPECT_TRUE(prefix_means({}).empty());
+}
+
+TEST(Stats, IntegerHistogram) {
+  const auto hist = integer_histogram({0.0, 1.2, 0.9, 2.0, 5.0, -1.0}, 3);
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 2u);  // 0.0 and -1.0 (clamped)
+  EXPECT_EQ(hist[1], 2u);  // 1.2 and 0.9 round to 1
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[3], 1u);  // 5.0 clamped into the top bin
+}
+
+TEST(Stats, Log2Histogram) {
+  const auto hist = log2_histogram({0.5, 1.0, 1.9, 2.0, 3.9, 4.0, 100.0});
+  // bins: [1,2): 1.0,1.9 and 0.5 lands in bin 0 too
+  ASSERT_GE(hist.size(), 7u);
+  EXPECT_EQ(hist[0], 3u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[6], 1u);  // 100 in [64,128)
+}
+
+}  // namespace
+}  // namespace fascia

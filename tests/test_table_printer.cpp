@@ -1,0 +1,56 @@
+#include "util/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fascia {
+namespace {
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, ColumnsAligned) {
+  TablePrinter table({"x", "longheader"});
+  table.add_row({"aaaaaaa", "1"});
+  const std::string out = table.str();
+  // Every line has the same position for the second column's start.
+  const auto first_newline = out.find('\n');
+  const std::string header = out.substr(0, first_newline);
+  EXPECT_GE(header.size(), std::string("aaaaaaa  1").size() - 1);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(1.5, 2), "1.50");
+  EXPECT_EQ(TablePrinter::num(std::size_t{42}), "42");
+  EXPECT_EQ(TablePrinter::num(static_cast<long long>(-7)), "-7");
+}
+
+TEST(TablePrinter, SciFormatting) {
+  EXPECT_EQ(TablePrinter::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(TablePrinter, BytesHumanUnits) {
+  EXPECT_EQ(TablePrinter::bytes(512), "512.00 B");
+  EXPECT_EQ(TablePrinter::bytes(2048), "2.00 KiB");
+  EXPECT_EQ(TablePrinter::bytes(std::size_t{3} * 1024 * 1024), "3.00 MiB");
+  EXPECT_EQ(TablePrinter::bytes(std::size_t{5} * 1024 * 1024 * 1024),
+            "5.00 GiB");
+}
+
+}  // namespace
+}  // namespace fascia

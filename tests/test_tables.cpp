@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "dp/table_compact.hpp"
+#include "dp/table_hash.hpp"
+#include "dp/table_naive.hpp"
+#include "util/mem_tracker.hpp"
+
+namespace fascia {
+namespace {
+
+// Typed test: the three layouts share one behavioural contract.
+template <class T>
+class TableContract : public ::testing::Test {};
+
+using TableKinds = ::testing::Types<NaiveTable, CompactTable, HashTable>;
+TYPED_TEST_SUITE(TableContract, TableKinds);
+
+TYPED_TEST(TableContract, FreshTableReadsZero) {
+  TypeParam table(10, 6);
+  for (VertexId v = 0; v < 10; ++v) {
+    for (ColorsetIndex c = 0; c < 6; ++c) {
+      EXPECT_DOUBLE_EQ(table.get(v, c), 0.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(table.total(), 0.0);
+}
+
+TYPED_TEST(TableContract, CommitThenReadBack) {
+  TypeParam table(5, 4);
+  const std::vector<double> row = {1.0, 0.0, 2.5, 0.0};
+  table.commit_row(3, row);
+  EXPECT_DOUBLE_EQ(table.get(3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(table.get(3, 1), 0.0);
+  EXPECT_DOUBLE_EQ(table.get(3, 2), 2.5);
+  EXPECT_DOUBLE_EQ(table.get(2, 0), 0.0);
+  EXPECT_TRUE(table.has_vertex(3));
+}
+
+TYPED_TEST(TableContract, TotalsAndVertexTotals) {
+  TypeParam table(4, 3);
+  table.commit_row(0, std::vector<double>{1.0, 2.0, 0.0});
+  table.commit_row(2, std::vector<double>{0.0, 0.0, 4.0});
+  EXPECT_DOUBLE_EQ(table.total(), 7.0);
+  EXPECT_DOUBLE_EQ(table.vertex_total(0), 3.0);
+  EXPECT_DOUBLE_EQ(table.vertex_total(1), 0.0);
+  EXPECT_DOUBLE_EQ(table.vertex_total(2), 4.0);
+}
+
+TYPED_TEST(TableContract, NumColorsetsReported) {
+  TypeParam table(3, 17);
+  EXPECT_EQ(table.num_colorsets(), 17u);
+}
+
+TYPED_TEST(TableContract, BytesNonZero) {
+  TypeParam table(100, 10);
+  table.commit_row(0, std::vector<double>(10, 1.0));
+  EXPECT_GT(table.bytes(), 0u);
+}
+
+TYPED_TEST(TableContract, MemTrackerBalanced) {
+  MemTracker::reset_all();
+  {
+    TypeParam table(50, 8);
+    table.commit_row(1, std::vector<double>(8, 1.0));
+    EXPECT_GT(MemTracker::current(), 0u);
+  }
+  EXPECT_EQ(MemTracker::current(), 0u);
+}
+
+TYPED_TEST(TableContract, ConcurrentCommitsDistinctVertices) {
+  constexpr VertexId kN = 500;
+  TypeParam table(kN, 5);
+#ifdef _OPENMP
+#pragma omp parallel for
+#endif
+  for (VertexId v = 0; v < kN; ++v) {
+    std::vector<double> row(5, static_cast<double>(v + 1));
+    table.commit_row(v, row);
+  }
+  for (VertexId v = 0; v < kN; ++v) {
+    EXPECT_DOUBLE_EQ(table.get(v, 3), static_cast<double>(v + 1));
+  }
+}
+
+// ---- layout-specific behaviour -----------------------------------------
+
+TEST(NaiveTable, HasVertexAlwaysTrue) {
+  NaiveTable table(4, 2);
+  EXPECT_TRUE(table.has_vertex(0));  // no skip optimization by design
+}
+
+TEST(CompactTable, EmptyRowNotAllocated) {
+  CompactTable table(4, 3);
+  table.commit_row(1, std::vector<double>{0.0, 0.0, 0.0});
+  EXPECT_FALSE(table.has_vertex(1));
+  EXPECT_EQ(table.num_active_vertices(), 0);
+  table.commit_row(2, std::vector<double>{0.0, 1.0, 0.0});
+  EXPECT_EQ(table.num_active_vertices(), 1);
+}
+
+TEST(CompactTable, UsesLessMemoryThanNaiveWhenSparse) {
+  MemTracker::reset_all();
+  std::size_t naive_bytes = 0, compact_bytes = 0;
+  {
+    NaiveTable naive(10000, 100);
+    naive_bytes = naive.bytes();
+  }
+  {
+    CompactTable compact(10000, 100);
+    compact.commit_row(5, std::vector<double>(100, 1.0));
+    compact_bytes = compact.bytes();
+  }
+  EXPECT_LT(compact_bytes, naive_bytes / 10);
+}
+
+TEST(HashTable, GrowsPastInitialCapacity) {
+  HashTable table(5000, 4);
+  std::vector<double> row = {1.0, 2.0, 3.0, 4.0};
+  for (VertexId v = 0; v < 5000; ++v) table.commit_row(v, row);
+  EXPECT_EQ(table.num_entries(), 20000u);
+  for (VertexId v = 0; v < 5000; ++v) {
+    ASSERT_DOUBLE_EQ(table.get(v, 2), 3.0);
+  }
+}
+
+TEST(HashTable, SparseFootprintBeatsDense) {
+  // One active vertex among many: the paper's high-selectivity regime
+  // (Fig. 7).  Compare against the dense layout's *computed* footprint
+  // rather than allocating gigabytes in a unit test.
+  HashTable hash(1 << 20, 924);
+  hash.commit_row(12345, std::vector<double>(924, 1.0));
+  const std::size_t dense_bytes =
+      std::size_t{1 << 20} * 924 * sizeof(double);
+  EXPECT_LT(hash.bytes(), dense_bytes / 100);
+}
+
+TEST(HashTable, OverwriteSameKey) {
+  HashTable table(3, 2);
+  table.commit_row(1, std::vector<double>{5.0, 0.0});
+  table.commit_row(1, std::vector<double>{7.0, 1.0});
+  EXPECT_DOUBLE_EQ(table.get(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(table.get(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace fascia

@@ -1,0 +1,116 @@
+#include "treelet/tree_template.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace fascia {
+namespace {
+
+TEST(TreeTemplate, PathShape) {
+  const TreeTemplate t = TreeTemplate::path(5);
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.num_edges(), 4);
+  EXPECT_EQ(t.degree(0), 1);
+  EXPECT_EQ(t.degree(2), 2);
+  EXPECT_TRUE(t.has_edge(1, 2));
+  EXPECT_FALSE(t.has_edge(0, 2));
+}
+
+TEST(TreeTemplate, StarShape) {
+  const TreeTemplate t = TreeTemplate::star(6);
+  EXPECT_EQ(t.degree(0), 5);
+  for (int v = 1; v < 6; ++v) EXPECT_EQ(t.degree(v), 1);
+}
+
+TEST(TreeTemplate, SingleVertex) {
+  const TreeTemplate t = TreeTemplate::from_edges(1, {});
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.num_edges(), 0);
+}
+
+TEST(TreeTemplate, RejectsWrongEdgeCount) {
+  EXPECT_THROW(TreeTemplate::from_edges(3, {{0, 1}}), std::invalid_argument);
+  EXPECT_THROW(TreeTemplate::from_edges(2, {{0, 1}, {0, 1}}),
+               std::invalid_argument);
+}
+
+TEST(TreeTemplate, RejectsCycleDisguisedAsTree) {
+  // 4 vertices, 3 edges, but contains a triangle + isolated vertex.
+  EXPECT_THROW(TreeTemplate::from_edges(4, {{0, 1}, {1, 2}, {2, 0}}),
+               std::invalid_argument);
+}
+
+TEST(TreeTemplate, RejectsSelfLoopAndDuplicates) {
+  EXPECT_THROW(TreeTemplate::from_edges(2, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(TreeTemplate::from_edges(3, {{0, 1}, {1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(TreeTemplate, RejectsOutOfRange) {
+  EXPECT_THROW(TreeTemplate::from_edges(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(TreeTemplate::from_edges(0, {}), std::invalid_argument);
+  EXPECT_THROW(TreeTemplate::from_edges(kMaxTemplateSize + 1, {}),
+               std::invalid_argument);
+}
+
+TEST(TreeTemplate, EdgesNormalized) {
+  const TreeTemplate t = TreeTemplate::from_edges(3, {{2, 1}, {1, 0}});
+  const TreeTemplate::EdgeList expected = {{0, 1}, {1, 2}};
+  EXPECT_EQ(t.edges(), expected);
+}
+
+TEST(TreeTemplate, ParseBasic) {
+  const TreeTemplate t = TreeTemplate::parse("# comment\n4\n0 1\n1 2\n1 3\n");
+  EXPECT_EQ(t.size(), 4);
+  EXPECT_EQ(t.degree(1), 3);
+  EXPECT_FALSE(t.has_labels());
+}
+
+TEST(TreeTemplate, ParseWithLabels) {
+  const TreeTemplate t =
+      TreeTemplate::parse("3\n0 1\n1 2\nlabel 5\nlabel 0\nlabel 5\n");
+  ASSERT_TRUE(t.has_labels());
+  EXPECT_EQ(t.label(0), 5);
+  EXPECT_EQ(t.label(1), 0);
+  EXPECT_EQ(t.label(2), 5);
+}
+
+TEST(TreeTemplate, ParseErrors) {
+  EXPECT_THROW(TreeTemplate::parse(""), std::invalid_argument);
+  EXPECT_THROW(TreeTemplate::parse("3\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW(TreeTemplate::parse("2\n0 1\nlabel bad\n"),
+               std::invalid_argument);
+}
+
+TEST(TreeTemplate, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "fascia_template.txt";
+  {
+    std::ofstream out(path);
+    out << "3\n0 1\n1 2\n";
+  }
+  const TreeTemplate t = TreeTemplate::load(path);
+  EXPECT_EQ(t.size(), 3);
+  std::remove(path.c_str());
+  EXPECT_THROW(TreeTemplate::load("/no/file"), std::runtime_error);
+}
+
+TEST(TreeTemplate, LabelValidation) {
+  TreeTemplate t = TreeTemplate::path(3);
+  EXPECT_THROW(t.set_labels({0, 1}), std::invalid_argument);
+  t.set_labels({0, 1, 2});
+  EXPECT_TRUE(t.has_labels());
+  t.clear_labels();
+  EXPECT_FALSE(t.has_labels());
+}
+
+TEST(TreeTemplate, DescribeMentionsEdgesAndLabels) {
+  TreeTemplate t = TreeTemplate::path(3);
+  EXPECT_NE(t.describe().find("0-1"), std::string::npos);
+  t.set_labels({1, 2, 3});
+  EXPECT_NE(t.describe().find("labels"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fascia

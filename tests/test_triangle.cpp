@@ -1,0 +1,86 @@
+#include "core/triangle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/labels.hpp"
+#include "helpers.hpp"
+
+namespace fascia {
+namespace {
+
+TEST(Triangle, ExactOnKnownGraphs) {
+  EXPECT_DOUBLE_EQ(exact_triangle_count(testing::triangle_graph()), 1.0);
+  EXPECT_DOUBLE_EQ(exact_triangle_count(testing::complete_graph(4)), 4.0);
+  EXPECT_DOUBLE_EQ(exact_triangle_count(testing::complete_graph(6)), 20.0);
+  EXPECT_DOUBLE_EQ(exact_triangle_count(testing::path_graph(10)), 0.0);
+  EXPECT_DOUBLE_EQ(exact_triangle_count(testing::cycle_graph(4)), 0.0);
+  EXPECT_DOUBLE_EQ(exact_triangle_count(testing::star_graph(8)), 0.0);
+}
+
+TEST(Triangle, EstimateConvergesToExact) {
+  const Graph g = largest_component(erdos_renyi_gnm(80, 400, 13));
+  const double exact = exact_triangle_count(g);
+  ASSERT_GT(exact, 0.0);
+  CountOptions options;
+  options.iterations = 3000;
+  options.seed = 5;
+  const CountResult result = count_triangles(g, options);
+  EXPECT_NEAR(result.estimate, exact, exact * 0.1);
+  EXPECT_EQ(result.automorphisms, 6u);
+  EXPECT_NEAR(result.colorful_probability, 6.0 / 27.0, 1e-12);
+}
+
+TEST(Triangle, DeterministicInSeed) {
+  const Graph g = largest_component(erdos_renyi_gnm(60, 250, 1));
+  CountOptions options;
+  options.iterations = 5;
+  const auto a = count_triangles(g, options);
+  const auto b = count_triangles(g, options);
+  EXPECT_EQ(a.per_iteration, b.per_iteration);
+}
+
+TEST(Triangle, MoreColorsRaiseColorfulProbability) {
+  const Graph g = testing::complete_graph(5);
+  CountOptions options;
+  options.iterations = 2000;
+  options.num_colors = 6;
+  const CountResult result = count_triangles(g, options);
+  EXPECT_GT(result.colorful_probability, 6.0 / 27.0);
+  EXPECT_NEAR(result.estimate, 10.0, 1.5);  // K5 has 10 triangles
+}
+
+TEST(Triangle, LabeledCounting) {
+  // Two labeled triangles in a 6-vertex graph.
+  Graph g = build_graph(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  g.set_labels({0, 1, 1, 0, 0, 1}, 2);
+
+  // Label multiset {0,1,1}: matches triangle 0-1-2 (0,1,1) and triangle
+  // 3-4-5 has labels (0,0,1) — only when asking for {0,0,1}.
+  EXPECT_DOUBLE_EQ(exact_triangle_count(g, {0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(exact_triangle_count(g, {0, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(exact_triangle_count(g, {1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(exact_triangle_count(g), 2.0);
+
+  CountOptions options;
+  options.iterations = 4000;
+  const CountResult estimated = count_triangles(g, options, {0, 1, 1});
+  EXPECT_NEAR(estimated.estimate, 1.0, 0.25);
+  EXPECT_EQ(estimated.automorphisms, 2u);  // aab multiset
+}
+
+TEST(Triangle, LabelValidation) {
+  Graph unlabeled = testing::complete_graph(4);
+  EXPECT_THROW(exact_triangle_count(unlabeled, {0, 1, 2}),
+               std::invalid_argument);
+  Graph labeled = testing::complete_graph(4);
+  labeled.set_labels({0, 0, 0, 0}, 1);
+  EXPECT_THROW(exact_triangle_count(labeled, {0, 0}), std::invalid_argument);
+  CountOptions options;
+  options.num_colors = 2;
+  EXPECT_THROW(count_triangles(labeled, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fascia
