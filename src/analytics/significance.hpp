@@ -35,6 +35,12 @@ struct MotifSignificance {
 /// degree-preserving rewirings, and derives z-scores.  Deterministic
 /// in options.seed.  `swaps_per_edge` controls rewiring thoroughness
 /// (>= 3 is customary).
+///
+/// The pipeline runs ensemble_size + 1 full motif profiles; set
+/// options.batch_engine to execute each profile through
+/// sched::run_batch (one shared coloring per iteration, subtemplate
+/// stages deduplicated across the k-tree set), which cuts per-profile
+/// DP work substantially at k >= 7.
 MotifSignificance motif_significance(const Graph& graph, int k,
                                      int ensemble_size,
                                      const CountOptions& options,

@@ -19,10 +19,7 @@ double theoretical_iterations(int num_colors, double epsilon, double delta) {
 }
 
 double estimate_stderr(const CountResult& result) {
-  const auto iterations = result.per_iteration.size();
-  if (iterations < 2) return 0.0;
-  return stdev(result.per_iteration) /
-         std::sqrt(static_cast<double>(iterations));
+  return mean_stderr(result.per_iteration);
 }
 
 double estimate_relative_stderr(const CountResult& result) {

@@ -53,6 +53,14 @@ struct CountOptions {
   /// Collect per-vertex rooted counts (graphlet degrees at the orbit
   /// of the root), averaged across iterations.
   bool per_vertex = false;
+
+  /// Route count_all_treelets through the sched batch engine
+  /// (sched::run_batch): every template of the profile shares one
+  /// coloring per iteration and deduplicated subtemplate stages are
+  /// computed once per coloring instead of once per template.
+  /// Estimates stay unbiased but differ numerically from the legacy
+  /// loop, which decorrelates templates with per-template seeds.
+  bool batch_engine = false;
 };
 
 struct CountResult {

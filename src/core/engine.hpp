@@ -44,9 +44,11 @@ using ColorArray = std::vector<std::uint8_t>;
 template <class Table>
 class DpEngine {
  public:
-  DpEngine(const Graph& graph, const TreeTemplate& tmpl,
-           const PartitionTree& partition, int num_colors)
-      : graph_(graph), tmpl_(tmpl), partition_(partition), k_(num_colors) {
+  /// The engine is independent of the originating template(s): leaf
+  /// label filters travel inside the partition nodes (root_label), so
+  /// a merged multi-template DAG (sched::plan_batch) runs unchanged.
+  DpEngine(const Graph& graph, const PartitionTree& partition, int num_colors)
+      : graph_(graph), partition_(partition), k_(num_colors) {
     const int num_nodes = partition_.num_nodes();
     tables_.resize(static_cast<std::size_t>(num_nodes));
     single_splits_.resize(static_cast<std::size_t>(k_) + 1);
@@ -77,19 +79,31 @@ class DpEngine {
     }
   }
 
-  /// One full bottom-up DP pass for a fixed coloring; returns the sum
-  /// over the root table (Alg. 2 line 20).  When per_vertex is
-  /// non-null it must have size n; root-table vertex totals are
-  /// *added* into it.
-  double run(const ColorArray& colors, bool parallel_inner,
-             std::vector<double>* per_vertex = nullptr,
-             bool keep_tables = false) {
+  DpEngine(const Graph& graph, const TreeTemplate& tmpl,
+           const PartitionTree& partition, int num_colors)
+      : DpEngine(graph, partition, num_colors) {
+    (void)tmpl;  // labels already live in the partition nodes
+  }
+
+  /// One bottom-up DP pass for a fixed coloring, filling the per-node
+  /// tables.  When `needed` is non-null (size num_nodes) only flagged
+  /// nodes are computed — the batch scheduler masks off stages no
+  /// active job demands; the mask must be closed under children.
+  /// Intermediate tables are freed on the free_after schedule unless
+  /// keep_tables; nodes with free_after == -1 survive until
+  /// release_all_tables() so callers can read them.
+  void compute_tables(const ColorArray& colors, bool parallel_inner,
+                      const std::vector<char>* needed = nullptr,
+                      bool keep_tables = false) {
     release_all_tables();
     const int num_nodes = partition_.num_nodes();
     for (int i = 0; i < num_nodes; ++i) {
       const Subtemplate& node = partition_.node(i);
-      if (node.is_leaf()) continue;
-      compute_node(i, colors, parallel_inner);
+      const bool wanted =
+          needed == nullptr || (*needed)[static_cast<std::size_t>(i)] != 0;
+      if (!node.is_leaf() && wanted) {
+        compute_node(i, colors, parallel_inner);
+      }
       if (!keep_tables) {
         for (int j = 0; j < i; ++j) {
           if (partition_.node(j).free_after == i) {
@@ -98,14 +112,40 @@ class DpEngine {
         }
       }
     }
+  }
+
+  /// Colorful-embedding total of a computed non-leaf node's table.
+  [[nodiscard]] double node_total(int node) const {
+    return tables_[static_cast<std::size_t>(node)]->total();
+  }
+
+  /// Count of graph vertices matching a leaf node's label filter — the
+  /// DP base case a single-vertex template degenerates to.
+  [[nodiscard]] double leaf_count(int node) const {
+    const Subtemplate& leaf = partition_.node(node);
+    double count = 0.0;
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      if (leaf_matches(leaf, v)) count += 1.0;
+    }
+    return count;
+  }
+
+  /// One full bottom-up DP pass for a fixed coloring; returns the sum
+  /// over the root table (Alg. 2 line 20).  When per_vertex is
+  /// non-null it must have size n; root-table vertex totals are
+  /// *added* into it.
+  double run(const ColorArray& colors, bool parallel_inner,
+             std::vector<double>* per_vertex = nullptr,
+             bool keep_tables = false) {
+    compute_tables(colors, parallel_inner, nullptr, keep_tables);
 
     const int root = partition_.root_node();
-    if (partition_.node(root).is_leaf()) {
+    const Subtemplate& root_node = partition_.node(root);
+    if (root_node.is_leaf()) {
       // Single-vertex template: every (label-matching) vertex counts 1.
       double count = 0.0;
-      const int root_tv = partition_.node(root).root;
       for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
-        if (leaf_matches(root_tv, v)) {
+        if (leaf_matches(root_node, v)) {
           count += 1.0;
           if (per_vertex != nullptr) {
             (*per_vertex)[static_cast<std::size_t>(v)] += 1.0;
@@ -144,11 +184,13 @@ class DpEngine {
 
  private:
   /// Leaf base case (Alg. 2 line 4) with the labeled-mode filter: a
-  /// single-vertex subtemplate for template vertex tv matches graph
-  /// vertex v iff labels agree (§V-A).
-  [[nodiscard]] bool leaf_matches(int tv, VertexId v) const noexcept {
-    if (!tmpl_.has_labels() || !graph_.has_labels()) return true;
-    return tmpl_.label(tv) == graph_.label(v);
+  /// single-vertex subtemplate matches graph vertex v iff labels agree
+  /// (§V-A).  The label is carried by the partition node so the engine
+  /// needs no back-reference to the originating template.
+  [[nodiscard]] bool leaf_matches(const Subtemplate& leaf,
+                                  VertexId v) const noexcept {
+    if (leaf.root_label < 0 || !graph_.has_labels()) return true;
+    return leaf.root_label == static_cast<int>(graph_.label(v));
   }
 
   void compute_node(int index, const ColorArray& colors, bool parallel) {
@@ -219,19 +261,17 @@ class DpEngine {
                    const ColorArray& colors, bool parallel) {
     const Subtemplate& active = partition_.node(node.active);
     const Subtemplate& passive = partition_.node(node.passive);
-    const int tv_active = active.root;
-    const int tv_passive = passive.root;
     for_all_vertices(
         parallel, out.num_colorsets(),
         [&](VertexId v, Workspace& ws) {
-          if (!leaf_matches(tv_active, v)) return;
+          if (!leaf_matches(active, v)) return;
           auto& row = ws.row;
           std::fill(row.begin(), row.end(), 0.0);
           const int cv = colors[static_cast<std::size_t>(v)];
           bool any = false;
           for (VertexId u : graph_.neighbors(v)) {
             const int cu = colors[static_cast<std::size_t>(u)];
-            if (cu == cv || !leaf_matches(tv_passive, u)) continue;
+            if (cu == cv || !leaf_matches(passive, u)) continue;
             row[pair_index_[static_cast<std::size_t>(cv) * k_ + cu]] += 1.0;
             any = true;
           }
@@ -245,11 +285,10 @@ class DpEngine {
     const Table& tp = *tables_[static_cast<std::size_t>(node.passive)];
     const SingleActiveSplit& split =
         *single_splits_[static_cast<std::size_t>(node.size())];
-    const int tv_active = active.root;
     for_all_vertices(
         parallel, out.num_colorsets(),
         [&](VertexId v, Workspace& ws) {
-          if (!leaf_matches(tv_active, v)) return;
+          if (!leaf_matches(active, v)) return;
           auto& row = ws.row;
           std::fill(row.begin(), row.end(), 0.0);
           const int cv = colors[static_cast<std::size_t>(v)];
@@ -272,7 +311,6 @@ class DpEngine {
     const Table& ta = *tables_[static_cast<std::size_t>(node.active)];
     const SingleActiveSplit& split =
         *single_splits_[static_cast<std::size_t>(node.size())];
-    const int tv_passive = passive.root;
     for_all_vertices(
         parallel, out.num_colorsets(),
         [&](VertexId v, Workspace& ws) {
@@ -281,7 +319,7 @@ class DpEngine {
           std::fill(row.begin(), row.end(), 0.0);
           bool any = false;
           for (VertexId u : graph_.neighbors(v)) {
-            if (!leaf_matches(tv_passive, u)) continue;
+            if (!leaf_matches(passive, u)) continue;
             const int cu = colors[static_cast<std::size_t>(u)];
             for (const auto& entry : split.entries(cu)) {
               // entry.passive here indexes the parent set minus the
@@ -343,7 +381,6 @@ class DpEngine {
   }
 
   const Graph& graph_;
-  const TreeTemplate& tmpl_;
   const PartitionTree& partition_;
   int k_;
   std::vector<std::unique_ptr<Table>> tables_;

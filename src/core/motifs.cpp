@@ -1,11 +1,51 @@
 #include "core/motifs.hpp"
 
 #include "core/counter.hpp"
+#include "sched/batch.hpp"
 #include "treelet/free_trees.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
 namespace fascia {
+
+namespace {
+
+/// Batch path: the whole profile as one sched workload — shared
+/// colorings, cross-template stage reuse, fixed per-template budget.
+MotifProfile count_all_treelets_batch(const Graph& graph,
+                                      MotifProfile profile,
+                                      const CountOptions& options) {
+  WallTimer total_timer;
+  std::vector<sched::BatchJob> jobs;
+  jobs.reserve(profile.trees.size());
+  for (const TreeTemplate& tree : profile.trees) {
+    sched::BatchJob job;
+    job.tmpl = tree;
+    job.iterations = options.iterations;
+    jobs.push_back(std::move(job));
+  }
+
+  sched::BatchOptions batch_options;
+  batch_options.num_colors = options.num_colors;
+  batch_options.table = options.table;
+  batch_options.partition = options.partition;
+  batch_options.share_tables = options.share_tables;
+  batch_options.mode = options.mode;
+  batch_options.num_threads = options.num_threads;
+  batch_options.seed = options.seed;
+
+  const sched::BatchResult batch = sched::run_batch(graph, jobs,
+                                                    batch_options);
+  for (const sched::BatchJobResult& job : batch.jobs) {
+    profile.counts.push_back(job.estimate);
+    profile.iterations.push_back(job.iterations);
+    profile.seconds.push_back(job.seconds);
+  }
+  profile.seconds_total = total_timer.elapsed_s();
+  return profile;
+}
+
+}  // namespace
 
 std::vector<double> MotifProfile::relative_frequencies() const {
   const double average = mean(counts);
@@ -22,6 +62,9 @@ MotifProfile count_all_treelets(const Graph& graph, int k,
   MotifProfile profile;
   profile.k = k;
   profile.trees = all_free_trees(k);
+  if (options.batch_engine) {
+    return count_all_treelets_batch(graph, std::move(profile), options);
+  }
 
   WallTimer total_timer;
   for (std::size_t i = 0; i < profile.trees.size(); ++i) {
@@ -33,6 +76,7 @@ MotifProfile count_all_treelets(const Graph& graph, int k,
     const CountResult result = count_template(graph, profile.trees[i],
                                               per_tree);
     profile.counts.push_back(result.estimate);
+    profile.iterations.push_back(options.iterations);
     profile.seconds.push_back(timer.elapsed_s());
   }
   profile.seconds_total = total_timer.elapsed_s();

@@ -16,7 +16,9 @@ struct MotifProfile {
   int k = 0;                          ///< template size
   std::vector<TreeTemplate> trees;    ///< all free trees of size k
   std::vector<double> counts;         ///< estimated occurrence counts
-  std::vector<double> seconds;        ///< wall time per template
+  std::vector<int> iterations;        ///< color-coding rounds per template
+  std::vector<double> seconds;        ///< wall time per template (batch
+                                      ///< mode: attributed by DP cost)
   double seconds_total = 0.0;
 
   /// counts scaled by the profile mean — the paper's normalization for
@@ -28,6 +30,12 @@ struct MotifProfile {
 /// Counts all free trees on k vertices.  Template i of the profile is
 /// all_free_trees(k)[i] (deterministic order), so profiles from
 /// different networks align index-by-index.
+///
+/// Two execution paths: the legacy loop of independent count_template
+/// calls (one fresh partition and decorrelated seed stream per
+/// template), or — when options.batch_engine is set — one
+/// sched::run_batch workload that shares colorings and deduplicated
+/// subtemplate stages across the whole profile.
 MotifProfile count_all_treelets(const Graph& graph, int k,
                                 const CountOptions& options);
 

@@ -1,0 +1,251 @@
+#include "sched/batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "comb/binomial.hpp"
+#include "core/coloring.hpp"
+#include "core/engine.hpp"
+#include "dp/table_compact.hpp"
+#include "dp/table_hash.hpp"
+#include "dp/table_naive.hpp"
+#include "sched/plan.hpp"
+#include "treelet/canonical.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace fascia::sched {
+
+namespace {
+
+using detail::iteration_seed;
+using detail::random_coloring;
+
+int resolve_threads(int requested) {
+#ifdef _OPENMP
+  return requested > 0 ? requested : omp_get_max_threads();
+#else
+  (void)requested;
+  return 1;
+#endif
+}
+
+/// Controller view of one job while the batch runs.
+struct JobState {
+  double scale = 0.0;     ///< raw colorful total -> occurrence estimate
+  bool adaptive = false;
+  double target = 0.0;    ///< relative-stderr goal (adaptive only)
+  int quota = 0;          ///< iterations granted so far
+  int cap = 0;            ///< never exceed (fixed budget or adaptive cap)
+  bool finished = false;
+  bool leaf_root = false; ///< single-vertex template
+  double leaf_raw = 0.0;  ///< its coloring-independent raw count
+};
+
+template <class Table>
+void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
+             const BatchOptions& options, const BatchPlan& plan,
+             BatchResult& out) {
+  const int k = plan.num_colors;
+  const int threads = resolve_threads(options.num_threads);
+  const int round = options.round_iterations > 0 ? options.round_iterations
+                                                 : std::max(4, threads);
+  const bool outer = options.mode == ParallelMode::kOuterLoop;
+  const bool inner = options.mode == ParallelMode::kInnerLoop;
+#ifdef _OPENMP
+  if (inner && options.num_threads > 0) {
+    omp_set_num_threads(options.num_threads);
+  }
+#endif
+
+  // Outer mode: one private engine (and thus private stage tables) per
+  // thread, exactly like ParallelMode::kOuterLoop in count_template.
+  std::vector<DpEngine<Table>> engines;
+  const int engine_count = outer ? threads : 1;
+  engines.reserve(static_cast<std::size_t>(engine_count));
+  for (int t = 0; t < engine_count; ++t) {
+    engines.emplace_back(graph, plan.merged, k);
+  }
+
+  const std::size_t num_jobs = jobs.size();
+  std::vector<JobState> states(num_jobs);
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    BatchJobResult& result = out.jobs[j];
+    result.colorful_probability =
+        colorful_probability(k, jobs[j].tmpl.size());
+    result.automorphisms = automorphisms(jobs[j].tmpl);
+    JobState& state = states[j];
+    state.scale = 1.0 / (result.colorful_probability *
+                         static_cast<double>(result.automorphisms));
+    state.adaptive = jobs[j].target_relative_stderr > 0.0;
+    state.target = jobs[j].target_relative_stderr;
+    state.cap = state.adaptive ? jobs[j].max_iterations : jobs[j].iterations;
+    state.quota = state.adaptive
+                      ? std::min(state.cap,
+                                 std::max(options.min_iterations, round))
+                      : state.cap;
+    result.adaptive = state.adaptive;
+    const int root = plan.job_root[j];
+    state.leaf_root = plan.merged.node(root).is_leaf();
+    if (state.leaf_root) state.leaf_raw = engines.front().leaf_count(root);
+  }
+
+  const auto num_nodes = static_cast<std::size_t>(plan.merged.num_nodes());
+  int done = 0;
+  while (true) {
+    std::vector<std::size_t> active;
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+      if (!states[j].finished) active.push_back(j);
+    }
+    if (active.empty()) break;
+
+    int checkpoint = states[active.front()].quota;
+    for (std::size_t j : active) {
+      checkpoint = std::min(checkpoint, states[j].quota);
+    }
+
+    // Stages this round's iterations must compute: union over active
+    // jobs.  Retired jobs' exclusive stages drop out, so late rounds
+    // spend every thread on what the hard templates still need.
+    std::vector<char> needed(num_nodes, 0);
+    std::size_t demand = 0;
+    double cost_sum = 0.0;
+    for (std::size_t j : active) {
+      for (int id : plan.job_nodes[j]) {
+        needed[static_cast<std::size_t>(id)] = 1;
+      }
+      demand += plan.job_stage_demand[j];
+      cost_sum += plan.job_dp_cost[j];
+    }
+    std::size_t computed = 0;
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      if (needed[i] != 0 && !plan.merged.node(static_cast<int>(i)).is_leaf()) {
+        ++computed;
+      }
+    }
+
+    const int begin = done;
+    const int end = checkpoint;
+    out.seconds_per_iteration.resize(static_cast<std::size_t>(end), 0.0);
+    for (std::size_t j : active) {
+      out.jobs[j].per_iteration.resize(static_cast<std::size_t>(end), 0.0);
+    }
+
+    const auto run_one = [&](int iter, DpEngine<Table>& engine,
+                             bool parallel_inner) {
+      WallTimer timer;
+      const ColorArray colors =
+          random_coloring(graph, k, iteration_seed(options.seed, iter));
+      engine.compute_tables(colors, parallel_inner, &needed);
+      for (std::size_t j : active) {
+        const double raw = states[j].leaf_root
+                               ? states[j].leaf_raw
+                               : engine.node_total(plan.job_root[j]);
+        out.jobs[j].per_iteration[static_cast<std::size_t>(iter)] =
+            raw * states[j].scale;
+      }
+      engine.release_all_tables();
+      out.seconds_per_iteration[static_cast<std::size_t>(iter)] =
+          timer.elapsed_s();
+    };
+
+#ifdef _OPENMP
+    if (outer && threads > 1) {
+#pragma omp parallel num_threads(threads)
+      {
+        DpEngine<Table>& engine =
+            engines[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 1)
+        for (int iter = begin; iter < end; ++iter) {
+          run_one(iter, engine, false);
+        }
+      }
+    } else
+#endif
+    {
+      for (int iter = begin; iter < end; ++iter) {
+        run_one(iter, engines.front(), inner);
+      }
+    }
+
+    out.stage_requests += demand * static_cast<std::size_t>(end - begin);
+    out.stage_evaluations +=
+        computed * static_cast<std::size_t>(end - begin);
+    for (int iter = begin; iter < end; ++iter) {
+      const double share =
+          out.seconds_per_iteration[static_cast<std::size_t>(iter)] /
+          (cost_sum > 0.0 ? cost_sum : 1.0);
+      for (std::size_t j : active) {
+        out.jobs[j].seconds += share * plan.job_dp_cost[j];
+      }
+    }
+    done = end;
+
+    // Controller checkpoint: retire fixed jobs whose budget is spent;
+    // test adaptive jobs against their target and either retire them
+    // or grant another round of iterations.
+    for (std::size_t j : active) {
+      JobState& state = states[j];
+      if (state.quota != done) continue;
+      BatchJobResult& result = out.jobs[j];
+      result.relative_stderr = relative_mean_stderr(result.per_iteration);
+      if (!state.adaptive) {
+        state.finished = true;
+        continue;
+      }
+      if (result.relative_stderr <= state.target) {
+        state.finished = true;
+        result.converged = true;
+      } else if (done >= state.cap) {
+        state.finished = true;
+        result.converged = false;
+      } else {
+        state.quota = std::min(state.cap, done + round);
+      }
+    }
+  }
+
+  out.coloring_rounds = done;
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    BatchJobResult& result = out.jobs[j];
+    result.iterations = static_cast<int>(result.per_iteration.size());
+    result.estimate = mean(result.per_iteration);
+    out.iterations_total += result.iterations;
+  }
+}
+
+}  // namespace
+
+BatchResult run_batch(const Graph& graph, const std::vector<BatchJob>& jobs,
+                      const BatchOptions& options) {
+  WallTimer total_timer;
+  const BatchPlan plan = plan_batch(graph, jobs, options);
+
+  BatchResult result;
+  result.jobs.resize(jobs.size());
+  result.num_colors = plan.num_colors;
+  result.seconds_plan = plan.seconds;
+  result.total_stage_instances = plan.total_stage_instances;
+  result.unique_stages = plan.unique_stages;
+
+  switch (options.table) {
+    case TableKind::kNaive:
+      execute<NaiveTable>(graph, jobs, options, plan, result);
+      break;
+    case TableKind::kCompact:
+      execute<CompactTable>(graph, jobs, options, plan, result);
+      break;
+    case TableKind::kHash:
+      execute<HashTable>(graph, jobs, options, plan, result);
+      break;
+  }
+
+  result.seconds_total = total_timer.elapsed_s();
+  return result;
+}
+
+}  // namespace fascia::sched

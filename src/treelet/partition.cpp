@@ -64,6 +64,7 @@ class Builder {
     Subtemplate node;
     node.vertices = view.vertices;
     node.root = view.root;
+    node.root_label = t_.has_labels() ? t_.label(view.root) : -1;
     node.canon = canon;
 
     if (view.vertices.size() > 1) {
@@ -145,7 +146,52 @@ int pick_default_root(const TreeTemplate& t, PartitionStrategy strategy) {
   return 0;  // unreachable for valid trees
 }
 
+/// Lifetime analysis: a node's table can be freed after the last node
+/// that consumes it has been computed; nodes without consumers (the
+/// root; every per-template root in a merged DAG) are never freed.
+void compute_lifetimes(std::vector<Subtemplate>& nodes) {
+  for (auto& node : nodes) node.free_after = -1;
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    if (nodes[j].is_leaf()) continue;
+    nodes[static_cast<std::size_t>(nodes[j].active)].free_after =
+        static_cast<int>(j);
+    nodes[static_cast<std::size_t>(nodes[j].passive)].free_after =
+        static_cast<int>(j);
+  }
+}
+
 }  // namespace
+
+PartitionTree PartitionTree::from_nodes(std::vector<Subtemplate> nodes,
+                                        const std::vector<int>& pinned) {
+  const int count = static_cast<int>(nodes.size());
+  if (count == 0) {
+    throw std::invalid_argument("PartitionTree::from_nodes: empty node list");
+  }
+  for (int i = 0; i < count; ++i) {
+    const Subtemplate& node = nodes[static_cast<std::size_t>(i)];
+    const bool children_ok =
+        node.is_leaf()
+            ? node.active < 0 && node.passive < 0
+            : node.active >= 0 && node.active < i && node.passive >= 0 &&
+                  node.passive < i;
+    if (!children_ok) {
+      throw std::invalid_argument(
+          "PartitionTree::from_nodes: children must precede parents");
+    }
+  }
+  compute_lifetimes(nodes);
+  for (int index : pinned) {
+    if (index < 0 || index >= count) {
+      throw std::invalid_argument(
+          "PartitionTree::from_nodes: pinned node out of range");
+    }
+    nodes[static_cast<std::size_t>(index)].free_after = -1;
+  }
+  PartitionTree tree;
+  tree.nodes_ = std::move(nodes);
+  return tree;
+}
 
 PartitionTree partition_template(const TreeTemplate& t,
                                  PartitionStrategy strategy,
@@ -166,20 +212,7 @@ PartitionTree partition_template(const TreeTemplate& t,
 
   PartitionTree tree;
   tree.nodes_ = builder.take();
-
-  // Lifetime analysis: a node's table can be freed after the last node
-  // that consumes it has been computed.
-  for (std::size_t i = 0; i + 1 < tree.nodes_.size(); ++i) {
-    int last_use = -1;
-    for (std::size_t j = 0; j < tree.nodes_.size(); ++j) {
-      if (tree.nodes_[j].active == static_cast<int>(i) ||
-          tree.nodes_[j].passive == static_cast<int>(i)) {
-        last_use = static_cast<int>(j);
-      }
-    }
-    tree.nodes_[i].free_after = last_use;
-  }
-  tree.nodes_.back().free_after = -1;  // final table feeds the total
+  compute_lifetimes(tree.nodes_);
   return tree;
 }
 

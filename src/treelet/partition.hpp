@@ -43,6 +43,7 @@ enum class PartitionStrategy {
 struct Subtemplate {
   std::vector<int> vertices;  ///< sorted template vertex ids
   int root = -1;              ///< template vertex id of the root
+  int root_label = -1;        ///< label of the root vertex; -1 = unlabeled
   int active = -1;            ///< node index of active child; -1 for leaves
   int passive = -1;           ///< node index of passive child; -1 for leaves
   std::string canon;          ///< rooted canonical key (labels included)
@@ -56,6 +57,16 @@ struct Subtemplate {
 
 class PartitionTree {
  public:
+  /// Builds a partition DAG from an explicit node list — the batch
+  /// scheduler merges several templates' partitions into one DAG this
+  /// way (src/sched/).  Nodes must be topologically ordered (children
+  /// before parents); free_after lifetimes are recomputed from the
+  /// consumer structure.  Nodes listed in `pinned` (e.g. per-template
+  /// roots whose tables are read after the pass) are never freed.
+  /// Throws std::invalid_argument on malformed child indices.
+  static PartitionTree from_nodes(std::vector<Subtemplate> nodes,
+                                  const std::vector<int>& pinned = {});
+
   /// Nodes in bottom-up (topological) order; back() is the full template.
   [[nodiscard]] const std::vector<Subtemplate>& nodes() const noexcept {
     return nodes_;

@@ -33,6 +33,17 @@ double median(std::vector<double> xs) {
   return 0.5 * (lo + hi);
 }
 
+double mean_stderr(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  return stdev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double relative_mean_stderr(const std::vector<double>& xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return mean_stderr(xs) / std::abs(m);
+}
+
 double relative_error(double estimate, double exact) {
   if (exact == 0.0) {
     return estimate == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();

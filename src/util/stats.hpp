@@ -11,6 +11,14 @@ double mean(const std::vector<double>& xs);
 double stdev(const std::vector<double>& xs);           ///< sample stdev
 double median(std::vector<double> xs);                 ///< by copy
 
+/// Standard error of the mean (sample stdev / sqrt(n)); 0 when n < 2.
+/// The i.i.d. per-iteration estimates of the color-coding counter make
+/// this the confidence half-width driving adaptive iteration control.
+double mean_stderr(const std::vector<double>& xs);
+
+/// mean_stderr relative to |mean|; 0 when the mean is 0.
+double relative_mean_stderr(const std::vector<double>& xs);
+
 /// |estimate - exact| / exact; returns 0 when exact == 0 and the
 /// estimate is also 0, and +inf when exact == 0 but estimate != 0.
 double relative_error(double estimate, double exact);

@@ -1,0 +1,250 @@
+#include "sched/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/counter.hpp"
+#include "core/motifs.hpp"
+#include "exact/backtrack.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "sched/plan.hpp"
+#include "treelet/free_trees.hpp"
+#include "util/stats.hpp"
+
+namespace fascia {
+namespace {
+
+Graph test_graph() {
+  static const Graph g = largest_component(erdos_renyi_gnm(60, 150, 7));
+  return g;
+}
+
+std::vector<sched::BatchJob> fixed_jobs(int k, int iterations) {
+  std::vector<sched::BatchJob> jobs;
+  for (const TreeTemplate& tree : all_free_trees(k)) {
+    sched::BatchJob job;
+    job.tmpl = tree;
+    job.iterations = iterations;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// The per-template reference: count_template under the batch's shared
+/// coloring seed and color count.
+CountResult reference(const Graph& g, const TreeTemplate& tree,
+                      int iterations, std::uint64_t seed, int num_colors) {
+  CountOptions options;
+  options.iterations = iterations;
+  options.seed = seed;
+  options.num_colors = num_colors;
+  options.mode = ParallelMode::kSerial;
+  return count_template(g, tree, options);
+}
+
+TEST(Sched, BatchMatchesPerTemplatePathWithReuse) {
+  const Graph g = test_graph();
+  const auto jobs = fixed_jobs(5, 4);
+  sched::BatchOptions options;
+  options.seed = 11;
+  const sched::BatchResult batch = sched::run_batch(g, jobs, options);
+  ASSERT_EQ(batch.jobs.size(), jobs.size());
+  EXPECT_EQ(batch.num_colors, 5);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const CountResult ref = reference(g, jobs[j].tmpl, 4, 11, 5);
+    EXPECT_EQ(batch.jobs[j].per_iteration, ref.per_iteration)
+        << "job " << j;
+    EXPECT_EQ(batch.jobs[j].estimate, ref.estimate) << "job " << j;
+    EXPECT_EQ(batch.jobs[j].iterations, 4);
+    EXPECT_TRUE(batch.jobs[j].converged);
+    EXPECT_FALSE(batch.jobs[j].adaptive);
+  }
+  EXPECT_EQ(batch.iterations_total, 4 * static_cast<long long>(jobs.size()));
+  EXPECT_EQ(batch.coloring_rounds, 4);
+}
+
+TEST(Sched, ReuseDisabledBitIdentical) {
+  const Graph g = test_graph();
+  const auto jobs = fixed_jobs(5, 3);
+  sched::BatchOptions options;
+  options.seed = 23;
+  options.cross_template_reuse = false;
+  const sched::BatchResult batch = sched::run_batch(g, jobs, options);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const CountResult ref = reference(g, jobs[j].tmpl, 3, 23, 5);
+    EXPECT_EQ(batch.jobs[j].per_iteration, ref.per_iteration)
+        << "job " << j;
+    EXPECT_EQ(batch.jobs[j].estimate, ref.estimate) << "job " << j;
+  }
+  // No sharing: every demanded stage is evaluated.
+  EXPECT_EQ(batch.unique_stages, batch.total_stage_instances);
+  EXPECT_EQ(batch.stage_evaluations, batch.stage_requests);
+  EXPECT_DOUBLE_EQ(batch.cache_hit_rate(), 0.0);
+}
+
+TEST(Sched, DeterministicAcrossModesAndThreads) {
+  const Graph g = test_graph();
+  const auto jobs = fixed_jobs(5, 3);
+  sched::BatchOptions serial;
+  serial.seed = 5;
+  serial.mode = ParallelMode::kSerial;
+  sched::BatchOptions outer = serial;
+  outer.mode = ParallelMode::kOuterLoop;
+  outer.num_threads = 4;
+  sched::BatchOptions inner = serial;
+  inner.mode = ParallelMode::kInnerLoop;
+  inner.num_threads = 2;
+  const auto a = sched::run_batch(g, jobs, serial);
+  const auto b = sched::run_batch(g, jobs, outer);
+  const auto c = sched::run_batch(g, jobs, inner);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].per_iteration, b.jobs[j].per_iteration);
+    EXPECT_EQ(a.jobs[j].per_iteration, c.jobs[j].per_iteration);
+  }
+}
+
+TEST(Sched, CrossTemplateReuseSharesStages) {
+  const Graph g = test_graph();
+  const auto jobs = fixed_jobs(5, 2);
+  sched::BatchOptions options;
+  const sched::BatchResult batch = sched::run_batch(g, jobs, options);
+  // The 3 size-5 trees share small rooted subtemplates (every one-at-
+  // a-time partition contains the rooted pair, for a start).
+  EXPECT_LT(batch.unique_stages, batch.total_stage_instances);
+  EXPECT_LT(batch.stage_evaluations, batch.stage_requests);
+  EXPECT_GT(batch.cache_hit_rate(), 0.0);
+}
+
+TEST(Sched, PlanDeduplicatesByRootedCanonicalForm) {
+  const auto jobs = fixed_jobs(5, 1);
+  sched::BatchOptions options;
+  const sched::BatchPlan plan = sched::plan_batch(test_graph(), jobs, options);
+  ASSERT_EQ(plan.job_root.size(), jobs.size());
+  // Merged DAG is a valid bottom-up DAG covering every job.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_EQ(plan.merged.node(plan.job_root[j]).size(), 5);
+    EXPECT_EQ(plan.merged.node(plan.job_root[j]).free_after, -1);
+    EXPECT_GT(plan.job_stage_demand[j], 0u);
+    EXPECT_GT(plan.job_dp_cost[j], 0.0);
+  }
+  for (int i = 0; i < plan.merged.num_nodes(); ++i) {
+    const Subtemplate& node = plan.merged.node(i);
+    if (node.is_leaf()) continue;
+    EXPECT_LT(node.active, i);
+    EXPECT_LT(node.passive, i);
+  }
+}
+
+TEST(Sched, MixedTemplateSizesPinSharedRoots) {
+  // A size-3 job's root stage is also an internal stage of the size-5
+  // path's partition; the planner must pin it so its table is still
+  // live when the small job reads its total.
+  const Graph g = test_graph();
+  std::vector<sched::BatchJob> jobs;
+  jobs.push_back({TreeTemplate::path(3), 3, 0.0, 1000});
+  jobs.push_back({TreeTemplate::path(5), 3, 0.0, 1000});
+  sched::BatchOptions options;
+  options.seed = 9;
+  const sched::BatchResult batch = sched::run_batch(g, jobs, options);
+  EXPECT_EQ(batch.num_colors, 5);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const CountResult ref = reference(g, jobs[j].tmpl, 3, 9, 5);
+    EXPECT_EQ(batch.jobs[j].per_iteration, ref.per_iteration)
+        << "job " << j;
+  }
+}
+
+TEST(Sched, SingleVertexTemplateCountsVertices) {
+  const Graph g = test_graph();
+  std::vector<sched::BatchJob> jobs;
+  jobs.push_back({TreeTemplate::from_edges(1, {}), 2, 0.0, 1000});
+  const sched::BatchResult batch = sched::run_batch(g, jobs, {});
+  EXPECT_DOUBLE_EQ(batch.jobs[0].estimate,
+                   static_cast<double>(g.num_vertices()));
+}
+
+TEST(Sched, AdaptiveStopsWithinCapAndTracksExact) {
+  const Graph g = largest_component(erdos_renyi_gnm(40, 80, 13));
+  std::vector<sched::BatchJob> jobs;
+  for (const TreeTemplate& tree : all_free_trees(4)) {
+    sched::BatchJob job;
+    job.tmpl = tree;
+    job.target_relative_stderr = 0.05;
+    job.max_iterations = 600;
+    jobs.push_back(std::move(job));
+  }
+  sched::BatchOptions options;
+  options.mode = ParallelMode::kSerial;
+  options.round_iterations = 16;
+  options.seed = 3;
+  const sched::BatchResult batch = sched::run_batch(g, jobs, options);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const sched::BatchJobResult& job = batch.jobs[j];
+    EXPECT_TRUE(job.adaptive);
+    EXPECT_LE(job.iterations, 600);
+    EXPECT_GE(job.iterations, 2);
+    if (job.converged) {
+      EXPECT_LE(job.relative_stderr, 0.05);
+    } else {
+      EXPECT_EQ(job.iterations, 600);
+    }
+    const double exact = exact::count_embeddings(g, jobs[j].tmpl);
+    EXPECT_NEAR(job.estimate, exact, exact * 0.25 + 1.0) << "job " << j;
+  }
+}
+
+TEST(Sched, AdaptiveLooseTargetRetiresEarly) {
+  const Graph g = test_graph();
+  std::vector<sched::BatchJob> jobs;
+  sched::BatchJob job;
+  job.tmpl = TreeTemplate::path(4);
+  job.target_relative_stderr = 0.9;  // any 2+ iterations satisfy this
+  job.max_iterations = 500;
+  jobs.push_back(std::move(job));
+  sched::BatchOptions options;
+  options.round_iterations = 4;
+  const sched::BatchResult batch = sched::run_batch(g, jobs, options);
+  EXPECT_TRUE(batch.jobs[0].converged);
+  EXPECT_LT(batch.jobs[0].iterations, 500);
+}
+
+TEST(Sched, ValidationErrors) {
+  const Graph g = test_graph();
+  EXPECT_THROW(sched::run_batch(g, {}, {}), std::invalid_argument);
+
+  std::vector<sched::BatchJob> jobs;
+  jobs.push_back({TreeTemplate::path(5), 2, 0.0, 1000});
+  sched::BatchOptions narrow;
+  narrow.num_colors = 4;  // smaller than the template
+  EXPECT_THROW(sched::run_batch(g, jobs, narrow), std::invalid_argument);
+
+  jobs[0].iterations = 0;
+  EXPECT_THROW(sched::run_batch(g, jobs, {}), std::invalid_argument);
+
+  jobs[0].target_relative_stderr = 0.1;
+  jobs[0].max_iterations = 1;
+  EXPECT_THROW(sched::run_batch(g, jobs, {}), std::invalid_argument);
+}
+
+TEST(Sched, MotifProfileBatchFlagMatchesSharedSeedPath) {
+  const Graph g = test_graph();
+  CountOptions options;
+  options.iterations = 3;
+  options.seed = 31;
+  options.mode = ParallelMode::kSerial;
+  options.batch_engine = true;
+  const MotifProfile profile = count_all_treelets(g, 5, options);
+  ASSERT_EQ(profile.counts.size(), 3u);
+  ASSERT_EQ(profile.iterations.size(), 3u);
+  ASSERT_EQ(profile.seconds.size(), 3u);
+  for (std::size_t i = 0; i < profile.trees.size(); ++i) {
+    const CountResult ref = reference(g, profile.trees[i], 3, 31, 5);
+    EXPECT_EQ(profile.counts[i], ref.estimate) << "shape " << i;
+    EXPECT_EQ(profile.iterations[i], 3);
+  }
+}
+
+}  // namespace
+}  // namespace fascia
