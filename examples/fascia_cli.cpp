@@ -6,6 +6,8 @@
 //   build/examples/fascia_cli --graph my.edges --template-file my_tree.txt
 //   build/examples/fascia_cli --dataset ecoli --template U5-2 --enumerate 5
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <stdexcept>
 
@@ -16,7 +18,9 @@
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
 #include "treelet/catalog.hpp"
+#include "run/controls.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/table_printer.hpp"
 
 namespace {
@@ -41,6 +45,50 @@ fascia::ParallelMode parse_mode(const std::string& name) {
   throw std::invalid_argument("--mode must be serial|inner|outer");
 }
 
+// SIGINT flips this flag; the run layer polls it at iteration and
+// DP-stage boundaries, finishes the current checkpoint, and returns a
+// partial estimate with status=cancelled instead of dying mid-write.
+std::atomic<bool> g_cancel{false};
+
+extern "C" void handle_sigint(int) { g_cancel.store(true); }
+
+void add_run_report_rows(fascia::TablePrinter& table,
+                         const fascia::RunReport& run) {
+  using fascia::TablePrinter;
+  table.add_row({"run status", fascia::run_status_name(run.status)});
+  table.add_row(
+      {"completed iterations",
+       TablePrinter::num(static_cast<long long>(run.completed_iterations)) +
+           " / " +
+           TablePrinter::num(static_cast<long long>(run.requested_iterations))});
+  if (run.resumed) {
+    table.add_row({"resumed from checkpoint",
+                   TablePrinter::num(static_cast<long long>(
+                       run.resumed_iterations)) +
+                       " iterations"});
+  }
+  if (!run.resume_rejected.empty()) {
+    table.add_row({"resume rejected", run.resume_rejected});
+  }
+  if (run.checkpoints_written > 0 || run.checkpoint_failures > 0) {
+    table.add_row({"checkpoints written",
+                   TablePrinter::num(static_cast<long long>(
+                       run.checkpoints_written))});
+  }
+  if (run.checkpoint_failures > 0) {
+    table.add_row({"checkpoint failures",
+                   TablePrinter::num(static_cast<long long>(
+                       run.checkpoint_failures))});
+  }
+  if (run.estimated_peak_bytes > 0) {
+    table.add_row({"estimated peak memory",
+                   TablePrinter::bytes(run.estimated_peak_bytes)});
+  }
+  for (const std::string& note : run.degradations) {
+    table.add_row({"degradation", note});
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +107,13 @@ int main(int argc, char** argv) {
   cli.add_option("partition", "partitioning: oaat|balanced", "oaat");
   cli.add_option("mode", "parallel mode: serial|inner|outer", "inner");
   cli.add_option("enumerate", "also sample this many embeddings", "0");
+  cli.add_option("deadline", "soft wall-clock limit in seconds (0 = none)",
+                 "0");
+  cli.add_option("mem-budget-mb", "DP table memory budget in MiB (0 = none)",
+                 "0");
+  cli.add_option("checkpoint", "checkpoint file for save/resume", "");
+  cli.add_option("checkpoint-every", "iterations between checkpoints", "16");
+  cli.add_flag("resume", "resume from --checkpoint if it exists");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -83,6 +138,15 @@ int main(int argc, char** argv) {
     options.mode = parse_mode(cli.str("mode"));
     options.num_threads = static_cast<int>(cli.integer("threads"));
     options.seed = seed;
+    options.run.deadline_seconds = cli.real("deadline");
+    options.run.memory_budget_bytes =
+        static_cast<std::size_t>(cli.integer("mem-budget-mb")) * 1024 * 1024;
+    options.run.checkpoint_path = cli.str("checkpoint");
+    options.run.checkpoint_every =
+        static_cast<int>(cli.integer("checkpoint-every"));
+    options.run.resume = cli.flag("resume");
+    options.run.cancel = &g_cancel;
+    std::signal(SIGINT, handle_sigint);
 
     // Template files may contain trees OR triangle-block templates; the
     // catalog holds the paper's named trees plus U3-2 (the triangle).
@@ -98,12 +162,19 @@ int main(int argc, char** argv) {
         result = count_template(graph, tmpl, options);
       } else {
         is_tree = false;
+        // Mixed counting runs several tree sub-counts internally; a
+        // shared checkpoint file would be overwritten by each one, so
+        // only deadline/budget/cancel controls pass through.
+        options.run.checkpoint_path.clear();
+        options.run.resume = false;
         result = count_mixed_template(graph, mixed, options);
       }
     } else {
       const auto& entry = catalog_entry(cli.str("template"));
       if (entry.is_triangle) {
         is_tree = false;
+        options.run.checkpoint_path.clear();
+        options.run.resume = false;
         std::printf("template: triangle (U3-2)\n\n");
         result = count_triangles(graph, options);
       } else {
@@ -132,6 +203,7 @@ int main(int argc, char** argv) {
                          result.num_subtemplates))});
       table.add_row({"DP cost model", TablePrinter::sci(result.dp_cost, 3)});
     }
+    if (is_tree) add_run_report_rows(table, result.run);
     table.print();
 
     const auto how_many = static_cast<std::size_t>(cli.integer("enumerate"));
@@ -149,7 +221,7 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fascia_cli: %s\n", error.what());
-    return 1;
+    return fascia::exit_code_for(error);
   }
   return 0;
 }

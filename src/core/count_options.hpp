@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dp/count_table.hpp"
+#include "run/controls.hpp"
 #include "treelet/partition.hpp"
 
 namespace fascia {
@@ -61,6 +62,10 @@ struct CountOptions {
   /// Estimates stay unbiased but differ numerically from the legacy
   /// loop, which decorrelates templates with per-template seeds.
   bool batch_engine = false;
+
+  /// Resilience controls (deadline, memory budget, cancellation,
+  /// checkpoint/resume).  Inert by default; see run/controls.hpp.
+  RunControls run;
 };
 
 struct CountResult {
@@ -91,6 +96,12 @@ struct CountResult {
   /// Estimate after the first i+1 iterations (prefix means) — the
   /// error-vs-iterations curves of Figs. 10-11 read these.
   [[nodiscard]] std::vector<double> running_estimates() const;
+
+  /// What the resilient run layer did: final status, completed
+  /// iteration prefix, degradations, checkpoint activity.  For a run
+  /// with inert RunControls this is kCompleted with completed ==
+  /// requested iterations.
+  RunReport run;
 };
 
 }  // namespace fascia

@@ -1,6 +1,7 @@
 #include "core/counter.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
 
 #ifdef _OPENMP
@@ -13,7 +14,12 @@
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
+#include "run/checkpoint.hpp"
+#include "run/guard.hpp"
+#include "run/memory.hpp"
 #include "treelet/canonical.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/mem_tracker.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -57,10 +63,76 @@ void validate(const Graph& graph, const TreeTemplate& tmpl,
   }
 }
 
-/// The full Alg. 1 loop for a concrete table type.
+/// Configuration resolved by the run layer before table-type dispatch:
+/// the (possibly degraded) layout, the outer-mode engine-copy cap, and
+/// the checkpoint fingerprint.
+struct ResilientSetup {
+  TableKind table = TableKind::kCompact;
+  int engine_copies = 0;  ///< 0 = no cap (no memory plan ran)
+  bool ladder_degraded = false;
+  std::uint64_t fingerprint = 0;
+  RunReport report;
+};
+
+ResilientSetup resolve_setup(const Graph& graph, const TreeTemplate& tmpl,
+                             const CountOptions& options) {
+  const int k = effective_colors(tmpl, options);
+  validate(graph, tmpl, options, k);
+
+  ResilientSetup setup;
+  setup.table = options.table;
+  setup.report.requested_iterations = options.iterations;
+
+  if (options.run.memory_budget_bytes > 0) {
+    const PartitionTree partition = partition_template(
+        tmpl, options.partition, options.share_tables, options.root);
+    const int copies = options.mode == ParallelMode::kOuterLoop
+                           ? resolve_threads(options.num_threads)
+                           : 1;
+    const run::MemoryPlan plan = run::plan_memory(
+        partition, k, graph.num_vertices(), graph.has_labels(),
+        options.table, copies, options.run.memory_budget_bytes);
+    setup.table = plan.table;
+    setup.engine_copies = plan.engine_copies;
+    setup.ladder_degraded = !plan.degradations.empty();
+    setup.report.degradations = plan.degradations;
+    setup.report.estimated_peak_bytes = plan.estimated_peak_bytes;
+  }
+  setup.report.table_used = setup.table;
+
+  // Everything the per-iteration estimates depend on, so a checkpoint
+  // from a different configuration is rejected instead of silently
+  // blended.  The effective (post-ladder) table kind participates:
+  // layouts sum in different orders, so mixing them would break the
+  // bit-identical-resume guarantee.
+  std::uint64_t fp = run::kFingerprintSeed;
+  fp = run::fingerprint_mix(fp, std::uint64_t{run::Checkpoint::kKindCount});
+  fp = run::fingerprint_mix(fp, tmpl.describe());
+  fp = run::fingerprint_mix(fp,
+                            static_cast<std::uint64_t>(graph.num_vertices()));
+  fp = run::fingerprint_mix(fp, static_cast<std::uint64_t>(graph.num_edges()));
+  fp = run::fingerprint_mix(fp, options.seed);
+  fp = run::fingerprint_mix(fp, static_cast<std::uint64_t>(k));
+  fp = run::fingerprint_mix(fp, static_cast<std::uint64_t>(options.root + 1));
+  fp = run::fingerprint_mix(
+      fp, static_cast<std::uint64_t>(options.partition));
+  fp = run::fingerprint_mix(fp,
+                            static_cast<std::uint64_t>(options.share_tables));
+  fp = run::fingerprint_mix(fp,
+                            static_cast<std::uint64_t>(options.per_vertex));
+  fp = run::fingerprint_mix(fp, static_cast<std::uint64_t>(setup.table));
+  setup.fingerprint = fp;
+  return setup;
+}
+
+/// The full Alg. 1 loop for a concrete table type, instrumented with
+/// the resilient run layer: cooperative guard checks before every
+/// iteration (and between DP stages inside the engine), periodic
+/// checkpoints, and an honest partial result on early stop.
 template <class Table>
 CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
-                      const CountOptions& options) {
+                      const CountOptions& options,
+                      const ResilientSetup& setup) {
   const int k = effective_colors(tmpl, options);
   validate(graph, tmpl, options, k);
 
@@ -68,6 +140,7 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
       tmpl, options.partition, options.share_tables, options.root);
 
   CountResult result;
+  result.run = setup.report;
   result.automorphisms = automorphisms(tmpl);
   result.root_stabilizer = vertex_stabilizer(tmpl, partition.template_root());
   result.colorful_probability = colorful_probability(k, tmpl.size());
@@ -87,6 +160,12 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
       1.0 / (result.colorful_probability *
              static_cast<double>(result.root_stabilizer));
 
+  const RunControls& controls = options.run;
+  const bool controlled = controls.active();
+  const bool checkpointing = !controls.checkpoint_path.empty();
+  const int checkpoint_every = std::max(1, controls.checkpoint_every);
+  RunGuard guard(controls);
+
   const int iterations = options.iterations;
   result.per_iteration.assign(static_cast<std::size_t>(iterations), 0.0);
   result.seconds_per_iteration.assign(static_cast<std::size_t>(iterations),
@@ -95,77 +174,239 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
   std::vector<double> vertex_accumulator;
   if (options.per_vertex) vertex_accumulator.assign(n, 0.0);
 
+  // Early-stopped outer-mode runs can only keep a contiguous iteration
+  // prefix, but per-vertex sums cannot be un-merged per iteration —
+  // demote to inner parallelism, whose accumulation is exact per
+  // iteration.  (Estimates are mode-independent by construction.)
+  ParallelMode mode = options.mode;
+  if (controlled && options.per_vertex &&
+      mode == ParallelMode::kOuterLoop) {
+    mode = ParallelMode::kInnerLoop;
+    result.run.degradations.push_back(
+        "per-vertex resilient run: outer mode demoted to inner");
+  }
+  const bool outer = mode == ParallelMode::kOuterLoop;
+  const bool inner = mode == ParallelMode::kInnerLoop;
+  int threads = resolve_threads(options.num_threads);
+  if (outer && setup.engine_copies > 0) {
+    threads = std::min(threads, setup.engine_copies);
+  }
+  result.run.engine_copies = outer ? threads : 1;
+
+  // ---- resume -----------------------------------------------------------
+  int start = 0;
+  if (checkpointing && controls.resume) {
+    std::string why;
+    if (auto loaded = run::load_checkpoint(controls.checkpoint_path, &why)) {
+      const run::Checkpoint& ck = *loaded;
+      if (ck.kind != run::Checkpoint::kKindCount) {
+        why = "checkpoint kind mismatch";
+      } else if (ck.fingerprint != setup.fingerprint) {
+        why = "checkpoint fingerprint mismatch";
+      } else if (ck.per_job.empty() ||
+                 ck.per_job[0].size() != ck.iterations_done) {
+        why = "checkpoint arrays inconsistent";
+      } else if (options.per_vertex &&
+                 (ck.per_job.size() < 2 || ck.per_job[1].size() != n)) {
+        why = "checkpoint lacks per-vertex state";
+      } else {
+        start = std::min(static_cast<int>(ck.iterations_done), iterations);
+        std::copy_n(ck.per_job[0].begin(),
+                    static_cast<std::size_t>(start),
+                    result.per_iteration.begin());
+        if (options.per_vertex) vertex_accumulator = ck.per_job[1];
+        result.run.resumed = true;
+        result.run.resumed_iterations = start;
+        why.clear();
+      }
+      if (!why.empty()) result.run.resume_rejected = why;
+    } else if (why != "cannot open checkpoint") {
+      // A missing file is a fresh start, not a problem; anything else
+      // (corrupt, truncated, foreign) is reported.
+      result.run.resume_rejected = why;
+    }
+  }
+
+  std::vector<char> completed(static_cast<std::size_t>(iterations), 0);
+  std::fill(completed.begin(), completed.begin() + start, char{1});
+  int prefix = start;      // contiguous completed iterations
+  int last_saved = start;  // prefix length in the newest checkpoint
+
+  const auto advance_prefix = [&]() {
+    while (prefix < iterations &&
+           completed[static_cast<std::size_t>(prefix)] != 0) {
+      ++prefix;
+    }
+  };
+
+  const auto save_checkpoint = [&]() {
+    run::Checkpoint ck;
+    ck.kind = run::Checkpoint::kKindCount;
+    ck.seed = options.seed;
+    ck.num_colors = static_cast<std::uint32_t>(k);
+    ck.fingerprint = setup.fingerprint;
+    ck.iterations_done = static_cast<std::uint32_t>(prefix);
+    ck.per_job.emplace_back(
+        result.per_iteration.begin(),
+        result.per_iteration.begin() + prefix);
+    if (options.per_vertex) ck.per_job.push_back(vertex_accumulator);
+    try {
+      run::save_checkpoint(controls.checkpoint_path, ck);
+      ++result.run.checkpoints_written;
+      last_saved = prefix;
+    } catch (const Error&) {
+      // Checkpoints are best-effort: a failed write (disk full,
+      // injected fault) must not kill a healthy run.  The previous
+      // file is still intact thanks to the temp+rename protocol.
+      ++result.run.checkpoint_failures;
+    }
+  };
+
   std::size_t peak_bytes = 0;
   WallTimer total_timer;
   {
     PeakMemScope peak_scope(peak_bytes);
 
-    if (options.mode == ParallelMode::kOuterLoop) {
-      const int threads = resolve_threads(options.num_threads);
+    if (outer) {
+      // Rounds bound checkpoint staleness; one round when not
+      // checkpointing (identical to the legacy single parallel
+      // region).  Iterations within a round are dynamically
+      // scheduled; determinism holds because iteration i's coloring
+      // depends only on (seed, i).
+      const int round_length =
+          checkpointing ? checkpoint_every : std::max(1, iterations - start);
+      std::exception_ptr first_error;
+      int begin = start;
+      while (begin < iterations && !guard.stopped()) {
+        if (fault::fire("run.crash")) throw fault::Injected("run.crash");
+        const int end = std::min(iterations, begin + round_length);
 #ifdef _OPENMP
 #pragma omp parallel num_threads(threads)
 #endif
-      {
-        // Each thread owns a private engine (and thus private tables:
-        // memory scales with thread count, §III-E).
-        DpEngine<Table> engine(graph, tmpl, partition, k);
-        std::vector<double> local_vertex;
-        if (options.per_vertex) local_vertex.assign(n, 0.0);
+        {
+          // Each thread owns a private engine (and thus private
+          // tables: memory scales with the copy count, §III-E).
+          DpEngine<Table> engine(graph, tmpl, partition, k);
+          engine.set_guard(&guard);
+          std::vector<double> local_vertex;
+          if (options.per_vertex) local_vertex.assign(n, 0.0);
 #ifdef _OPENMP
 #pragma omp for schedule(dynamic, 1)
 #endif
-        for (int iter = 0; iter < iterations; ++iter) {
-          WallTimer timer;
-          const ColorArray colors = random_coloring(
-              graph, k, iteration_seed(options.seed, iter));
-          const double raw =
-              engine.run(colors, /*parallel_inner=*/false,
-                         options.per_vertex ? &local_vertex : nullptr);
-          result.per_iteration[static_cast<std::size_t>(iter)] = raw * scale;
-          result.seconds_per_iteration[static_cast<std::size_t>(iter)] =
-              timer.elapsed_s();
-        }
-        if (options.per_vertex) {
+          for (int iter = begin; iter < end; ++iter) {
+            if (guard.poll()) continue;
+            WallTimer timer;
+            try {
+              const ColorArray colors = random_coloring(
+                  graph, k, iteration_seed(options.seed, iter));
+              const double raw =
+                  engine.run(colors, /*parallel_inner=*/false,
+                             options.per_vertex ? &local_vertex : nullptr);
+              if (!guard.stopped()) {
+                result.per_iteration[static_cast<std::size_t>(iter)] =
+                    raw * scale;
+                result.seconds_per_iteration[static_cast<std::size_t>(
+                    iter)] = timer.elapsed_s();
+                completed[static_cast<std::size_t>(iter)] = 1;
+              }
+            } catch (const std::bad_alloc&) {
+              guard.stop(RunStatus::kMemDegraded);
+            } catch (const Error& error) {
+              if (error.category() == ErrorCategory::kResource) {
+                guard.stop(RunStatus::kMemDegraded);
+              } else {
+#ifdef _OPENMP
+#pragma omp critical(fascia_run_error)
+#endif
+                if (first_error == nullptr) {
+                  first_error = std::current_exception();
+                }
+                guard.stop(RunStatus::kCancelled);
+              }
+            }
+          }
+          if (options.per_vertex) {
 #ifdef _OPENMP
 #pragma omp critical(fascia_vertex_merge)
 #endif
-          for (std::size_t v = 0; v < n; ++v) {
-            vertex_accumulator[v] += local_vertex[v];
+            for (std::size_t v = 0; v < n; ++v) {
+              vertex_accumulator[v] += local_vertex[v];
+            }
           }
         }
+        advance_prefix();
+        if (checkpointing && prefix > last_saved) save_checkpoint();
+        begin = end;
       }
-      (void)threads;
+      if (first_error != nullptr) std::rethrow_exception(first_error);
     } else {
-      const bool inner = options.mode == ParallelMode::kInnerLoop;
 #ifdef _OPENMP
       if (inner && options.num_threads > 0) {
         omp_set_num_threads(options.num_threads);
       }
 #endif
       DpEngine<Table> engine(graph, tmpl, partition, k);
-      for (int iter = 0; iter < iterations; ++iter) {
+      engine.set_guard(&guard);
+      for (int iter = start; iter < iterations; ++iter) {
+        if (guard.poll()) break;
+        if (fault::fire("run.crash")) throw fault::Injected("run.crash");
         WallTimer timer;
-        const ColorArray colors =
-            random_coloring(graph, k, iteration_seed(options.seed, iter));
-        const double raw = engine.run(
-            colors, inner,
-            options.per_vertex ? &vertex_accumulator : nullptr);
-        result.per_iteration[static_cast<std::size_t>(iter)] = raw * scale;
-        result.seconds_per_iteration[static_cast<std::size_t>(iter)] =
-            timer.elapsed_s();
+        try {
+          const ColorArray colors =
+              random_coloring(graph, k, iteration_seed(options.seed, iter));
+          const double raw = engine.run(
+              colors, inner,
+              options.per_vertex ? &vertex_accumulator : nullptr);
+          if (guard.stopped()) break;  // aborted mid-pass: discard
+          result.per_iteration[static_cast<std::size_t>(iter)] = raw * scale;
+          result.seconds_per_iteration[static_cast<std::size_t>(iter)] =
+              timer.elapsed_s();
+          completed[static_cast<std::size_t>(iter)] = 1;
+        } catch (const std::bad_alloc&) {
+          guard.stop(RunStatus::kMemDegraded);
+          break;
+        } catch (const Error& error) {
+          if (error.category() != ErrorCategory::kResource) throw;
+          guard.stop(RunStatus::kMemDegraded);
+          break;
+        }
+        advance_prefix();
+        if (checkpointing && prefix - last_saved >= checkpoint_every) {
+          save_checkpoint();
+        }
       }
     }
   }
+  advance_prefix();
 
   result.peak_table_bytes = peak_bytes;
   result.seconds_total = total_timer.elapsed_s();
+
+  // Honest partial result: the estimate covers exactly the contiguous
+  // completed prefix (stragglers past a gap are discarded — they are
+  // unbiased too, but resuming needs a counter-mode prefix).
+  result.run.completed_iterations = prefix;
+  if (prefix < iterations) {
+    result.per_iteration.resize(static_cast<std::size_t>(prefix));
+    result.seconds_per_iteration.resize(static_cast<std::size_t>(prefix));
+  }
   result.estimate = mean(result.per_iteration);
   if (options.per_vertex) {
     result.vertex_counts.assign(n, 0.0);
+    const double denominator = prefix > 0 ? static_cast<double>(prefix) : 1.0;
     for (std::size_t v = 0; v < n; ++v) {
-      result.vertex_counts[v] = vertex_accumulator[v] * vertex_scale /
-                                static_cast<double>(iterations);
+      result.vertex_counts[v] =
+          vertex_accumulator[v] * vertex_scale / denominator;
     }
+  }
+  if (checkpointing && prefix > last_saved) save_checkpoint();
+
+  if (guard.stopped()) {
+    result.run.status = guard.status();
+  } else if (setup.ladder_degraded) {
+    result.run.status = RunStatus::kMemDegraded;
+  } else {
+    result.run.status = RunStatus::kCompleted;
   }
   return result;
 }
@@ -178,15 +419,16 @@ int effective_colors(const TreeTemplate& tmpl, const CountOptions& options) {
 
 CountResult count_template(const Graph& graph, const TreeTemplate& tmpl,
                            const CountOptions& options) {
-  switch (options.table) {
+  const ResilientSetup setup = resolve_setup(graph, tmpl, options);
+  switch (setup.table) {
     case TableKind::kNaive:
-      return run_count<NaiveTable>(graph, tmpl, options);
+      return run_count<NaiveTable>(graph, tmpl, options, setup);
     case TableKind::kCompact:
-      return run_count<CompactTable>(graph, tmpl, options);
+      return run_count<CompactTable>(graph, tmpl, options, setup);
     case TableKind::kHash:
-      return run_count<HashTable>(graph, tmpl, options);
+      return run_count<HashTable>(graph, tmpl, options, setup);
   }
-  throw std::logic_error("count_template: bad TableKind");
+  throw internal_error("count_template: bad TableKind");
 }
 
 CountResult graphlet_degrees(const Graph& graph, const TreeTemplate& tmpl,

@@ -33,6 +33,7 @@
 #include "comb/binomial.hpp"
 #include "comb/split_table.hpp"
 #include "graph/graph.hpp"
+#include "run/guard.hpp"
 #include "treelet/partition.hpp"
 #include "treelet/tree_template.hpp"
 
@@ -98,6 +99,14 @@ class DpEngine {
     release_all_tables();
     const int num_nodes = partition_.num_nodes();
     for (int i = 0; i < num_nodes; ++i) {
+      // Cooperative stop (run/guard.hpp): polled between stage passes
+      // so a deadline or budget trips within one node pass, not one
+      // full iteration.  The aborted pass's tables are released; the
+      // caller sees guard->stopped() and discards the iteration.
+      if (guard_ != nullptr && guard_->poll()) {
+        release_all_tables();
+        return;
+      }
       const Subtemplate& node = partition_.node(i);
       const bool wanted =
           needed == nullptr || (*needed)[static_cast<std::size_t>(i)] != 0;
@@ -138,6 +147,7 @@ class DpEngine {
              std::vector<double>* per_vertex = nullptr,
              bool keep_tables = false) {
     compute_tables(colors, parallel_inner, nullptr, keep_tables);
+    if (guard_ != nullptr && guard_->stopped()) return 0.0;
 
     const int root = partition_.root_node();
     const Subtemplate& root_node = partition_.node(root);
@@ -177,6 +187,10 @@ class DpEngine {
   }
   [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] int num_colors() const noexcept { return k_; }
+
+  /// Attaches a cooperative stop condition; nullptr detaches.  The
+  /// guard must outlive every subsequent compute_tables()/run() call.
+  void set_guard(const RunGuard* guard) noexcept { guard_ = guard; }
 
   void release_all_tables() noexcept {
     for (auto& table : tables_) table.reset();
@@ -383,6 +397,7 @@ class DpEngine {
   const Graph& graph_;
   const PartitionTree& partition_;
   int k_;
+  const RunGuard* guard_ = nullptr;
   std::vector<std::unique_ptr<Table>> tables_;
   std::vector<std::optional<SingleActiveSplit>> single_splits_;
   std::map<std::pair<int, int>, SplitTable> general_splits_;

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstring>
 
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/mem_tracker.hpp"
 
 namespace fascia {
@@ -21,6 +23,9 @@ std::size_t row_bytes(std::uint32_t num_colorsets) {
 CompactTable::CompactTable(VertexId n, std::uint32_t num_colorsets)
     : n_(n), num_colorsets_(num_colorsets),
       rows_(static_cast<std::size_t>(n)) {
+  if (fault::fire("dp.alloc")) {
+    throw resource_error("injected DP table allocation failure");
+  }
   MemTracker::add(rows_.size() * sizeof(rows_[0]));
 }
 

@@ -1,5 +1,7 @@
 #include "dp/table_hash.hpp"
 
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/mem_tracker.hpp"
 
 namespace fascia {
@@ -14,6 +16,9 @@ constexpr double kMaxLoad = 0.7;
 HashTable::HashTable(VertexId n, std::uint32_t num_colorsets)
     : n_(n), num_colorsets_(num_colorsets),
       occupied_(static_cast<std::size_t>(n), 0) {
+  if (fault::fire("dp.alloc")) {
+    throw resource_error("injected DP table allocation failure");
+  }
   keys_.assign(kInitialCapacity, kEmpty);
   values_.assign(kInitialCapacity, 0.0);
   mask_ = kInitialCapacity - 1;

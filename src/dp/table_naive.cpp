@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/mem_tracker.hpp"
 
 namespace fascia {
 
 NaiveTable::NaiveTable(VertexId n, std::uint32_t num_colorsets)
     : n_(n), num_colorsets_(num_colorsets) {
+  if (fault::fire("dp.alloc")) {
+    throw resource_error("injected DP table allocation failure");
+  }
   // First touch happens on the allocating thread; the counter's
   // inner-parallel mode relies on commit_row's writes for page
   // placement, which matches the paper's NUMA-aware initialization in

@@ -3,17 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace fascia {
 
 Graph build_graph(VertexId n, const EdgeList& edges) {
-  if (n < 0) throw std::invalid_argument("build_graph: negative n");
+  if (n < 0) throw usage_error("build_graph: negative n");
 
   // Normalize to (min, max) orientation, drop self loops, sort, dedup.
   EdgeList cleaned;
   cleaned.reserve(edges.size());
   for (const auto& [u, v] : edges) {
     if (u < 0 || v < 0 || u >= n || v >= n) {
-      throw std::invalid_argument("build_graph: endpoint out of range");
+      throw usage_error("build_graph: endpoint out of range");
     }
     if (u == v) continue;
     cleaned.emplace_back(std::min(u, v), std::max(u, v));
@@ -70,10 +72,10 @@ Graph induced_subgraph(const Graph& graph, const std::vector<VertexId>& keep,
   for (std::size_t i = 0; i < keep.size(); ++i) {
     const VertexId v = keep[i];
     if (v < 0 || v >= graph.num_vertices()) {
-      throw std::invalid_argument("induced_subgraph: vertex out of range");
+      throw usage_error("induced_subgraph: vertex out of range");
     }
     if (map[static_cast<std::size_t>(v)] != -1) {
-      throw std::invalid_argument("induced_subgraph: duplicate vertex");
+      throw usage_error("induced_subgraph: duplicate vertex");
     }
     map[static_cast<std::size_t>(v)] = static_cast<VertexId>(i);
   }

@@ -1,39 +1,71 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace fascia {
+
+namespace {
+
+std::string at_line(const std::string& path, std::size_t line_no) {
+  return path + ":" + std::to_string(line_no);
+}
+
+/// Strips a trailing '\r' so files with Windows line endings parse the
+/// same as Unix ones (std::getline only consumes the '\n').
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+bool is_blank(const std::string& line) {
+  return std::all_of(line.begin(), line.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+}  // namespace
 
 Graph read_edge_list(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("read_edge_list: cannot open " + path);
+  if (!in) throw bad_input("read_edge_list: cannot open " + path);
 
   EdgeList edges;
   std::string line;
   std::size_t line_no = 0;
+  std::size_t data_lines = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    strip_cr(line);
+    if (line.empty() || is_blank(line)) continue;
+    if (line[0] == '#' || line[0] == '%') continue;
     std::istringstream fields(line);
     long long u = 0, v = 0;
     if (!(fields >> u >> v)) {
-      throw std::runtime_error("read_edge_list: malformed line " +
-                               std::to_string(line_no) + " in " + path);
+      throw bad_input("read_edge_list: malformed line (expected two vertex "
+                      "ids, got \"" + line + "\")",
+                      at_line(path, line_no));
     }
     if (u < 0 || v < 0 || u > INT32_MAX || v > INT32_MAX) {
-      throw std::runtime_error("read_edge_list: id out of range at line " +
-                               std::to_string(line_no));
+      throw bad_input("read_edge_list: vertex id out of range",
+                      at_line(path, line_no));
     }
+    ++data_lines;
     edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  if (data_lines == 0) {
+    throw bad_input("read_edge_list: no edges found (empty file?)", path);
   }
   return build_graph(edges);
 }
 
 void write_edge_list(const Graph& graph, const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_edge_list: cannot open " + path);
+  if (!out) throw resource_error("write_edge_list: cannot open " + path);
   out << "# " << graph.num_vertices() << ' ' << graph.num_edges() << '\n';
   for (const auto& [u, v] : edge_list(graph)) {
     out << u << ' ' << v << '\n';
@@ -42,29 +74,56 @@ void write_edge_list(const Graph& graph, const std::string& path) {
 
 void read_labels(Graph& graph, const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("read_labels: cannot open " + path);
+  if (!in) throw bad_input("read_labels: cannot open " + path);
   std::vector<std::uint8_t> labels;
   labels.reserve(static_cast<std::size_t>(graph.num_vertices()));
   std::string line;
+  std::size_t line_no = 0;
   int max_label = 0;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    const int value = std::stoi(line);
+    ++line_no;
+    strip_cr(line);
+    if (line.empty() || is_blank(line)) continue;
+    if (line[0] == '#') continue;
+    int value = 0;
+    try {
+      std::size_t consumed = 0;
+      value = std::stoi(line, &consumed);
+      // Reject trailing garbage ("3x"), but allow trailing whitespace.
+      while (consumed < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[consumed])) != 0) {
+        ++consumed;
+      }
+      if (consumed != line.size()) {
+        throw std::invalid_argument("trailing characters");
+      }
+    } catch (const std::exception&) {
+      throw bad_input("read_labels: not an integer label: \"" + line + "\"",
+                      at_line(path, line_no));
+    }
     if (value < 0 || value > 254) {
-      throw std::runtime_error("read_labels: label out of range: " + line);
+      throw bad_input("read_labels: label " + std::to_string(value) +
+                          " out of range [0, 254]",
+                      at_line(path, line_no));
     }
     labels.push_back(static_cast<std::uint8_t>(value));
     max_label = std::max(max_label, value);
+  }
+  if (static_cast<VertexId>(labels.size()) != graph.num_vertices()) {
+    throw bad_input(
+        "read_labels: " + std::to_string(labels.size()) + " labels for " +
+            std::to_string(graph.num_vertices()) + " vertices",
+        path);
   }
   graph.set_labels(std::move(labels), max_label + 1);
 }
 
 void write_labels(const Graph& graph, const std::string& path) {
   if (!graph.has_labels()) {
-    throw std::runtime_error("write_labels: graph has no labels");
+    throw usage_error("write_labels: graph has no labels");
   }
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_labels: cannot open " + path);
+  if (!out) throw resource_error("write_labels: cannot open " + path);
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     out << static_cast<int>(graph.label(v)) << '\n';
   }

@@ -1,0 +1,165 @@
+#include "run/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace fascia::run {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'S', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void append_raw(std::string& out, const void* data, std::size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
+void append_u32(std::string& out, std::uint32_t value) {
+  append_raw(out, &value, sizeof(value));
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  append_raw(out, &value, sizeof(value));
+}
+
+/// Cursor over the loaded buffer; read_* return false on truncation.
+struct Reader {
+  const std::string& buffer;
+  std::size_t pos = 0;
+
+  bool read_raw(void* out, std::size_t size) {
+    if (pos + size > buffer.size()) return false;
+    std::memcpy(out, buffer.data() + pos, size);
+    pos += size;
+    return true;
+  }
+  bool read_u32(std::uint32_t& out) { return read_raw(&out, sizeof(out)); }
+  bool read_u64(std::uint64_t& out) { return read_raw(&out, sizeof(out)); }
+};
+
+std::uint64_t checksum(const char* data, std::size_t size) noexcept {
+  std::uint64_t hash = kFingerprintSeed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_mix(std::uint64_t hash, const void* data,
+                              std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fingerprint_mix(std::uint64_t hash,
+                              const std::string& text) noexcept {
+  return fingerprint_mix(hash, text.data(), text.size());
+}
+
+std::uint64_t fingerprint_mix(std::uint64_t hash,
+                              std::uint64_t value) noexcept {
+  return fingerprint_mix(hash, &value, sizeof(value));
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  std::string buffer;
+  append_raw(buffer, kMagic, sizeof(kMagic));
+  append_u32(buffer, checkpoint.kind);
+  append_u64(buffer, checkpoint.seed);
+  append_u32(buffer, checkpoint.num_colors);
+  append_u64(buffer, checkpoint.fingerprint);
+  append_u32(buffer, checkpoint.iterations_done);
+  append_u32(buffer, static_cast<std::uint32_t>(checkpoint.per_job.size()));
+  for (const auto& job : checkpoint.per_job) {
+    append_u32(buffer, static_cast<std::uint32_t>(job.size()));
+    append_raw(buffer, job.data(), job.size() * sizeof(double));
+  }
+  append_u64(buffer, checksum(buffer.data(), buffer.size()));
+
+  const std::string temp = path + ".tmp";
+  if (fault::fire("checkpoint.write")) {
+    std::remove(temp.c_str());
+    throw resource_error("injected checkpoint write failure", path);
+  }
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(buffer.data(),
+                           static_cast<std::streamsize>(buffer.size()))) {
+      std::remove(temp.c_str());
+      throw resource_error("cannot write checkpoint", temp);
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw resource_error("cannot replace checkpoint", path);
+  }
+}
+
+std::optional<Checkpoint> load_checkpoint(const std::string& path,
+                                          std::string* why) {
+  const auto reject = [&](const char* reason) -> std::optional<Checkpoint> {
+    if (why != nullptr) *why = reason;
+    return std::nullopt;
+  };
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return reject("cannot open checkpoint");
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  if (buffer.size() < sizeof(kMagic) + sizeof(std::uint64_t)) {
+    return reject("checkpoint truncated");
+  }
+
+  const std::size_t payload = buffer.size() - sizeof(std::uint64_t);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, buffer.data() + payload, sizeof(stored));
+  if (stored != checksum(buffer.data(), payload)) {
+    return reject("checkpoint checksum mismatch");
+  }
+  if (std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0) {
+    return reject("not a fascia checkpoint");
+  }
+
+  Reader reader{buffer, sizeof(kMagic)};
+  Checkpoint checkpoint;
+  std::uint32_t num_jobs = 0;
+  if (!reader.read_u32(checkpoint.kind) || !reader.read_u64(checkpoint.seed) ||
+      !reader.read_u32(checkpoint.num_colors) ||
+      !reader.read_u64(checkpoint.fingerprint) ||
+      !reader.read_u32(checkpoint.iterations_done) ||
+      !reader.read_u32(num_jobs)) {
+    return reject("checkpoint truncated");
+  }
+  // A corrupt length that slipped past the checksum is astronomically
+  // unlikely, but bound it anyway so a hostile file cannot force an
+  // absurd allocation.
+  if (num_jobs > 1u << 20) return reject("checkpoint job count implausible");
+  checkpoint.per_job.resize(num_jobs);
+  for (auto& job : checkpoint.per_job) {
+    std::uint32_t length = 0;
+    if (!reader.read_u32(length)) return reject("checkpoint truncated");
+    if (static_cast<std::size_t>(length) * sizeof(double) >
+        buffer.size() - reader.pos) {
+      return reject("checkpoint truncated");
+    }
+    job.resize(length);
+    if (!reader.read_raw(job.data(), length * sizeof(double))) {
+      return reject("checkpoint truncated");
+    }
+  }
+  if (reader.pos != payload) return reject("checkpoint has trailing bytes");
+  return checkpoint;
+}
+
+}  // namespace fascia::run

@@ -1,0 +1,112 @@
+#pragma once
+// Resilient-run controls and reporting (the run layer's public types).
+//
+// FASCIA's sampling loop (Alg. 1) is embarrassingly restartable:
+// iteration i's coloring depends only on (seed, i) — a counter-mode
+// RNG — so a run can stop at any iteration boundary and later resume
+// to bit-identical estimates.  The run layer exploits that to give
+// long jobs three guarantees the raw loop lacks:
+//
+//   * a cooperative deadline / cancellation flag / memory budget
+//     (RunGuard, guard.hpp) checked at iteration and DP-stage
+//     boundaries — exhausted runs return the completed prefix with an
+//     honest RunStatus instead of aborting;
+//   * a pre-run memory estimate feeding a degradation ladder
+//     (memory.hpp): table layout naive -> compact -> hash, then fewer
+//     outer-mode private table copies, before the first allocation;
+//   * periodic checksummed checkpoints (checkpoint.hpp) written
+//     atomically, from which count_template and sched::run_batch
+//     resume deterministically.
+//
+// CountOptions / BatchOptions embed RunControls; CountResult /
+// BatchResult embed the RunReport describing what actually happened.
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dp/count_table.hpp"
+
+namespace fascia {
+
+/// How a run ended.  Anything but kCompleted means the result is an
+/// honest partial: the estimate covers `completed_iterations` of the
+/// requested budget (kMemDegraded with a full iteration count means
+/// the run finished, but only after degrading its table backend).
+enum class RunStatus {
+  kCompleted,
+  kDeadline,     ///< cooperative deadline expired
+  kCancelled,    ///< external cancellation flag was set
+  kMemDegraded,  ///< budget forced degradation and/or an early stop
+};
+
+const char* run_status_name(RunStatus status) noexcept;
+
+/// Budgets and persistence knobs for one run.  Default-constructed
+/// controls are inert: no deadline, no budget, no checkpointing —
+/// the legacy run-to-completion behavior.
+struct RunControls {
+  /// Wall-clock budget in seconds; <= 0 means none.  Checked
+  /// cooperatively at iteration and DP-stage boundaries, so overshoot
+  /// is bounded by one stage pass.
+  double deadline_seconds = 0.0;
+
+  /// Peak DP-table budget in bytes; 0 means none.  Enforced twice:
+  /// before the run by the degradation ladder (run/memory.hpp) and
+  /// during the run against MemTracker::current().
+  std::size_t memory_budget_bytes = 0;
+
+  /// External cancellation flag (e.g. set by a SIGINT handler); the
+  /// run stops at the next boundary after it becomes true.  Not owned.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Checkpoint file; empty disables checkpointing.  Written every
+  /// checkpoint_every completed iterations via temp-file + rename, so
+  /// a crash mid-write leaves the previous checkpoint intact.
+  std::string checkpoint_path;
+  int checkpoint_every = 16;
+
+  /// Resume from checkpoint_path when it holds a valid checkpoint of
+  /// the same run (fingerprint match).  A missing file starts fresh; a
+  /// corrupt or mismatched one also starts fresh but is reported in
+  /// RunReport::resume_rejected.
+  bool resume = false;
+
+  /// True when any control is active (the run loop takes the
+  /// instrumented path only if so).
+  [[nodiscard]] bool active() const noexcept {
+    return deadline_seconds > 0.0 || memory_budget_bytes > 0 ||
+           cancel != nullptr || !checkpoint_path.empty();
+  }
+};
+
+/// What the run layer did, attached to every result.
+struct RunReport {
+  RunStatus status = RunStatus::kCompleted;
+
+  /// Contiguous completed iteration prefix the estimate covers (for
+  /// batches: shared coloring rounds).
+  int completed_iterations = 0;
+  int requested_iterations = 0;
+
+  /// Table layout actually used (after any degradation).
+  TableKind table_used = TableKind::kCompact;
+
+  /// Outer-mode private engine copies actually allowed.
+  int engine_copies = 0;
+
+  /// Pre-run peak estimate for the chosen configuration.
+  std::size_t estimated_peak_bytes = 0;
+
+  /// Human-readable degradation-ladder steps, in order.
+  std::vector<std::string> degradations;
+
+  bool resumed = false;
+  int resumed_iterations = 0;     ///< iterations restored from the file
+  std::string resume_rejected;    ///< why an existing checkpoint was unusable
+  int checkpoints_written = 0;
+  int checkpoint_failures = 0;    ///< failed writes (run continues)
+};
+
+}  // namespace fascia

@@ -1,0 +1,45 @@
+#include "run/guard.hpp"
+
+#include "util/mem_tracker.hpp"
+
+namespace fascia {
+
+const char* run_status_name(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kDeadline:
+      return "deadline";
+    case RunStatus::kCancelled:
+      return "cancelled";
+    case RunStatus::kMemDegraded:
+      return "mem-degraded";
+  }
+  return "?";
+}
+
+bool RunGuard::poll() const noexcept {
+  if (stopped()) return true;
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    stop(RunStatus::kCancelled);
+  } else if (deadline_s_ > 0.0 && timer_.elapsed_s() >= deadline_s_) {
+    stop(RunStatus::kDeadline);
+  } else if (budget_bytes_ > 0 && MemTracker::current() > budget_bytes_) {
+    stop(RunStatus::kMemDegraded);
+  }
+  return stopped();
+}
+
+void RunGuard::stop(RunStatus reason) const noexcept {
+  int expected = 0;
+  latched_.compare_exchange_strong(expected, 1 + static_cast<int>(reason),
+                                   std::memory_order_relaxed);
+}
+
+RunStatus RunGuard::status() const noexcept {
+  const int latched = latched_.load(std::memory_order_relaxed);
+  return latched == 0 ? RunStatus::kCompleted
+                      : static_cast<RunStatus>(latched - 1);
+}
+
+}  // namespace fascia

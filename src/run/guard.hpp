@@ -1,0 +1,56 @@
+#pragma once
+// RunGuard: the cooperative stop condition shared by a whole run.
+//
+// One guard instance is created per count_template / run_batch call
+// and polled (a) before every iteration and (b) between DP stage
+// passes inside the engine, from any thread.  The first limit to trip
+// latches its RunStatus; everything afterwards sees stopped() == true
+// and unwinds at the next boundary.  Latching is monotone — a run
+// never "un-stops" — which is what makes the partial-result
+// bookkeeping in the callers simple.
+//
+// poll() is const and thread-safe (the latch is an atomic) so the
+// engine can hold a `const RunGuard*` and outer-mode threads can share
+// one guard.
+
+#include <atomic>
+
+#include "run/controls.hpp"
+#include "util/timer.hpp"
+
+namespace fascia {
+
+class RunGuard {
+ public:
+  explicit RunGuard(const RunControls& controls) noexcept
+      : deadline_s_(controls.deadline_seconds),
+        budget_bytes_(controls.memory_budget_bytes),
+        cancel_(controls.cancel) {}
+
+  /// Evaluates the limits, latches the first violation, and returns
+  /// whether the run should stop.  Cheap when nothing is configured.
+  bool poll() const noexcept;
+
+  /// True once any limit has tripped (no re-evaluation).
+  [[nodiscard]] bool stopped() const noexcept {
+    return latched_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Latches an externally detected stop reason (e.g. a caught
+  /// allocation failure -> kMemDegraded).  First reason wins.
+  void stop(RunStatus reason) const noexcept;
+
+  /// kCompleted while running / completed; the latched reason after a
+  /// stop.
+  [[nodiscard]] RunStatus status() const noexcept;
+
+ private:
+  double deadline_s_;
+  std::size_t budget_bytes_;
+  const std::atomic<bool>* cancel_;
+  WallTimer timer_;
+  /// 0 = running; otherwise 1 + static_cast<int>(RunStatus reason).
+  mutable std::atomic<int> latched_{0};
+};
+
+}  // namespace fascia

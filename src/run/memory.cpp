@@ -1,0 +1,145 @@
+#include "run/memory.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "comb/colorset.hpp"
+
+namespace fascia::run {
+
+namespace {
+
+// Occupancy models (fraction of the n x C(k,h) cells ever nonzero).
+// Unlabeled templates touch most vertices (paper: compact saves ~20 %);
+// labeled ones are highly selective (>90 % saving, §V-A / Fig. 6).
+constexpr double kCompactOccupancyUnlabeled = 0.80;
+constexpr double kCompactOccupancyLabeled = 0.10;
+constexpr double kHashOccupancyUnlabeled = 0.45;
+constexpr double kHashOccupancyLabeled = 0.04;
+
+std::string human_bytes(std::size_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f %s", value, units[unit]);
+  return buffer;
+}
+
+}  // namespace
+
+std::size_t estimate_table_bytes(TableKind kind, VertexId n,
+                                 std::uint64_t colorsets, bool labeled) {
+  const double cells =
+      static_cast<double>(n) * static_cast<double>(colorsets);
+  switch (kind) {
+    case TableKind::kNaive:
+      // Dense n x C(k,h) doubles, all materialized.
+      return static_cast<std::size_t>(cells * sizeof(double));
+    case TableKind::kCompact: {
+      // Row-pointer array plus rows for occupied vertices only.
+      const double occupancy =
+          labeled ? kCompactOccupancyLabeled : kCompactOccupancyUnlabeled;
+      return static_cast<std::size_t>(
+          static_cast<double>(n) * sizeof(void*) +
+          occupancy * cells * sizeof(double));
+    }
+    case TableKind::kHash: {
+      // Open addressing: 16 B per slot (key + value), ~2x slack after
+      // power-of-two growth, plus the per-vertex occupied byte.
+      const double occupancy =
+          labeled ? kHashOccupancyLabeled : kHashOccupancyUnlabeled;
+      return static_cast<std::size_t>(
+          static_cast<double>(n) +
+          occupancy * cells * 2.0 *
+              (sizeof(std::uint64_t) + sizeof(double)));
+    }
+  }
+  return 0;
+}
+
+std::size_t estimate_peak_bytes(const PartitionTree& partition,
+                                int num_colors, VertexId n, TableKind kind,
+                                bool labeled) {
+  const int num_nodes = partition.num_nodes();
+  std::vector<std::size_t> live(static_cast<std::size_t>(num_nodes), 0);
+  std::size_t current = 0;
+  std::size_t peak = 0;
+  for (int i = 0; i < num_nodes; ++i) {
+    const Subtemplate& node = partition.node(i);
+    if (!node.is_leaf()) {
+      const auto sets = static_cast<std::uint64_t>(
+          num_colorsets(num_colors, node.size()));
+      live[static_cast<std::size_t>(i)] =
+          estimate_table_bytes(kind, n, sets, labeled);
+      current += live[static_cast<std::size_t>(i)];
+      peak = std::max(peak, current);
+    }
+    for (int j = 0; j < i; ++j) {
+      if (partition.node(j).free_after == i) {
+        current -= live[static_cast<std::size_t>(j)];
+        live[static_cast<std::size_t>(j)] = 0;
+      }
+    }
+  }
+  return peak;
+}
+
+MemoryPlan plan_memory(const PartitionTree& partition, int num_colors,
+                       VertexId n, bool labeled, TableKind requested,
+                       int engine_copies, std::size_t budget_bytes) {
+  MemoryPlan plan;
+  plan.table = requested;
+  plan.engine_copies = std::max(1, engine_copies);
+  const auto per_copy = [&](TableKind kind) {
+    return estimate_peak_bytes(partition, num_colors, n, kind, labeled);
+  };
+  plan.estimated_peak_bytes =
+      per_copy(plan.table) * static_cast<std::size_t>(plan.engine_copies);
+  if (budget_bytes == 0) return plan;
+
+  const auto over = [&]() {
+    plan.estimated_peak_bytes =
+        per_copy(plan.table) * static_cast<std::size_t>(plan.engine_copies);
+    return plan.estimated_peak_bytes > budget_bytes;
+  };
+
+  while (over()) {
+    // Next ladder rung: a denser-to-sparser layout first, then fewer
+    // private table copies.  Rungs that do not reduce the estimate
+    // (hash can model *larger* than compact on unselective instances)
+    // are still taken at most once each, so the loop terminates.
+    if (plan.table == TableKind::kNaive) {
+      plan.table = TableKind::kCompact;
+      plan.degradations.push_back("table naive -> compact (estimate " +
+                                  human_bytes(plan.estimated_peak_bytes) +
+                                  " over budget)");
+    } else if (plan.table == TableKind::kCompact &&
+               per_copy(TableKind::kHash) < per_copy(TableKind::kCompact)) {
+      plan.table = TableKind::kHash;
+      plan.degradations.push_back("table compact -> hash (estimate " +
+                                  human_bytes(plan.estimated_peak_bytes) +
+                                  " over budget)");
+    } else if (plan.engine_copies > 1) {
+      plan.engine_copies = std::max(1, plan.engine_copies / 2);
+      plan.degradations.push_back(
+          "outer-mode private table copies -> " +
+          std::to_string(plan.engine_copies) + " (estimate " +
+          human_bytes(plan.estimated_peak_bytes) + " over budget)");
+    } else {
+      plan.fits = false;
+      plan.degradations.push_back(
+          "floor configuration still estimated at " +
+          human_bytes(plan.estimated_peak_bytes) + " over budget " +
+          human_bytes(budget_bytes) + "; running with runtime enforcement");
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace fascia::run

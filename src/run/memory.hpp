@@ -1,0 +1,56 @@
+#pragma once
+// Pre-run memory estimation and the degradation ladder.
+//
+// The paper reports peak table memory per layout (Figs. 6-7); this
+// module turns that model around: given a byte budget, predict the
+// peak for the requested configuration *before allocating anything*
+// and degrade until the run fits.  The ladder (in order):
+//
+//   naive -> compact -> hash      (table layout, §III-C)
+//   halve outer-mode engine copies down to 1   (§III-E)
+//
+// Estimates walk the partition's free_after schedule, so they reflect
+// the real "≤ ~4 live tables" peak rather than the sum over all
+// stages.  Compact and hash sizes depend on occupancy that is unknown
+// a priori; the model uses the paper's observed regimes (~20 % saving
+// unlabeled, >90 % labeled for compact; hash worthwhile only on
+// selective instances).  The estimate is a planning figure — the
+// RunGuard still enforces the budget against MemTracker at run time.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dp/count_table.hpp"
+#include "graph/graph.hpp"
+#include "treelet/partition.hpp"
+
+namespace fascia::run {
+
+/// Modeled bytes of one DP table of `colorsets` columns over `n`
+/// vertices.  `labeled` selects the sparse-occupancy regime.
+std::size_t estimate_table_bytes(TableKind kind, VertexId n,
+                                 std::uint64_t colorsets, bool labeled);
+
+/// Modeled peak over one DP pass: tables live under the partition's
+/// free_after schedule, maximized over node order.
+std::size_t estimate_peak_bytes(const PartitionTree& partition,
+                                int num_colors, VertexId n, TableKind kind,
+                                bool labeled);
+
+struct MemoryPlan {
+  TableKind table = TableKind::kCompact;  ///< layout after degradation
+  int engine_copies = 1;                  ///< outer-mode private engines
+  std::size_t estimated_peak_bytes = 0;   ///< for the chosen config
+  bool fits = true;  ///< false: even the floor exceeds the budget
+  std::vector<std::string> degradations;  ///< ladder steps taken
+};
+
+/// Applies the ladder.  `engine_copies` is the outer-mode table-copy
+/// multiplier (1 for serial/inner runs).  A budget of 0 disables
+/// planning (the requested configuration is returned unchanged).
+MemoryPlan plan_memory(const PartitionTree& partition, int num_colors,
+                       VertexId n, bool labeled, TableKind requested,
+                       int engine_copies, std::size_t budget_bytes);
+
+}  // namespace fascia::run

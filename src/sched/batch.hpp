@@ -94,6 +94,13 @@ struct BatchOptions {
   /// checkpoints); 0 = max(4, resolved thread count), which keeps all
   /// threads fed between checkpoints.
   int round_iterations = 0;
+
+  /// Resilience controls (deadline, memory budget, cancellation,
+  /// checkpoint/resume).  Inert by default; see run/controls.hpp.
+  /// Checkpoints store every job's completed per-iteration prefix;
+  /// fixed-budget jobs resume to bit-identical estimates (adaptive
+  /// stopping points may shift with the changed round boundaries).
+  RunControls run;
 };
 
 struct BatchJobResult {
@@ -145,6 +152,10 @@ struct BatchResult {
     return 1.0 - static_cast<double>(stage_evaluations) /
                      static_cast<double>(stage_requests);
   }
+
+  /// Resilient-run outcome (status, completed coloring rounds,
+  /// degradations, checkpoint activity); see run/controls.hpp.
+  RunReport run;
 };
 
 /// Executes all jobs against `graph` as one planned workload.  Throws

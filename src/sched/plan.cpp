@@ -7,6 +7,8 @@
 
 #include "util/timer.hpp"
 
+#include "util/error.hpp"
+
 namespace fascia::sched {
 
 namespace {
@@ -22,30 +24,30 @@ int resolve_colors(const std::vector<BatchJob>& jobs,
 void validate(const Graph& graph, const std::vector<BatchJob>& jobs,
               const BatchOptions& options, int k) {
   if (jobs.empty()) {
-    throw std::invalid_argument("run_batch: empty job list");
+    throw usage_error("run_batch: empty job list");
   }
   if (k > kMaxTemplateSize) {
-    throw std::invalid_argument("run_batch: too many colors");
+    throw usage_error("run_batch: too many colors");
   }
   if (options.min_iterations < 2) {
-    throw std::invalid_argument("run_batch: min_iterations must be >= 2");
+    throw usage_error("run_batch: min_iterations must be >= 2");
   }
   for (const BatchJob& job : jobs) {
     if (job.tmpl.has_labels() != graph.has_labels()) {
-      throw std::invalid_argument(
+      throw usage_error(
           "run_batch: every template and the graph must agree on labeling");
     }
     if (job.tmpl.size() > k) {
-      throw std::invalid_argument(
+      throw usage_error(
           "run_batch: num_colors must cover every template");
     }
     if (job.target_relative_stderr > 0.0) {
       if (job.max_iterations < 2) {
-        throw std::invalid_argument(
+        throw usage_error(
             "run_batch: adaptive jobs need max_iterations >= 2");
       }
     } else if (job.iterations < 1) {
-      throw std::invalid_argument(
+      throw usage_error(
           "run_batch: fixed jobs need iterations >= 1");
     }
   }

@@ -1,6 +1,7 @@
 #include "sched/batch.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
 
 #ifdef _OPENMP
@@ -13,8 +14,13 @@
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
+#include "run/checkpoint.hpp"
+#include "run/guard.hpp"
+#include "run/memory.hpp"
 #include "sched/plan.hpp"
 #include "treelet/canonical.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -46,21 +52,41 @@ struct JobState {
   double leaf_raw = 0.0;  ///< its coloring-independent raw count
 };
 
+/// Run-layer configuration resolved before table-type dispatch.
+struct BatchSetup {
+  TableKind table = TableKind::kCompact;
+  int engine_copies = 0;  ///< 0 = no cap (no memory plan ran)
+  bool ladder_degraded = false;
+  std::uint64_t fingerprint = 0;
+  RunReport report;
+};
+
 template <class Table>
 void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
              const BatchOptions& options, const BatchPlan& plan,
-             BatchResult& out) {
+             const BatchSetup& setup, BatchResult& out) {
   const int k = plan.num_colors;
-  const int threads = resolve_threads(options.num_threads);
-  const int round = options.round_iterations > 0 ? options.round_iterations
-                                                 : std::max(4, threads);
+  int threads = resolve_threads(options.num_threads);
   const bool outer = options.mode == ParallelMode::kOuterLoop;
   const bool inner = options.mode == ParallelMode::kInnerLoop;
+  if (outer && setup.engine_copies > 0) {
+    threads = std::min(threads, setup.engine_copies);
+  }
+  const int round = options.round_iterations > 0 ? options.round_iterations
+                                                 : std::max(4, threads);
 #ifdef _OPENMP
   if (inner && options.num_threads > 0) {
     omp_set_num_threads(options.num_threads);
   }
 #endif
+
+  const RunControls& controls = options.run;
+  const bool checkpointing = !controls.checkpoint_path.empty();
+  const int checkpoint_every = std::max(1, controls.checkpoint_every);
+  RunGuard guard(controls);
+
+  out.run = setup.report;
+  out.run.engine_copies = outer ? threads : 1;
 
   // Outer mode: one private engine (and thus private stage tables) per
   // thread, exactly like ParallelMode::kOuterLoop in count_template.
@@ -69,10 +95,12 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
   engines.reserve(static_cast<std::size_t>(engine_count));
   for (int t = 0; t < engine_count; ++t) {
     engines.emplace_back(graph, plan.merged, k);
+    engines.back().set_guard(&guard);
   }
 
   const std::size_t num_jobs = jobs.size();
   std::vector<JobState> states(num_jobs);
+  int requested = 0;
   for (std::size_t j = 0; j < num_jobs; ++j) {
     BatchJobResult& result = out.jobs[j];
     result.colorful_probability =
@@ -92,21 +120,132 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
     const int root = plan.job_root[j];
     state.leaf_root = plan.merged.node(root).is_leaf();
     if (state.leaf_root) state.leaf_raw = engines.front().leaf_count(root);
+    requested = std::max(requested, state.cap);
   }
+  out.run.requested_iterations = requested;
 
   const auto num_nodes = static_cast<std::size_t>(plan.merged.num_nodes());
   int done = 0;
-  while (true) {
+
+  // ---- resume -----------------------------------------------------------
+  if (checkpointing && controls.resume) {
+    std::string why;
+    if (auto loaded = run::load_checkpoint(controls.checkpoint_path, &why)) {
+      const run::Checkpoint& ck = *loaded;
+      const int restored = static_cast<int>(ck.iterations_done);
+      bool lengths_ok = ck.per_job.size() == num_jobs;
+      if (lengths_ok) {
+        for (const auto& series : ck.per_job) {
+          if (static_cast<int>(series.size()) > restored) lengths_ok = false;
+        }
+      }
+      if (ck.kind != run::Checkpoint::kKindBatch) {
+        why = "checkpoint kind mismatch";
+      } else if (ck.fingerprint != setup.fingerprint) {
+        why = "checkpoint fingerprint mismatch";
+      } else if (!lengths_ok) {
+        why = "checkpoint arrays inconsistent";
+      } else {
+        for (std::size_t j = 0; j < num_jobs; ++j) {
+          out.jobs[j].per_iteration = ck.per_job[j];
+        }
+        done = restored;
+        out.seconds_per_iteration.assign(static_cast<std::size_t>(done),
+                                         0.0);
+        // Quotas and retirement flags are not serialized: the
+        // controller is deterministic in the restored estimates, so
+        // replaying its retirement tests against the restored arrays
+        // reconstructs them exactly as the interrupted run left them.
+        int sim_done = 0;
+        while (sim_done < done) {
+          int quota_edge = 0;
+          bool any = false;
+          for (const JobState& state : states) {
+            if (state.finished) continue;
+            quota_edge =
+                any ? std::min(quota_edge, state.quota) : state.quota;
+            any = true;
+          }
+          if (!any) break;
+          sim_done = std::min(quota_edge, done);
+          if (sim_done != quota_edge) break;  // checkpoint fell mid-round
+          for (std::size_t j = 0; j < num_jobs; ++j) {
+            JobState& state = states[j];
+            if (state.finished || state.quota != sim_done) continue;
+            BatchJobResult& result = out.jobs[j];
+            const auto prefix_len = std::min(
+                result.per_iteration.size(),
+                static_cast<std::size_t>(sim_done));
+            const std::vector<double> prefix(
+                result.per_iteration.begin(),
+                result.per_iteration.begin() +
+                    static_cast<std::ptrdiff_t>(prefix_len));
+            result.relative_stderr = relative_mean_stderr(prefix);
+            if (!state.adaptive) {
+              state.finished = true;
+              continue;
+            }
+            if (result.relative_stderr <= state.target) {
+              state.finished = true;
+              result.converged = true;
+            } else if (sim_done >= state.cap) {
+              state.finished = true;
+              result.converged = false;
+            } else {
+              state.quota = std::min(state.cap, sim_done + round);
+            }
+          }
+        }
+        out.run.resumed = true;
+        out.run.resumed_iterations = done;
+        why.clear();
+      }
+      if (!why.empty()) out.run.resume_rejected = why;
+    } else if (why != "cannot open checkpoint") {
+      out.run.resume_rejected = why;
+    }
+  }
+  int last_saved = done;
+
+  const auto save_checkpoint = [&]() {
+    run::Checkpoint ck;
+    ck.kind = run::Checkpoint::kKindBatch;
+    ck.seed = options.seed;
+    ck.num_colors = static_cast<std::uint32_t>(k);
+    ck.fingerprint = setup.fingerprint;
+    ck.iterations_done = static_cast<std::uint32_t>(done);
+    ck.per_job.reserve(num_jobs);
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+      ck.per_job.push_back(out.jobs[j].per_iteration);
+    }
+    try {
+      run::save_checkpoint(controls.checkpoint_path, ck);
+      ++out.run.checkpoints_written;
+      last_saved = done;
+    } catch (const Error&) {
+      ++out.run.checkpoint_failures;
+    }
+  };
+
+  std::exception_ptr first_error;
+  while (!guard.stopped()) {
     std::vector<std::size_t> active;
     for (std::size_t j = 0; j < num_jobs; ++j) {
       if (!states[j].finished) active.push_back(j);
     }
     if (active.empty()) break;
+    if (fault::fire("run.crash")) throw fault::Injected("run.crash");
 
-    int checkpoint = states[active.front()].quota;
+    int quota_edge = states[active.front()].quota;
     for (std::size_t j : active) {
-      checkpoint = std::min(checkpoint, states[j].quota);
+      quota_edge = std::min(quota_edge, states[j].quota);
     }
+    // Fixed-budget jobs grant their whole cap up front, which would
+    // make one giant round; when checkpointing, cap the round so the
+    // on-disk state never lags more than checkpoint_every iterations.
+    const int end = checkpointing
+                        ? std::min(quota_edge, done + checkpoint_every)
+                        : quota_edge;
 
     // Stages this round's iterations must compute: union over active
     // jobs.  Retired jobs' exclusive stages drop out, so late rounds
@@ -129,28 +268,52 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
     }
 
     const int begin = done;
-    const int end = checkpoint;
     out.seconds_per_iteration.resize(static_cast<std::size_t>(end), 0.0);
     for (std::size_t j : active) {
       out.jobs[j].per_iteration.resize(static_cast<std::size_t>(end), 0.0);
     }
+    std::vector<char> completed(static_cast<std::size_t>(end - begin), 0);
 
     const auto run_one = [&](int iter, DpEngine<Table>& engine,
                              bool parallel_inner) {
+      if (guard.poll()) return;
       WallTimer timer;
-      const ColorArray colors =
-          random_coloring(graph, k, iteration_seed(options.seed, iter));
-      engine.compute_tables(colors, parallel_inner, &needed);
-      for (std::size_t j : active) {
-        const double raw = states[j].leaf_root
-                               ? states[j].leaf_raw
-                               : engine.node_total(plan.job_root[j]);
-        out.jobs[j].per_iteration[static_cast<std::size_t>(iter)] =
-            raw * states[j].scale;
+      try {
+        const ColorArray colors =
+            random_coloring(graph, k, iteration_seed(options.seed, iter));
+        engine.compute_tables(colors, parallel_inner, &needed);
+        if (guard.stopped()) {
+          engine.release_all_tables();
+          return;
+        }
+        for (std::size_t j : active) {
+          const double raw = states[j].leaf_root
+                                 ? states[j].leaf_raw
+                                 : engine.node_total(plan.job_root[j]);
+          out.jobs[j].per_iteration[static_cast<std::size_t>(iter)] =
+              raw * states[j].scale;
+        }
+        engine.release_all_tables();
+        out.seconds_per_iteration[static_cast<std::size_t>(iter)] =
+            timer.elapsed_s();
+        completed[static_cast<std::size_t>(iter - begin)] = 1;
+      } catch (const std::bad_alloc&) {
+        engine.release_all_tables();
+        guard.stop(RunStatus::kMemDegraded);
+      } catch (const Error& error) {
+        engine.release_all_tables();
+        if (error.category() == ErrorCategory::kResource) {
+          guard.stop(RunStatus::kMemDegraded);
+        } else {
+#ifdef _OPENMP
+#pragma omp critical(fascia_batch_error)
+#endif
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+          }
+          guard.stop(RunStatus::kCancelled);
+        }
       }
-      engine.release_all_tables();
-      out.seconds_per_iteration[static_cast<std::size_t>(iter)] =
-          timer.elapsed_s();
     };
 
 #ifdef _OPENMP
@@ -168,14 +331,25 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
 #endif
     {
       for (int iter = begin; iter < end; ++iter) {
+        if (fault::fire("run.crash")) throw fault::Injected("run.crash");
         run_one(iter, engines.front(), inner);
+        if (guard.stopped()) break;
       }
     }
+    if (first_error != nullptr) std::rethrow_exception(first_error);
 
-    out.stage_requests += demand * static_cast<std::size_t>(end - begin);
-    out.stage_evaluations +=
-        computed * static_cast<std::size_t>(end - begin);
-    for (int iter = begin; iter < end; ++iter) {
+    // Contiguous completed prefix: a counter-mode resume point.  On a
+    // clean round this is simply `end`.
+    int prefix = begin;
+    while (prefix < end &&
+           completed[static_cast<std::size_t>(prefix - begin)] != 0) {
+      ++prefix;
+    }
+    const auto round_completed = static_cast<std::size_t>(
+        std::count(completed.begin(), completed.end(), char{1}));
+    out.stage_requests += demand * round_completed;
+    out.stage_evaluations += computed * round_completed;
+    for (int iter = begin; iter < prefix; ++iter) {
       const double share =
           out.seconds_per_iteration[static_cast<std::size_t>(iter)] /
           (cost_sum > 0.0 ? cost_sum : 1.0);
@@ -183,7 +357,16 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
         out.jobs[j].seconds += share * plan.job_dp_cost[j];
       }
     }
-    done = end;
+    done = prefix;
+    if (done < end) {
+      // Early stop mid-round: stragglers past the gap are discarded so
+      // the retained estimates form an exact iteration prefix.
+      out.seconds_per_iteration.resize(static_cast<std::size_t>(done));
+      for (std::size_t j : active) {
+        out.jobs[j].per_iteration.resize(static_cast<std::size_t>(done));
+      }
+    }
+    if (checkpointing && done > last_saved) save_checkpoint();
 
     // Controller checkpoint: retire fixed jobs whose budget is spent;
     // test adaptive jobs against their target and either retire them
@@ -216,6 +399,14 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
     result.estimate = mean(result.per_iteration);
     out.iterations_total += result.iterations;
   }
+  out.run.completed_iterations = done;
+  if (guard.stopped()) {
+    out.run.status = guard.status();
+  } else if (setup.ladder_degraded) {
+    out.run.status = RunStatus::kMemDegraded;
+  } else {
+    out.run.status = RunStatus::kCompleted;
+  }
 }
 
 }  // namespace
@@ -232,15 +423,46 @@ BatchResult run_batch(const Graph& graph, const std::vector<BatchJob>& jobs,
   result.total_stage_instances = plan.total_stage_instances;
   result.unique_stages = plan.unique_stages;
 
-  switch (options.table) {
+  BatchSetup setup;
+  setup.table = options.table;
+  if (options.run.memory_budget_bytes > 0) {
+    const int copies = options.mode == ParallelMode::kOuterLoop
+                           ? resolve_threads(options.num_threads)
+                           : 1;
+    const run::MemoryPlan memory = run::plan_memory(
+        plan.merged, plan.num_colors, graph.num_vertices(),
+        graph.has_labels(), options.table, copies,
+        options.run.memory_budget_bytes);
+    setup.table = memory.table;
+    setup.engine_copies = memory.engine_copies;
+    setup.ladder_degraded = !memory.degradations.empty();
+    setup.report.degradations = memory.degradations;
+    setup.report.estimated_peak_bytes = memory.estimated_peak_bytes;
+  }
+  setup.report.table_used = setup.table;
+
+  std::uint64_t fp = run::kFingerprintSeed;
+  fp = run::fingerprint_mix(fp, std::uint64_t{run::Checkpoint::kKindBatch});
+  fp = run::fingerprint_mix(fp,
+                            static_cast<std::uint64_t>(graph.num_vertices()));
+  fp = run::fingerprint_mix(fp, static_cast<std::uint64_t>(graph.num_edges()));
+  fp = run::fingerprint_mix(fp, options.seed);
+  fp = run::fingerprint_mix(fp, static_cast<std::uint64_t>(plan.num_colors));
+  fp = run::fingerprint_mix(fp, static_cast<std::uint64_t>(setup.table));
+  for (const BatchJob& job : jobs) {
+    fp = run::fingerprint_mix(fp, job.tmpl.describe());
+  }
+  setup.fingerprint = fp;
+
+  switch (setup.table) {
     case TableKind::kNaive:
-      execute<NaiveTable>(graph, jobs, options, plan, result);
+      execute<NaiveTable>(graph, jobs, options, plan, setup, result);
       break;
     case TableKind::kCompact:
-      execute<CompactTable>(graph, jobs, options, plan, result);
+      execute<CompactTable>(graph, jobs, options, plan, setup, result);
       break;
     case TableKind::kHash:
-      execute<HashTable>(graph, jobs, options, plan, result);
+      execute<HashTable>(graph, jobs, options, plan, setup, result);
       break;
   }
 

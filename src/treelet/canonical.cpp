@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace fascia {
 
 namespace {
@@ -77,7 +79,7 @@ std::string ahu_rooted_subtree(const TreeTemplate& t,
   std::vector<char> allowed(static_cast<std::size_t>(t.size()), 0);
   for (int v : vertices) allowed[static_cast<std::size_t>(v)] = 1;
   if (!allowed[static_cast<std::size_t>(root)]) {
-    throw std::invalid_argument("ahu_rooted_subtree: root not in subset");
+    throw usage_error("ahu_rooted_subtree: root not in subset");
   }
   // Prefix with the subtree size so strings from different sizes never
   // collide (parenthesis structure already implies it, but explicit is

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace fascia {
 
 namespace {
@@ -62,7 +64,7 @@ const CatalogEntry& catalog_entry(const std::string& name) {
   for (const auto& entry : template_catalog()) {
     if (entry.name == name) return entry;
   }
-  throw std::invalid_argument("catalog_entry: unknown template " + name);
+  throw usage_error("catalog_entry: unknown template " + name);
 }
 
 int u52_central_vertex() { return 1; }

@@ -6,6 +6,8 @@
 
 #include "treelet/canonical.hpp"
 
+#include "util/error.hpp"
+
 namespace fascia {
 
 std::vector<std::vector<int>> all_level_sequences(int k) {
@@ -53,7 +55,7 @@ std::vector<std::vector<int>> all_level_sequences(int k) {
 TreeTemplate tree_from_level_sequence(const std::vector<int>& levels) {
   const int k = static_cast<int>(levels.size());
   if (k < 1 || levels[0] != 1) {
-    throw std::invalid_argument("tree_from_level_sequence: bad sequence");
+    throw usage_error("tree_from_level_sequence: bad sequence");
   }
   TreeTemplate::EdgeList edges;
   for (int i = 1; i < k; ++i) {
@@ -66,7 +68,7 @@ TreeTemplate tree_from_level_sequence(const std::vector<int>& levels) {
       }
     }
     if (parent < 0) {
-      throw std::invalid_argument("tree_from_level_sequence: orphan vertex");
+      throw usage_error("tree_from_level_sequence: orphan vertex");
     }
     edges.emplace_back(parent, i);
   }
@@ -75,7 +77,7 @@ TreeTemplate tree_from_level_sequence(const std::vector<int>& levels) {
 
 std::vector<TreeTemplate> all_free_trees(int k) {
   if (k < 1 || k > kMaxTemplateSize) {
-    throw std::invalid_argument("all_free_trees: size out of range");
+    throw usage_error("all_free_trees: size out of range");
   }
   std::map<std::string, TreeTemplate> canonical;
   for (const auto& levels : all_level_sequences(k)) {

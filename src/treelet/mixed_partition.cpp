@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace fascia {
 
 namespace {
@@ -100,7 +102,7 @@ class Builder {
           }
         }
         if (best_w < 0) {
-          throw std::logic_error(
+          throw internal_error(
               "partition_mixed_template: no cuttable block at root");
         }
         std::vector<int> active_side;
@@ -148,7 +150,7 @@ int pick_root(const MixedTemplate& t) {
 
 MixedPartition partition_mixed_template(const MixedTemplate& t, int root) {
   if (root < -1 || root >= t.size()) {
-    throw std::invalid_argument("partition_mixed_template: root out of range");
+    throw usage_error("partition_mixed_template: root out of range");
   }
   if (root == -1) root = pick_root(t);
 

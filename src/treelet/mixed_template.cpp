@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace fascia {
 
 namespace {
@@ -55,7 +57,7 @@ std::vector<std::vector<std::pair<int, int>>> biconnected_blocks(
   // Connectivity: every vertex must have been reached (k == 1 trivial).
   for (int v = 0; v < k; ++v) {
     if (depth[static_cast<std::size_t>(v)] == -1 && (k > 1 || v > 0)) {
-      throw std::invalid_argument("MixedTemplate: not connected");
+      throw usage_error("MixedTemplate: not connected");
     }
   }
   return blocks;
@@ -65,7 +67,7 @@ std::vector<std::vector<std::pair<int, int>>> biconnected_blocks(
 
 MixedTemplate MixedTemplate::from_edges(int k, const EdgeList& edges) {
   if (k < 1 || k > kMaxTemplateSize) {
-    throw std::invalid_argument("MixedTemplate: size out of range");
+    throw usage_error("MixedTemplate: size out of range");
   }
   MixedTemplate t;
   t.k_ = k;
@@ -73,12 +75,12 @@ MixedTemplate MixedTemplate::from_edges(int k, const EdgeList& edges) {
   std::set<std::pair<int, int>> seen;
   for (auto [u, v] : edges) {
     if (u < 0 || v < 0 || u >= k || v >= k) {
-      throw std::invalid_argument("MixedTemplate: endpoint out of range");
+      throw usage_error("MixedTemplate: endpoint out of range");
     }
-    if (u == v) throw std::invalid_argument("MixedTemplate: self loop");
+    if (u == v) throw usage_error("MixedTemplate: self loop");
     if (u > v) std::swap(u, v);
     if (!seen.emplace(u, v).second) {
-      throw std::invalid_argument("MixedTemplate: duplicate edge");
+      throw usage_error("MixedTemplate: duplicate edge");
     }
     t.adjacency_[static_cast<std::size_t>(u)].push_back(v);
     t.adjacency_[static_cast<std::size_t>(v)].push_back(u);
@@ -101,7 +103,7 @@ MixedTemplate MixedTemplate::from_edges(int k, const EdgeList& edges) {
         continue;
       }
     }
-    throw std::invalid_argument(
+    throw usage_error(
         "MixedTemplate: blocks must be single edges or triangles "
         "(found a larger biconnected component)");
   }
@@ -140,21 +142,28 @@ MixedTemplate MixedTemplate::parse(const std::string& text) {
     if (first == "label") {
       int value = 0;
       if (!(fields >> value) || value < 0 || value > 254) {
-        throw std::invalid_argument("MixedTemplate::parse: bad label line");
+        throw bad_input("MixedTemplate::parse: bad label line");
       }
       labels.push_back(static_cast<std::uint8_t>(value));
-    } else if (k < 0) {
-      k = std::stoi(first);
     } else {
-      const int u = std::stoi(first);
-      int v = 0;
-      if (!(fields >> v)) {
-        throw std::invalid_argument("MixedTemplate::parse: bad edge line");
+      int number = 0;
+      try {
+        number = std::stoi(first);
+      } catch (const std::exception&) {
+        throw bad_input("MixedTemplate::parse: not an integer: \"" + first + "\"");
       }
-      edges.emplace_back(u, v);
+      if (k < 0) {
+        k = number;
+      } else {
+        int v = 0;
+        if (!(fields >> v)) {
+          throw bad_input("MixedTemplate::parse: bad edge line");
+        }
+        edges.emplace_back(number, v);
+      }
     }
   }
-  if (k < 0) throw std::invalid_argument("MixedTemplate::parse: missing size");
+  if (k < 0) throw bad_input("MixedTemplate::parse: missing size");
   MixedTemplate t = from_edges(k, edges);
   if (!labels.empty()) t.set_labels(std::move(labels));
   return t;
@@ -163,11 +172,15 @@ MixedTemplate MixedTemplate::parse(const std::string& text) {
 MixedTemplate MixedTemplate::load(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("MixedTemplate::load: cannot open " + path);
+    throw bad_input("MixedTemplate::load: cannot open " + path);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse(buffer.str());
+  try {
+    return parse(buffer.str());
+  } catch (const Error& error) {
+    throw bad_input(error.what(), path);
+  }
 }
 
 bool MixedTemplate::has_edge(int u, int v) const noexcept {
@@ -197,7 +210,7 @@ bool MixedTemplate::edge_in_triangle(int u, int v) const noexcept {
 
 TreeTemplate MixedTemplate::as_tree() const {
   if (!is_tree()) {
-    throw std::logic_error("MixedTemplate::as_tree: template has triangles");
+    throw usage_error("MixedTemplate::as_tree: template has triangles");
   }
   TreeTemplate tree = TreeTemplate::from_edges(k_, edges());
   if (has_labels()) tree.set_labels(labels_);
@@ -206,7 +219,7 @@ TreeTemplate MixedTemplate::as_tree() const {
 
 void MixedTemplate::set_labels(std::vector<std::uint8_t> labels) {
   if (static_cast<int>(labels.size()) != k_) {
-    throw std::invalid_argument("MixedTemplate: label array size != k");
+    throw usage_error("MixedTemplate: label array size != k");
   }
   labels_ = std::move(labels);
 }

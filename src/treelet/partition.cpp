@@ -9,6 +9,8 @@
 #include "comb/binomial.hpp"
 #include "treelet/canonical.hpp"
 
+#include "util/error.hpp"
+
 namespace fascia {
 
 namespace {
@@ -124,7 +126,7 @@ class Builder {
       }
     }
     if (best_w < 0) {
-      throw std::logic_error("choose_cut: root has no neighbor in subtemplate");
+      throw internal_error("choose_cut: root has no neighbor in subtemplate");
     }
     return {view.root, best_w};
   }
@@ -166,7 +168,7 @@ PartitionTree PartitionTree::from_nodes(std::vector<Subtemplate> nodes,
                                         const std::vector<int>& pinned) {
   const int count = static_cast<int>(nodes.size());
   if (count == 0) {
-    throw std::invalid_argument("PartitionTree::from_nodes: empty node list");
+    throw usage_error("PartitionTree::from_nodes: empty node list");
   }
   for (int i = 0; i < count; ++i) {
     const Subtemplate& node = nodes[static_cast<std::size_t>(i)];
@@ -176,14 +178,14 @@ PartitionTree PartitionTree::from_nodes(std::vector<Subtemplate> nodes,
             : node.active >= 0 && node.active < i && node.passive >= 0 &&
                   node.passive < i;
     if (!children_ok) {
-      throw std::invalid_argument(
+      throw usage_error(
           "PartitionTree::from_nodes: children must precede parents");
     }
   }
   compute_lifetimes(nodes);
   for (int index : pinned) {
     if (index < 0 || index >= count) {
-      throw std::invalid_argument(
+      throw usage_error(
           "PartitionTree::from_nodes: pinned node out of range");
     }
     nodes[static_cast<std::size_t>(index)].free_after = -1;
@@ -197,7 +199,7 @@ PartitionTree partition_template(const TreeTemplate& t,
                                  PartitionStrategy strategy,
                                  bool share_tables, int root) {
   if (root < -1 || root >= t.size()) {
-    throw std::invalid_argument("partition_template: root out of range");
+    throw usage_error("partition_template: root out of range");
   }
   if (root == -1) root = pick_default_root(t, strategy);
 

@@ -6,14 +6,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace fascia {
 
 TreeTemplate TreeTemplate::from_edges(int k, const EdgeList& edges) {
   if (k < 1 || k > kMaxTemplateSize) {
-    throw std::invalid_argument("TreeTemplate: size out of range");
+    throw usage_error("TreeTemplate: size out of range");
   }
   if (static_cast<int>(edges.size()) != k - 1) {
-    throw std::invalid_argument("TreeTemplate: a tree on k vertices has k-1 edges");
+    throw usage_error("TreeTemplate: a tree on k vertices has k-1 edges");
   }
 
   TreeTemplate t;
@@ -22,12 +24,12 @@ TreeTemplate TreeTemplate::from_edges(int k, const EdgeList& edges) {
   std::set<std::pair<int, int>> seen;
   for (auto [u, v] : edges) {
     if (u < 0 || v < 0 || u >= k || v >= k) {
-      throw std::invalid_argument("TreeTemplate: endpoint out of range");
+      throw usage_error("TreeTemplate: endpoint out of range");
     }
-    if (u == v) throw std::invalid_argument("TreeTemplate: self loop");
+    if (u == v) throw usage_error("TreeTemplate: self loop");
     if (u > v) std::swap(u, v);
     if (!seen.emplace(u, v).second) {
-      throw std::invalid_argument("TreeTemplate: duplicate edge");
+      throw usage_error("TreeTemplate: duplicate edge");
     }
     t.adjacency_[static_cast<std::size_t>(u)].push_back(v);
     t.adjacency_[static_cast<std::size_t>(v)].push_back(u);
@@ -50,7 +52,7 @@ TreeTemplate TreeTemplate::from_edges(int k, const EdgeList& edges) {
       }
     }
   }
-  if (reached != k) throw std::invalid_argument("TreeTemplate: not connected");
+  if (reached != k) throw usage_error("TreeTemplate: not connected");
   return t;
 }
 
@@ -81,21 +83,28 @@ TreeTemplate TreeTemplate::parse(const std::string& text) {
     if (first == "label") {
       int value = 0;
       if (!(fields >> value) || value < 0 || value > 254) {
-        throw std::invalid_argument("TreeTemplate::parse: bad label line");
+        throw bad_input("TreeTemplate::parse: bad label line");
       }
       labels.push_back(static_cast<std::uint8_t>(value));
-    } else if (k < 0) {
-      k = std::stoi(first);
     } else {
-      const int u = std::stoi(first);
-      int v = 0;
-      if (!(fields >> v)) {
-        throw std::invalid_argument("TreeTemplate::parse: bad edge line");
+      int number = 0;
+      try {
+        number = std::stoi(first);
+      } catch (const std::exception&) {
+        throw bad_input("TreeTemplate::parse: not an integer: \"" + first + "\"");
       }
-      edges.emplace_back(u, v);
+      if (k < 0) {
+        k = number;
+      } else {
+        int v = 0;
+        if (!(fields >> v)) {
+          throw bad_input("TreeTemplate::parse: bad edge line");
+        }
+        edges.emplace_back(number, v);
+      }
     }
   }
-  if (k < 0) throw std::invalid_argument("TreeTemplate::parse: missing size");
+  if (k < 0) throw bad_input("TreeTemplate::parse: missing size");
   TreeTemplate t = from_edges(k, edges);
   if (!labels.empty()) t.set_labels(std::move(labels));
   return t;
@@ -103,10 +112,16 @@ TreeTemplate TreeTemplate::parse(const std::string& text) {
 
 TreeTemplate TreeTemplate::load(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("TreeTemplate::load: cannot open " + path);
+  if (!in) throw bad_input("TreeTemplate::load: cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse(buffer.str());
+  try {
+    return parse(buffer.str());
+  } catch (const Error& error) {
+    // Whatever went wrong parsing, the root cause is the file: report
+    // it as bad input with the path attached.
+    throw bad_input(error.what(), path);
+  }
 }
 
 bool TreeTemplate::has_edge(int u, int v) const noexcept {
@@ -127,7 +142,7 @@ TreeTemplate::EdgeList TreeTemplate::edges() const {
 
 void TreeTemplate::set_labels(std::vector<std::uint8_t> labels) {
   if (static_cast<int>(labels.size()) != k_) {
-    throw std::invalid_argument("TreeTemplate: label array size != k");
+    throw usage_error("TreeTemplate: label array size != k");
   }
   labels_ = std::move(labels);
 }

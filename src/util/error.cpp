@@ -1,0 +1,80 @@
+#include "util/error.hpp"
+
+#include <new>
+
+namespace fascia {
+
+namespace {
+
+std::string format_what(const std::string& message,
+                        const std::string& context) {
+  if (context.empty()) return message;
+  return context + ": " + message;
+}
+
+}  // namespace
+
+const char* error_category_name(ErrorCategory category) noexcept {
+  switch (category) {
+    case ErrorCategory::kUsage:
+      return "usage";
+    case ErrorCategory::kBadInput:
+      return "bad input";
+    case ErrorCategory::kResource:
+      return "resource";
+    case ErrorCategory::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+int exit_code(ErrorCategory category) noexcept {
+  switch (category) {
+    case ErrorCategory::kUsage:
+      return 2;
+    case ErrorCategory::kBadInput:
+      return 3;
+    case ErrorCategory::kResource:
+      return 4;
+    case ErrorCategory::kInternal:
+      return 5;
+  }
+  return 5;
+}
+
+Error::Error(ErrorCategory category, const std::string& message,
+             std::string context)
+    : std::runtime_error(format_what(message, context)),
+      category_(category),
+      context_(std::move(context)) {}
+
+Error usage_error(const std::string& message) {
+  return {ErrorCategory::kUsage, message};
+}
+
+Error bad_input(const std::string& message, std::string context) {
+  return {ErrorCategory::kBadInput, message, std::move(context)};
+}
+
+Error resource_error(const std::string& message, std::string context) {
+  return {ErrorCategory::kResource, message, std::move(context)};
+}
+
+Error internal_error(const std::string& message) {
+  return {ErrorCategory::kInternal, message};
+}
+
+int exit_code_for(const std::exception& error) noexcept {
+  if (const auto* structured = dynamic_cast<const Error*>(&error)) {
+    return exit_code(structured->category());
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&error) != nullptr) {
+    return exit_code(ErrorCategory::kUsage);
+  }
+  if (dynamic_cast<const std::bad_alloc*>(&error) != nullptr) {
+    return exit_code(ErrorCategory::kResource);
+  }
+  return exit_code(ErrorCategory::kInternal);
+}
+
+}  // namespace fascia

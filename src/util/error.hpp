@@ -1,0 +1,66 @@
+#pragma once
+// Structured error taxonomy.
+//
+// Every throw in the library carries a category so callers — above all
+// the CLI and the resilient run layer (src/run/) — can distinguish a
+// malformed input file from resource exhaustion from an internal bug
+// without string-matching what().  Error derives from
+// std::runtime_error, so legacy catch sites keep working.
+//
+// Categories map to CLI exit codes (exit_code()):
+//   kUsage    -> 2   wrong invocation / invalid option or argument
+//   kBadInput -> 3   unreadable or malformed external data
+//   kResource -> 4   memory / disk / budget exhaustion
+//   kInternal -> 5   broken invariant inside the library
+//
+// The optional context string names the *input* location the error
+// refers to (e.g. "edges.txt:52"), not the source location; it is
+// prefixed to what() so diagnostics stay one self-contained line.
+
+#include <stdexcept>
+#include <string>
+
+namespace fascia {
+
+enum class ErrorCategory {
+  kUsage,
+  kBadInput,
+  kResource,
+  kInternal,
+};
+
+const char* error_category_name(ErrorCategory category) noexcept;
+
+/// CLI exit code for a category (usage=2, bad input=3, resource=4,
+/// internal=5; 0 and 1 are reserved for success and uncategorized).
+int exit_code(ErrorCategory category) noexcept;
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCategory category, const std::string& message,
+        std::string context = {});
+
+  [[nodiscard]] ErrorCategory category() const noexcept { return category_; }
+
+  /// Input location ("path:line") the error refers to; may be empty.
+  [[nodiscard]] const std::string& context() const noexcept {
+    return context_;
+  }
+
+ private:
+  ErrorCategory category_;
+  std::string context_;
+};
+
+// Throw-site helpers: `throw bad_input("...", "file.txt:3");`
+Error usage_error(const std::string& message);
+Error bad_input(const std::string& message, std::string context = {});
+Error resource_error(const std::string& message, std::string context = {});
+Error internal_error(const std::string& message);
+
+/// Exit code for an arbitrary exception escaping main: fascia::Error by
+/// category; std::invalid_argument -> usage; std::bad_alloc -> resource;
+/// anything else -> internal.
+int exit_code_for(const std::exception& error) noexcept;
+
+}  // namespace fascia

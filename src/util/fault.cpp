@@ -1,0 +1,98 @@
+#include "util/fault.hpp"
+
+#ifdef FASCIA_FAULT_INJECTION
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace fascia::fault {
+
+namespace {
+
+struct SiteState {
+  int countdown = 0;  ///< fires when a hit decrements this to 0
+  int hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SiteState> sites;
+  bool env_loaded = false;
+
+  void load_env_locked() {
+    env_loaded = true;
+    const char* spec = std::getenv("FASCIA_FAULT");
+    if (spec == nullptr) return;
+    // "site:count,site:count"; malformed entries are ignored (fault
+    // builds are for tests; a typo should not crash the binary).
+    std::string entry;
+    const std::string all(spec);
+    std::size_t begin = 0;
+    while (begin <= all.size()) {
+      const std::size_t comma = all.find(',', begin);
+      entry = all.substr(begin, comma == std::string::npos ? std::string::npos
+                                                           : comma - begin);
+      const std::size_t colon = entry.find(':');
+      if (colon != std::string::npos && colon > 0) {
+        const std::string site = entry.substr(0, colon);
+        const int count = std::atoi(entry.c_str() + colon + 1);
+        if (count > 0) sites[site].countdown = count;
+      } else if (!entry.empty()) {
+        sites[entry].countdown = 1;
+      }
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+  }
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+bool fire(const char* site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (!reg.env_loaded) reg.load_env_locked();
+  const auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return false;
+  ++it->second.hits;
+  if (it->second.countdown <= 0) return false;
+  return --it->second.countdown == 0;
+}
+
+void arm(const std::string& site, int countdown) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (!reg.env_loaded) reg.load_env_locked();
+  reg.sites[site].countdown = countdown;
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.sites.clear();
+  reg.env_loaded = true;  // do not resurrect env sites on the next fire
+}
+
+int hits(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+void reload_from_env() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.sites.clear();
+  reg.load_env_locked();
+}
+
+}  // namespace fascia::fault
+
+#endif  // FASCIA_FAULT_INJECTION

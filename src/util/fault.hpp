@@ -1,0 +1,70 @@
+#pragma once
+// Compile-time-gated fault injection (FASCIA_FAULT_INJECTION).
+//
+// The resilient run layer promises recovery from allocation failure,
+// checkpoint write failure, and mid-run crashes; those paths are
+// untestable without a way to make the failures happen on demand.
+// Named injection sites call fault::fire("site") at the exact point
+// the real failure would occur; a site "fires" (returns true) on its
+// N-th hit once armed.  Sites are armed either programmatically
+// (tests) or through the environment:
+//
+//   FASCIA_FAULT="dp.alloc:3,checkpoint.write:1"
+//
+// meaning "the 3rd DP-table allocation fails; the 1st checkpoint write
+// fails".  Current sites:
+//
+//   dp.alloc          — DP count-table construction throws
+//                       Error(kResource) instead of allocating
+//   checkpoint.write  — checkpoint serialization fails before the
+//                       atomic rename (the old checkpoint survives)
+//   run.crash         — an iteration boundary throws fault::Injected,
+//                       simulating a kill mid-run
+//
+// Without the FASCIA_FAULT_INJECTION macro everything here compiles to
+// nothing: fire() is a constexpr `false`, so the branches at injection
+// sites fold away and release builds carry zero overhead.
+
+#include <stdexcept>
+#include <string>
+
+namespace fascia::fault {
+
+/// Thrown by the run.crash site: a stand-in for SIGKILL that unit
+/// tests can catch in-process.
+struct Injected : std::runtime_error {
+  explicit Injected(const std::string& site)
+      : std::runtime_error("fault injected at " + site) {}
+};
+
+#ifdef FASCIA_FAULT_INJECTION
+
+/// True when `site`'s armed countdown reaches zero on this hit.
+/// First call parses FASCIA_FAULT from the environment.
+bool fire(const char* site);
+
+/// Arms `site` to fire on its `countdown`-th hit from now (1-based).
+/// Overwrites any previous arming of the same site.
+void arm(const std::string& site, int countdown);
+
+/// Clears all armed sites and hit counters (environment included).
+void disarm_all();
+
+/// Hits recorded against `site` since the last disarm_all (fired or
+/// not) — lets tests assert a site was actually reached.
+int hits(const std::string& site);
+
+/// Re-reads FASCIA_FAULT (after disarm_all, for env-driven tests).
+void reload_from_env();
+
+#else
+
+constexpr bool fire(const char* /*site*/) noexcept { return false; }
+inline void arm(const std::string& /*site*/, int /*countdown*/) {}
+inline void disarm_all() {}
+inline int hits(const std::string& /*site*/) { return 0; }
+inline void reload_from_env() {}
+
+#endif  // FASCIA_FAULT_INJECTION
+
+}  // namespace fascia::fault

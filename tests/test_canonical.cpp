@@ -4,6 +4,7 @@
 
 #include "helpers.hpp"
 #include "treelet/free_trees.hpp"
+#include "util/error.hpp"
 
 namespace fascia {
 namespace {
@@ -118,7 +119,7 @@ TEST(Canonical, SubtreeCanonicalKeying) {
   // A 3-path rooted at its end vs its middle are different rooted trees.
   EXPECT_NE(ahu_rooted_subtree(spider, {0, 1, 2}, 0),
             ahu_rooted_subtree(spider, {0, 1, 2}, 1));
-  EXPECT_THROW(ahu_rooted_subtree(spider, {1, 2}, 0), std::invalid_argument);
+  EXPECT_THROW(ahu_rooted_subtree(spider, {1, 2}, 0), fascia::Error);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "treelet/canonical.hpp"
 #include "treelet/partition.hpp"
+#include "util/error.hpp"
 
 namespace fascia {
 namespace {
@@ -61,7 +62,7 @@ TEST(Catalog, DashTwoTemplatesAreNotPaths) {
 }
 
 TEST(Catalog, UnknownNameThrows) {
-  EXPECT_THROW(catalog_entry("U99-1"), std::invalid_argument);
+  EXPECT_THROW(catalog_entry("U99-1"), fascia::Error);
 }
 
 TEST(Catalog, U122StressesPartitioning) {

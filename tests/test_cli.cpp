@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include "util/error.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -85,6 +87,43 @@ TEST(Cli, UsageListsOptions) {
   EXPECT_NE(usage.find("my-tool"), std::string::npos);
   EXPECT_NE(usage.find("--alpha"), std::string::npos);
   EXPECT_NE(usage.find("the alpha value"), std::string::npos);
+}
+
+
+// ---- error taxonomy -> exit codes ----------------------------------------
+
+TEST(ExitCodes, CategoryMapping) {
+  EXPECT_EQ(exit_code(ErrorCategory::kUsage), 2);
+  EXPECT_EQ(exit_code(ErrorCategory::kBadInput), 3);
+  EXPECT_EQ(exit_code(ErrorCategory::kResource), 4);
+  EXPECT_EQ(exit_code(ErrorCategory::kInternal), 5);
+}
+
+TEST(ExitCodes, ErrorCarriesCategoryAndContext) {
+  const Error error = bad_input("broken line", "edges.txt:52");
+  EXPECT_EQ(error.category(), ErrorCategory::kBadInput);
+  EXPECT_EQ(error.context(), "edges.txt:52");
+  const std::string what = error.what();
+  EXPECT_NE(what.find("edges.txt:52"), std::string::npos);
+  EXPECT_NE(what.find("broken line"), std::string::npos);
+}
+
+TEST(ExitCodes, ExitCodeForExceptionTypes) {
+  EXPECT_EQ(exit_code_for(usage_error("bad flag")), 2);
+  EXPECT_EQ(exit_code_for(bad_input("bad file")), 3);
+  EXPECT_EQ(exit_code_for(resource_error("out of budget")), 4);
+  EXPECT_EQ(exit_code_for(internal_error("broken invariant")), 5);
+  // CLI option parsing throws std::invalid_argument -> usage.
+  EXPECT_EQ(exit_code_for(std::invalid_argument("--bogus")), 2);
+  EXPECT_EQ(exit_code_for(std::bad_alloc()), 4);
+  EXPECT_EQ(exit_code_for(std::runtime_error("anything else")), 5);
+}
+
+TEST(ExitCodes, CategoryNames) {
+  EXPECT_STREQ(error_category_name(ErrorCategory::kUsage), "usage");
+  EXPECT_STREQ(error_category_name(ErrorCategory::kBadInput), "bad input");
+  EXPECT_STREQ(error_category_name(ErrorCategory::kResource), "resource");
+  EXPECT_STREQ(error_category_name(ErrorCategory::kInternal), "internal");
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "treelet/canonical.hpp"
+#include "util/error.hpp"
 
 namespace fascia {
 namespace {
@@ -91,13 +92,13 @@ TEST(FreeTrees, LevelSequenceToTree) {
   EXPECT_TRUE(t.has_edge(0, 1));
   EXPECT_TRUE(t.has_edge(1, 2));
   EXPECT_TRUE(t.has_edge(0, 3));
-  EXPECT_THROW(tree_from_level_sequence({2, 1}), std::invalid_argument);
-  EXPECT_THROW(tree_from_level_sequence({1, 3}), std::invalid_argument);
+  EXPECT_THROW(tree_from_level_sequence({2, 1}), fascia::Error);
+  EXPECT_THROW(tree_from_level_sequence({1, 3}), fascia::Error);
 }
 
 TEST(FreeTrees, SizeValidation) {
-  EXPECT_THROW(all_free_trees(0), std::invalid_argument);
-  EXPECT_THROW(all_free_trees(kMaxTemplateSize + 1), std::invalid_argument);
+  EXPECT_THROW(all_free_trees(0), fascia::Error);
+  EXPECT_THROW(all_free_trees(kMaxTemplateSize + 1), fascia::Error);
 }
 
 }  // namespace

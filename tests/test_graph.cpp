@@ -6,6 +6,7 @@
 
 #include "graph/builder.hpp"
 #include "helpers.hpp"
+#include "util/error.hpp"
 
 namespace fascia {
 namespace {
@@ -47,8 +48,8 @@ TEST(GraphBuilder, AdjacencySortedAndSymmetric) {
 }
 
 TEST(GraphBuilder, OutOfRangeEndpointThrows) {
-  EXPECT_THROW(build_graph(2, {{0, 2}}), std::invalid_argument);
-  EXPECT_THROW(build_graph(2, {{-1, 0}}), std::invalid_argument);
+  EXPECT_THROW(build_graph(2, {{0, 2}}), fascia::Error);
+  EXPECT_THROW(build_graph(2, {{-1, 0}}), fascia::Error);
 }
 
 TEST(GraphBuilder, DerivesSizeFromEdges) {
@@ -129,8 +130,8 @@ TEST(Graph, InducedSubgraphCarriesLabels) {
 
 TEST(Graph, InducedSubgraphRejectsDuplicates) {
   const Graph g = path_graph(4);
-  EXPECT_THROW(induced_subgraph(g, {1, 1}), std::invalid_argument);
-  EXPECT_THROW(induced_subgraph(g, {9}), std::invalid_argument);
+  EXPECT_THROW(induced_subgraph(g, {1, 1}), fascia::Error);
+  EXPECT_THROW(induced_subgraph(g, {9}), fascia::Error);
 }
 
 TEST(Graph, BytesAccountsArrays) {

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "helpers.hpp"
+#include "util/error.hpp"
 
 namespace fascia {
 namespace {
@@ -77,6 +78,152 @@ TEST(GraphIo, DuplicateEdgesInFileMerged) {
     out << "0 1\n1 0\n0 1\n";
   }
   EXPECT_EQ(read_edge_list(path).num_edges(), 1);
+  std::remove(path.c_str());
+}
+
+
+// ---- malformed-input corpus ----------------------------------------------
+// Each case is one way a real-world file goes wrong; all must surface
+// as fascia::Error (kBadInput) with the file (and line, where known)
+// in the message, never as a crash or a silent partial load.
+
+TEST(GraphIoCorpus, CrlfLineEndingsParse) {
+  const std::string path = temp_path("fascia_crlf.txt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "# header\r\n0 1\r\n1 2\r\n";
+  }
+  const Graph g = read_edge_list(path);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoCorpus, WhitespaceOnlyLinesSkipped) {
+  const std::string path = temp_path("fascia_ws.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n   \n\t\n1 2\n";
+  }
+  EXPECT_EQ(read_edge_list(path).num_edges(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoCorpus, EmptyFileIsBadInput) {
+  const std::string path = temp_path("fascia_empty.txt");
+  { std::ofstream out(path); }
+  try {
+    read_edge_list(path);
+    FAIL() << "expected fascia::Error";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kBadInput);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoCorpus, TruncatedLineReportsFileAndLine) {
+  const std::string path = temp_path("fascia_trunc.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n1 2\n3\n";  // line 3 lost its second endpoint
+  }
+  try {
+    read_edge_list(path);
+    FAIL() << "expected fascia::Error";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kBadInput);
+    EXPECT_EQ(error.context(), path + ":3");
+    EXPECT_NE(std::string(error.what()).find(":3"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoCorpus, OutOfRangeIdIsBadInput) {
+  const std::string path = temp_path("fascia_range.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n0 99999999999\n";
+  }
+  try {
+    read_edge_list(path);
+    FAIL() << "expected fascia::Error";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kBadInput);
+    EXPECT_EQ(error.context(), path + ":2");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoCorpus, GarbageLabelReportsFileAndLine) {
+  Graph g = testing::path_graph(3);
+  const std::string path = temp_path("fascia_garbage_labels.txt");
+  {
+    std::ofstream out(path);
+    out << "0\nnot-a-label\n1\n";
+  }
+  try {
+    read_labels(g, path);
+    FAIL() << "expected fascia::Error";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kBadInput);
+    EXPECT_EQ(error.context(), path + ":2");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoCorpus, TrailingGarbageAfterLabelRejected) {
+  Graph g = testing::path_graph(2);
+  const std::string path = temp_path("fascia_label_trail.txt");
+  {
+    std::ofstream out(path);
+    out << "0\n3x\n";
+  }
+  EXPECT_THROW(read_labels(g, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoCorpus, LabelOutOfRangeRejected) {
+  Graph g = testing::path_graph(2);
+  const std::string path = temp_path("fascia_label_range.txt");
+  {
+    std::ofstream out(path);
+    out << "0\n255\n";
+  }
+  EXPECT_THROW(read_labels(g, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoCorpus, LabelCountMismatchRejected) {
+  Graph g = testing::path_graph(4);
+  const std::string path = temp_path("fascia_label_count.txt");
+  {
+    std::ofstream out(path);
+    out << "0\n1\n2\n";  // 3 labels for 4 vertices
+  }
+  try {
+    read_labels(g, path);
+    FAIL() << "expected fascia::Error";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kBadInput);
+    EXPECT_NE(std::string(error.what()).find("3 labels for 4"),
+              std::string::npos);
+  }
+  EXPECT_FALSE(g.has_labels());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoCorpus, LabelsWithCrlfAndBlanksParse) {
+  Graph g = testing::path_graph(3);
+  const std::string path = temp_path("fascia_label_crlf.txt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "# labels\r\n1\r\n\r\n0\r\n2\r\n";
+  }
+  read_labels(g, path);
+  ASSERT_TRUE(g.has_labels());
+  EXPECT_EQ(g.label(0), 1);
+  EXPECT_EQ(g.label(1), 0);
+  EXPECT_EQ(g.label(2), 2);
   std::remove(path.c_str());
 }
 

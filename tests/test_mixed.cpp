@@ -18,6 +18,7 @@
 #include "graph/labels.hpp"
 #include "helpers.hpp"
 #include "treelet/mixed_partition.hpp"
+#include "util/error.hpp"
 
 namespace fascia {
 namespace {
@@ -62,24 +63,24 @@ TEST(MixedTemplate, RejectsLargerBlocks) {
   // 4-cycle: one block of 4 vertices.
   EXPECT_THROW(
       MixedTemplate::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
-      std::invalid_argument);
+      fascia::Error);
   // Diamond (two triangles sharing an edge) is a single 4-vertex block.
   EXPECT_THROW(MixedTemplate::from_edges(
                    4, {{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 3}}),
-               std::invalid_argument);
+               fascia::Error);
   // K4.
   EXPECT_THROW(
       MixedTemplate::from_edges(
           4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}),
-      std::invalid_argument);
+      fascia::Error);
 }
 
 TEST(MixedTemplate, RejectsDisconnectedAndMalformed) {
   EXPECT_THROW(MixedTemplate::from_edges(4, {{0, 1}, {2, 3}}),
-               std::invalid_argument);
-  EXPECT_THROW(MixedTemplate::from_edges(2, {{0, 0}}), std::invalid_argument);
+               fascia::Error);
+  EXPECT_THROW(MixedTemplate::from_edges(2, {{0, 0}}), fascia::Error);
   EXPECT_THROW(MixedTemplate::from_edges(2, {{0, 1}, {1, 0}}),
-               std::invalid_argument);
+               fascia::Error);
 }
 
 TEST(MixedTemplate, EdgeInTriangle) {
@@ -94,7 +95,7 @@ TEST(MixedTemplate, TreeRoundTrip) {
   const MixedTemplate mixed = MixedTemplate::from_tree(tree);
   EXPECT_TRUE(mixed.is_tree());
   EXPECT_EQ(mixed.as_tree().edges(), tree.edges());
-  EXPECT_THROW(paw().as_tree(), std::logic_error);
+  EXPECT_THROW(paw().as_tree(), fascia::Error);
 }
 
 // ---- automorphisms -------------------------------------------------------
@@ -154,7 +155,7 @@ TEST(MixedPartition, RootOverride) {
   for (int root = 0; root < 4; ++root) {
     EXPECT_EQ(partition_mixed_template(paw(), root).template_root(), root);
   }
-  EXPECT_THROW(partition_mixed_template(paw(), 9), std::invalid_argument);
+  EXPECT_THROW(partition_mixed_template(paw(), 9), fascia::Error);
 }
 
 // ---- DP correctness: per-coloring equality with brute force --------------
@@ -341,8 +342,8 @@ TEST(MixedTemplate, ParseWithTriangle) {
       MixedTemplate::parse("# paw\n4\n0 1\n1 2\n0 2\n2 3\n");
   EXPECT_EQ(t.size(), 4);
   EXPECT_EQ(t.triangles().size(), 1u);
-  EXPECT_THROW(MixedTemplate::parse(""), std::invalid_argument);
-  EXPECT_THROW(MixedTemplate::parse("3\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW(MixedTemplate::parse(""), fascia::Error);
+  EXPECT_THROW(MixedTemplate::parse("3\n0 1\n"), fascia::Error);
   EXPECT_THROW(MixedTemplate::load("/no/file"), std::runtime_error);
 }
 

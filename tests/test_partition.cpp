@@ -7,6 +7,7 @@
 
 #include "treelet/catalog.hpp"
 #include "treelet/free_trees.hpp"
+#include "util/error.hpp"
 
 namespace fascia {
 namespace {
@@ -147,7 +148,7 @@ TEST(Partition, RootOverrideRespected) {
   }
   EXPECT_THROW(
       partition_template(path, PartitionStrategy::kOneAtATime, true, 7),
-      std::invalid_argument);
+      fascia::Error);
 }
 
 TEST(Partition, OneAtATimeRootIsLeafByDefault) {

@@ -1,0 +1,600 @@
+// Resilient run layer: guard semantics, memory planning, checkpoint
+// format, and (in FASCIA_FAULT_INJECTION builds) crash/alloc-failure
+// recovery.  The acceptance bar throughout is *bit-identical* resumed
+// estimates — colorings are counter-mode in (seed, iteration), so a
+// resumed run must reproduce the uninterrupted one exactly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/counter.hpp"
+#include "helpers.hpp"
+#include "run/checkpoint.hpp"
+#include "run/controls.hpp"
+#include "run/guard.hpp"
+#include "run/memory.hpp"
+#include "sched/batch.hpp"
+#include "treelet/catalog.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace fascia {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+Graph test_graph() { return testing::complete_graph(9); }
+
+CountOptions base_options() {
+  CountOptions options;
+  options.iterations = 10;
+  options.mode = ParallelMode::kSerial;
+  options.seed = 123;
+  return options;
+}
+
+// ---- RunGuard ------------------------------------------------------------
+
+TEST(RunGuard, InertControlsNeverTrip) {
+  const RunControls controls;
+  EXPECT_FALSE(controls.active());
+  const RunGuard guard(controls);
+  EXPECT_FALSE(guard.poll());
+  EXPECT_FALSE(guard.stopped());
+}
+
+TEST(RunGuard, CancelFlagLatchesCancelled) {
+  std::atomic<bool> cancel{true};
+  RunControls controls;
+  controls.cancel = &cancel;
+  EXPECT_TRUE(controls.active());
+  const RunGuard guard(controls);
+  EXPECT_TRUE(guard.poll());
+  EXPECT_TRUE(guard.stopped());
+  EXPECT_EQ(guard.status(), RunStatus::kCancelled);
+}
+
+TEST(RunGuard, TinyDeadlineTrips) {
+  RunControls controls;
+  controls.deadline_seconds = 1e-9;
+  const RunGuard guard(controls);
+  EXPECT_TRUE(guard.poll());
+  EXPECT_EQ(guard.status(), RunStatus::kDeadline);
+}
+
+TEST(RunGuard, FirstStopReasonWins) {
+  const RunControls controls;
+  const RunGuard guard(controls);
+  guard.stop(RunStatus::kDeadline);
+  guard.stop(RunStatus::kCancelled);  // late; must not overwrite
+  EXPECT_EQ(guard.status(), RunStatus::kDeadline);
+}
+
+TEST(RunStatusName, NamesAreStable) {
+  EXPECT_STREQ(run_status_name(RunStatus::kCompleted), "completed");
+  EXPECT_STREQ(run_status_name(RunStatus::kDeadline), "deadline");
+  EXPECT_STREQ(run_status_name(RunStatus::kCancelled), "cancelled");
+  EXPECT_STREQ(run_status_name(RunStatus::kMemDegraded), "mem-degraded");
+}
+
+// ---- memory planning -----------------------------------------------------
+
+TEST(MemoryPlan, ZeroBudgetDisablesPlanning) {
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  const auto part =
+      partition_template(tree, PartitionStrategy::kOneAtATime, true);
+  const auto plan =
+      run::plan_memory(part, 5, 1000, false, TableKind::kNaive, 4, 0);
+  EXPECT_EQ(plan.table, TableKind::kNaive);
+  EXPECT_EQ(plan.engine_copies, 4);
+  EXPECT_TRUE(plan.fits);
+  EXPECT_TRUE(plan.degradations.empty());
+}
+
+TEST(MemoryPlan, LadderDegradesNaiveUnderTightBudget) {
+  const TreeTemplate& tree = catalog_entry("U7-1").tree;
+  const auto part =
+      partition_template(tree, PartitionStrategy::kOneAtATime, true);
+  const VertexId n = 100000;
+  const auto naive = run::estimate_peak_bytes(part, 7, n, TableKind::kNaive,
+                                              false);
+  const auto compact = run::estimate_peak_bytes(part, 7, n,
+                                                TableKind::kCompact, false);
+  ASSERT_LT(compact, naive);
+  // A budget below naive's estimate but at/above compact's must step
+  // the ladder down without losing the single-copy configuration.
+  const auto plan = run::plan_memory(part, 7, n, false, TableKind::kNaive, 1,
+                                     (naive + compact) / 2);
+  EXPECT_NE(plan.table, TableKind::kNaive);
+  EXPECT_TRUE(plan.fits);
+  EXPECT_FALSE(plan.degradations.empty());
+  EXPECT_LE(plan.estimated_peak_bytes, (naive + compact) / 2);
+}
+
+TEST(MemoryPlan, EngineCopiesReducedBeforeGivingUp) {
+  const TreeTemplate& tree = catalog_entry("U7-1").tree;
+  const auto part =
+      partition_template(tree, PartitionStrategy::kOneAtATime, true);
+  const VertexId n = 100000;
+  const auto naive = run::estimate_peak_bytes(part, 7, n, TableKind::kNaive,
+                                              false);
+  // Eight naive copies cannot fit in one naive copy's budget; the
+  // ladder must shed copies (and possibly the layout) until it fits.
+  const auto plan =
+      run::plan_memory(part, 7, n, false, TableKind::kNaive, 8, naive);
+  EXPECT_TRUE(plan.fits);
+  EXPECT_LT(plan.engine_copies, 8);
+  EXPECT_FALSE(plan.degradations.empty());
+}
+
+TEST(MemoryPlan, ImpossibleBudgetReportsNotFitting) {
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  const auto part =
+      partition_template(tree, PartitionStrategy::kOneAtATime, true);
+  const auto plan =
+      run::plan_memory(part, 5, 100000, false, TableKind::kCompact, 1, 16);
+  EXPECT_FALSE(plan.fits);
+  EXPECT_FALSE(plan.degradations.empty());
+}
+
+// ---- checkpoint file format ----------------------------------------------
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const std::string path = temp_path("fascia_ckpt_roundtrip.bin");
+  run::Checkpoint out;
+  out.kind = run::Checkpoint::kKindCount;
+  out.seed = 7;
+  out.num_colors = 5;
+  out.fingerprint = 0xabcdef;
+  out.iterations_done = 3;
+  out.per_job = {{1.5, -2.25, 3.0}, {0.0, 42.0}};
+  run::save_checkpoint(path, out);
+
+  std::string why;
+  const auto in = run::load_checkpoint(path, &why);
+  ASSERT_TRUE(in.has_value()) << why;
+  EXPECT_EQ(in->kind, out.kind);
+  EXPECT_EQ(in->seed, out.seed);
+  EXPECT_EQ(in->num_colors, out.num_colors);
+  EXPECT_EQ(in->fingerprint, out.fingerprint);
+  EXPECT_EQ(in->iterations_done, out.iterations_done);
+  EXPECT_EQ(in->per_job, out.per_job);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileReturnsNullopt) {
+  std::string why;
+  EXPECT_FALSE(run::load_checkpoint("/no/such/ckpt.bin", &why).has_value());
+  EXPECT_EQ(why, "cannot open checkpoint");
+}
+
+TEST(Checkpoint, CorruptByteRejectedByChecksum) {
+  const std::string path = temp_path("fascia_ckpt_corrupt.bin");
+  run::Checkpoint out;
+  out.per_job = {{1.0, 2.0}};
+  out.iterations_done = 2;
+  run::save_checkpoint(path, out);
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(20);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(20);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+  }
+  std::string why;
+  EXPECT_FALSE(run::load_checkpoint(path, &why).has_value());
+  EXPECT_FALSE(why.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFileRejected) {
+  const std::string path = temp_path("fascia_ckpt_trunc.bin");
+  run::Checkpoint out;
+  out.per_job = {{1.0, 2.0, 3.0}};
+  out.iterations_done = 3;
+  run::save_checkpoint(path, out);
+  std::string all;
+  {
+    std::ifstream file(path, std::ios::binary);
+    all.assign(std::istreambuf_iterator<char>(file), {});
+  }
+  {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file.write(all.data(), static_cast<std::streamsize>(all.size() / 2));
+  }
+  std::string why;
+  EXPECT_FALSE(run::load_checkpoint(path, &why).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, GarbageFileRejectedNotCrashing) {
+  const std::string path = temp_path("fascia_ckpt_garbage.bin");
+  {
+    std::ofstream file(path, std::ios::binary);
+    file << "this is not a checkpoint at all, not even close.....";
+  }
+  std::string why;
+  EXPECT_FALSE(run::load_checkpoint(path, &why).has_value());
+  EXPECT_FALSE(why.empty());
+  std::remove(path.c_str());
+}
+
+// ---- count_template under controls ---------------------------------------
+
+TEST(ResilientCount, DeadlineYieldsHonestPartial) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  CountOptions options = base_options();
+  options.iterations = 200;
+  options.run.deadline_seconds = 1e-9;
+  const CountResult result = count_template(g, tree, options);
+  EXPECT_EQ(result.run.status, RunStatus::kDeadline);
+  EXPECT_LT(result.run.completed_iterations, 200);
+  EXPECT_EQ(result.per_iteration.size(),
+            static_cast<std::size_t>(result.run.completed_iterations));
+  EXPECT_EQ(result.run.requested_iterations, 200);
+}
+
+TEST(ResilientCount, PresetCancelStopsBeforeWork) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  std::atomic<bool> cancel{true};
+  CountOptions options = base_options();
+  options.run.cancel = &cancel;
+  const CountResult result = count_template(g, tree, options);
+  EXPECT_EQ(result.run.status, RunStatus::kCancelled);
+  EXPECT_EQ(result.run.completed_iterations, 0);
+  EXPECT_EQ(result.estimate, 0.0);
+}
+
+TEST(ResilientCount, TinyBudgetDegradesNotAborts) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  CountOptions options = base_options();
+  options.table = TableKind::kNaive;
+  options.run.memory_budget_bytes = 1;  // impossible on purpose
+  const CountResult result = count_template(g, tree, options);
+  EXPECT_EQ(result.run.status, RunStatus::kMemDegraded);
+  EXPECT_FALSE(result.run.degradations.empty());
+  EXPECT_NE(result.run.table_used, TableKind::kNaive);
+}
+
+TEST(ResilientCount, GenerousBudgetCompletesWithoutDegradation) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  CountOptions options = base_options();
+  options.run.memory_budget_bytes = std::size_t{1} << 33;  // 8 GiB
+  const CountResult result = count_template(g, tree, options);
+  EXPECT_EQ(result.run.status, RunStatus::kCompleted);
+  EXPECT_EQ(result.run.completed_iterations, options.iterations);
+  EXPECT_TRUE(result.run.degradations.empty());
+  EXPECT_GT(result.run.estimated_peak_bytes, 0u);
+}
+
+// ---- checkpoint / resume bit-identity (no faults needed) -----------------
+
+TEST(ResilientCount, ResumeExtendsToBitIdenticalEstimates) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  const std::string path = temp_path("fascia_resume_count.bin");
+  std::remove(path.c_str());
+
+  CountOptions reference_options = base_options();
+  reference_options.iterations = 10;
+  const CountResult reference = count_template(g, tree, reference_options);
+
+  // Phase 1: run only the first 4 iterations, checkpointing as we go.
+  CountOptions first = reference_options;
+  first.iterations = 4;
+  first.run.checkpoint_path = path;
+  first.run.checkpoint_every = 2;
+  const CountResult partial = count_template(g, tree, first);
+  EXPECT_EQ(partial.run.status, RunStatus::kCompleted);
+  EXPECT_GE(partial.run.checkpoints_written, 2);
+
+  // Phase 2: resume and extend to the full 10.  Same seed + counter
+  // -mode colorings => the estimates must match bit for bit.
+  CountOptions second = reference_options;
+  second.run.checkpoint_path = path;
+  second.run.resume = true;
+  const CountResult resumed = count_template(g, tree, second);
+  EXPECT_TRUE(resumed.run.resumed);
+  EXPECT_EQ(resumed.run.resumed_iterations, 4);
+  EXPECT_TRUE(resumed.run.resume_rejected.empty());
+  ASSERT_EQ(resumed.per_iteration.size(), reference.per_iteration.size());
+  for (std::size_t i = 0; i < reference.per_iteration.size(); ++i) {
+    EXPECT_EQ(resumed.per_iteration[i], reference.per_iteration[i]) << i;
+  }
+  EXPECT_EQ(resumed.estimate, reference.estimate);
+  std::remove(path.c_str());
+}
+
+TEST(ResilientCount, PerVertexResumeBitIdentical) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-1").tree;
+  const std::string path = temp_path("fascia_resume_gdd.bin");
+  std::remove(path.c_str());
+
+  CountOptions reference_options = base_options();
+  reference_options.iterations = 6;
+  reference_options.per_vertex = true;
+  const CountResult reference = count_template(g, tree, reference_options);
+
+  CountOptions first = reference_options;
+  first.iterations = 3;
+  first.run.checkpoint_path = path;
+  first.run.checkpoint_every = 1;
+  count_template(g, tree, first);
+
+  CountOptions second = reference_options;
+  second.run.checkpoint_path = path;
+  second.run.resume = true;
+  const CountResult resumed = count_template(g, tree, second);
+  EXPECT_TRUE(resumed.run.resumed);
+  ASSERT_EQ(resumed.vertex_counts.size(), reference.vertex_counts.size());
+  for (std::size_t v = 0; v < reference.vertex_counts.size(); ++v) {
+    EXPECT_EQ(resumed.vertex_counts[v], reference.vertex_counts[v]) << v;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResilientCount, OuterModeResumeBitIdentical) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  const std::string path = temp_path("fascia_resume_outer.bin");
+  std::remove(path.c_str());
+
+  CountOptions reference_options = base_options();
+  reference_options.iterations = 8;
+  reference_options.mode = ParallelMode::kOuterLoop;
+  reference_options.num_threads = 2;
+  const CountResult reference = count_template(g, tree, reference_options);
+
+  CountOptions first = reference_options;
+  first.iterations = 3;
+  first.run.checkpoint_path = path;
+  first.run.checkpoint_every = 1;
+  count_template(g, tree, first);
+
+  CountOptions second = reference_options;
+  second.run.checkpoint_path = path;
+  second.run.resume = true;
+  const CountResult resumed = count_template(g, tree, second);
+  EXPECT_TRUE(resumed.run.resumed);
+  ASSERT_EQ(resumed.per_iteration.size(), reference.per_iteration.size());
+  for (std::size_t i = 0; i < reference.per_iteration.size(); ++i) {
+    EXPECT_EQ(resumed.per_iteration[i], reference.per_iteration[i]) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResilientCount, MismatchedCheckpointRejectedNotBlended) {
+  const Graph g = test_graph();
+  const std::string path = temp_path("fascia_resume_mismatch.bin");
+  std::remove(path.c_str());
+
+  CountOptions first = base_options();
+  first.iterations = 4;
+  first.run.checkpoint_path = path;
+  count_template(g, catalog_entry("U5-2").tree, first);
+
+  // Same file, different template: the fingerprint must reject it and
+  // the run must start fresh (and still be correct).
+  CountOptions second = base_options();
+  second.iterations = 4;
+  second.run.checkpoint_path = path;
+  second.run.resume = true;
+  const CountResult other =
+      count_template(g, catalog_entry("U5-1").tree, second);
+  EXPECT_FALSE(other.run.resumed);
+  EXPECT_EQ(other.run.resume_rejected, "checkpoint fingerprint mismatch");
+  EXPECT_EQ(other.run.completed_iterations, 4);
+
+  CountOptions clean = base_options();
+  clean.iterations = 4;
+  const CountResult reference =
+      count_template(g, catalog_entry("U5-1").tree, clean);
+  EXPECT_EQ(other.estimate, reference.estimate);
+  std::remove(path.c_str());
+}
+
+// ---- run_batch under controls --------------------------------------------
+
+TEST(ResilientBatch, DeadlineYieldsHonestPartial) {
+  const Graph g = test_graph();
+  std::vector<sched::BatchJob> jobs(1);
+  jobs[0].tmpl = catalog_entry("U5-2").tree;
+  jobs[0].iterations = 100;
+  sched::BatchOptions options;
+  options.mode = ParallelMode::kSerial;
+  options.seed = 5;
+  options.run.deadline_seconds = 1e-9;
+  const sched::BatchResult result = sched::run_batch(g, jobs, options);
+  EXPECT_EQ(result.run.status, RunStatus::kDeadline);
+  EXPECT_LT(result.run.completed_iterations, 100);
+}
+
+TEST(ResilientBatch, ResumeExtendsToBitIdenticalEstimates) {
+  const Graph g = test_graph();
+  const std::string path = temp_path("fascia_resume_batch.bin");
+  std::remove(path.c_str());
+
+  std::vector<sched::BatchJob> full_jobs(2);
+  full_jobs[0].tmpl = catalog_entry("U5-2").tree;
+  full_jobs[0].iterations = 10;
+  full_jobs[1].tmpl = catalog_entry("U3-1").tree;
+  full_jobs[1].target_relative_stderr = 10.0;  // converges at first check
+  full_jobs[1].max_iterations = 20;
+
+  sched::BatchOptions options;
+  options.mode = ParallelMode::kSerial;
+  options.seed = 17;
+  const sched::BatchResult reference = sched::run_batch(g, full_jobs, options);
+
+  // Interrupted run: only 4 iterations of the fixed job's budget.
+  std::vector<sched::BatchJob> short_jobs = full_jobs;
+  short_jobs[0].iterations = 4;
+  sched::BatchOptions first = options;
+  first.run.checkpoint_path = path;
+  first.run.checkpoint_every = 2;
+  const sched::BatchResult partial = sched::run_batch(g, short_jobs, first);
+  EXPECT_GE(partial.run.checkpoints_written, 1);
+
+  sched::BatchOptions second = options;
+  second.run.checkpoint_path = path;
+  second.run.resume = true;
+  const sched::BatchResult resumed = sched::run_batch(g, full_jobs, second);
+  EXPECT_TRUE(resumed.run.resumed);
+  EXPECT_TRUE(resumed.run.resume_rejected.empty());
+  ASSERT_EQ(resumed.jobs.size(), reference.jobs.size());
+  for (std::size_t j = 0; j < reference.jobs.size(); ++j) {
+    ASSERT_EQ(resumed.jobs[j].per_iteration.size(),
+              reference.jobs[j].per_iteration.size())
+        << "job " << j;
+    for (std::size_t i = 0; i < reference.jobs[j].per_iteration.size(); ++i) {
+      EXPECT_EQ(resumed.jobs[j].per_iteration[i],
+                reference.jobs[j].per_iteration[i])
+          << "job " << j << " iter " << i;
+    }
+    EXPECT_EQ(resumed.jobs[j].estimate, reference.jobs[j].estimate);
+    EXPECT_EQ(resumed.jobs[j].converged, reference.jobs[j].converged);
+  }
+  std::remove(path.c_str());
+}
+
+#ifdef FASCIA_FAULT_INJECTION
+
+// ---- fault-injection recovery --------------------------------------------
+
+class FaultFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override { fault::disarm_all(); }
+};
+
+TEST_F(FaultFixture, CountCrashThenResumeBitIdentical) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  const std::string path = temp_path("fascia_crash_count.bin");
+  std::remove(path.c_str());
+
+  CountOptions reference_options = base_options();
+  reference_options.iterations = 8;
+  const CountResult reference = count_template(g, tree, reference_options);
+
+  CountOptions crashing = reference_options;
+  crashing.run.checkpoint_path = path;
+  crashing.run.checkpoint_every = 1;
+  fault::arm("run.crash", 4);  // dies entering the 4th iteration
+  EXPECT_THROW(count_template(g, tree, crashing), fault::Injected);
+  EXPECT_GE(fault::hits("run.crash"), 4);
+
+  CountOptions resuming = reference_options;
+  resuming.run.checkpoint_path = path;
+  resuming.run.resume = true;
+  const CountResult resumed = count_template(g, tree, resuming);
+  EXPECT_TRUE(resumed.run.resumed);
+  EXPECT_GT(resumed.run.resumed_iterations, 0);
+  ASSERT_EQ(resumed.per_iteration.size(), reference.per_iteration.size());
+  for (std::size_t i = 0; i < reference.per_iteration.size(); ++i) {
+    EXPECT_EQ(resumed.per_iteration[i], reference.per_iteration[i]) << i;
+  }
+  EXPECT_EQ(resumed.estimate, reference.estimate);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultFixture, BatchCrashThenResumeBitIdentical) {
+  const Graph g = test_graph();
+  const std::string path = temp_path("fascia_crash_batch.bin");
+  std::remove(path.c_str());
+
+  std::vector<sched::BatchJob> jobs(1);
+  jobs[0].tmpl = catalog_entry("U5-2").tree;
+  jobs[0].iterations = 8;
+  sched::BatchOptions options;
+  options.mode = ParallelMode::kSerial;
+  options.seed = 29;
+  const sched::BatchResult reference = sched::run_batch(g, jobs, options);
+
+  sched::BatchOptions crashing = options;
+  crashing.run.checkpoint_path = path;
+  crashing.run.checkpoint_every = 1;
+  fault::arm("run.crash", 6);
+  EXPECT_THROW(sched::run_batch(g, jobs, crashing), fault::Injected);
+
+  sched::BatchOptions resuming = options;
+  resuming.run.checkpoint_path = path;
+  resuming.run.resume = true;
+  const sched::BatchResult resumed = sched::run_batch(g, jobs, resuming);
+  EXPECT_TRUE(resumed.run.resumed);
+  ASSERT_EQ(resumed.jobs[0].per_iteration.size(),
+            reference.jobs[0].per_iteration.size());
+  for (std::size_t i = 0; i < reference.jobs[0].per_iteration.size(); ++i) {
+    EXPECT_EQ(resumed.jobs[0].per_iteration[i],
+              reference.jobs[0].per_iteration[i])
+        << i;
+  }
+  EXPECT_EQ(resumed.jobs[0].estimate, reference.jobs[0].estimate);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultFixture, DpAllocFailureDegradesGracefully) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  CountOptions options = base_options();
+  fault::arm("dp.alloc", 1);
+  const CountResult result = count_template(g, tree, options);
+  EXPECT_EQ(result.run.status, RunStatus::kMemDegraded);
+  EXPECT_LT(result.run.completed_iterations, options.iterations);
+  EXPECT_GE(fault::hits("dp.alloc"), 1);
+}
+
+TEST_F(FaultFixture, CheckpointWriteFailureDoesNotKillRun) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  const std::string path = temp_path("fascia_ckpt_fail.bin");
+  std::remove(path.c_str());
+  CountOptions options = base_options();
+  options.iterations = 6;
+  options.run.checkpoint_path = path;
+  options.run.checkpoint_every = 1;
+  fault::arm("checkpoint.write", 2);  // the 2nd write fails
+  const CountResult result = count_template(g, tree, options);
+  EXPECT_EQ(result.run.status, RunStatus::kCompleted);
+  EXPECT_EQ(result.run.completed_iterations, 6);
+  EXPECT_EQ(result.run.checkpoint_failures, 1);
+  EXPECT_GE(result.run.checkpoints_written, 1);
+  // Later successful writes must have left a loadable file behind.
+  std::string why;
+  const auto checkpoint = run::load_checkpoint(path, &why);
+  ASSERT_TRUE(checkpoint.has_value()) << why;
+  EXPECT_EQ(checkpoint->iterations_done, 6u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultFixture, EnvironmentArmsSites) {
+  fault::disarm_all();
+  ::setenv("FASCIA_FAULT", "run.crash:1", 1);
+  fault::reload_from_env();
+  ::unsetenv("FASCIA_FAULT");
+  const Graph g = test_graph();
+  CountOptions options = base_options();
+  options.run.deadline_seconds = 3600;  // any control activates the layer
+  EXPECT_THROW(count_template(g, catalog_entry("U5-2").tree, options),
+               fault::Injected);
+}
+
+#endif  // FASCIA_FAULT_INJECTION
+
+}  // namespace
+}  // namespace fascia

@@ -12,6 +12,7 @@
 #include "sched/plan.hpp"
 #include "treelet/free_trees.hpp"
 #include "util/stats.hpp"
+#include "util/error.hpp"
 
 namespace fascia {
 namespace {
@@ -212,20 +213,20 @@ TEST(Sched, AdaptiveLooseTargetRetiresEarly) {
 
 TEST(Sched, ValidationErrors) {
   const Graph g = test_graph();
-  EXPECT_THROW(sched::run_batch(g, {}, {}), std::invalid_argument);
+  EXPECT_THROW(sched::run_batch(g, {}, {}), fascia::Error);
 
   std::vector<sched::BatchJob> jobs;
   jobs.push_back({TreeTemplate::path(5), 2, 0.0, 1000});
   sched::BatchOptions narrow;
   narrow.num_colors = 4;  // smaller than the template
-  EXPECT_THROW(sched::run_batch(g, jobs, narrow), std::invalid_argument);
+  EXPECT_THROW(sched::run_batch(g, jobs, narrow), fascia::Error);
 
   jobs[0].iterations = 0;
-  EXPECT_THROW(sched::run_batch(g, jobs, {}), std::invalid_argument);
+  EXPECT_THROW(sched::run_batch(g, jobs, {}), fascia::Error);
 
   jobs[0].target_relative_stderr = 0.1;
   jobs[0].max_iterations = 1;
-  EXPECT_THROW(sched::run_batch(g, jobs, {}), std::invalid_argument);
+  EXPECT_THROW(sched::run_batch(g, jobs, {}), fascia::Error);
 }
 
 TEST(Sched, MotifProfileBatchFlagMatchesSharedSeedPath) {

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include "util/error.hpp"
 
 namespace fascia {
 namespace {
@@ -31,28 +32,28 @@ TEST(TreeTemplate, SingleVertex) {
 }
 
 TEST(TreeTemplate, RejectsWrongEdgeCount) {
-  EXPECT_THROW(TreeTemplate::from_edges(3, {{0, 1}}), std::invalid_argument);
+  EXPECT_THROW(TreeTemplate::from_edges(3, {{0, 1}}), fascia::Error);
   EXPECT_THROW(TreeTemplate::from_edges(2, {{0, 1}, {0, 1}}),
-               std::invalid_argument);
+               fascia::Error);
 }
 
 TEST(TreeTemplate, RejectsCycleDisguisedAsTree) {
   // 4 vertices, 3 edges, but contains a triangle + isolated vertex.
   EXPECT_THROW(TreeTemplate::from_edges(4, {{0, 1}, {1, 2}, {2, 0}}),
-               std::invalid_argument);
+               fascia::Error);
 }
 
 TEST(TreeTemplate, RejectsSelfLoopAndDuplicates) {
-  EXPECT_THROW(TreeTemplate::from_edges(2, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(TreeTemplate::from_edges(2, {{0, 0}}), fascia::Error);
   EXPECT_THROW(TreeTemplate::from_edges(3, {{0, 1}, {1, 0}}),
-               std::invalid_argument);
+               fascia::Error);
 }
 
 TEST(TreeTemplate, RejectsOutOfRange) {
-  EXPECT_THROW(TreeTemplate::from_edges(2, {{0, 2}}), std::invalid_argument);
-  EXPECT_THROW(TreeTemplate::from_edges(0, {}), std::invalid_argument);
+  EXPECT_THROW(TreeTemplate::from_edges(2, {{0, 2}}), fascia::Error);
+  EXPECT_THROW(TreeTemplate::from_edges(0, {}), fascia::Error);
   EXPECT_THROW(TreeTemplate::from_edges(kMaxTemplateSize + 1, {}),
-               std::invalid_argument);
+               fascia::Error);
 }
 
 TEST(TreeTemplate, EdgesNormalized) {
@@ -78,10 +79,10 @@ TEST(TreeTemplate, ParseWithLabels) {
 }
 
 TEST(TreeTemplate, ParseErrors) {
-  EXPECT_THROW(TreeTemplate::parse(""), std::invalid_argument);
-  EXPECT_THROW(TreeTemplate::parse("3\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW(TreeTemplate::parse(""), fascia::Error);
+  EXPECT_THROW(TreeTemplate::parse("3\n0 1\n"), fascia::Error);
   EXPECT_THROW(TreeTemplate::parse("2\n0 1\nlabel bad\n"),
-               std::invalid_argument);
+               fascia::Error);
 }
 
 TEST(TreeTemplate, LoadFromFile) {
@@ -98,7 +99,7 @@ TEST(TreeTemplate, LoadFromFile) {
 
 TEST(TreeTemplate, LabelValidation) {
   TreeTemplate t = TreeTemplate::path(3);
-  EXPECT_THROW(t.set_labels({0, 1}), std::invalid_argument);
+  EXPECT_THROW(t.set_labels({0, 1}), fascia::Error);
   t.set_labels({0, 1, 2});
   EXPECT_TRUE(t.has_labels());
   t.clear_labels();
