@@ -1,142 +1,393 @@
-// Microbenchmarks for the DP's hot paths (google-benchmark).
+// micro_dp: per-kernel DP harness — reference (pre-frontier scalar
+// full-scan) vs vectorized (frontier + SoA split layout + row borrow,
+// DESIGN.md §8) kernels.
 //
-// The paper reports >90 % of runtime in the DP table reads (Alg. 2
-// line 12); these benchmarks isolate that read path for the three
-// layouts, plus the combinatorial indexing operations that FASCIA
-// replaces with lookups (§III-B) and the random coloring step.
+// Workload: a labeled Chung-Lu network (4 label values) counted with
+// labeled path and star templates under both partition strategies, so
+// all four kernels appear: one-at-a-time path partitions exercise the
+// pair and single-active kernels, star partitions the single-passive
+// kernel (the peeled leaf is the passive side), balanced path
+// partitions the general split-table kernel.  Each (table, shape,
+// strategy, k) configuration runs the same colorings through a
+// reference-kernel engine and a vectorized engine and checks the
+// per-iteration totals are bitwise identical (DP values are exact
+// integer counts, so reassociation must not change them).
+//
+// Reported per kernel and table type: reference vs vectorized seconds
+// (per-stage minimum across colorings, summed over stages), speedup,
+// effective GFLOP/s (2·MACs / s on the vectorized path), and frontier
+// occupancy (surviving vertices / n per pass).  Results are
+// written as machine-readable JSON (--json, default BENCH_dp.json).
+//
+// --check BASELINE re-runs the measurement and fails (exit 1) if any
+// per-(kernel, table) speedup drops below 0.75x the baseline file's
+// value — a machine-independent regression gate (both numbers are
+// ref/fast ratios measured on the same host), run by CI on every push.
 
-#include <benchmark/benchmark.h>
-
-#include <numeric>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
 #include <vector>
 
-#include "comb/colorset.hpp"
-#include "comb/split_table.hpp"
-#include "core/counter.hpp"
+#include "common.hpp"
+#include "core/coloring.hpp"
+#include "core/engine.hpp"
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
-#include "graph/components.hpp"
 #include "graph/generators.hpp"
-#include "treelet/catalog.hpp"
+#include "treelet/partition.hpp"
+#include "treelet/tree_template.hpp"
 #include "util/rng.hpp"
 
-namespace fascia {
 namespace {
 
-void BM_ColorsetIndexEncode(benchmark::State& state) {
-  const int h = static_cast<int>(state.range(0));
-  std::vector<int> colors(static_cast<std::size_t>(h));
-  std::iota(colors.begin(), colors.end(), 0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(colorset_index(colors));
-    next_colorset(colors, 12);
-    if (colors[0] > 12 - h) std::iota(colors.begin(), colors.end(), 0);
+using namespace fascia;
+
+constexpr int kNumLabels = 4;
+constexpr double kCheckTolerance = 0.75;  // fail below 0.75x baseline
+
+const char* kernel_name(char kernel) {
+  switch (kernel) {
+    case 'P': return "pair";
+    case 'A': return "single_active";
+    case 'S': return "single_passive";
+    case 'G': return "general";
+    default: return "unknown";
   }
 }
-BENCHMARK(BM_ColorsetIndexEncode)->Arg(3)->Arg(6)->Arg(12);
 
-void BM_ColorsetDecode(benchmark::State& state) {
-  const int h = static_cast<int>(state.range(0));
-  const auto count = num_colorsets(12, h);
-  std::vector<int> out;
-  ColorsetIndex index = 0;
-  for (auto _ : state) {
-    colorset_colors(index, h, out);
-    benchmark::DoNotOptimize(out.data());
-    index = (index + 1) % count;
-  }
+const char* strategy_name(PartitionStrategy strategy) {
+  return strategy == PartitionStrategy::kOneAtATime ? "oneatatime"
+                                                    : "balanced";
 }
-BENCHMARK(BM_ColorsetDecode)->Arg(3)->Arg(6)->Arg(12);
 
-void BM_SplitTableBuild(benchmark::State& state) {
-  const int h = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    SplitTable table(12, h, h / 2);
-    benchmark::DoNotOptimize(table.num_parents());
+/// Center vertex with legs of length 2 (plus one length-1 leg when k
+/// is even).  Subtree roots keep branching, so balanced partitions
+/// produce general (a > 1, p > 1) splits below the root — the stages
+/// path templates never reach.
+TreeTemplate spider(int k) {
+  TreeTemplate::EdgeList edges;
+  int v = 1;
+  while (v + 1 < k) {
+    edges.push_back({0, v});
+    edges.push_back({v, v + 1});
+    v += 2;
   }
+  if (v < k) edges.push_back({0, v});
+  return TreeTemplate::from_edges(k, edges);
 }
-BENCHMARK(BM_SplitTableBuild)->Arg(4)->Arg(8)->Arg(12);
 
-void BM_SingleActiveScan(benchmark::State& state) {
-  // The inner loop of the one-at-a-time fast path: walk all
-  // (passive, parent) pairs for one color.
-  const SingleActiveSplit split(12, static_cast<int>(state.range(0)));
-  int color = 0;
-  for (auto _ : state) {
-    double sum = 0.0;
-    for (const auto& entry : split.entries(color)) {
-      sum += entry.parent - entry.passive;
+TreeTemplate make_shape(const std::string& shape, int k) {
+  if (shape == "star") return TreeTemplate::star(k);
+  if (shape == "spider") return spider(k);
+  return TreeTemplate::path(k);
+}
+
+struct Agg {
+  double ref_seconds = 0.0;
+  double fast_seconds = 0.0;
+  std::uint64_t macs = 0;        // vectorized path
+  std::uint64_t survivors = 0;   // vectorized path
+  std::uint64_t ref_passes = 0;
+  std::uint64_t fast_passes = 0;
+
+  [[nodiscard]] double speedup() const {
+    return fast_seconds > 0.0 ? ref_seconds / fast_seconds : 0.0;
+  }
+  [[nodiscard]] double gflops() const {
+    return fast_seconds > 0.0
+               ? 2.0 * static_cast<double>(macs) / fast_seconds * 1e-9
+               : 0.0;
+  }
+  [[nodiscard]] double occupancy(VertexId n) const {
+    return fast_passes > 0
+               ? static_cast<double>(survivors) /
+                     (static_cast<double>(fast_passes) *
+                      static_cast<double>(n))
+               : 0.0;
+  }
+};
+
+struct Harness {
+  const Graph& graph;
+  int iters;
+  std::uint64_t seed;
+  std::map<std::string, Agg> per_config;  // kernel:table:kN:strategy
+  std::map<std::string, Agg> per_kernel;  // kernel:table
+  int mismatches = 0;
+
+  template <class Table>
+  void run_config(const char* table_name, const char* shape,
+                  PartitionStrategy strategy, int k) {
+    TreeTemplate tmpl = make_shape(shape, k);
+    std::vector<std::uint8_t> labels(static_cast<std::size_t>(k));
+    for (int v = 0; v < k; ++v) {
+      labels[static_cast<std::size_t>(v)] =
+          static_cast<std::uint8_t>(v % kNumLabels);
     }
-    benchmark::DoNotOptimize(sum);
-    color = (color + 1) % 12;
-  }
-}
-BENCHMARK(BM_SingleActiveScan)->Arg(6)->Arg(9)->Arg(12);
+    tmpl.set_labels(std::move(labels));
+    const PartitionTree partition = partition_template(tmpl, strategy);
 
-template <class Table>
-void table_get_benchmark(benchmark::State& state) {
-  constexpr VertexId kN = 1 << 14;
-  constexpr std::uint32_t kSets = 462;  // C(11,5)
-  Table table(kN, kSets);
-  std::vector<double> row(kSets);
-  Xoshiro256 rng(7);
-  for (VertexId v = 0; v < kN; v += 2) {  // half the vertices active
-    for (auto& x : row) x = rng.uniform();
-    table.commit_row(v, row);
-  }
-  std::uint64_t key = 1;
-  for (auto _ : state) {
-    key = key * 6364136223846793005ULL + 1442695040888963407ULL;
-    const auto v = static_cast<VertexId>((key >> 33) % kN);
-    const auto c = static_cast<ColorsetIndex>((key >> 20) % kSets);
-    benchmark::DoNotOptimize(table.get(v, c));
-  }
-}
+    DpEngineOptions ref_opts;
+    ref_opts.reference_kernels = true;
+    ref_opts.collect_stats = true;
+    DpEngineOptions fast_opts;
+    fast_opts.collect_stats = true;
+    DpEngine<Table> ref_engine(graph, tmpl, partition, k, ref_opts);
+    DpEngine<Table> fast_engine(graph, tmpl, partition, k, fast_opts);
 
-void BM_TableGetNaive(benchmark::State& state) {
-  table_get_benchmark<NaiveTable>(state);
-}
-void BM_TableGetCompact(benchmark::State& state) {
-  table_get_benchmark<CompactTable>(state);
-}
-void BM_TableGetHash(benchmark::State& state) {
-  table_get_benchmark<HashTable>(state);
-}
-BENCHMARK(BM_TableGetNaive);
-BENCHMARK(BM_TableGetCompact);
-BENCHMARK(BM_TableGetHash);
+    // Per-stage minimum across the colorings: every run emits the same
+    // stage sequence, so the elementwise min is the least-noise
+    // estimate of each stage's cost (a single preempted pass cannot
+    // pollute the aggregate).  Work counters are averaged.
+    std::vector<DpStageStats> ref_stats, fast_stats;
+    const auto merge_min = [this](std::vector<DpStageStats>& into,
+                                  const std::vector<DpStageStats>& run) {
+      if (into.empty()) {
+        into = run;
+        return;
+      }
+      for (std::size_t i = 0; i < into.size() && i < run.size(); ++i) {
+        into[i].seconds = std::min(into[i].seconds, run[i].seconds);
+        into[i].macs = (into[i].macs + run[i].macs) / 2;
+        into[i].survivors = (into[i].survivors + run[i].survivors) / 2;
+      }
+    };
+    for (int iter = 0; iter < iters; ++iter) {
+      const ColorArray colors = detail::random_coloring(
+          graph, k, detail::iteration_seed(seed, iter));
+      ref_engine.clear_stage_stats();
+      fast_engine.clear_stage_stats();
+      const double ref_total =
+          ref_engine.run(colors, /*parallel_inner=*/false);
+      const double fast_total =
+          fast_engine.run(colors, /*parallel_inner=*/false);
+      if (ref_total != fast_total) {
+        std::fprintf(stderr,
+                     "MISMATCH %s/%s/%s/k%d iter %d: ref %.17g fast %.17g\n",
+                     table_name, shape, strategy_name(strategy), k, iter,
+                     ref_total, fast_total);
+        ++mismatches;
+      }
+      merge_min(ref_stats, ref_engine.stage_stats());
+      merge_min(fast_stats, fast_engine.stage_stats());
+    }
 
-void BM_RandomColoring(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::vector<std::uint8_t> colors(n);
-  Xoshiro256 rng(3);
-  for (auto _ : state) {
-    for (auto& c : colors) c = static_cast<std::uint8_t>(rng.bounded(12));
-    benchmark::DoNotOptimize(colors.data());
+    const std::string suffix = std::string(":") + table_name;
+    const std::string config_tail = std::string(":") + shape + ":k" +
+                                    std::to_string(k) + ":" +
+                                    strategy_name(strategy);
+    for (const DpStageStats& stat : ref_stats) {
+      const std::string kernel = kernel_name(stat.kernel);
+      Agg& config = per_config[kernel + suffix + config_tail];
+      config.ref_seconds += stat.seconds;
+      ++config.ref_passes;
+      Agg& total = per_kernel[kernel + suffix];
+      total.ref_seconds += stat.seconds;
+      ++total.ref_passes;
+    }
+    for (const DpStageStats& stat : fast_stats) {
+      const std::string kernel = kernel_name(stat.kernel);
+      Agg& config = per_config[kernel + suffix + config_tail];
+      config.fast_seconds += stat.seconds;
+      config.macs += stat.macs;
+      config.survivors += stat.survivors;
+      ++config.fast_passes;
+      Agg& total = per_kernel[kernel + suffix];
+      total.fast_seconds += stat.seconds;
+      total.macs += stat.macs;
+      total.survivors += stat.survivors;
+      ++total.fast_passes;
+    }
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_RandomColoring)->Arg(1 << 12)->Arg(1 << 16);
 
-void BM_FullIteration(benchmark::State& state) {
-  // One complete color-coding iteration, U5-2 on a small social-like
-  // network: the end-to-end unit everything above feeds into.
-  const Graph g = largest_component(chung_lu(4000, 20000, 2.2, 150, 5));
-  const auto& tree = catalog_entry("U5-2").tree;
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    CountOptions options;
-    options.iterations = 1;
-    options.mode = ParallelMode::kSerial;
-    options.seed = seed++;
-    benchmark::DoNotOptimize(count_template(g, tree, options).estimate);
+  void run_all(const char* shape, PartitionStrategy strategy, int k) {
+    run_config<NaiveTable>("naive", shape, strategy, k);
+    run_config<CompactTable>("compact", shape, strategy, k);
+    run_config<HashTable>("hash", shape, strategy, k);
   }
+};
+
+/// Minimal line-based reader for the "kernel_speedups" block this
+/// bench writes — not a general JSON parser.  Returns key -> speedup.
+std::map<std::string, double> parse_kernel_speedups(
+    const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    if (!in_block) {
+      if (line.find("\"kernel_speedups\"") != std::string::npos) {
+        in_block = true;
+      }
+      continue;
+    }
+    if (line.find('}') != std::string::npos) break;
+    const auto key_begin = line.find('"');
+    if (key_begin == std::string::npos) continue;
+    const auto key_end = line.find('"', key_begin + 1);
+    if (key_end == std::string::npos) continue;
+    const auto colon = line.find(':', key_end);
+    if (colon == std::string::npos) continue;
+    out[line.substr(key_begin + 1, key_end - key_begin - 1)] =
+        std::strtod(line.c_str() + colon + 1, nullptr);
+  }
+  return out;
 }
-BENCHMARK(BM_FullIteration)->Unit(benchmark::kMillisecond);
 
 }  // namespace
-}  // namespace fascia
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace fascia;
+  bench::Context ctx("micro_dp: DP kernel harness, reference vs vectorized");
+  ctx.cli.add_option("kmin", "smallest template size", "5");
+  ctx.cli.add_option("kmax", "largest template size (0 = 8, 10 with --full)",
+                     "0");
+  ctx.cli.add_option("iters", "colorings per configuration", "3");
+  ctx.cli.add_option("json", "machine-readable output path",
+                     "BENCH_dp.json");
+  ctx.cli.add_option("check",
+                     "baseline JSON: exit 1 if any kernel speedup falls "
+                     "below 0.75x its baseline value",
+                     "");
+  if (!ctx.parse(argc, argv)) return 0;
+  const int kmin = static_cast<int>(ctx.cli.integer("kmin"));
+  int kmax = static_cast<int>(ctx.cli.integer("kmax"));
+  if (kmax <= 0) kmax = ctx.full ? 10 : 8;
+  const int iters = static_cast<int>(ctx.cli.integer("iters"));
+  const std::string json_path = ctx.cli.str("json");
+  const std::string check_path = ctx.cli.str("check");
+
+  bench::banner("micro_dp",
+                "DP inner-loop rebuild (DESIGN.md §8): frontiers + SoA "
+                "splits + row borrowing",
+                "labeled paths + stars k=" + std::to_string(kmin) + ".." +
+                    std::to_string(kmax) + ", both partition strategies, "
+                    "all table types, " + std::to_string(iters) +
+                    " colorings each");
+
+  // Labeled heavy-tailed stand-in: large and dense enough that the
+  // multiply-accumulate loops dominate per-stage fixed costs (row
+  // clears, commits), small enough for the CI smoke run.
+  const auto n = static_cast<VertexId>(10000.0 * ctx.scale(1.0));
+  Graph g = chung_lu(n, static_cast<EdgeCount>(n) * 8, 2.1,
+                     /*max_degree_target=*/n / 10, ctx.seed);
+  {
+    Xoshiro256 rng(ctx.seed ^ 0xbadc0ffeeULL);
+    std::vector<std::uint8_t> labels(
+        static_cast<std::size_t>(g.num_vertices()));
+    for (auto& label : labels) {
+      label = static_cast<std::uint8_t>(rng.bounded(kNumLabels));
+    }
+    g.set_labels(std::move(labels), kNumLabels);
+  }
+  std::printf("graph: %s, %d labels\n\n", bench::describe_graph(g).c_str(),
+              kNumLabels);
+
+  Harness harness{g, iters, ctx.seed, {}, {}, 0};
+  for (int k = kmin; k <= kmax; ++k) {
+    harness.run_all("path", PartitionStrategy::kOneAtATime, k);
+    harness.run_all("path", PartitionStrategy::kBalanced, k);
+    // Stars peel single leaves off the passive side (single-passive
+    // kernel); spiders keep branching below the root, so their
+    // balanced partitions hit general splits with 1 < a < h.
+    harness.run_all("star", PartitionStrategy::kOneAtATime, k);
+    harness.run_all("spider", PartitionStrategy::kBalanced, k);
+  }
+
+  TablePrinter table({"Kernel", "table", "ref s", "vec s", "speedup",
+                      "GFLOP/s", "occupancy"});
+  for (const auto& [key, agg] : harness.per_kernel) {
+    const auto sep = key.find(':');
+    table.add_row({key.substr(0, sep), key.substr(sep + 1),
+                   TablePrinter::num(agg.ref_seconds, 4),
+                   TablePrinter::num(agg.fast_seconds, 4),
+                   TablePrinter::num(agg.speedup(), 2),
+                   TablePrinter::num(agg.gflops(), 3),
+                   TablePrinter::num(agg.occupancy(g.num_vertices()), 3)});
+  }
+  table.print();
+  std::printf("\nestimate bit-identity: %s (%d mismatches)\n",
+              harness.mismatches == 0 ? "PASS" : "FAIL", harness.mismatches);
+  if (harness.mismatches != 0) return 1;
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"micro_dp\",\n");
+  std::fprintf(json, "  \"graph_vertices\": %d,\n", g.num_vertices());
+  std::fprintf(json, "  \"graph_edges\": %lld,\n",
+               static_cast<long long>(g.num_edges()));
+  std::fprintf(json, "  \"labels\": %d,\n", kNumLabels);
+  std::fprintf(json, "  \"kmin\": %d,\n", kmin);
+  std::fprintf(json, "  \"kmax\": %d,\n", kmax);
+  std::fprintf(json, "  \"iters\": %d,\n", iters);
+  std::fprintf(json, "  \"mismatches\": %d,\n", harness.mismatches);
+  std::fprintf(json, "  \"entries\": [\n");
+  {
+    std::size_t emitted = 0;
+    for (const auto& [key, agg] : harness.per_config) {
+      std::fprintf(
+          json,
+          "    {\"key\": \"%s\", \"ref_seconds\": %.6f, "
+          "\"vec_seconds\": %.6f, \"speedup\": %.4f, \"gflops\": %.4f, "
+          "\"occupancy\": %.4f}%s\n",
+          key.c_str(), agg.ref_seconds, agg.fast_seconds, agg.speedup(),
+          agg.gflops(), agg.occupancy(g.num_vertices()),
+          ++emitted < harness.per_config.size() ? "," : "");
+    }
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"kernel_speedups\": {\n");
+  {
+    std::size_t emitted = 0;
+    for (const auto& [key, agg] : harness.per_kernel) {
+      std::fprintf(json, "    \"%s\": %.4f%s\n", key.c_str(), agg.speedup(),
+                   ++emitted < harness.per_kernel.size() ? "," : "");
+    }
+  }
+  std::fprintf(json, "  }\n");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!check_path.empty()) {
+    const auto baseline = parse_kernel_speedups(check_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "check: no kernel_speedups in %s\n",
+                   check_path.c_str());
+      return 1;
+    }
+    int regressions = 0;
+    for (const auto& [key, base] : baseline) {
+      const auto it = harness.per_kernel.find(key);
+      if (it == harness.per_kernel.end()) {
+        std::fprintf(stderr, "check: kernel %s missing from this run\n",
+                     key.c_str());
+        ++regressions;
+        continue;
+      }
+      const double now = it->second.speedup();
+      const bool ok = now >= kCheckTolerance * base;
+      std::printf("check: %-22s baseline %.2fx now %.2fx  %s\n", key.c_str(),
+                  base, now, ok ? "ok" : "REGRESSED");
+      if (!ok) ++regressions;
+    }
+    if (regressions != 0) {
+      std::fprintf(stderr, "check: %d kernel(s) regressed >25%% vs %s\n",
+                   regressions, check_path.c_str());
+      return 1;
+    }
+    std::printf("check: all kernels within 25%% of %s\n", check_path.c_str());
+  }
+  return 0;
+}

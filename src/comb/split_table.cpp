@@ -61,6 +61,29 @@ SplitTable::SplitTable(int num_colors, int parent_size, int active_size)
     ++parent_index;
   } while (next_colorset(parent_colors, k_));
   assert(parent_index == num_parents_);
+
+  // Active-grouped view: for each active colorset A, the (parent,
+  // passive) pairs over all disjoint passive sets, sorted by passive.
+  // Each active index appears in exactly C(k-a, h-a) splits, so the
+  // groups are fixed-width spans; sorting the flat pairs by
+  // (active, passive) lays them out directly.
+  const std::size_t total = active_.size();
+  std::vector<std::uint32_t> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  num_actives_ = num_colorsets(k_, a_);
+  per_active_ = num_colorsets(k_ - a_, h_ - a_);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              if (active_[x] != active_[y]) return active_[x] < active_[y];
+              return passive_[x] < passive_[y];
+            });
+  group_parent_.resize(total);
+  group_passive_.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    group_parent_[i] = order[i] / per_parent_;
+    group_passive_[i] = passive_[order[i]];
+  }
+  assert(total == static_cast<std::size_t>(num_actives_) * per_active_);
 }
 
 SingleActiveSplit::SingleActiveSplit(int num_colors, int parent_size)
@@ -87,6 +110,14 @@ SingleActiveSplit::SingleActiveSplit(int num_colors, int parent_size)
       ++filled;
     } while (next_colorset(passive, k_));
     assert(filled == per_color_);
+  }
+
+  // Parallel SoA arrays mirroring `table_` (same per-color order).
+  soa_passive_.resize(table_.size());
+  soa_parent_.resize(table_.size());
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    soa_passive_[i] = table_[i].passive;
+    soa_parent_[i] = table_[i].parent;
   }
 }
 

@@ -16,6 +16,20 @@
 // determined.  SingleActiveSplit stores, per color c, the list of
 // (I_passive, I_parent) pairs over all parents containing c — exactly
 // the (k-1)/k work reduction the paper describes.
+//
+// Both tables additionally expose struct-of-arrays views for the DP's
+// vectorized kernels: parallel flat index arrays instead of an
+// array-of-structs.  The general table provides two orders — the
+// parent-major pairs as two contiguous arrays (all_*; a kernel holding
+// both child rows computes each out[P] as a branchless dot-product
+// reduction over P's slice), and the same pairs grouped by *active*
+// index (group_*), which lets a kernel hoist the nonzero active-side
+// values of a vertex by scanning only the C(k,a) active indices
+// instead of all C(k,h)·C(h,a) slots; within one group passives
+// ascend (monotone gather) and parents are distinct (parent = active
+// ∪ passive), so the per-group scatter is conflict-free.  The
+// per-parent AoS view stays for the reference kernels and the
+// mixed-template engine.
 
 #include <cstdint>
 #include <span>
@@ -53,16 +67,66 @@ class SplitTable {
     return {passive_.data() + static_cast<std::size_t>(parent) * per_parent_, per_parent_};
   }
 
-  /// Logical bytes held by the two flat arrays (for memory reports).
+  // ---- parent-major SoA view (vectorized kernels) -----------------------
+  // All num_parents * splits_per_parent (active, passive) pairs as two
+  // parallel arrays; parent P owns the slice [P*splits_per_parent,
+  // (P+1)*splits_per_parent).  A kernel that has both child rows in
+  // hand computes out[P] as a branchless dot-product reduction over
+  // P's slice — sequential index reads, no scatter (zero active values
+  // contribute exact zero terms, so no filtering is needed).
+
+  [[nodiscard]] std::size_t flat_size() const noexcept {
+    return active_.size();
+  }
+  [[nodiscard]] std::span<const ColorsetIndex> all_actives() const noexcept {
+    return active_;
+  }
+  [[nodiscard]] std::span<const ColorsetIndex> all_passives() const noexcept {
+    return passive_;
+  }
+
+  // ---- active-grouped SoA view (vectorized kernels) ---------------------
+  // The same (parent, passive) pairs grouped by active index, each
+  // group sorted by passive.  Every active index owns exactly
+  // C(k-a, h-a) pairs (the passive sets disjoint from it), so groups
+  // are spans of one fixed width in two parallel arrays.
+
+  /// Number of active-child colorsets: C(k, a).
+  [[nodiscard]] std::uint32_t num_actives() const noexcept {
+    return num_actives_;
+  }
+  /// Pairs per active group: C(k-a, h-a).
+  [[nodiscard]] std::uint32_t per_active() const noexcept {
+    return per_active_;
+  }
+  [[nodiscard]] std::span<const ColorsetIndex> group_parents(
+      ColorsetIndex active) const noexcept {
+    return {group_parent_.data() +
+                static_cast<std::size_t>(active) * per_active_,
+            per_active_};
+  }
+  [[nodiscard]] std::span<const ColorsetIndex> group_passives(
+      ColorsetIndex active) const noexcept {
+    return {group_passive_.data() +
+                static_cast<std::size_t>(active) * per_active_,
+            per_active_};
+  }
+
+  /// Logical bytes held by the flat arrays (for memory reports).
   [[nodiscard]] std::size_t bytes() const noexcept {
-    return (active_.size() + passive_.size()) * sizeof(ColorsetIndex);
+    return (active_.size() + passive_.size() + group_parent_.size() +
+            group_passive_.size()) *
+           sizeof(ColorsetIndex);
   }
 
  private:
   int k_, h_, a_;
   std::uint32_t num_parents_, per_parent_;
+  std::uint32_t num_actives_ = 0, per_active_ = 0;
   std::vector<ColorsetIndex> active_;
   std::vector<ColorsetIndex> passive_;
+  std::vector<ColorsetIndex> group_parent_;
+  std::vector<ColorsetIndex> group_passive_;
 };
 
 /// Specialized split table for active children of size 1.
@@ -78,19 +142,40 @@ class SingleActiveSplit {
   [[nodiscard]] int parent_size() const noexcept { return h_; }
 
   /// All (passive, parent) pairs whose parent colorset contains `color`.
-  /// Length is C(k-1, h-1) for every color.
+  /// Length is C(k-1, h-1) for every color; passive indices ascend
+  /// (colex enumeration matches combinadic index order), so a kernel
+  /// walking the list reads the passive child's row monotonically.
   [[nodiscard]] std::span<const Entry> entries(int color) const noexcept {
     return {table_.data() + static_cast<std::size_t>(color) * per_color_, per_color_};
   }
 
+  // ---- SoA view (vectorized kernels) ------------------------------------
+  // The same entries as two parallel index arrays: within one color all
+  // parents are distinct, so a kernel may scatter into row[parent[s]]
+  // with no intra-list conflicts (safe under `omp simd`).
+
+  [[nodiscard]] std::span<const ColorsetIndex> passives(int color)
+      const noexcept {
+    return {soa_passive_.data() + static_cast<std::size_t>(color) * per_color_,
+            per_color_};
+  }
+  [[nodiscard]] std::span<const ColorsetIndex> parents(int color)
+      const noexcept {
+    return {soa_parent_.data() + static_cast<std::size_t>(color) * per_color_,
+            per_color_};
+  }
+
   [[nodiscard]] std::size_t bytes() const noexcept {
-    return table_.size() * sizeof(Entry);
+    return table_.size() * sizeof(Entry) +
+           (soa_passive_.size() + soa_parent_.size()) * sizeof(ColorsetIndex);
   }
 
  private:
   int k_, h_;
   std::uint32_t per_color_;
   std::vector<Entry> table_;
+  std::vector<ColorsetIndex> soa_passive_;
+  std::vector<ColorsetIndex> soa_parent_;
 };
 
 }  // namespace fascia

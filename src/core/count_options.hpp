@@ -63,6 +63,13 @@ struct CountOptions {
   /// loop, which decorrelates templates with per-template seeds.
   bool batch_engine = false;
 
+  /// Run the pre-frontier scalar DP kernels instead of the vectorized
+  /// frontier/SoA path (DESIGN.md §8).  Estimates are identical either
+  /// way; the flag exists for bit-identity tests and kernel
+  /// benchmarking, so it is deliberately excluded from checkpoint
+  /// fingerprints.
+  bool reference_kernels = false;
+
   /// Resilience controls (deadline, memory budget, cancellation,
   /// checkpoint/resume).  Inert by default; see run/controls.hpp.
   RunControls run;

@@ -262,6 +262,15 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
     }
   };
 
+  // Kernel configuration shared by every engine copy: the per-label
+  // frontier lists are graph-global, so outer mode builds them once
+  // instead of once per thread.
+  DpEngineOptions engine_opts;
+  engine_opts.reference_kernels = options.reference_kernels;
+  if (graph.has_labels()) {
+    engine_opts.label_frontiers = LabelFrontiers::build(graph);
+  }
+
   std::size_t peak_bytes = 0;
   WallTimer total_timer;
   {
@@ -286,7 +295,7 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
         {
           // Each thread owns a private engine (and thus private
           // tables: memory scales with the copy count, §III-E).
-          DpEngine<Table> engine(graph, tmpl, partition, k);
+          DpEngine<Table> engine(graph, tmpl, partition, k, engine_opts);
           engine.set_guard(&guard);
           std::vector<double> local_vertex;
           if (options.per_vertex) local_vertex.assign(n, 0.0);
@@ -345,7 +354,7 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
         omp_set_num_threads(options.num_threads);
       }
 #endif
-      DpEngine<Table> engine(graph, tmpl, partition, k);
+      DpEngine<Table> engine(graph, tmpl, partition, k, engine_opts);
       engine.set_guard(&guard);
       for (int iter = start; iter < iterations; ++iter) {
         if (guard.poll()) break;

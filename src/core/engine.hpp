@@ -17,9 +17,30 @@
 //                       touched (§III-D).
 //   * p == 1          — mirrored fast path keyed by the neighbor color.
 //   * otherwise       — general split-table kernel (Alg. 2 lines 7-15).
+//
+// The default kernels are the *vectorizable* rebuild (DESIGN.md §8):
+//
+//   * Sparse vertex frontiers — every computed table exports its
+//     nonzero-vertex list and compute_tables threads it upward, so a
+//     parent stage iterates only its active child's surviving vertices
+//     (leaf-rooted stages intersect with the per-label vertex lists)
+//     instead of scanning all n and probing has_vertex per vertex.
+//   * SoA split layout + row borrowing — hoisted active entries live
+//     in parallel parent/passive/value arrays sorted by passive index,
+//     and the inner multiply-accumulate runs over contiguous rows
+//     borrowed from the tables (Table::row_ptr) under `omp simd`, with
+//     no per-element pointer chase.
+//
+// The pre-frontier scalar kernels are retained behind
+// DpEngineOptions::reference_kernels; both paths produce identical
+// estimates (all DP values are exact integer counts in doubles, so
+// the reassociated sums match bit for bit while counts stay below
+// 2^53), which tests/test_counter.cpp pins down and bench/micro_dp
+// measures.
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -42,17 +63,67 @@ namespace fascia {
 /// Colors are small ints; one byte per vertex.
 using ColorArray = std::vector<std::uint8_t>;
 
+/// Per-label sorted vertex lists — the frontier a labeled leaf
+/// subtemplate induces.  Graph-wide and engine-independent, so outer
+/// parallel modes build it once and share it across engine copies.
+struct LabelFrontiers {
+  std::vector<std::vector<VertexId>> by_label;  ///< index = label value
+
+  static std::shared_ptr<const LabelFrontiers> build(const Graph& graph) {
+    auto out = std::make_shared<LabelFrontiers>();
+    if (graph.has_labels()) {
+      out->by_label.resize(static_cast<std::size_t>(graph.num_label_values()));
+      for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+        out->by_label[graph.label(v)].push_back(v);
+      }
+    }
+    return out;
+  }
+};
+
+/// Engine tuning knobs (all default to the production fast path).
+struct DpEngineOptions {
+  /// Run the pre-frontier scalar kernels instead of the vectorized
+  /// ones.  Test/bench hook: estimates are identical either way.
+  bool reference_kernels = false;
+
+  /// Record one DpStageStats entry per computed node pass.
+  bool collect_stats = false;
+
+  /// Shared per-label vertex lists; nullptr makes the engine build its
+  /// own when the graph is labeled.
+  std::shared_ptr<const LabelFrontiers> label_frontiers;
+};
+
+/// One computed node pass, for kernel benchmarking (bench/micro_dp).
+struct DpStageStats {
+  int node = 0;
+  int parent_size = 0;
+  int active_size = 0;
+  char kernel = '?';             ///< 'P'air, 'A'=single-active, 'S'=single-passive, 'G'eneral
+  double seconds = 0.0;
+  std::uint64_t candidates = 0;  ///< vertices iterated by the pass
+  std::uint64_t survivors = 0;   ///< nonzero rows committed (frontier out)
+  std::uint64_t macs = 0;        ///< multiply-accumulates performed (fast path)
+};
+
 template <class Table>
 class DpEngine {
  public:
   /// The engine is independent of the originating template(s): leaf
   /// label filters travel inside the partition nodes (root_label), so
   /// a merged multi-template DAG (sched::plan_batch) runs unchanged.
-  DpEngine(const Graph& graph, const PartitionTree& partition, int num_colors)
-      : graph_(graph), partition_(partition), k_(num_colors) {
+  DpEngine(const Graph& graph, const PartitionTree& partition, int num_colors,
+           DpEngineOptions options = {})
+      : graph_(graph), partition_(partition), k_(num_colors),
+        opts_(std::move(options)) {
     const int num_nodes = partition_.num_nodes();
     tables_.resize(static_cast<std::size_t>(num_nodes));
+    frontiers_.resize(static_cast<std::size_t>(num_nodes));
     single_splits_.resize(static_cast<std::size_t>(k_) + 1);
+    node_single_.assign(static_cast<std::size_t>(num_nodes), nullptr);
+    node_general_.assign(static_cast<std::size_t>(num_nodes), nullptr);
+    node_active_bound_.assign(static_cast<std::size_t>(num_nodes), 0);
     for (int i = 0; i < num_nodes; ++i) {
       const Subtemplate& node = partition_.node(i);
       if (node.is_leaf()) continue;
@@ -62,10 +133,26 @@ class DpEngine {
         if (h >= 2 && !single_splits_[static_cast<std::size_t>(h)]) {
           single_splits_[static_cast<std::size_t>(h)].emplace(k_, h);
         }
+        node_single_[static_cast<std::size_t>(i)] =
+            &*single_splits_[static_cast<std::size_t>(h)];
       }
       if (a > 1 && h - a > 1) {
-        general_splits_.try_emplace(std::make_pair(h, a), k_, h, a);
+        auto [it, inserted] =
+            general_splits_.try_emplace(std::make_pair(h, a), k_, h, a);
+        (void)inserted;
+        node_general_[static_cast<std::size_t>(i)] = &it->second;
+        // Nonzero active-row entries per vertex: only colorsets
+        // containing color(v) can be nonzero, so at most C(k-1, a-1)
+        // of the C(k, a) groups survive the hoist — and the MAC pairs
+        // they own number C(k-1,a-1)·C(k-a,h-a) = C(k-1,h-1)·C(h-1,a-1),
+        // the per-vertex work bound of §III-D.  Reserved once per
+        // thread; no per-vertex reallocation.
+        node_active_bound_[static_cast<std::size_t>(i)] =
+            static_cast<std::size_t>(choose(k_ - 1, a - 1));
       }
+    }
+    if (graph_.has_labels() && opts_.label_frontiers == nullptr) {
+      opts_.label_frontiers = LabelFrontiers::build(graph_);
     }
     // Pair-index matrix for the h == 2 kernel: index of {c1, c2}.
     pair_index_.assign(static_cast<std::size_t>(k_) * k_, 0);
@@ -81,8 +168,9 @@ class DpEngine {
   }
 
   DpEngine(const Graph& graph, const TreeTemplate& tmpl,
-           const PartitionTree& partition, int num_colors)
-      : DpEngine(graph, partition, num_colors) {
+           const PartitionTree& partition, int num_colors,
+           DpEngineOptions options = {})
+      : DpEngine(graph, partition, num_colors, std::move(options)) {
     (void)tmpl;  // labels already live in the partition nodes
   }
 
@@ -117,6 +205,7 @@ class DpEngine {
         for (int j = 0; j < i; ++j) {
           if (partition_.node(j).free_after == i) {
             tables_[static_cast<std::size_t>(j)].reset();
+            release_frontier(j);
           }
         }
       }
@@ -182,6 +271,14 @@ class DpEngine {
     return tables_[static_cast<std::size_t>(node)].get();
   }
 
+  /// Nonzero-vertex list of a computed node's table (empty for leaves,
+  /// freed nodes, or reference-kernel passes).  Same lifetime as the
+  /// node's table.
+  [[nodiscard]] const std::vector<VertexId>& frontier(int node)
+      const noexcept {
+    return frontiers_[static_cast<std::size_t>(node)];
+  }
+
   [[nodiscard]] const PartitionTree& partition() const noexcept {
     return partition_;
   }
@@ -192,8 +289,19 @@ class DpEngine {
   /// guard must outlive every subsequent compute_tables()/run() call.
   void set_guard(const RunGuard* guard) noexcept { guard_ = guard; }
 
+  /// Per-node-pass kernel measurements, appended across compute calls
+  /// while DpEngineOptions::collect_stats is set.
+  [[nodiscard]] const std::vector<DpStageStats>& stage_stats()
+      const noexcept {
+    return stats_;
+  }
+  void clear_stage_stats() noexcept { stats_.clear(); }
+
   void release_all_tables() noexcept {
     for (auto& table : tables_) table.reset();
+    for (auto& frontier : frontiers_) {
+      std::vector<VertexId>().swap(frontier);
+    }
   }
 
  private:
@@ -207,6 +315,24 @@ class DpEngine {
     return leaf.root_label == static_cast<int>(graph_.label(v));
   }
 
+  /// Vertex list a leaf subtemplate restricts the DP to: the label's
+  /// frontier when the leaf is labeled, nullptr (= all vertices) when
+  /// unlabeled.
+  [[nodiscard]] const std::vector<VertexId>* leaf_frontier(
+      const Subtemplate& leaf) const noexcept {
+    if (leaf.root_label < 0 || !graph_.has_labels() ||
+        opts_.label_frontiers == nullptr) {
+      return nullptr;
+    }
+    const auto label = static_cast<std::size_t>(leaf.root_label);
+    if (label >= opts_.label_frontiers->by_label.size()) return nullptr;
+    return &opts_.label_frontiers->by_label[label];
+  }
+
+  void release_frontier(int node) noexcept {
+    std::vector<VertexId>().swap(frontiers_[static_cast<std::size_t>(node)]);
+  }
+
   void compute_node(int index, const ColorArray& colors, bool parallel) {
     const Subtemplate& node = partition_.node(index);
     const int h = node.size();
@@ -218,30 +344,507 @@ class DpEngine {
     const int a = active.size();
     const int p = passive.size();
 
+    DpStageStats stat;
+    stat.node = index;
+    stat.parent_size = h;
+    stat.active_size = a;
+    WallClock clock(opts_.collect_stats);
+
+    std::vector<VertexId>& frontier_out =
+        frontiers_[static_cast<std::size_t>(index)];
+    frontier_out.clear();
+    std::vector<VertexId>* frontier_sink =
+        opts_.reference_kernels ? nullptr : &frontier_out;
+
     if (h == 2) {
-      kernel_pair(*table, node, colors, parallel);
+      stat.kernel = 'P';
+      if (opts_.reference_kernels) {
+        kernel_pair_reference(*table, node, colors, parallel);
+      } else {
+        kernel_pair(*table, node, colors, parallel, frontier_sink, stat);
+      }
     } else if (a == 1) {
-      kernel_single_active(*table, node, colors, parallel);
+      stat.kernel = 'A';
+      if (opts_.reference_kernels) {
+        kernel_single_active_reference(*table, node, colors, parallel);
+      } else {
+        kernel_single_active(*table, index, node, colors, parallel,
+                             frontier_sink, stat);
+      }
     } else if (p == 1) {
-      kernel_single_passive(*table, node, colors, parallel);
+      stat.kernel = 'S';
+      if (opts_.reference_kernels) {
+        kernel_single_passive_reference(*table, node, colors, parallel);
+      } else {
+        kernel_single_passive(*table, index, node, colors, parallel,
+                              frontier_sink, stat);
+      }
     } else {
-      kernel_general(*table, node, colors, parallel);
+      stat.kernel = 'G';
+      if (opts_.reference_kernels) {
+        kernel_general_reference(*table, node, colors, parallel);
+      } else {
+        kernel_general(*table, index, node, colors, parallel, frontier_sink,
+                       stat);
+      }
     }
     tables_[static_cast<std::size_t>(index)] = std::move(table);
+    if (opts_.collect_stats) {
+      stat.seconds = clock.elapsed_s();
+      if (opts_.reference_kernels) {
+        stat.candidates = static_cast<std::uint64_t>(graph_.num_vertices());
+      }
+      stat.survivors = static_cast<std::uint64_t>(frontier_out.size());
+      stats_.push_back(stat);
+    }
   }
 
-  // ---- kernels ----------------------------------------------------------
-  // Each loops over graph vertices (optionally OpenMP-parallel), fills
-  // a thread-private row buffer of C(k,h) counts for vertex v, and
-  // commits it.  commit_row is safe for distinct vertices by the table
-  // contract.
+  // ---- shared kernel plumbing -------------------------------------------
+
+  /// Minimal timer that only reads the clock when enabled (the stats
+  /// path); avoids pulling util/timer.hpp into this header's hot path.
+  class WallClock {
+   public:
+    explicit WallClock(bool enabled) {
+      if (enabled) start_ = now();
+    }
+    [[nodiscard]] double elapsed_s() const { return now() - start_; }
+
+   private:
+    static double now() {
+#ifdef _OPENMP
+      return omp_get_wtime();
+#else
+      return static_cast<double>(std::chrono::duration_cast<
+                                     std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now()
+                                         .time_since_epoch())
+                                     .count()) *
+             1e-9;
+#endif
+    }
+    double start_ = 0.0;
+  };
 
   /// Per-thread scratch for one kernel pass.
   struct Workspace {
-    std::vector<double> row;  ///< count per parent colorset, for one v
-    /// Compressed nonzero active-side entries (general kernel only):
-    /// the active table's value for (v, act) hoisted out of the
-    /// neighbor loop.
+    std::vector<double> row;   ///< count per parent colorset, for one v
+    std::vector<double> psum;  ///< passive-row accumulator / color counts
+    std::vector<double> gather;  ///< row materialized via get() (hash)
+    /// Hoisted nonzero active-row colorset indices (general kernel).
+    std::vector<ColorsetIndex> nz_active;
+    std::vector<VertexId> survivors;  ///< vertices that committed a row
+    std::uint64_t macs = 0;           ///< multiply-accumulate tally
+  };
+
+  /// Candidate set of one kernel pass: an explicit frontier, or all n
+  /// vertices when null.
+  struct FrontierView {
+    const std::vector<VertexId>* list;
+    VertexId n;
+    [[nodiscard]] std::size_t size() const noexcept {
+      return list != nullptr ? list->size() : static_cast<std::size_t>(n);
+    }
+    [[nodiscard]] VertexId operator[](std::size_t i) const noexcept {
+      return list != nullptr ? (*list)[i] : static_cast<VertexId>(i);
+    }
+  };
+
+  /// Dynamic-scheduling grain derived from the candidate count: aim
+  /// for ~8 chunks per thread so a small frontier is not serialized
+  /// behind per-chunk scheduling overhead, capped at the legacy 64.
+  [[nodiscard]] static int dynamic_chunk(std::size_t count,
+                                         int threads) noexcept {
+    const std::size_t per =
+        count / (static_cast<std::size_t>(threads) * 8 + 1);
+    return static_cast<int>(std::clamp<std::size_t>(per, 1, 64));
+  }
+
+  /// Runs `body(v, ws)` over the candidate set (optionally
+  /// OpenMP-parallel); a body returning true means "committed a row",
+  /// and those vertices become the node's frontier (sorted ascending —
+  /// commit-layer filtering keeps zero rows out of the tables, so a
+  /// frontier vertex without a stored row is read as zeros
+  /// downstream).  Workspace buffers are sized once per thread.
+  template <class Body>
+  void for_frontier(bool parallel, const FrontierView& front,
+                    std::uint32_t row_width, std::uint32_t psum_width,
+                    std::size_t active_bound,
+                    std::vector<VertexId>* frontier_out, DpStageStats& stat,
+                    Body&& body) {
+    const std::size_t count = front.size();
+    stat.candidates = count;
+    const auto prepare = [&](Workspace& ws) {
+      ws.row.resize(row_width);
+      ws.psum.resize(psum_width);
+      if (active_bound > 0) ws.nz_active.reserve(active_bound);
+    };
+#ifdef _OPENMP
+    if (parallel && count > 0) {
+      const int threads = omp_get_max_threads();
+      const int chunk = dynamic_chunk(count, threads);
+#pragma omp parallel
+      {
+        Workspace ws;
+        prepare(ws);
+#pragma omp for schedule(dynamic, chunk)
+        for (std::size_t i = 0; i < count; ++i) {
+          const VertexId v = front[i];
+          if (body(v, ws)) ws.survivors.push_back(v);
+        }
+#pragma omp critical(fascia_frontier_merge)
+        {
+          if (frontier_out != nullptr) {
+            frontier_out->insert(frontier_out->end(), ws.survivors.begin(),
+                                 ws.survivors.end());
+          }
+          stat.macs += ws.macs;
+        }
+      }
+      if (frontier_out != nullptr) {
+        std::sort(frontier_out->begin(), frontier_out->end());
+      }
+      return;
+    }
+#endif
+    Workspace ws;
+    prepare(ws);
+    for (std::size_t i = 0; i < count; ++i) {
+      const VertexId v = front[i];
+      if (body(v, ws)) ws.survivors.push_back(v);
+    }
+    if (frontier_out != nullptr) *frontier_out = std::move(ws.survivors);
+    stat.macs += ws.macs;
+  }
+
+  // ---- vectorized kernels (the default path) ----------------------------
+  // Each iterates the stage's frontier, fills a thread-private row of
+  // C(k,h) counts for vertex v over borrowed contiguous child rows,
+  // and commits it when nonzero.  All accumulations reassociate sums
+  // of exact integer counts, so results match the reference kernels
+  // bit for bit (header comment).
+
+  void kernel_pair(Table& out, const Subtemplate& node,
+                   const ColorArray& colors, bool parallel,
+                   std::vector<VertexId>* frontier_out, DpStageStats& stat) {
+    const Subtemplate& active = partition_.node(node.active);
+    const Subtemplate& passive = partition_.node(node.passive);
+    const std::vector<VertexId>* candidates = leaf_frontier(active);
+    const bool check_active = candidates == nullptr;
+    for_frontier(
+        parallel, {candidates, graph_.num_vertices()}, out.num_colorsets(),
+        static_cast<std::uint32_t>(k_), 0, frontier_out, stat,
+        [&](VertexId v, Workspace& ws) {
+          if (check_active && !leaf_matches(active, v)) return false;
+          const int cv = colors[static_cast<std::size_t>(v)];
+          // Fold the neighbor walk into per-color counts first: the
+          // row scatter then costs k adds instead of deg(v).
+          auto& cnt = ws.psum;
+          std::fill(cnt.begin(), cnt.end(), 0.0);
+          for (VertexId u : graph_.neighbors(v)) {
+            if (!leaf_matches(passive, u)) continue;
+            cnt[colors[static_cast<std::size_t>(u)]] += 1.0;
+          }
+          auto& row = ws.row;
+          std::fill(row.begin(), row.end(), 0.0);
+          bool any = false;
+          for (int c = 0; c < k_; ++c) {
+            if (c == cv || cnt[static_cast<std::size_t>(c)] == 0.0) continue;
+            row[pair_index_[static_cast<std::size_t>(cv) * k_ + c]] +=
+                cnt[static_cast<std::size_t>(c)];
+            any = true;
+          }
+          if (!any) return false;
+          out.commit_row(v, row);
+          ws.macs += graph_.neighbors(v).size() + static_cast<std::size_t>(k_);
+          return true;
+        });
+  }
+
+  void kernel_single_active(Table& out, int index, const Subtemplate& node,
+                            const ColorArray& colors, bool parallel,
+                            std::vector<VertexId>* frontier_out,
+                            DpStageStats& stat) {
+    const Subtemplate& active = partition_.node(node.active);
+    const Table& tp = *tables_[static_cast<std::size_t>(node.passive)];
+    const SingleActiveSplit& split =
+        *node_single_[static_cast<std::size_t>(index)];
+    const std::vector<VertexId>* candidates = leaf_frontier(active);
+    const bool check_active = candidates == nullptr;
+    for_frontier(
+        parallel, {candidates, graph_.num_vertices()}, out.num_colorsets(),
+        0, 0, frontier_out, stat, [&](VertexId v, Workspace& ws) {
+          if (check_active && !leaf_matches(active, v)) return false;
+          const int cv = colors[static_cast<std::size_t>(v)];
+          const auto passives = split.passives(cv);
+          const auto parents = split.parents(cv);
+          const std::size_t m = passives.size();
+          const ColorsetIndex* pas = passives.data();
+          const ColorsetIndex* par = parents.data();
+          auto& row = ws.row;
+          std::fill(row.begin(), row.end(), 0.0);
+          double* r = row.data();
+          std::size_t nu = 0;
+          for (VertexId u : graph_.neighbors(v)) {
+            if constexpr (Table::kContiguousRows) {
+              const double* prow = tp.row_ptr(u);
+              if (prow == nullptr) continue;
+              ++nu;
+              // Parents within one color are all distinct, so the
+              // scatter has no intra-loop conflicts; the passive reads
+              // are a monotone gather over one contiguous row.
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+              for (std::size_t s = 0; s < m; ++s) {
+                r[par[s]] += prow[pas[s]];
+              }
+            } else {
+              if (!tp.has_vertex(u)) continue;
+              ++nu;
+              for (std::size_t s = 0; s < m; ++s) {
+                r[par[s]] += tp.get(u, pas[s]);
+              }
+            }
+          }
+          if (nu == 0) return false;
+          out.commit_row(v, row);
+          ws.macs += nu * m;
+          return true;
+        });
+  }
+
+  void kernel_single_passive(Table& out, int index, const Subtemplate& node,
+                             const ColorArray& colors, bool parallel,
+                             std::vector<VertexId>* frontier_out,
+                             DpStageStats& stat) {
+    const Subtemplate& passive = partition_.node(node.passive);
+    const Table& ta = *tables_[static_cast<std::size_t>(node.active)];
+    const SingleActiveSplit& split =
+        *node_single_[static_cast<std::size_t>(index)];
+    const std::vector<VertexId>& active_frontier =
+        frontiers_[static_cast<std::size_t>(node.active)];
+    for_frontier(
+        parallel, {&active_frontier, graph_.num_vertices()},
+        out.num_colorsets(), static_cast<std::uint32_t>(k_), 0, frontier_out,
+        stat, [&](VertexId v, Workspace& ws) {
+          // Matching neighbors only contribute through their color, so
+          // count them per color and apply each color's split list
+          // once, scaled — deg(v)·C(k-1,h-1) adds become
+          // deg(v) + k·C(k-1,h-1).
+          auto& cnt = ws.psum;
+          std::fill(cnt.begin(), cnt.end(), 0.0);
+          std::size_t nu = 0;
+          for (VertexId u : graph_.neighbors(v)) {
+            if (!leaf_matches(passive, u)) continue;
+            cnt[colors[static_cast<std::size_t>(u)]] += 1.0;
+            ++nu;
+          }
+          if (nu == 0) return false;
+          auto& row = ws.row;
+          std::fill(row.begin(), row.end(), 0.0);
+          double* r = row.data();
+          const double* arow = nullptr;
+          if constexpr (Table::kContiguousRows) {
+            arow = ta.row_ptr(v);
+            if (arow == nullptr) return false;  // frontier guarantees rows
+          }
+          for (int c = 0; c < k_; ++c) {
+            const double scale = cnt[static_cast<std::size_t>(c)];
+            if (scale == 0.0) continue;
+            const auto passives = split.passives(c);
+            const auto parents = split.parents(c);
+            const std::size_t m = passives.size();
+            const ColorsetIndex* pas = passives.data();
+            const ColorsetIndex* par = parents.data();
+            if constexpr (Table::kContiguousRows) {
+              // entry.passive indexes the parent set minus the
+              // neighbor's color — exactly the active child's colorset.
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+              for (std::size_t s = 0; s < m; ++s) {
+                r[par[s]] += scale * arow[pas[s]];
+              }
+            } else {
+              for (std::size_t s = 0; s < m; ++s) {
+                r[par[s]] += scale * ta.get(v, pas[s]);
+              }
+            }
+            ws.macs += m;
+          }
+          out.commit_row(v, row);
+          ws.macs += graph_.neighbors(v).size();
+          return true;
+        });
+  }
+
+  void kernel_general(Table& out, int index, const Subtemplate& node,
+                      const ColorArray& colors, bool parallel,
+                      std::vector<VertexId>* frontier_out,
+                      DpStageStats& stat) {
+    (void)colors;  // colors only matter at the leaves
+    const Table& ta = *tables_[static_cast<std::size_t>(node.active)];
+    const Table& tp = *tables_[static_cast<std::size_t>(node.passive)];
+    const SplitTable& split =
+        *node_general_[static_cast<std::size_t>(index)];
+    const std::vector<VertexId>& active_frontier =
+        frontiers_[static_cast<std::size_t>(node.active)];
+    const std::uint32_t num_actives = split.num_actives();
+    const std::uint32_t per_active = split.per_active();
+    const std::uint32_t passive_width = tp.num_colorsets();
+    const std::uint32_t num_parents = out.num_colorsets();
+    const std::uint32_t per_parent = split.splits_per_parent();
+    const ColorsetIndex* all_act = split.all_actives().data();
+    const ColorsetIndex* all_pas = split.all_passives().data();
+    const std::size_t flat_size = split.flat_size();
+    const std::size_t active_bound =
+        node_active_bound_[static_cast<std::size_t>(index)];
+    for_frontier(
+        parallel, {&active_frontier, graph_.num_vertices()},
+        num_parents, passive_width, active_bound, frontier_out, stat,
+        [&](VertexId v, Workspace& ws) {
+          // The active side depends only on v: hoist the nonzero
+          // colorsets of v's borrowed active row by scanning its
+          // C(k,a) entries (vs the C(k,h)·C(h,a) split slots the
+          // reference kernel probes).  Each survivor A owns a
+          // fixed-width (parent, passive) span in the active-grouped
+          // split arrays: passives ascend (monotone gather) and
+          // parents are distinct (conflict-free scatter).
+          const double* arow;
+          if constexpr (Table::kContiguousRows) {
+            arow = ta.row_ptr(v);
+            if (arow == nullptr) return false;  // frontier guarantees rows
+          } else {
+            ws.gather.resize(num_actives);
+            for (std::uint32_t idx = 0; idx < num_actives; ++idx) {
+              ws.gather[idx] = ta.get(v, idx);
+            }
+            arow = ws.gather.data();
+          }
+          auto& nz = ws.nz_active;
+          nz.clear();
+          for (std::uint32_t idx = 0; idx < num_actives; ++idx) {
+            if (arow[idx] != 0.0) nz.push_back(idx);
+          }
+          if (nz.empty()) return false;
+          const std::size_t num_entries = nz.size() * per_active;
+
+          auto& row = ws.row;
+          std::fill(row.begin(), row.end(), 0.0);
+          double* r = row.data();
+          const auto neighbors = graph_.neighbors(v);
+          std::size_t nu = 0;
+          // The hoisted active values are neighbor-independent, so
+          // when the per-neighbor entry work outweighs one passive
+          // row, fold the neighbor rows into one partial-sum row
+          // first (contiguous simd adds for borrowed rows, one gather
+          // per colorset for hash tables), then apply the split once
+          // per vertex as a parent-major dot-product sweep:
+          // sequential index reads, no scatter, no branches.  Zero
+          // active values contribute exact zero terms (the DP values
+          // are integers in doubles), so the sweep needs no filtering
+          // and the committed sums are unchanged.  For borrowed rows
+          // the crossover weighs the direct path's scattered
+          // multiply-accumulates (~3x a contiguous add) against the
+          // fold adds plus the full sweep; hash rows pay a hashed
+          // probe per folded slot, so they fold only when that is
+          // strictly fewer probes than the direct path issues.
+          const std::size_t deg = neighbors.size();
+          bool fold_neighbors;
+          if constexpr (Table::kContiguousRows) {
+            fold_neighbors = deg >= 2 && 3 * deg * num_entries >=
+                                             deg * passive_width +
+                                                 2 * flat_size;
+          } else {
+            fold_neighbors = deg >= 2 && num_entries >= passive_width;
+          }
+          if (fold_neighbors) {
+            auto& psum = ws.psum;
+            std::fill(psum.begin(), psum.end(), 0.0);
+            double* ps = psum.data();
+            for (VertexId u : neighbors) {
+              if constexpr (Table::kContiguousRows) {
+                const double* prow = tp.row_ptr(u);
+                if (prow == nullptr) continue;
+                ++nu;
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+                for (std::uint32_t c = 0; c < passive_width; ++c) {
+                  ps[c] += prow[c];
+                }
+              } else {
+                if (!tp.has_vertex(u)) continue;
+                ++nu;
+                for (std::uint32_t c = 0; c < passive_width; ++c) {
+                  ps[c] += tp.get(u, c);
+                }
+              }
+            }
+            if (nu == 0) return false;
+            const ColorsetIndex* act = all_act;
+            const ColorsetIndex* pas = all_pas;
+            for (std::uint32_t parent = 0; parent < num_parents;
+                 ++parent, act += per_parent, pas += per_parent) {
+              double acc = 0.0;
+#ifdef _OPENMP
+#pragma omp simd reduction(+ : acc)
+#endif
+              for (std::uint32_t s = 0; s < per_parent; ++s) {
+                acc += arow[act[s]] * ps[pas[s]];
+              }
+              r[parent] = acc;
+            }
+            ws.macs += nu * passive_width + flat_size;
+          } else {
+            const ColorsetIndex* grp_par = split.group_parents(0).data();
+            const ColorsetIndex* grp_pas = split.group_passives(0).data();
+            for (VertexId u : neighbors) {
+              const double* prow;
+              if constexpr (Table::kContiguousRows) {
+                prow = tp.row_ptr(u);
+                if (prow == nullptr) continue;
+              } else {
+                if (!tp.has_vertex(u)) continue;
+              }
+              ++nu;
+              for (const ColorsetIndex a_idx : nz) {
+                const double ca = arow[a_idx];
+                const std::size_t base =
+                    static_cast<std::size_t>(a_idx) * per_active;
+                const ColorsetIndex* gp = grp_par + base;
+                const ColorsetIndex* gpas = grp_pas + base;
+                if constexpr (Table::kContiguousRows) {
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+                  for (std::uint32_t s = 0; s < per_active; ++s) {
+                    r[gp[s]] += ca * prow[gpas[s]];
+                  }
+                } else {
+                  for (std::uint32_t s = 0; s < per_active; ++s) {
+                    r[gp[s]] += ca * tp.get(u, gpas[s]);
+                  }
+                }
+              }
+            }
+            ws.macs += nu * num_entries;
+          }
+          if (nu == 0) return false;
+          out.commit_row(v, row);
+          return true;
+        });
+  }
+
+  // ---- reference kernels (pre-frontier scalar path) ---------------------
+  // The seed implementation, kept verbatim behind
+  // DpEngineOptions::reference_kernels: full-n scans, per-element
+  // table.get() probes, AoS hoisted entries.  The bit-identity tests
+  // and bench/micro_dp's before/after numbers run against these.
+
+  struct ReferenceWorkspace {
+    std::vector<double> row;
     struct ActiveEntry {
       ColorsetIndex parent;
       ColorsetIndex passive;
@@ -251,14 +854,14 @@ class DpEngine {
   };
 
   template <class Body>
-  void for_all_vertices(bool parallel, std::uint32_t row_width,
-                        Body&& body) {
+  void for_all_vertices_reference(bool parallel, std::uint32_t row_width,
+                                  Body&& body) {
     const VertexId n = graph_.num_vertices();
 #ifdef _OPENMP
     if (parallel) {
 #pragma omp parallel
       {
-        Workspace workspace;
+        ReferenceWorkspace workspace;
         workspace.row.resize(row_width);
 #pragma omp for schedule(dynamic, 64)
         for (VertexId v = 0; v < n; ++v) body(v, workspace);
@@ -266,18 +869,18 @@ class DpEngine {
       return;
     }
 #endif
-    Workspace workspace;
+    ReferenceWorkspace workspace;
     workspace.row.resize(row_width);
     for (VertexId v = 0; v < n; ++v) body(v, workspace);
   }
 
-  void kernel_pair(Table& out, const Subtemplate& node,
-                   const ColorArray& colors, bool parallel) {
+  void kernel_pair_reference(Table& out, const Subtemplate& node,
+                             const ColorArray& colors, bool parallel) {
     const Subtemplate& active = partition_.node(node.active);
     const Subtemplate& passive = partition_.node(node.passive);
-    for_all_vertices(
+    for_all_vertices_reference(
         parallel, out.num_colorsets(),
-        [&](VertexId v, Workspace& ws) {
+        [&](VertexId v, ReferenceWorkspace& ws) {
           if (!leaf_matches(active, v)) return;
           auto& row = ws.row;
           std::fill(row.begin(), row.end(), 0.0);
@@ -293,15 +896,16 @@ class DpEngine {
         });
   }
 
-  void kernel_single_active(Table& out, const Subtemplate& node,
-                            const ColorArray& colors, bool parallel) {
+  void kernel_single_active_reference(Table& out, const Subtemplate& node,
+                                      const ColorArray& colors,
+                                      bool parallel) {
     const Subtemplate& active = partition_.node(node.active);
     const Table& tp = *tables_[static_cast<std::size_t>(node.passive)];
     const SingleActiveSplit& split =
         *single_splits_[static_cast<std::size_t>(node.size())];
-    for_all_vertices(
+    for_all_vertices_reference(
         parallel, out.num_colorsets(),
-        [&](VertexId v, Workspace& ws) {
+        [&](VertexId v, ReferenceWorkspace& ws) {
           if (!leaf_matches(active, v)) return;
           auto& row = ws.row;
           std::fill(row.begin(), row.end(), 0.0);
@@ -319,15 +923,16 @@ class DpEngine {
         });
   }
 
-  void kernel_single_passive(Table& out, const Subtemplate& node,
-                             const ColorArray& colors, bool parallel) {
+  void kernel_single_passive_reference(Table& out, const Subtemplate& node,
+                                       const ColorArray& colors,
+                                       bool parallel) {
     const Subtemplate& passive = partition_.node(node.passive);
     const Table& ta = *tables_[static_cast<std::size_t>(node.active)];
     const SingleActiveSplit& split =
         *single_splits_[static_cast<std::size_t>(node.size())];
-    for_all_vertices(
+    for_all_vertices_reference(
         parallel, out.num_colorsets(),
-        [&](VertexId v, Workspace& ws) {
+        [&](VertexId v, ReferenceWorkspace& ws) {
           if (!ta.has_vertex(v)) return;
           auto& row = ws.row;
           std::fill(row.begin(), row.end(), 0.0);
@@ -336,9 +941,6 @@ class DpEngine {
             if (!leaf_matches(passive, u)) continue;
             const int cu = colors[static_cast<std::size_t>(u)];
             for (const auto& entry : split.entries(cu)) {
-              // entry.passive here indexes the parent set minus the
-              // neighbor's color — which is exactly the active child's
-              // colorset C_a.
               const double count = ta.get(v, entry.passive);
               if (count != 0.0) {
                 row[entry.parent] += count;
@@ -350,8 +952,8 @@ class DpEngine {
         });
   }
 
-  void kernel_general(Table& out, const Subtemplate& node,
-                      const ColorArray& colors, bool parallel) {
+  void kernel_general_reference(Table& out, const Subtemplate& node,
+                                const ColorArray& colors, bool parallel) {
     (void)colors;  // colors only matter at the leaves
     const Table& ta = *tables_[static_cast<std::size_t>(node.active)];
     const Table& tp = *tables_[static_cast<std::size_t>(node.passive)];
@@ -359,16 +961,12 @@ class DpEngine {
     const int a = partition_.node(node.active).size();
     const SplitTable& split = general_splits_.at(std::make_pair(h, a));
     const auto num_parents = out.num_colorsets();
-    for_all_vertices(
+    for_all_vertices_reference(
         parallel, num_parents,
-        [&](VertexId v, Workspace& ws) {
+        [&](VertexId v, ReferenceWorkspace& ws) {
           if (!ta.has_vertex(v)) return;
           // The active side depends only on v: hoist its nonzero
           // (parent, passive, value) triples out of the neighbor loop.
-          // Only ~C(k-1,h-1)·C(h-1,a-1) of the C(k,h)·C(h,a) split
-          // slots survive (those whose active set contains color(v)),
-          // so this both skips zeros and drops a table read per
-          // neighbor — the dominant cost per the paper's >90 % figure.
           auto& entries = ws.active_entries;
           entries.clear();
           for (ColorsetIndex parent = 0; parent < num_parents; ++parent) {
@@ -397,11 +995,19 @@ class DpEngine {
   const Graph& graph_;
   const PartitionTree& partition_;
   int k_;
+  DpEngineOptions opts_;
   const RunGuard* guard_ = nullptr;
   std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::vector<VertexId>> frontiers_;
   std::vector<std::optional<SingleActiveSplit>> single_splits_;
   std::map<std::pair<int, int>, SplitTable> general_splits_;
+  /// Per-node split pointers resolved at construction — the kernels
+  /// never hit the optional/map lookups on the hot path.
+  std::vector<const SingleActiveSplit*> node_single_;
+  std::vector<const SplitTable*> node_general_;
+  std::vector<std::size_t> node_active_bound_;
   std::vector<ColorsetIndex> pair_index_;
+  std::vector<DpStageStats> stats_;
 };
 
 }  // namespace fascia

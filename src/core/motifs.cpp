@@ -33,6 +33,7 @@ MotifProfile count_all_treelets_batch(const Graph& graph,
   batch_options.mode = options.mode;
   batch_options.num_threads = options.num_threads;
   batch_options.seed = options.seed;
+  batch_options.reference_kernels = options.reference_kernels;
 
   const sched::BatchResult batch = sched::run_batch(graph, jobs,
                                                     batch_options);

@@ -31,6 +31,19 @@
 //   std::uint32_t num_colorsets() const;
 //   std::size_t bytes() const;
 //
+// Row-borrow contract (the vectorized kernels' fast path):
+//
+//   static constexpr bool kContiguousRows;
+//   const double* row_ptr(VertexId v) const;
+//
+// When kContiguousRows is true, row_ptr(v) returns the vertex's
+// num_colorsets() doubles as one contiguous array (nullptr when the
+// vertex has no row), valid until the next commit to that vertex or
+// table destruction; the DP inner loops then run multiply-accumulates
+// over raw rows instead of per-element get() calls.  A layout without
+// contiguous storage (the hash table) sets the flag false and returns
+// nullptr unconditionally — callers must fall back to get().
+//
 // commit_row may be called concurrently for *distinct* vertices (the
 // inner-loop parallel mode does exactly that); get/has_vertex are safe
 // concurrently with each other but not with commits to the same table.

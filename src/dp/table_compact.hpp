@@ -21,6 +21,10 @@ class CompactTable {
   CompactTable(const CompactTable&) = delete;
   CompactTable& operator=(const CompactTable&) = delete;
 
+  /// Rows are per-vertex contiguous arrays (absent until first nonzero
+  /// commit), so the DP can borrow a raw row pointer per vertex.
+  static constexpr bool kContiguousRows = true;
+
   [[nodiscard]] bool has_vertex(VertexId v) const noexcept {
     return rows_[static_cast<std::size_t>(v)] != nullptr;
   }
@@ -28,6 +32,12 @@ class CompactTable {
   [[nodiscard]] double get(VertexId v, ColorsetIndex idx) const noexcept {
     const double* row = rows_[static_cast<std::size_t>(v)].get();
     return row == nullptr ? 0.0 : row[idx];
+  }
+
+  /// The vertex's row as num_colorsets() contiguous doubles; nullptr
+  /// when the vertex never committed a nonzero row.
+  [[nodiscard]] const double* row_ptr(VertexId v) const noexcept {
+    return rows_[static_cast<std::size_t>(v)].get();
   }
 
   /// Allocates the vertex row iff `row` has a nonzero entry.  Safe to

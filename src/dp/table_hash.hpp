@@ -30,8 +30,17 @@ class HashTable {
   HashTable(const HashTable&) = delete;
   HashTable& operator=(const HashTable&) = delete;
 
+  /// Entries are scattered across the probe table — no contiguous
+  /// per-vertex storage exists to borrow.  row_ptr() always returns
+  /// nullptr; kernels fall back to keyed get() reads.
+  static constexpr bool kContiguousRows = false;
+
   [[nodiscard]] bool has_vertex(VertexId v) const noexcept {
     return occupied_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  [[nodiscard]] const double* row_ptr(VertexId) const noexcept {
+    return nullptr;
   }
 
   [[nodiscard]] double get(VertexId v, ColorsetIndex idx) const noexcept {

@@ -18,10 +18,18 @@ class NaiveTable {
   NaiveTable(const NaiveTable&) = delete;
   NaiveTable& operator=(const NaiveTable&) = delete;
 
+  /// Rows are one dense array; every vertex has a (possibly all-zero)
+  /// contiguous row.
+  static constexpr bool kContiguousRows = true;
+
   [[nodiscard]] bool has_vertex(VertexId) const noexcept { return true; }
 
   [[nodiscard]] double get(VertexId v, ColorsetIndex idx) const noexcept {
     return data_[static_cast<std::size_t>(v) * num_colorsets_ + idx];
+  }
+
+  [[nodiscard]] const double* row_ptr(VertexId v) const noexcept {
+    return data_.data() + static_cast<std::size_t>(v) * num_colorsets_;
   }
 
   void commit_row(VertexId v, std::span<const double> row) noexcept;

@@ -93,8 +93,15 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
   std::vector<DpEngine<Table>> engines;
   const int engine_count = outer ? threads : 1;
   engines.reserve(static_cast<std::size_t>(engine_count));
+  // The per-label frontier lists are graph-global: build them once and
+  // share them across all engine copies.
+  DpEngineOptions engine_opts;
+  engine_opts.reference_kernels = options.reference_kernels;
+  if (graph.has_labels()) {
+    engine_opts.label_frontiers = LabelFrontiers::build(graph);
+  }
   for (int t = 0; t < engine_count; ++t) {
-    engines.emplace_back(graph, plan.merged, k);
+    engines.emplace_back(graph, plan.merged, k, engine_opts);
     engines.back().set_guard(&guard);
   }
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 #include <vector>
 
 namespace fascia {
@@ -48,6 +49,63 @@ INSTANTIATE_TEST_SUITE_P(
                       SplitParam{5, 4, 2}, SplitParam{7, 5, 2},
                       SplitParam{7, 7, 3}, SplitParam{10, 6, 3},
                       SplitParam{12, 5, 2}));
+
+TEST_P(SplitTableProperty, ParentMajorViewMatchesPerParentSpans) {
+  const auto [k, h, a] = GetParam();
+  const SplitTable table(k, h, a);
+  const auto all_act = table.all_actives();
+  const auto all_pas = table.all_passives();
+  ASSERT_EQ(table.flat_size(),
+            static_cast<std::size_t>(table.num_parents()) *
+                table.splits_per_parent());
+  ASSERT_EQ(all_act.size(), table.flat_size());
+  ASSERT_EQ(all_pas.size(), table.flat_size());
+  for (ColorsetIndex parent = 0; parent < table.num_parents(); ++parent) {
+    const auto actives = table.active_indices(parent);
+    const auto passives = table.passive_indices(parent);
+    const std::size_t base =
+        static_cast<std::size_t>(parent) * table.splits_per_parent();
+    for (std::size_t s = 0; s < actives.size(); ++s) {
+      EXPECT_EQ(all_act[base + s], actives[s]);
+      EXPECT_EQ(all_pas[base + s], passives[s]);
+    }
+  }
+}
+
+TEST_P(SplitTableProperty, ActiveGroupedViewCoversAllSplits) {
+  const auto [k, h, a] = GetParam();
+  const SplitTable table(k, h, a);
+  EXPECT_EQ(table.num_actives(), num_colorsets(k, a));
+  EXPECT_EQ(table.per_active(), num_colorsets(k - a, h - a));
+
+  // Collect the ground-truth (active, parent, passive) triples from
+  // the per-parent view.
+  std::set<std::tuple<ColorsetIndex, ColorsetIndex, ColorsetIndex>> expected;
+  for (ColorsetIndex parent = 0; parent < table.num_parents(); ++parent) {
+    const auto actives = table.active_indices(parent);
+    const auto passives = table.passive_indices(parent);
+    for (std::size_t s = 0; s < actives.size(); ++s) {
+      expected.emplace(actives[s], parent, passives[s]);
+    }
+  }
+
+  std::set<std::tuple<ColorsetIndex, ColorsetIndex, ColorsetIndex>> grouped;
+  for (ColorsetIndex act = 0; act < table.num_actives(); ++act) {
+    const auto parents = table.group_parents(act);
+    const auto passives = table.group_passives(act);
+    ASSERT_EQ(parents.size(), table.per_active());
+    ASSERT_EQ(passives.size(), table.per_active());
+    std::set<ColorsetIndex> parents_seen;
+    for (std::size_t s = 0; s < parents.size(); ++s) {
+      // Passives ascend within a group (monotone gather) ...
+      if (s > 0) EXPECT_LT(passives[s - 1], passives[s]);
+      // ... and parents are distinct (conflict-free scatter).
+      EXPECT_TRUE(parents_seen.insert(parents[s]).second);
+      grouped.emplace(act, parents[s], passives[s]);
+    }
+  }
+  EXPECT_EQ(grouped, expected);
+}
 
 TEST(SplitTable, RejectsBadShapes) {
   EXPECT_THROW(SplitTable(5, 3, 0), std::invalid_argument);
@@ -103,6 +161,23 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SplitParam{3, 2, 0}, SplitParam{5, 3, 0},
                       SplitParam{7, 4, 0}, SplitParam{10, 7, 0},
                       SplitParam{12, 12, 0}));
+
+TEST_P(SingleActiveProperty, SoaViewMirrorsEntries) {
+  const auto [k, h, a_unused] = GetParam();
+  (void)a_unused;
+  const SingleActiveSplit split(k, h);
+  for (int c = 0; c < k; ++c) {
+    const auto entries = split.entries(c);
+    const auto passives = split.passives(c);
+    const auto parents = split.parents(c);
+    ASSERT_EQ(passives.size(), entries.size());
+    ASSERT_EQ(parents.size(), entries.size());
+    for (std::size_t s = 0; s < entries.size(); ++s) {
+      EXPECT_EQ(passives[s], entries[s].passive);
+      EXPECT_EQ(parents[s], entries[s].parent);
+    }
+  }
+}
 
 TEST(SingleActiveSplit, RejectsBadShapes) {
   EXPECT_THROW(SingleActiveSplit(5, 1), std::invalid_argument);

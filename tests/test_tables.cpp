@@ -88,6 +88,58 @@ TYPED_TEST(TableContract, ConcurrentCommitsDistinctVertices) {
   }
 }
 
+// ---- row-borrow contract (vectorized kernels) ---------------------------
+// kContiguousRows == true promises: row_ptr(v) is non-null whenever
+// has_vertex(v), and the returned row reads element-for-element like
+// get(v, .).  kContiguousRows == false promises row_ptr always null,
+// so kernels fall back to get().
+
+TYPED_TEST(TableContract, RowBorrowMatchesGet) {
+  TypeParam table(6, 4);
+  table.commit_row(2, std::vector<double>{1.0, 0.0, 3.0, 4.0});
+  table.commit_row(4, std::vector<double>{0.0, 2.0, 0.0, 0.0});
+  for (VertexId v = 0; v < 6; ++v) {
+    const double* row = table.row_ptr(v);
+    if constexpr (TypeParam::kContiguousRows) {
+      if (table.has_vertex(v)) {
+        ASSERT_NE(row, nullptr);
+        for (ColorsetIndex c = 0; c < 4; ++c) {
+          EXPECT_DOUBLE_EQ(row[c], table.get(v, c));
+        }
+      }
+    } else {
+      EXPECT_EQ(row, nullptr);
+    }
+  }
+}
+
+TEST(NaiveTable, RowPtrNeverNull) {
+  static_assert(NaiveTable::kContiguousRows);
+  NaiveTable table(3, 2);
+  // Dense layout: every vertex has a row, committed or not.
+  for (VertexId v = 0; v < 3; ++v) {
+    ASSERT_NE(table.row_ptr(v), nullptr);
+    EXPECT_DOUBLE_EQ(table.row_ptr(v)[0], 0.0);
+  }
+}
+
+TEST(CompactTable, RowPtrNullMirrorsHasVertex) {
+  static_assert(CompactTable::kContiguousRows);
+  CompactTable table(4, 3);
+  table.commit_row(1, std::vector<double>{0.0, 0.0, 0.0});  // rejected
+  table.commit_row(2, std::vector<double>{0.0, 1.0, 0.0});
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(table.row_ptr(v) != nullptr, table.has_vertex(v));
+  }
+}
+
+TEST(HashTable, RowPtrAlwaysNull) {
+  static_assert(!HashTable::kContiguousRows);
+  HashTable table(3, 2);
+  table.commit_row(1, std::vector<double>{5.0, 6.0});
+  EXPECT_EQ(table.row_ptr(1), nullptr);
+}
+
 // ---- layout-specific behaviour -----------------------------------------
 
 TEST(NaiveTable, HasVertexAlwaysTrue) {
