@@ -42,7 +42,8 @@ fascia::ParallelMode parse_mode(const std::string& name) {
   if (name == "serial") return fascia::ParallelMode::kSerial;
   if (name == "inner") return fascia::ParallelMode::kInnerLoop;
   if (name == "outer") return fascia::ParallelMode::kOuterLoop;
-  throw std::invalid_argument("--mode must be serial|inner|outer");
+  if (name == "hybrid") return fascia::ParallelMode::kHybrid;
+  throw std::invalid_argument("--mode must be serial|inner|outer|hybrid");
 }
 
 // SIGINT flips this flag; the run layer polls it at iteration and
@@ -105,7 +106,16 @@ int main(int argc, char** argv) {
   cli.add_option("colors", "number of colors (0 = template size)", "0");
   cli.add_option("table", "DP table layout: naive|compact|hash", "compact");
   cli.add_option("partition", "partitioning: oaat|balanced", "oaat");
-  cli.add_option("mode", "parallel mode: serial|inner|outer", "inner");
+  cli.add_option("mode", "parallel mode: serial|inner|outer|hybrid", "inner");
+  cli.add_option("reorder",
+                 "vertex reordering: none|degree|bfs|hybrid "
+                 "(estimates are bit-identical; results use original ids)",
+                 "none");
+  cli.add_option("outer-copies",
+                 "hybrid mode: force this many outer engine copies "
+                 "(0 = cost model decides)",
+                 "0");
+  cli.add_flag("verbose", "print reorder and thread-layout diagnostics");
   cli.add_option("enumerate", "also sample this many embeddings", "0");
   cli.add_option("deadline", "soft wall-clock limit in seconds (0 = none)",
                  "0");
@@ -136,6 +146,8 @@ int main(int argc, char** argv) {
     options.table = parse_table(cli.str("table"));
     options.partition = parse_partition(cli.str("partition"));
     options.mode = parse_mode(cli.str("mode"));
+    options.reorder = parse_reorder_mode(cli.str("reorder"));
+    options.outer_copies = static_cast<int>(cli.integer("outer-copies"));
     options.num_threads = static_cast<int>(cli.integer("threads"));
     options.seed = seed;
     options.run.deadline_seconds = cli.real("deadline");
@@ -202,6 +214,23 @@ int main(int argc, char** argv) {
                      TablePrinter::num(static_cast<long long>(
                          result.num_subtemplates))});
       table.add_row({"DP cost model", TablePrinter::sci(result.dp_cost, 3)});
+      table.add_row({"thread layout",
+                     TablePrinter::num(static_cast<long long>(
+                         result.layout.outer_copies)) +
+                         " outer x " +
+                         TablePrinter::num(static_cast<long long>(
+                             result.layout.inner_threads)) +
+                         " inner"});
+      if (cli.flag("verbose") && options.reorder != ReorderMode::kNone) {
+        table.add_row({"reorder mode",
+                       reorder_mode_name(options.reorder)});
+        table.add_row({"avg neighbor-id gap",
+                       TablePrinter::num(result.reorder_gap_before, 1) +
+                           " -> " +
+                           TablePrinter::num(result.reorder_gap_after, 1)});
+        table.add_row({"reorder time (s)",
+                       TablePrinter::num(result.reorder_seconds, 3)});
+      }
     }
     if (is_tree) add_run_report_rows(table, result.run);
     table.print();

@@ -34,4 +34,21 @@ inline std::vector<std::uint8_t> random_coloring(const Graph& graph,
   return colors;
 }
 
+/// Same color stream as random_coloring, scattered through a vertex
+/// permutation: reordered vertex to_new[v] receives the color the
+/// ORIGINAL vertex v draws.  This is what keeps estimates bit-identical
+/// under graph reordering — the color sequence is keyed on original
+/// ids, and every DP sum is an exact integer in a double, so the
+/// reassociated totals match bit for bit.
+inline std::vector<std::uint8_t> random_coloring_permuted(
+    int num_colors, std::uint64_t seed, const std::vector<VertexId>& to_new) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> colors(to_new.size());
+  for (VertexId to : to_new) {
+    colors[static_cast<std::size_t>(to)] = static_cast<std::uint8_t>(
+        rng.bounded(static_cast<std::uint32_t>(num_colors)));
+  }
+  return colors;
+}
+
 }  // namespace fascia::detail

@@ -10,6 +10,8 @@ const char* parallel_mode_name(ParallelMode mode) noexcept {
       return "inner";
     case ParallelMode::kOuterLoop:
       return "outer";
+    case ParallelMode::kHybrid:
+      return "hybrid";
   }
   return "?";
 }

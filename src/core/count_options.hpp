@@ -6,22 +6,36 @@
 #include <vector>
 
 #include "dp/count_table.hpp"
+#include "graph/reorder.hpp"
 #include "run/controls.hpp"
 #include "treelet/partition.hpp"
 
 namespace fascia {
 
-/// §III-E: two multithreading modes.  Inner parallelizes the
-/// per-vertex loop of each DP pass (best for large graphs); outer runs
-/// whole iterations concurrently with private tables (best for small
-/// graphs, memory grows with thread count).
+/// §III-E: the paper's two multithreading modes plus the adaptive
+/// layout.  Inner parallelizes the per-vertex loop of each DP pass
+/// (best for large graphs); outer runs whole iterations concurrently
+/// with private tables (best for small graphs, memory grows with
+/// thread count); hybrid probes one iteration and splits the threads
+/// into outer_copies x inner_threads by a cost model (table bytes x
+/// measured frontier occupancy — core/thread_layout.hpp).
 enum class ParallelMode {
   kSerial,
   kInnerLoop,
   kOuterLoop,
+  kHybrid,
 };
 
 const char* parallel_mode_name(ParallelMode mode) noexcept;
+
+/// How the thread pool is split: outer_copies engines each run whole
+/// iterations with private tables, and each parallelizes its DP
+/// stages over inner_threads.  The static modes are the corners:
+/// outer = {threads, 1}, inner = {1, threads}, serial = {1, 1}.
+struct ThreadLayout {
+  int outer_copies = 1;
+  int inner_threads = 1;
+};
 
 struct CountOptions {
   /// Iterations of (random coloring + DP); Alg. 1 line 2 gives the
@@ -44,6 +58,21 @@ struct CountOptions {
 
   /// OpenMP threads; 0 = runtime default.
   int num_threads = 0;
+
+  /// Locality pass applied to the graph before counting (graph/
+  /// reorder.hpp).  Estimates are bit-identical under any mode —
+  /// colorings are keyed on original vertex ids — and all reported
+  /// per-vertex outputs stay keyed by original ids.  Deliberately
+  /// excluded from checkpoint fingerprints: a run may resume under a
+  /// different reorder mode.  Honored by count_template,
+  /// graphlet_degrees, and the extraction routines; count_triangles
+  /// and non-tree count_mixed_template ignore it.
+  ReorderMode reorder = ReorderMode::kNone;
+
+  /// Hybrid mode only: force this many outer engine copies instead of
+  /// letting the cost model choose (0 = model decides).  Clamped to
+  /// [1, threads]; inner_threads become threads / outer_copies.
+  int outer_copies = 0;
 
   std::uint64_t seed = 1;
 
@@ -99,6 +128,16 @@ struct CountResult {
   double dp_cost = 0.0;               ///< Σ C(k,Sn)·C(Sn,an) (§III-D)
   int max_live_tables = 0;
   int num_subtemplates = 0;
+
+  /// Thread split the run executed with (hybrid: cost-model choice;
+  /// static modes: the corresponding corner).
+  ThreadLayout layout;
+
+  /// Locality-pass instrumentation (zero when reorder == kNone):
+  /// bandwidth proxy before/after and the pass's wall time.
+  double reorder_gap_before = 0.0;
+  double reorder_gap_after = 0.0;
+  double reorder_seconds = 0.0;
 
   /// Estimate after the first i+1 iterations (prefix means) — the
   /// error-vs-iterations curves of Figs. 10-11 read these.

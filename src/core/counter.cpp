@@ -11,6 +11,7 @@
 #include "comb/binomial.hpp"
 #include "core/coloring.hpp"
 #include "core/engine.hpp"
+#include "core/thread_layout.hpp"
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
@@ -31,6 +32,21 @@ namespace {
 
 using detail::iteration_seed;
 using detail::random_coloring;
+using detail::random_coloring_permuted;
+
+/// out[map[i]] = src[i]: scatters a vertex-indexed array through a
+/// permutation direction.  With map = to_old this converts reordered
+/// ids to original ids (checkpoints and reported per-vertex outputs
+/// are always keyed by original ids); with map = to_new it converts
+/// back on resume.
+std::vector<double> scatter_vertex_values(const std::vector<double>& src,
+                                          const std::vector<VertexId>& map) {
+  std::vector<double> out(src.size(), 0.0);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    out[static_cast<std::size_t>(map[i])] = src[i];
+  }
+  return out;
+}
 
 int resolve_threads(int requested) {
 #ifdef _OPENMP
@@ -86,12 +102,22 @@ ResilientSetup resolve_setup(const Graph& graph, const TreeTemplate& tmpl,
   if (options.run.memory_budget_bytes > 0) {
     const PartitionTree partition = partition_template(
         tmpl, options.partition, options.share_tables, options.root);
-    const int copies = options.mode == ParallelMode::kOuterLoop
+    // Hybrid plans for the worst case (all threads as outer copies);
+    // the layout chooser then respects the plan's engine-copy cap.
+    const int copies = options.mode == ParallelMode::kOuterLoop ||
+                               options.mode == ParallelMode::kHybrid
                            ? resolve_threads(options.num_threads)
                            : 1;
+    // copies x threads_per_copy never exceeds the pool: hybrid plans
+    // the outer corner and real layouts only trade copies for sweep
+    // threads, so the workspace total is a valid upper bound.
+    const int threads_per_copy = options.mode == ParallelMode::kInnerLoop
+                                     ? resolve_threads(options.num_threads)
+                                     : 1;
     const run::MemoryPlan plan = run::plan_memory(
         partition, k, graph.num_vertices(), graph.has_labels(),
-        options.table, copies, options.run.memory_budget_bytes);
+        options.table, copies, options.run.memory_budget_bytes,
+        threads_per_copy);
     setup.table = plan.table;
     setup.engine_copies = plan.engine_copies;
     setup.ladder_degraded = !plan.degradations.empty();
@@ -129,10 +155,17 @@ ResilientSetup resolve_setup(const Graph& graph, const TreeTemplate& tmpl,
 /// the resilient run layer: cooperative guard checks before every
 /// iteration (and between DP stages inside the engine), periodic
 /// checkpoints, and an honest partial result on early stop.
+///
+/// When `perm` is non-null, `graph` is the REORDERED graph and perm
+/// maps between id spaces: colorings are drawn in original-id order
+/// and scattered through perm (bit-identical estimates), while
+/// per-vertex state crosses the checkpoint and result boundaries in
+/// original ids.
 template <class Table>
 CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
                       const CountOptions& options,
-                      const ResilientSetup& setup) {
+                      const ResilientSetup& setup,
+                      const Permutation* perm) {
   const int k = effective_colors(tmpl, options);
   validate(graph, tmpl, options, k);
 
@@ -174,24 +207,39 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
   std::vector<double> vertex_accumulator;
   if (options.per_vertex) vertex_accumulator.assign(n, 0.0);
 
-  // Early-stopped outer-mode runs can only keep a contiguous iteration
+  // Early-stopped multi-copy runs can only keep a contiguous iteration
   // prefix, but per-vertex sums cannot be un-merged per iteration —
   // demote to inner parallelism, whose accumulation is exact per
   // iteration.  (Estimates are mode-independent by construction.)
   ParallelMode mode = options.mode;
   if (controlled && options.per_vertex &&
-      mode == ParallelMode::kOuterLoop) {
-    mode = ParallelMode::kInnerLoop;
+      (mode == ParallelMode::kOuterLoop || mode == ParallelMode::kHybrid)) {
     result.run.degradations.push_back(
-        "per-vertex resilient run: outer mode demoted to inner");
+        std::string("per-vertex resilient run: ") + parallel_mode_name(mode) +
+        " mode demoted to inner");
+    mode = ParallelMode::kInnerLoop;
   }
-  const bool outer = mode == ParallelMode::kOuterLoop;
-  const bool inner = mode == ParallelMode::kInnerLoop;
+  const bool hybrid = mode == ParallelMode::kHybrid;
   int threads = resolve_threads(options.num_threads);
-  if (outer && setup.engine_copies > 0) {
+  if (mode == ParallelMode::kOuterLoop && setup.engine_copies > 0) {
     threads = std::min(threads, setup.engine_copies);
   }
-  result.run.engine_copies = outer ? threads : 1;
+  // The static modes are layout corners; hybrid starts at the inner
+  // corner and re-splits after the probe iteration below measures the
+  // frontier occupancy.
+  ThreadLayout layout;
+  switch (mode) {
+    case ParallelMode::kSerial:
+      layout = {1, 1};
+      break;
+    case ParallelMode::kInnerLoop:
+    case ParallelMode::kHybrid:
+      layout = {1, threads};
+      break;
+    case ParallelMode::kOuterLoop:
+      layout = {threads, 1};
+      break;
+  }
 
   // ---- resume -----------------------------------------------------------
   int start = 0;
@@ -214,7 +262,14 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
         std::copy_n(ck.per_job[0].begin(),
                     static_cast<std::size_t>(start),
                     result.per_iteration.begin());
-        if (options.per_vertex) vertex_accumulator = ck.per_job[1];
+        if (options.per_vertex) {
+          // Checkpoints key per-vertex state by original ids, so a
+          // resume may use a different (or no) reorder mode.
+          vertex_accumulator =
+              perm != nullptr
+                  ? scatter_vertex_values(ck.per_job[1], perm->to_new)
+                  : ck.per_job[1];
+        }
         result.run.resumed = true;
         result.run.resumed_iterations = start;
         why.clear();
@@ -249,7 +304,12 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
     ck.per_job.emplace_back(
         result.per_iteration.begin(),
         result.per_iteration.begin() + prefix);
-    if (options.per_vertex) ck.per_job.push_back(vertex_accumulator);
+    if (options.per_vertex) {
+      ck.per_job.push_back(
+          perm != nullptr
+              ? scatter_vertex_values(vertex_accumulator, perm->to_old)
+              : vertex_accumulator);
+    }
     try {
       run::save_checkpoint(controls.checkpoint_path, ck);
       ++result.run.checkpoints_written;
@@ -271,26 +331,119 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
     engine_opts.label_frontiers = LabelFrontiers::build(graph);
   }
 
+  // Iteration i's coloring depends only on (seed, i) and is drawn in
+  // ORIGINAL id order; under reorder the stream scatters through the
+  // permutation, so estimates match the unreordered run bit for bit.
+  const auto make_colors = [&](int iter) {
+    const std::uint64_t iter_seed = iteration_seed(options.seed, iter);
+    return perm != nullptr
+               ? random_coloring_permuted(k, iter_seed, perm->to_new)
+               : random_coloring(graph, k, iter_seed);
+  };
+
   std::size_t peak_bytes = 0;
   WallTimer total_timer;
   {
     PeakMemScope peak_scope(peak_bytes);
 
+    int resume_at = start;
+    if (hybrid && resume_at < iterations && !guard.stopped()) {
+      // Probe: run the first pending iteration inner-parallel with
+      // stage stats on.  It is a real iteration — its estimate is
+      // kept — and its measured frontier occupancy feeds the layout
+      // cost model for the remaining iterations.
+      double occupancy = 1.0;
+      {
+        DpEngineOptions probe_opts = engine_opts;
+        probe_opts.collect_stats = true;
+        probe_opts.inner_threads = threads;
+        probe_opts.guided_schedule = true;
+        DpEngine<Table> engine(graph, tmpl, partition, k, probe_opts);
+        engine.set_guard(&guard);
+        const int iter = resume_at;
+        if (fault::fire("run.crash")) throw fault::Injected("run.crash");
+        WallTimer timer;
+        try {
+          const ColorArray colors = make_colors(iter);
+          const double raw =
+              engine.run(colors, threads > 1,
+                         options.per_vertex ? &vertex_accumulator : nullptr);
+          if (!guard.stopped()) {
+            result.per_iteration[static_cast<std::size_t>(iter)] =
+                raw * scale;
+            result.seconds_per_iteration[static_cast<std::size_t>(iter)] =
+                timer.elapsed_s();
+            completed[static_cast<std::size_t>(iter)] = 1;
+            ++resume_at;
+          }
+        } catch (const std::bad_alloc&) {
+          guard.stop(RunStatus::kMemDegraded);
+        } catch (const Error& error) {
+          if (error.category() != ErrorCategory::kResource) throw;
+          guard.stop(RunStatus::kMemDegraded);
+        }
+        const auto& stats = engine.stage_stats();
+        if (!stats.empty() && n > 0) {
+          double sum = 0.0;
+          for (const DpStageStats& stage : stats) {
+            sum += static_cast<double>(stage.candidates) /
+                   static_cast<double>(n);
+          }
+          occupancy = std::clamp(
+              sum / static_cast<double>(stats.size()), 0.0, 1.0);
+        }
+      }
+      advance_prefix();
+      if (checkpointing && prefix - last_saved >= checkpoint_every) {
+        save_checkpoint();
+      }
+
+      LayoutInputs inputs;
+      inputs.threads = threads;
+      inputs.iterations = iterations - resume_at;
+      inputs.num_vertices = graph.num_vertices();
+      inputs.frontier_occupancy = occupancy;
+      inputs.table_bytes_per_copy = run::estimate_peak_bytes(
+          partition, k, graph.num_vertices(), setup.table,
+          graph.has_labels());
+      inputs.memory_budget_bytes = controls.memory_budget_bytes;
+      inputs.forced_outer_copies = options.outer_copies;
+      layout = choose_layout(inputs);
+      if (setup.engine_copies > 0 &&
+          layout.outer_copies > setup.engine_copies) {
+        layout.outer_copies = setup.engine_copies;
+        layout.inner_threads = std::max(1, threads / layout.outer_copies);
+      }
+    }
+    result.layout = layout;
+    result.run.engine_copies = layout.outer_copies;
+    const bool outer = layout.outer_copies > 1;
+    const bool parallel_inner = layout.inner_threads > 1;
+    // Every engine copy sweeps its stages over its thread share; the
+    // guided (reverse) schedule keeps a hub-first vertex order from
+    // serializing one chunk.
+    engine_opts.inner_threads = layout.inner_threads;
+    engine_opts.guided_schedule = hybrid;
+
     if (outer) {
+#ifdef _OPENMP
+      if (parallel_inner) omp_set_max_active_levels(2);
+#endif
       // Rounds bound checkpoint staleness; one round when not
       // checkpointing (identical to the legacy single parallel
       // region).  Iterations within a round are dynamically
       // scheduled; determinism holds because iteration i's coloring
       // depends only on (seed, i).
-      const int round_length =
-          checkpointing ? checkpoint_every : std::max(1, iterations - start);
+      const int round_length = checkpointing
+                                   ? checkpoint_every
+                                   : std::max(1, iterations - resume_at);
       std::exception_ptr first_error;
-      int begin = start;
+      int begin = resume_at;
       while (begin < iterations && !guard.stopped()) {
         if (fault::fire("run.crash")) throw fault::Injected("run.crash");
         const int end = std::min(iterations, begin + round_length);
 #ifdef _OPENMP
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(layout.outer_copies)
 #endif
         {
           // Each thread owns a private engine (and thus private
@@ -306,10 +459,9 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
             if (guard.poll()) continue;
             WallTimer timer;
             try {
-              const ColorArray colors = random_coloring(
-                  graph, k, iteration_seed(options.seed, iter));
+              const ColorArray colors = make_colors(iter);
               const double raw =
-                  engine.run(colors, /*parallel_inner=*/false,
+                  engine.run(colors, parallel_inner,
                              options.per_vertex ? &local_vertex : nullptr);
               if (!guard.stopped()) {
                 result.per_iteration[static_cast<std::size_t>(iter)] =
@@ -349,22 +501,16 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
       }
       if (first_error != nullptr) std::rethrow_exception(first_error);
     } else {
-#ifdef _OPENMP
-      if (inner && options.num_threads > 0) {
-        omp_set_num_threads(options.num_threads);
-      }
-#endif
       DpEngine<Table> engine(graph, tmpl, partition, k, engine_opts);
       engine.set_guard(&guard);
-      for (int iter = start; iter < iterations; ++iter) {
+      for (int iter = resume_at; iter < iterations; ++iter) {
         if (guard.poll()) break;
         if (fault::fire("run.crash")) throw fault::Injected("run.crash");
         WallTimer timer;
         try {
-          const ColorArray colors =
-              random_coloring(graph, k, iteration_seed(options.seed, iter));
+          const ColorArray colors = make_colors(iter);
           const double raw = engine.run(
-              colors, inner,
+              colors, parallel_inner,
               options.per_vertex ? &vertex_accumulator : nullptr);
           if (guard.stopped()) break;  // aborted mid-pass: discard
           result.per_iteration[static_cast<std::size_t>(iter)] = raw * scale;
@@ -404,7 +550,11 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
     result.vertex_counts.assign(n, 0.0);
     const double denominator = prefix > 0 ? static_cast<double>(prefix) : 1.0;
     for (std::size_t v = 0; v < n; ++v) {
-      result.vertex_counts[v] =
+      // Reported counts are keyed by ORIGINAL vertex ids.
+      const auto out = perm != nullptr
+                           ? static_cast<std::size_t>(perm->to_old[v])
+                           : v;
+      result.vertex_counts[out] =
           vertex_accumulator[v] * vertex_scale / denominator;
     }
   }
@@ -420,6 +570,21 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
   return result;
 }
 
+CountResult dispatch_count(const Graph& graph, const TreeTemplate& tmpl,
+                           const CountOptions& options,
+                           const Permutation* perm) {
+  const ResilientSetup setup = resolve_setup(graph, tmpl, options);
+  switch (setup.table) {
+    case TableKind::kNaive:
+      return run_count<NaiveTable>(graph, tmpl, options, setup, perm);
+    case TableKind::kCompact:
+      return run_count<CompactTable>(graph, tmpl, options, setup, perm);
+    case TableKind::kHash:
+      return run_count<HashTable>(graph, tmpl, options, setup, perm);
+  }
+  throw internal_error("count_template: bad TableKind");
+}
+
 }  // namespace
 
 int effective_colors(const TreeTemplate& tmpl, const CountOptions& options) {
@@ -428,16 +593,22 @@ int effective_colors(const TreeTemplate& tmpl, const CountOptions& options) {
 
 CountResult count_template(const Graph& graph, const TreeTemplate& tmpl,
                            const CountOptions& options) {
-  const ResilientSetup setup = resolve_setup(graph, tmpl, options);
-  switch (setup.table) {
-    case TableKind::kNaive:
-      return run_count<NaiveTable>(graph, tmpl, options, setup);
-    case TableKind::kCompact:
-      return run_count<CompactTable>(graph, tmpl, options, setup);
-    case TableKind::kHash:
-      return run_count<HashTable>(graph, tmpl, options, setup);
+  if (options.reorder == ReorderMode::kNone) {
+    return dispatch_count(graph, tmpl, options, nullptr);
   }
-  throw internal_error("count_template: bad TableKind");
+  // The locality pass runs once up front; everything downstream sees
+  // the reordered graph, while colorings, checkpoints, and per-vertex
+  // outputs stay keyed by original ids (run_count's perm plumbing), so
+  // the estimate is bit-identical to the unreordered run.
+  WallTimer timer;
+  const Permutation perm = reorder_permutation(graph, options.reorder);
+  const Graph reordered = apply_permutation(graph, perm);
+  const double reorder_seconds = timer.elapsed_s();
+  CountResult result = dispatch_count(reordered, tmpl, options, &perm);
+  result.reorder_seconds = reorder_seconds;
+  result.reorder_gap_before = avg_neighbor_gap(graph);
+  result.reorder_gap_after = avg_neighbor_gap(reordered);
+  return result;
 }
 
 CountResult graphlet_degrees(const Graph& graph, const TreeTemplate& tmpl,

@@ -53,6 +53,7 @@
 
 #include "comb/binomial.hpp"
 #include "comb/split_table.hpp"
+#include "dp/count_table.hpp"
 #include "graph/graph.hpp"
 #include "run/guard.hpp"
 #include "treelet/partition.hpp"
@@ -93,6 +94,20 @@ struct DpEngineOptions {
   /// Shared per-label vertex lists; nullptr makes the engine build its
   /// own when the graph is labeled.
   std::shared_ptr<const LabelFrontiers> label_frontiers;
+
+  /// Threads for the inner-parallel frontier sweep; 0 = the OpenMP
+  /// default.  The hybrid scheduler sets this so each outer engine
+  /// copy parallelizes its stages over its own thread share.
+  int inner_threads = 0;
+
+  /// Reverse-guided frontier sweep instead of forward-dynamic.  With a
+  /// hub-first vertex order (degree/hybrid reorder) the heaviest
+  /// vertices sit at the FRONT of every frontier; a forward guided
+  /// schedule would pack them all into the first (largest) chunk.
+  /// Sweeping the frontier back-to-front hands out the cheap tail in
+  /// large chunks and the expensive hubs in the final small ones, so
+  /// no single thread serializes the hub block.
+  bool guided_schedule = false;
 };
 
 /// One computed node pass, for kernel benchmarking (bench/micro_dp).
@@ -333,11 +348,25 @@ class DpEngine {
     std::vector<VertexId>().swap(frontiers_[static_cast<std::size_t>(node)]);
   }
 
+  /// Threads the inner-parallel sweep will use (and therefore the
+  /// first-touch zeroing partition that must match it).
+  [[nodiscard]] int effective_inner_threads() const noexcept {
+#ifdef _OPENMP
+    return opts_.inner_threads > 0 ? opts_.inner_threads
+                                   : omp_get_max_threads();
+#else
+    return 1;
+#endif
+  }
+
   void compute_node(int index, const ColorArray& colors, bool parallel) {
     const Subtemplate& node = partition_.node(index);
     const int h = node.size();
     const auto num_sets = num_colorsets(k_, h);
-    auto table = std::make_unique<Table>(graph_.num_vertices(), num_sets);
+    // First-touch: zero the table with the same thread partition the
+    // parallel sweep below uses (count_table.hpp TableInit).
+    const TableInit init{parallel ? effective_inner_threads() : 1};
+    auto table = std::make_unique<Table>(graph_.num_vertices(), num_sets, init);
 
     const Subtemplate& active = partition_.node(node.active);
     const Subtemplate& passive = partition_.node(node.passive);
@@ -450,6 +479,14 @@ class DpEngine {
     }
   };
 
+  /// Software-prefetch distances for neighbor-row gathers.  The slot
+  /// (per-vertex indirection cell) is hinted far ahead — it must be
+  /// resident before the row hint can chase the pointer it holds — and
+  /// the row data close ahead, matching the per-neighbor work of one
+  /// row's multiply-accumulate.
+  static constexpr std::size_t kPrefetchSlotAhead = 8;
+  static constexpr std::size_t kPrefetchRowAhead = 2;
+
   /// Dynamic-scheduling grain derived from the candidate count: aim
   /// for ~8 chunks per thread so a small frontier is not serialized
   /// behind per-chunk scheduling overhead, capped at the legacy 64.
@@ -478,19 +515,40 @@ class DpEngine {
       ws.row.resize(row_width);
       ws.psum.resize(psum_width);
       if (active_bound > 0) ws.nz_active.reserve(active_bound);
+      ws.survivors.clear();
+      ws.macs = 0;
     };
 #ifdef _OPENMP
     if (parallel && count > 0) {
-      const int threads = omp_get_max_threads();
+      const int threads = effective_inner_threads();
       const int chunk = dynamic_chunk(count, threads);
-#pragma omp parallel
+      // Workspaces persist across stage passes and iterations: the
+      // row/psum/nz buffers keep their capacity, so the steady state
+      // allocates nothing per stage.
+      if (workspaces_.size() < static_cast<std::size_t>(threads)) {
+        workspaces_.resize(static_cast<std::size_t>(threads));
+      }
+      const bool guided = opts_.guided_schedule;
+#pragma omp parallel num_threads(threads)
       {
-        Workspace ws;
+        Workspace& ws =
+            workspaces_[static_cast<std::size_t>(omp_get_thread_num())];
         prepare(ws);
+        if (guided) {
+          // Back-to-front guided sweep (see DpEngineOptions
+          // ::guided_schedule): cheap tail first in big chunks, hub
+          // block last in small ones.
+#pragma omp for schedule(guided, chunk)
+          for (std::size_t i = 0; i < count; ++i) {
+            const VertexId v = front[count - 1 - i];
+            if (body(v, ws)) ws.survivors.push_back(v);
+          }
+        } else {
 #pragma omp for schedule(dynamic, chunk)
-        for (std::size_t i = 0; i < count; ++i) {
-          const VertexId v = front[i];
-          if (body(v, ws)) ws.survivors.push_back(v);
+          for (std::size_t i = 0; i < count; ++i) {
+            const VertexId v = front[i];
+            if (body(v, ws)) ws.survivors.push_back(v);
+          }
         }
 #pragma omp critical(fascia_frontier_merge)
         {
@@ -507,13 +565,14 @@ class DpEngine {
       return;
     }
 #endif
-    Workspace ws;
+    if (workspaces_.empty()) workspaces_.resize(1);
+    Workspace& ws = workspaces_.front();
     prepare(ws);
     for (std::size_t i = 0; i < count; ++i) {
       const VertexId v = front[i];
       if (body(v, ws)) ws.survivors.push_back(v);
     }
-    if (frontier_out != nullptr) *frontier_out = std::move(ws.survivors);
+    if (frontier_out != nullptr) *frontier_out = ws.survivors;
     stat.macs += ws.macs;
   }
 
@@ -585,7 +644,19 @@ class DpEngine {
           std::fill(row.begin(), row.end(), 0.0);
           double* r = row.data();
           std::size_t nu = 0;
-          for (VertexId u : graph_.neighbors(v)) {
+          const auto neighbors = graph_.neighbors(v);
+          const VertexId* nbr = neighbors.data();
+          const std::size_t deg = neighbors.size();
+          for (std::size_t j = 0; j < deg; ++j) {
+            if constexpr (Table::kContiguousRows) {
+              if (j + kPrefetchSlotAhead < deg) {
+                tp.prefetch_slot(nbr[j + kPrefetchSlotAhead]);
+              }
+              if (j + kPrefetchRowAhead < deg) {
+                tp.prefetch_row(nbr[j + kPrefetchRowAhead]);
+              }
+            }
+            const VertexId u = nbr[j];
             if constexpr (Table::kContiguousRows) {
               const double* prow = tp.row_ptr(u);
               if (prow == nullptr) continue;
@@ -759,11 +830,21 @@ class DpEngine {
           } else {
             fold_neighbors = deg >= 2 && num_entries >= passive_width;
           }
+          const VertexId* nbr = neighbors.data();
           if (fold_neighbors) {
             auto& psum = ws.psum;
             std::fill(psum.begin(), psum.end(), 0.0);
             double* ps = psum.data();
-            for (VertexId u : neighbors) {
+            for (std::size_t j = 0; j < deg; ++j) {
+              if constexpr (Table::kContiguousRows) {
+                if (j + kPrefetchSlotAhead < deg) {
+                  tp.prefetch_slot(nbr[j + kPrefetchSlotAhead]);
+                }
+                if (j + kPrefetchRowAhead < deg) {
+                  tp.prefetch_row(nbr[j + kPrefetchRowAhead]);
+                }
+              }
+              const VertexId u = nbr[j];
               if constexpr (Table::kContiguousRows) {
                 const double* prow = tp.row_ptr(u);
                 if (prow == nullptr) continue;
@@ -800,7 +881,16 @@ class DpEngine {
           } else {
             const ColorsetIndex* grp_par = split.group_parents(0).data();
             const ColorsetIndex* grp_pas = split.group_passives(0).data();
-            for (VertexId u : neighbors) {
+            for (std::size_t j = 0; j < deg; ++j) {
+              if constexpr (Table::kContiguousRows) {
+                if (j + kPrefetchSlotAhead < deg) {
+                  tp.prefetch_slot(nbr[j + kPrefetchSlotAhead]);
+                }
+                if (j + kPrefetchRowAhead < deg) {
+                  tp.prefetch_row(nbr[j + kPrefetchRowAhead]);
+                }
+              }
+              const VertexId u = nbr[j];
               const double* prow;
               if constexpr (Table::kContiguousRows) {
                 prow = tp.row_ptr(u);
@@ -1008,6 +1098,8 @@ class DpEngine {
   std::vector<std::size_t> node_active_bound_;
   std::vector<ColorsetIndex> pair_index_;
   std::vector<DpStageStats> stats_;
+  /// Per-thread scratch, persistent across stages and iterations.
+  std::vector<Workspace> workspaces_;
 };
 
 }  // namespace fascia

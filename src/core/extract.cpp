@@ -198,11 +198,43 @@ bool is_valid_embedding(const Graph& graph, const TreeTemplate& tmpl,
   return true;
 }
 
+namespace {
+
+/// Shared reorder wrapper: runs `body` on the reordered graph, then
+/// maps every embedding's vertices back to original ids.  Extraction
+/// results are therefore always keyed by original ids, matching the
+/// counter's contract.
+template <class Body>
+std::vector<Embedding> with_reorder(const Graph& graph,
+                                    const CountOptions& options, Body&& body) {
+  if (options.reorder == ReorderMode::kNone) return body(graph, options);
+  const Permutation perm = reorder_permutation(graph, options.reorder);
+  const Graph reordered = apply_permutation(graph, perm);
+  CountOptions reordered_options = options;
+  reordered_options.reorder = ReorderMode::kNone;
+  std::vector<Embedding> out = body(reordered, reordered_options);
+  for (Embedding& embedding : out) {
+    for (VertexId& v : embedding.vertices) {
+      v = perm.to_old[static_cast<std::size_t>(v)];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<Embedding> sample_embeddings(const Graph& graph,
                                          const TreeTemplate& tmpl,
                                          std::size_t how_many,
                                          const CountOptions& options,
                                          int max_coloring_attempts) {
+  if (options.reorder != ReorderMode::kNone) {
+    return with_reorder(graph, options,
+                        [&](const Graph& g, const CountOptions& o) {
+                          return sample_embeddings(g, tmpl, how_many, o,
+                                                   max_coloring_attempts);
+                        });
+  }
   const int k = effective_colors(tmpl, options);
   // Table sharing merges isomorphic subtemplates into one node, whose
   // recorded root/vertex ids belong to a single representative — the
@@ -273,6 +305,13 @@ std::vector<Embedding> enumerate_embeddings(const Graph& graph,
                                             std::size_t limit,
                                             bool dedup_sets,
                                             const CountOptions& options) {
+  if (options.reorder != ReorderMode::kNone) {
+    return with_reorder(graph, options,
+                        [&](const Graph& g, const CountOptions& o) {
+                          return enumerate_embeddings(g, tmpl, limit,
+                                                      dedup_sets, o);
+                        });
+  }
   const int k = effective_colors(tmpl, options);
   // No table sharing: see sample_embeddings.
   const PartitionTree partition = partition_template(

@@ -86,7 +86,10 @@ CountResult run_mixed(const Graph& graph, const MixedTemplate& tmpl,
         }
       }
     } else {
-      const bool inner = options.mode == ParallelMode::kInnerLoop;
+      // The mixed engine has no hybrid scheduler; kHybrid degrades to
+      // the inner sweep (its serial-corner layout).
+      const bool inner = options.mode == ParallelMode::kInnerLoop ||
+                         options.mode == ParallelMode::kHybrid;
 #ifdef _OPENMP
       if (inner && options.num_threads > 0) {
         omp_set_num_threads(options.num_threads);

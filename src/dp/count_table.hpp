@@ -44,6 +44,16 @@
 // contiguous storage (the hash table) sets the flag false and returns
 // nullptr unconditionally — callers must fall back to get().
 //
+// Prefetch hints (best-effort, may be no-ops):
+//
+//   void prefetch_slot(VertexId v) const;  // per-vertex indirection cell
+//   void prefetch_row(VertexId v) const;   // the row's leading cache line
+//
+// The frontier sweeps issue these a few neighbors ahead of the gather:
+// slot first (the compact layout must load rows_[v] before the row
+// address even exists), row once the slot is expected resident.  Pure
+// hints — no correctness dependency.
+//
 // commit_row may be called concurrently for *distinct* vertices (the
 // inner-loop parallel mode does exactly that); get/has_vertex are safe
 // concurrently with each other but not with commits to the same table.
@@ -56,7 +66,29 @@
 #include "comb/colorset.hpp"
 #include "graph/graph.hpp"
 
+/// Best-effort cache-line prefetch; expands to nothing on compilers
+/// without the builtin.
+#if defined(__GNUC__) || defined(__clang__)
+#define FASCIA_PREFETCH(addr) __builtin_prefetch((addr))
+#else
+#define FASCIA_PREFETCH(addr) ((void)sizeof(addr))
+#endif
+
 namespace fascia {
+
+/// First-touch placement policy for table construction.  Vertex-indexed
+/// arrays (the naive data block, the compact row-pointer array, the
+/// hash occupied flags) are zeroed by `zero_threads` threads in the
+/// SAME static partition the DP's inner-parallel sweep later uses, so
+/// on a NUMA machine each page faults in on the node of the thread
+/// that will write it.  Rows committed lazily (compact/hash) are
+/// first-touched by the committing thread by construction.  With
+/// zero_threads <= 1 (the default) initialization is serial — outer
+/// engine copies each zero their own tables from their own thread,
+/// which is already the right placement.
+struct TableInit {
+  int zero_threads = 1;
+};
 
 /// Runtime selector used by CountOptions; maps to the classes above.
 enum class TableKind {

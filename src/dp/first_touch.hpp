@@ -1,0 +1,46 @@
+#pragma once
+// Parallel first-touch zeroing shared by the table layouts.
+//
+// On first write Linux faults a page onto the NUMA node of the writing
+// thread.  Zeroing a vertex-indexed array with the same static thread
+// partition the DP later uses therefore co-locates each page with its
+// future writer.  The partition below — contiguous blocks, one per
+// thread — matches OpenMP's `schedule(static)` over the same index
+// range, which is what the inner-parallel table construction uses for
+// its per-vertex work.
+
+#include <cstddef>
+#include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fascia::detail {
+
+template <typename T>
+inline void first_touch_zero(T* data, std::size_t count, int zero_threads) {
+  if (count == 0) return;
+#ifdef _OPENMP
+  if (zero_threads > 1) {
+#pragma omp parallel num_threads(zero_threads)
+    {
+      const auto threads = static_cast<std::size_t>(omp_get_num_threads());
+      const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+      const std::size_t chunk = (count + threads - 1) / threads;
+      const std::size_t begin = tid * chunk;
+      const std::size_t end = begin + chunk < count ? begin + chunk : count;
+      if (begin < end) {
+        std::memset(static_cast<void*>(data + begin), 0,
+                    (end - begin) * sizeof(T));
+      }
+    }
+    return;
+  }
+#else
+  (void)zero_threads;
+#endif
+  std::memset(static_cast<void*>(data), 0, count * sizeof(T));
+}
+
+}  // namespace fascia::detail

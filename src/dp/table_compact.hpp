@@ -7,7 +7,6 @@
 
 #include <memory>
 #include <span>
-#include <vector>
 
 #include "dp/count_table.hpp"
 
@@ -15,7 +14,7 @@ namespace fascia {
 
 class CompactTable {
  public:
-  CompactTable(VertexId n, std::uint32_t num_colorsets);
+  CompactTable(VertexId n, std::uint32_t num_colorsets, TableInit init = {});
   ~CompactTable();
 
   CompactTable(const CompactTable&) = delete;
@@ -30,14 +29,25 @@ class CompactTable {
   }
 
   [[nodiscard]] double get(VertexId v, ColorsetIndex idx) const noexcept {
-    const double* row = rows_[static_cast<std::size_t>(v)].get();
+    const double* row = rows_[static_cast<std::size_t>(v)];
     return row == nullptr ? 0.0 : row[idx];
   }
 
   /// The vertex's row as num_colorsets() contiguous doubles; nullptr
   /// when the vertex never committed a nonzero row.
   [[nodiscard]] const double* row_ptr(VertexId v) const noexcept {
-    return rows_[static_cast<std::size_t>(v)].get();
+    return rows_[static_cast<std::size_t>(v)];
+  }
+
+  /// Two-step prefetch: the row address itself lives behind rows_[v],
+  /// so warm that cell first; prefetch_row then chases it (reading a
+  /// possibly-cold pointer, hence the larger slot distance upstream).
+  void prefetch_slot(VertexId v) const noexcept {
+    FASCIA_PREFETCH(rows_.get() + static_cast<std::size_t>(v));
+  }
+  void prefetch_row(VertexId v) const noexcept {
+    const double* row = rows_[static_cast<std::size_t>(v)];
+    if (row != nullptr) FASCIA_PREFETCH(row);
   }
 
   /// Allocates the vertex row iff `row` has a nonzero entry.  Safe to
@@ -59,7 +69,10 @@ class CompactTable {
  private:
   VertexId n_;
   std::uint32_t num_colorsets_;
-  std::vector<std::unique_ptr<double[]>> rows_;
+  // Raw pointer array so the nullptr fill can run under TableInit's
+  // first-touch partition; rows themselves are first-touched by the
+  // committing thread (commit_row allocates and writes in one place).
+  std::unique_ptr<double*[]> rows_;
 };
 
 }  // namespace fascia

@@ -1,5 +1,6 @@
 #include "dp/table_hash.hpp"
 
+#include "dp/first_touch.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/mem_tracker.hpp"
@@ -13,12 +14,15 @@ constexpr double kMaxLoad = 0.7;
 
 }  // namespace
 
-HashTable::HashTable(VertexId n, std::uint32_t num_colorsets)
-    : n_(n), num_colorsets_(num_colorsets),
-      occupied_(static_cast<std::size_t>(n), 0) {
+HashTable::HashTable(VertexId n, std::uint32_t num_colorsets, TableInit init)
+    : n_(n), num_colorsets_(num_colorsets) {
   if (fault::fire("dp.alloc")) {
     throw resource_error("injected DP table allocation failure");
   }
+  occupied_ =
+      std::make_unique_for_overwrite<std::uint8_t[]>(static_cast<std::size_t>(n));
+  detail::first_touch_zero(occupied_.get(), static_cast<std::size_t>(n),
+                           init.zero_threads);
   keys_.assign(kInitialCapacity, kEmpty);
   values_.assign(kInitialCapacity, 0.0);
   mask_ = kInitialCapacity - 1;
@@ -101,7 +105,7 @@ double HashTable::vertex_total(VertexId v) const noexcept {
 
 std::size_t HashTable::bytes() const noexcept {
   return keys_.size() * (sizeof(std::uint64_t) + sizeof(double)) +
-         occupied_.size() * sizeof(std::uint8_t);
+         static_cast<std::size_t>(n_) * sizeof(std::uint8_t);
 }
 
 }  // namespace fascia

@@ -14,6 +14,7 @@
 // the bottleneck the paper optimizes hash mode for (memory is) —
 // EXPERIMENTS.md discusses the tradeoff.
 
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -24,7 +25,7 @@ namespace fascia {
 
 class HashTable {
  public:
-  HashTable(VertexId n, std::uint32_t num_colorsets);
+  HashTable(VertexId n, std::uint32_t num_colorsets, TableInit init = {});
   ~HashTable();
 
   HashTable(const HashTable&) = delete;
@@ -42,6 +43,11 @@ class HashTable {
   [[nodiscard]] const double* row_ptr(VertexId) const noexcept {
     return nullptr;
   }
+
+  /// Entries are probe-scattered; there is no useful address to warm
+  /// before the keyed lookup itself.
+  void prefetch_slot(VertexId) const noexcept {}
+  void prefetch_row(VertexId) const noexcept {}
 
   [[nodiscard]] double get(VertexId v, ColorsetIndex idx) const noexcept {
     const std::uint64_t key =
@@ -87,7 +93,10 @@ class HashTable {
   std::size_t entries_ = 0;
   std::vector<std::uint64_t> keys_;
   std::vector<double> values_;
-  std::vector<std::uint8_t> occupied_;  ///< per-vertex any-entry flag
+  // Per-vertex any-entry flags: the only vertex-indexed array here, so
+  // the only one whose first touch TableInit spreads (the probe table
+  // starts tiny and grows under the commit mutex).
+  std::unique_ptr<std::uint8_t[]> occupied_;
   std::mutex write_mutex_;
 };
 

@@ -3,8 +3,8 @@
 // paper's naive baseline: no per-vertex existence tracking, so
 // has_vertex() is constant true and the DP cannot skip empty vertices.
 
+#include <memory>
 #include <span>
-#include <vector>
 
 #include "dp/count_table.hpp"
 
@@ -12,7 +12,7 @@ namespace fascia {
 
 class NaiveTable {
  public:
-  NaiveTable(VertexId n, std::uint32_t num_colorsets);
+  NaiveTable(VertexId n, std::uint32_t num_colorsets, TableInit init = {});
   ~NaiveTable();
 
   NaiveTable(const NaiveTable&) = delete;
@@ -29,7 +29,13 @@ class NaiveTable {
   }
 
   [[nodiscard]] const double* row_ptr(VertexId v) const noexcept {
-    return data_.data() + static_cast<std::size_t>(v) * num_colorsets_;
+    return data_.get() + static_cast<std::size_t>(v) * num_colorsets_;
+  }
+
+  /// No indirection to warm — rows are addressed arithmetically.
+  void prefetch_slot(VertexId) const noexcept {}
+  void prefetch_row(VertexId v) const noexcept {
+    FASCIA_PREFETCH(data_.get() + static_cast<std::size_t>(v) * num_colorsets_);
   }
 
   void commit_row(VertexId v, std::span<const double> row) noexcept;
@@ -41,13 +47,17 @@ class NaiveTable {
     return num_colorsets_;
   }
   [[nodiscard]] std::size_t bytes() const noexcept {
-    return data_.size() * sizeof(double);
+    return size_ * sizeof(double);
   }
 
  private:
   VertexId n_;
   std::uint32_t num_colorsets_;
-  std::vector<double> data_;
+  std::size_t size_ = 0;
+  // Raw uninitialized allocation + explicit zeroing pass: a
+  // std::vector would first-touch every page from the constructing
+  // thread before TableInit could spread the zeroing.
+  std::unique_ptr<double[]> data_;
 };
 
 }  // namespace fascia

@@ -1,0 +1,268 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace fascia {
+namespace {
+
+/// Stable degree-descending order of `verts`; ties break on ascending
+/// original id so every pass is deterministic across platforms.
+void sort_by_degree_desc(const Graph& graph, std::vector<VertexId>& verts) {
+  std::sort(verts.begin(), verts.end(), [&](VertexId a, VertexId b) {
+    const EdgeCount da = graph.degree(a);
+    const EdgeCount db = graph.degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+}
+
+/// Appends a BFS traversal of every vertex reachable from `seeds` (in
+/// order) and not yet visited, neighbors explored degree-ascending
+/// (the Cuthill-McKee rule).  Returns the number of vertices added.
+VertexId bfs_fill(const Graph& graph, const std::vector<VertexId>& seeds,
+                  std::vector<std::uint8_t>& visited,
+                  std::vector<VertexId>& order) {
+  const VertexId before = static_cast<VertexId>(order.size());
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next;
+  std::vector<VertexId> sorted_neighbors;
+  for (VertexId s : seeds) {
+    if (visited[static_cast<std::size_t>(s)]) continue;
+    visited[static_cast<std::size_t>(s)] = 1;
+    order.push_back(s);
+    frontier.assign(1, s);
+    while (!frontier.empty()) {
+      next.clear();
+      for (VertexId v : frontier) {
+        sorted_neighbors.assign(graph.neighbors(v).begin(),
+                                graph.neighbors(v).end());
+        std::sort(sorted_neighbors.begin(), sorted_neighbors.end(),
+                  [&](VertexId a, VertexId b) {
+                    const EdgeCount da = graph.degree(a);
+                    const EdgeCount db = graph.degree(b);
+                    if (da != db) return da < db;
+                    return a < b;
+                  });
+        for (VertexId u : sorted_neighbors) {
+          if (visited[static_cast<std::size_t>(u)]) continue;
+          visited[static_cast<std::size_t>(u)] = 1;
+          order.push_back(u);
+          next.push_back(u);
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+  return static_cast<VertexId>(order.size()) - before;
+}
+
+/// Reverse Cuthill-McKee: per component, BFS from the minimum-degree
+/// vertex with degree-ascending neighbor visits, then reverse the
+/// whole order.  Components are processed in order of their
+/// min-degree start vertex so the result is deterministic.
+std::vector<VertexId> rcm_order(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> starts(static_cast<std::size_t>(n));
+  std::iota(starts.begin(), starts.end(), VertexId{0});
+  // Degree-ascending start order => each component's BFS begins at its
+  // own minimum-degree vertex (a peripheral vertex heuristic).
+  std::sort(starts.begin(), starts.end(), [&](VertexId a, VertexId b) {
+    const EdgeCount da = graph.degree(a);
+    const EdgeCount db = graph.degree(b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(n), 0);
+  std::vector<VertexId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  bfs_fill(graph, starts, visited, order);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+/// Hub-clustered hybrid: hubs (degree >= max(8, 4·avg)) form a
+/// degree-descending block at the front; everything else is BFS-filled
+/// seeded from hub neighborhoods (hottest community first), then any
+/// remaining components via RCM-style min-degree starts.
+std::vector<VertexId> hybrid_order(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  const double avg = graph.avg_degree();
+  const EdgeCount threshold =
+      std::max<EdgeCount>(8, static_cast<EdgeCount>(4.0 * avg));
+
+  std::vector<VertexId> hubs;
+  for (VertexId v = 0; v < n; ++v) {
+    if (graph.degree(v) >= threshold) hubs.push_back(v);
+  }
+  sort_by_degree_desc(graph, hubs);
+
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(n), 0);
+  std::vector<VertexId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (VertexId h : hubs) {
+    visited[static_cast<std::size_t>(h)] = 1;
+    order.push_back(h);
+  }
+  // Seed BFS from each hub's neighborhood in hub-hotness order, so a
+  // hub's community lands right after the hub block, densest first.
+  bfs_fill(graph, hubs, visited, order);
+  // Hubless components: fall back to min-degree starts.
+  std::vector<VertexId> rest;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!visited[static_cast<std::size_t>(v)]) rest.push_back(v);
+  }
+  std::sort(rest.begin(), rest.end(), [&](VertexId a, VertexId b) {
+    const EdgeCount da = graph.degree(a);
+    const EdgeCount db = graph.degree(b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  bfs_fill(graph, rest, visited, order);
+  return order;
+}
+
+/// Packs a visit order (to_old) into a full Permutation.
+Permutation from_order(std::vector<VertexId> order) {
+  Permutation perm;
+  perm.to_old = std::move(order);
+  perm.to_new.assign(perm.to_old.size(), 0);
+  for (std::size_t i = 0; i < perm.to_old.size(); ++i) {
+    perm.to_new[static_cast<std::size_t>(perm.to_old[i])] =
+        static_cast<VertexId>(i);
+  }
+  return perm;
+}
+
+}  // namespace
+
+const char* reorder_mode_name(ReorderMode mode) noexcept {
+  switch (mode) {
+    case ReorderMode::kNone:
+      return "none";
+    case ReorderMode::kDegree:
+      return "degree";
+    case ReorderMode::kBfs:
+      return "bfs";
+    case ReorderMode::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+ReorderMode parse_reorder_mode(const std::string& name) {
+  if (name == "none") return ReorderMode::kNone;
+  if (name == "degree") return ReorderMode::kDegree;
+  if (name == "bfs") return ReorderMode::kBfs;
+  if (name == "hybrid") return ReorderMode::kHybrid;
+  throw std::invalid_argument("unknown reorder mode: " + name);
+}
+
+bool Permutation::is_identity() const noexcept {
+  for (std::size_t i = 0; i < to_new.size(); ++i) {
+    if (to_new[i] != static_cast<VertexId>(i)) return false;
+  }
+  return true;
+}
+
+void Permutation::invert() {
+  to_old.assign(to_new.size(), 0);
+  for (std::size_t i = 0; i < to_new.size(); ++i) {
+    to_old[static_cast<std::size_t>(to_new[i])] = static_cast<VertexId>(i);
+  }
+}
+
+Permutation identity_permutation(VertexId n) {
+  Permutation perm;
+  perm.to_new.resize(static_cast<std::size_t>(n));
+  std::iota(perm.to_new.begin(), perm.to_new.end(), VertexId{0});
+  perm.to_old = perm.to_new;
+  return perm;
+}
+
+Permutation random_permutation(VertexId n, std::uint64_t seed) {
+  Permutation perm = identity_permutation(n);
+  Xoshiro256 rng(seed);
+  for (VertexId i = n - 1; i > 0; --i) {
+    const auto j = static_cast<VertexId>(
+        rng.bounded(static_cast<std::uint32_t>(i) + 1));
+    std::swap(perm.to_new[static_cast<std::size_t>(i)],
+              perm.to_new[static_cast<std::size_t>(j)]);
+  }
+  perm.invert();
+  return perm;
+}
+
+Permutation reorder_permutation(const Graph& graph, ReorderMode mode) {
+  const VertexId n = graph.num_vertices();
+  switch (mode) {
+    case ReorderMode::kNone:
+      return identity_permutation(n);
+    case ReorderMode::kDegree: {
+      std::vector<VertexId> order(static_cast<std::size_t>(n));
+      std::iota(order.begin(), order.end(), VertexId{0});
+      sort_by_degree_desc(graph, order);
+      return from_order(std::move(order));
+    }
+    case ReorderMode::kBfs:
+      return from_order(rcm_order(graph));
+    case ReorderMode::kHybrid:
+      return from_order(hybrid_order(graph));
+  }
+  return identity_permutation(n);
+}
+
+Graph apply_permutation(const Graph& graph, const Permutation& perm) {
+  const VertexId n = graph.num_vertices();
+  if (perm.size() != n) {
+    throw std::invalid_argument("permutation size does not match graph");
+  }
+  std::vector<EdgeCount> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v_new = 0; v_new < n; ++v_new) {
+    offsets[static_cast<std::size_t>(v_new) + 1] =
+        graph.degree(perm.to_old[static_cast<std::size_t>(v_new)]);
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> adjacency(static_cast<std::size_t>(offsets.back()));
+  for (VertexId v_new = 0; v_new < n; ++v_new) {
+    const VertexId v_old = perm.to_old[static_cast<std::size_t>(v_new)];
+    auto* out = adjacency.data() + offsets[static_cast<std::size_t>(v_new)];
+    std::size_t idx = 0;
+    for (VertexId u_old : graph.neighbors(v_old)) {
+      out[idx++] = perm.to_new[static_cast<std::size_t>(u_old)];
+    }
+    std::sort(out, out + idx);  // has_edge relies on ascending adjacency
+  }
+
+  Graph result(std::move(offsets), std::move(adjacency));
+  if (graph.has_labels()) {
+    std::vector<std::uint8_t> labels(static_cast<std::size_t>(n));
+    for (VertexId v_new = 0; v_new < n; ++v_new) {
+      labels[static_cast<std::size_t>(v_new)] =
+          graph.label(perm.to_old[static_cast<std::size_t>(v_new)]);
+    }
+    result.set_labels(std::move(labels), graph.num_label_values());
+  }
+  return result;
+}
+
+double avg_neighbor_gap(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  double total = 0.0;
+  EdgeCount endpoints = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : graph.neighbors(v)) {
+      total += std::abs(static_cast<double>(u) - static_cast<double>(v));
+      ++endpoints;
+    }
+  }
+  return endpoints == 0 ? 0.0 : total / static_cast<double>(endpoints);
+}
+
+}  // namespace fascia

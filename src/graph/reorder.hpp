@@ -1,0 +1,93 @@
+#pragma once
+// Locality-aware vertex reordering (DESIGN.md §9).
+//
+// The DP kernels are dominated by gathers over per-neighbor table rows
+// (engine.hpp): for every frontier vertex v they read row_ptr(u) for
+// each neighbor u.  The cache behavior of that sweep is governed by
+// how close neighbor ids are to each other — rows of nearby ids share
+// pages and stay resident across consecutive frontier vertices.  A
+// vertex reordering pass relabels the graph so neighbor ids cluster,
+// shrinking the average neighbor-id gap (the bandwidth proxy printed
+// by the CLI at verbose level) without changing the graph.
+//
+// Three passes, each producing a Permutation (old -> new id plus the
+// inverse):
+//
+//   * kDegree — degree-descending.  Hub rows, which almost every
+//     frontier sweep touches, pack into one small hot region at the
+//     front of every table; the long low-degree tail stays cold.
+//     Best on heavy-tailed (social / Chung-Lu) graphs.
+//   * kBfs    — reverse Cuthill-McKee: BFS from a low-degree
+//     peripheral vertex, neighbors visited degree-ascending, order
+//     reversed.  Minimizes bandwidth; best on meshes / road networks
+//     where no hubs exist but communities do.
+//   * kHybrid — hub-clustered: vertices above a degree threshold form
+//     a degree-descending hub block at the front; the remainder is
+//     BFS-ordered seeded from the hubs' neighborhoods, so each hub's
+//     community follows compactly.  Combines the hot-hub block of
+//     kDegree with the community locality of kBfs.
+//
+// Estimates are bit-identical under any reordering: colorings are
+// generated in ORIGINAL id order and scattered through the
+// permutation (core/coloring.hpp), and all DP sums are exact integer
+// counts in doubles, so reassociating them across the new vertex
+// order cannot change a bit.  tests/test_reorder.cpp pins this.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fascia {
+
+enum class ReorderMode {
+  kNone,
+  kDegree,
+  kBfs,
+  kHybrid,
+};
+
+const char* reorder_mode_name(ReorderMode mode) noexcept;
+
+/// Parses "none" | "degree" | "bfs" | "hybrid"; throws
+/// std::invalid_argument on anything else.
+ReorderMode parse_reorder_mode(const std::string& name);
+
+/// A vertex relabeling: to_new[old] = new and to_old[new] = old, both
+/// bijections over [0, n).  Default-constructed = empty (size 0).
+struct Permutation {
+  std::vector<VertexId> to_new;  ///< indexed by original id
+  std::vector<VertexId> to_old;  ///< indexed by reordered id
+
+  [[nodiscard]] VertexId size() const noexcept {
+    return static_cast<VertexId>(to_new.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return to_new.empty(); }
+  [[nodiscard]] bool is_identity() const noexcept;
+
+  /// Builds the inverse (to_old) from a filled to_new.
+  void invert();
+};
+
+/// Identity permutation over [0, n).
+Permutation identity_permutation(VertexId n);
+
+/// Uniformly random relabeling (Fisher-Yates).  Not a locality pass —
+/// benches and tests use it to destroy any accidental ordering of a
+/// generated graph before measuring what a reorder pass recovers.
+Permutation random_permutation(VertexId n, std::uint64_t seed);
+
+/// The reorder pass for `mode`; kNone returns the identity.
+Permutation reorder_permutation(const Graph& graph, ReorderMode mode);
+
+/// Relabels the graph through `perm`: vertex v becomes perm.to_new[v]
+/// in the result, adjacency re-sorted ascending, labels carried over.
+Graph apply_permutation(const Graph& graph, const Permutation& perm);
+
+/// Bandwidth proxy: mean |id(u) - id(v)| over all directed edges.
+/// Smaller means neighbor rows live closer together in every
+/// vertex-indexed array the DP reads.
+double avg_neighbor_gap(const Graph& graph);
+
+}  // namespace fascia

@@ -89,14 +89,47 @@ std::size_t estimate_peak_bytes(const PartitionTree& partition,
   return peak;
 }
 
+std::size_t estimate_workspace_bytes(const PartitionTree& partition,
+                                     int num_colors) {
+  std::size_t peak = 0;
+  for (const Subtemplate& node : partition.nodes()) {
+    if (node.is_leaf()) continue;
+    const Subtemplate& active = partition.node(node.active);
+    const Subtemplate& passive = partition.node(node.passive);
+    const auto row =
+        static_cast<std::size_t>(num_colorsets(num_colors, node.size()));
+    const auto psum = std::max<std::size_t>(
+        static_cast<std::size_t>(num_colors),
+        static_cast<std::size_t>(
+            num_colorsets(num_colors, passive.size())));
+    const auto gather =
+        static_cast<std::size_t>(num_colorsets(num_colors, active.size()));
+    // row + psum + gather doubles, plus the nonzero-index buffer
+    // (one 32-bit index per active colorset).
+    const std::size_t bytes = (row + psum + gather) * sizeof(double) +
+                              gather * sizeof(std::uint32_t);
+    peak = std::max(peak, bytes);
+  }
+  return peak;
+}
+
 MemoryPlan plan_memory(const PartitionTree& partition, int num_colors,
                        VertexId n, bool labeled, TableKind requested,
-                       int engine_copies, std::size_t budget_bytes) {
+                       int engine_copies, std::size_t budget_bytes,
+                       int threads_per_copy) {
   MemoryPlan plan;
   plan.table = requested;
   plan.engine_copies = std::max(1, engine_copies);
+  const std::size_t threads =
+      static_cast<std::size_t>(std::max(1, threads_per_copy));
+  // Per engine copy, beyond its tables: one scratch workspace per sweep
+  // thread plus the frontier in/out lists (~2 x 4 bytes per vertex).
+  const std::size_t per_copy_overhead =
+      threads * estimate_workspace_bytes(partition, num_colors) +
+      static_cast<std::size_t>(n) * 2 * sizeof(VertexId);
   const auto per_copy = [&](TableKind kind) {
-    return estimate_peak_bytes(partition, num_colors, n, kind, labeled);
+    return estimate_peak_bytes(partition, num_colors, n, kind, labeled) +
+           per_copy_overhead;
   };
   plan.estimated_peak_bytes =
       per_copy(plan.table) * static_cast<std::size_t>(plan.engine_copies);

@@ -38,6 +38,14 @@ std::size_t estimate_peak_bytes(const PartitionTree& partition,
                                 int num_colors, VertexId n, TableKind kind,
                                 bool labeled);
 
+/// Modeled bytes of ONE sweep thread's scratch workspace (row, partial
+/// sum, gather, and nonzero-index buffers of the widest stage).  The
+/// engine keeps these buffers per thread and per engine copy, so the
+/// run peak carries copies x threads_per_copy of this on top of the
+/// table bytes (plus per-copy frontier lists, ~8 bytes per vertex).
+std::size_t estimate_workspace_bytes(const PartitionTree& partition,
+                                     int num_colors);
+
 struct MemoryPlan {
   TableKind table = TableKind::kCompact;  ///< layout after degradation
   int engine_copies = 1;                  ///< outer-mode private engines
@@ -47,10 +55,14 @@ struct MemoryPlan {
 };
 
 /// Applies the ladder.  `engine_copies` is the outer-mode table-copy
-/// multiplier (1 for serial/inner runs).  A budget of 0 disables
-/// planning (the requested configuration is returned unchanged).
+/// multiplier (1 for serial/inner runs); `threads_per_copy` scales the
+/// per-thread workspace bytes each copy carries (sweep threads, NOT
+/// outer copies — workspaces are allocated once per sweep thread).  A
+/// budget of 0 disables planning (the requested configuration is
+/// returned unchanged).
 MemoryPlan plan_memory(const PartitionTree& partition, int num_colors,
                        VertexId n, bool labeled, TableKind requested,
-                       int engine_copies, std::size_t budget_bytes);
+                       int engine_copies, std::size_t budget_bytes,
+                       int threads_per_copy = 1);
 
 }  // namespace fascia::run

@@ -79,6 +79,9 @@ struct BatchOptions {
   /// kOuterLoop parallelizes over iterations (each spanning all active
   /// jobs, private tables per thread); kInnerLoop parallelizes the
   /// per-vertex loop inside each stage; kSerial is single-threaded.
+  /// kHybrid splits the pool into outer_copies x inner_threads using
+  /// the same cost model as count_template (choose_layout), with a
+  /// modeled frontier occupancy instead of a probe iteration.
   ParallelMode mode = ParallelMode::kOuterLoop;
 
   /// OpenMP threads; 0 = runtime default.
@@ -157,6 +160,10 @@ struct BatchResult {
     return 1.0 - static_cast<double>(stage_evaluations) /
                      static_cast<double>(stage_requests);
   }
+
+  /// Thread layout the batch executed with (outer engine copies x
+  /// inner sweep threads); {1, 1} for serial runs.
+  ThreadLayout layout;
 
   /// Resilient-run outcome (status, completed coloring rounds,
   /// degradations, checkpoint activity); see run/controls.hpp.

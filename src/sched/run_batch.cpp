@@ -11,6 +11,7 @@
 #include "comb/binomial.hpp"
 #include "core/coloring.hpp"
 #include "core/engine.hpp"
+#include "core/thread_layout.hpp"
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
@@ -67,17 +68,59 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
              const BatchSetup& setup, BatchResult& out) {
   const int k = plan.num_colors;
   int threads = resolve_threads(options.num_threads);
-  const bool outer = options.mode == ParallelMode::kOuterLoop;
-  const bool inner = options.mode == ParallelMode::kInnerLoop;
-  if (outer && setup.engine_copies > 0) {
+  const bool outer_mode = options.mode == ParallelMode::kOuterLoop;
+  const bool inner_mode = options.mode == ParallelMode::kInnerLoop;
+  const bool hybrid = options.mode == ParallelMode::kHybrid;
+  if (outer_mode && setup.engine_copies > 0) {
     threads = std::min(threads, setup.engine_copies);
   }
+
+  // Resolve the outer x inner split.  The batch engine has no probe
+  // iteration (the first coloring already spans every job), so hybrid
+  // mode feeds choose_layout a modeled occupancy: unlabeled sweeps
+  // visit nearly every vertex, labeled frontiers are sparse.
+  ThreadLayout layout;
+  if (hybrid) {
+    int longest_job = 1;
+    for (const BatchJob& job : jobs) {
+      longest_job =
+          std::max(longest_job, job.target_relative_stderr > 0.0
+                                    ? job.max_iterations
+                                    : job.iterations);
+    }
+    LayoutInputs in;
+    in.threads = threads;
+    in.iterations = longest_job;
+    in.num_vertices = graph.num_vertices();
+    in.frontier_occupancy = graph.has_labels() ? 0.15 : 0.85;
+    in.table_bytes_per_copy = run::estimate_peak_bytes(
+        plan.merged, k, graph.num_vertices(), setup.table,
+        graph.has_labels());
+    in.memory_budget_bytes = options.run.memory_budget_bytes;
+    layout = choose_layout(in);
+    if (setup.engine_copies > 0 &&
+        layout.outer_copies > setup.engine_copies) {
+      layout.outer_copies = setup.engine_copies;
+      layout.inner_threads = std::max(1, threads / layout.outer_copies);
+    }
+  } else if (outer_mode) {
+    layout.outer_copies = threads;
+    layout.inner_threads = 1;
+  } else if (inner_mode) {
+    layout.outer_copies = 1;
+    layout.inner_threads = threads;
+  }
+  const bool outer = layout.outer_copies > 1;
+  const bool parallel_inner = inner_mode || layout.inner_threads > 1;
+  out.layout = layout;
+
   const int round = options.round_iterations > 0 ? options.round_iterations
                                                  : std::max(4, threads);
 #ifdef _OPENMP
-  if (inner && options.num_threads > 0) {
+  if (inner_mode && options.num_threads > 0) {
     omp_set_num_threads(options.num_threads);
   }
+  if (outer && parallel_inner) omp_set_max_active_levels(2);
 #endif
 
   const RunControls& controls = options.run;
@@ -86,17 +129,19 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
   RunGuard guard(controls);
 
   out.run = setup.report;
-  out.run.engine_copies = outer ? threads : 1;
+  out.run.engine_copies = layout.outer_copies;
 
-  // Outer mode: one private engine (and thus private stage tables) per
-  // thread, exactly like ParallelMode::kOuterLoop in count_template.
+  // One private engine (and thus private stage tables) per outer copy,
+  // exactly like ParallelMode::kOuterLoop in count_template.
   std::vector<DpEngine<Table>> engines;
-  const int engine_count = outer ? threads : 1;
+  const int engine_count = layout.outer_copies;
   engines.reserve(static_cast<std::size_t>(engine_count));
   // The per-label frontier lists are graph-global: build them once and
   // share them across all engine copies.
   DpEngineOptions engine_opts;
   engine_opts.reference_kernels = options.reference_kernels;
+  engine_opts.inner_threads = layout.inner_threads;
+  engine_opts.guided_schedule = hybrid;
   if (graph.has_labels()) {
     engine_opts.label_frontiers = LabelFrontiers::build(graph);
   }
@@ -282,13 +327,13 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
     std::vector<char> completed(static_cast<std::size_t>(end - begin), 0);
 
     const auto run_one = [&](int iter, DpEngine<Table>& engine,
-                             bool parallel_inner) {
+                             bool inner_sweep) {
       if (guard.poll()) return;
       WallTimer timer;
       try {
         const ColorArray colors =
             random_coloring(graph, k, iteration_seed(options.seed, iter));
-        engine.compute_tables(colors, parallel_inner, &needed);
+        engine.compute_tables(colors, inner_sweep, &needed);
         if (guard.stopped()) {
           engine.release_all_tables();
           return;
@@ -324,14 +369,14 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
     };
 
 #ifdef _OPENMP
-    if (outer && threads > 1) {
-#pragma omp parallel num_threads(threads)
+    if (outer) {
+#pragma omp parallel num_threads(layout.outer_copies)
       {
         DpEngine<Table>& engine =
             engines[static_cast<std::size_t>(omp_get_thread_num())];
 #pragma omp for schedule(dynamic, 1)
         for (int iter = begin; iter < end; ++iter) {
-          run_one(iter, engine, false);
+          run_one(iter, engine, parallel_inner);
         }
       }
     } else
@@ -339,7 +384,7 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
     {
       for (int iter = begin; iter < end; ++iter) {
         if (fault::fire("run.crash")) throw fault::Injected("run.crash");
-        run_one(iter, engines.front(), inner);
+        run_one(iter, engines.front(), parallel_inner);
         if (guard.stopped()) break;
       }
     }
@@ -433,13 +478,17 @@ BatchResult run_batch(const Graph& graph, const std::vector<BatchJob>& jobs,
   BatchSetup setup;
   setup.table = options.table;
   if (options.run.memory_budget_bytes > 0) {
-    const int copies = options.mode == ParallelMode::kOuterLoop
+    const int copies = options.mode == ParallelMode::kOuterLoop ||
+                               options.mode == ParallelMode::kHybrid
                            ? resolve_threads(options.num_threads)
                            : 1;
+    const int threads_per_copy = options.mode == ParallelMode::kInnerLoop
+                                     ? resolve_threads(options.num_threads)
+                                     : 1;
     const run::MemoryPlan memory = run::plan_memory(
         plan.merged, plan.num_colors, graph.num_vertices(),
         graph.has_labels(), options.table, copies,
-        options.run.memory_budget_bytes);
+        options.run.memory_budget_bytes, threads_per_copy);
     setup.table = memory.table;
     setup.engine_copies = memory.engine_copies;
     setup.ladder_degraded = !memory.degradations.empty();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/counter.hpp"
+#include "graph/generators.hpp"
 #include "helpers.hpp"
 #include "run/checkpoint.hpp"
 #include "run/controls.hpp"
@@ -133,6 +134,85 @@ TEST(MemoryPlan, EngineCopiesReducedBeforeGivingUp) {
   EXPECT_TRUE(plan.fits);
   EXPECT_LT(plan.engine_copies, 8);
   EXPECT_FALSE(plan.degradations.empty());
+}
+
+TEST(MemoryPlan, WorkspaceBytesScaleWithSweepThreads) {
+  const TreeTemplate& tree = catalog_entry("U7-1").tree;
+  const auto part =
+      partition_template(tree, PartitionStrategy::kOneAtATime, true);
+  EXPECT_GT(run::estimate_workspace_bytes(part, 7), 0u);
+  const VertexId n = 50000;
+  const auto one = run::plan_memory(part, 7, n, false, TableKind::kCompact,
+                                    1, 0, /*threads_per_copy=*/1);
+  const auto eight = run::plan_memory(part, 7, n, false, TableKind::kCompact,
+                                      1, 0, /*threads_per_copy=*/8);
+  EXPECT_GT(eight.estimated_peak_bytes, one.estimated_peak_bytes);
+  EXPECT_EQ(eight.estimated_peak_bytes - one.estimated_peak_bytes,
+            7 * run::estimate_workspace_bytes(part, 7));
+  // Outer copies multiply the whole per-copy footprint, workspaces
+  // included: 4 copies x 1 thread must model more than 1 x 4 when the
+  // tables dominate.
+  const auto outer4 = run::plan_memory(part, 7, n, false, TableKind::kCompact,
+                                       4, 0, /*threads_per_copy=*/1);
+  EXPECT_GT(outer4.estimated_peak_bytes, eight.estimated_peak_bytes);
+}
+
+TEST(MemoryPlan, EstimateCoversMeasuredNaivePeak) {
+  // Naive tables have a closed-form size, so the planning estimate must
+  // bracket the MemTracker-measured table peak of a real run: at least
+  // the measured bytes (workspaces and frontiers only add), and within
+  // a small factor of them (the free_after schedule is the same one the
+  // engine executes).
+  const Graph g = erdos_renyi_gnm(2000, 6000, 7);
+  const TreeTemplate& tree = catalog_entry("U7-1").tree;
+  const auto part =
+      partition_template(tree, PartitionStrategy::kOneAtATime, true);
+  const auto plan = run::plan_memory(part, 7, g.num_vertices(), false,
+                                     TableKind::kNaive, 1, 0, 1);
+  CountOptions options = base_options();
+  options.iterations = 2;
+  options.table = TableKind::kNaive;
+  const CountResult result = count_template(g, tree, options);
+  ASSERT_GT(result.peak_table_bytes, 0u);
+  EXPECT_GE(plan.estimated_peak_bytes, result.peak_table_bytes);
+  EXPECT_LE(plan.estimated_peak_bytes, 3 * result.peak_table_bytes);
+}
+
+TEST(MemoryPlan, EstimateWithinProcessHighWaterRss) {
+  // The modeled peak is a *planning* figure; sanity-check it against
+  // the OS's view where /proc is available: real table allocations are
+  // touched pages, so the process high-water RSS must be at least the
+  // MemTracker peak, and the estimate must not exceed the whole
+  // process footprint (generous bound — gtest and the graph also
+  // occupy RSS).
+  std::ifstream status("/proc/self/status");
+  if (!status.is_open()) GTEST_SKIP() << "/proc/self/status not available";
+
+  const Graph g = erdos_renyi_gnm(4000, 16000, 11);
+  const TreeTemplate& tree = catalog_entry("U7-1").tree;
+  CountOptions options = base_options();
+  options.iterations = 2;
+  options.table = TableKind::kNaive;
+  const CountResult result = count_template(g, tree, options);
+
+  std::size_t hwm_kib = 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      hwm_kib = static_cast<std::size_t>(
+          std::strtoull(line.c_str() + 6, nullptr, 10));
+      break;
+    }
+  }
+  if (hwm_kib == 0) GTEST_SKIP() << "VmHWM not reported";
+  const std::size_t hwm_bytes = hwm_kib * 1024;
+  EXPECT_GE(hwm_bytes, result.peak_table_bytes);
+  ASSERT_GT(result.run.requested_iterations, 0);
+  const auto part =
+      partition_template(tree, PartitionStrategy::kOneAtATime, true);
+  const auto plan = run::plan_memory(part, 7, g.num_vertices(), false,
+                                     TableKind::kNaive, 1, 0, 1);
+  EXPECT_LE(plan.estimated_peak_bytes, hwm_bytes);
 }
 
 TEST(MemoryPlan, ImpossibleBudgetReportsNotFitting) {
