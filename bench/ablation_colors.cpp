@@ -35,11 +35,11 @@ int main(int argc, char** argv) {
 
   for (int k : {5, 6, 7, 9, 12}) {
     CountOptions options;
-    options.iterations = iterations;
-    options.num_colors = k;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed;
+    options.sampling.iterations = iterations;
+    options.sampling.num_colors = k;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed;
     const CountResult result = count_template(g, tree, options);
 
     // Mean absolute single-iteration error measures per-iteration

@@ -31,12 +31,12 @@ int main(int argc, char** argv) {
                           PartitionStrategy::kBalanced}) {
       for (bool share : {true, false}) {
         CountOptions options;
-        options.iterations = 1;
-        options.mode = ParallelMode::kInnerLoop;
-        options.num_threads = ctx.threads;
-        options.seed = ctx.seed;
-        options.partition = strategy;
-        options.share_tables = share;
+        options.sampling.iterations = 1;
+        options.execution.mode = ParallelMode::kInnerLoop;
+        options.execution.threads = ctx.threads;
+        options.sampling.seed = ctx.seed;
+        options.execution.partition = strategy;
+        options.execution.share_tables = share;
         const CountResult result = count_template(g, entry.tree, options);
         std::vector<std::string> row = {
             entry.name,

@@ -39,11 +39,11 @@ int main(int argc, char** argv) {
     for (TableKind kind :
          {TableKind::kNaive, TableKind::kCompact, TableKind::kHash}) {
       CountOptions options;
-      options.iterations = 1;
-      options.mode = ParallelMode::kInnerLoop;
-      options.num_threads = ctx.threads;
-      options.seed = ctx.seed;
-      options.table = kind;
+      options.sampling.iterations = 1;
+      options.execution.mode = ParallelMode::kInnerLoop;
+      options.execution.threads = ctx.threads;
+      options.sampling.seed = ctx.seed;
+      options.execution.table = kind;
       const CountResult result = count_template(g, entry.tree, options);
       std::vector<std::string> row = {
           work.network, entry.name, table_kind_name(kind),

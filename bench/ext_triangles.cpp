@@ -52,10 +52,10 @@ int main(int argc, char** argv) {
     const double exact_seconds = exact_timer.elapsed_s();
 
     CountOptions options;
-    options.iterations = iterations;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed;
+    options.sampling.iterations = iterations;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed;
     WallTimer estimate_timer;
     const CountResult result = count_mixed_template(g, entry.tmpl, options);
     const double estimate_seconds = estimate_timer.elapsed_s();

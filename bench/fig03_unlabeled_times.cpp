@@ -26,10 +26,10 @@ int main(int argc, char** argv) {
 
   for (const auto& entry : template_catalog()) {
     CountOptions options;
-    options.iterations = 1;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed;
+    options.sampling.iterations = 1;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed;
 
     double seconds = 0.0, estimate = 0.0, cost = 0.0;
     int subtemplates = 0;

@@ -32,10 +32,10 @@ int main(int argc, char** argv) {
   Xoshiro256 label_rng(ctx.seed + 2);
   for (const auto& entry : template_catalog()) {
     CountOptions options;
-    options.iterations = 1;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed;
+    options.sampling.iterations = 1;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed;
 
     // Random template labels, as in the paper ("we assume
     // randomly-assigned labels", §V-A).

@@ -31,10 +31,10 @@ int main(int argc, char** argv) {
 
     for (int k : sizes) {
       CountOptions options;
-      options.iterations = 1;
-      options.mode = ParallelMode::kInnerLoop;
-      options.num_threads = ctx.threads;
-      options.seed = ctx.seed;
+      options.sampling.iterations = 1;
+      options.execution.mode = ParallelMode::kInnerLoop;
+      options.execution.threads = ctx.threads;
+      options.sampling.seed = ctx.seed;
       const MotifProfile profile = count_all_treelets(g, k, options);
       std::vector<std::string> row = {
           dataset_spec(name).paper_name,

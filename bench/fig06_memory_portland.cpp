@@ -33,15 +33,15 @@ int main(int argc, char** argv) {
   for (const char* name : {"U5-2", "U7-2", "U10-2", "U12-2"}) {
     const auto& entry = catalog_entry(name);
     CountOptions options;
-    options.iterations = 1;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed;
+    options.sampling.iterations = 1;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed;
 
-    options.table = TableKind::kNaive;
+    options.execution.table = TableKind::kNaive;
     const auto naive = count_template(g, entry.tree, options);
 
-    options.table = TableKind::kCompact;
+    options.execution.table = TableKind::kCompact;
     const auto improved = count_template(g, entry.tree, options);
 
     TreeTemplate labeled_tree = entry.tree;

@@ -27,16 +27,16 @@ int main(int argc, char** argv) {
   for (const char* name : {"U3-1", "U5-1", "U7-1", "U10-1", "U12-1"}) {
     const auto& entry = catalog_entry(name);
     CountOptions options;
-    options.iterations = 1;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed;
+    options.sampling.iterations = 1;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed;
 
-    options.table = TableKind::kNaive;
+    options.execution.table = TableKind::kNaive;
     const auto naive = count_template(g, entry.tree, options);
-    options.table = TableKind::kCompact;
+    options.execution.table = TableKind::kCompact;
     const auto improved = count_template(g, entry.tree, options);
-    options.table = TableKind::kHash;
+    options.execution.table = TableKind::kHash;
     const auto hash = count_template(g, entry.tree, options);
 
     std::vector<std::string> row = {

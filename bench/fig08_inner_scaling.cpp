@@ -32,11 +32,11 @@ int main(int argc, char** argv) {
   double serial_time = 0.0;
   for (int cores : {1, 2, 4, 8, 12, 16}) {
     CountOptions options;
-    options.iterations = 1;
-    options.mode =
+    options.sampling.iterations = 1;
+    options.execution.mode =
         cores == 1 ? ParallelMode::kSerial : ParallelMode::kInnerLoop;
-    options.num_threads = cores;
-    options.seed = ctx.seed;
+    options.execution.threads = cores;
+    options.sampling.seed = ctx.seed;
     const CountResult result = count_template(g, tree, options);
     const double seconds = result.seconds_per_iteration[0];
     if (cores == 1) serial_time = seconds;
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     // Hybrid series: the cost-model scheduler picks its own split of
     // the same thread pool (one iteration => outer corner never wins,
     // so this measures the probe + inner path).
-    options.mode = ParallelMode::kHybrid;
+    options.execution.mode = ParallelMode::kHybrid;
     const CountResult hybrid = count_template(g, tree, options);
     const double hybrid_seconds = hybrid.seconds_per_iteration[0];
     const std::string layout =

@@ -33,23 +33,23 @@ int main(int argc, char** argv) {
 
   for (int cores : {1, 2, 4, 8, 12, 16}) {
     CountOptions options;
-    options.iterations = iterations;
-    options.seed = ctx.seed;
-    options.num_threads = cores;
+    options.sampling.iterations = iterations;
+    options.sampling.seed = ctx.seed;
+    options.execution.threads = cores;
 
-    options.mode = ParallelMode::kInnerLoop;
+    options.execution.mode = ParallelMode::kInnerLoop;
     const CountResult inner = count_template(g, tree, options);
     const double inner_per_iter =
         inner.seconds_total / static_cast<double>(iterations);
 
-    options.mode = ParallelMode::kOuterLoop;
+    options.execution.mode = ParallelMode::kOuterLoop;
     const CountResult outer = count_template(g, tree, options);
     const double outer_per_iter =
         outer.seconds_total / static_cast<double>(iterations);
 
     // Hybrid series: on this small graph the cost model should land
     // near the outer corner once the pool is wide enough.
-    options.mode = ParallelMode::kHybrid;
+    options.execution.mode = ParallelMode::kHybrid;
     const CountResult hybrid = count_template(g, tree, options);
     const std::string layout =
         std::to_string(hybrid.layout.outer_copies) + "x" +

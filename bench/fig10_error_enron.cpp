@@ -34,10 +34,10 @@ int main(int argc, char** argv) {
                 exact_timer.elapsed_s());
 
     CountOptions options;
-    options.iterations = 10;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed;
+    options.sampling.iterations = 10;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed;
     const CountResult result = count_template(g, tree, options);
     const auto running = result.running_estimates();
     std::vector<double> series;

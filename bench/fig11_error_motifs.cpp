@@ -40,10 +40,10 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> running_errors(trees.size());
   for (std::size_t i = 0; i < trees.size(); ++i) {
     CountOptions options;
-    options.iterations = max_iterations;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed + 0x9e3779b9u * (i + 1);
+    options.sampling.iterations = max_iterations;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed + 0x9e3779b9u * (i + 1);
     const CountResult result = count_template(g, trees[i], options);
     const auto running = result.running_estimates();
     for (int checkpoint : checkpoints) {

@@ -36,10 +36,10 @@ int main(int argc, char** argv) {
   WallTimer approx_timer;
   for (std::size_t i = 0; i < trees.size(); ++i) {
     CountOptions options;
-    options.iterations = 1000;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed + 0x9e3779b9u * (i + 1);
+    options.sampling.iterations = 1000;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed + 0x9e3779b9u * (i + 1);
     const CountResult result = count_template(g, trees[i], options);
     const auto running = result.running_estimates();
     const double after_one = running.front();

@@ -25,10 +25,10 @@ int main(int argc, char** argv) {
   for (const char* name : networks) {
     const Graph g = make_dataset(name, 1.0, ctx.seed);
     CountOptions options;
-    options.iterations = iterations;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed;
+    options.sampling.iterations = iterations;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed;
     profiles.push_back(
         count_all_treelets(g, 7, options).relative_frequencies());
   }

@@ -34,10 +34,10 @@ int main(int argc, char** argv) {
     const Graph g = make_dataset(net.name, ctx.scale(net.default_scale),
                                  ctx.seed);
     CountOptions options;
-    options.iterations = iterations;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed;
+    options.sampling.iterations = iterations;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed;
     profiles.push_back(
         count_all_treelets(g, 7, options).relative_frequencies());
   }

@@ -38,10 +38,10 @@ int main(int argc, char** argv) {
     const Graph g = make_dataset(net.name, ctx.scale(net.default_scale),
                                  ctx.seed);
     CountOptions options;
-    options.iterations = ctx.full ? 100 : 10;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed;
+    options.sampling.iterations = ctx.full ? 100 : 10;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed;
     const CountResult result = graphlet_degrees(g, tree, orbit, options);
     const auto histogram = log2_histogram(result.vertex_counts);
 

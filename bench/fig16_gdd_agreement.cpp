@@ -50,10 +50,10 @@ int main(int argc, char** argv) {
     std::vector<double> agreements;
     for (int iterations : checkpoints) {
       CountOptions options;
-      options.iterations = iterations;
-      options.mode = ParallelMode::kInnerLoop;
-      options.num_threads = ctx.threads;
-      options.seed = ctx.seed;
+      options.sampling.iterations = iterations;
+      options.execution.mode = ParallelMode::kInnerLoop;
+      options.execution.threads = ctx.threads;
+      options.sampling.seed = ctx.seed;
       const auto estimated =
           graphlet_degrees(g, tree, orbit, options).vertex_counts;
       agreements.push_back(

@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
         theoretical_iterations(entry.size, 0.1, 0.05);
 
     CountOptions options;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed;
     // Fine-grained batches so the stopping point is resolved to ~8
     // iterations rather than the default max/16 chunk.
     const AdaptiveResult adaptive =

@@ -35,6 +35,7 @@
 #include "common.hpp"
 #include "core/coloring.hpp"
 #include "core/engine.hpp"
+#include "obs/metrics.hpp"
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
@@ -42,6 +43,7 @@
 #include "treelet/partition.hpp"
 #include "treelet/tree_template.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -49,6 +51,7 @@ using namespace fascia;
 
 constexpr int kNumLabels = 4;
 constexpr double kCheckTolerance = 0.75;  // fail below 0.75x baseline
+constexpr double kObsOverheadGate = 1.05;  // obs-on / obs-off wall ratio
 
 const char* kernel_name(char kernel) {
   switch (kernel) {
@@ -212,6 +215,57 @@ struct Harness {
   }
 };
 
+/// A/B overhead measurement: the same engine + colorings with the
+/// observability layer disabled vs enabled at runtime.  The grid above
+/// runs obs-off (the process default), so its numbers stay comparable
+/// with pre-obs baselines; this isolates the toggle cost.  Min-of-runs
+/// per side so scheduler noise cannot manufacture an overhead.
+struct ObsOverhead {
+  double off_seconds = 0.0;
+  double on_seconds = 0.0;
+  [[nodiscard]] double ratio() const {
+    return off_seconds > 0.0 ? on_seconds / off_seconds : 0.0;
+  }
+};
+
+ObsOverhead measure_obs_overhead(const Graph& graph, int k, int iters) {
+  TreeTemplate tmpl = make_shape("path", k);
+  std::vector<std::uint8_t> labels(static_cast<std::size_t>(k));
+  for (int v = 0; v < k; ++v) {
+    labels[static_cast<std::size_t>(v)] =
+        static_cast<std::uint8_t>(v % kNumLabels);
+  }
+  tmpl.set_labels(std::move(labels));
+  const PartitionTree partition =
+      partition_template(tmpl, PartitionStrategy::kOneAtATime);
+  DpEngine<CompactTable> engine(graph, tmpl, partition, k,
+                                DpEngineOptions{});
+
+  const int rounds = std::max(8, 2 * iters);
+  const auto timed_run = [&](bool obs_on, int round) {
+    obs::set_enabled(obs_on);
+    const ColorArray colors = detail::random_coloring(
+        graph, k, detail::iteration_seed(7, round));
+    WallTimer timer;
+    engine.run(colors, /*parallel_inner=*/false);
+    return timer.elapsed_s();
+  };
+  // Warm both paths, then interleave off/on rounds (same coloring per
+  // round) so clock-frequency drift cannot bias one side; min-of-N per
+  // side discards scheduler noise.
+  timed_run(false, 0);
+  timed_run(true, 0);
+  ObsOverhead result;
+  for (int r = 0; r < rounds; ++r) {
+    const double off = timed_run(false, r);
+    const double on = timed_run(true, r);
+    if (r == 0 || off < result.off_seconds) result.off_seconds = off;
+    if (r == 0 || on < result.on_seconds) result.on_seconds = on;
+  }
+  obs::set_enabled(false);
+  return result;
+}
+
 /// Minimal line-based reader for the "kernel_speedups" block this
 /// bench writes — not a general JSON parser.  Returns key -> speedup.
 std::map<std::string, double> parse_kernel_speedups(
@@ -317,6 +371,19 @@ int main(int argc, char** argv) {
               harness.mismatches == 0 ? "PASS" : "FAIL", harness.mismatches);
   if (harness.mismatches != 0) return 1;
 
+  // Observability toggle cost (DESIGN.md §10): the registry/trace hooks
+  // compiled into the kernels must be free when disabled and cheap when
+  // enabled.  Measured outside the grid so grid numbers stay obs-off.
+  obs::Registry::global().reset();
+  const ObsOverhead obs_overhead =
+      measure_obs_overhead(g, std::min(kmax, 7), iters);
+  const auto stage_seconds = obs::Registry::global().read("dp.stage.seconds");
+  std::printf("\nobs overhead (labeled path k=%d, compact): off %.4fs  "
+              "on %.4fs  ratio %.3f  (registry saw %llu stage passes)\n",
+              std::min(kmax, 7), obs_overhead.off_seconds,
+              obs_overhead.on_seconds, obs_overhead.ratio(),
+              static_cast<unsigned long long>(stage_seconds.hist.count));
+
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -332,6 +399,11 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  \"kmax\": %d,\n", kmax);
   std::fprintf(json, "  \"iters\": %d,\n", iters);
   std::fprintf(json, "  \"mismatches\": %d,\n", harness.mismatches);
+  std::fprintf(json,
+               "  \"obs_overhead\": {\"off_seconds\": %.6f, "
+               "\"on_seconds\": %.6f, \"ratio\": %.4f},\n",
+               obs_overhead.off_seconds, obs_overhead.on_seconds,
+               obs_overhead.ratio());
   std::fprintf(json, "  \"entries\": [\n");
   {
     std::size_t emitted = 0;
@@ -388,6 +460,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("check: all kernels within 25%% of %s\n", check_path.c_str());
+    // Absolute gate, no baseline needed: enabling observability may not
+    // slow the measured kernel loop by more than 5%.
+    if (obs_overhead.ratio() > kObsOverheadGate) {
+      std::fprintf(stderr,
+                   "check: obs-on overhead %.3fx exceeds %.2fx gate\n",
+                   obs_overhead.ratio(), kObsOverheadGate);
+      return 1;
+    }
+    std::printf("check: obs toggle overhead %.3fx within %.2fx gate\n",
+                obs_overhead.ratio(), kObsOverheadGate);
   }
   return 0;
 }

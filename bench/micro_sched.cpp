@@ -24,9 +24,35 @@
 
 #include "common.hpp"
 #include "core/motifs.hpp"
+#include "obs/metrics.hpp"
 #include "sched/batch.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+/// Snapshot of the observability registry for one measured run.  The
+/// bench resets the registry before each run and scrapes it after, so
+/// the engines' own instruments — not bench-side bookkeeping — supply
+/// the colorings-drawn and DP-stage-pass numbers in the table below.
+struct Scrape {
+  long long colorings = 0;
+  long long stage_passes = 0;
+  double stage_seconds = 0.0;
+};
+
+Scrape scrape_registry() {
+  using fascia::obs::Registry;
+  Scrape out;
+  out.colorings =
+      static_cast<long long>(Registry::global().read("count.colorings").value);
+  const auto stage = Registry::global().read("dp.stage.seconds");
+  out.stage_passes = static_cast<long long>(stage.hist.count);
+  out.stage_seconds = stage.hist.sum;
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fascia;
@@ -47,15 +73,21 @@ int main(int argc, char** argv) {
   const Graph g = ctx.dataset("portland", 0.002);
   std::printf("graph: %s\n\n", bench::describe_graph(g).c_str());
 
-  CountOptions legacy_options;
-  legacy_options.iterations = iters;
-  legacy_options.seed = ctx.seed;
-  legacy_options.mode = ParallelMode::kOuterLoop;
-  legacy_options.num_threads = ctx.threads;
+  // All three runs report through the observability registry
+  // (DESIGN.md §10); the same instruments back fascia_cli --report.
+  obs::set_enabled(true);
 
+  CountOptions legacy_options;
+  legacy_options.sampling.iterations = iters;
+  legacy_options.sampling.seed = ctx.seed;
+  legacy_options.execution.mode = ParallelMode::kOuterLoop;
+  legacy_options.execution.threads = ctx.threads;
+
+  obs::Registry::global().reset();
   WallTimer legacy_timer;
   const MotifProfile legacy = count_all_treelets(g, k, legacy_options);
   const double legacy_seconds = legacy_timer.elapsed_s();
+  const Scrape legacy_obs = scrape_registry();
 
   std::vector<sched::BatchJob> fixed_jobs;
   for (const TreeTemplate& tree : legacy.trees) {
@@ -69,10 +101,12 @@ int main(int argc, char** argv) {
   batch_options.mode = ParallelMode::kOuterLoop;
   batch_options.num_threads = ctx.threads;
 
+  obs::Registry::global().reset();
   WallTimer batch_timer;
   const sched::BatchResult fixed = sched::run_batch(g, fixed_jobs,
                                                     batch_options);
   const double batch_seconds = batch_timer.elapsed_s();
+  const Scrape fixed_obs = scrape_registry();
   const double speedup = legacy_seconds / batch_seconds;
 
   // Adaptive run: ask each job for the relative stderr the fixed
@@ -92,33 +126,36 @@ int main(int argc, char** argv) {
   adaptive_options.min_iterations = 2;
   adaptive_options.round_iterations = 2;
 
+  obs::Registry::global().reset();
   WallTimer adaptive_timer;
   const sched::BatchResult adaptive =
       sched::run_batch(g, adaptive_jobs, adaptive_options);
   const double adaptive_seconds = adaptive_timer.elapsed_s();
+  const Scrape adaptive_obs = scrape_registry();
   const long long fixed_total = fixed.iterations_total;
   int adaptive_converged = 0;
   for (const sched::BatchJobResult& job : adaptive.jobs) {
     if (job.converged) ++adaptive_converged;
   }
 
+  // "colorings" and "stage passes" come from the obs registry: what
+  // the engines actually recorded, not what the bench assumes they did.
   TablePrinter table({"Run", "iterations", "colorings", "seconds",
-                      "stage evals", "cache hit"});
-  auto add = [&](const char* name, long long iterations, int colorings,
-                 double seconds, std::size_t evals, double hit) {
+                      "stage passes", "cache hit"});
+  auto add = [&](const char* name, long long iterations, const Scrape& seen,
+                 double seconds, double hit) {
     table.add_row({name, TablePrinter::num(iterations),
-                   TablePrinter::num(static_cast<long long>(colorings)),
-                   TablePrinter::num(seconds, 3), TablePrinter::num(
-                       static_cast<long long>(evals)),
+                   TablePrinter::num(seen.colorings),
+                   TablePrinter::num(seconds, 3),
+                   TablePrinter::num(seen.stage_passes),
                    TablePrinter::num(hit, 3)});
   };
   add("legacy loop", static_cast<long long>(legacy.trees.size()) * iters,
-      static_cast<int>(legacy.trees.size()) * iters, legacy_seconds, 0, 0.0);
-  add("batch fixed", fixed.iterations_total, fixed.coloring_rounds,
-      batch_seconds, fixed.stage_evaluations, fixed.cache_hit_rate());
-  add("batch adaptive", adaptive.iterations_total, adaptive.coloring_rounds,
-      adaptive_seconds, adaptive.stage_evaluations,
-      adaptive.cache_hit_rate());
+      legacy_obs, legacy_seconds, 0.0);
+  add("batch fixed", fixed.iterations_total, fixed_obs, batch_seconds,
+      fixed.cache_hit_rate());
+  add("batch adaptive", adaptive.iterations_total, adaptive_obs,
+      adaptive_seconds, adaptive.cache_hit_rate());
   table.print();
 
   std::printf("\nspeedup (legacy / batch fixed): %.2fx\n", speedup);
@@ -155,6 +192,13 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  \"stage_evaluations\": %zu,\n",
                fixed.stage_evaluations);
   std::fprintf(json, "  \"cache_hit_rate\": %.4f,\n", fixed.cache_hit_rate());
+  std::fprintf(json, "  \"legacy_colorings\": %lld,\n",
+               legacy_obs.colorings);
+  std::fprintf(json, "  \"batch_colorings\": %lld,\n", fixed_obs.colorings);
+  std::fprintf(json, "  \"legacy_stage_passes\": %lld,\n",
+               legacy_obs.stage_passes);
+  std::fprintf(json, "  \"batch_stage_passes\": %lld,\n",
+               fixed_obs.stage_passes);
   std::fprintf(json, "  \"fixed_iterations_total\": %lld,\n", fixed_total);
   std::fprintf(json, "  \"adaptive_iterations_total\": %lld,\n",
                adaptive.iterations_total);

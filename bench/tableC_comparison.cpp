@@ -47,10 +47,10 @@ int main(int argc, char** argv) {
   std::vector<double> estimates;
   for (std::size_t i = 0; i < trees.size(); ++i) {
     CountOptions options;
-    options.iterations = iterations;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed + 0x9e3779b9u * (i + 1);
+    options.sampling.iterations = iterations;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed + 0x9e3779b9u * (i + 1);
     estimates.push_back(count_template(g, trees[i], options).estimate);
   }
   const double fascia_seconds = fascia_timer.elapsed_s();
@@ -106,10 +106,10 @@ int main(int argc, char** argv) {
   std::vector<double> big_errors;
   for (std::size_t i = 0; i < trees.size(); ++i) {
     CountOptions options;
-    options.iterations = iterations;
-    options.mode = ParallelMode::kInnerLoop;
-    options.num_threads = ctx.threads;
-    options.seed = ctx.seed + 0x9e3779b9u * (i + 1);
+    options.sampling.iterations = iterations;
+    options.execution.mode = ParallelMode::kInnerLoop;
+    options.execution.threads = ctx.threads;
+    options.sampling.seed = ctx.seed + 0x9e3779b9u * (i + 1);
     const double estimate = count_template(big, trees[i], options).estimate;
     big_errors.push_back(relative_error(estimate, big_growth.counts[i]));
   }

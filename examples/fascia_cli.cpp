@@ -15,6 +15,9 @@
 #include "core/extract.hpp"
 #include "core/mixed_counter.hpp"
 #include "core/triangle.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
 #include "treelet/catalog.hpp"
@@ -124,6 +127,14 @@ int main(int argc, char** argv) {
   cli.add_option("checkpoint", "checkpoint file for save/resume", "");
   cli.add_option("checkpoint-every", "iterations between checkpoints", "16");
   cli.add_flag("resume", "resume from --checkpoint if it exists");
+  cli.add_option("report",
+                 "write the machine-readable RunReport (JSON) to this file",
+                 "");
+  cli.add_option("trace",
+                 "write a Chrome trace_event JSON (chrome://tracing) to "
+                 "this file",
+                 "");
+  cli.add_flag("obs", "enable observability (implied by --report/--trace)");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -141,15 +152,15 @@ int main(int argc, char** argv) {
                 static_cast<long long>(graph.max_degree()));
 
     CountOptions options;
-    options.iterations = static_cast<int>(cli.integer("iterations"));
-    options.num_colors = static_cast<int>(cli.integer("colors"));
-    options.table = parse_table(cli.str("table"));
-    options.partition = parse_partition(cli.str("partition"));
-    options.mode = parse_mode(cli.str("mode"));
-    options.reorder = parse_reorder_mode(cli.str("reorder"));
-    options.outer_copies = static_cast<int>(cli.integer("outer-copies"));
-    options.num_threads = static_cast<int>(cli.integer("threads"));
-    options.seed = seed;
+    options.sampling.iterations = static_cast<int>(cli.integer("iterations"));
+    options.sampling.num_colors = static_cast<int>(cli.integer("colors"));
+    options.execution.table = parse_table(cli.str("table"));
+    options.execution.partition = parse_partition(cli.str("partition"));
+    options.execution.mode = parse_mode(cli.str("mode"));
+    options.execution.reorder = parse_reorder_mode(cli.str("reorder"));
+    options.execution.outer_copies = static_cast<int>(cli.integer("outer-copies"));
+    options.execution.threads = static_cast<int>(cli.integer("threads"));
+    options.sampling.seed = seed;
     options.run.deadline_seconds = cli.real("deadline");
     options.run.memory_budget_bytes =
         static_cast<std::size_t>(cli.integer("mem-budget-mb")) * 1024 * 1024;
@@ -158,6 +169,11 @@ int main(int argc, char** argv) {
         static_cast<int>(cli.integer("checkpoint-every"));
     options.run.resume = cli.flag("resume");
     options.run.cancel = &g_cancel;
+    const std::string report_path = cli.str("report");
+    const std::string trace_path = cli.str("trace");
+    options.observability.enabled =
+        cli.flag("obs") || !report_path.empty() || !trace_path.empty();
+    if (options.observability.enabled) obs::set_enabled(true);
     std::signal(SIGINT, handle_sigint);
 
     // Template files may contain trees OR triangle-block templates; the
@@ -221,9 +237,9 @@ int main(int argc, char** argv) {
                          TablePrinter::num(static_cast<long long>(
                              result.layout.inner_threads)) +
                          " inner"});
-      if (cli.flag("verbose") && options.reorder != ReorderMode::kNone) {
+      if (cli.flag("verbose") && options.execution.reorder != ReorderMode::kNone) {
         table.add_row({"reorder mode",
-                       reorder_mode_name(options.reorder)});
+                       reorder_mode_name(options.execution.reorder)});
         table.add_row({"avg neighbor-id gap",
                        TablePrinter::num(result.reorder_gap_before, 1) +
                            " -> " +
@@ -234,6 +250,18 @@ int main(int argc, char** argv) {
     }
     if (is_tree) add_run_report_rows(table, result.run);
     table.print();
+
+    if (!report_path.empty() && result.report) {
+      result.report->write(report_path);
+      std::printf("\nrun report: %s\n", report_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      obs::write_chrome_trace(trace_path);
+      std::printf("trace (%llu events%s): %s\n",
+                  static_cast<unsigned long long>(obs::trace_recorded()),
+                  obs::trace_dropped() > 0 ? ", ring wrapped" : "",
+                  trace_path.c_str());
+    }
 
     const auto how_many = static_cast<std::size_t>(cli.integer("enumerate"));
     if (how_many > 0 && is_tree) {

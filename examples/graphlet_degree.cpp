@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
   const int orbit = u52_central_vertex();  // the degree-3 vertex
 
   CountOptions options;
-  options.iterations = static_cast<int>(cli.integer("iterations"));
-  options.seed = seed;
+  options.sampling.iterations = static_cast<int>(cli.integer("iterations"));
+  options.sampling.seed = seed;
 
   const Graph ecoli = make_dataset("ecoli", 1.0, seed);
   const CountResult result = graphlet_degrees(ecoli, tmpl, orbit, options);

@@ -44,9 +44,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(random_graph.num_edges()));
 
   CountOptions options;
-  options.iterations = static_cast<int>(cli.integer("iterations"));
-  options.seed = seed;
-  options.batch_engine = cli.flag("batch");
+  options.sampling.iterations = static_cast<int>(cli.integer("iterations"));
+  options.sampling.seed = seed;
+  options.execution.batch_engine = cli.flag("batch");
   const MotifProfile real = count_all_treelets(network, k, options);
   const MotifProfile null_model = count_all_treelets(random_graph, k, options);
 

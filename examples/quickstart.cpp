@@ -35,8 +35,8 @@ int main() {
   // 3. Count.  Each iteration randomly colors the graph and runs the
   //    color-coding DP; more iterations -> lower variance.
   CountOptions options;
-  options.iterations = 200;
-  options.seed = 7;
+  options.sampling.iterations = 200;
+  options.sampling.seed = 7;
   const CountResult result = count_template(graph, tmpl, options);
 
   std::printf("estimated non-induced occurrences: %.4e\n", result.estimate);
@@ -47,7 +47,7 @@ int main() {
               result.num_subtemplates, result.max_live_tables);
   std::printf("  total time: %.3f s (%.2f ms / iteration)\n",
               result.seconds_total,
-              1e3 * result.seconds_total / options.iterations);
+              1e3 * result.seconds_total / options.sampling.iterations);
 
   // The graph is small enough to verify against the exact count.
   const double exact = exact::count_embeddings(graph, tmpl);

@@ -33,11 +33,11 @@ MotifSignificance motif_significance(const Graph& graph, int k,
   for (int member = 0; member < ensemble_size; ++member) {
     const Graph randomized = rewire_preserving_degrees(
         graph, swaps_per_edge,
-        options.seed + 0xa24baed4963ee407ULL *
+        options.sampling.seed + 0xa24baed4963ee407ULL *
                            static_cast<std::uint64_t>(member + 1));
     CountOptions member_options = options;
-    member_options.seed =
-        options.seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(member + 1);
+    member_options.sampling.seed =
+        options.sampling.seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(member + 1);
     const MotifProfile random_profile =
         count_all_treelets(randomized, k, member_options);
     for (std::size_t i = 0; i < samples.size(); ++i) {

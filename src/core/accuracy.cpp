@@ -47,12 +47,12 @@ AdaptiveResult adaptive_count(const Graph& graph, const TreeTemplate& tmpl,
   // and the result is deterministic in (options.seed, batch schedule).
   int done = 0;
   int batch_index = 0;
-  const std::uint64_t base_seed = options.seed;
+  const std::uint64_t base_seed = options.sampling.seed;
   while (done < max_iterations) {
     const int batch = std::min(batch_size, max_iterations - done);
     CountOptions batch_options = options;
-    batch_options.iterations = batch;
-    batch_options.seed =
+    batch_options.sampling.iterations = batch;
+    batch_options.sampling.seed =
         base_seed + 0x9e3779b97f4a7c15ULL *
                         static_cast<std::uint64_t>(batch_index + 1);
     const CountResult part = count_template(graph, tmpl, batch_options);

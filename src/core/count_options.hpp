@@ -1,8 +1,27 @@
 #pragma once
 // Options and results for the FASCIA counter (Alg. 1 + 2).
+//
+// CountOptions groups its knobs into three sub-structs —
+// SamplingOptions (how many samples, how biased), ExecutionOptions
+// (how the DP runs), ObservabilityOptions (what gets recorded) — plus
+// the RunControls resilience block.  The pre-grouping flat field
+// spellings (`options.iterations`, `options.table`, ...) still compile
+// as deprecated write-through aliases for one release; docs/API.md has
+// the migration table.  Prefer the fluent builder:
+//
+//   auto options = CountOptions::builder()
+//                      .iterations(16).threads(8)
+//                      .mode(ParallelMode::kHybrid).outer_copies(2)
+//                      .build();   // build() validates
+//
+// validate() rejects incoherent combinations (outer_copies without
+// kHybrid, resume without a checkpoint path, ...) with the structured
+// Error taxonomy (util/error.hpp, kind kUsage) instead of silently
+// clamping.
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dp/count_table.hpp"
@@ -37,7 +56,8 @@ struct ThreadLayout {
   int inner_threads = 1;
 };
 
-struct CountOptions {
+/// How many samples to draw and how they are colored.
+struct SamplingOptions {
   /// Iterations of (random coloring + DP); Alg. 1 line 2 gives the
   /// theoretical e^k·log(1/δ)/ε² bound, but "the number necessary in
   /// practice is far lower" (§III-A) — Fig. 10 shows <1 % error after 3.
@@ -48,6 +68,14 @@ struct CountOptions {
   /// tables.
   int num_colors = 0;
 
+  /// Counter-mode RNG seed: iteration i's coloring depends only on
+  /// (seed, i), which is what makes checkpoint/resume bit-identical.
+  std::uint64_t seed = 1;
+};
+
+/// How the dynamic program executes: table layout, partition, thread
+/// scheduling, locality.
+struct ExecutionOptions {
   TableKind table = TableKind::kCompact;
   PartitionStrategy partition = PartitionStrategy::kOneAtATime;
 
@@ -57,7 +85,7 @@ struct CountOptions {
   ParallelMode mode = ParallelMode::kInnerLoop;
 
   /// OpenMP threads; 0 = runtime default.
-  int num_threads = 0;
+  int threads = 0;
 
   /// Locality pass applied to the graph before counting (graph/
   /// reorder.hpp).  Estimates are bit-identical under any mode —
@@ -66,23 +94,15 @@ struct CountOptions {
   /// excluded from checkpoint fingerprints: a run may resume under a
   /// different reorder mode.  Honored by count_template,
   /// graphlet_degrees, and the extraction routines; count_triangles
-  /// and non-tree count_mixed_template ignore it.
+  /// and non-tree count_mixed_template reject a non-default value
+  /// with a usage error (they never reorder — see validate()).
   ReorderMode reorder = ReorderMode::kNone;
 
   /// Hybrid mode only: force this many outer engine copies instead of
-  /// letting the cost model choose (0 = model decides).  Clamped to
-  /// [1, threads]; inner_threads become threads / outer_copies.
+  /// letting the cost model choose (0 = model decides).  validate()
+  /// rejects a nonzero value under any other mode, and values outside
+  /// [1, threads] when threads is pinned.
   int outer_copies = 0;
-
-  std::uint64_t seed = 1;
-
-  /// Template root override (-1 = strategy default).  Graphlet-degree
-  /// runs must root the template at the orbit vertex.
-  int root = -1;
-
-  /// Collect per-vertex rooted counts (graphlet degrees at the orbit
-  /// of the root), averaged across iterations.
-  bool per_vertex = false;
 
   /// Route count_all_treelets through the sched batch engine
   /// (sched::run_batch): every template of the profile shares one
@@ -98,15 +118,279 @@ struct CountOptions {
   /// benchmarking, so it is deliberately excluded from checkpoint
   /// fingerprints.
   bool reference_kernels = false;
+};
+
+/// What the run records about itself (DESIGN.md §10).  Metrics and
+/// trace spans are additionally gated on the process-global switch
+/// (FASCIA_OBS=1 or obs::set_enabled) so release binaries pay one
+/// predictable branch when everything is off.
+struct ObservabilityOptions {
+  /// Force the global observability switch on for the duration of
+  /// this run (equivalent to FASCIA_OBS=1).
+  bool enabled = false;
+
+  /// Collect per-DP-stage detail (kernel kind, candidates, survivors,
+  /// MACs, wall time) into the result's RunReport.  On by default;
+  /// stage collection only happens when observability is on, so the
+  /// off path stays free.
+  bool collect_stages = true;
+
+  /// Free-form label stamped into the RunReport ("nightly-k7", ...).
+  std::string label;
+};
+
+namespace detail {
+
+/// Write-through alias for a relocated option field: reads and writes
+/// forward to the new grouped location, so old spellings keep their
+/// exact semantics during the deprecation window.
+template <class T>
+class OptionAlias {
+ public:
+  explicit constexpr OptionAlias(T& target) noexcept : target_(target) {}
+
+  OptionAlias(const OptionAlias&) = delete;
+  OptionAlias& operator=(const OptionAlias&) = delete;
+
+  OptionAlias& operator=(const T& value) {
+    target_ = value;
+    return *this;
+  }
+  OptionAlias& operator=(T&& value) {
+    target_ = std::move(value);
+    return *this;
+  }
+
+  constexpr operator T&() noexcept { return target_; }
+  constexpr operator const T&() const noexcept { return target_; }
+
+ private:
+  T& target_;
+};
+
+}  // namespace detail
+
+struct CountOptions {
+  SamplingOptions sampling;
+  ExecutionOptions execution;
+  ObservabilityOptions observability;
 
   /// Resilience controls (deadline, memory budget, cancellation,
   /// checkpoint/resume).  Inert by default; see run/controls.hpp.
+  /// Prefer builder().checkpoint(path) / .resume_from(path) over
+  /// poking the fields directly.
   RunControls run;
+
+  /// Template root override (-1 = strategy default).  Graphlet-degree
+  /// runs root the template at the orbit vertex.
+  int root = -1;
+
+  /// Collect per-vertex rooted counts (graphlet degrees at the orbit
+  /// of the root), averaged across iterations.
+  bool per_vertex = false;
+
+  /// Rejects incoherent combinations with Error(kUsage):
+  /// outer_copies without kHybrid (or out of range), negative thread
+  /// counts, resume without a checkpoint path, a checkpoint path with
+  /// a non-positive interval.  Called by every entry point and by
+  /// builder().build().
+  void validate() const;
+
+  class Builder;
+  [[nodiscard]] static Builder builder();
+
+  // ---- deprecated flat spellings (one-release migration window) -----------
+  // The aliases write through to the grouped fields above, so mixing
+  // old and new spellings on the same object stays coherent.  They are
+  // rebound in the copy/move members: an alias always refers to its
+  // own object's storage, never the source's.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  [[deprecated("use sampling.iterations")]] detail::OptionAlias<int>
+      iterations{sampling.iterations};
+  [[deprecated("use sampling.num_colors")]] detail::OptionAlias<int>
+      num_colors{sampling.num_colors};
+  [[deprecated("use sampling.seed")]] detail::OptionAlias<std::uint64_t> seed{
+      sampling.seed};
+  [[deprecated("use execution.table")]] detail::OptionAlias<TableKind> table{
+      execution.table};
+  [[deprecated("use execution.partition")]] detail::OptionAlias<
+      PartitionStrategy>
+      partition{execution.partition};
+  [[deprecated("use execution.share_tables")]] detail::OptionAlias<bool>
+      share_tables{execution.share_tables};
+  [[deprecated("use execution.mode")]] detail::OptionAlias<ParallelMode> mode{
+      execution.mode};
+  [[deprecated("use execution.threads")]] detail::OptionAlias<int> num_threads{
+      execution.threads};
+  [[deprecated("use execution.reorder")]] detail::OptionAlias<ReorderMode>
+      reorder{execution.reorder};
+  [[deprecated("use execution.outer_copies")]] detail::OptionAlias<int>
+      outer_copies{execution.outer_copies};
+  [[deprecated("use execution.batch_engine")]] detail::OptionAlias<bool>
+      batch_engine{execution.batch_engine};
+  [[deprecated("use execution.reference_kernels")]] detail::OptionAlias<bool>
+      reference_kernels{execution.reference_kernels};
+
+  CountOptions() {}
+  ~CountOptions() = default;
+  CountOptions(const CountOptions& other)
+      : sampling(other.sampling),
+        execution(other.execution),
+        observability(other.observability),
+        run(other.run),
+        root(other.root),
+        per_vertex(other.per_vertex) {}
+  CountOptions(CountOptions&& other) noexcept
+      : sampling(other.sampling),
+        execution(other.execution),
+        observability(std::move(other.observability)),
+        run(std::move(other.run)),
+        root(other.root),
+        per_vertex(other.per_vertex) {}
+  CountOptions& operator=(const CountOptions& other) {
+    sampling = other.sampling;
+    execution = other.execution;
+    observability = other.observability;
+    run = other.run;
+    root = other.root;
+    per_vertex = other.per_vertex;
+    return *this;
+  }
+  CountOptions& operator=(CountOptions&& other) noexcept {
+    sampling = other.sampling;
+    execution = other.execution;
+    observability = std::move(other.observability);
+    run = std::move(other.run);
+    root = other.root;
+    per_vertex = other.per_vertex;
+    return *this;
+  }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 };
 
-struct CountResult {
-  /// Mean of the per-iteration unbiased estimates (Alg. 1 line 7).
-  double estimate = 0.0;
+/// Fluent construction; build() validates.  Setter order is free.
+class CountOptions::Builder {
+ public:
+  Builder& iterations(int n) {
+    opts_.sampling.iterations = n;
+    return *this;
+  }
+  Builder& colors(int n) {
+    opts_.sampling.num_colors = n;
+    return *this;
+  }
+  Builder& seed(std::uint64_t s) {
+    opts_.sampling.seed = s;
+    return *this;
+  }
+  Builder& table(TableKind kind) {
+    opts_.execution.table = kind;
+    return *this;
+  }
+  Builder& partition(PartitionStrategy strategy) {
+    opts_.execution.partition = strategy;
+    return *this;
+  }
+  Builder& share_tables(bool on) {
+    opts_.execution.share_tables = on;
+    return *this;
+  }
+  Builder& mode(ParallelMode m) {
+    opts_.execution.mode = m;
+    return *this;
+  }
+  Builder& threads(int n) {
+    opts_.execution.threads = n;
+    return *this;
+  }
+  Builder& reorder(ReorderMode m) {
+    opts_.execution.reorder = m;
+    return *this;
+  }
+  Builder& outer_copies(int n) {
+    opts_.execution.outer_copies = n;
+    return *this;
+  }
+  Builder& batch_engine(bool on) {
+    opts_.execution.batch_engine = on;
+    return *this;
+  }
+  Builder& reference_kernels(bool on) {
+    opts_.execution.reference_kernels = on;
+    return *this;
+  }
+  Builder& root(int vertex) {
+    opts_.root = vertex;
+    return *this;
+  }
+  Builder& per_vertex(bool on) {
+    opts_.per_vertex = on;
+    return *this;
+  }
+  Builder& deadline(double seconds) {
+    opts_.run.deadline_seconds = seconds;
+    return *this;
+  }
+  Builder& memory_budget(std::size_t bytes) {
+    opts_.run.memory_budget_bytes = bytes;
+    return *this;
+  }
+  Builder& cancel_flag(const std::atomic<bool>* flag) {
+    opts_.run.cancel = flag;
+    return *this;
+  }
+  /// Write checkpoints to `path` every `every` completed iterations.
+  Builder& checkpoint(std::string path, int every = 16) {
+    opts_.run.checkpoint_path = std::move(path);
+    opts_.run.checkpoint_every = every;
+    return *this;
+  }
+  /// Resume from `path` when it holds a matching checkpoint (and keep
+  /// checkpointing there) — the one-stop replacement for the old
+  /// "set checkpoint_path + resume" pair.
+  Builder& resume_from(std::string path) {
+    opts_.run.checkpoint_path = std::move(path);
+    opts_.run.resume = true;
+    return *this;
+  }
+  Builder& observability(bool on) {
+    opts_.observability.enabled = on;
+    return *this;
+  }
+  Builder& collect_stages(bool on) {
+    opts_.observability.collect_stages = on;
+    return *this;
+  }
+  Builder& label(std::string text) {
+    opts_.observability.label = std::move(text);
+    return *this;
+  }
+
+  /// Validates (Error, kind kUsage on incoherent combinations) and
+  /// returns the finished options.
+  [[nodiscard]] CountOptions build() const {
+    opts_.validate();
+    return opts_;
+  }
+
+ private:
+  CountOptions opts_;
+};
+
+inline CountOptions::Builder CountOptions::builder() { return Builder(); }
+
+/// Reject a reorder request on an entry point that never reorders
+/// (count_triangles, non-tree count_mixed_template) with Error(kUsage).
+void reject_unsupported_reorder(const CountOptions& options, const char* api);
+
+struct CountResult : RunOutcome {
+  // RunOutcome provides: estimate, relative_stderr, run (RunReport),
+  // report (obs::RunReport), status(), ok().
 
   /// Unbiased estimate from each iteration.
   std::vector<double> per_iteration;
@@ -142,12 +426,6 @@ struct CountResult {
   /// Estimate after the first i+1 iterations (prefix means) — the
   /// error-vs-iterations curves of Figs. 10-11 read these.
   [[nodiscard]] std::vector<double> running_estimates() const;
-
-  /// What the resilient run layer did: final status, completed
-  /// iteration prefix, degradations, checkpoint activity.  For a run
-  /// with inert RunControls this is kCompleted with completed ==
-  /// requested iterations.
-  RunReport run;
 };
 
 }  // namespace fascia

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <exception>
+#include <functional>
+#include <memory>
 #include <stdexcept>
 
 #ifdef _OPENMP
@@ -15,6 +17,9 @@
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "run/checkpoint.hpp"
 #include "run/guard.hpp"
 #include "run/memory.hpp"
@@ -33,6 +38,29 @@ namespace {
 using detail::iteration_seed;
 using detail::random_coloring;
 using detail::random_coloring_permuted;
+
+// ---- registry instruments (DESIGN.md §10) -------------------------------
+
+const obs::Metric& colorings_metric() {
+  static const obs::Metric m("count.colorings",
+                             obs::InstrumentKind::kCounter);
+  return m;
+}
+const obs::Metric& iteration_seconds_metric() {
+  static const obs::Metric m("run.iteration.seconds",
+                             obs::InstrumentKind::kTimeHistogram);
+  return m;
+}
+const obs::Metric& run_seconds_metric() {
+  static const obs::Metric m("run.seconds",
+                             obs::InstrumentKind::kTimeHistogram);
+  return m;
+}
+const obs::Metric& peak_bytes_metric() {
+  static const obs::Metric m("run.peak_table_bytes",
+                             obs::InstrumentKind::kGauge);
+  return m;
+}
 
 /// out[map[i]] = src[i]: scatters a vertex-indexed array through a
 /// permutation direction.  With map = to_old this converts reordered
@@ -71,12 +99,13 @@ void validate(const Graph& graph, const TreeTemplate& tmpl,
   if (k > kMaxTemplateSize) {
     throw std::invalid_argument("count_template: too many colors");
   }
-  if (options.iterations < 1) {
+  if (options.sampling.iterations < 1) {
     throw std::invalid_argument("count_template: iterations must be >= 1");
   }
   if (options.root < -1 || options.root >= tmpl.size()) {
     throw std::invalid_argument("count_template: root out of range");
   }
+  options.validate();  // new grouped-options coherence checks (kUsage)
 }
 
 /// Configuration resolved by the run layer before table-type dispatch:
@@ -96,27 +125,29 @@ ResilientSetup resolve_setup(const Graph& graph, const TreeTemplate& tmpl,
   validate(graph, tmpl, options, k);
 
   ResilientSetup setup;
-  setup.table = options.table;
-  setup.report.requested_iterations = options.iterations;
+  setup.table = options.execution.table;
+  setup.report.requested_iterations = options.sampling.iterations;
 
   if (options.run.memory_budget_bytes > 0) {
-    const PartitionTree partition = partition_template(
-        tmpl, options.partition, options.share_tables, options.root);
+    const PartitionTree partition =
+        partition_template(tmpl, options.execution.partition,
+                           options.execution.share_tables, options.root);
     // Hybrid plans for the worst case (all threads as outer copies);
     // the layout chooser then respects the plan's engine-copy cap.
-    const int copies = options.mode == ParallelMode::kOuterLoop ||
-                               options.mode == ParallelMode::kHybrid
-                           ? resolve_threads(options.num_threads)
+    const int copies = options.execution.mode == ParallelMode::kOuterLoop ||
+                               options.execution.mode == ParallelMode::kHybrid
+                           ? resolve_threads(options.execution.threads)
                            : 1;
     // copies x threads_per_copy never exceeds the pool: hybrid plans
     // the outer corner and real layouts only trade copies for sweep
     // threads, so the workspace total is a valid upper bound.
-    const int threads_per_copy = options.mode == ParallelMode::kInnerLoop
-                                     ? resolve_threads(options.num_threads)
-                                     : 1;
+    const int threads_per_copy =
+        options.execution.mode == ParallelMode::kInnerLoop
+            ? resolve_threads(options.execution.threads)
+            : 1;
     const run::MemoryPlan plan = run::plan_memory(
         partition, k, graph.num_vertices(), graph.has_labels(),
-        options.table, copies, options.run.memory_budget_bytes,
+        options.execution.table, copies, options.run.memory_budget_bytes,
         threads_per_copy);
     setup.table = plan.table;
     setup.engine_copies = plan.engine_copies;
@@ -137,18 +168,109 @@ ResilientSetup resolve_setup(const Graph& graph, const TreeTemplate& tmpl,
   fp = run::fingerprint_mix(fp,
                             static_cast<std::uint64_t>(graph.num_vertices()));
   fp = run::fingerprint_mix(fp, static_cast<std::uint64_t>(graph.num_edges()));
-  fp = run::fingerprint_mix(fp, options.seed);
+  fp = run::fingerprint_mix(fp, options.sampling.seed);
   fp = run::fingerprint_mix(fp, static_cast<std::uint64_t>(k));
   fp = run::fingerprint_mix(fp, static_cast<std::uint64_t>(options.root + 1));
   fp = run::fingerprint_mix(
-      fp, static_cast<std::uint64_t>(options.partition));
-  fp = run::fingerprint_mix(fp,
-                            static_cast<std::uint64_t>(options.share_tables));
+      fp, static_cast<std::uint64_t>(options.execution.partition));
+  fp = run::fingerprint_mix(
+      fp, static_cast<std::uint64_t>(options.execution.share_tables));
   fp = run::fingerprint_mix(fp,
                             static_cast<std::uint64_t>(options.per_vertex));
   fp = run::fingerprint_mix(fp, static_cast<std::uint64_t>(setup.table));
   setup.fingerprint = fp;
   return setup;
+}
+
+std::string format_bool(bool value) { return value ? "true" : "false"; }
+
+/// The observability document for one count_template-family run.
+std::shared_ptr<const obs::RunReport> build_report(
+    const char* kind, const Graph& graph, const TreeTemplate& tmpl,
+    const CountOptions& options, int k, const CountResult& result,
+    std::vector<obs::ReportStage> stages) {
+  auto report = std::make_shared<obs::RunReport>();
+  report->kind = kind;
+  report->label = options.observability.label;
+
+  report->options = {
+      {"sampling.iterations", std::to_string(options.sampling.iterations)},
+      {"sampling.num_colors", std::to_string(k)},
+      {"sampling.seed", std::to_string(options.sampling.seed)},
+      {"execution.table", table_kind_name(options.execution.table)},
+      {"execution.partition",
+       options.execution.partition == PartitionStrategy::kOneAtATime
+           ? "one_at_a_time"
+           : "balanced"},
+      {"execution.share_tables", format_bool(options.execution.share_tables)},
+      {"execution.mode", parallel_mode_name(options.execution.mode)},
+      {"execution.threads", std::to_string(options.execution.threads)},
+      {"execution.reorder", reorder_mode_name(options.execution.reorder)},
+      {"execution.outer_copies",
+       std::to_string(options.execution.outer_copies)},
+      {"execution.reference_kernels",
+       format_bool(options.execution.reference_kernels)},
+      {"root", std::to_string(options.root)},
+      {"per_vertex", format_bool(options.per_vertex)},
+  };
+  if (options.run.active()) {
+    report->options.emplace_back(
+        "run.deadline_seconds", std::to_string(options.run.deadline_seconds));
+    report->options.emplace_back(
+        "run.memory_budget_bytes",
+        std::to_string(options.run.memory_budget_bytes));
+    report->options.emplace_back("run.checkpoint_path",
+                                 options.run.checkpoint_path);
+    report->options.emplace_back("run.resume",
+                                 format_bool(options.run.resume));
+  }
+
+  report->graph.vertices = static_cast<std::int64_t>(graph.num_vertices());
+  report->graph.edges = static_cast<std::int64_t>(graph.num_edges());
+  report->graph.max_degree = static_cast<std::int64_t>(graph.max_degree());
+  report->graph.labeled = graph.has_labels();
+
+  report->tmpl.vertices = tmpl.size();
+  report->tmpl.root = options.root;
+  report->tmpl.subtemplates = result.num_subtemplates;
+
+  report->sampling.requested_iterations = result.run.requested_iterations;
+  report->sampling.completed_iterations = result.run.completed_iterations;
+  report->sampling.num_colors = k;
+  report->sampling.seed = options.sampling.seed;
+  report->sampling.estimate = result.estimate;
+  report->sampling.relative_stderr = result.relative_stderr;
+  report->sampling.colorful_probability = result.colorful_probability;
+  report->sampling.automorphisms = result.automorphisms;
+  report->sampling.trajectory = result.running_estimates();
+
+  report->timing.total_seconds = result.seconds_total;
+  report->timing.reorder_seconds = result.reorder_seconds;
+  report->timing.per_iteration_seconds = result.seconds_per_iteration;
+
+  report->memory.planned_peak_bytes = result.run.estimated_peak_bytes;
+  report->memory.observed_peak_bytes = result.peak_table_bytes;
+  report->memory.table = table_kind_name(result.run.table_used);
+  report->memory.degradations = result.run.degradations;
+
+  report->threads.mode = parallel_mode_name(options.execution.mode);
+  report->threads.outer_copies = result.layout.outer_copies;
+  report->threads.inner_threads = result.layout.inner_threads;
+#ifdef _OPENMP
+  report->threads.omp_max_threads = omp_get_max_threads();
+#else
+  report->threads.omp_max_threads = 1;
+#endif
+
+  report->run.status = run_status_name(result.run.status);
+  report->run.resumed = result.run.resumed;
+  report->run.resumed_iterations = result.run.resumed_iterations;
+  report->run.resume_rejected = result.run.resume_rejected;
+  report->run.checkpoints_written = result.run.checkpoints_written;
+  report->run.checkpoint_failures = result.run.checkpoint_failures;
+
+  report->stages = std::move(stages);
+  return report;
 }
 
 /// The full Alg. 1 loop for a concrete table type, instrumented with
@@ -168,9 +290,11 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
                       const Permutation* perm) {
   const int k = effective_colors(tmpl, options);
   validate(graph, tmpl, options, k);
+  FASCIA_TRACE("count.run", tmpl.size(), k, Table::kName);
 
-  const PartitionTree partition = partition_template(
-      tmpl, options.partition, options.share_tables, options.root);
+  const PartitionTree partition =
+      partition_template(tmpl, options.execution.partition,
+                         options.execution.share_tables, options.root);
 
   CountResult result;
   result.run = setup.report;
@@ -199,7 +323,13 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
   const int checkpoint_every = std::max(1, controls.checkpoint_every);
   RunGuard guard(controls);
 
-  const int iterations = options.iterations;
+  // Per-stage detail for the RunReport: collected only when
+  // observability is live (the off path must stay free).
+  const bool obs_on = obs::enabled();
+  const bool collect_stages = obs_on && options.observability.collect_stages;
+  std::vector<DpStageStats> all_stage_stats;
+
+  const int iterations = options.sampling.iterations;
   result.per_iteration.assign(static_cast<std::size_t>(iterations), 0.0);
   result.seconds_per_iteration.assign(static_cast<std::size_t>(iterations),
                                       0.0);
@@ -211,7 +341,7 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
   // prefix, but per-vertex sums cannot be un-merged per iteration —
   // demote to inner parallelism, whose accumulation is exact per
   // iteration.  (Estimates are mode-independent by construction.)
-  ParallelMode mode = options.mode;
+  ParallelMode mode = options.execution.mode;
   if (controlled && options.per_vertex &&
       (mode == ParallelMode::kOuterLoop || mode == ParallelMode::kHybrid)) {
     result.run.degradations.push_back(
@@ -220,7 +350,7 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
     mode = ParallelMode::kInnerLoop;
   }
   const bool hybrid = mode == ParallelMode::kHybrid;
-  int threads = resolve_threads(options.num_threads);
+  int threads = resolve_threads(options.execution.threads);
   if (mode == ParallelMode::kOuterLoop && setup.engine_copies > 0) {
     threads = std::min(threads, setup.engine_copies);
   }
@@ -295,9 +425,10 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
   };
 
   const auto save_checkpoint = [&]() {
+    FASCIA_TRACE("checkpoint.save", prefix);
     run::Checkpoint ck;
     ck.kind = run::Checkpoint::kKindCount;
-    ck.seed = options.seed;
+    ck.seed = options.sampling.seed;
     ck.num_colors = static_cast<std::uint32_t>(k);
     ck.fingerprint = setup.fingerprint;
     ck.iterations_done = static_cast<std::uint32_t>(prefix);
@@ -326,7 +457,8 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
   // frontier lists are graph-global, so outer mode builds them once
   // instead of once per thread.
   DpEngineOptions engine_opts;
-  engine_opts.reference_kernels = options.reference_kernels;
+  engine_opts.reference_kernels = options.execution.reference_kernels;
+  engine_opts.collect_stats = collect_stages;
   if (graph.has_labels()) {
     engine_opts.label_frontiers = LabelFrontiers::build(graph);
   }
@@ -335,7 +467,8 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
   // ORIGINAL id order; under reorder the stream scatters through the
   // permutation, so estimates match the unreordered run bit for bit.
   const auto make_colors = [&](int iter) {
-    const std::uint64_t iter_seed = iteration_seed(options.seed, iter);
+    colorings_metric().add();
+    const std::uint64_t iter_seed = iteration_seed(options.sampling.seed, iter);
     return perm != nullptr
                ? random_coloring_permuted(k, iter_seed, perm->to_new)
                : random_coloring(graph, k, iter_seed);
@@ -364,6 +497,7 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
         if (fault::fire("run.crash")) throw fault::Injected("run.crash");
         WallTimer timer;
         try {
+          FASCIA_TRACE("iteration", iter);
           const ColorArray colors = make_colors(iter);
           const double raw =
               engine.run(colors, threads > 1,
@@ -371,8 +505,10 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
           if (!guard.stopped()) {
             result.per_iteration[static_cast<std::size_t>(iter)] =
                 raw * scale;
+            const double secs = timer.elapsed_s();
             result.seconds_per_iteration[static_cast<std::size_t>(iter)] =
-                timer.elapsed_s();
+                secs;
+            iteration_seconds_metric().observe(secs);
             completed[static_cast<std::size_t>(iter)] = 1;
             ++resume_at;
           }
@@ -392,6 +528,10 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
           occupancy = std::clamp(
               sum / static_cast<double>(stats.size()), 0.0, 1.0);
         }
+        if (collect_stages) {
+          all_stage_stats.insert(all_stage_stats.end(), stats.begin(),
+                                 stats.end());
+        }
       }
       advance_prefix();
       if (checkpointing && prefix - last_saved >= checkpoint_every) {
@@ -407,7 +547,7 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
           partition, k, graph.num_vertices(), setup.table,
           graph.has_labels());
       inputs.memory_budget_bytes = controls.memory_budget_bytes;
-      inputs.forced_outer_copies = options.outer_copies;
+      inputs.forced_outer_copies = options.execution.outer_copies;
       layout = choose_layout(inputs);
       if (setup.engine_copies > 0 &&
           layout.outer_copies > setup.engine_copies) {
@@ -459,6 +599,7 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
             if (guard.poll()) continue;
             WallTimer timer;
             try {
+              FASCIA_TRACE("iteration", iter);
               const ColorArray colors = make_colors(iter);
               const double raw =
                   engine.run(colors, parallel_inner,
@@ -466,8 +607,10 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
               if (!guard.stopped()) {
                 result.per_iteration[static_cast<std::size_t>(iter)] =
                     raw * scale;
+                const double secs = timer.elapsed_s();
                 result.seconds_per_iteration[static_cast<std::size_t>(
-                    iter)] = timer.elapsed_s();
+                    iter)] = secs;
+                iteration_seconds_metric().observe(secs);
                 completed[static_cast<std::size_t>(iter)] = 1;
               }
             } catch (const std::bad_alloc&) {
@@ -494,6 +637,14 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
               vertex_accumulator[v] += local_vertex[v];
             }
           }
+          if (collect_stages) {
+#ifdef _OPENMP
+#pragma omp critical(fascia_stage_merge)
+#endif
+            all_stage_stats.insert(all_stage_stats.end(),
+                                   engine.stage_stats().begin(),
+                                   engine.stage_stats().end());
+          }
         }
         advance_prefix();
         if (checkpointing && prefix > last_saved) save_checkpoint();
@@ -508,14 +659,16 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
         if (fault::fire("run.crash")) throw fault::Injected("run.crash");
         WallTimer timer;
         try {
+          FASCIA_TRACE("iteration", iter);
           const ColorArray colors = make_colors(iter);
           const double raw = engine.run(
               colors, parallel_inner,
               options.per_vertex ? &vertex_accumulator : nullptr);
           if (guard.stopped()) break;  // aborted mid-pass: discard
           result.per_iteration[static_cast<std::size_t>(iter)] = raw * scale;
-          result.seconds_per_iteration[static_cast<std::size_t>(iter)] =
-              timer.elapsed_s();
+          const double secs = timer.elapsed_s();
+          result.seconds_per_iteration[static_cast<std::size_t>(iter)] = secs;
+          iteration_seconds_metric().observe(secs);
           completed[static_cast<std::size_t>(iter)] = 1;
         } catch (const std::bad_alloc&) {
           guard.stop(RunStatus::kMemDegraded);
@@ -530,12 +683,19 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
           save_checkpoint();
         }
       }
+      if (collect_stages) {
+        all_stage_stats.insert(all_stage_stats.end(),
+                               engine.stage_stats().begin(),
+                               engine.stage_stats().end());
+      }
     }
   }
   advance_prefix();
 
   result.peak_table_bytes = peak_bytes;
   result.seconds_total = total_timer.elapsed_s();
+  run_seconds_metric().observe(result.seconds_total);
+  peak_bytes_metric().set(static_cast<double>(peak_bytes));
 
   // Honest partial result: the estimate covers exactly the contiguous
   // completed prefix (stragglers past a gap are discarded — they are
@@ -546,6 +706,7 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
     result.seconds_per_iteration.resize(static_cast<std::size_t>(prefix));
   }
   result.estimate = mean(result.per_iteration);
+  result.relative_stderr = relative_mean_stderr(result.per_iteration);
   if (options.per_vertex) {
     result.vertex_counts.assign(n, 0.0);
     const double denominator = prefix > 0 ? static_cast<double>(prefix) : 1.0;
@@ -567,6 +728,11 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
   } else {
     result.run.status = RunStatus::kCompleted;
   }
+
+  std::vector<obs::ReportStage> stages;
+  merge_stage_stats(all_stage_stats, Table::kName, &stages);
+  result.report = build_report("count_template", graph, tmpl, options, k,
+                               result, std::move(stages));
   return result;
 }
 
@@ -585,15 +751,26 @@ CountResult dispatch_count(const Graph& graph, const TreeTemplate& tmpl,
   throw internal_error("count_template: bad TableKind");
 }
 
+/// Clone-and-patch the attached report (it is shared as const).
+void patch_report(CountResult* result,
+                  const std::function<void(obs::RunReport&)>& edit) {
+  if (!result->report) return;
+  auto patched = std::make_shared<obs::RunReport>(*result->report);
+  edit(*patched);
+  result->report = std::move(patched);
+}
+
 }  // namespace
 
 int effective_colors(const TreeTemplate& tmpl, const CountOptions& options) {
-  return options.num_colors > 0 ? options.num_colors : tmpl.size();
+  return options.sampling.num_colors > 0 ? options.sampling.num_colors
+                                         : tmpl.size();
 }
 
 CountResult count_template(const Graph& graph, const TreeTemplate& tmpl,
                            const CountOptions& options) {
-  if (options.reorder == ReorderMode::kNone) {
+  if (options.observability.enabled) obs::set_enabled(true);
+  if (options.execution.reorder == ReorderMode::kNone) {
     return dispatch_count(graph, tmpl, options, nullptr);
   }
   // The locality pass runs once up front; everything downstream sees
@@ -601,13 +778,16 @@ CountResult count_template(const Graph& graph, const TreeTemplate& tmpl,
   // outputs stay keyed by original ids (run_count's perm plumbing), so
   // the estimate is bit-identical to the unreordered run.
   WallTimer timer;
-  const Permutation perm = reorder_permutation(graph, options.reorder);
+  const Permutation perm = reorder_permutation(graph, options.execution.reorder);
   const Graph reordered = apply_permutation(graph, perm);
   const double reorder_seconds = timer.elapsed_s();
   CountResult result = dispatch_count(reordered, tmpl, options, &perm);
   result.reorder_seconds = reorder_seconds;
   result.reorder_gap_before = avg_neighbor_gap(graph);
   result.reorder_gap_after = avg_neighbor_gap(reordered);
+  patch_report(&result, [&](obs::RunReport& report) {
+    report.timing.reorder_seconds = reorder_seconds;
+  });
   return result;
 }
 
@@ -615,7 +795,20 @@ CountResult graphlet_degrees(const Graph& graph, const TreeTemplate& tmpl,
                              int orbit_vertex, CountOptions options) {
   options.root = orbit_vertex;
   options.per_vertex = true;
-  return count_template(graph, tmpl, options);
+  CountResult result = count_template(graph, tmpl, options);
+  patch_report(&result,
+               [](obs::RunReport& report) { report.kind = "graphlet_degrees"; });
+  return result;
+}
+
+CountResult graphlet_degrees(const Graph& graph, const TreeTemplate& tmpl,
+                             const CountOptions& options) {
+  if (options.root < 0) {
+    throw usage_error(
+        "graphlet_degrees: options.root must name the orbit vertex "
+        "(builder().root(v))");
+  }
+  return graphlet_degrees(graph, tmpl, options.root, options);
 }
 
 std::vector<double> CountResult::running_estimates() const {

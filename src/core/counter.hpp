@@ -32,6 +32,11 @@ CountResult count_template(const Graph& graph, const TreeTemplate& tmpl,
 CountResult graphlet_degrees(const Graph& graph, const TreeTemplate& tmpl,
                              int orbit_vertex, CountOptions options = {});
 
+/// Unified-shape overload: the orbit vertex is `options.root` (set via
+/// builder().root(v)).  Throws Error(kUsage) when root is unset (-1).
+CountResult graphlet_degrees(const Graph& graph, const TreeTemplate& tmpl,
+                             const CountOptions& options);
+
 /// Resolved number of colors for an options/template pair.
 int effective_colors(const TreeTemplate& tmpl, const CountOptions& options);
 

@@ -42,6 +42,7 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <optional>
@@ -55,9 +56,13 @@
 #include "comb/split_table.hpp"
 #include "dp/count_table.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "run/guard.hpp"
 #include "treelet/partition.hpp"
 #include "treelet/tree_template.hpp"
+#include "util/mem_tracker.hpp"
 
 namespace fascia {
 
@@ -121,6 +126,98 @@ struct DpStageStats {
   std::uint64_t survivors = 0;   ///< nonzero rows committed (frontier out)
   std::uint64_t macs = 0;        ///< multiply-accumulates performed (fast path)
 };
+
+/// Human-readable kernel name for a DpStageStats::kernel tag.
+inline const char* dp_kernel_name(char kernel) noexcept {
+  switch (kernel) {
+    case 'P':
+      return "pair";
+    case 'A':
+      return "single_active";
+    case 'S':
+      return "single_passive";
+    case 'G':
+      return "general";
+  }
+  return "unknown";
+}
+
+/// Merge per-pass engine stats into one report entry per node:
+/// `passes` counts contributing colorings, the numeric columns
+/// accumulate.  Node order is partition order — deterministic across
+/// thread counts and modes.
+inline void merge_stage_stats(const std::vector<DpStageStats>& stats,
+                              const char* table_name,
+                              std::vector<obs::ReportStage>* out) {
+  for (const DpStageStats& stat : stats) {
+    obs::ReportStage* slot = nullptr;
+    for (obs::ReportStage& existing : *out) {
+      if (existing.node == stat.node) {
+        slot = &existing;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      out->emplace_back();
+      slot = &out->back();
+      slot->node = stat.node;
+      slot->kernel = dp_kernel_name(stat.kernel);
+      slot->table = table_name;
+      slot->parent_size = stat.parent_size;
+      slot->active_size = stat.active_size;
+    }
+    ++slot->passes;
+    slot->seconds += stat.seconds;
+    slot->candidates += static_cast<double>(stat.candidates);
+    slot->survivors += static_cast<double>(stat.survivors);
+    slot->macs += static_cast<double>(stat.macs);
+  }
+}
+
+namespace detail {
+
+/// Registry instruments for one computed stage pass (DESIGN.md §10).
+/// Callers gate on obs::enabled(); the handles are interned once.
+inline void record_stage_metrics(char kernel, double seconds,
+                                 std::uint64_t survivors,
+                                 std::int64_t num_vertices,
+                                 std::size_t table_bytes) {
+  using obs::InstrumentKind;
+  using obs::Metric;
+  static const Metric pair("dp.stage.pair", InstrumentKind::kCounter);
+  static const Metric active("dp.stage.single_active",
+                             InstrumentKind::kCounter);
+  static const Metric passive("dp.stage.single_passive",
+                              InstrumentKind::kCounter);
+  static const Metric general("dp.stage.general", InstrumentKind::kCounter);
+  static const Metric stage_seconds("dp.stage.seconds",
+                                    InstrumentKind::kTimeHistogram);
+  static const Metric occupancy("dp.frontier.occupancy",
+                                InstrumentKind::kValueHistogram);
+  static const Metric bytes("dp.table.bytes", InstrumentKind::kByteHistogram);
+  switch (kernel) {
+    case 'P':
+      pair.add();
+      break;
+    case 'A':
+      active.add();
+      break;
+    case 'S':
+      passive.add();
+      break;
+    default:
+      general.add();
+      break;
+  }
+  stage_seconds.observe(seconds);
+  if (num_vertices > 0) {
+    occupancy.observe(static_cast<double>(survivors) /
+                      static_cast<double>(num_vertices));
+  }
+  bytes.observe(static_cast<double>(table_bytes));
+}
+
+}  // namespace detail
 
 template <class Table>
 class DpEngine {
@@ -377,7 +474,20 @@ class DpEngine {
     stat.node = index;
     stat.parent_size = h;
     stat.active_size = a;
-    WallClock clock(opts_.collect_stats);
+    stat.kernel = h == 2 ? 'P' : a == 1 ? 'A' : p == 1 ? 'S' : 'G';
+    const bool obs_on = obs::enabled();
+    WallClock clock(opts_.collect_stats || obs_on);
+    // Span detail carries what the fixed args cannot: the table layout
+    // and the stage shape.  Built only when tracing is live.
+    char span_detail[obs::TraceEvent::kDetailCapacity];
+    span_detail[0] = '\0';
+    if (obs_on) {
+      std::snprintf(span_detail, sizeof(span_detail), "%s %s h=%d a=%d t=%d",
+                    dp_kernel_name(stat.kernel), Table::kName, h, a,
+                    parallel ? effective_inner_threads() : 1);
+    }
+    FASCIA_TRACE("dp.stage", index, static_cast<unsigned char>(stat.kernel),
+                 span_detail);
 
     std::vector<VertexId>& frontier_out =
         frontiers_[static_cast<std::size_t>(index)];
@@ -386,14 +496,12 @@ class DpEngine {
         opts_.reference_kernels ? nullptr : &frontier_out;
 
     if (h == 2) {
-      stat.kernel = 'P';
       if (opts_.reference_kernels) {
         kernel_pair_reference(*table, node, colors, parallel);
       } else {
         kernel_pair(*table, node, colors, parallel, frontier_sink, stat);
       }
     } else if (a == 1) {
-      stat.kernel = 'A';
       if (opts_.reference_kernels) {
         kernel_single_active_reference(*table, node, colors, parallel);
       } else {
@@ -401,7 +509,6 @@ class DpEngine {
                              frontier_sink, stat);
       }
     } else if (p == 1) {
-      stat.kernel = 'S';
       if (opts_.reference_kernels) {
         kernel_single_passive_reference(*table, node, colors, parallel);
       } else {
@@ -409,7 +516,6 @@ class DpEngine {
                               frontier_sink, stat);
       }
     } else {
-      stat.kernel = 'G';
       if (opts_.reference_kernels) {
         kernel_general_reference(*table, node, colors, parallel);
       } else {
@@ -417,13 +523,22 @@ class DpEngine {
                        stat);
       }
     }
+    // MemTracker::current() is an O(1) atomic read covering every live
+    // table; Table::bytes() can be an O(n) row scan (compact), far too
+    // slow to pay per stage just for a metric sample.
+    const std::size_t table_bytes = obs_on ? MemTracker::current() : 0;
     tables_[static_cast<std::size_t>(index)] = std::move(table);
+    if (opts_.reference_kernels) {
+      stat.candidates = static_cast<std::uint64_t>(graph_.num_vertices());
+    }
+    stat.survivors = static_cast<std::uint64_t>(frontier_out.size());
+    if (obs_on) {
+      detail::record_stage_metrics(stat.kernel, clock.elapsed_s(),
+                                   stat.survivors, graph_.num_vertices(),
+                                   table_bytes);
+    }
     if (opts_.collect_stats) {
       stat.seconds = clock.elapsed_s();
-      if (opts_.reference_kernels) {
-        stat.candidates = static_cast<std::uint64_t>(graph_.num_vertices());
-      }
-      stat.survivors = static_cast<std::uint64_t>(frontier_out.size());
       stats_.push_back(stat);
     }
   }

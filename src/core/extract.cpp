@@ -207,11 +207,11 @@ namespace {
 template <class Body>
 std::vector<Embedding> with_reorder(const Graph& graph,
                                     const CountOptions& options, Body&& body) {
-  if (options.reorder == ReorderMode::kNone) return body(graph, options);
-  const Permutation perm = reorder_permutation(graph, options.reorder);
+  if (options.execution.reorder == ReorderMode::kNone) return body(graph, options);
+  const Permutation perm = reorder_permutation(graph, options.execution.reorder);
   const Graph reordered = apply_permutation(graph, perm);
   CountOptions reordered_options = options;
-  reordered_options.reorder = ReorderMode::kNone;
+  reordered_options.execution.reorder = ReorderMode::kNone;
   std::vector<Embedding> out = body(reordered, reordered_options);
   for (Embedding& embedding : out) {
     for (VertexId& v : embedding.vertices) {
@@ -228,7 +228,7 @@ std::vector<Embedding> sample_embeddings(const Graph& graph,
                                          std::size_t how_many,
                                          const CountOptions& options,
                                          int max_coloring_attempts) {
-  if (options.reorder != ReorderMode::kNone) {
+  if (options.execution.reorder != ReorderMode::kNone) {
     return with_reorder(graph, options,
                         [&](const Graph& g, const CountOptions& o) {
                           return sample_embeddings(g, tmpl, how_many, o,
@@ -241,15 +241,15 @@ std::vector<Embedding> sample_embeddings(const Graph& graph,
   // walker needs each occurrence's true template vertices, so the
   // extractor always partitions without sharing.
   const PartitionTree partition = partition_template(
-      tmpl, options.partition, /*share_tables=*/false, options.root);
+      tmpl, options.execution.partition, /*share_tables=*/false, options.root);
   DpEngine<Table> engine(graph, tmpl, partition, k);
-  Xoshiro256 rng(options.seed ^ 0xabcdef12345678ULL);
+  Xoshiro256 rng(options.sampling.seed ^ 0xabcdef12345678ULL);
 
   std::vector<Embedding> out;
   for (int attempt = 0;
        attempt < max_coloring_attempts && out.size() < how_many; ++attempt) {
     const ColorArray colors =
-        coloring_for(graph, k, options.seed + static_cast<std::uint64_t>(attempt));
+        coloring_for(graph, k, options.sampling.seed + static_cast<std::uint64_t>(attempt));
     const double total =
         engine.run(colors, /*parallel_inner=*/false, nullptr,
                    /*keep_tables=*/true);
@@ -305,7 +305,7 @@ std::vector<Embedding> enumerate_embeddings(const Graph& graph,
                                             std::size_t limit,
                                             bool dedup_sets,
                                             const CountOptions& options) {
-  if (options.reorder != ReorderMode::kNone) {
+  if (options.execution.reorder != ReorderMode::kNone) {
     return with_reorder(graph, options,
                         [&](const Graph& g, const CountOptions& o) {
                           return enumerate_embeddings(g, tmpl, limit,
@@ -315,9 +315,9 @@ std::vector<Embedding> enumerate_embeddings(const Graph& graph,
   const int k = effective_colors(tmpl, options);
   // No table sharing: see sample_embeddings.
   const PartitionTree partition = partition_template(
-      tmpl, options.partition, /*share_tables=*/false, options.root);
+      tmpl, options.execution.partition, /*share_tables=*/false, options.root);
   DpEngine<Table> engine(graph, tmpl, partition, k);
-  const ColorArray colors = coloring_for(graph, k, options.seed);
+  const ColorArray colors = coloring_for(graph, k, options.sampling.seed);
   engine.run(colors, /*parallel_inner=*/false, nullptr, /*keep_tables=*/true);
 
   std::vector<Embedding> out;

@@ -301,16 +301,16 @@ std::vector<Embedding> sample_mixed_embeddings(const Graph& graph,
     return sample_embeddings(graph, tmpl.as_tree(), how_many, options,
                              max_coloring_attempts);
   }
-  const int k = options.num_colors > 0 ? options.num_colors : tmpl.size();
+  const int k = options.sampling.num_colors > 0 ? options.sampling.num_colors : tmpl.size();
   const MixedPartition partition =
       partition_mixed_template(tmpl, options.root);
-  Xoshiro256 rng(options.seed ^ 0x5bd1e995);
+  Xoshiro256 rng(options.sampling.seed ^ 0x5bd1e995);
 
   std::vector<Embedding> out;
   for (int attempt = 0;
        attempt < max_coloring_attempts && out.size() < how_many; ++attempt) {
     const auto colors = detail::random_coloring(
-        graph, k, options.seed + static_cast<std::uint64_t>(attempt));
+        graph, k, options.sampling.seed + static_cast<std::uint64_t>(attempt));
     MixedWalker walker(graph, tmpl, partition, k, colors);
     if (walker.total() <= 0.0) continue;
     const std::size_t batch =

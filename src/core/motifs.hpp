@@ -8,11 +8,15 @@
 
 #include "core/count_options.hpp"
 #include "graph/graph.hpp"
+#include "run/controls.hpp"
 #include "treelet/tree_template.hpp"
 
 namespace fascia {
 
-struct MotifProfile {
+/// RunOutcome base: `estimate` is the sum over templates,
+/// `relative_stderr` the worst per-template error, `run`/`report` the
+/// usual status and observability document.
+struct MotifProfile : RunOutcome {
   int k = 0;                          ///< template size
   std::vector<TreeTemplate> trees;    ///< all free trees of size k
   std::vector<double> counts;         ///< estimated occurrence counts

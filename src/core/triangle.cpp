@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <memory>
 #include <stdexcept>
 
 #ifdef _OPENMP
@@ -9,6 +10,7 @@
 #endif
 
 #include "comb/binomial.hpp"
+#include "obs/report.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -107,7 +109,11 @@ double exact_triangle_count(const Graph& graph,
 CountResult count_triangles(const Graph& graph, const CountOptions& options,
                             const std::vector<std::uint8_t>& labels) {
   validate_labels(graph, labels);
-  const int k = options.num_colors > 0 ? options.num_colors : 3;
+  // The enumeration kernel walks adjacency directly and would silently
+  // ignore a reorder request — reject instead (options satellite).
+  reject_unsupported_reorder(options, "count_triangles");
+  options.validate();
+  const int k = options.sampling.num_colors > 0 ? options.sampling.num_colors : 3;
   if (k < 3) throw std::invalid_argument("count_triangles: need k >= 3");
 
   std::array<std::uint8_t, 3> want{};
@@ -127,16 +133,16 @@ CountResult count_triangles(const Graph& graph, const CountOptions& options,
   // i.e. it already counts unordered occurrences; but for consistency
   // with the tree counter we count *maps* by multiplying with the
   // unlabeled automorphism factor below, then scale exactly as Alg. 2.
-  result.per_iteration.assign(static_cast<std::size_t>(options.iterations),
+  result.per_iteration.assign(static_cast<std::size_t>(options.sampling.iterations),
                               0.0);
   result.seconds_per_iteration.assign(
-      static_cast<std::size_t>(options.iterations), 0.0);
+      static_cast<std::size_t>(options.sampling.iterations), 0.0);
 
   WallTimer total_timer;
-  for (int iter = 0; iter < options.iterations; ++iter) {
+  for (int iter = 0; iter < options.sampling.iterations; ++iter) {
     WallTimer timer;
     std::uint64_t state =
-        options.seed +
+        options.sampling.seed +
         0x632be59bd9b4e019ULL * static_cast<std::uint64_t>(iter + 1);
     Xoshiro256 rng(splitmix64(state));
     std::vector<std::uint8_t> colors(
@@ -168,6 +174,37 @@ CountResult count_triangles(const Graph& graph, const CountOptions& options,
   }
   result.seconds_total = total_timer.elapsed_s();
   result.estimate = mean(result.per_iteration);
+  result.relative_stderr = relative_mean_stderr(result.per_iteration);
+  result.run.requested_iterations = options.sampling.iterations;
+  result.run.completed_iterations = options.sampling.iterations;
+
+  auto report = std::make_shared<obs::RunReport>();
+  report->kind = "count_triangles";
+  report->label = options.observability.label;
+  report->options = {
+      {"sampling.iterations", std::to_string(options.sampling.iterations)},
+      {"sampling.num_colors", std::to_string(k)},
+      {"sampling.seed", std::to_string(options.sampling.seed)},
+      {"labeled", labels.empty() ? "false" : "true"},
+  };
+  report->graph.vertices = static_cast<std::int64_t>(graph.num_vertices());
+  report->graph.edges = static_cast<std::int64_t>(graph.num_edges());
+  report->graph.max_degree = static_cast<std::int64_t>(graph.max_degree());
+  report->graph.labeled = graph.has_labels();
+  report->tmpl.vertices = 3;
+  report->sampling.requested_iterations = options.sampling.iterations;
+  report->sampling.completed_iterations = options.sampling.iterations;
+  report->sampling.num_colors = k;
+  report->sampling.seed = options.sampling.seed;
+  report->sampling.estimate = result.estimate;
+  report->sampling.relative_stderr = result.relative_stderr;
+  report->sampling.colorful_probability = result.colorful_probability;
+  report->sampling.automorphisms = result.automorphisms;
+  report->sampling.trajectory = result.running_estimates();
+  report->timing.total_seconds = result.seconds_total;
+  report->timing.per_iteration_seconds = result.seconds_per_iteration;
+  report->run.status = run_status_name(result.run.status);
+  result.report = std::move(report);
   return result;
 }
 

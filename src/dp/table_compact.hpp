@@ -23,6 +23,7 @@ class CompactTable {
   /// Rows are per-vertex contiguous arrays (absent until first nonzero
   /// commit), so the DP can borrow a raw row pointer per vertex.
   static constexpr bool kContiguousRows = true;
+  static constexpr const char* kName = "compact";
 
   [[nodiscard]] bool has_vertex(VertexId v) const noexcept {
     return rows_[static_cast<std::size_t>(v)] != nullptr;

@@ -35,6 +35,7 @@ class HashTable {
   /// per-vertex storage exists to borrow.  row_ptr() always returns
   /// nullptr; kernels fall back to keyed get() reads.
   static constexpr bool kContiguousRows = false;
+  static constexpr const char* kName = "hash";
 
   [[nodiscard]] bool has_vertex(VertexId v) const noexcept {
     return occupied_[static_cast<std::size_t>(v)] != 0;

@@ -21,6 +21,7 @@ class NaiveTable {
   /// Rows are one dense array; every vertex has a (possibly all-zero)
   /// contiguous row.
   static constexpr bool kContiguousRows = true;
+  static constexpr const char* kName = "naive";
 
   [[nodiscard]] bool has_vertex(VertexId) const noexcept { return true; }
 

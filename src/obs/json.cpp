@@ -1,0 +1,440 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fascia::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // Shortest representation that round-trips a double.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = std::strtod(buf, nullptr);
+  if (parsed == v) {
+    // Try shorter forms for readability; keep the first that survives.
+    for (int prec = 1; prec <= 16; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      if (std::strtod(shorter, nullptr) == v) {
+        std::memcpy(buf, shorter, sizeof(shorter));
+        break;
+      }
+    }
+  }
+  out += buf;
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run(std::string* error) {
+    std::optional<Json> v = parse_value();
+    if (v) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after document");
+        v.reset();
+      }
+    }
+    if (!v && error) *error = error_;
+    return v;
+  }
+
+ private:
+  void fail(const char* msg) {
+    if (error_.empty()) {
+      error_ = std::string(msg) + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return std::nullopt;
+        return Json(std::move(s));
+      }
+      case 't':
+        if (literal("true")) return Json(true);
+        fail("invalid literal");
+        return std::nullopt;
+      case 'f':
+        if (literal("false")) return Json(false);
+        fail("invalid literal");
+        return std::nullopt;
+      case 'n':
+        if (literal("null")) return Json(nullptr);
+        fail("invalid literal");
+        return std::nullopt;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(&key)) {
+        fail("expected object key");
+        return std::nullopt;
+      }
+      if (!consume(':')) {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      std::optional<Json> value = parse_value();
+      if (!value) return std::nullopt;
+      obj[key] = std::move(*value);
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      std::optional<Json> value = parse_value();
+      if (!value) return std::nullopt;
+      arr.push_back(std::move(*value));
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+              return false;
+            }
+          }
+          // Encode the code point as UTF-8 (BMP only; surrogate pairs
+          // are not reassembled — the obs layer never emits them).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  std::optional<Json> parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_int = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_int = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      fail("invalid value");
+      return std::nullopt;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (is_int) {
+      errno = 0;
+      if (token.size() >= 1 && token[0] != '-') {
+        char* end = nullptr;
+        unsigned long long u = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end && *end == '\0') {
+          return Json(static_cast<unsigned long long>(u));
+        }
+      } else {
+        char* end = nullptr;
+        long long i = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end && *end == '\0') {
+          return Json(static_cast<long long>(i));
+        }
+      }
+    }
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (!end || *end != '\0') {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  obj_.emplace_back(key, Json());
+  return obj_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  arr_.push_back(std::move(value));
+}
+
+double Json::as_double(double fallback) const noexcept {
+  if (type_ != Type::kNumber) return fallback;
+  return num_;
+}
+
+std::int64_t Json::as_int(std::int64_t fallback) const noexcept {
+  if (type_ != Type::kNumber) return fallback;
+  return is_int_ ? int_ : static_cast<std::int64_t>(num_);
+}
+
+std::uint64_t Json::as_uint(std::uint64_t fallback) const noexcept {
+  if (type_ != Type::kNumber) return fallback;
+  if (is_int_) return static_cast<std::uint64_t>(int_);
+  return num_ < 0 ? fallback : static_cast<std::uint64_t>(num_);
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      if (is_int_) {
+        if (is_unsigned_) {
+          out += std::to_string(static_cast<std::uint64_t>(int_));
+        } else {
+          out += std::to_string(int_);
+        }
+      } else {
+        append_number(out, num_);
+      }
+      break;
+    case Type::kString:
+      append_escaped(out, str_);
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, k);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace fascia::obs

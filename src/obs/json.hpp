@@ -1,0 +1,159 @@
+#pragma once
+// Minimal order-preserving JSON value for the observability layer.
+//
+// The obs module emits (RunReport, Chrome traces, registry scrapes)
+// and re-reads (schema round-trip tests, resume tooling) structured
+// documents without taking a third-party dependency.  Objects keep
+// insertion order so emitted reports are deterministic and diffable;
+// numbers remember whether they were integers so ids and byte counts
+// survive a dump -> parse -> dump cycle byte-identically.
+//
+// This is deliberately not a general-purpose JSON library: no
+// comments, no NaN/Inf (serialized as null), UTF-8 passed through
+// verbatim with only the mandatory escapes.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fascia::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() noexcept = default;
+  Json(std::nullptr_t) noexcept {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), num_(value) {}
+  Json(int value) { init_int(value); }
+  Json(unsigned value) { init_int(static_cast<std::int64_t>(value)); }
+  Json(long value) { init_int(value); }
+  Json(long long value) { init_int(value); }
+  Json(unsigned long value) { init_uint(value); }
+  Json(unsigned long long value) { init_uint(value); }
+  Json(const char* value) : type_(Type::kString), str_(value) {}
+  Json(std::string value) : type_(Type::kString), str_(std::move(value)) {}
+  Json(std::string_view value) : type_(Type::kString), str_(value) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+
+  // ---- object access ----------------------------------------------------
+  /// Insert-or-find; converts a null value into an object.
+  Json& operator[](const std::string& key);
+  /// nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  [[nodiscard]] bool contains(std::string_view key) const noexcept {
+    return find(key) != nullptr;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& items()
+      const noexcept {
+    return obj_;
+  }
+
+  // ---- array access -----------------------------------------------------
+  /// Appends; converts a null value into an array.
+  void push_back(Json value);
+  [[nodiscard]] std::size_t size() const noexcept {
+    return type_ == Type::kArray ? arr_.size() : obj_.size();
+  }
+  [[nodiscard]] const std::vector<Json>& elements() const noexcept {
+    return arr_;
+  }
+
+  // ---- scalar access with defaults --------------------------------------
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept {
+    return type_ == Type::kBool ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const noexcept;
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const noexcept;
+  [[nodiscard]] std::uint64_t as_uint(
+      std::uint64_t fallback = 0) const noexcept;
+  [[nodiscard]] const std::string& as_string() const noexcept { return str_; }
+
+  /// Convenience: `j.get_double("key", 0.0)` on objects.
+  [[nodiscard]] double get_double(std::string_view key,
+                                  double fallback = 0.0) const noexcept {
+    const Json* v = find(key);
+    return v ? v->as_double(fallback) : fallback;
+  }
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback = 0) const noexcept {
+    const Json* v = find(key);
+    return v ? v->as_int(fallback) : fallback;
+  }
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback = "") const {
+    const Json* v = find(key);
+    return v && v->is_string() ? v->str_ : fallback;
+  }
+  [[nodiscard]] bool get_bool(std::string_view key,
+                              bool fallback = false) const noexcept {
+    const Json* v = find(key);
+    return v ? v->as_bool(fallback) : fallback;
+  }
+
+  // ---- serialization ----------------------------------------------------
+  /// indent == 0: compact one-line form; indent > 0: pretty-printed.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Recursive-descent parse of a complete document.  On failure
+  /// returns nullopt and, when `error` is non-null, a one-line message
+  /// with the byte offset.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  void init_int(std::int64_t value) noexcept {
+    type_ = Type::kNumber;
+    num_ = static_cast<double>(value);
+    int_ = value;
+    is_int_ = true;
+  }
+  void init_uint(std::uint64_t value) noexcept {
+    type_ = Type::kNumber;
+    num_ = static_cast<double>(value);
+    int_ = static_cast<std::int64_t>(value);
+    is_int_ = true;
+    is_unsigned_ = true;
+  }
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool is_int_ = false;
+  bool is_unsigned_ = false;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace fascia::obs

@@ -1,0 +1,252 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <mutex>
+
+namespace fascia::obs {
+
+namespace detail {
+
+std::atomic<int> g_enabled{-1};
+
+bool init_enabled() noexcept {
+  const char* env = std::getenv("FASCIA_OBS");
+  const bool on =
+      env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                    std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+const char* instrument_kind_name(InstrumentKind kind) noexcept {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return "counter";
+    case InstrumentKind::kGauge:
+      return "gauge";
+    case InstrumentKind::kTimeHistogram:
+      return "time_histogram";
+    case InstrumentKind::kByteHistogram:
+      return "byte_histogram";
+    case InstrumentKind::kValueHistogram:
+      return "value_histogram";
+  }
+  return "unknown";
+}
+
+std::size_t histogram_bucket(double value) noexcept {
+  if (!(value > 0.0) || !std::isfinite(value)) return 0;
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  // exp == -31 -> bucket 1 holds [2^-32, 2^-31).
+  long bucket = static_cast<long>(exp) + 32;
+  if (bucket < 0) bucket = 0;
+  if (bucket >= static_cast<long>(kHistogramBuckets)) {
+    bucket = static_cast<long>(kHistogramBuckets) - 1;
+  }
+  return static_cast<std::size_t>(bucket);
+}
+
+double histogram_bucket_floor(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0.0;
+  // histogram_bucket maps [2^(b-33), 2^(b-32)) -> b, so the lower
+  // edge of bucket b is 2^(b-33).
+  return std::ldexp(1.0, static_cast<int>(bucket) - 33);
+}
+
+namespace {
+
+// One thread's private slice of every instrument.  Counters and
+// histogram fields are atomics only so scrape() can read them while the
+// owner keeps writing (single-writer, many-reader; all relaxed).
+struct Shard {
+  struct Hist {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+
+  std::array<std::atomic<double>, kMaxInstruments> sums{};
+  std::array<Hist, kMaxInstruments> hists;
+
+  void reset() noexcept {
+    for (auto& s : sums) s.store(0.0, std::memory_order_relaxed);
+    for (auto& h : hists) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0.0, std::memory_order_relaxed);
+      h.min.store(std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+      h.max.store(-std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mutex;  // guards names + shard registration
+  std::vector<std::pair<std::string, InstrumentKind>> names;
+  std::deque<Shard> shards;  // stable addresses; never freed
+  std::array<std::atomic<double>, kMaxInstruments> gauges{};
+
+  Shard& local_shard() {
+    thread_local Shard* tls = nullptr;
+    if (tls == nullptr) {
+      std::lock_guard<std::mutex> lock(mutex);
+      tls = &shards.emplace_back();
+    }
+    return *tls;
+  }
+};
+
+Registry::Impl& Registry::impl() const noexcept {
+  static Impl instance;
+  return instance;
+}
+
+Registry& Registry::global() noexcept {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Id Registry::intern(std::string_view name, InstrumentKind kind) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  for (std::size_t i = 0; i < im.names.size(); ++i) {
+    if (im.names[i].first == name) return static_cast<Id>(i);
+  }
+  if (im.names.size() >= kMaxInstruments) return kInvalidId;
+  im.names.emplace_back(std::string(name), kind);
+  return static_cast<Id>(im.names.size() - 1);
+}
+
+void Registry::add(Id id, double delta) noexcept {
+  if (id >= kMaxInstruments) return;
+  std::atomic<double>& slot = impl().local_shard().sums[id];
+  slot.store(slot.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void Registry::set(Id id, double value) noexcept {
+  if (id >= kMaxInstruments) return;
+  impl().gauges[id].store(value, std::memory_order_relaxed);
+}
+
+void Registry::observe(Id id, double value) noexcept {
+  if (id >= kMaxInstruments) return;
+  Shard::Hist& h = impl().local_shard().hists[id];
+  h.count.store(h.count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  h.sum.store(h.sum.load(std::memory_order_relaxed) + value,
+              std::memory_order_relaxed);
+  if (value < h.min.load(std::memory_order_relaxed)) {
+    h.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > h.max.load(std::memory_order_relaxed)) {
+    h.max.store(value, std::memory_order_relaxed);
+  }
+  std::atomic<std::uint64_t>& bucket = h.buckets[histogram_bucket(value)];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+}
+
+std::vector<MetricSnapshot> Registry::scrape() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  std::vector<MetricSnapshot> out(im.names.size());
+  for (std::size_t i = 0; i < im.names.size(); ++i) {
+    out[i].name = im.names[i].first;
+    out[i].kind = im.names[i].second;
+    if (out[i].kind == InstrumentKind::kGauge) {
+      out[i].value = im.gauges[i].load(std::memory_order_relaxed);
+      continue;
+    }
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    for (const Shard& shard : im.shards) {
+      out[i].value += shard.sums[i].load(std::memory_order_relaxed);
+      const Shard::Hist& h = shard.hists[i];
+      out[i].hist.count += h.count.load(std::memory_order_relaxed);
+      out[i].hist.sum += h.sum.load(std::memory_order_relaxed);
+      min = std::min(min, h.min.load(std::memory_order_relaxed));
+      max = std::max(max, h.max.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        out[i].hist.buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    if (out[i].hist.count > 0) {
+      out[i].hist.min = min;
+      out[i].hist.max = max;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+MetricSnapshot Registry::read(std::string_view name) const {
+  for (MetricSnapshot& snap : scrape()) {
+    if (snap.name == name) return std::move(snap);
+  }
+  return {};
+}
+
+void Registry::reset() noexcept {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  for (Shard& shard : im.shards) shard.reset();
+  for (auto& g : im.gauges) g.store(0.0, std::memory_order_relaxed);
+}
+
+Json Registry::scrape_json() const {
+  Json out = Json::object();
+  for (const MetricSnapshot& snap : scrape()) {
+    Json entry = Json::object();
+    entry["kind"] = instrument_kind_name(snap.kind);
+    switch (snap.kind) {
+      case InstrumentKind::kCounter:
+      case InstrumentKind::kGauge:
+        entry["value"] = snap.value;
+        break;
+      default: {
+        entry["count"] = snap.hist.count;
+        entry["sum"] = snap.hist.sum;
+        entry["min"] = snap.hist.min;
+        entry["max"] = snap.hist.max;
+        Json buckets = Json::array();
+        // Sparse encoding: [bucket_floor, count] pairs.
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+          if (snap.hist.buckets[b] == 0) continue;
+          Json pair = Json::array();
+          pair.push_back(histogram_bucket_floor(b));
+          pair.push_back(snap.hist.buckets[b]);
+          buckets.push_back(std::move(pair));
+        }
+        entry["buckets"] = std::move(buckets);
+        break;
+      }
+    }
+    out[snap.name] = std::move(entry);
+  }
+  return out;
+}
+
+}  // namespace fascia::obs

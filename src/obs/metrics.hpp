@@ -1,0 +1,159 @@
+#pragma once
+// Metrics registry: named counters, gauges, and log2-bucketed
+// histograms with lock-free per-thread shards merged on scrape.
+//
+// Design (DESIGN.md §10):
+//   * One process-global Registry.  Instruments are interned once by
+//     name (Metric handles cache the id), capped at kMaxInstruments so
+//     shards are fixed-size arrays with no per-record allocation.
+//   * Every recording thread gets a private Shard on first use; a
+//     record is one relaxed atomic RMW on the thread's own cache
+//     lines — no sharing, no locks, no fences on the hot path.
+//     Shards live in a std::deque guarded by a mutex that is taken
+//     only on thread registration and scrape; they are never freed, so
+//     a scrape may safely read a shard whose thread has exited.
+//   * scrape() merges all shards into plain snapshots; reset() zeroes
+//     them (benches call reset() per measured configuration and read
+//     per-config minima/sums from a fresh scrape).
+//   * The whole layer is inert unless obs::enabled() — set FASCIA_OBS=1
+//     in the environment, or call obs::set_enabled(true) (the CLI does
+//     when --report/--trace/--obs is given).  When disabled, a record
+//     is one relaxed load and a predictable branch (the ≤1%-off
+//     overhead gate in bench/micro_dp measures exactly this).
+//
+// Gauges are registry-global (last write wins) rather than shared —
+// "current peak bytes" has no meaningful per-thread merge.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace fascia::obs {
+
+// ---- global on/off switch -----------------------------------------------
+
+namespace detail {
+/// -1 unread / 0 off / 1 on.  Constant-initialized to -1 so enabled()
+/// is safe to call from any static initializer in any TU.
+extern std::atomic<int> g_enabled;
+bool init_enabled() noexcept;  // reads FASCIA_OBS, latches the result
+}  // namespace detail
+
+/// True when observability is on (FASCIA_OBS=1 or set_enabled(true)).
+/// Hot-path cost when off: one relaxed atomic load + branch.
+inline bool enabled() noexcept {
+  const int v = detail::g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) [[unlikely]] return detail::init_enabled();
+  return v != 0;
+}
+
+/// Programmatic override; wins over the environment.
+void set_enabled(bool on) noexcept;
+
+// ---- instruments --------------------------------------------------------
+
+enum class InstrumentKind : std::uint8_t {
+  kCounter,         ///< monotonically added (add)
+  kGauge,           ///< last value wins (set)
+  kTimeHistogram,   ///< observe(seconds)
+  kByteHistogram,   ///< observe(bytes)
+  kValueHistogram,  ///< observe(dimensionless value)
+};
+
+const char* instrument_kind_name(InstrumentKind kind) noexcept;
+
+inline constexpr std::size_t kMaxInstruments = 128;
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// log2 bucket of a value: bucket i (i >= 1) holds values in
+/// [2^(i-33), 2^(i-32)); bucket 0 catches everything below 2^-32 and
+/// the last bucket everything above 2^30.  Covers
+/// nanoseconds-as-seconds through terabytes.
+std::size_t histogram_bucket(double value) noexcept;
+
+/// Lower edge of bucket i (inverse of histogram_bucket).
+double histogram_bucket_floor(std::size_t bucket) noexcept;
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+struct MetricSnapshot {
+  std::string name;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  double value = 0.0;       ///< counters: merged sum; gauges: last set
+  HistogramSnapshot hist;   ///< histograms only
+};
+
+class Registry {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalidId = ~Id{0};
+
+  /// The process-global registry all Metric handles record into.
+  static Registry& global() noexcept;
+
+  /// Intern `name`, returning its id (existing id when already
+  /// registered; kInvalidId once the instrument table is full, which
+  /// turns the handle into a no-op rather than an error).
+  Id intern(std::string_view name, InstrumentKind kind);
+
+  // Hot-path records.  Callers gate on obs::enabled(); these only
+  // guard against kInvalidId.
+  void add(Id id, double delta) noexcept;
+  void set(Id id, double value) noexcept;
+  void observe(Id id, double value) noexcept;
+
+  /// Merge every thread's shard into name-sorted snapshots.
+  [[nodiscard]] std::vector<MetricSnapshot> scrape() const;
+
+  /// Snapshot of one instrument by name (zeroed when absent).
+  [[nodiscard]] MetricSnapshot read(std::string_view name) const;
+
+  /// Zero all shards and gauges (instrument ids stay interned).
+  void reset() noexcept;
+
+  /// Scrape rendered as a JSON object keyed by instrument name.
+  [[nodiscard]] Json scrape_json() const;
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const noexcept;
+};
+
+/// Cached handle to one instrument.  Construct once (function-local
+/// static or namespace-scope) and record through it; every record is
+/// gated on obs::enabled() so handles are safe to embed in hot loops.
+class Metric {
+ public:
+  Metric(std::string_view name, InstrumentKind kind)
+      : id_(Registry::global().intern(name, kind)) {}
+
+  void add(double delta = 1.0) const noexcept {
+    if (enabled()) Registry::global().add(id_, delta);
+  }
+  void set(double value) const noexcept {
+    if (enabled()) Registry::global().set(id_, value);
+  }
+  void observe(double value) const noexcept {
+    if (enabled()) Registry::global().observe(id_, value);
+  }
+
+  [[nodiscard]] Registry::Id id() const noexcept { return id_; }
+
+ private:
+  Registry::Id id_;
+};
+
+}  // namespace fascia::obs

@@ -1,0 +1,104 @@
+#pragma once
+// Tracing spans: FASCIA_TRACE(...) RAII scopes recorded into an
+// in-memory ring, exportable as Chrome trace_event JSON
+// (chrome://tracing / https://ui.perfetto.dev load the output).
+//
+// A span records its name, two optional integer args (subtemplate id,
+// kernel tag, iteration, ...), a short free-form detail string (table
+// kind, thread layout), wall time, and per-thread CPU time.  Nothing
+// is recorded — not even the clock reads — unless obs::enabled(), so
+// a disabled span costs one relaxed load and a branch (the same ≤1%
+// budget as the metrics path; bench/micro_dp gates it).
+//
+// The ring is fixed-capacity and overwrites the oldest events when
+// full; truncation is visible via trace_dropped().  Pushes are one
+// atomic fetch_add on the ring cursor, so spans may close concurrently
+// from any number of OpenMP threads.
+
+#include <cstdint>
+#include <string>
+
+namespace fascia::obs {
+
+struct TraceEvent {
+  static constexpr std::size_t kNameCapacity = 32;
+  static constexpr std::size_t kDetailCapacity = 48;
+
+  char name[kNameCapacity];
+  char detail[kDetailCapacity];
+  std::uint64_t start_ns = 0;  ///< wall, relative to the trace epoch
+  std::uint64_t wall_ns = 0;
+  std::uint64_t cpu_ns = 0;    ///< CLOCK_THREAD_CPUTIME_ID delta (0 if n/a)
+  std::int64_t arg0 = -1;
+  std::int64_t arg1 = -1;
+  std::uint32_t tid = 0;
+};
+
+/// Events recorded since the last reset (may exceed the ring capacity;
+/// the ring keeps the most recent trace_capacity() of them).
+std::uint64_t trace_recorded() noexcept;
+
+/// Events lost to ring wrap-around since the last reset.
+std::uint64_t trace_dropped() noexcept;
+
+std::size_t trace_capacity() noexcept;
+
+/// Resize the ring (drops recorded events; clamps to a sane minimum).
+void set_trace_capacity(std::size_t capacity);
+
+/// Drop all recorded events and restart the trace epoch.
+void reset_trace() noexcept;
+
+/// Copy out the retained events, oldest first.
+std::size_t trace_events(TraceEvent* out, std::size_t max_events) noexcept;
+
+/// Render the ring as a Chrome trace_event JSON document
+/// ({"traceEvents":[...], "displayTimeUnit":"ms", ...}).
+std::string chrome_trace_json();
+
+/// chrome_trace_json() written to `path`; false + `error` on failure.
+bool write_chrome_trace(const std::string& path, std::string* error = nullptr);
+
+namespace detail {
+void record_span(const char* name, const char* detail, std::uint64_t start_ns,
+                 std::uint64_t wall_ns, std::uint64_t cpu_ns, std::int64_t arg0,
+                 std::int64_t arg1) noexcept;
+std::uint64_t wall_now_ns() noexcept;
+std::uint64_t cpu_now_ns() noexcept;
+}  // namespace detail
+
+/// RAII span; see FASCIA_TRACE below.  `name` and `detail` must
+/// outlive the span (string literals or buffers in the enclosing
+/// scope) — the ring copies them only when the span closes.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::int64_t arg0 = -1,
+                     std::int64_t arg1 = -1,
+                     const char* detail = nullptr) noexcept;
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* detail_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t cpu_start_ns_ = 0;
+  std::int64_t arg0_ = -1;
+  std::int64_t arg1_ = -1;
+  bool active_ = false;
+};
+
+}  // namespace fascia::obs
+
+#define FASCIA_OBS_CONCAT_IMPL(a, b) a##b
+#define FASCIA_OBS_CONCAT(a, b) FASCIA_OBS_CONCAT_IMPL(a, b)
+
+/// FASCIA_TRACE("stage.name"[, arg0[, arg1[, detail]]]); — traces the
+/// enclosing scope.  Free when observability is off.
+#define FASCIA_TRACE(...)                                            \
+  ::fascia::obs::TraceSpan FASCIA_OBS_CONCAT(fascia_trace_span_,     \
+                                             __COUNTER__) {          \
+    __VA_ARGS__                                                      \
+  }

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
@@ -72,7 +74,28 @@ std::uint64_t fingerprint_mix(std::uint64_t hash,
   return fingerprint_mix(hash, &value, sizeof(value));
 }
 
+namespace {
+
+const obs::Metric& writes_metric() {
+  static const obs::Metric m("checkpoint.writes",
+                             obs::InstrumentKind::kCounter);
+  return m;
+}
+const obs::Metric& failures_metric() {
+  static const obs::Metric m("checkpoint.failures",
+                             obs::InstrumentKind::kCounter);
+  return m;
+}
+const obs::Metric& bytes_metric() {
+  static const obs::Metric m("checkpoint.bytes",
+                             obs::InstrumentKind::kByteHistogram);
+  return m;
+}
+
+}  // namespace
+
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  FASCIA_TRACE("checkpoint.write", checkpoint.iterations_done);
   std::string buffer;
   append_raw(buffer, kMagic, sizeof(kMagic));
   append_u32(buffer, checkpoint.kind);
@@ -90,6 +113,7 @@ void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
   const std::string temp = path + ".tmp";
   if (fault::fire("checkpoint.write")) {
     std::remove(temp.c_str());
+    failures_metric().add();
     throw resource_error("injected checkpoint write failure", path);
   }
   {
@@ -97,13 +121,17 @@ void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
     if (!out || !out.write(buffer.data(),
                            static_cast<std::streamsize>(buffer.size()))) {
       std::remove(temp.c_str());
+      failures_metric().add();
       throw resource_error("cannot write checkpoint", temp);
     }
   }
   if (std::rename(temp.c_str(), path.c_str()) != 0) {
     std::remove(temp.c_str());
+    failures_metric().add();
     throw resource_error("cannot replace checkpoint", path);
   }
+  writes_metric().add();
+  bytes_metric().observe(static_cast<double>(buffer.size()));
 }
 
 std::optional<Checkpoint> load_checkpoint(const std::string& path,

@@ -23,10 +23,15 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dp/count_table.hpp"
+
+namespace fascia::obs {
+struct RunReport;  // obs/report.hpp — the machine-readable run document
+}  // namespace fascia::obs
 
 namespace fascia {
 
@@ -107,6 +112,43 @@ struct RunReport {
   std::string resume_rejected;    ///< why an existing checkpoint was unusable
   int checkpoints_written = 0;
   int checkpoint_failures = 0;    ///< failed writes (run continues)
+};
+
+/// Common base of every public result type (CountResult, BatchResult,
+/// MotifProfile): the unbiased estimate, its sampling error, how the
+/// run ended, and the machine-readable report.  Callers check
+/// `outcome.ok()` / `outcome.status()` the same way regardless of
+/// which entry point produced the result.
+struct RunOutcome {
+  /// Mean of the per-iteration unbiased estimates (Alg. 1 line 7).
+  /// Batch / motif-profile runs: sum over jobs.
+  double estimate = 0.0;
+
+  /// Relative standard error of `estimate` (stddev of the iteration
+  /// mean / |mean|); 0 when fewer than two iterations contributed.
+  double relative_stderr = 0.0;
+
+  /// What the resilient run layer did: final status, completed
+  /// iteration prefix, degradations, checkpoint activity.  For a run
+  /// with inert RunControls this is kCompleted with completed ==
+  /// requested iterations.
+  RunReport run;
+
+  /// The observability document for this invocation (obs/report.hpp):
+  /// resolved options, graph stats, per-stage timings, memory plan vs.
+  /// observed, estimate trajectory.  Always attached; cheap to share.
+  std::shared_ptr<const obs::RunReport> report;
+
+  [[nodiscard]] RunStatus status() const noexcept { return run.status; }
+
+  /// True when the run completed its full budget without degradation
+  /// stops — anything else means `estimate` is an honest partial.
+  [[nodiscard]] bool ok() const noexcept {
+    return run.status == RunStatus::kCompleted;
+  }
+
+  /// The attached report rendered as JSON ("" when absent).
+  [[nodiscard]] std::string report_json(int indent = 2) const;
 };
 
 }  // namespace fascia

@@ -1,5 +1,6 @@
 #include "run/guard.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/mem_tracker.hpp"
 
 namespace fascia {
@@ -32,8 +33,13 @@ bool RunGuard::poll() const noexcept {
 
 void RunGuard::stop(RunStatus reason) const noexcept {
   int expected = 0;
-  latched_.compare_exchange_strong(expected, 1 + static_cast<int>(reason),
-                                   std::memory_order_relaxed);
+  if (latched_.compare_exchange_strong(expected, 1 + static_cast<int>(reason),
+                                       std::memory_order_relaxed)) {
+    // One trip per guard, counted only for the thread that latched it.
+    static const obs::Metric trips("guard.trips",
+                                   obs::InstrumentKind::kCounter);
+    trips.add();
+  }
 }
 
 RunStatus RunGuard::status() const noexcept {

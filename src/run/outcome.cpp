@@ -1,0 +1,12 @@
+#include "run/controls.hpp"
+
+#include "obs/report.hpp"
+
+namespace fascia {
+
+std::string RunOutcome::report_json(int indent) const {
+  if (!report) return "";
+  return report->to_json_string(indent);
+}
+
+}  // namespace fascia

@@ -41,6 +41,7 @@
 #include "core/count_options.hpp"
 #include "dp/count_table.hpp"
 #include "graph/graph.hpp"
+#include "run/controls.hpp"
 #include "treelet/partition.hpp"
 #include "treelet/tree_template.hpp"
 
@@ -109,6 +110,11 @@ struct BatchOptions {
   /// fixed-budget jobs resume to bit-identical estimates (adaptive
   /// stopping points may shift with the changed round boundaries).
   RunControls run;
+
+  /// Observability knobs (as in CountOptions::observability): enabled
+  /// latches obs::set_enabled(true) for the run; collect_stages adds
+  /// per-stage detail to the attached report.
+  ObservabilityOptions observability;
 };
 
 struct BatchJobResult {
@@ -130,7 +136,10 @@ struct BatchJobResult {
   std::uint64_t automorphisms = 0;
 };
 
-struct BatchResult {
+/// RunOutcome base: `estimate` is the sum over jobs, `relative_stderr`
+/// the worst per-job error at termination, `run`/`report` the usual
+/// status and observability document.
+struct BatchResult : RunOutcome {
   std::vector<BatchJobResult> jobs;
 
   int num_colors = 0;
@@ -164,10 +173,6 @@ struct BatchResult {
   /// Thread layout the batch executed with (outer engine copies x
   /// inner sweep threads); {1, 1} for serial runs.
   ThreadLayout layout;
-
-  /// Resilient-run outcome (status, completed coloring rounds,
-  /// degradations, checkpoint activity); see run/controls.hpp.
-  RunReport run;
 };
 
 /// Executes all jobs against `graph` as one planned workload.  Throws

@@ -15,6 +15,9 @@
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "run/checkpoint.hpp"
 #include "run/guard.hpp"
 #include "run/memory.hpp"
@@ -22,6 +25,7 @@
 #include "treelet/canonical.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/mem_tracker.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -31,6 +35,27 @@ namespace {
 
 using detail::iteration_seed;
 using detail::random_coloring;
+
+const obs::Metric& colorings_metric() {
+  static const obs::Metric m("count.colorings",
+                             obs::InstrumentKind::kCounter);
+  return m;
+}
+const obs::Metric& iteration_seconds_metric() {
+  static const obs::Metric m("run.iteration.seconds",
+                             obs::InstrumentKind::kTimeHistogram);
+  return m;
+}
+const obs::Metric& run_seconds_metric() {
+  static const obs::Metric m("run.seconds",
+                             obs::InstrumentKind::kTimeHistogram);
+  return m;
+}
+const obs::Metric& peak_bytes_metric() {
+  static const obs::Metric m("run.peak_table_bytes",
+                             obs::InstrumentKind::kGauge);
+  return m;
+}
 
 int resolve_threads(int requested) {
 #ifdef _OPENMP
@@ -65,7 +90,8 @@ struct BatchSetup {
 template <class Table>
 void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
              const BatchOptions& options, const BatchPlan& plan,
-             const BatchSetup& setup, BatchResult& out) {
+             const BatchSetup& setup, BatchResult& out,
+             std::vector<obs::ReportStage>* stages) {
   const int k = plan.num_colors;
   int threads = resolve_threads(options.num_threads);
   const bool outer_mode = options.mode == ParallelMode::kOuterLoop;
@@ -140,6 +166,8 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
   // share them across all engine copies.
   DpEngineOptions engine_opts;
   engine_opts.reference_kernels = options.reference_kernels;
+  engine_opts.collect_stats =
+      obs::enabled() && options.observability.collect_stages;
   engine_opts.inner_threads = layout.inner_threads;
   engine_opts.guided_schedule = hybrid;
   if (graph.has_labels()) {
@@ -331,6 +359,8 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
       if (guard.poll()) return;
       WallTimer timer;
       try {
+        FASCIA_TRACE("iteration", iter);
+        colorings_metric().add();
         const ColorArray colors =
             random_coloring(graph, k, iteration_seed(options.seed, iter));
         engine.compute_tables(colors, inner_sweep, &needed);
@@ -346,8 +376,9 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
               raw * states[j].scale;
         }
         engine.release_all_tables();
-        out.seconds_per_iteration[static_cast<std::size_t>(iter)] =
-            timer.elapsed_s();
+        const double secs = timer.elapsed_s();
+        out.seconds_per_iteration[static_cast<std::size_t>(iter)] = secs;
+        iteration_seconds_metric().observe(secs);
         completed[static_cast<std::size_t>(iter - begin)] = 1;
       } catch (const std::bad_alloc&) {
         engine.release_all_tables();
@@ -451,6 +482,11 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
     result.estimate = mean(result.per_iteration);
     out.iterations_total += result.iterations;
   }
+  if (engine_opts.collect_stats) {
+    for (const DpEngine<Table>& engine : engines) {
+      merge_stage_stats(engine.stage_stats(), Table::kName, stages);
+    }
+  }
   out.run.completed_iterations = done;
   if (guard.stopped()) {
     out.run.status = guard.status();
@@ -465,6 +501,8 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
 
 BatchResult run_batch(const Graph& graph, const std::vector<BatchJob>& jobs,
                       const BatchOptions& options) {
+  if (options.observability.enabled) obs::set_enabled(true);
+  FASCIA_TRACE("batch.run", static_cast<std::int64_t>(jobs.size()));
   WallTimer total_timer;
   const BatchPlan plan = plan_batch(graph, jobs, options);
 
@@ -510,19 +548,104 @@ BatchResult run_batch(const Graph& graph, const std::vector<BatchJob>& jobs,
   }
   setup.fingerprint = fp;
 
-  switch (setup.table) {
-    case TableKind::kNaive:
-      execute<NaiveTable>(graph, jobs, options, plan, setup, result);
-      break;
-    case TableKind::kCompact:
-      execute<CompactTable>(graph, jobs, options, plan, setup, result);
-      break;
-    case TableKind::kHash:
-      execute<HashTable>(graph, jobs, options, plan, setup, result);
-      break;
+  std::vector<obs::ReportStage> stages;
+  std::size_t peak_bytes = 0;
+  {
+    PeakMemScope peak_scope(peak_bytes);
+    switch (setup.table) {
+      case TableKind::kNaive:
+        execute<NaiveTable>(graph, jobs, options, plan, setup, result,
+                            &stages);
+        break;
+      case TableKind::kCompact:
+        execute<CompactTable>(graph, jobs, options, plan, setup, result,
+                              &stages);
+        break;
+      case TableKind::kHash:
+        execute<HashTable>(graph, jobs, options, plan, setup, result,
+                           &stages);
+        break;
+    }
   }
 
   result.seconds_total = total_timer.elapsed_s();
+  run_seconds_metric().observe(result.seconds_total);
+  peak_bytes_metric().set(static_cast<double>(peak_bytes));
+
+  // RunOutcome view of the batch: sum of job estimates, worst per-job
+  // error (sums of counts at heterogeneous scales make a pooled stderr
+  // meaningless; the max is the honest "all jobs at least this good").
+  result.estimate = 0.0;
+  result.relative_stderr = 0.0;
+  for (const BatchJobResult& job : result.jobs) {
+    result.estimate += job.estimate;
+    result.relative_stderr =
+        std::max(result.relative_stderr, job.relative_stderr);
+  }
+
+  auto report = std::make_shared<obs::RunReport>();
+  report->kind = "run_batch";
+  report->label = options.observability.label;
+  report->options = {
+      {"jobs", std::to_string(jobs.size())},
+      {"num_colors", std::to_string(plan.num_colors)},
+      {"seed", std::to_string(options.seed)},
+      {"table", table_kind_name(options.table)},
+      {"partition", options.partition == PartitionStrategy::kOneAtATime
+                        ? "one_at_a_time"
+                        : "balanced"},
+      {"share_tables", options.share_tables ? "true" : "false"},
+      {"cross_template_reuse",
+       options.cross_template_reuse ? "true" : "false"},
+      {"mode", parallel_mode_name(options.mode)},
+      {"num_threads", std::to_string(options.num_threads)},
+      {"min_iterations", std::to_string(options.min_iterations)},
+      {"round_iterations", std::to_string(options.round_iterations)},
+  };
+  report->graph.vertices = static_cast<std::int64_t>(graph.num_vertices());
+  report->graph.edges = static_cast<std::int64_t>(graph.num_edges());
+  report->graph.max_degree = static_cast<std::int64_t>(graph.max_degree());
+  report->graph.labeled = graph.has_labels();
+  report->tmpl.subtemplates = static_cast<int>(result.unique_stages);
+  report->sampling.requested_iterations = result.run.requested_iterations;
+  report->sampling.completed_iterations = result.run.completed_iterations;
+  report->sampling.num_colors = plan.num_colors;
+  report->sampling.seed = options.seed;
+  report->sampling.estimate = result.estimate;
+  report->sampling.relative_stderr = result.relative_stderr;
+  report->timing.total_seconds = result.seconds_total;
+  report->timing.plan_seconds = result.seconds_plan;
+  report->timing.per_iteration_seconds = result.seconds_per_iteration;
+  report->memory.planned_peak_bytes = result.run.estimated_peak_bytes;
+  report->memory.observed_peak_bytes = peak_bytes;
+  report->memory.table = table_kind_name(result.run.table_used);
+  report->memory.degradations = result.run.degradations;
+  report->threads.mode = parallel_mode_name(options.mode);
+  report->threads.outer_copies = result.layout.outer_copies;
+  report->threads.inner_threads = result.layout.inner_threads;
+#ifdef _OPENMP
+  report->threads.omp_max_threads = omp_get_max_threads();
+#else
+  report->threads.omp_max_threads = 1;
+#endif
+  report->run.status = run_status_name(result.run.status);
+  report->run.resumed = result.run.resumed;
+  report->run.resumed_iterations = result.run.resumed_iterations;
+  report->run.resume_rejected = result.run.resume_rejected;
+  report->run.checkpoints_written = result.run.checkpoints_written;
+  report->run.checkpoint_failures = result.run.checkpoint_failures;
+  report->jobs.reserve(result.jobs.size());
+  for (std::size_t j = 0; j < result.jobs.size(); ++j) {
+    obs::ReportJob entry;
+    entry.name = jobs[j].tmpl.describe();
+    entry.estimate = result.jobs[j].estimate;
+    entry.relative_stderr = result.jobs[j].relative_stderr;
+    entry.iterations = result.jobs[j].iterations;
+    entry.converged = result.jobs[j].converged;
+    report->jobs.push_back(std::move(entry));
+  }
+  report->stages = std::move(stages);
+  result.report = std::move(report);
   return result;
 }
 

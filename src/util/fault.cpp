@@ -6,6 +6,8 @@
 #include <map>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace fascia::fault {
 
 namespace {
@@ -62,7 +64,13 @@ bool fire(const char* site) {
   if (it == reg.sites.end()) return false;
   ++it->second.hits;
   if (it->second.countdown <= 0) return false;
-  return --it->second.countdown == 0;
+  if (--it->second.countdown == 0) {
+    static const obs::Metric injections("fault.injections",
+                                        obs::InstrumentKind::kCounter);
+    injections.add();
+    return true;
+  }
+  return false;
 }
 
 void arm(const std::string& site, int countdown) {

@@ -45,8 +45,8 @@ TEST(Accuracy, PracticalIterationsFarBelowTheoretical) {
   const TreeTemplate tree = TreeTemplate::path(3);
   const double exact = testing::brute_force_maps(g, tree) / 2.0;
   CountOptions options;
-  options.iterations = 25;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 25;
+  options.execution.mode = ParallelMode::kSerial;
   const CountResult result = count_template(g, tree, options);
   const double error =
       std::abs(result.estimate - exact) / exact;
@@ -58,11 +58,11 @@ TEST(Accuracy, StderrShrinksWithIterations) {
   const Graph g = test_graph();
   const TreeTemplate& tree = catalog_entry("U5-2").tree;
   CountOptions options;
-  options.mode = ParallelMode::kSerial;
-  options.iterations = 20;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 20;
   const double few = estimate_relative_stderr(
       count_template(g, tree, options));
-  options.iterations = 320;
+  options.sampling.iterations = 320;
   const double many = estimate_relative_stderr(
       count_template(g, tree, options));
   EXPECT_LT(many, few);
@@ -85,7 +85,7 @@ TEST(Accuracy, AdaptiveStopsEarlyOnEasyInstances) {
   const Graph g = test_graph();
   const TreeTemplate tree = TreeTemplate::path(3);
   CountOptions options;
-  options.mode = ParallelMode::kSerial;
+  options.execution.mode = ParallelMode::kSerial;
   const AdaptiveResult adaptive =
       adaptive_count(g, tree, /*target=*/0.05, /*max=*/2000, options,
                      /*batch=*/8);
@@ -104,7 +104,7 @@ TEST(Accuracy, AdaptiveHitsCapOnImpossibleTargets) {
   const Graph g = test_graph();
   const TreeTemplate& tree = catalog_entry("U5-2").tree;
   CountOptions options;
-  options.mode = ParallelMode::kSerial;
+  options.execution.mode = ParallelMode::kSerial;
   const AdaptiveResult adaptive =
       adaptive_count(g, tree, /*target=*/1e-9, /*max=*/20, options, 8);
   EXPECT_FALSE(adaptive.converged);
@@ -115,8 +115,8 @@ TEST(Accuracy, AdaptiveDeterministicInSeed) {
   const Graph g = test_graph();
   const TreeTemplate& tree = catalog_entry("U5-1").tree;
   CountOptions options;
-  options.mode = ParallelMode::kSerial;
-  options.seed = 5;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.seed = 5;
   const auto a = adaptive_count(g, tree, 0.1, 200, options, 16);
   const auto b = adaptive_count(g, tree, 0.1, 200, options, 16);
   EXPECT_EQ(a.iterations_used, b.iterations_used);

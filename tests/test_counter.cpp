@@ -63,9 +63,9 @@ TEST_P(Convergence, EstimateApproachesExactCount) {
   const double exact = testing::brute_force_maps(g, tree) /
                        static_cast<double>(automorphisms(tree));
   CountOptions options;
-  options.iterations = 1500;
-  options.mode = ParallelMode::kSerial;
-  options.seed = 7;
+  options.sampling.iterations = 1500;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.seed = 7;
   const CountResult result = count_template(g, tree, options);
   EXPECT_NEAR(result.estimate, exact, exact * 0.08) << "exact=" << exact;
 }
@@ -79,9 +79,9 @@ TEST(Counter, ResultsIndependentOfConfiguration) {
   const Graph g = test_graph();
   const TreeTemplate& tree = catalog_entry("U5-2").tree;
   CountOptions base;
-  base.iterations = 4;
-  base.mode = ParallelMode::kSerial;
-  base.seed = 31;
+  base.sampling.iterations = 4;
+  base.execution.mode = ParallelMode::kSerial;
+  base.sampling.seed = 31;
   const CountResult reference = count_template(g, tree, base);
 
   std::vector<CountOptions> variants;
@@ -93,10 +93,10 @@ TEST(Counter, ResultsIndependentOfConfiguration) {
         for (auto mode : {ParallelMode::kSerial, ParallelMode::kInnerLoop,
                           ParallelMode::kOuterLoop}) {
           CountOptions options = base;
-          options.table = table;
-          options.partition = strategy;
-          options.share_tables = share;
-          options.mode = mode;
+          options.execution.table = table;
+          options.execution.partition = strategy;
+          options.execution.share_tables = share;
+          options.execution.mode = mode;
           variants.push_back(options);
         }
       }
@@ -108,8 +108,8 @@ TEST(Counter, ResultsIndependentOfConfiguration) {
     for (std::size_t i = 0; i < result.per_iteration.size(); ++i) {
       EXPECT_NEAR(result.per_iteration[i], reference.per_iteration[i],
                   1e-9 * (1.0 + std::abs(reference.per_iteration[i])))
-          << "table=" << table_kind_name(options.table)
-          << " mode=" << parallel_mode_name(options.mode);
+          << "table=" << table_kind_name(options.execution.table)
+          << " mode=" << parallel_mode_name(options.execution.mode);
     }
   }
 }
@@ -145,13 +145,13 @@ TEST(Counter, VectorizedKernelsBitIdenticalToReference) {
           for (auto mode :
                {ParallelMode::kSerial, ParallelMode::kInnerLoop}) {
             CountOptions options;
-            options.iterations = 3;
-            options.seed = 97;
-            options.mode = mode;
-            options.table = table;
-            options.partition = strategy;
+            options.sampling.iterations = 3;
+            options.sampling.seed = 97;
+            options.execution.mode = mode;
+            options.execution.table = table;
+            options.execution.partition = strategy;
             CountOptions ref_options = options;
-            ref_options.reference_kernels = true;
+            ref_options.execution.reference_kernels = true;
             const CountResult fast = count_template(g, tree, options);
             const CountResult ref = count_template(g, tree, ref_options);
             ASSERT_EQ(ref.per_iteration.size(), fast.per_iteration.size());
@@ -184,9 +184,9 @@ TEST(Counter, ExtraColorsStillUnbiased) {
   const TreeTemplate tree = TreeTemplate::path(4);
   const double exact = testing::brute_force_maps(g, tree) / 2.0;
   CountOptions options;
-  options.iterations = 1200;
-  options.num_colors = 6;  // k > template size
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 1200;
+  options.sampling.num_colors = 6;  // k > template size
+  options.execution.mode = ParallelMode::kSerial;
   const CountResult result = count_template(g, tree, options);
   EXPECT_NEAR(result.estimate, exact, exact * 0.08);
   // More colors -> higher colorful probability.
@@ -196,12 +196,12 @@ TEST(Counter, ExtraColorsStillUnbiased) {
 TEST(Counter, SingleVertexAndEdgeTemplates) {
   const Graph g = test_graph();
   CountOptions options;
-  options.mode = ParallelMode::kSerial;
+  options.execution.mode = ParallelMode::kSerial;
   const CountResult single =
       count_template(g, TreeTemplate::from_edges(1, {}), options);
   EXPECT_DOUBLE_EQ(single.estimate, static_cast<double>(g.num_vertices()));
 
-  options.iterations = 400;
+  options.sampling.iterations = 400;
   const CountResult edge =
       count_template(g, TreeTemplate::path(2), options);
   EXPECT_NEAR(edge.estimate, static_cast<double>(g.num_edges()),
@@ -214,8 +214,8 @@ TEST(Counter, LabeledCountsMatchLabeledBruteForce) {
   TreeTemplate tree = TreeTemplate::path(3);
   tree.set_labels({0, 1, 0});
   CountOptions options;
-  options.iterations = 2500;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 2500;
+  options.execution.mode = ParallelMode::kSerial;
   const CountResult result = count_template(g, tree, options);
   const double exact = testing::brute_force_maps(g, tree) /
                        static_cast<double>(automorphisms(tree));
@@ -229,8 +229,8 @@ TEST(Counter, LabeledCountsAreSmallerThanUnlabeled) {
   TreeTemplate labeled = TreeTemplate::path(3);
   labeled.set_labels({1, 2, 3});
   CountOptions options;
-  options.iterations = 50;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 50;
+  options.execution.mode = ParallelMode::kSerial;
   const CountResult with_labels = count_template(g, labeled, options);
   g.clear_labels();
   const CountResult without =
@@ -243,9 +243,9 @@ TEST(Counter, PerVertexCountsMatchExact) {
   const TreeTemplate& tree = catalog_entry("U5-2").tree;
   const int orbit = u52_central_vertex();
   CountOptions options;
-  options.iterations = 2500;
-  options.mode = ParallelMode::kSerial;
-  options.seed = 3;
+  options.sampling.iterations = 2500;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.seed = 3;
   const CountResult result = graphlet_degrees(g, tree, orbit, options);
   ASSERT_EQ(result.vertex_counts.size(),
             static_cast<std::size_t>(g.num_vertices()));
@@ -272,8 +272,8 @@ TEST(Counter, PerVertexCountsMatchExact) {
 TEST(Counter, RunningEstimatesArePrefixMeans) {
   const Graph g = test_graph();
   CountOptions options;
-  options.iterations = 5;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 5;
+  options.execution.mode = ParallelMode::kSerial;
   const CountResult result =
       count_template(g, TreeTemplate::path(3), options);
   const auto running = result.running_estimates();
@@ -287,13 +287,13 @@ TEST(Counter, OptionValidation) {
   const TreeTemplate tree = TreeTemplate::path(4);
   CountOptions options;
 
-  options.iterations = 0;
+  options.sampling.iterations = 0;
   EXPECT_THROW(count_template(g, tree, options), std::invalid_argument);
-  options.iterations = 1;
+  options.sampling.iterations = 1;
 
-  options.num_colors = 3;  // < template size
+  options.sampling.num_colors = 3;  // < template size
   EXPECT_THROW(count_template(g, tree, options), std::invalid_argument);
-  options.num_colors = 0;
+  options.sampling.num_colors = 0;
 
   options.root = 9;
   EXPECT_THROW(count_template(g, tree, options), std::invalid_argument);
@@ -308,8 +308,8 @@ TEST(Counter, OptionValidation) {
 TEST(Counter, InstrumentationFieldsPopulated) {
   const Graph g = test_graph();
   CountOptions options;
-  options.iterations = 2;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 2;
+  options.execution.mode = ParallelMode::kSerial;
   const CountResult result =
       count_template(g, catalog_entry("U7-2").tree, options);
   EXPECT_EQ(result.automorphisms, 6u);
@@ -328,10 +328,10 @@ TEST(Counter, OuterModePeakMemoryAtLeastSerial) {
   // only grow with thread count (equal when 1 thread).
   const Graph g = test_graph();
   CountOptions options;
-  options.iterations = 4;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 4;
+  options.execution.mode = ParallelMode::kSerial;
   const auto serial = count_template(g, TreeTemplate::path(5), options);
-  options.mode = ParallelMode::kOuterLoop;
+  options.execution.mode = ParallelMode::kOuterLoop;
   const auto outer = count_template(g, TreeTemplate::path(5), options);
   EXPECT_GE(outer.peak_table_bytes + 1024, serial.peak_table_bytes);
 }

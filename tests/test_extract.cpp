@@ -35,7 +35,7 @@ TEST(Extract, SamplingDeterministicInSeed) {
   const Graph g = test_graph();
   const TreeTemplate& tree = catalog_entry("U5-2").tree;
   CountOptions options;
-  options.seed = 77;
+  options.sampling.seed = 77;
   const auto a = sample_embeddings(g, tree, 10, options);
   const auto b = sample_embeddings(g, tree, 10, options);
   ASSERT_EQ(a.size(), b.size());
@@ -51,7 +51,7 @@ TEST(Extract, EnumerationMatchesColorfulOccurrenceCount) {
   const Graph g = test_graph();
   const TreeTemplate tree = TreeTemplate::path(4);
   CountOptions options;
-  options.seed = 9;
+  options.sampling.seed = 9;
   const auto with_dedup =
       enumerate_embeddings(g, tree, 1u << 20, /*dedup_sets=*/true, options);
   const auto without_dedup =

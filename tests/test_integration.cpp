@@ -26,9 +26,9 @@ TEST(Integration, ErrorFallsWithIterationsOnCircuit) {
   ASSERT_GT(exact, 0.0);
 
   CountOptions options;
-  options.iterations = 600;
-  options.mode = ParallelMode::kSerial;
-  options.seed = 5;
+  options.sampling.iterations = 600;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.seed = 5;
   const CountResult result = count_template(g, tree, options);
   const auto running = result.running_estimates();
   const double late_error = relative_error(running.back(), exact);
@@ -40,8 +40,8 @@ TEST(Integration, MotifProfilesDistinguishTopologies) {
   // near-tree and a PPI-like power-law net have more different motif
   // profiles than two power-law nets of different sizes.
   CountOptions options;
-  options.iterations = 120;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 120;
+  options.execution.mode = ParallelMode::kSerial;
 
   const auto hpylori =
       count_all_treelets(make_dataset("hpylori", 1.0, 3), 5, options)
@@ -69,11 +69,11 @@ TEST(Integration, GddAgreementImprovesWithIterations) {
   const auto exact_degrees = exact::per_vertex_counts(g, tree, orbit);
 
   CountOptions few;
-  few.iterations = 1;
-  few.mode = ParallelMode::kSerial;
-  few.seed = 2;
+  few.sampling.iterations = 1;
+  few.execution.mode = ParallelMode::kSerial;
+  few.sampling.seed = 2;
   CountOptions many = few;
-  many.iterations = 300;
+  many.sampling.iterations = 300;
 
   const auto degrees_few =
       graphlet_degrees(g, tree, orbit, few).vertex_counts;
@@ -95,8 +95,8 @@ TEST(Integration, LabeledPipelineFasterSearchSpace) {
   const TreeTemplate& base = catalog_entry("U5-2").tree;
 
   CountOptions options;
-  options.iterations = 2;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 2;
+  options.execution.mode = ParallelMode::kSerial;
   const CountResult unlabeled = count_template(g, base, options);
 
   Graph labeled_graph = g;
@@ -111,9 +111,9 @@ TEST(Integration, LabeledPipelineFasterSearchSpace) {
 TEST(Integration, SeedReproducibilityAcrossPipelines) {
   const Graph g = make_dataset("celegans", 1.0, 29);
   CountOptions options;
-  options.iterations = 3;
-  options.mode = ParallelMode::kSerial;
-  options.seed = 99;
+  options.sampling.iterations = 3;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.seed = 99;
   const auto first = count_template(g, catalog_entry("U7-2").tree, options);
   const auto second = count_template(g, catalog_entry("U7-2").tree, options);
   EXPECT_EQ(first.per_iteration, second.per_iteration);

@@ -194,9 +194,9 @@ TEST(MixedCounter, ConvergesToExactCounts) {
     const double exact = exact::count_embeddings(g, tmpl);
     ASSERT_GT(exact, 0.0) << tmpl.describe();
     CountOptions options;
-    options.iterations = 2500;
-    options.mode = ParallelMode::kSerial;
-    options.seed = 11;
+    options.sampling.iterations = 2500;
+    options.execution.mode = ParallelMode::kSerial;
+    options.sampling.seed = 11;
     const CountResult result = count_mixed_template(g, tmpl, options);
     EXPECT_NEAR(result.estimate, exact, exact * 0.12) << tmpl.describe();
   }
@@ -205,8 +205,8 @@ TEST(MixedCounter, ConvergesToExactCounts) {
 TEST(MixedCounter, TriangleAgreesWithSpecializedCounter) {
   const Graph g = test_graph();
   CountOptions options;
-  options.iterations = 3000;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 3000;
+  options.execution.mode = ParallelMode::kSerial;
   const CountResult via_dp =
       count_mixed_template(g, MixedTemplate::triangle(), options);
   const double exact = exact_triangle_count(g);
@@ -218,8 +218,8 @@ TEST(MixedCounter, TreeDelegationMatchesTreePipeline) {
   const Graph g = test_graph();
   const TreeTemplate tree = TreeTemplate::path(5);
   CountOptions options;
-  options.iterations = 5;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 5;
+  options.execution.mode = ParallelMode::kSerial;
   const CountResult direct = count_template(g, tree, options);
   const CountResult delegated =
       count_mixed_template(g, MixedTemplate::from_tree(tree), options);
@@ -230,17 +230,17 @@ TEST(MixedCounter, DeterministicAcrossModesAndTables) {
   const Graph g = test_graph();
   const MixedTemplate tmpl = bull();
   CountOptions base;
-  base.iterations = 4;
-  base.mode = ParallelMode::kSerial;
-  base.seed = 77;
+  base.sampling.iterations = 4;
+  base.execution.mode = ParallelMode::kSerial;
+  base.sampling.seed = 77;
   const CountResult reference = count_mixed_template(g, tmpl, base);
   for (TableKind table :
        {TableKind::kNaive, TableKind::kCompact, TableKind::kHash}) {
     for (auto mode : {ParallelMode::kSerial, ParallelMode::kInnerLoop,
                       ParallelMode::kOuterLoop}) {
       CountOptions options = base;
-      options.table = table;
-      options.mode = mode;
+      options.execution.table = table;
+      options.execution.mode = mode;
       const CountResult result = count_mixed_template(g, tmpl, options);
       for (std::size_t i = 0; i < result.per_iteration.size(); ++i) {
         EXPECT_NEAR(result.per_iteration[i], reference.per_iteration[i],
@@ -257,8 +257,8 @@ TEST(MixedCounter, LabeledMixedCounting) {
   tmpl.set_labels({0, 0, 1, 1});
   const double exact = exact::count_embeddings(g, tmpl);
   CountOptions options;
-  options.iterations = 3000;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 3000;
+  options.execution.mode = ParallelMode::kSerial;
   const CountResult result = count_mixed_template(g, tmpl, options);
   if (exact > 0.0) {
     EXPECT_NEAR(result.estimate, exact, exact * 0.2 + 0.5);
@@ -271,9 +271,9 @@ TEST(MixedCounter, ExtraColorsReduceVarianceDirectionally) {
   const Graph g = test_graph();
   const MixedTemplate tmpl = paw();
   CountOptions options;
-  options.iterations = 1;
-  options.mode = ParallelMode::kSerial;
-  options.num_colors = 8;
+  options.sampling.iterations = 1;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.num_colors = 8;
   const CountResult result = count_mixed_template(g, tmpl, options);
   EXPECT_GT(result.colorful_probability, colorful_probability(4, 4));
 }
@@ -281,12 +281,12 @@ TEST(MixedCounter, ExtraColorsReduceVarianceDirectionally) {
 TEST(MixedCounter, OptionValidation) {
   const Graph g = test_graph();
   CountOptions options;
-  options.iterations = 0;
+  options.sampling.iterations = 0;
   EXPECT_THROW(count_mixed_template(g, paw(), options), std::invalid_argument);
-  options.iterations = 1;
-  options.num_colors = 3;
+  options.sampling.iterations = 1;
+  options.sampling.num_colors = 3;
   EXPECT_THROW(count_mixed_template(g, paw(), options), std::invalid_argument);
-  options.num_colors = 0;
+  options.sampling.num_colors = 0;
   options.per_vertex = true;
   EXPECT_THROW(count_mixed_template(g, paw(), options), std::invalid_argument);
 }
@@ -299,7 +299,7 @@ TEST(MixedExtract, SampledEmbeddingsValid) {
        {MixedTemplate::triangle(), paw(), bull(),
         two_triangles_shared_vertex()}) {
     CountOptions options;
-    options.seed = 17;
+    options.sampling.seed = 17;
     const auto embeddings = sample_mixed_embeddings(g, tmpl, 12, options);
     EXPECT_GT(embeddings.size(), 0u) << tmpl.describe();
     for (const auto& embedding : embeddings) {

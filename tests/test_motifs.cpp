@@ -18,8 +18,8 @@ Graph test_graph() {
 
 TEST(Motifs, ProfileCoversAllTreelets) {
   CountOptions options;
-  options.iterations = 2;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 2;
+  options.execution.mode = ParallelMode::kSerial;
   const MotifProfile profile = count_all_treelets(test_graph(), 5, options);
   EXPECT_EQ(profile.k, 5);
   EXPECT_EQ(profile.trees.size(), 3u);
@@ -30,8 +30,8 @@ TEST(Motifs, ProfileCoversAllTreelets) {
 
 TEST(Motifs, RelativeFrequenciesMeanOne) {
   CountOptions options;
-  options.iterations = 3;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 3;
+  options.execution.mode = ParallelMode::kSerial;
   const MotifProfile profile = count_all_treelets(test_graph(), 5, options);
   const auto rel = profile.relative_frequencies();
   EXPECT_NEAR(mean(rel), 1.0, 1e-9);
@@ -40,8 +40,8 @@ TEST(Motifs, RelativeFrequenciesMeanOne) {
 TEST(Motifs, ProfileConvergesToExact) {
   const Graph g = test_graph();
   CountOptions options;
-  options.iterations = 800;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 800;
+  options.execution.mode = ParallelMode::kSerial;
   const MotifProfile profile = count_all_treelets(g, 4, options);
   const auto exact = exact::count_all_trees_by_growth(g, 4);
   ASSERT_EQ(profile.counts.size(), exact.counts.size());
@@ -54,9 +54,9 @@ TEST(Motifs, ProfileConvergesToExact) {
 
 TEST(Motifs, DeterministicInSeed) {
   CountOptions options;
-  options.iterations = 2;
-  options.mode = ParallelMode::kSerial;
-  options.seed = 55;
+  options.sampling.iterations = 2;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.seed = 55;
   const auto a = count_all_treelets(test_graph(), 5, options);
   const auto b = count_all_treelets(test_graph(), 5, options);
   EXPECT_EQ(a.counts, b.counts);
@@ -68,8 +68,8 @@ TEST(Motifs, TemplatesUseDistinctSeeds) {
   // so instead check that the profile is not constant across shapes
   // (which would hint at correlated colorings on this asymmetric graph).
   CountOptions options;
-  options.iterations = 1;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 1;
+  options.execution.mode = ParallelMode::kSerial;
   const auto profile = count_all_treelets(test_graph(), 5, options);
   EXPECT_FALSE(profile.counts[0] == profile.counts[1] &&
                profile.counts[1] == profile.counts[2]);
@@ -79,8 +79,8 @@ TEST(Motifs, EmptyProfileOnTinyGraph) {
   // Graph smaller than k: counts are all zero but structure is intact.
   const Graph g = largest_component(erdos_renyi_gnm(3, 2, 1));
   CountOptions options;
-  options.iterations = 2;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 2;
+  options.execution.mode = ParallelMode::kSerial;
   const auto profile = count_all_treelets(g, 5, options);
   for (double count : profile.counts) EXPECT_DOUBLE_EQ(count, 0.0);
 }

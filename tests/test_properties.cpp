@@ -32,11 +32,11 @@ TEST_P(RandomInstance, PrefixOfLongerRunEqualsShorterRun) {
   const Graph g = make_graph();
   const TreeTemplate tree = TreeTemplate::path(4);
   CountOptions options;
-  options.mode = ParallelMode::kSerial;
-  options.seed = static_cast<std::uint64_t>(GetParam()) + 100;
-  options.iterations = 5;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.seed = static_cast<std::uint64_t>(GetParam()) + 100;
+  options.sampling.iterations = 5;
   const auto shorter = count_template(g, tree, options);
-  options.iterations = 10;
+  options.sampling.iterations = 10;
   const auto longer = count_template(g, tree, options);
   for (std::size_t i = 0; i < 5; ++i) {
     EXPECT_DOUBLE_EQ(shorter.per_iteration[i], longer.per_iteration[i]);
@@ -47,9 +47,9 @@ TEST_P(RandomInstance, EstimatesNonNegativeAndFinite) {
   const Graph g = make_graph();
   for (const TreeTemplate& tree : all_free_trees(5)) {
     CountOptions options;
-    options.iterations = 3;
-    options.mode = ParallelMode::kSerial;
-    options.seed = static_cast<std::uint64_t>(GetParam());
+    options.sampling.iterations = 3;
+    options.execution.mode = ParallelMode::kSerial;
+    options.sampling.seed = static_cast<std::uint64_t>(GetParam());
     const CountResult result = count_template(g, tree, options);
     EXPECT_GE(result.estimate, 0.0);
     EXPECT_TRUE(std::isfinite(result.estimate));
@@ -64,9 +64,9 @@ TEST_P(RandomInstance, PerVertexNonNegativeAndSumConsistent) {
   const Graph g = make_graph();
   const TreeTemplate tree = TreeTemplate::star(4);
   CountOptions options;
-  options.iterations = 4;
-  options.mode = ParallelMode::kSerial;
-  options.seed = static_cast<std::uint64_t>(GetParam());
+  options.sampling.iterations = 4;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.seed = static_cast<std::uint64_t>(GetParam());
   const CountResult result = graphlet_degrees(g, tree, 0, options);
   double sum = 0.0;
   for (double value : result.vertex_counts) {
@@ -82,7 +82,7 @@ TEST_P(RandomInstance, SampledEmbeddingsValidAcrossTreeShapes) {
   const Graph g = make_graph();
   for (const TreeTemplate& tree : all_free_trees(5)) {
     CountOptions options;
-    options.seed = static_cast<std::uint64_t>(GetParam()) * 31 + 7;
+    options.sampling.seed = static_cast<std::uint64_t>(GetParam()) * 31 + 7;
     const auto embeddings = sample_embeddings(g, tree, 5, options);
     for (const auto& embedding : embeddings) {
       EXPECT_TRUE(is_valid_embedding(g, tree, embedding));
@@ -102,7 +102,7 @@ TEST(SamplingDistribution, RoughlyUniformOverCopies) {
   std::map<std::vector<VertexId>, int> frequency;
   for (int round = 0; round < 60; ++round) {
     CountOptions options;
-    options.seed = static_cast<std::uint64_t>(round) * 977 + 13;
+    options.sampling.seed = static_cast<std::uint64_t>(round) * 977 + 13;
     for (const auto& embedding : sample_embeddings(g, tree, 4, options)) {
       auto sorted = embedding.vertices;
       std::sort(sorted.begin(), sorted.end());
@@ -114,7 +114,7 @@ TEST(SamplingDistribution, RoughlyUniformOverCopies) {
   std::set<std::vector<VertexId>> all_copies;
   for (int seed = 0; seed < 24; ++seed) {
     CountOptions options;
-    options.seed = static_cast<std::uint64_t>(seed);
+    options.sampling.seed = static_cast<std::uint64_t>(seed);
     for (const auto& embedding :
          enumerate_embeddings(g, tree, 1 << 16, true, options)) {
       auto sorted = embedding.vertices;

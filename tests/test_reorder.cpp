@@ -127,11 +127,11 @@ TEST(ReorderMode, NamesParseRoundTrip) {
 CountOptions reorder_options(ReorderMode reorder, ParallelMode mode,
                              TableKind table) {
   CountOptions options;
-  options.iterations = 4;
-  options.seed = 77;
-  options.reorder = reorder;
-  options.mode = mode;
-  options.table = table;
+  options.sampling.iterations = 4;
+  options.sampling.seed = 77;
+  options.execution.reorder = reorder;
+  options.execution.mode = mode;
+  options.execution.table = table;
   return options;
 }
 
@@ -171,7 +171,7 @@ TEST(ReorderCounting, BitIdenticalAgainstReferenceKernels) {
 
   CountOptions reference_options = reorder_options(
       ReorderMode::kNone, ParallelMode::kSerial, TableKind::kCompact);
-  reference_options.reference_kernels = true;
+  reference_options.execution.reference_kernels = true;
   const CountResult reference = count_template(g, tree, reference_options);
 
   for (ReorderMode reorder : kAllModes) {
@@ -224,7 +224,7 @@ TEST(ReorderCounting, GraphletDegreesKeyedByOriginalIds) {
 
   for (ReorderMode reorder :
        {ReorderMode::kDegree, ReorderMode::kBfs, ReorderMode::kHybrid}) {
-    options.reorder = reorder;
+    options.execution.reorder = reorder;
     const CountResult result = graphlet_degrees(g, tree, 0, options);
     ASSERT_EQ(result.vertex_counts.size(), reference.vertex_counts.size());
     for (std::size_t v = 0; v < reference.vertex_counts.size(); ++v) {
@@ -263,14 +263,14 @@ TEST(ReorderCounting, CheckpointResumeAcrossReorderModesBitIdentical) {
 
   CountOptions options = reorder_options(
       ReorderMode::kNone, ParallelMode::kSerial, TableKind::kCompact);
-  options.iterations = 8;
+  options.sampling.iterations = 8;
   options.per_vertex = true;
   const CountResult uninterrupted = count_template(g, tree, options);
 
   // First half under kDegree, checkpointing every 2 iterations ...
   CountOptions first = options;
-  first.iterations = 4;
-  first.reorder = ReorderMode::kDegree;
+  first.sampling.iterations = 4;
+  first.execution.reorder = ReorderMode::kDegree;
   first.run.checkpoint_path = path;
   first.run.checkpoint_every = 2;
   const CountResult half = count_template(g, tree, first);
@@ -282,7 +282,7 @@ TEST(ReorderCounting, CheckpointResumeAcrossReorderModesBitIdentical) {
   // stored in original-id space, so the estimates must match the
   // uninterrupted run bit-for-bit.
   CountOptions second = options;
-  second.reorder = ReorderMode::kBfs;
+  second.execution.reorder = ReorderMode::kBfs;
   second.run.checkpoint_path = path;
   second.run.checkpoint_every = 2;
   second.run.resume = true;

@@ -36,9 +36,9 @@ Graph test_graph() { return testing::complete_graph(9); }
 
 CountOptions base_options() {
   CountOptions options;
-  options.iterations = 10;
-  options.mode = ParallelMode::kSerial;
-  options.seed = 123;
+  options.sampling.iterations = 10;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.seed = 123;
   return options;
 }
 
@@ -170,8 +170,8 @@ TEST(MemoryPlan, EstimateCoversMeasuredNaivePeak) {
   const auto plan = run::plan_memory(part, 7, g.num_vertices(), false,
                                      TableKind::kNaive, 1, 0, 1);
   CountOptions options = base_options();
-  options.iterations = 2;
-  options.table = TableKind::kNaive;
+  options.sampling.iterations = 2;
+  options.execution.table = TableKind::kNaive;
   const CountResult result = count_template(g, tree, options);
   ASSERT_GT(result.peak_table_bytes, 0u);
   EXPECT_GE(plan.estimated_peak_bytes, result.peak_table_bytes);
@@ -191,8 +191,8 @@ TEST(MemoryPlan, EstimateWithinProcessHighWaterRss) {
   const Graph g = erdos_renyi_gnm(4000, 16000, 11);
   const TreeTemplate& tree = catalog_entry("U7-1").tree;
   CountOptions options = base_options();
-  options.iterations = 2;
-  options.table = TableKind::kNaive;
+  options.sampling.iterations = 2;
+  options.execution.table = TableKind::kNaive;
   const CountResult result = count_template(g, tree, options);
 
   std::size_t hwm_kib = 0;
@@ -315,7 +315,7 @@ TEST(ResilientCount, DeadlineYieldsHonestPartial) {
   const Graph g = test_graph();
   const TreeTemplate& tree = catalog_entry("U5-2").tree;
   CountOptions options = base_options();
-  options.iterations = 200;
+  options.sampling.iterations = 200;
   options.run.deadline_seconds = 1e-9;
   const CountResult result = count_template(g, tree, options);
   EXPECT_EQ(result.run.status, RunStatus::kDeadline);
@@ -341,7 +341,7 @@ TEST(ResilientCount, TinyBudgetDegradesNotAborts) {
   const Graph g = test_graph();
   const TreeTemplate& tree = catalog_entry("U5-2").tree;
   CountOptions options = base_options();
-  options.table = TableKind::kNaive;
+  options.execution.table = TableKind::kNaive;
   options.run.memory_budget_bytes = 1;  // impossible on purpose
   const CountResult result = count_template(g, tree, options);
   EXPECT_EQ(result.run.status, RunStatus::kMemDegraded);
@@ -356,7 +356,7 @@ TEST(ResilientCount, GenerousBudgetCompletesWithoutDegradation) {
   options.run.memory_budget_bytes = std::size_t{1} << 33;  // 8 GiB
   const CountResult result = count_template(g, tree, options);
   EXPECT_EQ(result.run.status, RunStatus::kCompleted);
-  EXPECT_EQ(result.run.completed_iterations, options.iterations);
+  EXPECT_EQ(result.run.completed_iterations, options.sampling.iterations);
   EXPECT_TRUE(result.run.degradations.empty());
   EXPECT_GT(result.run.estimated_peak_bytes, 0u);
 }
@@ -370,12 +370,12 @@ TEST(ResilientCount, ResumeExtendsToBitIdenticalEstimates) {
   std::remove(path.c_str());
 
   CountOptions reference_options = base_options();
-  reference_options.iterations = 10;
+  reference_options.sampling.iterations = 10;
   const CountResult reference = count_template(g, tree, reference_options);
 
   // Phase 1: run only the first 4 iterations, checkpointing as we go.
   CountOptions first = reference_options;
-  first.iterations = 4;
+  first.sampling.iterations = 4;
   first.run.checkpoint_path = path;
   first.run.checkpoint_every = 2;
   const CountResult partial = count_template(g, tree, first);
@@ -406,12 +406,12 @@ TEST(ResilientCount, PerVertexResumeBitIdentical) {
   std::remove(path.c_str());
 
   CountOptions reference_options = base_options();
-  reference_options.iterations = 6;
+  reference_options.sampling.iterations = 6;
   reference_options.per_vertex = true;
   const CountResult reference = count_template(g, tree, reference_options);
 
   CountOptions first = reference_options;
-  first.iterations = 3;
+  first.sampling.iterations = 3;
   first.run.checkpoint_path = path;
   first.run.checkpoint_every = 1;
   count_template(g, tree, first);
@@ -435,13 +435,13 @@ TEST(ResilientCount, OuterModeResumeBitIdentical) {
   std::remove(path.c_str());
 
   CountOptions reference_options = base_options();
-  reference_options.iterations = 8;
-  reference_options.mode = ParallelMode::kOuterLoop;
-  reference_options.num_threads = 2;
+  reference_options.sampling.iterations = 8;
+  reference_options.execution.mode = ParallelMode::kOuterLoop;
+  reference_options.execution.threads = 2;
   const CountResult reference = count_template(g, tree, reference_options);
 
   CountOptions first = reference_options;
-  first.iterations = 3;
+  first.sampling.iterations = 3;
   first.run.checkpoint_path = path;
   first.run.checkpoint_every = 1;
   count_template(g, tree, first);
@@ -464,14 +464,14 @@ TEST(ResilientCount, MismatchedCheckpointRejectedNotBlended) {
   std::remove(path.c_str());
 
   CountOptions first = base_options();
-  first.iterations = 4;
+  first.sampling.iterations = 4;
   first.run.checkpoint_path = path;
   count_template(g, catalog_entry("U5-2").tree, first);
 
   // Same file, different template: the fingerprint must reject it and
   // the run must start fresh (and still be correct).
   CountOptions second = base_options();
-  second.iterations = 4;
+  second.sampling.iterations = 4;
   second.run.checkpoint_path = path;
   second.run.resume = true;
   const CountResult other =
@@ -481,7 +481,7 @@ TEST(ResilientCount, MismatchedCheckpointRejectedNotBlended) {
   EXPECT_EQ(other.run.completed_iterations, 4);
 
   CountOptions clean = base_options();
-  clean.iterations = 4;
+  clean.sampling.iterations = 4;
   const CountResult reference =
       count_template(g, catalog_entry("U5-1").tree, clean);
   EXPECT_EQ(other.estimate, reference.estimate);

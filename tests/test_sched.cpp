@@ -38,10 +38,10 @@ std::vector<sched::BatchJob> fixed_jobs(int k, int iterations) {
 CountResult reference(const Graph& g, const TreeTemplate& tree,
                       int iterations, std::uint64_t seed, int num_colors) {
   CountOptions options;
-  options.iterations = iterations;
-  options.seed = seed;
-  options.num_colors = num_colors;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = iterations;
+  options.sampling.seed = seed;
+  options.sampling.num_colors = num_colors;
+  options.execution.mode = ParallelMode::kSerial;
   return count_template(g, tree, options);
 }
 
@@ -232,10 +232,10 @@ TEST(Sched, ValidationErrors) {
 TEST(Sched, MotifProfileBatchFlagMatchesSharedSeedPath) {
   const Graph g = test_graph();
   CountOptions options;
-  options.iterations = 3;
-  options.seed = 31;
-  options.mode = ParallelMode::kSerial;
-  options.batch_engine = true;
+  options.sampling.iterations = 3;
+  options.sampling.seed = 31;
+  options.execution.mode = ParallelMode::kSerial;
+  options.execution.batch_engine = true;
   const MotifProfile profile = count_all_treelets(g, 5, options);
   ASSERT_EQ(profile.counts.size(), 3u);
   ASSERT_EQ(profile.iterations.size(), 3u);

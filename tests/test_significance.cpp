@@ -11,9 +11,9 @@ namespace {
 TEST(Significance, StructureAndDeterminism) {
   const Graph g = largest_component(chung_lu(250, 750, 2.2, 50, 9));
   CountOptions options;
-  options.iterations = 30;
-  options.mode = ParallelMode::kSerial;
-  options.seed = 3;
+  options.sampling.iterations = 30;
+  options.execution.mode = ParallelMode::kSerial;
+  options.sampling.seed = 3;
   const auto a = motif_significance(g, 4, 4, options);
   EXPECT_EQ(a.k, 4);
   EXPECT_EQ(a.trees.size(), 2u);  // path-4 and star-4
@@ -30,8 +30,8 @@ TEST(Significance, RandomGraphHasNoStrongMotifs) {
   // z-scores should be modest.
   const Graph g = largest_component(erdos_renyi_gnm(300, 900, 5));
   CountOptions options;
-  options.iterations = 60;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 60;
+  options.execution.mode = ParallelMode::kSerial;
   const auto sig = motif_significance(g, 4, 6, options);
   for (double z : sig.z_scores) {
     EXPECT_LT(std::abs(z), 12.0);
@@ -46,8 +46,8 @@ TEST(Significance, PlantedStructureDetected) {
   // relative to the randomized version, giving |z| >> 0 somewhere.
   const Graph g = largest_component(contact_network(600, 12.0, 4));
   CountOptions options;
-  options.iterations = 60;
-  options.mode = ParallelMode::kSerial;
+  options.sampling.iterations = 60;
+  options.execution.mode = ParallelMode::kSerial;
   const auto sig = motif_significance(g, 4, 6, options);
   double max_abs_z = 0.0;
   for (double z : sig.z_scores) max_abs_z = std::max(max_abs_z, std::abs(z));
@@ -57,7 +57,7 @@ TEST(Significance, PlantedStructureDetected) {
 TEST(Significance, Validation) {
   const Graph g = erdos_renyi_gnm(50, 100, 1);
   CountOptions options;
-  options.iterations = 2;
+  options.sampling.iterations = 2;
   EXPECT_THROW(motif_significance(g, 4, 1, options), std::invalid_argument);
   EXPECT_THROW(motif_significance(g, 4, 4, options, 0.0),
                std::invalid_argument);

@@ -24,8 +24,8 @@ TEST(Triangle, EstimateConvergesToExact) {
   const double exact = exact_triangle_count(g);
   ASSERT_GT(exact, 0.0);
   CountOptions options;
-  options.iterations = 3000;
-  options.seed = 5;
+  options.sampling.iterations = 3000;
+  options.sampling.seed = 5;
   const CountResult result = count_triangles(g, options);
   EXPECT_NEAR(result.estimate, exact, exact * 0.1);
   EXPECT_EQ(result.automorphisms, 6u);
@@ -35,7 +35,7 @@ TEST(Triangle, EstimateConvergesToExact) {
 TEST(Triangle, DeterministicInSeed) {
   const Graph g = largest_component(erdos_renyi_gnm(60, 250, 1));
   CountOptions options;
-  options.iterations = 5;
+  options.sampling.iterations = 5;
   const auto a = count_triangles(g, options);
   const auto b = count_triangles(g, options);
   EXPECT_EQ(a.per_iteration, b.per_iteration);
@@ -44,8 +44,8 @@ TEST(Triangle, DeterministicInSeed) {
 TEST(Triangle, MoreColorsRaiseColorfulProbability) {
   const Graph g = testing::complete_graph(5);
   CountOptions options;
-  options.iterations = 2000;
-  options.num_colors = 6;
+  options.sampling.iterations = 2000;
+  options.sampling.num_colors = 6;
   const CountResult result = count_triangles(g, options);
   EXPECT_GT(result.colorful_probability, 6.0 / 27.0);
   EXPECT_NEAR(result.estimate, 10.0, 1.5);  // K5 has 10 triangles
@@ -64,7 +64,7 @@ TEST(Triangle, LabeledCounting) {
   EXPECT_DOUBLE_EQ(exact_triangle_count(g), 2.0);
 
   CountOptions options;
-  options.iterations = 4000;
+  options.sampling.iterations = 4000;
   const CountResult estimated = count_triangles(g, options, {0, 1, 1});
   EXPECT_NEAR(estimated.estimate, 1.0, 0.25);
   EXPECT_EQ(estimated.automorphisms, 2u);  // aab multiset
@@ -78,7 +78,7 @@ TEST(Triangle, LabelValidation) {
   labeled.set_labels({0, 0, 0, 0}, 1);
   EXPECT_THROW(exact_triangle_count(labeled, {0, 0}), std::invalid_argument);
   CountOptions options;
-  options.num_colors = 2;
+  options.sampling.num_colors = 2;
   EXPECT_THROW(count_triangles(labeled, options), std::invalid_argument);
 }
 
