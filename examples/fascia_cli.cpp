@@ -22,6 +22,7 @@
 #include "graph/io.hpp"
 #include "treelet/catalog.hpp"
 #include "run/controls.hpp"
+#include "svc/service.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/table_printer.hpp"
@@ -49,12 +50,21 @@ fascia::ParallelMode parse_mode(const std::string& name) {
   throw std::invalid_argument("--mode must be serial|inner|outer|hybrid");
 }
 
-// SIGINT flips this flag; the run layer polls it at iteration and
-// DP-stage boundaries, finishes the current checkpoint, and returns a
-// partial estimate with status=cancelled instead of dying mid-write.
-std::atomic<bool> g_cancel{false};
+// SIGINT cancels THIS session's active job and nothing else: the
+// handler requests cancellation on the one CancelSource the job is
+// bound to (an async-signal-safe relaxed store), and the run layer
+// polls the flag at iteration and DP-stage boundaries, finishes the
+// current checkpoint, and returns a partial estimate with
+// status=cancelled instead of dying mid-write.  No process-global
+// cancel flag exists anymore — a co-resident job (e.g. when the CLI
+// embeds a Service with more workers) is untouched.
+std::atomic<fascia::CancelSource*> g_active_cancel{nullptr};
 
-extern "C" void handle_sigint(int) { g_cancel.store(true); }
+extern "C" void handle_sigint(int) {
+  fascia::CancelSource* source =
+      g_active_cancel.load(std::memory_order_relaxed);
+  if (source != nullptr) source->request();
+}
 
 void add_run_report_rows(fascia::TablePrinter& table,
                          const fascia::RunReport& run) {
@@ -141,11 +151,23 @@ int main(int argc, char** argv) {
 
     const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
     const double scale = cli.full_scale() ? 1.0 : 0.1 * cli.real("scale");
-    Graph graph = load_or_make(cli.str("dataset"), cli.str("graph"),
-                               std::min(1.0, scale), seed);
+    Graph loaded = load_or_make(cli.str("dataset"), cli.str("graph"),
+                                std::min(1.0, scale), seed);
     if (!cli.str("labels").empty()) {
-      read_labels(graph, cli.str("labels"));
+      read_labels(loaded, cli.str("labels"));
     }
+
+    // The CLI is a one-session client of the same service layer the
+    // socket server runs: the graph goes into the service's registry
+    // and tree counts are submitted as jobs, so both frontends share
+    // one code path (and the SIGINT handler binds to the job's own
+    // CancelSource below).
+    svc::Service::Config service_config;
+    service_config.workers = 1;
+    svc::Service service(service_config);
+    svc::Session session(service);
+    const Graph& graph =
+        *service.registry().put("cli", std::move(loaded));
     std::printf("graph: n=%d m=%lld d_avg=%.1f d_max=%lld\n",
                 graph.num_vertices(),
                 static_cast<long long>(graph.num_edges()), graph.avg_degree(),
@@ -168,13 +190,39 @@ int main(int argc, char** argv) {
     options.run.checkpoint_every =
         static_cast<int>(cli.integer("checkpoint-every"));
     options.run.resume = cli.flag("resume");
-    options.run.cancel = &g_cancel;
+    // Direct-call paths (triangle, mixed) bind this source; tree
+    // counts run as service jobs and rebind SIGINT to the job's own
+    // source while they run.
+    CancelSource direct_cancel;
+    options.run.cancel = &direct_cancel.flag();
+    g_active_cancel.store(&direct_cancel, std::memory_order_relaxed);
     const std::string report_path = cli.str("report");
     const std::string trace_path = cli.str("trace");
     options.observability.enabled =
         cli.flag("obs") || !report_path.empty() || !trace_path.empty();
     if (options.observability.enabled) obs::set_enabled(true);
     std::signal(SIGINT, handle_sigint);
+
+    // Tree counts go through the service session — the same code path
+    // a socket client exercises, with per-job cancellation.
+    auto run_tree_count = [&](const TreeTemplate& t) {
+      svc::JobSpec spec;
+      spec.kind = svc::JobKind::kCount;
+      spec.graph = "cli";
+      spec.tmpl = t;
+      spec.options = options;
+      spec.priority = svc::Priority::kInteractive;
+      spec.preemptible = false;
+      const svc::JobId id = session.submit(std::move(spec));
+      g_active_cancel.store(&service.cancel_source(id),
+                            std::memory_order_relaxed);
+      const svc::JobInfo done = service.wait(id);
+      g_active_cancel.store(&direct_cancel, std::memory_order_relaxed);
+      if (done.state == svc::JobState::kFailed) {
+        throw std::runtime_error(done.error);
+      }
+      return service.count_result(id);
+    };
 
     // Template files may contain trees OR triangle-block templates; the
     // catalog holds the paper's named trees plus U3-2 (the triangle).
@@ -187,7 +235,7 @@ int main(int argc, char** argv) {
       std::printf("template: %s\n\n", mixed.describe().c_str());
       if (mixed.is_tree()) {
         tmpl = mixed.as_tree();
-        result = count_template(graph, tmpl, options);
+        result = run_tree_count(tmpl);
       } else {
         is_tree = false;
         // Mixed counting runs several tree sub-counts internally; a
@@ -208,7 +256,7 @@ int main(int argc, char** argv) {
       } else {
         tmpl = entry.tree;
         std::printf("template: %s\n\n", tmpl.describe().c_str());
-        result = count_template(graph, tmpl, options);
+        result = run_tree_count(tmpl);
       }
     }
 

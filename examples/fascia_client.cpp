@@ -1,0 +1,116 @@
+// fascia_client: command-line client for fascia_server (docs/SERVER.md).
+//
+// One invocation sends one request and prints the terminal response as
+// JSON to stdout (progress events, when --stream is on, go to stdout
+// too, one JSON document per line — pipe through `jq` per line).
+//
+//   fascia_client --port 7071 --op load_graph --graph enron --scale 0.05
+//   fascia_client --port 7071 --op count --graph enron --template U5-1 \
+//                 --iterations 8 --stream
+//   fascia_client --port 7071 --op status
+//   fascia_client --port 7071 --op shutdown
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "svc/client.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  using fascia::Cli;
+  using fascia::obs::Json;
+  Cli cli("fascia_client — one request against a running fascia_server");
+  cli.add_option("host", "server TCP address", "127.0.0.1");
+  cli.add_option("port", "server TCP port", "7071");
+  cli.add_option("unix", "connect via Unix socket instead ('' = TCP)", "");
+  cli.add_option("op",
+                 "load_graph | count | gdd | run_batch | status | cancel | "
+                 "shutdown",
+                 "status");
+  cli.add_option("graph", "graph name in the server registry", "");
+  cli.add_option("dataset", "dataset to load (default: the graph name)", "");
+  cli.add_option("file", "edge-list file for load_graph", "");
+  cli.add_option("scale", "dataset scale for load_graph", "1.0");
+  cli.add_option("template", "template name (U5-1, ...) or path:k / star:k",
+                 "U5-1");
+  cli.add_option("iterations", "sampling iterations", "4");
+  cli.add_option("seed", "RNG seed", "1");
+  cli.add_option("threads", "OpenMP threads (0 = default)", "0");
+  cli.add_option("orbit", "gdd orbit vertex", "0");
+  cli.add_option("priority", "interactive | batch", "interactive");
+  cli.add_option("job", "job id for cancel", "0");
+  cli.add_flag("stream", "stream progress events while the job runs");
+  cli.add_flag("report", "include the full RunReport in the response");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    fascia::svc::Client client =
+        cli.str("unix").empty()
+            ? fascia::svc::Client::connect_tcp(
+                  cli.str("host"), static_cast<int>(cli.integer("port")))
+            : fascia::svc::Client::connect_unix(cli.str("unix"));
+    client.on_event([](const Json& event) {
+      std::printf("%s\n", event.dump().c_str());
+      std::fflush(stdout);
+    });
+
+    const std::string op = cli.str("op");
+    Json request = Json::object();
+    request["op"] = op;
+    if (op == "load_graph") {
+      request["name"] = cli.str("graph");
+      if (!cli.str("dataset").empty()) request["dataset"] = cli.str("dataset");
+      if (!cli.str("file").empty()) request["file"] = cli.str("file");
+      request["scale"] = cli.real("scale");
+      request["seed"] = cli.integer("seed");
+    } else if (op == "count" || op == "gdd" || op == "run_batch") {
+      request["graph"] = cli.str("graph");
+      request["priority"] = cli.str("priority");
+      request["stream"] = cli.flag("stream");
+      request["report"] = cli.flag("report");
+      // Template spec: a catalog name, or "path:k" / "star:k".
+      const std::string tmpl = cli.str("template");
+      Json tmpl_spec = Json::object();
+      if (tmpl.rfind("path:", 0) == 0) {
+        tmpl_spec["path"] = std::stoi(tmpl.substr(5));
+      } else if (tmpl.rfind("star:", 0) == 0) {
+        tmpl_spec["star"] = std::stoi(tmpl.substr(5));
+      } else {
+        tmpl_spec["name"] = tmpl;
+      }
+      Json options = Json::object();
+      options["iterations"] = cli.integer("iterations");
+      options["seed"] = cli.integer("seed");
+      options["threads"] = cli.integer("threads");
+      if (op == "run_batch") {
+        Json job = Json::object();
+        job["template"] = std::move(tmpl_spec);
+        job["iterations"] = cli.integer("iterations");
+        Json jobs = Json::array();
+        jobs.push_back(std::move(job));
+        request["jobs"] = std::move(jobs);
+        Json batch_options = Json::object();
+        batch_options["seed"] = cli.integer("seed");
+        batch_options["threads"] = cli.integer("threads");
+        request["options"] = std::move(batch_options);
+      } else {
+        request["template"] = std::move(tmpl_spec);
+        if (op == "gdd") request["orbit"] = cli.integer("orbit");
+        request["options"] = std::move(options);
+      }
+    } else if (op == "cancel") {
+      request["job"] = cli.integer("job");
+    }
+    // status / shutdown need no more fields.
+
+    const Json response = client.request(request);
+    std::printf("%s\n", response.dump().c_str());
+    return response.get_bool("ok", false) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fascia_client: %s\n", e.what());
+    return fascia::exit_code_for(e);
+  }
+}

@@ -1,0 +1,88 @@
+// fascia_server: the counting-service daemon (docs/SERVER.md).
+//
+// Binds the framed-JSON protocol on TCP loopback (and optionally a
+// Unix-domain socket), then serves until a client sends "shutdown" or
+// the process receives SIGINT/SIGTERM.  All counting goes through the
+// same svc::Service layer the CLI uses in-process — the server adds
+// only transport.
+//
+//   fascia_server --port 7071 --workers 4 --registry-budget-mb 512 \
+//                 --work-dir /tmp/fascia-work
+//
+// Prints one "listening" line per bound endpoint (with the resolved
+// port, so --port 0 works for scripts) and one line per lifecycle
+// event.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+
+#include "svc/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+std::atomic<bool> g_signalled{false};
+
+void flag_signal(int) { g_signalled.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using fascia::Cli;
+  Cli cli("fascia_server — counting-as-a-service daemon");
+  cli.add_option("port", "TCP port (0 = ephemeral, -1 = disable TCP)", "7071");
+  cli.add_option("host", "TCP bind address", "127.0.0.1");
+  cli.add_option("unix", "Unix-domain socket path ('' = none)", "");
+  cli.add_option("workers", "job worker threads", "2");
+  cli.add_option("registry-budget-mb", "graph registry budget (0 = none)",
+                 "0");
+  cli.add_option("memory-budget-mb", "admission budget (0 = none)", "0");
+  cli.add_option("work-dir", "checkpoint dir for preemption ('' = off)", "");
+  cli.add_flag("no-preemption", "never preempt batch jobs");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    fascia::svc::Server::Config config;
+    config.host = cli.str("host");
+    config.port = static_cast<int>(cli.integer("port"));
+    config.unix_path = cli.str("unix");
+    config.service.workers = static_cast<int>(cli.integer("workers"));
+    config.service.registry_budget_bytes =
+        static_cast<std::size_t>(cli.integer("registry-budget-mb")) << 20;
+    config.service.memory_budget_bytes =
+        static_cast<std::size_t>(cli.integer("memory-budget-mb")) << 20;
+    config.service.work_dir = cli.str("work-dir");
+    config.service.enable_preemption = !cli.flag("no-preemption");
+
+    fascia::svc::Server server(config);
+    server.start();
+    if (server.port() >= 0) {
+      std::printf("listening tcp %s:%d\n", config.host.c_str(),
+                  server.port());
+    }
+    if (!config.unix_path.empty()) {
+      std::printf("listening unix %s\n", config.unix_path.c_str());
+    }
+    std::fflush(stdout);
+
+    std::signal(SIGINT, flag_signal);
+    std::signal(SIGTERM, flag_signal);
+    // Two exits from this loop: a client "shutdown" op (timed wait
+    // returns true) or a signal (flag polled every tick).
+    while (!server.wait_shutdown_for(0.2)) {
+      if (g_signalled.load(std::memory_order_relaxed)) break;
+    }
+    std::printf("shutting down\n");
+    std::fflush(stdout);
+    server.stop();
+    std::printf("stopped\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fascia_server: %s\n", e.what());
+    return fascia::exit_code_for(e);
+  }
+}

@@ -5,8 +5,8 @@
 // SamplingOptions (how many samples, how biased), ExecutionOptions
 // (how the DP runs), ObservabilityOptions (what gets recorded) — plus
 // the RunControls resilience block.  The pre-grouping flat field
-// spellings (`options.iterations`, `options.table`, ...) still compile
-// as deprecated write-through aliases for one release; docs/API.md has
+// spellings (`options.iterations`, `options.table`, ...) completed
+// their one-release deprecation window and are gone; docs/API.md keeps
 // the migration table.  Prefer the fluent builder:
 //
 //   auto options = CountOptions::builder()
@@ -139,37 +139,6 @@ struct ObservabilityOptions {
   std::string label;
 };
 
-namespace detail {
-
-/// Write-through alias for a relocated option field: reads and writes
-/// forward to the new grouped location, so old spellings keep their
-/// exact semantics during the deprecation window.
-template <class T>
-class OptionAlias {
- public:
-  explicit constexpr OptionAlias(T& target) noexcept : target_(target) {}
-
-  OptionAlias(const OptionAlias&) = delete;
-  OptionAlias& operator=(const OptionAlias&) = delete;
-
-  OptionAlias& operator=(const T& value) {
-    target_ = value;
-    return *this;
-  }
-  OptionAlias& operator=(T&& value) {
-    target_ = std::move(value);
-    return *this;
-  }
-
-  constexpr operator T&() noexcept { return target_; }
-  constexpr operator const T&() const noexcept { return target_; }
-
- private:
-  T& target_;
-};
-
-}  // namespace detail
-
 struct CountOptions {
   SamplingOptions sampling;
   ExecutionOptions execution;
@@ -198,79 +167,6 @@ struct CountOptions {
 
   class Builder;
   [[nodiscard]] static Builder builder();
-
-  // ---- deprecated flat spellings (one-release migration window) -----------
-  // The aliases write through to the grouped fields above, so mixing
-  // old and new spellings on the same object stays coherent.  They are
-  // rebound in the copy/move members: an alias always refers to its
-  // own object's storage, never the source's.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  [[deprecated("use sampling.iterations")]] detail::OptionAlias<int>
-      iterations{sampling.iterations};
-  [[deprecated("use sampling.num_colors")]] detail::OptionAlias<int>
-      num_colors{sampling.num_colors};
-  [[deprecated("use sampling.seed")]] detail::OptionAlias<std::uint64_t> seed{
-      sampling.seed};
-  [[deprecated("use execution.table")]] detail::OptionAlias<TableKind> table{
-      execution.table};
-  [[deprecated("use execution.partition")]] detail::OptionAlias<
-      PartitionStrategy>
-      partition{execution.partition};
-  [[deprecated("use execution.share_tables")]] detail::OptionAlias<bool>
-      share_tables{execution.share_tables};
-  [[deprecated("use execution.mode")]] detail::OptionAlias<ParallelMode> mode{
-      execution.mode};
-  [[deprecated("use execution.threads")]] detail::OptionAlias<int> num_threads{
-      execution.threads};
-  [[deprecated("use execution.reorder")]] detail::OptionAlias<ReorderMode>
-      reorder{execution.reorder};
-  [[deprecated("use execution.outer_copies")]] detail::OptionAlias<int>
-      outer_copies{execution.outer_copies};
-  [[deprecated("use execution.batch_engine")]] detail::OptionAlias<bool>
-      batch_engine{execution.batch_engine};
-  [[deprecated("use execution.reference_kernels")]] detail::OptionAlias<bool>
-      reference_kernels{execution.reference_kernels};
-
-  CountOptions() {}
-  ~CountOptions() = default;
-  CountOptions(const CountOptions& other)
-      : sampling(other.sampling),
-        execution(other.execution),
-        observability(other.observability),
-        run(other.run),
-        root(other.root),
-        per_vertex(other.per_vertex) {}
-  CountOptions(CountOptions&& other) noexcept
-      : sampling(other.sampling),
-        execution(other.execution),
-        observability(std::move(other.observability)),
-        run(std::move(other.run)),
-        root(other.root),
-        per_vertex(other.per_vertex) {}
-  CountOptions& operator=(const CountOptions& other) {
-    sampling = other.sampling;
-    execution = other.execution;
-    observability = other.observability;
-    run = other.run;
-    root = other.root;
-    per_vertex = other.per_vertex;
-    return *this;
-  }
-  CountOptions& operator=(CountOptions&& other) noexcept {
-    sampling = other.sampling;
-    execution = other.execution;
-    observability = std::move(other.observability);
-    run = std::move(other.run);
-    root = other.root;
-    per_vertex = other.per_vertex;
-    return *this;
-  }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 };
 
 /// Fluent construction; build() validates.  Setter order is free.

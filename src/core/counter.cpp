@@ -319,7 +319,13 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
 
   const RunControls& controls = options.run;
   const bool controlled = controls.active();
-  const bool checkpointing = !controls.checkpoint_path.empty();
+  // A directory-valued checkpoint target resolves to a per-job file
+  // named by the run fingerprint, so concurrent jobs sharing one work
+  // directory (the server's preemption pool) never clobber each other.
+  const std::string checkpoint_path = run::resolve_checkpoint_path(
+      controls.checkpoint_path, run::Checkpoint::kKindCount,
+      setup.fingerprint);
+  const bool checkpointing = !checkpoint_path.empty();
   const int checkpoint_every = std::max(1, controls.checkpoint_every);
   RunGuard guard(controls);
 
@@ -375,7 +381,7 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
   int start = 0;
   if (checkpointing && controls.resume) {
     std::string why;
-    if (auto loaded = run::load_checkpoint(controls.checkpoint_path, &why)) {
+    if (auto loaded = run::load_checkpoint(checkpoint_path, &why)) {
       const run::Checkpoint& ck = *loaded;
       if (ck.kind != run::Checkpoint::kKindCount) {
         why = "checkpoint kind mismatch";
@@ -442,7 +448,7 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
               : vertex_accumulator);
     }
     try {
-      run::save_checkpoint(controls.checkpoint_path, ck);
+      run::save_checkpoint(checkpoint_path, ck);
       ++result.run.checkpoints_written;
       last_saved = prefix;
     } catch (const Error&) {

@@ -216,9 +216,42 @@ void Registry::reset() noexcept {
   for (auto& g : im.gauges) g.store(0.0, std::memory_order_relaxed);
 }
 
-Json Registry::scrape_json() const {
+std::vector<MetricSnapshot> snapshot_delta(
+    const std::vector<MetricSnapshot>& before,
+    const std::vector<MetricSnapshot>& after) {
+  std::vector<MetricSnapshot> out;
+  out.reserve(after.size());
+  for (const MetricSnapshot& cur : after) {
+    const MetricSnapshot* base = nullptr;
+    // Both sides are name-sorted scrapes, but a linear probe keeps the
+    // contract independent of ordering (deltas are scrape-rate work).
+    for (const MetricSnapshot& b : before) {
+      if (b.name == cur.name) {
+        base = &b;
+        break;
+      }
+    }
+    MetricSnapshot d = cur;
+    if (base != nullptr && cur.kind != InstrumentKind::kGauge) {
+      d.value = cur.value - base->value;
+      d.hist.count = cur.hist.count - base->hist.count;
+      d.hist.sum = cur.hist.sum - base->hist.sum;
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        d.hist.buckets[b] = cur.hist.buckets[b] - base->hist.buckets[b];
+      }
+    }
+    const bool empty = d.kind == InstrumentKind::kCounter
+                           ? d.value == 0.0
+                           : d.kind != InstrumentKind::kGauge &&
+                                 d.hist.count == 0;
+    if (!empty) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+Json snapshots_json(const std::vector<MetricSnapshot>& snapshots) {
   Json out = Json::object();
-  for (const MetricSnapshot& snap : scrape()) {
+  for (const MetricSnapshot& snap : snapshots) {
     Json entry = Json::object();
     entry["kind"] = instrument_kind_name(snap.kind);
     switch (snap.kind) {
@@ -248,5 +281,7 @@ Json Registry::scrape_json() const {
   }
   return out;
 }
+
+Json Registry::scrape_json() const { return snapshots_json(scrape()); }
 
 }  // namespace fascia::obs

@@ -132,6 +132,25 @@ class Registry {
   Impl& impl() const noexcept;
 };
 
+/// Per-session metric scoping: `after - before`, matched by name.
+/// Counter values and histogram count/sum/buckets subtract; gauges
+/// keep `after`'s value (last-write-wins has no meaningful delta), and
+/// histogram min/max keep `after`'s (extrema cannot be un-merged).
+/// Instruments absent from `before` pass through unchanged; entries
+/// whose delta is empty (zero counter, zero-count histogram) are
+/// dropped.  The registry is process-global, so with concurrent
+/// sessions a delta attributes the WINDOW, not the session — the
+/// serving layer (src/svc) uses one delta per session/job to stream
+/// progress without resetting anyone else's counters.
+std::vector<MetricSnapshot> snapshot_delta(
+    const std::vector<MetricSnapshot>& before,
+    const std::vector<MetricSnapshot>& after);
+
+/// Snapshots rendered exactly like Registry::scrape_json() (an object
+/// keyed by instrument name; histograms use sparse [floor, count]
+/// bucket pairs).
+Json snapshots_json(const std::vector<MetricSnapshot>& snapshots);
+
 /// Cached handle to one instrument.  Construct once (function-local
 /// static or namespace-scope) and record through it; every record is
 /// gated on obs::enabled() so handles are safe to embed in hot loops.

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -93,6 +95,26 @@ const obs::Metric& bytes_metric() {
 }
 
 }  // namespace
+
+std::string resolve_checkpoint_path(const std::string& path,
+                                    std::uint32_t kind,
+                                    std::uint64_t fingerprint) {
+  if (path.empty()) return path;
+  bool is_dir = path.back() == '/';
+  if (!is_dir) {
+    std::error_code ec;
+    is_dir = std::filesystem::is_directory(path, ec);
+  }
+  if (!is_dir) return path;
+  char name[64];
+  std::snprintf(name, sizeof name, "fascia_%s_%016llx.ckpt",
+                kind == Checkpoint::kKindBatch ? "batch" : "count",
+                static_cast<unsigned long long>(fingerprint));
+  std::string resolved = path;
+  if (resolved.back() != '/') resolved.push_back('/');
+  resolved += name;
+  return resolved;
+}
 
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
   FASCIA_TRACE("checkpoint.write", checkpoint.iterations_done);

@@ -62,6 +62,21 @@ std::uint64_t fingerprint_mix(std::uint64_t hash,
                               std::uint64_t value) noexcept;
 inline constexpr std::uint64_t kFingerprintSeed = 0xcbf29ce484222325ULL;
 
+/// Resolves a checkpoint target that may name a DIRECTORY into a
+/// per-job file inside it.  When `path` ends with '/' or names an
+/// existing directory, the returned path is
+/// `<path>/fascia_<count|batch>_<fingerprint-hex>.ckpt`, so any number
+/// of jobs sharing one working directory checkpoint into distinct
+/// files (two jobs collide only if their fingerprints match — in which
+/// case they ARE the same resumable run).  A plain file path or an
+/// empty string is returned unchanged.  count_template and
+/// sched::run_batch call this after computing the fingerprint; the
+/// server's preemption layer relies on it to park and resume
+/// concurrent jobs in one work directory.
+std::string resolve_checkpoint_path(const std::string& path,
+                                    std::uint32_t kind,
+                                    std::uint64_t fingerprint);
+
 /// Serializes and atomically replaces `path`.  Throws
 /// Error(kResource) on any write failure (callers treat checkpoints
 /// as best-effort and keep running).  Fault site: "checkpoint.write".

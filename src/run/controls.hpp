@@ -48,6 +48,40 @@ enum class RunStatus {
 
 const char* run_status_name(RunStatus status) noexcept;
 
+/// Owner of one run's cancellation flag.  Every job gets its OWN
+/// source — bind it with `controls.cancel = &source.flag()` (or
+/// builder().cancel_flag(&source.flag())) — so cancelling one job can
+/// never abort a co-resident job in the same process.  The old pattern
+/// of a single process-global std::atomic<bool> shared by every run is
+/// exactly what this replaces: the server cancels per job, and the CLI
+/// binds its SIGINT handler to the one source of its one session.
+/// request() is async-signal-safe (one relaxed atomic store).
+class CancelSource {
+ public:
+  CancelSource() = default;
+  CancelSource(const CancelSource&) = delete;
+  CancelSource& operator=(const CancelSource&) = delete;
+
+  /// Ask the bound run to stop at its next guard poll.
+  void request() noexcept { flag_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool requested() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arm for another run (e.g. resuming a preempted job).
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+  /// The flag RunControls::cancel points at.  The source must outlive
+  /// every run bound to it.
+  [[nodiscard]] const std::atomic<bool>& flag() const noexcept {
+    return flag_;
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
 /// Budgets and persistence knobs for one run.  Default-constructed
 /// controls are inert: no deadline, no budget, no checkpointing —
 /// the legacy run-to-completion behavior.
@@ -62,13 +96,18 @@ struct RunControls {
   /// during the run against MemTracker::current().
   std::size_t memory_budget_bytes = 0;
 
-  /// External cancellation flag (e.g. set by a SIGINT handler); the
-  /// run stops at the next boundary after it becomes true.  Not owned.
+  /// Per-run cancellation flag (a CancelSource's flag()); the run
+  /// stops at the next boundary after it becomes true.  Not owned.
+  /// One flag per job — never share one flag across unrelated runs.
   const std::atomic<bool>* cancel = nullptr;
 
   /// Checkpoint file; empty disables checkpointing.  Written every
   /// checkpoint_every completed iterations via temp-file + rename, so
-  /// a crash mid-write leaves the previous checkpoint intact.
+  /// a crash mid-write leaves the previous checkpoint intact.  A path
+  /// naming a DIRECTORY (or ending in '/') resolves to a per-job file
+  /// inside it keyed by the run fingerprint
+  /// (run::resolve_checkpoint_path), so concurrent jobs can share one
+  /// work directory safely.
   std::string checkpoint_path;
   int checkpoint_every = 16;
 

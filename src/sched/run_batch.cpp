@@ -150,7 +150,12 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
 #endif
 
   const RunControls& controls = options.run;
-  const bool checkpointing = !controls.checkpoint_path.empty();
+  // Directory targets resolve to a fingerprint-named file so batch
+  // jobs sharing one work directory keep distinct checkpoints.
+  const std::string checkpoint_path = run::resolve_checkpoint_path(
+      controls.checkpoint_path, run::Checkpoint::kKindBatch,
+      setup.fingerprint);
+  const bool checkpointing = !checkpoint_path.empty();
   const int checkpoint_every = std::max(1, controls.checkpoint_every);
   RunGuard guard(controls);
 
@@ -210,7 +215,7 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
   // ---- resume -----------------------------------------------------------
   if (checkpointing && controls.resume) {
     std::string why;
-    if (auto loaded = run::load_checkpoint(controls.checkpoint_path, &why)) {
+    if (auto loaded = run::load_checkpoint(checkpoint_path, &why)) {
       const run::Checkpoint& ck = *loaded;
       const int restored = static_cast<int>(ck.iterations_done);
       bool lengths_ok = ck.per_job.size() == num_jobs;
@@ -299,7 +304,7 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
       ck.per_job.push_back(out.jobs[j].per_iteration);
     }
     try {
-      run::save_checkpoint(controls.checkpoint_path, ck);
+      run::save_checkpoint(checkpoint_path, ck);
       ++out.run.checkpoints_written;
       last_saved = done;
     } catch (const Error&) {

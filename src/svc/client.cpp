@@ -1,0 +1,72 @@
+#include "svc/client.hpp"
+
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/framing.hpp"
+
+namespace fascia::svc {
+
+using obs::Json;
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  return Client(util::connect_tcp(host, port));
+}
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(util::connect_unix(path));
+}
+
+Json Client::request(const Json& request) {
+  util::write_frame(socket_.fd(), request.dump());
+  std::string payload;
+  while (true) {
+    if (!util::read_frame(socket_.fd(), &payload)) {
+      throw bad_input("server closed the connection before replying");
+    }
+    std::string error;
+    std::optional<Json> frame = Json::parse(payload, &error);
+    if (!frame) {
+      throw bad_input("malformed frame from server: " + error);
+    }
+    if (frame->contains("event")) {
+      if (on_event_) on_event_(*frame);
+      continue;
+    }
+    return std::move(*frame);
+  }
+}
+
+Json Client::load_graph(const std::string& name, const std::string& dataset,
+                        const std::string& file, double scale,
+                        std::uint64_t seed) {
+  Json req = Json::object();
+  req["op"] = "load_graph";
+  req["name"] = name;
+  if (!dataset.empty()) req["dataset"] = dataset;
+  if (!file.empty()) req["file"] = file;
+  req["scale"] = scale;
+  req["seed"] = seed;
+  return request(req);
+}
+
+Json Client::status() {
+  Json req = Json::object();
+  req["op"] = "status";
+  return request(req);
+}
+
+Json Client::cancel(std::uint64_t job_id) {
+  Json req = Json::object();
+  req["op"] = "cancel";
+  req["job"] = job_id;
+  return request(req);
+}
+
+Json Client::shutdown() {
+  Json req = Json::object();
+  req["op"] = "shutdown";
+  return request(req);
+}
+
+}  // namespace fascia::svc

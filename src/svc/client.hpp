@@ -1,0 +1,60 @@
+#pragma once
+// Client side of the counting-service wire protocol (docs/SERVER.md).
+//
+// Thin and synchronous: request() sends one framed JSON request and
+// reads frames until the terminal one (the frame without an "event"
+// key), invoking the event callback for each progress frame in
+// between.  Convenience wrappers cover the common ops; anything the
+// protocol speaks can be sent through the raw request() with a
+// hand-built Json.  Not thread-safe — one Client per thread, or
+// serialize externally (the server is happy to hold many
+// connections).
+
+#include <functional>
+#include <string>
+
+#include "obs/json.hpp"
+#include "util/socket.hpp"
+
+namespace fascia::svc {
+
+class Client {
+ public:
+  /// Connect over TCP / a Unix-domain socket.  Throws
+  /// Error(kResource) on connection failure.
+  static Client connect_tcp(const std::string& host, int port);
+  static Client connect_unix(const std::string& path);
+
+  /// Called for every event frame ("event" key present) received
+  /// while a request() waits for its terminal frame.
+  using EventHandler = std::function<void(const obs::Json&)>;
+  void on_event(EventHandler handler) { on_event_ = std::move(handler); }
+
+  /// Sends `request`, dispatches event frames to the handler, returns
+  /// the terminal frame.  Throws Error(kBadInput) on a malformed frame
+  /// or unexpected EOF, Error(kResource) on transport failure.
+  obs::Json request(const obs::Json& request);
+
+  // ---- convenience wrappers ----------------------------------------------
+
+  /// Registers a graph server-side; `dataset`/`file`/`scale`/`seed`
+  /// as in graph/datasets.hpp load_or_make.
+  obs::Json load_graph(const std::string& name,
+                       const std::string& dataset = "",
+                       const std::string& file = "", double scale = 1.0,
+                       std::uint64_t seed = 1);
+
+  obs::Json status();
+  obs::Json cancel(std::uint64_t job_id);
+  obs::Json shutdown();
+
+  void close() { socket_.close(); }
+
+ private:
+  explicit Client(util::Socket socket) : socket_(std::move(socket)) {}
+
+  util::Socket socket_;
+  EventHandler on_event_;
+};
+
+}  // namespace fascia::svc

@@ -1,0 +1,115 @@
+#pragma once
+// Job model for the counting service (DESIGN.md §11).
+//
+// A job is one counting request — a single-template count, a
+// graphlet-degree run, or a whole template batch — bound to a graph
+// that already lives in the service's GraphRegistry.  The service owns
+// a CancelSource per job (run/controls.hpp), so cancelling or
+// preempting one job can never touch a co-resident one.
+//
+// JobState is the *service's* lifecycle taxonomy and deliberately
+// distinct from RunStatus: RunStatus describes how one run of the
+// engine ended (completed / deadline / cancelled / degraded), while
+// JobState tracks the job through the queue.  A preempted job, for
+// example, is a run that ended kCancelled but a job that is kPreempted
+// and will requeue; a job whose run hit its deadline is kCompleted
+// with an honest-partial result.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/count_options.hpp"
+#include "sched/batch.hpp"
+#include "treelet/tree_template.hpp"
+
+namespace fascia::svc {
+
+using JobId = std::uint64_t;
+
+enum class JobKind {
+  kCount,  ///< count_template
+  kGdd,    ///< graphlet_degrees (per-vertex counts at options.root)
+  kBatch,  ///< sched::run_batch over a template set
+};
+
+const char* job_kind_name(JobKind kind) noexcept;
+
+/// Scheduling class.  Interactive jobs dispatch before batch jobs and
+/// may preempt a running preemptible batch job when every worker is
+/// busy; batch jobs only run when no interactive work is waiting.
+enum class Priority {
+  kInteractive,
+  kBatch,
+};
+
+const char* priority_name(Priority priority) noexcept;
+
+enum class JobState {
+  kQueued,     ///< admitted, waiting for a worker
+  kRunning,
+  kPreempted,  ///< stopped at a checkpoint to yield; will requeue
+  kCompleted,  ///< terminal; result available (possibly honest-partial)
+  kFailed,     ///< terminal; error message available
+  kCancelled,  ///< terminal; cancelled by the client
+};
+
+const char* job_state_name(JobState state) noexcept;
+
+[[nodiscard]] constexpr bool job_state_terminal(JobState state) noexcept {
+  return state == JobState::kCompleted || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+/// One request, as submitted.  `graph` names a registry entry;
+/// submit() rejects unknown names up front rather than failing on a
+/// worker thread later.
+struct JobSpec {
+  JobKind kind = JobKind::kCount;
+  std::string graph;
+
+  /// kCount / kGdd payload.  For kGdd, `options.root` is the orbit
+  /// vertex (required; submit() rejects root < 0).
+  TreeTemplate tmpl;
+  CountOptions options;
+
+  /// kBatch payload.
+  std::vector<sched::BatchJob> batch_jobs;
+  sched::BatchOptions batch_options;
+
+  Priority priority = Priority::kBatch;
+
+  /// Allow the scheduler to preempt this job for interactive work.
+  /// Requires the service to have a work_dir (checkpoint target);
+  /// meaningful only for Priority::kBatch.
+  bool preemptible = true;
+
+  /// Client-supplied tag echoed in JobInfo / status responses.
+  std::string label;
+};
+
+/// Point-in-time public view of a job (copyable snapshot; the live
+/// record stays inside the service).
+struct JobInfo {
+  JobId id = 0;
+  JobKind kind = JobKind::kCount;
+  JobState state = JobState::kQueued;
+  Priority priority = Priority::kBatch;
+  std::string graph;
+  std::string label;
+  std::string error;  ///< kFailed: what() of the escaping exception
+
+  /// Admission-control figure: modeled peak bytes for the job's
+  /// configuration (run/memory.hpp), charged against the service's
+  /// memory budget while the job runs.
+  std::size_t estimated_peak_bytes = 0;
+
+  int preemptions = 0;  ///< times this job was preempted and requeued
+
+  /// Engine progress: completed / requested iterations of the current
+  /// (or final) run, best-effort while running.
+  int completed_iterations = 0;
+  int requested_iterations = 0;
+};
+
+}  // namespace fascia::svc

@@ -1,0 +1,286 @@
+#include "svc/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include <sys/socket.h>
+
+#include "graph/datasets.hpp"
+#include "svc/protocol.hpp"
+#include "util/error.hpp"
+#include "util/framing.hpp"
+
+namespace fascia::svc {
+
+using obs::Json;
+
+Server::Server(Config config)
+    : config_(std::move(config)), service_(config_.service) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (config_.port >= 0) {
+    tcp_ = util::Listener::tcp(config_.host, config_.port);
+  }
+  if (!config_.unix_path.empty()) {
+    unix_ = util::Listener::unix_domain(config_.unix_path);
+  }
+  if (!tcp_.valid() && !unix_.valid()) {
+    throw usage_error("server has no listener (TCP disabled, no unix path)");
+  }
+  if (tcp_.valid()) {
+    acceptors_.emplace_back([this] { accept_loop(tcp_); });
+  }
+  if (unix_.valid()) {
+    acceptors_.emplace_back([this] { accept_loop(unix_); });
+  }
+}
+
+void Server::accept_loop(util::Listener& listener) {
+  while (true) {
+    util::Socket socket = listener.accept();
+    if (!socket.valid()) return;  // listener closed: clean exit
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_ || shutdown_requested_) return;
+    live_fds_.push_back(socket.fd());
+    connections_.emplace_back(
+        [this, s = std::move(socket)]() mutable { serve_connection(std::move(s)); });
+  }
+}
+
+void Server::serve_connection(util::Socket socket) {
+  const int fd = socket.fd();
+  std::vector<obs::MetricSnapshot> metrics_baseline =
+      obs::Registry::global().scrape();
+  std::string payload;
+  bool keep_going = true;
+  while (keep_going) {
+    try {
+      if (!util::read_frame(fd, &payload)) break;  // client hung up
+    } catch (const std::exception&) {
+      break;  // truncated frame or reset: nothing sane to reply to
+    }
+    std::string parse_error;
+    std::optional<Json> request = Json::parse(payload, &parse_error);
+    try {
+      if (!request || !request->is_object()) {
+        send(fd, error_response("request is not a JSON object: " + parse_error,
+                                "bad_input"));
+        continue;
+      }
+      keep_going = handle_request(fd, *request, metrics_baseline);
+    } catch (const Error& e) {
+      try {
+        send(fd, error_response(e.what(), error_category_name(e.category())));
+      } catch (const std::exception&) {
+        break;
+      }
+    } catch (const std::exception& e) {
+      try {
+        send(fd, error_response(e.what(), "internal"));
+      } catch (const std::exception&) {
+        break;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                  live_fds_.end());
+}
+
+void Server::send(int fd, const Json& response) {
+  util::write_frame(fd, response.dump());
+}
+
+bool Server::handle_request(int fd, const Json& request,
+                            std::vector<obs::MetricSnapshot>& baseline) {
+  const std::string op = request.get_string("op");
+  if (op == "count" || op == "gdd" || op == "run_batch") {
+    handle_job(fd, request, baseline);
+    return true;
+  }
+  if (op == "load_graph") {
+    handle_load_graph(fd, request);
+    return true;
+  }
+  if (op == "status") {
+    handle_status(fd, request);
+    return true;
+  }
+  if (op == "cancel") {
+    const JobId id = static_cast<JobId>(request.get_int("job", 0));
+    Json out = Json::object();
+    out["ok"] = true;
+    out["job"] = id;
+    out["cancelled"] = service_.cancel(id);
+    out["protocol"] = kProtocolVersion;
+    send(fd, out);
+    return true;
+  }
+  if (op == "shutdown") {
+    Json out = Json::object();
+    out["ok"] = true;
+    out["shutting_down"] = true;
+    out["protocol"] = kProtocolVersion;
+    send(fd, out);
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+    return false;  // this connection is done; stop() joins the rest
+  }
+  send(fd, error_response("unknown op '" + op + "'", "usage"));
+  return true;
+}
+
+void Server::handle_job(int fd, const Json& request,
+                        std::vector<obs::MetricSnapshot>& baseline) {
+  JobSpec spec = job_spec_from_request(request);
+  const bool stream = request.get_bool("stream", false);
+  const bool include_report = request.get_bool("report", false);
+  const JobKind kind = spec.kind;
+  const JobId id = service_.submit(std::move(spec));
+
+  if (stream) {
+    const auto interval = std::chrono::duration<double>(
+        std::max(0.001, config_.progress_interval_seconds));
+    JobInfo info = service_.info(id);
+    while (true) {
+      Json event = job_info_to_json(info);
+      event["event"] = "progress";
+      // Best-effort attribution: the obs registry is process-global,
+      // so concurrent jobs' work lands in the same deltas.
+      std::vector<obs::MetricSnapshot> now = obs::Registry::global().scrape();
+      event["metrics"] =
+          obs::snapshots_json(obs::snapshot_delta(baseline, now));
+      baseline = std::move(now);
+      send(fd, event);  // at least one frame even for instant jobs
+      if (job_state_terminal(info.state)) break;
+      std::this_thread::sleep_for(interval);
+      info = service_.info(id);
+    }
+  } else {
+    service_.wait(id);
+  }
+
+  const JobInfo done = service_.wait(id);
+  if (done.state == JobState::kFailed) {
+    Json out = error_response(done.error, "internal");
+    out["job"] = done.id;
+    out["state"] = job_state_name(done.state);
+    send(fd, out);
+    return;
+  }
+  Json out = kind == JobKind::kBatch
+                 ? batch_result_to_json(service_.batch_result(id),
+                                        include_report)
+                 : count_result_to_json(service_.count_result(id),
+                                        include_report);
+  out["job"] = done.id;
+  out["state"] = job_state_name(done.state);
+  out["preemptions"] = done.preemptions;
+  out["protocol"] = kProtocolVersion;
+  send(fd, out);
+}
+
+void Server::handle_load_graph(int fd, const Json& request) {
+  const std::string name = request.get_string("name");
+  if (name.empty()) {
+    send(fd, error_response("load_graph needs 'name'", "usage"));
+    return;
+  }
+  bool cached = true;
+  std::shared_ptr<const Graph> graph = service_.registry().get(name);
+  if (!graph || request.get_bool("reload", false)) {
+    cached = false;
+    const std::string dataset = request.get_string("dataset", name);
+    const std::string file = request.get_string("file");
+    const double scale = request.get_double("scale", 1.0);
+    const std::uint64_t seed =
+        request.find("seed") ? request.find("seed")->as_uint(1) : 1;
+    graph = service_.registry().put(name,
+                                    load_or_make(dataset, file, scale, seed));
+  }
+  Json out = Json::object();
+  out["ok"] = true;
+  out["graph"] = name;
+  out["cached"] = cached;
+  out["n"] = graph->num_vertices();
+  out["m"] = graph->num_edges();
+  out["bytes"] = graph->bytes();
+  out["protocol"] = kProtocolVersion;
+  send(fd, out);
+}
+
+void Server::handle_status(int fd, const Json& request) {
+  Json out = Json::object();
+  out["ok"] = true;
+  if (const Json* job = request.find("job")) {
+    out["job_info"] =
+        job_info_to_json(service_.info(static_cast<JobId>(job->as_int())));
+  } else {
+    Json jobs = Json::array();
+    for (const JobInfo& info : service_.jobs()) {
+      jobs.push_back(job_info_to_json(info));
+    }
+    out["jobs"] = std::move(jobs);
+    const GraphRegistry::Stats stats = service_.registry().stats();
+    Json registry = Json::object();
+    registry["resident_bytes"] = stats.resident_bytes;
+    registry["budget_bytes"] = stats.budget_bytes;
+    registry["graphs"] = stats.graphs;
+    registry["permutations"] = stats.permutations;
+    registry["partitions"] = stats.partitions;
+    registry["hits"] = stats.hits;
+    registry["misses"] = stats.misses;
+    registry["evictions"] = stats.evictions;
+    out["registry"] = std::move(registry);
+    Json names = Json::array();
+    for (const std::string& graph : service_.registry().graph_names()) {
+      names.push_back(graph);
+    }
+    out["graph_names"] = std::move(names);
+  }
+  out["protocol"] = kProtocolVersion;
+  send(fd, out);
+}
+
+void Server::wait_shutdown() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_ || stopped_; });
+}
+
+bool Server::wait_shutdown_for(double seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return shutdown_cv_.wait_for(
+      lock, std::chrono::duration<double>(seconds),
+      [this] { return shutdown_requested_ || stopped_; });
+}
+
+void Server::stop() {
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+    // Wake connection threads blocked in read_frame: shutdown() makes
+    // their next read return EOF and the thread winds down cleanly.
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    connections.swap(connections_);
+  }
+  tcp_.close();
+  unix_.close();
+  for (std::thread& acceptor : acceptors_) {
+    if (acceptor.joinable()) acceptor.join();
+  }
+  for (std::thread& connection : connections) {
+    if (connection.joinable()) connection.join();
+  }
+  service_.shutdown();
+}
+
+}  // namespace fascia::svc

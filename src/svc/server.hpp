@@ -1,0 +1,99 @@
+#pragma once
+// Socket front-end of the counting service (docs/SERVER.md).
+//
+// Server owns a Service plus one or two listeners (TCP loopback and/or
+// a Unix-domain socket) and speaks the framed JSON protocol
+// (svc/protocol.hpp) — one thread per connection, requests handled
+// in order per connection, jobs from different connections running
+// concurrently through the shared Service.  Job requests can stream:
+// with "stream": true the handler emits periodic progress frames
+// (job state + a scrape delta of the process-global obs metrics
+// registry) until the job is terminal, then the single terminal frame.
+//
+// Lifecycle: start() binds and begins accepting; a client "shutdown"
+// op (or stop()) ends the accept loops, wakes blocked connections,
+// joins every thread, and shuts the service down.  The fascia_server
+// daemon is just start() + wait_shutdown() + stop().
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "util/socket.hpp"
+
+namespace fascia::svc {
+
+class Server {
+ public:
+  struct Config {
+    Service::Config service;
+
+    /// TCP listen address; port 0 picks an ephemeral port (see
+    /// port()), port < 0 disables TCP.
+    std::string host = "127.0.0.1";
+    int port = 0;
+
+    /// Also (or instead) listen on this Unix-domain socket path.
+    std::string unix_path;
+
+    /// Cadence of streamed progress frames.
+    double progress_interval_seconds = 0.05;
+  };
+
+  explicit Server(Config config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and starts accepting.  Throws
+  /// Error(kResource) when binding fails.
+  void start();
+
+  /// Resolved TCP port (valid after start(); -1 when TCP is disabled).
+  [[nodiscard]] int port() const noexcept { return tcp_.port(); }
+
+  /// Blocks until a client sends "shutdown" (or stop() is called).
+  void wait_shutdown();
+
+  /// Timed variant for pollable daemons: true when shutdown was
+  /// requested within `seconds`.
+  bool wait_shutdown_for(double seconds);
+
+  /// Stops accepting, unblocks and joins every connection thread,
+  /// shuts the service down.  Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] Service& service() noexcept { return service_; }
+
+ private:
+  void accept_loop(util::Listener& listener);
+  void serve_connection(util::Socket socket);
+  /// Handles one request; returns false when the connection (or the
+  /// whole server) should wind down after the reply.
+  bool handle_request(int fd, const obs::Json& request,
+                      std::vector<obs::MetricSnapshot>& metrics_baseline);
+  void handle_job(int fd, const obs::Json& request,
+                  std::vector<obs::MetricSnapshot>& metrics_baseline);
+  void handle_load_graph(int fd, const obs::Json& request);
+  void handle_status(int fd, const obs::Json& request);
+  void send(int fd, const obs::Json& response);
+
+  Config config_;
+  Service service_;
+  util::Listener tcp_;
+  util::Listener unix_;
+  std::vector<std::thread> acceptors_;
+
+  std::mutex mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool stopped_ = false;
+  std::vector<std::thread> connections_;
+  std::vector<int> live_fds_;  ///< for waking blocked reads on stop()
+};
+
+}  // namespace fascia::svc

@@ -1,0 +1,520 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "core/counter.hpp"
+#include "run/memory.hpp"
+#include "util/error.hpp"
+
+namespace fascia::svc {
+
+const char* job_kind_name(JobKind kind) noexcept {
+  switch (kind) {
+    case JobKind::kCount:
+      return "count";
+    case JobKind::kGdd:
+      return "gdd";
+    case JobKind::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+const char* priority_name(Priority priority) noexcept {
+  return priority == Priority::kInteractive ? "interactive" : "batch";
+}
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kPreempted:
+      return "preempted";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+struct Service::Record {
+  JobId id = 0;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  CancelSource cancel;
+  bool cancel_requested = false;   ///< client cancel (beats preemption)
+  bool preempt_requested = false;  ///< scheduler asked this run to yield
+  bool resume_next = false;        ///< next run resumes from checkpoint
+  int preemptions = 0;
+  std::size_t estimated_peak_bytes = 0;
+  std::string error;
+  std::optional<CountResult> count;
+  std::optional<sched::BatchResult> batch;
+  /// Pinned at submit so registry eviction cannot pull the graph out
+  /// from under a queued or running job.
+  std::shared_ptr<const Graph> graph;
+};
+
+namespace {
+
+/// Modeled peak bytes for one template under the given execution
+/// config — the admission-control figure, not an allocation.
+std::size_t estimate_job_bytes(GraphRegistry& registry,
+                               const TreeTemplate& tmpl, VertexId n,
+                               int num_colors, TableKind table,
+                               PartitionStrategy strategy, bool share_tables,
+                               int root, int engine_copies, int threads) {
+  const auto partition =
+      registry.partition_of(tmpl, strategy, share_tables, root);
+  const int colors = num_colors > 0 ? num_colors : tmpl.size();
+  std::size_t bytes = run::estimate_peak_bytes(*partition, colors, n, table,
+                                               tmpl.has_labels());
+  bytes *= static_cast<std::size_t>(std::max(1, engine_copies));
+  bytes += run::estimate_workspace_bytes(*partition, colors) *
+           static_cast<std::size_t>(std::max(1, threads));
+  return bytes;
+}
+
+int admission_engine_copies(const ExecutionOptions& execution) {
+  if (execution.mode == ParallelMode::kOuterLoop) {
+    return std::max(1, execution.threads);  // threads==0: modeled as 1
+  }
+  if (execution.mode == ParallelMode::kHybrid &&
+      execution.outer_copies > 0) {
+    return execution.outer_copies;
+  }
+  return 1;
+}
+
+}  // namespace
+
+Service::Service(Config config)
+    : config_(std::move(config)), registry_(config_.registry_budget_bytes) {
+  if (config_.workers < 1) config_.workers = 1;
+  if (!config_.work_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.work_dir, ec);
+    if (ec) {
+      throw resource_error("cannot create service work_dir '" +
+                           config_.work_dir + "': " + ec.message());
+    }
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { shutdown(); }
+
+JobId Service::submit(JobSpec spec) {
+  // Validate up front so errors surface on the caller's thread with
+  // the usage taxonomy, not as a failed job.
+  switch (spec.kind) {
+    case JobKind::kCount:
+      spec.options.validate();
+      break;
+    case JobKind::kGdd:
+      if (spec.options.root < 0 || spec.options.root >= spec.tmpl.size()) {
+        throw usage_error("gdd job needs options.root in [0, k)");
+      }
+      spec.options.per_vertex = true;
+      spec.options.validate();
+      break;
+    case JobKind::kBatch:
+      if (spec.batch_jobs.empty()) {
+        throw usage_error("batch job needs at least one template");
+      }
+      break;
+  }
+
+  auto record = std::make_unique<Record>();
+  record->spec = std::move(spec);
+  record->graph = registry_.get(record->spec.graph);
+  if (!record->graph) {
+    throw usage_error("unknown graph '" + record->spec.graph +
+                      "' — load_graph it first");
+  }
+
+  const VertexId n = record->graph->num_vertices();
+  if (record->spec.kind == JobKind::kBatch) {
+    const sched::BatchOptions& bo = record->spec.batch_options;
+    std::size_t worst = 0;
+    for (const sched::BatchJob& job : record->spec.batch_jobs) {
+      // Shared stages only shrink the true peak, so the max over
+      // per-template estimates is a safe admission bound.
+      worst = std::max(
+          worst, estimate_job_bytes(registry_, job.tmpl, n, bo.num_colors,
+                                    bo.table, bo.partition, bo.share_tables,
+                                    /*root=*/-1,
+                                    bo.mode == ParallelMode::kOuterLoop
+                                        ? std::max(1, bo.num_threads)
+                                        : 1,
+                                    std::max(1, bo.num_threads)));
+    }
+    record->estimated_peak_bytes = worst;
+  } else {
+    const CountOptions& co = record->spec.options;
+    record->estimated_peak_bytes = estimate_job_bytes(
+        registry_, record->spec.tmpl, n, co.sampling.num_colors,
+        co.execution.table, co.execution.partition,
+        co.execution.share_tables, co.root,
+        admission_engine_copies(co.execution),
+        std::max(1, co.execution.threads));
+  }
+  if (config_.memory_budget_bytes > 0 &&
+      record->estimated_peak_bytes > config_.memory_budget_bytes) {
+    throw resource_error(
+        "job's modeled peak (" +
+        std::to_string(record->estimated_peak_bytes) +
+        " bytes) exceeds the service admission budget (" +
+        std::to_string(config_.memory_budget_bytes) + ")");
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) throw usage_error("service is shutting down");
+  const JobId id = next_id_++;
+  record->id = id;
+  const Priority priority = record->spec.priority;
+  records_.emplace(id, std::move(record));
+  if (priority == Priority::kInteractive) {
+    queue_interactive_.push_back(id);
+    maybe_preempt_locked();
+  } else {
+    queue_batch_.push_back(id);
+  }
+  dispatch_cv_.notify_one();
+  return id;
+}
+
+bool Service::admissible_locked(const Record& record) const {
+  if (config_.memory_budget_bytes == 0) return true;
+  return running_estimated_bytes_ + record.estimated_peak_bytes <=
+         config_.memory_budget_bytes;
+}
+
+Service::Record* Service::pick_locked() {
+  for (std::deque<JobId>* queue : {&queue_interactive_, &queue_batch_}) {
+    while (!queue->empty()) {
+      auto it = records_.find(queue->front());
+      if (it == records_.end() || job_state_terminal(it->second->state)) {
+        queue->pop_front();  // cancelled while queued
+        continue;
+      }
+      Record& head = *it->second;
+      // Strict FIFO per class: an inadmissible head waits for running
+      // jobs to release budget (it fits alone — submit() checked), and
+      // nothing overtakes it.  An inadmissible interactive head also
+      // blocks batch dispatch so released budget reaches it first.
+      if (!admissible_locked(head)) return nullptr;
+      queue->pop_front();
+      return &head;
+    }
+  }
+  return nullptr;
+}
+
+void Service::maybe_preempt_locked() {
+  if (!config_.enable_preemption || config_.work_dir.empty()) return;
+  if (running_jobs_ < config_.workers) return;  // a worker will pick it up
+  // Every worker is busy: ask one running preemptible batch job (the
+  // newest, which has the least sunk work) to yield at a checkpoint.
+  Record* victim = nullptr;
+  for (auto& [id, record] : records_) {
+    if (record->state != JobState::kRunning) continue;
+    if (record->spec.priority != Priority::kBatch) continue;
+    if (!record->spec.preemptible) continue;
+    if (record->preempt_requested || record->cancel_requested) continue;
+    if (victim == nullptr || record->id > victim->id) victim = record.get();
+  }
+  if (victim != nullptr) {
+    victim->preempt_requested = true;
+    victim->cancel.request();
+  }
+}
+
+void Service::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    dispatch_cv_.wait(lock, [this] {
+      return stopping_ || pick_ready_unsafe();
+    });
+    if (stopping_) return;
+    Record* record = pick_locked();
+    if (record == nullptr) continue;
+    record->state = JobState::kRunning;
+    record->error.clear();
+    running_estimated_bytes_ += record->estimated_peak_bytes;
+    ++running_jobs_;
+    state_cv_.notify_all();
+    lock.unlock();
+    execute(*record);
+    lock.lock();
+    running_estimated_bytes_ -= record->estimated_peak_bytes;
+    --running_jobs_;
+    dispatch_cv_.notify_all();  // released budget may unblock a head
+    state_cv_.notify_all();
+  }
+}
+
+bool Service::pick_ready_unsafe() const {
+  // Mirror of pick_locked's decision without consuming: is there a
+  // dispatchable head?
+  for (const std::deque<JobId>* queue : {&queue_interactive_, &queue_batch_}) {
+    for (JobId id : *queue) {
+      auto it = records_.find(id);
+      if (it == records_.end() || job_state_terminal(it->second->state)) {
+        continue;  // stale entry; pick_locked will drop it
+      }
+      return admissible_locked(*it->second);
+    }
+  }
+  return false;
+}
+
+void Service::execute(Record& record) {
+  // The run itself happens with the service lock released; the record
+  // is stable (owned by records_, never erased) and the fields touched
+  // here are worker-private while state == kRunning.
+  JobState final_state = JobState::kCompleted;
+  std::string error;
+  bool ran_cancelled = false;
+
+  try {
+    if (record.spec.kind == JobKind::kBatch) {
+      sched::BatchOptions options = record.spec.batch_options;
+      options.run.cancel = &record.cancel.flag();
+      if (options.run.checkpoint_path.empty() && record.spec.preemptible &&
+          record.spec.priority == Priority::kBatch &&
+          !config_.work_dir.empty()) {
+        options.run.checkpoint_path = config_.work_dir + "/";
+        if (options.run.checkpoint_every <= 0) options.run.checkpoint_every = 1;
+      }
+      if (record.resume_next) options.run.resume = true;
+      sched::BatchResult result =
+          sched::run_batch(*record.graph, record.spec.batch_jobs, options);
+      ran_cancelled = result.status() == RunStatus::kCancelled;
+      record.batch.emplace(std::move(result));
+    } else {
+      CountOptions options = record.spec.options;
+      options.run.cancel = &record.cancel.flag();
+      if (options.run.checkpoint_path.empty() && record.spec.preemptible &&
+          record.spec.priority == Priority::kBatch &&
+          !config_.work_dir.empty()) {
+        options.run.checkpoint_path = config_.work_dir + "/";
+        if (options.run.checkpoint_every <= 0) options.run.checkpoint_every = 1;
+      }
+      if (record.resume_next) options.run.resume = true;
+      CountResult result =
+          record.spec.kind == JobKind::kGdd
+              ? graphlet_degrees(*record.graph, record.spec.tmpl, options)
+              : count_template(*record.graph, record.spec.tmpl, options);
+      ran_cancelled = result.status() == RunStatus::kCancelled;
+      record.count.emplace(std::move(result));
+    }
+  } catch (const std::exception& e) {
+    final_state = JobState::kFailed;
+    error = e.what();
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (final_state == JobState::kFailed) {
+    record.state = JobState::kFailed;
+    record.error = std::move(error);
+    return;
+  }
+  if (ran_cancelled) {
+    if (record.preempt_requested && !record.cancel_requested && !stopping_) {
+      // Yielded for interactive work: re-arm and requeue at the front
+      // of its class; the next run resumes from the checkpoint (or
+      // from scratch if none was written yet — same bits either way).
+      record.state = JobState::kPreempted;
+      record.preempt_requested = false;
+      record.resume_next = true;
+      ++record.preemptions;
+      record.cancel.reset();
+      record.count.reset();
+      record.batch.reset();
+      queue_batch_.push_front(record.id);
+      dispatch_cv_.notify_one();
+      return;
+    }
+    record.state = JobState::kCancelled;  // honest-partial result kept
+    return;
+  }
+  record.state = JobState::kCompleted;
+}
+
+bool Service::cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  Record& record = *it->second;
+  if (job_state_terminal(record.state)) return false;
+  record.cancel_requested = true;
+  if (record.state == JobState::kRunning) {
+    record.cancel.request();  // worker finalizes at the next boundary
+  } else {
+    record.state = JobState::kCancelled;  // queued/preempted: immediate
+    state_cv_.notify_all();
+  }
+  return true;
+}
+
+JobInfo Service::snapshot_locked(const Record& record) {
+  JobInfo info;
+  info.id = record.id;
+  info.kind = record.spec.kind;
+  info.state = record.state;
+  info.priority = record.spec.priority;
+  info.graph = record.spec.graph;
+  info.label = record.spec.label;
+  info.error = record.error;
+  info.estimated_peak_bytes = record.estimated_peak_bytes;
+  info.preemptions = record.preemptions;
+  if (record.count) {
+    info.completed_iterations = record.count->run.completed_iterations;
+    info.requested_iterations = record.count->run.requested_iterations;
+  } else if (record.batch) {
+    info.completed_iterations = record.batch->run.completed_iterations;
+    info.requested_iterations = record.batch->run.requested_iterations;
+  } else if (record.spec.kind == JobKind::kBatch) {
+    for (const sched::BatchJob& job : record.spec.batch_jobs) {
+      info.requested_iterations += job.iterations;
+    }
+  } else {
+    info.requested_iterations = record.spec.options.sampling.iterations;
+  }
+  return info;
+}
+
+const Service::Record& Service::record_checked(JobId id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    throw usage_error("unknown job id " + std::to_string(id));
+  }
+  return *it->second;
+}
+
+JobInfo Service::info(JobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_locked(record_checked(id));
+}
+
+std::vector<JobInfo> Service::jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobInfo> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) {
+    out.push_back(snapshot_locked(*record));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JobInfo& a, const JobInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+JobInfo Service::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Record& record = record_checked(id);
+  state_cv_.wait(lock, [&] { return job_state_terminal(record.state); });
+  return snapshot_locked(record);
+}
+
+CountResult Service::count_result(JobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Record& record = record_checked(id);
+  if (!record.count) {
+    throw usage_error("job " + std::to_string(id) + " has no count result (" +
+                      job_state_name(record.state) + ")");
+  }
+  return *record.count;
+}
+
+sched::BatchResult Service::batch_result(JobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Record& record = record_checked(id);
+  if (!record.batch) {
+    throw usage_error("job " + std::to_string(id) + " has no batch result (" +
+                      job_state_name(record.state) + ")");
+  }
+  return *record.batch;
+}
+
+CancelSource& Service::cancel_source(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    throw usage_error("unknown job id " + std::to_string(id));
+  }
+  return it->second->cancel;
+}
+
+void Service::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Already stopped (or stopping on another thread): fall through
+      // to the joins, which are idempotent via joinable().
+    }
+    stopping_ = true;
+    for (auto& [id, record] : records_) {
+      if (record->state == JobState::kQueued ||
+          record->state == JobState::kPreempted) {
+        record->state = JobState::kCancelled;
+        record->cancel_requested = true;
+      } else if (record->state == JobState::kRunning) {
+        record->cancel_requested = true;
+        record->cancel.request();
+      }
+    }
+    dispatch_cv_.notify_all();
+    state_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+// ---- Session --------------------------------------------------------------
+
+JobId Session::submit(JobSpec spec) {
+  const JobId id = service_->submit(std::move(spec));
+  submitted_.push_back(id);
+  return id;
+}
+
+CountResult Session::count(JobSpec spec) {
+  const JobId id = submit(std::move(spec));
+  const JobInfo done = service_->wait(id);
+  if (done.state == JobState::kFailed) {
+    throw internal_error("service job failed: " + done.error);
+  }
+  return service_->count_result(id);
+}
+
+sched::BatchResult Session::run_batch(JobSpec spec) {
+  spec.kind = JobKind::kBatch;
+  const JobId id = submit(std::move(spec));
+  const JobInfo done = service_->wait(id);
+  if (done.state == JobState::kFailed) {
+    throw internal_error("service job failed: " + done.error);
+  }
+  return service_->batch_result(id);
+}
+
+std::vector<obs::MetricSnapshot> Session::drain_metrics() {
+  std::vector<obs::MetricSnapshot> now = obs::Registry::global().scrape();
+  std::vector<obs::MetricSnapshot> delta = obs::snapshot_delta(baseline_, now);
+  baseline_ = std::move(now);
+  return delta;
+}
+
+}  // namespace fascia::svc

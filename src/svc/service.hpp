@@ -1,0 +1,174 @@
+#pragma once
+// Counting-as-a-service: the in-process service layer (DESIGN.md §11).
+//
+// Service is the long-lived engine the CLI, the socket server, tests,
+// and benches all share — one code path from "request" to RunOutcome,
+// so a count served over a socket is the same call as a count from
+// the CLI.  It owns:
+//
+//   * a GraphRegistry (registry.hpp): load a graph once, serve every
+//     later job from the cached CSR;
+//   * a priority job queue with admission control: each job's peak
+//     memory is modeled up front (run/memory.hpp via the registry's
+//     partition cache) and jobs are dispatched only while the sum of
+//     running estimates fits the configured budget — a job that could
+//     never fit is rejected at submit();
+//   * a worker pool executing jobs through the public entry points
+//     (count_template / graphlet_degrees / sched::run_batch) with a
+//     per-job CancelSource, and cooperative preemption: when
+//     interactive work waits and every worker is busy, the youngest
+//     preemptible batch job is asked to stop, checkpoints into the
+//     service work_dir (fingerprint-named file, so concurrent jobs
+//     share the directory safely), requeues as kPreempted, and later
+//     resumes to bit-identical results (counter-mode RNG).
+//
+// Session is the per-client view: it remembers which jobs it
+// submitted and a metrics baseline, so a client can read "what did MY
+// work do" from the process-global obs registry via snapshot deltas.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "svc/job.hpp"
+#include "svc/registry.hpp"
+
+namespace fascia::svc {
+
+class Service {
+ public:
+  struct Config {
+    /// Worker threads executing jobs (each job may itself use OpenMP
+    /// threads per its options).
+    int workers = 2;
+
+    /// GraphRegistry byte budget; 0 = unbounded.
+    std::size_t registry_budget_bytes = 0;
+
+    /// Admission budget: sum of modeled peak bytes over RUNNING jobs;
+    /// 0 = unbounded.  A job whose own estimate exceeds the budget is
+    /// rejected at submit() with Error(kResource).
+    std::size_t memory_budget_bytes = 0;
+
+    /// Directory for preemption checkpoints; empty disables
+    /// preemption.  Each job writes a fingerprint-named file inside
+    /// (run::resolve_checkpoint_path), so jobs never collide.
+    std::string work_dir;
+
+    /// Master switch for preempting batch jobs under interactive load.
+    bool enable_preemption = true;
+  };
+
+  explicit Service(Config config);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  [[nodiscard]] GraphRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Validates and enqueues.  Throws Error(kUsage) on an unknown graph
+  /// or malformed spec, Error(kResource) when the job cannot fit the
+  /// admission budget even alone.
+  JobId submit(JobSpec spec);
+
+  /// Requests cooperative cancellation; returns false for unknown or
+  /// already-terminal jobs.  A queued job cancels immediately.
+  bool cancel(JobId id);
+
+  /// Snapshot of one job (throws Error(kUsage) on unknown id) or all.
+  [[nodiscard]] JobInfo info(JobId id) const;
+  [[nodiscard]] std::vector<JobInfo> jobs() const;
+
+  /// Blocks until the job reaches a terminal state and returns the
+  /// final snapshot.
+  JobInfo wait(JobId id);
+
+  /// Results, valid once the job is kCompleted (throws Error(kUsage)
+  /// otherwise or on a kind mismatch).
+  [[nodiscard]] CountResult count_result(JobId id) const;
+  [[nodiscard]] sched::BatchResult batch_result(JobId id) const;
+
+  /// The job's cancel source — stable for the service's lifetime, so
+  /// the CLI can bind a signal handler to it (request() is
+  /// async-signal-safe).  Throws Error(kUsage) on unknown id.
+  [[nodiscard]] CancelSource& cancel_source(JobId id);
+
+  /// Stops accepting work, cancels queued + running jobs, joins the
+  /// workers.  Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Record;
+
+  void worker_loop();
+  Record* pick_locked();
+  bool pick_ready_unsafe() const;
+  bool admissible_locked(const Record& record) const;
+  void maybe_preempt_locked();
+  void finish(Record& record, JobState state, std::string error);
+  void execute(Record& record);
+  static JobInfo snapshot_locked(const Record& record);
+  [[nodiscard]] const Record& record_checked(JobId id) const;
+
+  Config config_;
+  GraphRegistry registry_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable dispatch_cv_;  ///< workers wait here
+  std::condition_variable state_cv_;     ///< wait() waits here
+  std::unordered_map<JobId, std::unique_ptr<Record>> records_;
+  std::deque<JobId> queue_interactive_;
+  std::deque<JobId> queue_batch_;
+  std::size_t running_estimated_bytes_ = 0;
+  int running_jobs_ = 0;
+  JobId next_id_ = 1;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+/// One client's view of a shared Service: tracks the jobs this session
+/// submitted and scopes metrics to them via registry snapshot deltas.
+class Session {
+ public:
+  explicit Session(Service& service)
+      : service_(&service), baseline_(obs::Registry::global().scrape()) {}
+
+  [[nodiscard]] Service& service() noexcept { return *service_; }
+
+  JobId submit(JobSpec spec);
+
+  /// Convenience: submit + wait + fetch, for callers that want the
+  /// blocking library shape (the CLI).  Throws Error(kInternal)
+  /// carrying the job error when the job failed.
+  CountResult count(JobSpec spec);
+  sched::BatchResult run_batch(JobSpec spec);
+
+  bool cancel(JobId id) { return service_->cancel(id); }
+
+  /// Jobs this session submitted, newest last.
+  [[nodiscard]] const std::vector<JobId>& submitted() const noexcept {
+    return submitted_;
+  }
+
+  /// Re-baselines and returns what the process-global metrics registry
+  /// accumulated since the last call (or construction) — the
+  /// per-session slice of a shared registry.
+  std::vector<obs::MetricSnapshot> drain_metrics();
+
+ private:
+  Service* service_;
+  std::vector<obs::MetricSnapshot> baseline_;
+  std::vector<JobId> submitted_;
+};
+
+}  // namespace fascia::svc

@@ -1,0 +1,91 @@
+#include "util/framing.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace fascia::util {
+
+namespace {
+
+/// write(2) until everything is out; EINTR retried.
+void write_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw resource_error(std::string("frame write failed: ") +
+                           std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// read(2) until `size` bytes arrive.  Returns the bytes read, which
+/// is short only at EOF.
+std::size_t read_all(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw resource_error(std::string("frame read failed: ") +
+                           std::strerror(errno));
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+void write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw resource_error("frame payload exceeds kMaxFrameBytes");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(length >> 24),
+      static_cast<unsigned char>(length >> 16),
+      static_cast<unsigned char>(length >> 8),
+      static_cast<unsigned char>(length),
+  };
+  // One buffer, one write path: small frames still cost two syscalls
+  // at most, and interleaving writers on distinct fds never mix bytes.
+  std::string wire;
+  wire.reserve(payload.size() + sizeof(prefix));
+  wire.append(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  wire.append(payload);
+  write_all(fd, wire.data(), wire.size());
+}
+
+bool read_frame(int fd, std::string* payload) {
+  unsigned char prefix[4];
+  const std::size_t got =
+      read_all(fd, reinterpret_cast<char*>(prefix), sizeof(prefix));
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof(prefix)) {
+    throw bad_input("frame truncated inside length prefix");
+  }
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(prefix[0]) << 24) |
+      (static_cast<std::uint32_t>(prefix[1]) << 16) |
+      (static_cast<std::uint32_t>(prefix[2]) << 8) |
+      static_cast<std::uint32_t>(prefix[3]);
+  if (length > kMaxFrameBytes) {
+    throw bad_input("frame length " + std::to_string(length) +
+                    " exceeds kMaxFrameBytes");
+  }
+  payload->resize(length);
+  if (read_all(fd, payload->data(), length) < length) {
+    throw bad_input("frame truncated inside payload");
+  }
+  return true;
+}
+
+}  // namespace fascia::util

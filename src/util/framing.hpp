@@ -1,0 +1,38 @@
+#pragma once
+// Length-prefixed message framing over a byte stream (DESIGN.md §11).
+//
+// The serving wire protocol exchanges complete JSON documents; TCP and
+// Unix-domain sockets deliver byte streams.  A frame restores message
+// boundaries with the smallest possible envelope:
+//
+//   length  u32, big-endian   payload bytes (not counting the prefix)
+//   payload `length` bytes    UTF-8 JSON text
+//
+// Reads and writes loop over short transfers, retry EINTR, and treat a
+// clean EOF *between* frames as end-of-stream (read_frame returns
+// false) while EOF *inside* a frame is a protocol error.  The length
+// is capped (kMaxFrameBytes) so a corrupt or hostile peer cannot force
+// an absurd allocation.  No dependency beyond POSIX read/write — the
+// same functions frame any file descriptor (socketpair tests use
+// pipes).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fascia::util {
+
+/// Largest accepted payload (64 MiB) — far above any real request or
+/// report, small enough to bound a malicious length prefix.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Writes one frame (prefix + payload).  Throws Error(kResource) on a
+/// closed peer or write failure.
+void write_frame(int fd, const std::string& payload);
+
+/// Reads one frame into `payload`.  Returns false on clean EOF before
+/// any prefix byte; throws Error(kBadInput) on a truncated frame or an
+/// oversized length, Error(kResource) on a read failure.
+bool read_frame(int fd, std::string* payload);
+
+}  // namespace fascia::util

@@ -2,8 +2,7 @@
 // (including the cross-thread shard merge), trace span nesting,
 // RunReport schema round-trips, and the two load-bearing invariants —
 // estimates are bit-identical with observability on or off, and the
-// grouped options API (builder, validate, deprecated flat spellings)
-// behaves coherently.
+// grouped options API (builder, validate) behaves coherently.
 
 #include <gtest/gtest.h>
 
@@ -425,56 +424,15 @@ TEST(ObsOptions, ValidateRejectsIncoherentCombinations) {
   EXPECT_THROW(CountOptions::builder().threads(-1).build(), Error);
 }
 
-TEST(ObsOptions, DeprecatedFlatSpellingsWriteThrough) {
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
+TEST(ObsOptions, GroupedOptionsCopyIndependently) {
+  // The flat [[deprecated]] alias spellings are gone; grouped options
+  // are plain value types whose copies are fully independent.
   CountOptions options;
-  options.iterations = 12;
-  options.num_colors = 6;
-  options.seed = 77;
-  options.table = TableKind::kNaive;
-  options.mode = ParallelMode::kOuterLoop;
-  options.num_threads = 3;
-  EXPECT_EQ(options.sampling.iterations, 12);
-  EXPECT_EQ(options.sampling.num_colors, 6);
-  EXPECT_EQ(options.sampling.seed, 77u);
-  EXPECT_EQ(options.execution.table, TableKind::kNaive);
-  EXPECT_EQ(options.execution.mode, ParallelMode::kOuterLoop);
-  EXPECT_EQ(options.execution.threads, 3);
-
-  // Reads through the alias see grouped-field writes, and copies
-  // rebind aliases to their own storage.
   options.sampling.iterations = 5;
-  EXPECT_EQ(static_cast<int>(options.iterations), 5);
   CountOptions copy = options;
-  copy.iterations = 9;
+  copy.sampling.iterations = 9;
   EXPECT_EQ(copy.sampling.iterations, 9);
   EXPECT_EQ(options.sampling.iterations, 5);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-}
-
-TEST(ObsOptions, OldAndNewSpellingsCountIdentically) {
-  ObsOff off;
-  const Graph g = test_graph();
-  const TreeTemplate tree = TreeTemplate::path(5);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  CountOptions old_style;
-  old_style.iterations = 4;
-  old_style.seed = 42;
-  old_style.mode = ParallelMode::kSerial;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  const CountResult via_old = count_template(g, tree, old_style);
-  const CountResult via_new = count_template(g, tree, base_options());
-  EXPECT_EQ(via_old.per_iteration, via_new.per_iteration);
 }
 
 // ---- entry points that must reject reorder -------------------------------

@@ -1,0 +1,462 @@
+// Counting service (src/svc/): graph registry semantics (LRU eviction
+// under a byte budget, running jobs surviving eviction), per-job
+// cancellation isolation, concurrent multi-session use of the shared
+// obs registry, priority scheduling with preemption, and the
+// checkpoint-namespacing contract that makes one work directory safe
+// for concurrent jobs.  The recurring acceptance bar: everything the
+// service does must be invisible in the numbers — a job through the
+// service is bit-identical to the direct library call.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/counter.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "run/checkpoint.hpp"
+#include "svc/service.hpp"
+#include "treelet/catalog.hpp"
+#include "util/error.hpp"
+
+namespace fascia {
+namespace {
+
+std::string temp_dir(const char* tag) {
+  std::string path = ::testing::TempDir() + "fascia_svc_" + tag;
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+svc::JobSpec count_spec(const std::string& graph, const TreeTemplate& tmpl,
+                        int iterations, std::uint64_t seed = 7) {
+  svc::JobSpec spec;
+  spec.kind = svc::JobKind::kCount;
+  spec.graph = graph;
+  spec.tmpl = tmpl;
+  spec.options.sampling.iterations = iterations;
+  spec.options.sampling.seed = seed;
+  spec.options.execution.mode = ParallelMode::kSerial;
+  return spec;
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(SvcRegistry, PutGetEraseRoundTrip) {
+  svc::GraphRegistry registry;
+  EXPECT_EQ(registry.get("g"), nullptr);
+  registry.put("g", erdos_renyi_gnm(100, 300, 1));
+  auto graph = registry.get("g");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(graph->num_vertices(), 100);
+  EXPECT_TRUE(registry.contains("g"));
+  EXPECT_TRUE(registry.erase("g"));
+  EXPECT_FALSE(registry.contains("g"));
+  EXPECT_FALSE(registry.erase("g"));
+  // The handle we took out survives the erase.
+  EXPECT_EQ(graph->num_vertices(), 100);
+}
+
+TEST(SvcRegistry, LruEvictionUnderBytePressure) {
+  const Graph probe = erdos_renyi_gnm(400, 1200, 1);
+  // Budget fits two graphs of this size but not three.
+  svc::GraphRegistry registry(probe.bytes() * 2 + probe.bytes() / 2);
+  registry.put("a", erdos_renyi_gnm(400, 1200, 1));
+  registry.put("b", erdos_renyi_gnm(400, 1200, 2));
+  EXPECT_TRUE(registry.contains("a"));
+  EXPECT_TRUE(registry.contains("b"));
+
+  // Touch "a" so "b" is the least recently used, then overflow.
+  ASSERT_NE(registry.get("a"), nullptr);
+  registry.put("c", erdos_renyi_gnm(400, 1200, 3));
+  EXPECT_TRUE(registry.contains("a"));
+  EXPECT_FALSE(registry.contains("b"));
+  EXPECT_TRUE(registry.contains("c"));
+  EXPECT_GE(registry.stats().evictions, 1u);
+  EXPECT_LE(registry.stats().resident_bytes, registry.stats().budget_bytes);
+}
+
+TEST(SvcRegistry, EvictedGraphStaysAliveForHolders) {
+  const Graph probe = erdos_renyi_gnm(500, 1500, 1);
+  svc::GraphRegistry registry(probe.bytes() + probe.bytes() / 2);
+  auto held = registry.put("old", erdos_renyi_gnm(500, 1500, 1));
+  registry.put("new1", erdos_renyi_gnm(500, 1500, 2));
+  registry.put("new2", erdos_renyi_gnm(500, 1500, 3));
+  EXPECT_FALSE(registry.contains("old"));
+  // The shared_ptr keeps the evicted graph fully usable.
+  EXPECT_EQ(held->num_vertices(), 500);
+  EXPECT_GT(held->num_edges(), 0);
+}
+
+TEST(SvcRegistry, PartitionCacheHitsOnRepeat) {
+  svc::GraphRegistry registry;
+  const TreeTemplate tmpl = catalog_entry("U7-2").tree;
+  auto first = registry.partition_of(tmpl, PartitionStrategy::kOneAtATime,
+                                     true, -1);
+  auto second = registry.partition_of(tmpl, PartitionStrategy::kOneAtATime,
+                                      true, -1);
+  EXPECT_EQ(first.get(), second.get());  // same cached object
+  // A different root is a different plan.
+  auto rooted = registry.partition_of(tmpl, PartitionStrategy::kOneAtATime,
+                                      true, 0);
+  EXPECT_NE(first.get(), rooted.get());
+  EXPECT_GE(registry.stats().hits, 1u);
+}
+
+TEST(SvcRegistry, ReorderPermutationCachedPerMode) {
+  svc::GraphRegistry registry;
+  registry.put("g", chung_lu(600, 2400, 2.3, 60, 5));
+  auto degree1 = registry.reorder_of("g", ReorderMode::kDegree);
+  ASSERT_NE(degree1, nullptr);
+  EXPECT_EQ(degree1->size(), 600);
+  auto degree2 = registry.reorder_of("g", ReorderMode::kDegree);
+  EXPECT_EQ(degree1.get(), degree2.get());
+  EXPECT_EQ(registry.reorder_of("g", ReorderMode::kNone), nullptr);
+  EXPECT_EQ(registry.reorder_of("absent", ReorderMode::kDegree), nullptr);
+}
+
+// ---- service: results match the direct library call ------------------------
+
+TEST(SvcService, CountJobBitIdenticalToDirectCall) {
+  const Graph graph = erdos_renyi_gnm(900, 3600, 11);
+  const TreeTemplate tmpl = catalog_entry("U5-2").tree;
+
+  CountOptions direct;
+  direct.sampling.iterations = 6;
+  direct.sampling.seed = 7;
+  direct.execution.mode = ParallelMode::kSerial;
+  const CountResult expected = count_template(graph, tmpl, direct);
+
+  svc::Service service({});
+  service.registry().put("g", erdos_renyi_gnm(900, 3600, 11));
+  svc::Session session(service);
+  const CountResult got = session.count(count_spec("g", tmpl, 6));
+
+  ASSERT_EQ(got.per_iteration.size(), expected.per_iteration.size());
+  for (std::size_t i = 0; i < expected.per_iteration.size(); ++i) {
+    EXPECT_EQ(got.per_iteration[i], expected.per_iteration[i]) << i;
+  }
+  EXPECT_EQ(got.estimate, expected.estimate);
+  EXPECT_EQ(got.relative_stderr, expected.relative_stderr);
+}
+
+TEST(SvcService, GddJobMatchesDirectGraphletDegrees) {
+  const Graph graph = erdos_renyi_gnm(300, 1200, 3);
+  const TreeTemplate tmpl = catalog_entry("U5-2").tree;
+  const int orbit = u52_central_vertex();
+
+  CountOptions direct;
+  direct.sampling.iterations = 4;
+  direct.sampling.seed = 5;
+  direct.execution.mode = ParallelMode::kSerial;
+  direct.root = orbit;
+  const CountResult expected = graphlet_degrees(graph, tmpl, orbit, direct);
+
+  svc::Service service({});
+  service.registry().put("g", erdos_renyi_gnm(300, 1200, 3));
+  svc::Session session(service);
+  svc::JobSpec spec = count_spec("g", tmpl, 4, 5);
+  spec.kind = svc::JobKind::kGdd;
+  spec.options.root = orbit;
+  const CountResult got = session.count(std::move(spec));
+
+  EXPECT_EQ(got.estimate, expected.estimate);
+  ASSERT_EQ(got.vertex_counts.size(), expected.vertex_counts.size());
+  for (std::size_t v = 0; v < expected.vertex_counts.size(); ++v) {
+    ASSERT_EQ(got.vertex_counts[v], expected.vertex_counts[v]) << v;
+  }
+}
+
+TEST(SvcService, BatchJobMatchesDirectRunBatch) {
+  const Graph graph = erdos_renyi_gnm(500, 2000, 17);
+  std::vector<sched::BatchJob> jobs;
+  for (const char* name : {"U5-1", "U5-2"}) {
+    sched::BatchJob job;
+    job.tmpl = catalog_entry(name).tree;
+    job.iterations = 4;
+    jobs.push_back(std::move(job));
+  }
+  sched::BatchOptions options;
+  options.seed = 23;
+  options.mode = ParallelMode::kSerial;
+  const sched::BatchResult expected = sched::run_batch(graph, jobs, options);
+
+  svc::Service service({});
+  service.registry().put("g", erdos_renyi_gnm(500, 2000, 17));
+  svc::Session session(service);
+  svc::JobSpec spec;
+  spec.graph = "g";
+  spec.batch_jobs = jobs;
+  spec.batch_options = options;
+  spec.preemptible = false;
+  const sched::BatchResult got = session.run_batch(std::move(spec));
+
+  ASSERT_EQ(got.jobs.size(), expected.jobs.size());
+  for (std::size_t j = 0; j < expected.jobs.size(); ++j) {
+    EXPECT_EQ(got.jobs[j].estimate, expected.jobs[j].estimate) << j;
+    EXPECT_EQ(got.jobs[j].iterations, expected.jobs[j].iterations) << j;
+  }
+  EXPECT_EQ(got.estimate, expected.estimate);
+}
+
+// ---- service: lifecycle, cancellation, admission ---------------------------
+
+TEST(SvcService, SubmitRejectsUnknownGraphAndBadSpecs) {
+  svc::Service service({});
+  EXPECT_THROW(service.submit(count_spec("nope", TreeTemplate::path(3), 1)),
+               Error);
+
+  service.registry().put("g", erdos_renyi_gnm(50, 100, 1));
+  svc::JobSpec gdd = count_spec("g", TreeTemplate::path(4), 1);
+  gdd.kind = svc::JobKind::kGdd;  // missing orbit root
+  EXPECT_THROW(service.submit(std::move(gdd)), Error);
+
+  svc::JobSpec batch;
+  batch.kind = svc::JobKind::kBatch;
+  batch.graph = "g";  // empty batch_jobs
+  EXPECT_THROW(service.submit(std::move(batch)), Error);
+}
+
+TEST(SvcService, CancellingOneJobLeavesAnotherUntouched) {
+  svc::Service::Config config;
+  config.workers = 2;
+  svc::Service service(config);
+  service.registry().put("g", erdos_renyi_gnm(2500, 20000, 3));
+
+  // Long victim: enough iterations that cancel lands mid-run.
+  svc::JobSpec victim = count_spec("g", catalog_entry("U7-2").tree, 4000);
+  const svc::JobId victim_id = service.submit(std::move(victim));
+  svc::JobSpec bystander = count_spec("g", catalog_entry("U5-1").tree, 5);
+  const svc::JobId bystander_id = service.submit(std::move(bystander));
+
+  EXPECT_TRUE(service.cancel(victim_id));
+  const svc::JobInfo victim_done = service.wait(victim_id);
+  const svc::JobInfo bystander_done = service.wait(bystander_id);
+
+  EXPECT_EQ(victim_done.state, svc::JobState::kCancelled);
+  ASSERT_EQ(bystander_done.state, svc::JobState::kCompleted);
+  const CountResult result = service.count_result(bystander_id);
+  EXPECT_EQ(result.run.completed_iterations, 5);
+  EXPECT_EQ(result.status(), RunStatus::kCompleted);
+}
+
+TEST(SvcService, AdmissionRejectsJobsThatCanNeverFit) {
+  svc::Service::Config config;
+  config.memory_budget_bytes = 1024;  // absurdly tight
+  svc::Service service(config);
+  service.registry().put("g", erdos_renyi_gnm(5000, 20000, 1));
+  svc::JobSpec spec = count_spec("g", catalog_entry("U10-2").tree, 1);
+  EXPECT_THROW(service.submit(std::move(spec)), Error);
+}
+
+TEST(SvcService, ShutdownCancelsQueuedJobs) {
+  svc::Service::Config config;
+  config.workers = 1;
+  auto service = std::make_unique<svc::Service>(config);
+  service->registry().put("g", erdos_renyi_gnm(2500, 20000, 3));
+  const svc::JobId running =
+      service->submit(count_spec("g", catalog_entry("U7-2").tree, 4000));
+  const svc::JobId queued =
+      service->submit(count_spec("g", catalog_entry("U5-1").tree, 3));
+  service->shutdown();
+  EXPECT_TRUE(job_state_terminal(service->info(running).state));
+  EXPECT_TRUE(job_state_terminal(service->info(queued).state));
+  service.reset();  // double-shutdown via destructor must be safe
+}
+
+// ---- preemption ------------------------------------------------------------
+
+TEST(SvcService, PreemptedBatchJobResumesToBitIdenticalResult) {
+  const int kIterations = 60;
+  const TreeTemplate tmpl = catalog_entry("U10-2").tree;  // k = 10 >= 8
+  const Graph graph = erdos_renyi_gnm(600, 2400, 19);
+
+  CountOptions direct;
+  direct.sampling.iterations = kIterations;
+  direct.sampling.seed = 31;
+  direct.execution.mode = ParallelMode::kSerial;
+  const CountResult expected = count_template(graph, tmpl, direct);
+
+  svc::Service::Config config;
+  config.workers = 1;  // force contention
+  config.work_dir = temp_dir("preempt");
+  svc::Service service(config);
+  service.registry().put("g", erdos_renyi_gnm(600, 2400, 19));
+
+  svc::JobSpec low = count_spec("g", tmpl, kIterations, 31);
+  low.priority = svc::Priority::kBatch;
+  low.preemptible = true;
+  low.options.run.checkpoint_every = 1;  // checkpoint at every boundary
+  const svc::JobId low_id = service.submit(std::move(low));
+
+  // Give the batch job a moment to start, then demand the worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  svc::JobSpec high = count_spec("g", catalog_entry("U5-1").tree, 3);
+  high.priority = svc::Priority::kInteractive;
+  const svc::JobId high_id = service.submit(std::move(high));
+
+  const svc::JobInfo high_done = service.wait(high_id);
+  EXPECT_EQ(high_done.state, svc::JobState::kCompleted);
+
+  const svc::JobInfo low_done = service.wait(low_id);
+  ASSERT_EQ(low_done.state, svc::JobState::kCompleted);
+  EXPECT_GE(low_done.preemptions, 1);  // it really was preempted
+
+  const CountResult got = service.count_result(low_id);
+  EXPECT_TRUE(got.run.resumed);
+  ASSERT_EQ(got.per_iteration.size(), expected.per_iteration.size());
+  for (std::size_t i = 0; i < expected.per_iteration.size(); ++i) {
+    ASSERT_EQ(got.per_iteration[i], expected.per_iteration[i]) << i;
+  }
+  EXPECT_EQ(got.estimate, expected.estimate);
+}
+
+// ---- checkpoint namespacing ------------------------------------------------
+
+TEST(SvcCheckpoint, DirectoryPathsResolveToFingerprintedFiles) {
+  const std::string dir = temp_dir("resolve");
+  const std::string a =
+      run::resolve_checkpoint_path(dir, run::Checkpoint::kKindCount, 0x1234);
+  const std::string b =
+      run::resolve_checkpoint_path(dir, run::Checkpoint::kKindCount, 0x9999);
+  const std::string c =
+      run::resolve_checkpoint_path(dir, run::Checkpoint::kKindBatch, 0x1234);
+  EXPECT_NE(a, b);  // different fingerprints never collide
+  EXPECT_NE(a, c);  // nor do count and batch checkpoints
+  EXPECT_EQ(a.rfind(dir, 0), 0u) << "resolved inside the directory";
+  EXPECT_NE(a.find("fascia_count_"), std::string::npos);
+  EXPECT_NE(c.find("fascia_batch_"), std::string::npos);
+
+  // A plain file path (existing or not) passes through untouched.
+  EXPECT_EQ(run::resolve_checkpoint_path("/tmp/x.ckpt",
+                                         run::Checkpoint::kKindCount, 1),
+            "/tmp/x.ckpt");
+  EXPECT_EQ(
+      run::resolve_checkpoint_path("", run::Checkpoint::kKindCount, 1), "");
+}
+
+TEST(SvcCheckpoint, ConcurrentJobsShareAWorkDirWithoutCollisions) {
+  const std::string dir = temp_dir("shared");
+  const Graph graph = erdos_renyi_gnm(400, 1600, 3);
+
+  auto run_with_checkpoint = [&](const std::string& name,
+                                 std::uint64_t seed) {
+    CountOptions options;
+    options.sampling.iterations = 8;
+    options.sampling.seed = seed;
+    options.execution.mode = ParallelMode::kSerial;
+    options.run.checkpoint_path = dir;  // a DIRECTORY, not a file
+    options.run.checkpoint_every = 2;
+    return count_template(graph, catalog_entry(name).tree, options);
+  };
+  const CountResult a = run_with_checkpoint("U5-1", 3);
+  const CountResult b = run_with_checkpoint("U5-2", 4);
+  EXPECT_GT(a.run.checkpoints_written, 0);
+  EXPECT_GT(b.run.checkpoints_written, 0);
+
+  // Two distinct checkpoint files: the jobs never overwrote each other.
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().filename().string().find("fascia_count_"),
+              std::string::npos);
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+
+  // And each job resumes from ITS file despite the shared directory.
+  CountOptions resume;
+  resume.sampling.iterations = 8;
+  resume.sampling.seed = 3;
+  resume.execution.mode = ParallelMode::kSerial;
+  resume.run.checkpoint_path = dir;
+  resume.run.resume = true;
+  const CountResult resumed =
+      count_template(graph, catalog_entry("U5-1").tree, resume);
+  EXPECT_TRUE(resumed.run.resumed);
+  EXPECT_EQ(resumed.estimate, a.estimate);
+}
+
+// ---- concurrent sessions over the shared obs registry ----------------------
+
+// Gauges ride along in every delta (they are last-set values, not
+// rates), so "this session did work" means counter or histogram
+// activity in the drained slice.
+bool has_activity(const std::vector<obs::MetricSnapshot>& delta) {
+  for (const obs::MetricSnapshot& snap : delta) {
+    if (snap.kind != obs::InstrumentKind::kGauge) return true;
+  }
+  return false;
+}
+
+TEST(SvcSession, TwoSessionsScrapeWhileJobsWrite) {
+  obs::set_enabled(true);
+  svc::Service::Config config;
+  config.workers = 2;
+  svc::Service service(config);
+  service.registry().put("g", erdos_renyi_gnm(800, 3200, 9));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scrapes{0};
+  std::thread scraper([&] {
+    // Hammer the registry while both sessions' jobs are writing to it:
+    // scrape() must stay consistent (counters never go backwards).
+    double last_total = 0.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      double total = 0.0;
+      for (const obs::MetricSnapshot& snap : obs::Registry::global().scrape()) {
+        if (snap.kind == obs::InstrumentKind::kCounter) total += snap.value;
+      }
+      EXPECT_GE(total, last_total);
+      last_total = total;
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  svc::Session session_a(service);
+  svc::Session session_b(service);
+  svc::JobSpec job_a = count_spec("g", catalog_entry("U7-1").tree, 30);
+  job_a.options.observability.enabled = true;
+  svc::JobSpec job_b = count_spec("g", catalog_entry("U7-2").tree, 30);
+  job_b.options.observability.enabled = true;
+  const svc::JobId id_a = session_a.submit(std::move(job_a));
+  const svc::JobId id_b = session_b.submit(std::move(job_b));
+  EXPECT_EQ(service.wait(id_a).state, svc::JobState::kCompleted);
+  EXPECT_EQ(service.wait(id_b).state, svc::JobState::kCompleted);
+
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_GT(scrapes.load(), 0);
+
+  // Each session drains real activity, and a quiet re-drain has none.
+  EXPECT_TRUE(has_activity(session_a.drain_metrics()));
+  EXPECT_FALSE(has_activity(session_a.drain_metrics()));
+  obs::set_enabled(false);
+}
+
+TEST(SvcSession, DrainMetricsScopesToTheSessionWindow) {
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  svc::Service service({});
+  service.registry().put("g", erdos_renyi_gnm(300, 1200, 5));
+
+  svc::Session before(service);
+  svc::JobSpec job = count_spec("g", catalog_entry("U5-1").tree, 10);
+  job.options.observability.enabled = true;
+  before.submit(std::move(job));
+  service.wait(before.submitted().back());
+  EXPECT_TRUE(has_activity(before.drain_metrics()));
+
+  // A session baselined AFTER that work sees none of it.
+  svc::Session after(service);
+  EXPECT_FALSE(has_activity(after.drain_metrics()));
+  obs::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace fascia
