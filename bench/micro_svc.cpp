@@ -15,12 +15,23 @@
 // latency (p50/p99).  Reported, not gated: the numbers document what
 // priority dispatch + preemption deliver on this container.
 //
+// Workload C — overload protection (PR 7): one worker, a tiny batch
+// queue bound, and a flood of batch submits that keeps the queue
+// saturated so every top-up ends in an OverloadedError.  Interactive
+// latency is measured THROUGH that shedding pressure: the contract is
+// that rejecting batch overflow keeps the interactive path flowing,
+// so its p99 must stay bounded while batch work is being refused.
+//
 // Results go to --json (default BENCH_svc.json).  --check BASELINE
 // re-runs and fails (exit 1) when warm_speedup drops below 5x or
-// below 0.75x the committed baseline.
+// below 0.75x the committed baseline, or when the shedding-pressure
+// interactive p99 blows past 3x the baseline (floored at 250 ms for
+// noisy CI containers), or when shedding never engaged at all.
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +48,8 @@ namespace {
 
 constexpr double kCheckTolerance = 0.75;
 constexpr double kWarmSpeedupFloor = 5.0;
+constexpr double kShedP99Slack = 3.0;      ///< vs baseline
+constexpr double kShedP99FloorSeconds = 0.25;  ///< noisy-CI absolute floor
 
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
@@ -48,9 +61,9 @@ double percentile(std::vector<double> values, double p) {
   return values[lo] + frac * (values[hi] - values[lo]);
 }
 
-double read_baseline_speedup(const std::string& path) {
+std::optional<fascia::obs::Json> read_baseline(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return 0.0;
+  if (file == nullptr) return std::nullopt;
   std::string text;
   char buffer[4096];
   std::size_t got;
@@ -58,8 +71,7 @@ double read_baseline_speedup(const std::string& path) {
     text.append(buffer, got);
   }
   std::fclose(file);
-  const auto parsed = fascia::obs::Json::parse(text);
-  return parsed ? parsed->get_double("warm_speedup", 0.0) : 0.0;
+  return fascia::obs::Json::parse(text);
 }
 
 }  // namespace
@@ -207,6 +219,69 @@ int main(int argc, char** argv) {
   const double interactive_p50 = percentile(interactive_seconds, 0.5);
   const double interactive_p99 = percentile(interactive_seconds, 0.99);
 
+  // ---- workload C: interactive p99 while shedding batch overflow ----------
+  // One worker and a 2-deep batch queue bound: topping the backlog up
+  // past the bound before every interactive request guarantees the
+  // service is actively REFUSING batch work (OverloadedError with a
+  // Retry-After hint) for the whole measurement window.
+  const std::string shed_work_dir = json_path + ".shedwork.tmp";
+  std::filesystem::remove_all(shed_work_dir);
+  svc::Service::Config shed_config;
+  shed_config.workers = 1;
+  shed_config.max_queued_batch = 2;
+  shed_config.work_dir = shed_work_dir;
+  svc::Service shed_service(shed_config);
+  shed_service.registry().put("g", make_dataset(dataset, load_scale,
+                                                ctx.seed));
+
+  std::uint64_t seed_counter = 0;
+  std::vector<svc::JobId> shed_backlog;
+  double retry_after_hint = 0.0;
+  const auto top_up_until_shedding = [&] {
+    // The queue bound is 2, so 4 attempts always end in a rejection.
+    for (int b = 0; b < 4; ++b) {
+      svc::JobSpec spec;
+      spec.kind = svc::JobKind::kCount;
+      spec.graph = "g";
+      spec.tmpl = catalog_entry("U7-1").tree;
+      spec.options.sampling.iterations = 50;
+      spec.options.sampling.seed = ctx.seed + ++seed_counter;
+      spec.options.execution.mode = ParallelMode::kSerial;
+      spec.priority = svc::Priority::kBatch;
+      try {
+        shed_backlog.push_back(shed_service.submit(std::move(spec)));
+      } catch (const svc::OverloadedError& e) {
+        retry_after_hint = e.retry_after_seconds();
+        return;
+      }
+    }
+  };
+
+  std::vector<double> shed_interactive_seconds;
+  for (int rep = 0; rep < reps; ++rep) {
+    top_up_until_shedding();
+    svc::JobSpec spec;
+    spec.kind = svc::JobKind::kCount;
+    spec.graph = "g";
+    spec.tmpl = catalog_entry("U5-1").tree;
+    spec.options.sampling.iterations = iters;
+    spec.options.sampling.seed = ctx.seed;
+    spec.options.execution.mode = ParallelMode::kSerial;
+    spec.priority = svc::Priority::kInteractive;
+    spec.preemptible = false;
+    WallTimer timer;
+    const svc::JobId id = shed_service.submit(std::move(spec));
+    shed_service.wait(id);
+    shed_interactive_seconds.push_back(timer.elapsed_s());
+  }
+  const std::uint64_t shed_total = shed_service.health().shed_total;
+  for (const svc::JobId id : shed_backlog) shed_service.cancel(id);
+  shed_service.shutdown();
+  std::filesystem::remove_all(shed_work_dir);
+
+  const double shed_p50 = percentile(shed_interactive_seconds, 0.5);
+  const double shed_p99 = percentile(shed_interactive_seconds, 0.99);
+
   // ---- report -------------------------------------------------------------
   TablePrinter table({"Metric", "value"});
   table.add_row({"cold load+count p50 (ms)",
@@ -218,6 +293,14 @@ int main(int argc, char** argv) {
                  TablePrinter::num(interactive_p50 * 1e3, 3)});
   table.add_row({"interactive p99 (ms)",
                  TablePrinter::num(interactive_p99 * 1e3, 3)});
+  table.add_row({"shedding interactive p50 (ms)",
+                 TablePrinter::num(shed_p50 * 1e3, 3)});
+  table.add_row({"shedding interactive p99 (ms)",
+                 TablePrinter::num(shed_p99 * 1e3, 3)});
+  table.add_row({"batch submits shed",
+                 TablePrinter::num(static_cast<long long>(shed_total))});
+  table.add_row({"retry-after hint (s)",
+                 TablePrinter::num(retry_after_hint, 2)});
   if (registry != nullptr) {
     table.add_row({"registry hits",
                    TablePrinter::num(
@@ -246,13 +329,20 @@ int main(int argc, char** argv) {
                interactive_p50);
   std::fprintf(json, "  \"interactive_p99_seconds\": %.6f,\n",
                interactive_p99);
-  std::fprintf(json, "  \"batch_backlog_jobs\": %d\n", batch_jobs);
+  std::fprintf(json, "  \"batch_backlog_jobs\": %d,\n", batch_jobs);
+  std::fprintf(json, "  \"shed_interactive_p50_seconds\": %.6f,\n", shed_p50);
+  std::fprintf(json, "  \"shed_interactive_p99_seconds\": %.6f,\n", shed_p99);
+  std::fprintf(json, "  \"shed_total\": %llu,\n",
+               static_cast<unsigned long long>(shed_total));
+  std::fprintf(json, "  \"retry_after_seconds\": %.3f\n", retry_after_hint);
   std::fprintf(json, "}\n");
   std::fclose(json);
   std::printf("\nwrote %s\n", json_path.c_str());
 
   if (!check_path.empty()) {
-    const double baseline = read_baseline_speedup(check_path);
+    const std::optional<Json> baseline_doc = read_baseline(check_path);
+    const double baseline =
+        baseline_doc ? baseline_doc->get_double("warm_speedup", 0.0) : 0.0;
     if (baseline <= 0.0) {
       std::fprintf(stderr, "check: no warm_speedup in %s\n",
                    check_path.c_str());
@@ -270,6 +360,37 @@ int main(int argc, char** argv) {
                    "cold load (vs %s)\n",
                    kWarmSpeedupFloor, check_path.c_str());
       return 1;
+    }
+
+    // Overload-protection gate: shedding must have engaged (the whole
+    // point of workload C), the rejection must carry a usable
+    // Retry-After hint, and interactive p99 under shedding pressure
+    // must stay within a generous envelope of the baseline.
+    if (shed_total == 0 || retry_after_hint <= 0.0) {
+      std::fprintf(stderr,
+                   "check: batch shedding never engaged (shed_total=%llu, "
+                   "retry_after=%.3f)\n",
+                   static_cast<unsigned long long>(shed_total),
+                   retry_after_hint);
+      return 1;
+    }
+    const double baseline_shed_p99 =
+        baseline_doc->get_double("shed_interactive_p99_seconds", 0.0);
+    if (baseline_shed_p99 > 0.0) {
+      const double ceiling = std::max(kShedP99FloorSeconds,
+                                      kShedP99Slack * baseline_shed_p99);
+      const bool shed_ok = shed_p99 <= ceiling;
+      std::printf("check: shedding interactive p99 baseline %.1fms now "
+                  "%.1fms ceiling %.1fms  %s\n",
+                  baseline_shed_p99 * 1e3, shed_p99 * 1e3, ceiling * 1e3,
+                  shed_ok ? "ok" : "REGRESSED");
+      if (!shed_ok) {
+        std::fprintf(stderr,
+                     "check: interactive latency no longer protected while "
+                     "shedding batch overflow (vs %s)\n",
+                     check_path.c_str());
+        return 1;
+      }
     }
   }
   return 0;

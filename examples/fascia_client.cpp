@@ -5,8 +5,8 @@
 // too, one JSON document per line — pipe through `jq` per line).
 //
 //   fascia_client --port 7071 --op load_graph --graph enron --scale 0.05
-//   fascia_client --port 7071 --op count --graph enron --template U5-1 \
-//                 --iterations 8 --stream
+//   fascia_client --port 7071 --op count --graph enron --template U5-1
+//                 --iterations 8 --stream   (one command line)
 //   fascia_client --port 7071 --op status
 //   fascia_client --port 7071 --op shutdown
 
@@ -26,8 +26,8 @@ int main(int argc, char** argv) {
   cli.add_option("port", "server TCP port", "7071");
   cli.add_option("unix", "connect via Unix socket instead ('' = TCP)", "");
   cli.add_option("op",
-                 "load_graph | count | gdd | run_batch | status | cancel | "
-                 "shutdown",
+                 "load_graph | count | gdd | run_batch | status | health | "
+                 "drain | cancel | shutdown",
                  "status");
   cli.add_option("graph", "graph name in the server registry", "");
   cli.add_option("dataset", "dataset to load (default: the graph name)", "");
@@ -43,15 +43,26 @@ int main(int argc, char** argv) {
   cli.add_option("job", "job id for cancel", "0");
   cli.add_flag("stream", "stream progress events while the job runs");
   cli.add_flag("report", "include the full RunReport in the response");
+  cli.add_option("request-id",
+                 "idempotency token for count/gdd/run_batch; retries with "
+                 "the same token attach to the original job",
+                 "");
+  cli.add_option("retries",
+                 "total attempts per request (1 = never retry)", "1");
+  cli.add_option("timeout", "per-op socket deadline seconds (0 = none)", "0");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
 
+    fascia::svc::Client::RetryOptions retry;
+    retry.max_attempts = static_cast<int>(cli.integer("retries"));
+    retry.op_timeout_seconds = cli.real("timeout");
     fascia::svc::Client client =
         cli.str("unix").empty()
             ? fascia::svc::Client::connect_tcp(
-                  cli.str("host"), static_cast<int>(cli.integer("port")))
-            : fascia::svc::Client::connect_unix(cli.str("unix"));
+                  cli.str("host"), static_cast<int>(cli.integer("port")),
+                  retry)
+            : fascia::svc::Client::connect_unix(cli.str("unix"), retry);
     client.on_event([](const Json& event) {
       std::printf("%s\n", event.dump().c_str());
       std::fflush(stdout);
@@ -71,6 +82,9 @@ int main(int argc, char** argv) {
       request["priority"] = cli.str("priority");
       request["stream"] = cli.flag("stream");
       request["report"] = cli.flag("report");
+      if (!cli.str("request-id").empty()) {
+        request["request_id"] = cli.str("request-id");
+      }
       // Template spec: a catalog name, or "path:k" / "star:k".
       const std::string tmpl = cli.str("template");
       Json tmpl_spec = Json::object();

@@ -6,8 +6,8 @@
 // same svc::Service layer the CLI uses in-process — the server adds
 // only transport.
 //
-//   fascia_server --port 7071 --workers 4 --registry-budget-mb 512 \
-//                 --work-dir /tmp/fascia-work
+//   fascia_server --port 7071 --workers 4 --registry-budget-mb 512
+//                 --work-dir /tmp/fascia-work --journal /tmp/fascia.journal
 //
 // Prints one "listening" line per bound endpoint (with the resolved
 // port, so --port 0 works for scripts) and one line per lifecycle
@@ -42,6 +42,25 @@ int main(int argc, char** argv) {
   cli.add_option("memory-budget-mb", "admission budget (0 = none)", "0");
   cli.add_option("work-dir", "checkpoint dir for preemption ('' = off)", "");
   cli.add_flag("no-preemption", "never preempt batch jobs");
+  cli.add_option("journal", "crash-recovery job journal path ('' = off)", "");
+  cli.add_option("grace-seconds",
+                 "shutdown grace for running interactive jobs", "2.0");
+  cli.add_option("max-connections",
+                 "concurrent connection cap (0 = unbounded)", "64");
+  cli.add_option("idle-timeout",
+                 "close idle connections after this many seconds (0 = never)",
+                 "300");
+  cli.add_option("io-timeout", "per-reply write deadline seconds (0 = none)",
+                 "30");
+  cli.add_option("max-queued-batch",
+                 "shed batch submits past this queue depth (0 = unbounded)",
+                 "0");
+  cli.add_option("queued-budget-mb",
+                 "shed batch submits past this queued-memory estimate "
+                 "(0 = unbounded)",
+                 "0");
+  cli.add_option("retry-after",
+                 "Retry-After hint (seconds) on shed/draining replies", "2.0");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -57,6 +76,17 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.integer("memory-budget-mb")) << 20;
     config.service.work_dir = cli.str("work-dir");
     config.service.enable_preemption = !cli.flag("no-preemption");
+    config.service.journal_path = cli.str("journal");
+    config.service.shutdown_grace_seconds = cli.real("grace-seconds");
+    config.service.max_queued_batch =
+        static_cast<std::size_t>(cli.integer("max-queued-batch"));
+    config.service.queued_bytes_budget =
+        static_cast<std::size_t>(cli.integer("queued-budget-mb")) << 20;
+    config.service.retry_after_seconds = cli.real("retry-after");
+    config.max_connections =
+        static_cast<std::size_t>(cli.integer("max-connections"));
+    config.idle_timeout_seconds = cli.real("idle-timeout");
+    config.io_timeout_seconds = cli.real("io-timeout");
 
     fascia::svc::Server server(config);
     server.start();

@@ -172,6 +172,12 @@ class Parser {
       }
       std::optional<Json> value = parse_value();
       if (!value) return std::nullopt;
+      // Duplicate keys are ambiguous — last-wins would let a hostile
+      // request smuggle a second "op" past validation, so reject.
+      if (obj.contains(key)) {
+        fail("duplicate object key");
+        return std::nullopt;
+      }
       obj[key] = std::move(*value);
       if (consume(',')) continue;
       if (consume('}')) return obj;

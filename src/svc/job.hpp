@@ -86,6 +86,14 @@ struct JobSpec {
 
   /// Client-supplied tag echoed in JobInfo / status responses.
   std::string label;
+
+  /// Client-chosen idempotency token.  A submit with a request_id the
+  /// service has already accepted returns the existing job's id
+  /// instead of creating a duplicate — the contract that makes client
+  /// reconnect-and-retry safe (a retried request observes the original
+  /// job, even across a server crash: the journal replays the map).
+  /// Empty = no dedup.
+  std::string request_id;
 };
 
 /// Point-in-time public view of a job (copyable snapshot; the live
@@ -97,6 +105,7 @@ struct JobInfo {
   Priority priority = Priority::kBatch;
   std::string graph;
   std::string label;
+  std::string request_id;  ///< idempotency token, if the client sent one
   std::string error;  ///< kFailed: what() of the escaping exception
 
   /// Admission-control figure: modeled peak bytes for the job's

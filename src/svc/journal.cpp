@@ -1,0 +1,198 @@
+#include "svc/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace fascia::svc {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x464A524E;  // "FJRN"
+constexpr std::uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data,
+                    std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+void append_u32(std::string& out, std::uint32_t value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+const obs::Metric& appends_metric() {
+  static const obs::Metric m("svc.journal.appends",
+                             obs::InstrumentKind::kCounter);
+  return m;
+}
+const obs::Metric& failures_metric() {
+  static const obs::Metric m("svc.journal.failures",
+                             obs::InstrumentKind::kCounter);
+  return m;
+}
+
+}  // namespace
+
+Journal::~Journal() { close(); }
+
+Journal::Journal(Journal&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Journal Journal::open_append(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    throw resource_error(std::string("cannot open job journal: ") +
+                             std::strerror(errno),
+                         path);
+  }
+  Journal journal;
+  journal.fd_ = fd;
+  journal.path_ = path;
+  return journal;
+}
+
+Journal Journal::open_truncate(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw resource_error(std::string("cannot create job journal: ") +
+                             std::strerror(errno),
+                         path);
+  }
+  Journal journal;
+  journal.fd_ = fd;
+  journal.path_ = path;
+  return journal;
+}
+
+void Journal::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::append(JournalKind kind, std::uint64_t id,
+                     const std::string& payload) {
+  std::string buffer;
+  buffer.reserve(payload.size() + 32);
+  append_u32(buffer, kRecordMagic);
+  const std::size_t body_start = buffer.size();
+  append_u32(buffer, static_cast<std::uint32_t>(kind));
+  append_u64(buffer, id);
+  append_u32(buffer, static_cast<std::uint32_t>(payload.size()));
+  buffer.append(payload);
+  append_u64(buffer, fnv1a(kFnvSeed, buffer.data() + body_start,
+                           buffer.size() - body_start));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    failures_metric().add();
+    throw resource_error("job journal is closed", path_);
+  }
+  if (fault::fire("journal.append")) {
+    failures_metric().add();
+    throw resource_error("injected journal append failure", path_);
+  }
+  std::size_t sent = 0;
+  while (sent < buffer.size()) {
+    const ssize_t n = ::write(fd_, buffer.data() + sent, buffer.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failures_metric().add();
+      throw resource_error(std::string("job journal write failed: ") +
+                               std::strerror(errno),
+                           path_);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    failures_metric().add();
+    throw resource_error(std::string("job journal fsync failed: ") +
+                             std::strerror(errno),
+                         path_);
+  }
+  appends_metric().add();
+}
+
+JournalReplay Journal::replay(const std::string& path) {
+  JournalReplay out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;  // no journal yet: empty replay
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+
+  std::size_t pos = 0;
+  const auto read_u32 = [&](std::size_t at, std::uint32_t& value) {
+    if (at + sizeof(value) > buffer.size()) return false;
+    std::memcpy(&value, buffer.data() + at, sizeof(value));
+    return true;
+  };
+  const auto read_u64 = [&](std::size_t at, std::uint64_t& value) {
+    if (at + sizeof(value) > buffer.size()) return false;
+    std::memcpy(&value, buffer.data() + at, sizeof(value));
+    return true;
+  };
+
+  while (pos < buffer.size()) {
+    std::uint32_t magic = 0;
+    std::uint32_t kind = 0;
+    std::uint64_t id = 0;
+    std::uint32_t length = 0;
+    if (!read_u32(pos, magic) || magic != kRecordMagic ||
+        !read_u32(pos + 4, kind) || !read_u64(pos + 8, id) ||
+        !read_u32(pos + 16, length)) {
+      break;  // torn or corrupt tail
+    }
+    const std::size_t payload_at = pos + 20;
+    const std::size_t crc_at = payload_at + length;
+    std::uint64_t stored = 0;
+    if (crc_at < payload_at /* overflow */ || !read_u64(crc_at, stored)) break;
+    if (stored !=
+        fnv1a(kFnvSeed, buffer.data() + pos + 4, 16 + length)) {
+      break;
+    }
+    JournalRecord record;
+    record.kind = static_cast<JournalKind>(kind);
+    record.id = id;
+    record.payload.assign(buffer.data() + payload_at, length);
+    out.records.push_back(std::move(record));
+    pos = crc_at + sizeof(stored);
+  }
+  out.bytes = pos;
+  out.torn_bytes = buffer.size() - pos;
+  return out;
+}
+
+}  // namespace fascia::svc

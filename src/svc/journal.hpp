@@ -1,0 +1,98 @@
+#pragma once
+// Crash-recovering job journal (DESIGN.md §11, PR 7).
+//
+// The service's durability story: every accepted job (and every graph
+// registration it depends on) is appended to a checksummed journal and
+// fsync'd *before* the accept is acknowledged, so a `kill -9` of the
+// daemon loses no accepted work.  On restart the service replays the
+// journal, re-registers graphs, and re-admits every accepted job that
+// has no matching `finished` record; batch jobs resume bit-identically
+// from their fingerprint-namespaced checkpoints (run/checkpoint.hpp),
+// interactive jobs re-run from scratch — same counter-mode RNG, same
+// bits either way.
+//
+// On-disk format: a flat sequence of self-delimiting records
+//
+//   magic   u32   0x464A524E ("FJRN")
+//   kind    u32   JournalKind
+//   id      u64   job id (0 for graph records)
+//   length  u32   payload bytes
+//   payload       UTF-8 JSON (the wire-request document for accepts)
+//   crc     u64   FNV-1a over kind..payload
+//
+// Appends are a single write(2) followed by fsync — the same
+// crash-consistency idiom as the PR 2 checkpoints, minus the rename
+// (journals only grow; compaction rewrites a fresh file on recovery).
+// replay() tolerates a torn tail: the first record that fails its
+// bounds or checksum ends the replay and reports how many bytes were
+// discarded.  A torn tail is *expected* after a crash mid-append and
+// is never an error.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fascia::svc {
+
+enum class JournalKind : std::uint32_t {
+  kGraph = 1,         ///< payload: load_graph request JSON
+  kAccepted = 2,      ///< payload: the job's wire-request JSON
+  kStarted = 3,       ///< payload: empty
+  kCheckpointed = 4,  ///< payload: empty (checkpoint lives in work dir)
+  kFinished = 5,      ///< payload: terminal JobState name
+};
+
+struct JournalRecord {
+  JournalKind kind = JournalKind::kAccepted;
+  std::uint64_t id = 0;
+  std::string payload;
+};
+
+struct JournalReplay {
+  std::vector<JournalRecord> records;
+  std::size_t bytes = 0;       ///< bytes consumed by valid records
+  std::size_t torn_bytes = 0;  ///< trailing bytes discarded (torn append)
+};
+
+/// Append-only journal handle.  Thread-safe: appends from submitter
+/// and worker threads serialize on an internal mutex.
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens `path` for appending, creating it if missing.  Throws
+  /// Error(kResource) when the file cannot be opened.
+  static Journal open_append(const std::string& path);
+
+  /// Creates/truncates `path` — the recovery compaction path (replayed
+  /// state is rewritten fresh so the journal does not grow forever).
+  static Journal open_truncate(const std::string& path);
+
+  /// Appends one record and fsyncs.  Throws Error(kResource) on write
+  /// or sync failure (fault site "journal.append").
+  void append(JournalKind kind, std::uint64_t id, const std::string& payload);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  void close() noexcept;
+
+  /// Reads every intact record from `path`.  A missing file yields an
+  /// empty replay; a torn or corrupt tail ends the scan (torn_bytes
+  /// reports what was discarded).  Never throws on file *content*.
+  static JournalReplay replay(const std::string& path);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::mutex mutex_;
+};
+
+}  // namespace fascia::svc

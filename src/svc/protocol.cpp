@@ -180,6 +180,9 @@ Json count_options_to_json(const CountOptions& options) {
   if (options.run.memory_budget_bytes > 0) {
     out["memory_budget_bytes"] = options.run.memory_budget_bytes;
   }
+  if (options.run.checkpoint_every != RunControls{}.checkpoint_every) {
+    out["checkpoint_every"] = options.run.checkpoint_every;
+  }
   if (options.root >= 0) out["root"] = options.root;
   if (options.per_vertex) out["per_vertex"] = true;
   if (options.observability.enabled) out["observability"] = true;
@@ -242,6 +245,12 @@ Json batch_options_to_json(const sched::BatchOptions& options) {
   out["cross_template_reuse"] = options.cross_template_reuse;
   out["min_iterations"] = options.min_iterations;
   out["round_iterations"] = options.round_iterations;
+  if (options.run.deadline_seconds > 0) {
+    out["deadline_seconds"] = options.run.deadline_seconds;
+  }
+  if (options.run.memory_budget_bytes > 0) {
+    out["memory_budget_bytes"] = options.run.memory_budget_bytes;
+  }
   if (options.observability.enabled) out["observability"] = true;
   return out;
 }
@@ -336,6 +345,7 @@ Json job_info_to_json(const JobInfo& info) {
   out["priority"] = priority_name(info.priority);
   out["graph"] = info.graph;
   if (!info.label.empty()) out["label"] = info.label;
+  if (!info.request_id.empty()) out["request_id"] = info.request_id;
   if (!info.error.empty()) out["error"] = info.error;
   out["estimated_peak_bytes"] = info.estimated_peak_bytes;
   out["preemptions"] = info.preemptions;
@@ -369,6 +379,7 @@ JobSpec job_spec_from_request(const Json& request) {
   spec.priority = priority_from_name(request.get_string("priority"));
   spec.preemptible = request.get_bool("preemptible", true);
   spec.label = request.get_string("label");
+  spec.request_id = request.get_string("request_id");
 
   if (spec.kind == JobKind::kBatch) {
     const Json* jobs = request.find("jobs");
@@ -406,12 +417,60 @@ JobSpec job_spec_from_request(const Json& request) {
   return spec;
 }
 
+Json job_spec_to_request_json(const JobSpec& spec) {
+  Json out = Json::object();
+  switch (spec.kind) {
+    case JobKind::kCount:
+      out["op"] = "count";
+      break;
+    case JobKind::kGdd:
+      out["op"] = "gdd";
+      break;
+    case JobKind::kBatch:
+      out["op"] = "run_batch";
+      break;
+  }
+  out["graph"] = spec.graph;
+  out["priority"] = priority_name(spec.priority);
+  out["preemptible"] = spec.preemptible;
+  if (!spec.label.empty()) out["label"] = spec.label;
+  if (!spec.request_id.empty()) out["request_id"] = spec.request_id;
+  if (spec.kind == JobKind::kBatch) {
+    Json jobs = Json::array();
+    for (const sched::BatchJob& job : spec.batch_jobs) {
+      Json entry = Json::object();
+      entry["template"] = template_to_json(job.tmpl);
+      entry["iterations"] = job.iterations;
+      if (job.target_relative_stderr > 0.0) {
+        entry["target_relative_stderr"] = job.target_relative_stderr;
+      }
+      entry["max_iterations"] = job.max_iterations;
+      jobs.push_back(std::move(entry));
+    }
+    out["jobs"] = std::move(jobs);
+    out["options"] = batch_options_to_json(spec.batch_options);
+  } else {
+    out["template"] = template_to_json(spec.tmpl);
+    out["options"] = count_options_to_json(spec.options);
+  }
+  return out;
+}
+
 Json error_response(const std::string& message, const std::string& category) {
   Json out = Json::object();
   out["ok"] = false;
   out["error"] = message;
   out["category"] = category;
   out["protocol"] = kProtocolVersion;
+  return out;
+}
+
+Json error_response(const std::string& message, const std::string& category,
+                    double retry_after_seconds) {
+  Json out = error_response(message, category);
+  if (retry_after_seconds > 0.0) {
+    out["retry_after_seconds"] = retry_after_seconds;
+  }
   return out;
 }
 

@@ -73,8 +73,20 @@ Json job_info_to_json(const JobInfo& info);
 /// Throws Error(kUsage)/(kBadInput) on malformed requests.
 JobSpec job_spec_from_request(const Json& request);
 
+/// Inverse of job_spec_from_request: renders a JobSpec back into the
+/// wire-request document.  This is what the job journal stores — a
+/// replayed record goes through job_spec_from_request again, so
+/// recovery and the wire share one parsing path and cannot drift.
+Json job_spec_to_request_json(const JobSpec& spec);
+
 /// Uniform error envelope: {"ok": false, "error": ..., "category": ...}.
 Json error_response(const std::string& message, const std::string& category);
+
+/// Error envelope with a Retry-After hint (shed/draining responses):
+/// adds "retry_after_seconds" when positive.  Well-behaved clients
+/// (svc::Client with retries enabled) back off for at least the hint.
+Json error_response(const std::string& message, const std::string& category,
+                    double retry_after_seconds);
 
 Priority priority_from_name(const std::string& name);
 

@@ -14,6 +14,18 @@
 // op (or stop()) ends the accept loops, wakes blocked connections,
 // joins every thread, and shuts the service down.  The fascia_server
 // daemon is just start() + wait_shutdown() + stop().
+//
+// Overload protection (PR 7): accepted connections are capped
+// (max_connections; excess accepts get a typed "overloaded" reply with
+// a Retry-After hint and are closed), every connection carries an idle
+// read deadline and a write deadline (kernel SO_RCVTIMEO/SO_SNDTIMEO,
+// so a stalled peer cannot pin a thread forever — svc.conn.timeouts
+// counts expiries), and malformed frames are answered with typed
+// errors: a parse-level error keeps the connection (frame boundaries
+// are intact), a framing-level error closes it after the reply (the
+// byte stream is unsynchronized).  Finished connection threads are
+// reaped by the accept loops, so a long-lived server does not
+// accumulate dead std::thread handles.
 
 #include <memory>
 #include <mutex>
@@ -41,6 +53,19 @@ class Server {
 
     /// Cadence of streamed progress frames.
     double progress_interval_seconds = 0.05;
+
+    /// Hard cap on concurrently served connections; an accept beyond
+    /// it is answered with a typed "overloaded" error carrying the
+    /// service's Retry-After hint, then closed.  0 = unbounded.
+    std::size_t max_connections = 64;
+
+    /// Idle deadline: a connection with no request for this long is
+    /// closed (counted in svc.conn.timeouts).  0 disables.
+    double idle_timeout_seconds = 300.0;
+
+    /// Write deadline per reply: a client that stops reading cannot
+    /// pin a connection thread past this.  0 disables.
+    double io_timeout_seconds = 30.0;
   };
 
   explicit Server(Config config);
@@ -72,6 +97,10 @@ class Server {
  private:
   void accept_loop(util::Listener& listener);
   void serve_connection(util::Socket socket);
+  /// Joins connection threads that announced completion — called from
+  /// the accept loops so thread handles don't pile up for the
+  /// server's lifetime.
+  void reap_connections();
   /// Handles one request; returns false when the connection (or the
   /// whole server) should wind down after the reply.
   bool handle_request(int fd, const obs::Json& request,
@@ -93,6 +122,7 @@ class Server {
   bool shutdown_requested_ = false;
   bool stopped_ = false;
   std::vector<std::thread> connections_;
+  std::vector<std::thread::id> finished_ids_;  ///< awaiting reap
   std::vector<int> live_fds_;  ///< for waking blocked reads on stop()
 };
 

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <filesystem>
 #include <optional>
+#include <unordered_set>
 #include <utility>
 
 #include "core/counter.hpp"
+#include "graph/datasets.hpp"
 #include "run/memory.hpp"
+#include "svc/protocol.hpp"
 #include "util/error.hpp"
 
 namespace fascia::svc {
@@ -94,6 +97,17 @@ int admission_engine_copies(const ExecutionOptions& execution) {
   return 1;
 }
 
+const obs::Metric& shed_metric() {
+  static const obs::Metric m("svc.shed", obs::InstrumentKind::kCounter);
+  return m;
+}
+
+const obs::Metric& replays_metric() {
+  static const obs::Metric m("svc.journal.replays",
+                             obs::InstrumentKind::kCounter);
+  return m;
+}
+
 }  // namespace
 
 Service::Service(Config config)
@@ -107,6 +121,12 @@ Service::Service(Config config)
                            config_.work_dir + "': " + ec.message());
     }
   }
+  if (!config_.journal_path.empty()) {
+    // Replay + compact before any worker can run: recovery re-admits
+    // unfinished jobs single-threaded, so replayed ids are dense and
+    // no half-recovered state is ever observable.
+    recover();
+  }
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -115,7 +135,7 @@ Service::Service(Config config)
 
 Service::~Service() { shutdown(); }
 
-JobId Service::submit(JobSpec spec) {
+std::unique_ptr<Service::Record> Service::build_record(JobSpec spec) {
   // Validate up front so errors surface on the caller's thread with
   // the usage taxonomy, not as a failed job.
   switch (spec.kind) {
@@ -178,13 +198,87 @@ JobId Service::submit(JobSpec spec) {
         " bytes) exceeds the service admission budget (" +
         std::to_string(config_.memory_budget_bytes) + ")");
   }
+  return record;
+}
+
+std::size_t Service::queued_batch_bytes_locked() const {
+  std::size_t bytes = 0;
+  for (JobId id : queue_batch_) {
+    auto it = records_.find(id);
+    if (it == records_.end() || job_state_terminal(it->second->state)) {
+      continue;
+    }
+    bytes += it->second->estimated_peak_bytes;
+  }
+  return bytes;
+}
+
+JobId Service::submit(JobSpec spec) {
+  auto record = build_record(std::move(spec));
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (stopping_) throw usage_error("service is shutting down");
+  // Idempotency first: a retried request must observe its original
+  // job, even one the drain below would now reject.
+  if (!record->spec.request_id.empty()) {
+    auto hit = by_request_id_.find(record->spec.request_id);
+    if (hit != by_request_id_.end()) return hit->second;
+  }
+  if (draining_) {
+    throw OverloadedError("service is draining for restart",
+                          config_.retry_after_seconds);
+  }
+  // Load shedding applies to batch work only: the point of overload
+  // protection is that interactive jobs keep flowing.
+  if (record->spec.priority == Priority::kBatch) {
+    std::size_t queued = 0;
+    for (JobId id : queue_batch_) {
+      auto it = records_.find(id);
+      if (it != records_.end() && !job_state_terminal(it->second->state)) {
+        ++queued;
+      }
+    }
+    const bool depth_shed =
+        config_.max_queued_batch > 0 && queued >= config_.max_queued_batch;
+    const bool bytes_shed =
+        config_.queued_bytes_budget > 0 &&
+        queued_batch_bytes_locked() + record->estimated_peak_bytes >
+            config_.queued_bytes_budget;
+    if (depth_shed || bytes_shed) {
+      ++shed_total_;
+      shed_metric().add();
+      throw OverloadedError(
+          depth_shed
+              ? "batch queue full (" + std::to_string(queued) + " queued)"
+              : "queued batch jobs exceed the queued-memory budget",
+          config_.retry_after_seconds);
+    }
+  }
+  return admit_locked(std::move(record), /*journal=*/true);
+}
+
+JobId Service::admit_locked(std::unique_ptr<Record> record, bool journal) {
   const JobId id = next_id_++;
   record->id = id;
   const Priority priority = record->spec.priority;
+  const std::string request_id = record->spec.request_id;
+  Record* raw = record.get();
   records_.emplace(id, std::move(record));
+  if (!request_id.empty()) by_request_id_[request_id] = id;
+  if (journal && journal_) {
+    // Durability before acknowledgment: the accept record reaches disk
+    // before the job can be queued or its id returned.  A journal that
+    // cannot record the job refuses it — accepting unrecoverable work
+    // would break the crash-recovery contract.
+    try {
+      journal_->append(JournalKind::kAccepted, id,
+                       job_spec_to_request_json(raw->spec).dump());
+    } catch (...) {
+      records_.erase(id);
+      if (!request_id.empty()) by_request_id_.erase(request_id);
+      throw;
+    }
+  }
   if (priority == Priority::kInteractive) {
     queue_interactive_.push_back(id);
     maybe_preempt_locked();
@@ -195,6 +289,19 @@ JobId Service::submit(JobSpec spec) {
   return id;
 }
 
+void Service::journal_event(JournalKind kind, JobId id,
+                            const std::string& payload) {
+  if (!journal_) return;
+  try {
+    journal_->append(kind, id, payload);
+  } catch (const std::exception&) {
+    // Best-effort lifecycle records: a failed started/finished append
+    // degrades recovery precision (a finished job may replay, which is
+    // bit-identical anyway), never the running job.  The journal's own
+    // svc.journal.failures metric counts these.
+  }
+}
+
 bool Service::admissible_locked(const Record& record) const {
   if (config_.memory_budget_bytes == 0) return true;
   return running_estimated_bytes_ + record.estimated_peak_bytes <=
@@ -202,6 +309,7 @@ bool Service::admissible_locked(const Record& record) const {
 }
 
 Service::Record* Service::pick_locked() {
+  if (draining_) return nullptr;  // drain: nothing new dispatches
   for (std::deque<JobId>* queue : {&queue_interactive_, &queue_batch_}) {
     while (!queue->empty()) {
       auto it = records_.find(queue->front());
@@ -256,6 +364,7 @@ void Service::worker_loop() {
     ++running_jobs_;
     state_cv_.notify_all();
     lock.unlock();
+    journal_event(JournalKind::kStarted, record->id, "");
     execute(*record);
     lock.lock();
     running_estimated_bytes_ -= record->estimated_peak_bytes;
@@ -268,6 +377,7 @@ void Service::worker_loop() {
 bool Service::pick_ready_unsafe() const {
   // Mirror of pick_locked's decision without consuming: is there a
   // dispatchable head?
+  if (draining_) return false;
   for (const std::deque<JobId>* queue : {&queue_interactive_, &queue_batch_}) {
     for (JobId id : *queue) {
       auto it = records_.find(id);
@@ -325,46 +435,75 @@ void Service::execute(Record& record) {
     error = e.what();
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (final_state == JobState::kFailed) {
-    record.state = JobState::kFailed;
-    record.error = std::move(error);
-    return;
-  }
-  if (ran_cancelled) {
-    if (record.preempt_requested && !record.cancel_requested && !stopping_) {
-      // Yielded for interactive work: re-arm and requeue at the front
-      // of its class; the next run resumes from the checkpoint (or
-      // from scratch if none was written yet — same bits either way).
-      record.state = JobState::kPreempted;
-      record.preempt_requested = false;
-      record.resume_next = true;
-      ++record.preemptions;
-      record.cancel.reset();
-      record.count.reset();
-      record.batch.reset();
-      queue_batch_.push_front(record.id);
-      dispatch_cv_.notify_one();
-      return;
+  // Finalize under the lock, journal after releasing it (appends
+  // fsync; holding the service mutex across disk writes would stall
+  // every submitter and waiter).
+  std::optional<JournalKind> post_kind;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (final_state == JobState::kFailed) {
+      record.state = JobState::kFailed;
+      record.error = std::move(error);
+      post_kind = JournalKind::kFinished;
+    } else if (ran_cancelled) {
+      if (record.preempt_requested && !record.cancel_requested) {
+        record.preempt_requested = false;
+        record.resume_next = true;
+        record.cancel.reset();
+        record.count.reset();
+        record.batch.reset();
+        record.state = JobState::kPreempted;
+        post_kind = JournalKind::kCheckpointed;
+        if (!stopping_ && !draining_) {
+          // Yielded for interactive work: re-arm and requeue at the
+          // front of its class; the next run resumes from the
+          // checkpoint (or from scratch if none was written yet —
+          // same bits either way).
+          ++record.preemptions;
+          queue_batch_.push_front(record.id);
+          dispatch_cv_.notify_one();
+        }
+        // Draining/stopping: parked.  No kFinished record — the job is
+        // not done, and its absence is what makes the journal replay
+        // (and checkpoint-resume) it after restart.
+      } else {
+        record.state = JobState::kCancelled;  // honest-partial result kept
+        post_kind = JournalKind::kFinished;
+      }
+    } else {
+      record.state = JobState::kCompleted;
+      post_kind = JournalKind::kFinished;
     }
-    record.state = JobState::kCancelled;  // honest-partial result kept
-    return;
+    state_cv_.notify_all();
   }
-  record.state = JobState::kCompleted;
+  if (post_kind == JournalKind::kFinished) {
+    journal_event(JournalKind::kFinished, record.id,
+                  job_state_name(record.state));
+  } else if (post_kind == JournalKind::kCheckpointed) {
+    journal_event(JournalKind::kCheckpointed, record.id, "");
+  }
 }
 
 bool Service::cancel(JobId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = records_.find(id);
-  if (it == records_.end()) return false;
-  Record& record = *it->second;
-  if (job_state_terminal(record.state)) return false;
-  record.cancel_requested = true;
-  if (record.state == JobState::kRunning) {
-    record.cancel.request();  // worker finalizes at the next boundary
-  } else {
-    record.state = JobState::kCancelled;  // queued/preempted: immediate
-    state_cv_.notify_all();
+  bool journal_finished = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(id);
+    if (it == records_.end()) return false;
+    Record& record = *it->second;
+    if (job_state_terminal(record.state)) return false;
+    record.cancel_requested = true;
+    if (record.state == JobState::kRunning) {
+      record.cancel.request();  // worker finalizes at the next boundary
+    } else {
+      record.state = JobState::kCancelled;  // queued/preempted: immediate
+      journal_finished = true;
+      state_cv_.notify_all();
+    }
+  }
+  if (journal_finished) {
+    journal_event(JournalKind::kFinished, id,
+                  job_state_name(JobState::kCancelled));
   }
   return true;
 }
@@ -377,6 +516,7 @@ JobInfo Service::snapshot_locked(const Record& record) {
   info.priority = record.spec.priority;
   info.graph = record.spec.graph;
   info.label = record.spec.label;
+  info.request_id = record.spec.request_id;
   info.error = record.error;
   info.estimated_peak_bytes = record.estimated_peak_bytes;
   info.preemptions = record.preemptions;
@@ -424,8 +564,69 @@ std::vector<JobInfo> Service::jobs() const {
 JobInfo Service::wait(JobId id) {
   std::unique_lock<std::mutex> lock(mutex_);
   const Record& record = record_checked(id);
-  state_cv_.wait(lock, [&] { return job_state_terminal(record.state); });
+  // Never hang a waiter across a drain/shutdown: parked and still-
+  // queued jobs will not run again in this process, so their waiters
+  // get the non-terminal snapshot back (and must check the state).
+  state_cv_.wait(lock, [&] {
+    return job_state_terminal(record.state) ||
+           ((stopping_ || draining_) && record.state != JobState::kRunning);
+  });
   return snapshot_locked(record);
+}
+
+Service::Health Service::health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Health health;
+  health.draining = draining_;
+  health.stopping = stopping_;
+  health.workers = config_.workers;
+  health.running = running_jobs_;
+  for (const auto* queue : {&queue_interactive_, &queue_batch_}) {
+    std::size_t live = 0;
+    for (JobId id : *queue) {
+      auto it = records_.find(id);
+      if (it != records_.end() && !job_state_terminal(it->second->state)) {
+        ++live;
+      }
+    }
+    (queue == &queue_interactive_ ? health.queued_interactive
+                                  : health.queued_batch) = live;
+  }
+  health.shed_total = shed_total_;
+  health.journal_replays = journal_replays_;
+  health.journal_path = config_.journal_path;
+  health.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  return health;
+}
+
+bool Service::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void Service::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_ || stopping_) return;
+  draining_ = true;
+  for (auto& [id, record] : records_) {
+    if (record->state != JobState::kRunning) continue;
+    if (record->spec.priority == Priority::kBatch &&
+        record->spec.preemptible && !config_.work_dir.empty() &&
+        !record->cancel_requested && !record->preempt_requested) {
+      // Park at the next checkpoint; the journal (no kFinished record)
+      // makes the restarted service resume it bit-identically.
+      record->preempt_requested = true;
+      record->cancel.request();
+    }
+    // Interactive (and non-checkpointable batch) jobs run to
+    // completion — drain is about refusing new work, not dropping
+    // in-flight results.
+  }
+  dispatch_cv_.notify_all();
+  state_cv_.notify_all();
 }
 
 CountResult Service::count_result(JobId id) const {
@@ -457,26 +658,182 @@ CancelSource& Service::cancel_source(JobId id) {
   return it->second->cancel;
 }
 
-void Service::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) {
-      // Already stopped (or stopping on another thread): fall through
-      // to the joins, which are idempotent via joinable().
+Service::LoadedGraph Service::load_graph(const std::string& name,
+                                         const std::string& dataset,
+                                         const std::string& file, double scale,
+                                         std::uint64_t seed, bool reload) {
+  if (name.empty()) throw usage_error("load_graph needs a name");
+  LoadedGraph out;
+  if (!reload) {
+    out.graph = registry_.get(name);
+    if (out.graph) {
+      out.cached = true;
+      return out;
     }
-    stopping_ = true;
-    for (auto& [id, record] : records_) {
-      if (record->state == JobState::kQueued ||
-          record->state == JobState::kPreempted) {
-        record->state = JobState::kCancelled;
-        record->cancel_requested = true;
-      } else if (record->state == JobState::kRunning) {
-        record->cancel_requested = true;
-        record->cancel.request();
+  }
+  const std::string source = dataset.empty() ? name : dataset;
+  out.graph = registry_.put(name, load_or_make(source, file, scale, seed));
+  // Journal only once the load succeeded: a registration that cannot
+  // be rebuilt must not be replayed as if it could.
+  Json doc = Json::object();
+  doc["name"] = name;
+  doc["dataset"] = source;
+  if (!file.empty()) doc["file"] = file;
+  doc["scale"] = scale;
+  doc["seed"] = seed;
+  journal_event(JournalKind::kGraph, 0, doc.dump());
+  return out;
+}
+
+void Service::recover() {
+  const JournalReplay replay = Journal::replay(config_.journal_path);
+  std::vector<std::string> graphs;
+  std::vector<std::pair<JobId, std::string>> accepted;  // admission order
+  std::unordered_set<JobId> finished;
+  for (const JournalRecord& record : replay.records) {
+    switch (record.kind) {
+      case JournalKind::kGraph:
+        graphs.push_back(record.payload);
+        break;
+      case JournalKind::kAccepted:
+        accepted.emplace_back(record.id, record.payload);
+        break;
+      case JournalKind::kFinished:
+        finished.insert(record.id);
+        break;
+      case JournalKind::kStarted:
+      case JournalKind::kCheckpointed:
+        break;  // operator forensics; resume state lives in checkpoints
+    }
+  }
+
+  // Compact: start a fresh journal and re-append only the state that
+  // survives into this incarnation (graph registrations via
+  // load_graph, live jobs via admit_locked).  Without this the file
+  // would replay every finished job's history on every restart.
+  journal_.emplace(Journal::open_truncate(config_.journal_path));
+
+  for (const std::string& payload : graphs) {
+    std::string error;
+    std::optional<Json> doc = Json::parse(payload, &error);
+    if (!doc || !doc->is_object()) continue;
+    const std::string name = doc->get_string("name");
+    try {
+      load_graph(name, doc->get_string("dataset", name),
+                 doc->get_string("file"), doc->get_double("scale", 1.0),
+                 doc->find("seed") ? doc->find("seed")->as_uint(1) : 1,
+                 /*reload=*/false);
+    } catch (const std::exception&) {
+      // Unbuildable graph (file moved, dataset renamed): its jobs fail
+      // individually below with a precise error; recovery continues.
+    }
+  }
+
+  for (const auto& [old_id, payload] : accepted) {
+    if (finished.count(old_id) != 0) continue;
+    std::string error;
+    std::optional<Json> doc = Json::parse(payload, &error);
+    std::optional<JobSpec> spec;
+    std::string failure;
+    if (!doc || !doc->is_object()) {
+      failure = "unparseable accept record: " + error;
+    } else {
+      try {
+        spec.emplace(job_spec_from_request(*doc));
+      } catch (const std::exception& e) {
+        failure = e.what();
       }
     }
-    dispatch_cv_.notify_all();
-    state_cv_.notify_all();
+    std::unique_ptr<Record> record;
+    if (spec && failure.empty()) {
+      try {
+        record = build_record(*spec);
+      } catch (const std::exception& e) {
+        failure = e.what();
+      }
+    }
+    if (record) {
+      // Resume from the fingerprint-named checkpoint when this job
+      // will run with one (preemptible batch under a work_dir);
+      // otherwise it re-runs from scratch.  Counter-mode RNG makes
+      // both paths bit-identical to the uninterrupted run.
+      record->resume_next = record->spec.priority == Priority::kBatch &&
+                            record->spec.preemptible &&
+                            !config_.work_dir.empty();
+      std::lock_guard<std::mutex> lock(mutex_);
+      admit_locked(std::move(record), /*journal=*/true);
+      ++journal_replays_;
+      replays_metric().add();
+    } else {
+      // Keep the job visible as kFailed so status (and a retried
+      // request_id) reports WHY it did not survive the restart,
+      // instead of silently dropping accepted work.
+      auto dead = std::make_unique<Record>();
+      if (spec) dead->spec = std::move(*spec);
+      dead->state = JobState::kFailed;
+      dead->error = "journal replay: " + failure;
+      std::lock_guard<std::mutex> lock(mutex_);
+      const JobId id = next_id_++;
+      dead->id = id;
+      if (!dead->spec.request_id.empty()) {
+        by_request_id_[dead->spec.request_id] = id;
+      }
+      records_.emplace(id, std::move(dead));
+    }
+  }
+}
+
+void Service::shutdown() {
+  std::vector<JobId> cancelled_ids;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!stopping_) {
+      stopping_ = true;
+      for (auto& [id, record] : records_) {
+        if (record->state == JobState::kQueued ||
+            record->state == JobState::kPreempted) {
+          if (journal_ && record->spec.priority == Priority::kBatch &&
+              !record->cancel_requested) {
+            continue;  // journaled: stays queued, replays after restart
+          }
+          record->state = JobState::kCancelled;
+          record->cancel_requested = true;
+          cancelled_ids.push_back(id);
+        } else if (record->state == JobState::kRunning) {
+          if (record->spec.priority == Priority::kBatch &&
+              record->spec.preemptible && !config_.work_dir.empty() &&
+              !record->cancel_requested && !record->preempt_requested) {
+            // Park at the next checkpoint; the journal resumes it.
+            record->preempt_requested = true;
+            record->cancel.request();
+          }
+        }
+      }
+      dispatch_cv_.notify_all();
+      state_cv_.notify_all();
+      // Bounded grace: let running interactive jobs finish (and
+      // parking batch jobs reach their checkpoint) before cancelling.
+      if (config_.shutdown_grace_seconds > 0 && running_jobs_ > 0) {
+        state_cv_.wait_for(
+            lock,
+            std::chrono::duration<double>(config_.shutdown_grace_seconds),
+            [this] { return running_jobs_ == 0; });
+      }
+      // Grace expired: cancel the stragglers.  Jobs mid-park keep
+      // their preempt request — converting it to a cancel would turn
+      // a resumable park into a dropped job.
+      for (auto& [id, record] : records_) {
+        if (record->state == JobState::kRunning &&
+            !record->preempt_requested && !record->cancel_requested) {
+          record->cancel_requested = true;
+          record->cancel.request();
+        }
+      }
+    }
+  }
+  for (JobId id : cancelled_ids) {
+    journal_event(JournalKind::kFinished, id,
+                  job_state_name(JobState::kCancelled));
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();

@@ -26,11 +26,13 @@
 // submitted and a metrics baseline, so a client can read "what did MY
 // work do" from the process-global obs registry via snapshot deltas.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -38,9 +40,29 @@
 
 #include "obs/metrics.hpp"
 #include "svc/job.hpp"
+#include "svc/journal.hpp"
 #include "svc/registry.hpp"
+#include "util/error.hpp"
 
 namespace fascia::svc {
+
+/// Thrown when load shedding rejects a batch submit (queue depth or
+/// queued-memory budget exceeded) and when a draining service refuses
+/// new work.  Category kResource; carries the Retry-After hint the
+/// server puts on the wire and well-behaved clients honor.
+class OverloadedError : public Error {
+ public:
+  OverloadedError(const std::string& message, double retry_after_seconds)
+      : Error(ErrorCategory::kResource, message),
+        retry_after_seconds_(retry_after_seconds) {}
+
+  [[nodiscard]] double retry_after_seconds() const noexcept {
+    return retry_after_seconds_;
+  }
+
+ private:
+  double retry_after_seconds_;
+};
 
 class Service {
  public:
@@ -64,6 +86,44 @@ class Service {
 
     /// Master switch for preempting batch jobs under interactive load.
     bool enable_preemption = true;
+
+    /// Load shedding: reject a batch submit once this many batch jobs
+    /// are already queued (0 = unbounded).  Interactive jobs are never
+    /// shed — overload protection exists to keep them flowing.
+    std::size_t max_queued_batch = 0;
+
+    /// Load shedding on modeled memory: reject a batch submit when the
+    /// sum of queued batch jobs' estimated peaks would exceed this
+    /// budget (0 = unbounded).
+    std::size_t queued_bytes_budget = 0;
+
+    /// Retry-After hint carried by OverloadedError / shed responses.
+    double retry_after_seconds = 2.0;
+
+    /// Crash-recovery journal path; empty disables journaling.  When
+    /// set, the constructor replays the journal (re-registering graphs
+    /// and re-admitting unfinished jobs) before accepting new work.
+    std::string journal_path;
+
+    /// shutdown(): how long to wait for running interactive jobs to
+    /// finish before cancelling them.  Running preemptible batch jobs
+    /// are parked at a checkpoint immediately (they resume after a
+    /// restart via the journal); non-preemptible ones are cancelled.
+    double shutdown_grace_seconds = 2.0;
+  };
+
+  /// health() snapshot — cheap, never blocks on running jobs.
+  struct Health {
+    bool draining = false;
+    bool stopping = false;
+    int workers = 0;
+    int running = 0;
+    std::size_t queued_interactive = 0;
+    std::size_t queued_batch = 0;
+    std::uint64_t shed_total = 0;        ///< batch submits rejected
+    std::uint64_t journal_replays = 0;   ///< jobs re-admitted at startup
+    std::string journal_path;            ///< empty = journaling off
+    double uptime_seconds = 0.0;
   };
 
   explicit Service(Config config);
@@ -77,8 +137,22 @@ class Service {
 
   /// Validates and enqueues.  Throws Error(kUsage) on an unknown graph
   /// or malformed spec, Error(kResource) when the job cannot fit the
-  /// admission budget even alone.
+  /// admission budget even alone, OverloadedError when batch shedding
+  /// or draining rejects it.  A spec with a request_id the service has
+  /// already accepted dedups: the existing job's id is returned.
   JobId submit(JobSpec spec);
+
+  /// Registers a graph (graph/datasets.hpp load_or_make semantics) and
+  /// journals the registration so a restarted service can rebuild it.
+  /// `cached` is true when the registry already held the graph and
+  /// nothing was loaded.
+  struct LoadedGraph {
+    std::shared_ptr<const Graph> graph;
+    bool cached = false;
+  };
+  LoadedGraph load_graph(const std::string& name, const std::string& dataset,
+                         const std::string& file, double scale,
+                         std::uint64_t seed, bool reload);
 
   /// Requests cooperative cancellation; returns false for unknown or
   /// already-terminal jobs.  A queued job cancels immediately.
@@ -89,8 +163,21 @@ class Service {
   [[nodiscard]] std::vector<JobInfo> jobs() const;
 
   /// Blocks until the job reaches a terminal state and returns the
-  /// final snapshot.
+  /// final snapshot.  While the service is draining or stopping, also
+  /// returns for parked (non-running, non-terminal) jobs so no waiter
+  /// can hang across a shutdown — callers must check the state.
   JobInfo wait(JobId id);
+
+  /// Cheap operational snapshot (the `health` wire op).
+  [[nodiscard]] Health health() const;
+
+  /// Orderly-restart mode: stop dispatching, reject new submits with
+  /// OverloadedError, park running preemptible batch jobs at their
+  /// next checkpoint (journaled, so a restart resumes them), let
+  /// running interactive jobs finish.  Irreversible until restart.
+  void drain();
+
+  [[nodiscard]] bool draining() const;
 
   /// Results, valid once the job is kCompleted (throws Error(kUsage)
   /// otherwise or on a kind mismatch).
@@ -102,8 +189,13 @@ class Service {
   /// async-signal-safe).  Throws Error(kUsage) on unknown id.
   [[nodiscard]] CancelSource& cancel_source(JobId id);
 
-  /// Stops accepting work, cancels queued + running jobs, joins the
-  /// workers.  Idempotent; the destructor calls it.
+  /// Graceful stop: stops dispatch, parks running preemptible batch
+  /// jobs at a checkpoint (journal keeps them resumable), waits up to
+  /// shutdown_grace_seconds for running interactive jobs, cancels the
+  /// stragglers, joins the workers.  Queued batch jobs stay queued
+  /// (journaled → replayed after restart) when journaling is on;
+  /// without a journal everything is cancelled, the pre-PR 7
+  /// behavior.  Idempotent; the destructor calls it.
   void shutdown();
 
  private:
@@ -114,24 +206,35 @@ class Service {
   bool pick_ready_unsafe() const;
   bool admissible_locked(const Record& record) const;
   void maybe_preempt_locked();
-  void finish(Record& record, JobState state, std::string error);
   void execute(Record& record);
   static JobInfo snapshot_locked(const Record& record);
   [[nodiscard]] const Record& record_checked(JobId id) const;
+  std::unique_ptr<Record> build_record(JobSpec spec);
+  std::size_t queued_batch_bytes_locked() const;
+  JobId admit_locked(std::unique_ptr<Record> record, bool journal);
+  void journal_event(JournalKind kind, JobId id, const std::string& payload);
+  void recover();
 
   Config config_;
   GraphRegistry registry_;
+  std::optional<Journal> journal_;
+  std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
 
   mutable std::mutex mutex_;
   std::condition_variable dispatch_cv_;  ///< workers wait here
   std::condition_variable state_cv_;     ///< wait() waits here
   std::unordered_map<JobId, std::unique_ptr<Record>> records_;
+  std::unordered_map<std::string, JobId> by_request_id_;
   std::deque<JobId> queue_interactive_;
   std::deque<JobId> queue_batch_;
   std::size_t running_estimated_bytes_ = 0;
   int running_jobs_ = 0;
   JobId next_id_ = 1;
   bool stopping_ = false;
+  bool draining_ = false;
+  std::uint64_t shed_total_ = 0;
+  std::uint64_t journal_replays_ = 0;
 
   std::vector<std::thread> workers_;
 };

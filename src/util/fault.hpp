@@ -21,6 +21,20 @@
 //   run.crash         — an iteration boundary throws fault::Injected,
 //                       simulating a kill mid-run
 //
+// Wire/service-layer sites (PR 7 chaos harness, tests/test_chaos.cpp):
+//
+//   journal.append    — a job-journal append fails before fsync; an
+//                       accept-time failure must reject the job with a
+//                       typed error, later ones degrade to metrics
+//   svc.send.torn     — the server writes half a reply frame then
+//                       drops the connection (torn write)
+//   svc.send.disconnect — the server hangs up instead of replying
+//                       (mid-stream disconnect)
+//   svc.reply.drop    — the connection dies after a job completed but
+//                       before its terminal frame (crash between
+//                       checkpoint and reply; a client retrying the
+//                       same request_id must get the finished result)
+//
 // Without the FASCIA_FAULT_INJECTION macro everything here compiles to
 // nothing: fire() is a constexpr `false`, so the branches at injection
 // sites fold away and release builds carry zero overhead.

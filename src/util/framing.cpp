@@ -3,21 +3,43 @@
 #include <cerrno>
 #include <cstring>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "util/error.hpp"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // platforms without it rely on SO_NOSIGPIPE/ignored signal
+#endif
 
 namespace fascia::util {
 
 namespace {
 
-/// write(2) until everything is out; EINTR retried.
+[[noreturn]] void throw_timeout(const char* what) {
+  throw resource_error(what, kTimeoutContext);
+}
+
+/// send(MSG_NOSIGNAL) until everything is out; EINTR retried.  Pipes
+/// and regular files (ENOTSOCK) fall back to write(2) — those peers
+/// cannot raise SIGPIPE surprises in the tests that frame pipes, and
+/// the daemon only ever frames sockets.
 void write_all(int fd, const char* data, std::size_t size) {
   std::size_t sent = 0;
+  bool plain_write = false;
   while (sent < size) {
-    const ssize_t n = ::write(fd, data + sent, size - sent);
+    const ssize_t n =
+        plain_write ? ::write(fd, data + sent, size - sent)
+                    : ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (!plain_write && (errno == ENOTSOCK || errno == EOPNOTSUPP)) {
+        plain_write = true;
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw_timeout("frame write deadline expired");
+      }
       throw resource_error(std::string("frame write failed: ") +
                            std::strerror(errno));
     }
@@ -26,13 +48,18 @@ void write_all(int fd, const char* data, std::size_t size) {
 }
 
 /// read(2) until `size` bytes arrive.  Returns the bytes read, which
-/// is short only at EOF.
-std::size_t read_all(int fd, char* data, std::size_t size) {
+/// is short only at EOF or an expired read deadline (*timed_out set).
+std::size_t read_all(int fd, char* data, std::size_t size, bool* timed_out) {
+  *timed_out = false;
   std::size_t got = 0;
   while (got < size) {
     const ssize_t n = ::read(fd, data + got, size - got);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *timed_out = true;
+        return got;
+      }
       throw resource_error(std::string("frame read failed: ") +
                            std::strerror(errno));
     }
@@ -42,9 +69,7 @@ std::size_t read_all(int fd, char* data, std::size_t size) {
   return got;
 }
 
-}  // namespace
-
-void write_frame(int fd, const std::string& payload) {
+std::string frame_wire(const std::string& payload) {
   if (payload.size() > kMaxFrameBytes) {
     throw resource_error("frame payload exceeds kMaxFrameBytes");
   }
@@ -61,15 +86,29 @@ void write_frame(int fd, const std::string& payload) {
   wire.reserve(payload.size() + sizeof(prefix));
   wire.append(reinterpret_cast<const char*>(prefix), sizeof(prefix));
   wire.append(payload);
+  return wire;
+}
+
+}  // namespace
+
+void write_frame(int fd, const std::string& payload) {
+  const std::string wire = frame_wire(payload);
   write_all(fd, wire.data(), wire.size());
 }
 
-bool read_frame(int fd, std::string* payload) {
+void write_torn_frame(int fd, const std::string& payload) {
+  const std::string wire = frame_wire(payload);
+  write_all(fd, wire.data(), 4 + (wire.size() - 4) / 2);
+}
+
+FrameRead read_frame_idle(int fd, std::string* payload) {
   unsigned char prefix[4];
-  const std::size_t got =
-      read_all(fd, reinterpret_cast<char*>(prefix), sizeof(prefix));
-  if (got == 0) return false;  // clean EOF between frames
+  bool timed_out = false;
+  const std::size_t got = read_all(fd, reinterpret_cast<char*>(prefix),
+                                   sizeof(prefix), &timed_out);
+  if (got == 0) return timed_out ? FrameRead::kIdleTimeout : FrameRead::kEof;
   if (got < sizeof(prefix)) {
+    if (timed_out) throw_timeout("frame read deadline expired inside prefix");
     throw bad_input("frame truncated inside length prefix");
   }
   const std::uint32_t length =
@@ -82,10 +121,23 @@ bool read_frame(int fd, std::string* payload) {
                     " exceeds kMaxFrameBytes");
   }
   payload->resize(length);
-  if (read_all(fd, payload->data(), length) < length) {
+  if (read_all(fd, payload->data(), length, &timed_out) < length) {
+    if (timed_out) throw_timeout("frame read deadline expired inside payload");
     throw bad_input("frame truncated inside payload");
   }
-  return true;
+  return FrameRead::kFrame;
+}
+
+bool read_frame(int fd, std::string* payload) {
+  switch (read_frame_idle(fd, payload)) {
+    case FrameRead::kFrame:
+      return true;
+    case FrameRead::kEof:
+      return false;
+    case FrameRead::kIdleTimeout:
+      break;
+  }
+  throw_timeout("frame read deadline expired");
 }
 
 }  // namespace fascia::util

@@ -15,6 +15,18 @@
 // an absurd allocation.  No dependency beyond POSIX read/write — the
 // same functions frame any file descriptor (socketpair tests use
 // pipes).
+//
+// SIGPIPE safety: writes go through send(MSG_NOSIGNAL) when the fd is
+// a socket (falling back to write(2) for pipes/files), so a peer that
+// disconnects mid-frame surfaces as a typed Error(kResource) instead
+// of a process-killing signal.
+//
+// Deadlines: when the caller armed SO_RCVTIMEO/SO_SNDTIMEO on the fd
+// (Socket::set_read_timeout / set_write_timeout), a transfer that
+// stalls past the deadline throws Error(kResource) with context
+// "timeout" — except a deadline that expires *before any prefix byte*
+// of a read, which read_frame_idle reports as FrameRead::kIdleTimeout
+// so servers can distinguish "idle client" from "stalled mid-frame".
 
 #include <cstddef>
 #include <cstdint>
@@ -26,13 +38,38 @@ namespace fascia::util {
 /// report, small enough to bound a malicious length prefix.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Context string carried by timeout errors thrown here; callers may
+/// test `error.context() == kTimeoutContext` to tell a deadline expiry
+/// from other transport failures.
+inline constexpr const char* kTimeoutContext = "timeout";
+
 /// Writes one frame (prefix + payload).  Throws Error(kResource) on a
-/// closed peer or write failure.
+/// closed peer, write failure, or an armed write deadline expiring
+/// (context "timeout").
 void write_frame(int fd, const std::string& payload);
 
 /// Reads one frame into `payload`.  Returns false on clean EOF before
 /// any prefix byte; throws Error(kBadInput) on a truncated frame or an
-/// oversized length, Error(kResource) on a read failure.
+/// oversized length, Error(kResource) on a read failure or any
+/// deadline expiry (context "timeout").
 bool read_frame(int fd, std::string* payload);
+
+/// read_frame with the idle case split out for servers.
+enum class FrameRead {
+  kFrame,        ///< one complete frame delivered
+  kEof,          ///< clean EOF before any prefix byte
+  kIdleTimeout,  ///< read deadline expired before any prefix byte
+};
+
+/// Like read_frame, but an armed read deadline expiring *between*
+/// frames returns kIdleTimeout instead of throwing; a deadline expiry
+/// mid-frame still throws Error(kResource, context "timeout").
+FrameRead read_frame_idle(int fd, std::string* payload);
+
+/// Deliberately writes a corrupt frame: a prefix claiming the full
+/// payload length followed by only the first half of the bytes.  Fault
+/// -injection helper for torn-write chaos tests (the receiver must
+/// surface a typed truncation error, never hang or misparse).
+void write_torn_frame(int fd, const std::string& payload);
 
 }  // namespace fascia::util

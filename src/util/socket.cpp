@@ -8,6 +8,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -45,6 +46,31 @@ void Socket::close() noexcept {
 
 void Socket::shutdown() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+namespace {
+
+void set_io_timeout(int fd, int which, double seconds) noexcept {
+  if (fd < 0) return;
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    // A strictly positive timeout must not round down to "block
+    // forever" (tv == {0,0} means no timeout to the kernel).
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+void Socket::set_read_timeout(double seconds) const noexcept {
+  set_io_timeout(fd_, SO_RCVTIMEO, seconds);
+}
+
+void Socket::set_write_timeout(double seconds) const noexcept {
+  set_io_timeout(fd_, SO_SNDTIMEO, seconds);
 }
 
 // ---- Listener ------------------------------------------------------------

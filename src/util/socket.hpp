@@ -36,6 +36,13 @@ class Socket {
   void close() noexcept;
   void shutdown() noexcept;
 
+  /// Kernel-level deadlines (SO_RCVTIMEO / SO_SNDTIMEO): a blocked
+  /// read/write returns EAGAIN after `seconds`, which util/framing maps
+  /// to a typed timeout error — the lever behind per-connection idle
+  /// and I/O deadlines.  seconds <= 0 restores blocking forever.
+  void set_read_timeout(double seconds) const noexcept;
+  void set_write_timeout(double seconds) const noexcept;
+
  private:
   int fd_ = -1;
 };

@@ -569,7 +569,7 @@ TEST_F(FaultFixture, CountCrashThenResumeBitIdentical) {
   std::remove(path.c_str());
 
   CountOptions reference_options = base_options();
-  reference_options.iterations = 8;
+  reference_options.sampling.iterations = 8;
   const CountResult reference = count_template(g, tree, reference_options);
 
   CountOptions crashing = reference_options;
@@ -635,7 +635,7 @@ TEST_F(FaultFixture, DpAllocFailureDegradesGracefully) {
   fault::arm("dp.alloc", 1);
   const CountResult result = count_template(g, tree, options);
   EXPECT_EQ(result.run.status, RunStatus::kMemDegraded);
-  EXPECT_LT(result.run.completed_iterations, options.iterations);
+  EXPECT_LT(result.run.completed_iterations, options.sampling.iterations);
   EXPECT_GE(fault::hits("dp.alloc"), 1);
 }
 
@@ -645,7 +645,7 @@ TEST_F(FaultFixture, CheckpointWriteFailureDoesNotKillRun) {
   const std::string path = temp_path("fascia_ckpt_fail.bin");
   std::remove(path.c_str());
   CountOptions options = base_options();
-  options.iterations = 6;
+  options.sampling.iterations = 6;
   options.run.checkpoint_path = path;
   options.run.checkpoint_every = 1;
   fault::arm("checkpoint.write", 2);  // the 2nd write fails

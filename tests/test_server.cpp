@@ -7,11 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +27,7 @@
 #include "treelet/catalog.hpp"
 #include "util/error.hpp"
 #include "util/framing.hpp"
+#include "util/socket.hpp"
 
 namespace fascia {
 namespace {
@@ -333,6 +336,94 @@ TEST(SvcServer, MalformedRequestsGetTypedErrors) {
   EXPECT_FALSE(rejected.get_bool("ok", true));
 
   // The connection survives all three errors.
+  EXPECT_TRUE(client.status().get_bool("ok"));
+  server.stop();
+}
+
+TEST(SvcServer, MalformedFrameCorpusGetsTypedErrorsNotCrashes) {
+  svc::Server::Config config;
+  svc::Server server(config);
+  server.start();
+
+  // Frame-layer garbage unsynchronizes the stream, so the server
+  // replies with one typed error and closes.  Each case gets a fresh
+  // raw socket; the server must survive them all.
+  const auto expect_error_then_close = [&](auto&& send_garbage) {
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    send_garbage(raw);
+    std::string payload;
+    ASSERT_TRUE(util::read_frame(raw.fd(), &payload));
+    std::optional<Json> reply = Json::parse(payload, nullptr);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_FALSE(reply->get_bool("ok", true));
+    EXPECT_EQ(reply->get_string("category"), "bad input");
+    EXPECT_FALSE(util::read_frame(raw.fd(), &payload));  // then EOF
+  };
+  // Truncated length prefix: two bytes, then hang up.
+  expect_error_then_close([](util::Socket& raw) {
+    const unsigned char half[2] = {0, 0};
+    ASSERT_EQ(::write(raw.fd(), half, 2), 2);
+    ::shutdown(raw.fd(), SHUT_WR);
+  });
+  // Length prefix claiming ~4 GiB.
+  expect_error_then_close([](util::Socket& raw) {
+    const unsigned char huge[4] = {0xff, 0xff, 0xff, 0xff};
+    ASSERT_EQ(::write(raw.fd(), huge, 4), 4);
+  });
+
+  // Payload-layer garbage arrives in a well-formed frame, so the
+  // server replies with a typed error and KEEPS the connection — a
+  // follow-up valid request must succeed on the same socket.
+  const auto expect_error_then_survive = [&](const std::string& payload_in,
+                                             const std::string& category) {
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    util::write_frame(raw.fd(), payload_in);
+    std::string payload;
+    ASSERT_TRUE(util::read_frame(raw.fd(), &payload));
+    std::optional<Json> reply = Json::parse(payload, nullptr);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_FALSE(reply->get_bool("ok", true));
+    EXPECT_EQ(reply->get_string("category"), category);
+    util::write_frame(raw.fd(), "{\"op\":\"status\"}");
+    ASSERT_TRUE(util::read_frame(raw.fd(), &payload));
+    reply = Json::parse(payload, nullptr);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_TRUE(reply->get_bool("ok", false));
+  };
+  expect_error_then_survive("{{{", "bad input");  // invalid JSON
+  // Raw invalid-UTF-8 bytes parse as an opaque op name and die at
+  // dispatch — still a typed error, still a live connection.
+  expect_error_then_survive("{\"op\": \"stat\xff\xfe\"}", "usage");
+  expect_error_then_survive("{\"op\":\"status\",\"op\":\"status\"}",
+                            "bad input");  // duplicate keys
+
+  server.stop();
+}
+
+TEST(SvcServer, MidStreamDisconnectCannotKillTheDaemon) {
+  svc::Server::Config config;
+  config.progress_interval_seconds = 0.01;
+  config.service.shutdown_grace_seconds = 0.1;
+  svc::Server server(config);
+  server.service().registry().put("g", erdos_renyi_gnm(2500, 20000, 3));
+  server.start();
+
+  // Start a streamed long job on a raw socket, read one progress
+  // frame, then vanish.  The server's next write hits a dead peer —
+  // without MSG_NOSIGNAL that raises SIGPIPE and kills THIS process
+  // (the server runs in-process here), failing the whole suite.
+  {
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    Json request = count_request("g", "U7-2", 4000, 1);
+    request["stream"] = true;
+    util::write_frame(raw.fd(), request.dump());
+    std::string payload;
+    ASSERT_TRUE(util::read_frame(raw.fd(), &payload));
+  }  // ~Socket: mid-stream disconnect
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The daemon is alive and serving fresh connections.
+  svc::Client client = svc::Client::connect_tcp("127.0.0.1", server.port());
   EXPECT_TRUE(client.status().get_bool("ok"));
   server.stop();
 }

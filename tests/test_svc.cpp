@@ -295,8 +295,24 @@ TEST(SvcService, PreemptedBatchJobResumesToBitIdenticalResult) {
   low.options.run.checkpoint_every = 1;  // checkpoint at every boundary
   const svc::JobId low_id = service.submit(std::move(low));
 
-  // Give the batch job a moment to start, then demand the worker.
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Wait until the batch job has written its first checkpoint before
+  // demanding the worker: a preemption landing before any checkpoint
+  // restarts from scratch (still bit-identical, but run.resumed would
+  // be false and the resume path untested).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool checkpointed = false;
+  while (!checkpointed && std::chrono::steady_clock::now() < deadline) {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(config.work_dir)) {
+      checkpointed =
+          checkpointed || entry.path().extension() == ".ckpt";
+    }
+    if (!checkpointed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  ASSERT_TRUE(checkpointed) << "batch job never wrote a checkpoint";
   svc::JobSpec high = count_spec("g", catalog_entry("U5-1").tree, 3);
   high.priority = svc::Priority::kInteractive;
   const svc::JobId high_id = service.submit(std::move(high));
