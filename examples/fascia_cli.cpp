@@ -33,7 +33,8 @@ fascia::TableKind parse_table(const std::string& name) {
   if (name == "naive") return fascia::TableKind::kNaive;
   if (name == "compact") return fascia::TableKind::kCompact;
   if (name == "hash") return fascia::TableKind::kHash;
-  throw std::invalid_argument("--table must be naive|compact|hash");
+  if (name == "succinct") return fascia::TableKind::kSuccinct;
+  throw std::invalid_argument("--table must be naive|compact|hash|succinct");
 }
 
 fascia::PartitionStrategy parse_partition(const std::string& name) {
@@ -98,6 +99,13 @@ void add_run_report_rows(fascia::TablePrinter& table,
     table.add_row({"estimated peak memory",
                    TablePrinter::bytes(run.estimated_peak_bytes)});
   }
+  if (run.spilled_bytes > 0) {
+    table.add_row(
+        {"spilled to disk",
+         TablePrinter::bytes(run.spilled_bytes) + " (" +
+             TablePrinter::num(static_cast<long long>(run.spill_events)) +
+             " page-outs)"});
+  }
   for (const std::string& note : run.degradations) {
     table.add_row({"degradation", note});
   }
@@ -117,7 +125,8 @@ int main(int argc, char** argv) {
   cli.add_option("template-file", "template file (overrides --template)", "");
   cli.add_option("iterations", "color-coding iterations", "10");
   cli.add_option("colors", "number of colors (0 = template size)", "0");
-  cli.add_option("table", "DP table layout: naive|compact|hash", "compact");
+  cli.add_option("table", "DP table layout: naive|compact|hash|succinct",
+                 "compact");
   cli.add_option("partition", "partitioning: oaat|balanced", "oaat");
   cli.add_option("mode", "parallel mode: serial|inner|outer|hybrid", "inner");
   cli.add_option("reorder",
@@ -134,6 +143,10 @@ int main(int argc, char** argv) {
                  "0");
   cli.add_option("mem-budget-mb", "DP table memory budget in MiB (0 = none)",
                  "0");
+  cli.add_option("spill-dir",
+                 "directory for out-of-core table pages when even the "
+                 "succinct layout exceeds --mem-budget-mb",
+                 "");
   cli.add_option("checkpoint", "checkpoint file for save/resume", "");
   cli.add_option("checkpoint-every", "iterations between checkpoints", "16");
   cli.add_flag("resume", "resume from --checkpoint if it exists");
@@ -186,6 +199,7 @@ int main(int argc, char** argv) {
     options.run.deadline_seconds = cli.real("deadline");
     options.run.memory_budget_bytes =
         static_cast<std::size_t>(cli.integer("mem-budget-mb")) * 1024 * 1024;
+    options.run.spill_dir = cli.str("spill-dir");
     options.run.checkpoint_path = cli.str("checkpoint");
     options.run.checkpoint_every =
         static_cast<int>(cli.integer("checkpoint-every"));

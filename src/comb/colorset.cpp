@@ -56,4 +56,32 @@ bool colorset_contains(ColorsetIndex index, int h, int c) {
   return std::binary_search(colors.begin(), colors.end(), c);
 }
 
+void colorset_bitmap_build_ranks(const std::uint64_t* words,
+                                 std::size_t num_words,
+                                 std::uint32_t* ranks) noexcept {
+  std::uint32_t running = 0;
+  for (std::size_t w = 0; w < num_words; ++w) {
+    ranks[w] = running;
+    running += static_cast<std::uint32_t>(std::popcount(words[w]));
+  }
+}
+
+std::int64_t colorset_bitmap_select(const std::uint64_t* words,
+                                    std::size_t num_words,
+                                    std::uint32_t r) noexcept {
+  std::uint32_t seen = 0;
+  for (std::size_t w = 0; w < num_words; ++w) {
+    const auto in_word = static_cast<std::uint32_t>(std::popcount(words[w]));
+    if (seen + in_word > r) {
+      std::uint64_t word = words[w];
+      for (std::uint32_t skip = r - seen; skip > 0; --skip) {
+        word &= word - 1;  // clear lowest set bit
+      }
+      return static_cast<std::int64_t>(w * 64) + std::countr_zero(word);
+    }
+    seen += in_word;
+  }
+  return -1;
+}
+
 }  // namespace fascia

@@ -9,6 +9,8 @@
 // plain array indexed by I, and set manipulation (splits, removals)
 // becomes precomputed integer lookups.
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -44,5 +46,55 @@ bool next_colorset(std::span<int> colors, int k) noexcept;
 
 /// True when color `c` is a member of the set encoded by (index, h).
 bool colorset_contains(ColorsetIndex index, int h, int c);
+
+// ---- rank/select over colorset-indexed bitmaps -----------------------
+//
+// The succinct DP table (dp/table_succinct.hpp) stores each vertex row
+// as its nonzero values only, addressed through a bitmap of C(k, h)
+// bits — one per colorset index — with a per-word cumulative-popcount
+// rank directory.  rank(I) maps a colorset index to its position among
+// the nonzero slots in O(1); select(r) inverts it for iteration.  The
+// helpers live here because the bit position IS the combinadic index:
+// they are colorset-set operations, not generic bit twiddling.
+
+/// 64-bit words needed for a bitmap of `num_bits` colorset slots.
+inline std::size_t colorset_bitmap_words(std::uint64_t num_bits) noexcept {
+  return static_cast<std::size_t>((num_bits + 63) / 64);
+}
+
+/// Membership test for colorset index `idx` in a bitmap.
+inline bool colorset_bitmap_test(const std::uint64_t* words,
+                                 ColorsetIndex idx) noexcept {
+  return (words[idx >> 6] >> (idx & 63)) & 1u;
+}
+
+/// Marks colorset index `idx` (single-threaded build only).
+inline void colorset_bitmap_set(std::uint64_t* words,
+                                ColorsetIndex idx) noexcept {
+  words[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+}
+
+/// Fills ranks[w] = popcount of words[0..w) — the rank directory.
+/// 32-bit entries: the widest practical table (C(20,10) colorsets) has
+/// far fewer than 2^32 set bits per row.
+void colorset_bitmap_build_ranks(const std::uint64_t* words,
+                                 std::size_t num_words,
+                                 std::uint32_t* ranks) noexcept;
+
+/// Number of set bits strictly below `idx` — the packed-value position
+/// of a PRESENT index.  O(1): one directory read plus one popcount.
+inline std::uint32_t colorset_bitmap_rank(const std::uint64_t* words,
+                                          const std::uint32_t* ranks,
+                                          ColorsetIndex idx) noexcept {
+  const std::uint64_t below = words[idx >> 6] &
+                              ((std::uint64_t{1} << (idx & 63)) - 1);
+  return ranks[idx >> 6] + static_cast<std::uint32_t>(std::popcount(below));
+}
+
+/// Index of the r-th (0-based) set bit, or -1 when fewer than r+1 bits
+/// are set.  Linear in words — used for row iteration, not inner loops.
+std::int64_t colorset_bitmap_select(const std::uint64_t* words,
+                                    std::size_t num_words,
+                                    std::uint32_t r) noexcept;
 
 }  // namespace fascia

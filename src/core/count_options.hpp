@@ -236,6 +236,13 @@ class CountOptions::Builder {
     opts_.run.memory_budget_bytes = bytes;
     return *this;
   }
+  /// Directory for out-of-core table pages — arms the memory ladder's
+  /// last rung (run/controls.hpp: RunControls::spill_dir).  Only
+  /// engages together with memory_budget().
+  Builder& spill(std::string dir) {
+    opts_.run.spill_dir = std::move(dir);
+    return *this;
+  }
   Builder& cancel_flag(const std::atomic<bool>* flag) {
     opts_.run.cancel = flag;
     return *this;

@@ -17,6 +17,7 @@
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
+#include "dp/table_succinct.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -115,6 +116,7 @@ struct ResilientSetup {
   TableKind table = TableKind::kCompact;
   int engine_copies = 0;  ///< 0 = no cap (no memory plan ran)
   bool ladder_degraded = false;
+  bool spill = false;  ///< plan took the out-of-core rung
   std::uint64_t fingerprint = 0;
   RunReport report;
 };
@@ -148,9 +150,10 @@ ResilientSetup resolve_setup(const Graph& graph, const TreeTemplate& tmpl,
     const run::MemoryPlan plan = run::plan_memory(
         partition, k, graph.num_vertices(), graph.has_labels(),
         options.execution.table, copies, options.run.memory_budget_bytes,
-        threads_per_copy);
+        threads_per_copy, /*spill_available=*/!options.run.spill_dir.empty());
     setup.table = plan.table;
     setup.engine_copies = plan.engine_copies;
+    setup.spill = plan.spill;
     setup.ladder_degraded = !plan.degradations.empty();
     setup.report.degradations = plan.degradations;
     setup.report.estimated_peak_bytes = plan.estimated_peak_bytes;
@@ -250,6 +253,8 @@ std::shared_ptr<const obs::RunReport> build_report(
 
   report->memory.planned_peak_bytes = result.run.estimated_peak_bytes;
   report->memory.observed_peak_bytes = result.peak_table_bytes;
+  report->memory.spilled_bytes = result.run.spilled_bytes;
+  report->memory.spill_events = result.run.spill_events;
   report->memory.table = table_kind_name(result.run.table_used);
   report->memory.degradations = result.run.degradations;
 
@@ -468,6 +473,18 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
   if (graph.has_labels()) {
     engine_opts.label_frontiers = LabelFrontiers::build(graph);
   }
+  // Out-of-core rung: the plan decided the tables cannot all stay
+  // resident, so each engine pages completed tables against its share
+  // of the budget (the single-copy share; divided again once the
+  // layout fixes the outer copy count below).
+  const bool spilling = setup.spill && !controls.spill_dir.empty() &&
+                        controls.memory_budget_bytes > 0;
+  if (spilling) {
+    engine_opts.spill_dir = controls.spill_dir;
+    engine_opts.spill_budget_bytes = controls.memory_budget_bytes;
+  }
+  std::size_t spilled_bytes_total = 0;
+  int spill_events_total = 0;
 
   // Iteration i's coloring depends only on (seed, i) and is drawn in
   // ORIGINAL id order; under reorder the stream scatters through the
@@ -538,6 +555,8 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
           all_stage_stats.insert(all_stage_stats.end(), stats.begin(),
                                  stats.end());
         }
+        spilled_bytes_total += engine.spilled_bytes();
+        spill_events_total += engine.spill_events();
       }
       advance_prefix();
       if (checkpointing && prefix - last_saved >= checkpoint_every) {
@@ -563,6 +582,11 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
     }
     result.layout = layout;
     result.run.engine_copies = layout.outer_copies;
+    if (spilling && layout.outer_copies > 1) {
+      engine_opts.spill_budget_bytes =
+          controls.memory_budget_bytes /
+          static_cast<std::size_t>(layout.outer_copies);
+    }
     const bool outer = layout.outer_copies > 1;
     const bool parallel_inner = layout.inner_threads > 1;
     // Every engine copy sweeps its stages over its thread share; the
@@ -651,6 +675,15 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
                                    engine.stage_stats().begin(),
                                    engine.stage_stats().end());
           }
+          if (spilling) {
+#ifdef _OPENMP
+#pragma omp critical(fascia_spill_merge)
+#endif
+            {
+              spilled_bytes_total += engine.spilled_bytes();
+              spill_events_total += engine.spill_events();
+            }
+          }
         }
         advance_prefix();
         if (checkpointing && prefix > last_saved) save_checkpoint();
@@ -694,10 +727,14 @@ CountResult run_count(const Graph& graph, const TreeTemplate& tmpl,
                                engine.stage_stats().begin(),
                                engine.stage_stats().end());
       }
+      spilled_bytes_total += engine.spilled_bytes();
+      spill_events_total += engine.spill_events();
     }
   }
   advance_prefix();
 
+  result.run.spilled_bytes = spilled_bytes_total;
+  result.run.spill_events = spill_events_total;
   result.peak_table_bytes = peak_bytes;
   result.seconds_total = total_timer.elapsed_s();
   run_seconds_metric().observe(result.seconds_total);
@@ -753,6 +790,8 @@ CountResult dispatch_count(const Graph& graph, const TreeTemplate& tmpl,
       return run_count<CompactTable>(graph, tmpl, options, setup, perm);
     case TableKind::kHash:
       return run_count<HashTable>(graph, tmpl, options, setup, perm);
+    case TableKind::kSuccinct:
+      return run_count<SuccinctTable>(graph, tmpl, options, setup, perm);
   }
   throw internal_error("count_template: bad TableKind");
 }

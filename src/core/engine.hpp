@@ -40,12 +40,14 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #ifdef _OPENMP
@@ -60,6 +62,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "run/guard.hpp"
+#include "run/spill.hpp"
 #include "treelet/partition.hpp"
 #include "treelet/tree_template.hpp"
 #include "util/mem_tracker.hpp"
@@ -113,6 +116,18 @@ struct DpEngineOptions {
   /// large chunks and the expensive hubs in the final small ones, so
   /// no single thread serializes the hub block.
   bool guided_schedule = false;
+
+  /// Out-of-core paging (run/spill.hpp): with both knobs set, completed
+  /// sub-template tables beyond spill_budget_bytes page to checksummed
+  /// files in spill_dir and are restored right before the stage (or
+  /// total read) that consumes them.  The eviction policy is Belady on
+  /// the static stage schedule: the victim is the resident table whose
+  /// next consuming stage is farthest away.  Restored rows re-commit
+  /// through the table's own commit_row with doubles stored verbatim,
+  /// so paged and in-memory passes are bit-identical.  Inert in
+  /// keep_tables passes (the extractor needs every table resident).
+  std::string spill_dir;
+  std::size_t spill_budget_bytes = 0;
 };
 
 /// One computed node pass, for kernel benchmarking (bench/micro_dp).
@@ -217,7 +232,40 @@ inline void record_stage_metrics(char kernel, double seconds,
   bytes.observe(static_cast<double>(table_bytes));
 }
 
+/// Counter of bytes written to out-of-core table pages (CI's smoke job
+/// asserts it moves when a run is forced to spill).
+inline void record_spilled_bytes(std::size_t bytes) {
+  static const obs::Metric spilled("dp.table.spilled_bytes",
+                                   obs::InstrumentKind::kCounter);
+  spilled.add(static_cast<double>(bytes));
+}
+
+/// Process-unique tag so concurrent engine copies sharing one spill
+/// directory never collide on page file names.
+inline int next_spill_tag() noexcept {
+  static std::atomic<int> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace detail
+
+/// Tables without contiguous rows that can still reconstruct a dense
+/// row from their packed nonzeros (succinct).  The kernels' sequential
+/// read patterns decode or accumulate whole rows in O(nnz) instead of
+/// paying a rank or binary search per get() probe.
+template <class T>
+concept DecodableRowTable = requires(const T& t, double* out) {
+  t.decode_row(VertexId{0}, out);
+  t.add_row_into(VertexId{0}, out);
+};
+
+/// Tables that can also enumerate a row's stored nonzeros in ascending
+/// slot order.  Kernels with slot-sorted split lists merge-join
+/// against the enumeration — O(nnz + m) per row, no dense decode.
+template <class T>
+concept SparseRowTable = requires(const T& t) {
+  t.for_each_nonzero(VertexId{0}, [](ColorsetIndex, double) {});
+};
 
 template <class Table>
 class DpEngine {
@@ -232,6 +280,20 @@ class DpEngine {
     const int num_nodes = partition_.num_nodes();
     tables_.resize(static_cast<std::size_t>(num_nodes));
     frontiers_.resize(static_cast<std::size_t>(num_nodes));
+    if (spill_enabled()) {
+      spill_tag_ = detail::next_spill_tag();
+      spilled_to_.resize(static_cast<std::size_t>(num_nodes));
+      node_bytes_.assign(static_cast<std::size_t>(num_nodes), 0);
+      consumers_.resize(static_cast<std::size_t>(num_nodes));
+      for (int i = 0; i < num_nodes; ++i) {
+        const Subtemplate& node = partition_.node(i);
+        if (node.is_leaf()) continue;
+        // Ascending by construction (children precede parents), so
+        // next_use() can scan for the first entry past a stage.
+        consumers_[static_cast<std::size_t>(node.active)].push_back(i);
+        consumers_[static_cast<std::size_t>(node.passive)].push_back(i);
+      }
+    }
     single_splits_.resize(static_cast<std::size_t>(k_) + 1);
     node_single_.assign(static_cast<std::size_t>(num_nodes), nullptr);
     node_general_.assign(static_cast<std::size_t>(num_nodes), nullptr);
@@ -310,22 +372,34 @@ class DpEngine {
       const Subtemplate& node = partition_.node(i);
       const bool wanted =
           needed == nullptr || (*needed)[static_cast<std::size_t>(i)] != 0;
+      const bool paging = spill_enabled() && !keep_tables;
       if (!node.is_leaf() && wanted) {
+        if (paging) {
+          // Children computed earlier may have been paged out; the
+          // kernels read them directly, so restore before the pass.
+          ensure_resident(node.active);
+          ensure_resident(node.passive);
+        }
         compute_node(i, colors, parallel_inner);
+        if (paging) {
+          node_bytes_[static_cast<std::size_t>(i)] =
+              tables_[static_cast<std::size_t>(i)]->bytes();
+          resident_bytes_ += node_bytes_[static_cast<std::size_t>(i)];
+        }
       }
       if (!keep_tables) {
         for (int j = 0; j < i; ++j) {
-          if (partition_.node(j).free_after == i) {
-            tables_[static_cast<std::size_t>(j)].reset();
-            release_frontier(j);
-          }
+          if (partition_.node(j).free_after == i) free_node(j);
         }
+        if (paging) evict_over_budget(i);
       }
     }
   }
 
-  /// Colorful-embedding total of a computed non-leaf node's table.
-  [[nodiscard]] double node_total(int node) const {
+  /// Colorful-embedding total of a computed non-leaf node's table
+  /// (restoring it first if it was paged out).
+  [[nodiscard]] double node_total(int node) {
+    ensure_resident(node);
     return tables_[static_cast<std::size_t>(node)]->total();
   }
 
@@ -366,6 +440,8 @@ class DpEngine {
       return count;
     }
 
+    // The last eviction pass may have paged the root itself out.
+    ensure_resident(root);
     const Table& table = *tables_[static_cast<std::size_t>(root)];
     if (per_vertex != nullptr) {
       for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
@@ -410,11 +486,22 @@ class DpEngine {
   void clear_stage_stats() noexcept { stats_.clear(); }
 
   void release_all_tables() noexcept {
-    for (auto& table : tables_) table.reset();
-    for (auto& frontier : frontiers_) {
-      std::vector<VertexId>().swap(frontier);
-    }
+    for (int j = 0; j < static_cast<int>(tables_.size()); ++j) free_node(j);
   }
+
+  /// Out-of-core paging activity since construction: bytes of table
+  /// pages written to spill_dir and the number of page-out events.
+  /// Always 0 when the spill knobs are unset.
+  [[nodiscard]] std::size_t spilled_bytes() const noexcept {
+    return spilled_bytes_;
+  }
+  [[nodiscard]] int spill_events() const noexcept { return spill_events_; }
+
+  ~DpEngine() { release_all_tables(); }  // drops any leftover page files
+  DpEngine(DpEngine&&) noexcept = default;
+  DpEngine(const DpEngine&) = delete;
+  DpEngine& operator=(const DpEngine&) = delete;
+  DpEngine& operator=(DpEngine&&) = delete;
 
  private:
   /// Leaf base case (Alg. 2 line 4) with the labeled-mode filter: a
@@ -443,6 +530,100 @@ class DpEngine {
 
   void release_frontier(int node) noexcept {
     std::vector<VertexId>().swap(frontiers_[static_cast<std::size_t>(node)]);
+  }
+
+  // ---- out-of-core paging (run/spill.hpp) -------------------------------
+
+  [[nodiscard]] bool spill_enabled() const noexcept {
+    return !opts_.spill_dir.empty() && opts_.spill_budget_bytes > 0;
+  }
+
+  [[nodiscard]] std::string spill_path(int node) const {
+    std::string path = opts_.spill_dir;
+    if (!path.empty() && path.back() != '/') path += '/';
+    path += "fascia_spill_e" + std::to_string(spill_tag_) + "_n" +
+            std::to_string(node) + ".tbl";
+    return path;
+  }
+
+  /// Restores a paged-out node's table; no-op when resident (or when
+  /// paging is off — spilled_to_ is then empty).  The page file is
+  /// consumed; a later eviction rewrites it.  The frontier was never
+  /// released, so the restored node is indistinguishable from one that
+  /// stayed resident.
+  void ensure_resident(int node) {
+    const auto idx = static_cast<std::size_t>(node);
+    if (idx >= spilled_to_.size() || spilled_to_[idx].empty()) return;
+    FASCIA_TRACE("dp.page_in", node);
+    tables_[idx] = run::restore_table<Table>(spilled_to_[idx],
+                                             graph_.num_vertices(), nullptr);
+    std::remove(spilled_to_[idx].c_str());
+    spilled_to_[idx].clear();
+    node_bytes_[idx] = tables_[idx]->bytes();
+    resident_bytes_ += node_bytes_[idx];
+  }
+
+  /// Frees a node's table wherever it lives — resident memory or a
+  /// spill page — and its frontier.  The one release path, so byte
+  /// accounting and page files can never leak apart.
+  void free_node(int node) noexcept {
+    const auto idx = static_cast<std::size_t>(node);
+    if (idx < spilled_to_.size() && !spilled_to_[idx].empty()) {
+      std::remove(spilled_to_[idx].c_str());
+      spilled_to_[idx].clear();
+    }
+    if (idx < node_bytes_.size()) {
+      resident_bytes_ -= node_bytes_[idx];
+      node_bytes_[idx] = 0;
+    }
+    tables_[idx].reset();
+    release_frontier(node);
+  }
+
+  /// First stage after `current` that reads `node`'s table;
+  /// num_nodes when none does (the ideal eviction victim).
+  [[nodiscard]] int next_use(int node, int current) const noexcept {
+    for (const int c : consumers_[static_cast<std::size_t>(node)]) {
+      if (c > current) return c;
+    }
+    return partition_.num_nodes();
+  }
+
+  /// Belady eviction after stage `current`: page out the resident
+  /// table with the farthest next consuming stage until the resident
+  /// set fits the budget (or nothing is left to evict — the active
+  /// triple alone may exceed the budget, which the planner's
+  /// working-set estimate already surfaced).
+  void evict_over_budget(int current) {
+    while (resident_bytes_ > opts_.spill_budget_bytes) {
+      int victim = -1;
+      int victim_use = -1;
+      for (int j = 0; j <= current; ++j) {
+        if (tables_[static_cast<std::size_t>(j)] == nullptr) continue;
+        const int use = next_use(j, current);
+        if (use > victim_use) {
+          victim_use = use;
+          victim = j;
+        }
+      }
+      if (victim < 0) break;
+      page_out(victim);
+    }
+  }
+
+  void page_out(int node) {
+    const auto idx = static_cast<std::size_t>(node);
+    FASCIA_TRACE("dp.page_out", node);
+    std::string path = spill_path(node);
+    const std::size_t written = run::spill_table(
+        path, *tables_[idx], frontiers_[idx], graph_.num_vertices());
+    spilled_to_[idx] = std::move(path);
+    spilled_bytes_ += written;
+    ++spill_events_;
+    resident_bytes_ -= node_bytes_[idx];
+    node_bytes_[idx] = 0;
+    tables_[idx].reset();  // frontier stays — restores reuse it
+    if (obs::enabled()) detail::record_spilled_bytes(written);
   }
 
   /// Threads the inner-parallel sweep will use (and therefore the
@@ -762,6 +943,11 @@ class DpEngine {
           const auto neighbors = graph_.neighbors(v);
           const VertexId* nbr = neighbors.data();
           const std::size_t deg = neighbors.size();
+          if constexpr (!Table::kContiguousRows &&
+                        DecodableRowTable<Table>) {
+            ws.psum.resize(tp.num_colorsets());
+            std::fill(ws.psum.begin(), ws.psum.end(), 0.0);
+          }
           for (std::size_t j = 0; j < deg; ++j) {
             if constexpr (Table::kContiguousRows) {
               if (j + kPrefetchSlotAhead < deg) {
@@ -785,6 +971,13 @@ class DpEngine {
               for (std::size_t s = 0; s < m; ++s) {
                 r[par[s]] += prow[pas[s]];
               }
+            } else if constexpr (DecodableRowTable<Table>) {
+              if (!tp.has_vertex(u)) continue;
+              ++nu;
+              // Fold the neighbor rows first — O(nnz) adds into a
+              // dense partial-sum row — and apply the split list once
+              // per vertex after the loop, not once per neighbor.
+              tp.add_row_into(u, ws.psum.data());
             } else {
               if (!tp.has_vertex(u)) continue;
               ++nu;
@@ -794,6 +987,16 @@ class DpEngine {
             }
           }
           if (nu == 0) return false;
+          if constexpr (!Table::kContiguousRows &&
+                        DecodableRowTable<Table>) {
+            const double* ps = ws.psum.data();
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+            for (std::size_t s = 0; s < m; ++s) {
+              r[par[s]] += ps[pas[s]];
+            }
+          }
           out.commit_row(v, row);
           ws.macs += nu * m;
           return true;
@@ -814,6 +1017,14 @@ class DpEngine {
         parallel, {&active_frontier, graph_.num_vertices()},
         out.num_colorsets(), static_cast<std::uint32_t>(k_), 0, frontier_out,
         stat, [&](VertexId v, Workspace& ws) {
+          if constexpr (!Table::kContiguousRows) {
+            // The frontier can carry vertices whose committed row was
+            // all zero (commit-layer filtering stores nothing): drop
+            // them here, mirroring the contiguous path's null
+            // row_ptr check below — otherwise they do a full split
+            // pass over zeros and survive every later stage.
+            if (!ta.has_vertex(v)) return false;
+          }
           // Matching neighbors only contribute through their color, so
           // count them per color and apply each color's split list
           // once, scaled — deg(v)·C(k-1,h-1) adds become
@@ -834,6 +1045,12 @@ class DpEngine {
           if constexpr (Table::kContiguousRows) {
             arow = ta.row_ptr(v);
             if (arow == nullptr) return false;  // frontier guarantees rows
+          } else if constexpr (DecodableRowTable<Table>) {
+            // v's row feeds every color's split list: reconstruct it
+            // once, then run the contiguous gather below.
+            ws.gather.resize(ta.num_colorsets());
+            ta.decode_row(v, ws.gather.data());
+            arow = ws.gather.data();
           }
           for (int c = 0; c < k_; ++c) {
             const double scale = cnt[static_cast<std::size_t>(c)];
@@ -843,7 +1060,8 @@ class DpEngine {
             const std::size_t m = passives.size();
             const ColorsetIndex* pas = passives.data();
             const ColorsetIndex* par = parents.data();
-            if constexpr (Table::kContiguousRows) {
+            if constexpr (Table::kContiguousRows ||
+                          DecodableRowTable<Table>) {
               // entry.passive indexes the parent set minus the
               // neighbor's color — exactly the active child's colorset.
 #ifdef _OPENMP
@@ -902,9 +1120,16 @@ class DpEngine {
             arow = ta.row_ptr(v);
             if (arow == nullptr) return false;  // frontier guarantees rows
           } else {
+            // Zero-row frontier carry-overs (see kernel_single_passive)
+            // decode to all zeros: drop them before paying the gather.
+            if (!ta.has_vertex(v)) return false;
             ws.gather.resize(num_actives);
-            for (std::uint32_t idx = 0; idx < num_actives; ++idx) {
-              ws.gather[idx] = ta.get(v, idx);
+            if constexpr (DecodableRowTable<Table>) {
+              ta.decode_row(v, ws.gather.data());
+            } else {
+              for (std::uint32_t idx = 0; idx < num_actives; ++idx) {
+                ws.gather[idx] = ta.get(v, idx);
+              }
             }
             arow = ws.gather.data();
           }
@@ -938,7 +1163,9 @@ class DpEngine {
           // strictly fewer probes than the direct path issues.
           const std::size_t deg = neighbors.size();
           bool fold_neighbors;
-          if constexpr (Table::kContiguousRows) {
+          if constexpr (Table::kContiguousRows || DecodableRowTable<Table>) {
+            // Decodable rows fold at contiguous cost: add_row_into
+            // touches only the stored nonzeros.
             fold_neighbors = deg >= 2 && 3 * deg * num_entries >=
                                              deg * passive_width +
                                                  2 * flat_size;
@@ -973,8 +1200,12 @@ class DpEngine {
               } else {
                 if (!tp.has_vertex(u)) continue;
                 ++nu;
-                for (std::uint32_t c = 0; c < passive_width; ++c) {
-                  ps[c] += tp.get(u, c);
+                if constexpr (DecodableRowTable<Table>) {
+                  tp.add_row_into(u, ps);
+                } else {
+                  for (std::uint32_t c = 0; c < passive_width; ++c) {
+                    ps[c] += tp.get(u, c);
+                  }
                 }
               }
             }
@@ -1006,10 +1237,17 @@ class DpEngine {
                 }
               }
               const VertexId u = nbr[j];
-              const double* prow;
+              const double* prow = nullptr;
               if constexpr (Table::kContiguousRows) {
                 prow = tp.row_ptr(u);
                 if (prow == nullptr) continue;
+              } else if constexpr (DecodableRowTable<Table>) {
+                if (!tp.has_vertex(u)) continue;
+                // One O(nnz) reconstruction into the (otherwise idle)
+                // psum scratch buys the contiguous gather below —
+                // cheaper than a packed probe per split entry.
+                tp.decode_row(u, ws.psum.data());
+                prow = ws.psum.data();
               } else {
                 if (!tp.has_vertex(u)) continue;
               }
@@ -1020,7 +1258,8 @@ class DpEngine {
                     static_cast<std::size_t>(a_idx) * per_active;
                 const ColorsetIndex* gp = grp_par + base;
                 const ColorsetIndex* gpas = grp_pas + base;
-                if constexpr (Table::kContiguousRows) {
+                if constexpr (Table::kContiguousRows ||
+                              DecodableRowTable<Table>) {
 #ifdef _OPENMP
 #pragma omp simd
 #endif
@@ -1215,6 +1454,16 @@ class DpEngine {
   std::vector<DpStageStats> stats_;
   /// Per-thread scratch, persistent across stages and iterations.
   std::vector<Workspace> workspaces_;
+  /// Out-of-core paging state (sized only when the spill knobs are
+  /// set): page path per spilled node (empty = resident), resident
+  /// bytes per node, consuming stages per node (ascending).
+  std::vector<std::string> spilled_to_;
+  std::vector<std::size_t> node_bytes_;
+  std::vector<std::vector<int>> consumers_;
+  std::size_t resident_bytes_ = 0;
+  std::size_t spilled_bytes_ = 0;
+  int spill_events_ = 0;
+  int spill_tag_ = 0;
 };
 
 }  // namespace fascia

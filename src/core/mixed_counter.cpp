@@ -14,6 +14,7 @@
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
+#include "dp/table_succinct.hpp"
 #include "obs/report.hpp"
 #include "util/mem_tracker.hpp"
 #include "util/rng.hpp"
@@ -171,6 +172,8 @@ CountResult count_mixed_template(const Graph& graph,
       return run_mixed<CompactTable>(graph, tmpl, options);
     case TableKind::kHash:
       return run_mixed<HashTable>(graph, tmpl, options);
+    case TableKind::kSuccinct:
+      return run_mixed<SuccinctTable>(graph, tmpl, options);
   }
   throw std::logic_error("count_mixed_template: bad TableKind");
 }

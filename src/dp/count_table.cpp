@@ -10,6 +10,8 @@ const char* table_kind_name(TableKind kind) noexcept {
       return "compact";
     case TableKind::kHash:
       return "hash";
+    case TableKind::kSuccinct:
+      return "succinct";
   }
   return "?";
 }

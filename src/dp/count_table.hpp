@@ -17,6 +17,10 @@
 //   * HashTable    — open addressing keyed by vid·Nc + I (the paper's
 //                    hashing scheme; wins for high-selectivity
 //                    templates, e.g. long paths on road networks).
+//   * SuccinctTable — per-row nonzero packing behind a rank-indexed
+//                    bitmap or sorted-slot list (Motivo-style; the
+//                    layout that makes k = 10-12 tables fit fixed
+//                    memory budgets).
 //
 // The counter is *compile-time* polymorphic over the table type: the
 // innermost DP loop — where the paper measures >90 % of runtime — must
@@ -95,6 +99,7 @@ enum class TableKind {
   kNaive,
   kCompact,
   kHash,
+  kSuccinct,
 };
 
 const char* table_kind_name(TableKind kind) noexcept;

@@ -80,6 +80,8 @@ Json RunReport::to_json() const {
   Json m = Json::object();
   m["planned_peak_bytes"] = memory.planned_peak_bytes;
   m["observed_peak_bytes"] = memory.observed_peak_bytes;
+  m["spilled_bytes"] = memory.spilled_bytes;
+  m["spill_events"] = static_cast<std::int64_t>(memory.spill_events);
   m["table"] = memory.table;
   m["degradations"] = strings_array(memory.degradations);
   doc["memory"] = std::move(m);
@@ -197,6 +199,11 @@ bool RunReport::from_json(const Json& doc, RunReport* out,
     rep.memory.planned_peak_bytes = planned ? planned->as_uint() : 0;
     const Json* observed = m->find("observed_peak_bytes");
     rep.memory.observed_peak_bytes = observed ? observed->as_uint() : 0;
+    const Json* spilled = m->find("spilled_bytes");
+    rep.memory.spilled_bytes = spilled ? spilled->as_uint() : 0;
+    const Json* spill_events = m->find("spill_events");
+    rep.memory.spill_events =
+        spill_events ? static_cast<int>(spill_events->as_int()) : 0;
     rep.memory.table = m->get_string("table");
     rep.memory.degradations = strings_from(m->find("degradations"));
   }

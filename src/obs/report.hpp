@@ -93,6 +93,8 @@ struct RunReport {
   struct Memory {
     std::uint64_t planned_peak_bytes = 0;
     std::uint64_t observed_peak_bytes = 0;
+    std::uint64_t spilled_bytes = 0;  ///< out-of-core page bytes written
+    int spill_events = 0;             ///< tables paged out
     std::string table;  ///< table kind actually used
     std::vector<std::string> degradations;
   } memory;

@@ -117,6 +117,15 @@ struct RunControls {
   /// RunReport::resume_rejected.
   bool resume = false;
 
+  /// Directory for out-of-core table pages; empty disables paging.
+  /// Arms the memory ladder's last rung: when even the floor table
+  /// layout exceeds memory_budget_bytes, completed sub-template tables
+  /// spill to checksummed files here (run/spill.hpp) and are paged
+  /// back per stage, so the budget bounds the resident set instead of
+  /// the run aborting.  Only engages when memory_budget_bytes > 0 and
+  /// the plan demands it; estimates stay bit-identical either way.
+  std::string spill_dir;
+
   /// True when any control is active (the run loop takes the
   /// instrumented path only if so).
   [[nodiscard]] bool active() const noexcept {
@@ -142,6 +151,11 @@ struct RunReport {
 
   /// Pre-run peak estimate for the chosen configuration.
   std::size_t estimated_peak_bytes = 0;
+
+  /// Out-of-core paging activity (0 when the plan never spilled):
+  /// bytes of completed tables written to RunControls::spill_dir.
+  std::size_t spilled_bytes = 0;
+  int spill_events = 0;  ///< tables written out (restores not counted)
 
   /// Human-readable degradation-ladder steps, in order.
   std::vector<std::string> degradations;

@@ -16,6 +16,11 @@ constexpr double kCompactOccupancyUnlabeled = 0.80;
 constexpr double kCompactOccupancyLabeled = 0.10;
 constexpr double kHashOccupancyUnlabeled = 0.45;
 constexpr double kHashOccupancyLabeled = 0.04;
+// Succinct rows exist for the same vertices compact rows do, but store
+// only their nonzero slots; the slot density within an active row is
+// what the packed-value + index overhead scales with.
+constexpr double kSuccinctSlotDensityUnlabeled = 0.35;
+constexpr double kSuccinctSlotDensityLabeled = 0.05;
 
 std::string human_bytes(std::size_t bytes) {
   const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
@@ -58,6 +63,26 @@ std::size_t estimate_table_bytes(TableKind kind, VertexId n,
           occupancy * cells * 2.0 *
               (sizeof(std::uint64_t) + sizeof(double)));
     }
+    case TableKind::kSuccinct: {
+      // Row-pointer array, plus per active row: an 8 B header, the
+      // packed nonzero doubles, and the cheaper of the two per-row
+      // addressings — sorted u32 slots (4 B per nonzero) or the
+      // rank-indexed bitmap (1 bit per colorset slot + a u32 rank per
+      // 64-bit word ≈ 0.1875 B per slot).
+      const double rows_occ =
+          labeled ? kCompactOccupancyLabeled : kCompactOccupancyUnlabeled;
+      const double density = labeled ? kSuccinctSlotDensityLabeled
+                                     : kSuccinctSlotDensityUnlabeled;
+      const double nnz_per_row = density * static_cast<double>(colorsets);
+      const double index_per_row =
+          std::min(nnz_per_row * sizeof(std::uint32_t),
+                   static_cast<double>(colorsets) * (0.125 + 0.0625));
+      return static_cast<std::size_t>(
+          static_cast<double>(n) * sizeof(void*) +
+          rows_occ * static_cast<double>(n) *
+              (sizeof(std::uint64_t) + nnz_per_row * sizeof(double) +
+               index_per_row));
+    }
   }
   return 0;
 }
@@ -89,6 +114,28 @@ std::size_t estimate_peak_bytes(const PartitionTree& partition,
   return peak;
 }
 
+std::size_t estimate_spill_working_set_bytes(const PartitionTree& partition,
+                                             int num_colors, VertexId n,
+                                             TableKind kind, bool labeled) {
+  const auto table_bytes = [&](int node_index) -> std::size_t {
+    const Subtemplate& node = partition.node(node_index);
+    if (node.is_leaf()) return 0;  // leaves never materialize tables
+    const auto sets =
+        static_cast<std::uint64_t>(num_colorsets(num_colors, node.size()));
+    return estimate_table_bytes(kind, n, sets, labeled);
+  };
+  std::size_t peak = 0;
+  for (int i = 0; i < partition.num_nodes(); ++i) {
+    const Subtemplate& node = partition.node(i);
+    if (node.is_leaf()) continue;
+    // A stage needs its own table plus its children resident; every
+    // completed table outside this triple is spillable.
+    peak = std::max(peak, table_bytes(i) + table_bytes(node.active) +
+                              table_bytes(node.passive));
+  }
+  return peak;
+}
+
 std::size_t estimate_workspace_bytes(const PartitionTree& partition,
                                      int num_colors) {
   std::size_t peak = 0;
@@ -116,7 +163,7 @@ std::size_t estimate_workspace_bytes(const PartitionTree& partition,
 MemoryPlan plan_memory(const PartitionTree& partition, int num_colors,
                        VertexId n, bool labeled, TableKind requested,
                        int engine_copies, std::size_t budget_bytes,
-                       int threads_per_copy) {
+                       int threads_per_copy, bool spill_available) {
   MemoryPlan plan;
   plan.table = requested;
   plan.engine_copies = std::max(1, engine_copies);
@@ -128,7 +175,10 @@ MemoryPlan plan_memory(const PartitionTree& partition, int num_colors,
       threads * estimate_workspace_bytes(partition, num_colors) +
       static_cast<std::size_t>(n) * 2 * sizeof(VertexId);
   const auto per_copy = [&](TableKind kind) {
-    return estimate_peak_bytes(partition, num_colors, n, kind, labeled) +
+    return (plan.spill ? estimate_spill_working_set_bytes(
+                             partition, num_colors, n, kind, labeled)
+                       : estimate_peak_bytes(partition, num_colors, n, kind,
+                                             labeled)) +
            per_copy_overhead;
   };
   plan.estimated_peak_bytes =
@@ -143,25 +193,44 @@ MemoryPlan plan_memory(const PartitionTree& partition, int num_colors,
 
   while (over()) {
     // Next ladder rung: a denser-to-sparser layout first, then fewer
-    // private table copies.  Rungs that do not reduce the estimate
-    // (hash can model *larger* than compact on unselective instances)
-    // are still taken at most once each, so the loop terminates.
+    // private table copies, then out-of-core paging.  Rungs that do not
+    // reduce the estimate (hash can model *larger* than compact on
+    // unselective instances) are still taken at most once each, so the
+    // loop terminates.
     if (plan.table == TableKind::kNaive) {
       plan.table = TableKind::kCompact;
       plan.degradations.push_back("table naive -> compact (estimate " +
                                   human_bytes(plan.estimated_peak_bytes) +
                                   " over budget)");
     } else if (plan.table == TableKind::kCompact &&
-               per_copy(TableKind::kHash) < per_copy(TableKind::kCompact)) {
-      plan.table = TableKind::kHash;
-      plan.degradations.push_back("table compact -> hash (estimate " +
+               per_copy(TableKind::kSuccinct) <
+                   per_copy(TableKind::kCompact)) {
+      plan.table = TableKind::kSuccinct;
+      plan.degradations.push_back("table compact -> succinct (estimate " +
                                   human_bytes(plan.estimated_peak_bytes) +
                                   " over budget)");
+    } else if ((plan.table == TableKind::kCompact ||
+                plan.table == TableKind::kSuccinct) &&
+               per_copy(TableKind::kHash) < per_copy(plan.table)) {
+      plan.degradations.push_back(
+          "table " + std::string(table_kind_name(plan.table)) +
+          " -> hash (estimate " + human_bytes(plan.estimated_peak_bytes) +
+          " over budget)");
+      plan.table = TableKind::kHash;
     } else if (plan.engine_copies > 1) {
       plan.engine_copies = std::max(1, plan.engine_copies / 2);
       plan.degradations.push_back(
           "outer-mode private table copies -> " +
           std::to_string(plan.engine_copies) + " (estimate " +
+          human_bytes(plan.estimated_peak_bytes) + " over budget)");
+    } else if (spill_available && !plan.spill) {
+      // Out-of-core rung: completed tables page to the spill directory
+      // and only the active stage's triple stays resident.  Taken once;
+      // if even the working set exceeds the budget we fall through to
+      // the honest fits = false below.
+      plan.spill = true;
+      plan.degradations.push_back(
+          "paging completed tables out-of-core (estimate " +
           human_bytes(plan.estimated_peak_bytes) + " over budget)");
     } else {
       plan.fits = false;

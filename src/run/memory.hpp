@@ -6,8 +6,9 @@
 // peak for the requested configuration *before allocating anything*
 // and degrade until the run fits.  The ladder (in order):
 //
-//   naive -> compact -> hash      (table layout, §III-C)
+//   naive -> compact -> succinct -> hash      (table layout, §III-C)
 //   halve outer-mode engine copies down to 1   (§III-E)
+//   out-of-core paging (spill completed tables; run/spill.hpp)
 //
 // Estimates walk the partition's free_after schedule, so they reflect
 // the real "≤ ~4 live tables" peak rather than the sum over all
@@ -28,7 +29,10 @@
 namespace fascia::run {
 
 /// Modeled bytes of one DP table of `colorsets` columns over `n`
-/// vertices.  `labeled` selects the sparse-occupancy regime.
+/// vertices, INCLUDING the encoding's per-table overhead (row-pointer
+/// array, hash slack and occupied flags, succinct headers and
+/// bitmap/slot directories) — not just the dense cell payload.
+/// `labeled` selects the sparse-occupancy regime.
 std::size_t estimate_table_bytes(TableKind kind, VertexId n,
                                  std::uint64_t colorsets, bool labeled);
 
@@ -37,6 +41,14 @@ std::size_t estimate_table_bytes(TableKind kind, VertexId n,
 std::size_t estimate_peak_bytes(const PartitionTree& partition,
                                 int num_colors, VertexId n, TableKind kind,
                                 bool labeled);
+
+/// Modeled minimum RESIDENT set under out-of-core paging: the largest
+/// (node + non-leaf children) table triple over the stage schedule.
+/// Every completed table outside the triple can be spilled, so this is
+/// what a paged run needs in memory at once.
+std::size_t estimate_spill_working_set_bytes(const PartitionTree& partition,
+                                             int num_colors, VertexId n,
+                                             TableKind kind, bool labeled);
 
 /// Modeled bytes of ONE sweep thread's scratch workspace (row, partial
 /// sum, gather, and nonzero-index buffers of the widest stage).  The
@@ -51,6 +63,12 @@ struct MemoryPlan {
   int engine_copies = 1;                  ///< outer-mode private engines
   std::size_t estimated_peak_bytes = 0;   ///< for the chosen config
   bool fits = true;  ///< false: even the floor exceeds the budget
+
+  /// Page completed sub-template tables to disk (run/spill.hpp) and
+  /// bound the resident set instead of failing — the ladder's last
+  /// rung, taken only when the caller supplied a spill directory.
+  bool spill = false;
+
   std::vector<std::string> degradations;  ///< ladder steps taken
 };
 
@@ -59,10 +77,14 @@ struct MemoryPlan {
 /// per-thread workspace bytes each copy carries (sweep threads, NOT
 /// outer copies — workspaces are allocated once per sweep thread).  A
 /// budget of 0 disables planning (the requested configuration is
-/// returned unchanged).
+/// returned unchanged).  `spill_available` (RunControls::spill_dir set)
+/// arms the out-of-core rung: when even the floor layout exceeds the
+/// budget in memory, the plan pages completed tables instead of
+/// reporting fits = false.
 MemoryPlan plan_memory(const PartitionTree& partition, int num_colors,
                        VertexId n, bool labeled, TableKind requested,
                        int engine_copies, std::size_t budget_bytes,
-                       int threads_per_copy = 1);
+                       int threads_per_copy = 1,
+                       bool spill_available = false);
 
 }  // namespace fascia::run

@@ -1,0 +1,230 @@
+#include "run/spill.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define FASCIA_SPILL_MMAP 1
+#endif
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "run/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace fascia::run {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'S', 'P', 'I', 'L', 'L', '0', '1'};
+constexpr std::size_t kHeaderBytes = sizeof(kMagic) + 2 * sizeof(std::uint32_t);
+
+const obs::Metric& spill_writes_metric() {
+  static const obs::Metric m("spill.writes", obs::InstrumentKind::kCounter);
+  return m;
+}
+const obs::Metric& spill_restores_metric() {
+  static const obs::Metric m("spill.restores", obs::InstrumentKind::kCounter);
+  return m;
+}
+const obs::Metric& spill_bytes_metric() {
+  static const obs::Metric m("spill.bytes",
+                             obs::InstrumentKind::kByteHistogram);
+  return m;
+}
+
+std::size_t row_stride_bytes(std::uint32_t num_colorsets) {
+  // [vid u32][pad u32][num_colorsets doubles] — keeps every double
+  // 8-byte aligned within the mapped file.
+  return 2 * sizeof(std::uint32_t) +
+         static_cast<std::size_t>(num_colorsets) * sizeof(double);
+}
+
+}  // namespace
+
+// ---- writer ---------------------------------------------------------------
+
+struct SpillWriter::Impl {
+  std::string path;
+  std::string temp;
+  std::ofstream out;
+  std::uint64_t crc = kFingerprintSeed;
+  std::uint32_t num_colorsets = 0;
+  std::uint32_t rows = 0;
+  std::size_t bytes = 0;
+  bool finalized = false;
+
+  void append(const void* data, std::size_t size) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    crc = fingerprint_mix(crc, data, size);
+    bytes += size;
+  }
+};
+
+SpillWriter::SpillWriter(std::string path, VertexId n,
+                         std::uint32_t num_colorsets)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->path = std::move(path);
+  impl_->temp = impl_->path + ".tmp";
+  impl_->num_colorsets = num_colorsets;
+  if (fault::fire("spill.write")) {
+    throw resource_error("injected spill write failure", impl_->path);
+  }
+  impl_->out.open(impl_->temp, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) {
+    throw resource_error("cannot open spill page for writing", impl_->temp);
+  }
+  impl_->append(kMagic, sizeof(kMagic));
+  const auto n32 = static_cast<std::uint32_t>(n);
+  impl_->append(&n32, sizeof(n32));
+  impl_->append(&num_colorsets, sizeof(num_colorsets));
+}
+
+SpillWriter::~SpillWriter() {
+  if (impl_ != nullptr && !impl_->finalized) {
+    impl_->out.close();
+    std::remove(impl_->temp.c_str());
+  }
+}
+
+void SpillWriter::write_row(VertexId v, std::span<const double> row) {
+  const auto vid = static_cast<std::uint32_t>(v);
+  const std::uint32_t pad = 0;
+  impl_->append(&vid, sizeof(vid));
+  impl_->append(&pad, sizeof(pad));
+  impl_->append(row.data(), row.size() * sizeof(double));
+  ++impl_->rows;
+}
+
+std::size_t SpillWriter::finalize() {
+  FASCIA_TRACE("spill.write", static_cast<std::int64_t>(impl_->rows));
+  impl_->append(&impl_->rows, sizeof(impl_->rows));
+  const std::uint64_t crc = impl_->crc;
+  impl_->out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  impl_->bytes += sizeof(crc);
+  impl_->out.close();
+  if (!impl_->out) {
+    std::remove(impl_->temp.c_str());
+    throw resource_error("cannot write spill page", impl_->temp);
+  }
+  if (std::rename(impl_->temp.c_str(), impl_->path.c_str()) != 0) {
+    std::remove(impl_->temp.c_str());
+    throw resource_error("cannot replace spill page", impl_->path);
+  }
+  impl_->finalized = true;
+  spill_writes_metric().add();
+  spill_bytes_metric().observe(static_cast<double>(impl_->bytes));
+  return impl_->bytes;
+}
+
+// ---- reader ---------------------------------------------------------------
+
+struct SpillReader::Impl {
+  const char* data = nullptr;
+  std::size_t size = 0;
+  std::string buffer;  ///< fallback when mmap is unavailable
+#ifdef FASCIA_SPILL_MMAP
+  void* mapping = nullptr;
+  std::size_t mapped_size = 0;
+#endif
+  VertexId n = 0;
+  std::uint32_t num_colorsets = 0;
+  std::uint32_t rows = 0;
+  std::size_t stride = 0;
+
+  ~Impl() {
+#ifdef FASCIA_SPILL_MMAP
+    if (mapping != nullptr) ::munmap(mapping, mapped_size);
+#endif
+  }
+};
+
+SpillReader::SpillReader(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  if (fault::fire("spill.read")) {
+    throw resource_error("injected spill read failure", path);
+  }
+#ifdef FASCIA_SPILL_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map != MAP_FAILED) {
+        impl_->mapping = map;
+        impl_->mapped_size = static_cast<std::size_t>(st.st_size);
+        impl_->data = static_cast<const char*>(map);
+        impl_->size = impl_->mapped_size;
+      }
+    }
+    ::close(fd);
+  }
+#endif
+  if (impl_->data == nullptr) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw resource_error("cannot open spill page", path);
+    impl_->buffer.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+    impl_->data = impl_->buffer.data();
+    impl_->size = impl_->buffer.size();
+  }
+
+  const char* data = impl_->data;
+  const std::size_t size = impl_->size;
+  const std::size_t trailer = sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  if (size < kHeaderBytes + trailer ||
+      std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    throw resource_error("not a fascia spill page", path);
+  }
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, data + size - sizeof(stored), sizeof(stored));
+  if (stored !=
+      fingerprint_mix(kFingerprintSeed, data, size - sizeof(stored))) {
+    throw resource_error("spill page checksum mismatch", path);
+  }
+
+  std::uint32_t n32 = 0;
+  std::memcpy(&n32, data + sizeof(kMagic), sizeof(n32));
+  std::memcpy(&impl_->num_colorsets,
+              data + sizeof(kMagic) + sizeof(std::uint32_t),
+              sizeof(impl_->num_colorsets));
+  std::memcpy(&impl_->rows, data + size - trailer, sizeof(impl_->rows));
+  impl_->n = static_cast<VertexId>(n32);
+  impl_->stride = row_stride_bytes(impl_->num_colorsets);
+  if (kHeaderBytes + impl_->rows * impl_->stride + trailer != size) {
+    throw resource_error("spill page row count inconsistent", path);
+  }
+  FASCIA_TRACE("spill.restore", static_cast<std::int64_t>(impl_->rows));
+  spill_restores_metric().add();
+}
+
+SpillReader::~SpillReader() = default;
+
+VertexId SpillReader::num_vertices() const noexcept { return impl_->n; }
+std::uint32_t SpillReader::num_colorsets() const noexcept {
+  return impl_->num_colorsets;
+}
+std::uint32_t SpillReader::num_rows() const noexcept { return impl_->rows; }
+
+VertexId SpillReader::row_vertex(std::uint32_t r) const noexcept {
+  std::uint32_t vid = 0;
+  std::memcpy(&vid, impl_->data + kHeaderBytes + r * impl_->stride,
+              sizeof(vid));
+  return static_cast<VertexId>(vid);
+}
+
+std::span<const double> SpillReader::row(std::uint32_t r) const noexcept {
+  const char* base = impl_->data + kHeaderBytes + r * impl_->stride +
+                     2 * sizeof(std::uint32_t);
+  return {reinterpret_cast<const double*>(base), impl_->num_colorsets};
+}
+
+}  // namespace fascia::run

@@ -104,6 +104,20 @@ struct BatchOptions {
   /// threads fed between checkpoints.
   int round_iterations = 0;
 
+  /// Greedy cross-template budget reallocation (Motivo-style).  Off
+  /// (default): every unconverged adaptive job is granted another
+  /// round at each controller checkpoint — the uniform allocation,
+  /// bit-identical to previous releases.  On: the adaptive jobs'
+  /// max_iterations budgets POOL after their warm-up round, and each
+  /// controller checkpoint grants the next round only to the
+  /// unconverged job with the highest relative standard error; the
+  /// other adaptive jobs pause (their stages drop out of the shared
+  /// DP), so hard templates can consume budget easy templates never
+  /// needed.  Fixed-budget jobs are unaffected.  Incompatible with
+  /// checkpoint/resume (per-job sample streams decouple from the
+  /// global coloring counter).
+  bool adaptive_batch = false;
+
   /// Resilience controls (deadline, memory budget, cancellation,
   /// checkpoint/resume).  Inert by default; see run/controls.hpp.
   /// Checkpoints store every job's completed per-iteration prefix;

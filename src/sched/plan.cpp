@@ -32,6 +32,14 @@ void validate(const Graph& graph, const std::vector<BatchJob>& jobs,
   if (options.min_iterations < 2) {
     throw usage_error("run_batch: min_iterations must be >= 2");
   }
+  if (options.adaptive_batch &&
+      (!options.run.checkpoint_path.empty() || options.run.resume)) {
+    // Greedy grants decouple per-job sample streams from the global
+    // coloring counter, which the checkpoint format indexes by.
+    throw usage_error(
+        "run_batch: adaptive_batch cannot be combined with "
+        "checkpoint/resume");
+  }
   for (const BatchJob& job : jobs) {
     if (job.tmpl.has_labels() != graph.has_labels()) {
       throw usage_error(

@@ -15,6 +15,7 @@
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
+#include "dp/table_succinct.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -71,11 +72,20 @@ struct JobState {
   double scale = 0.0;     ///< raw colorful total -> occurrence estimate
   bool adaptive = false;
   double target = 0.0;    ///< relative-stderr goal (adaptive only)
-  int quota = 0;          ///< iterations granted so far
+  int quota = 0;          ///< samples granted so far
   int cap = 0;            ///< never exceed (fixed budget or adaptive cap)
+  int base = 0;           ///< sample slot where the current round lands
   bool finished = false;
   bool leaf_root = false; ///< single-vertex template
   double leaf_raw = 0.0;  ///< its coloring-independent raw count
+
+  /// Samples this job has actually collected.  Uniform allocation
+  /// keeps every active job in every coloring round, so this equals
+  /// the global round counter; under adaptive_batch paused jobs fall
+  /// behind it.
+  [[nodiscard]] int collected(const BatchJobResult& result) const noexcept {
+    return static_cast<int>(result.per_iteration.size());
+  }
 };
 
 /// Run-layer configuration resolved before table-type dispatch.
@@ -83,6 +93,7 @@ struct BatchSetup {
   TableKind table = TableKind::kCompact;
   int engine_copies = 0;  ///< 0 = no cap (no memory plan ran)
   bool ladder_degraded = false;
+  bool spill = false;  ///< plan took the out-of-core rung
   std::uint64_t fingerprint = 0;
   RunReport report;
 };
@@ -178,6 +189,15 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
   if (graph.has_labels()) {
     engine_opts.label_frontiers = LabelFrontiers::build(graph);
   }
+  // Out-of-core rung: each engine copy pages completed stage tables
+  // against its share of the byte budget (run/spill.hpp).
+  if (setup.spill && !options.run.spill_dir.empty() &&
+      options.run.memory_budget_bytes > 0) {
+    engine_opts.spill_dir = options.run.spill_dir;
+    engine_opts.spill_budget_bytes =
+        options.run.memory_budget_bytes /
+        static_cast<std::size_t>(std::max(1, layout.outer_copies));
+  }
   for (int t = 0; t < engine_count; ++t) {
     engines.emplace_back(graph, plan.merged, k, engine_opts);
     engines.back().set_guard(&guard);
@@ -211,6 +231,17 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
 
   const auto num_nodes = static_cast<std::size_t>(plan.merged.num_nodes());
   int done = 0;
+
+  // Greedy cross-template reallocation: the adaptive jobs' remaining
+  // budgets pool after warm-up, and each controller checkpoint hands
+  // the next round to the unconverged job with the worst error.
+  const bool greedy = options.adaptive_batch;
+  long long grant_pool = 0;
+  if (greedy) {
+    for (const JobState& state : states) {
+      if (state.adaptive) grant_pool += state.cap - state.quota;
+    }
+  }
 
   // ---- resume -----------------------------------------------------------
   if (checkpointing && controls.resume) {
@@ -314,23 +345,32 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
 
   std::exception_ptr first_error;
   while (!guard.stopped()) {
+    // Active = jobs with granted samples still to collect.  Under
+    // uniform allocation every unfinished job qualifies; under greedy
+    // allocation paused jobs (quota spent, not yet re-granted) drop
+    // out, and with them their exclusive DP stages.
     std::vector<std::size_t> active;
     for (std::size_t j = 0; j < num_jobs; ++j) {
-      if (!states[j].finished) active.push_back(j);
+      if (!states[j].finished &&
+          states[j].quota > states[j].collected(out.jobs[j])) {
+        active.push_back(j);
+      }
     }
     if (active.empty()) break;
     if (fault::fire("run.crash")) throw fault::Injected("run.crash");
 
-    int quota_edge = states[active.front()].quota;
+    // Round length: the smallest outstanding grant among active jobs
+    // (every active job collects one sample per coloring).  Fixed-
+    // budget jobs grant their whole cap up front, which would make one
+    // giant round; when checkpointing, cap the round so the on-disk
+    // state never lags more than checkpoint_every iterations.
+    int len = states[active.front()].quota -
+              states[active.front()].collected(out.jobs[active.front()]);
     for (std::size_t j : active) {
-      quota_edge = std::min(quota_edge, states[j].quota);
+      len = std::min(len, states[j].quota - states[j].collected(out.jobs[j]));
     }
-    // Fixed-budget jobs grant their whole cap up front, which would
-    // make one giant round; when checkpointing, cap the round so the
-    // on-disk state never lags more than checkpoint_every iterations.
-    const int end = checkpointing
-                        ? std::min(quota_edge, done + checkpoint_every)
-                        : quota_edge;
+    if (checkpointing) len = std::min(len, checkpoint_every);
+    const int end = done + len;
 
     // Stages this round's iterations must compute: union over active
     // jobs.  Retired jobs' exclusive stages drop out, so late rounds
@@ -355,7 +395,12 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
     const int begin = done;
     out.seconds_per_iteration.resize(static_cast<std::size_t>(end), 0.0);
     for (std::size_t j : active) {
-      out.jobs[j].per_iteration.resize(static_cast<std::size_t>(end), 0.0);
+      // A job's samples append at its own base (= its collected count:
+      // the global round counter under uniform allocation, less for a
+      // greedily re-granted job that sat out some rounds).
+      states[j].base = states[j].collected(out.jobs[j]);
+      out.jobs[j].per_iteration.resize(
+          static_cast<std::size_t>(states[j].base + len), 0.0);
     }
     std::vector<char> completed(static_cast<std::size_t>(end - begin), 0);
 
@@ -377,8 +422,8 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
           const double raw = states[j].leaf_root
                                  ? states[j].leaf_raw
                                  : engine.node_total(plan.job_root[j]);
-          out.jobs[j].per_iteration[static_cast<std::size_t>(iter)] =
-              raw * states[j].scale;
+          out.jobs[j].per_iteration[static_cast<std::size_t>(
+              states[j].base + (iter - begin))] = raw * states[j].scale;
         }
         engine.release_all_tables();
         const double secs = timer.elapsed_s();
@@ -451,17 +496,19 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
       // the retained estimates form an exact iteration prefix.
       out.seconds_per_iteration.resize(static_cast<std::size_t>(done));
       for (std::size_t j : active) {
-        out.jobs[j].per_iteration.resize(static_cast<std::size_t>(done));
+        out.jobs[j].per_iteration.resize(
+            static_cast<std::size_t>(states[j].base + (done - begin)));
       }
     }
     if (checkpointing && done > last_saved) save_checkpoint();
 
     // Controller checkpoint: retire fixed jobs whose budget is spent;
-    // test adaptive jobs against their target and either retire them
-    // or grant another round of iterations.
+    // test adaptive jobs against their target and either retire them,
+    // grant another round (uniform), or leave them paused for the
+    // greedy grant below.
     for (std::size_t j : active) {
       JobState& state = states[j];
-      if (state.quota != done) continue;
+      if (state.quota != state.collected(out.jobs[j])) continue;
       BatchJobResult& result = out.jobs[j];
       result.relative_stderr = relative_mean_stderr(result.per_iteration);
       if (!state.adaptive) {
@@ -471,11 +518,56 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
       if (result.relative_stderr <= state.target) {
         state.finished = true;
         result.converged = true;
+      } else if (greedy) {
+        if (grant_pool <= 0) {
+          state.finished = true;
+          result.converged = false;
+        }
+        // else: paused until the greedy grant picks it
       } else if (done >= state.cap) {
         state.finished = true;
         result.converged = false;
       } else {
         state.quota = std::min(state.cap, done + round);
+      }
+    }
+
+    if (greedy) {
+      // Grant the next round to the unconverged adaptive job with the
+      // worst relative standard error — remaining budget flows to the
+      // templates that still need it (the cross-template analogue of
+      // Motivo's adaptive sampling).
+      if (grant_pool > 0) {
+        std::size_t best = num_jobs;
+        double worst = -1.0;
+        for (std::size_t j = 0; j < num_jobs; ++j) {
+          const JobState& state = states[j];
+          if (state.finished || !state.adaptive) continue;
+          if (state.quota > state.collected(out.jobs[j])) continue;
+          if (out.jobs[j].relative_stderr > worst) {
+            worst = out.jobs[j].relative_stderr;
+            best = j;
+          }
+        }
+        if (best < num_jobs) {
+          const int grant =
+              static_cast<int>(std::min<long long>(round, grant_pool));
+          states[best].quota += grant;
+          grant_pool -= grant;
+        }
+      }
+      if (grant_pool <= 0) {
+        // Budget exhausted: retire every still-paused adaptive job so
+        // the batch terminates (a job mid-grant finishes its round and
+        // retires at the controller above).
+        for (std::size_t j = 0; j < num_jobs; ++j) {
+          JobState& state = states[j];
+          if (state.finished || !state.adaptive) continue;
+          if (state.quota <= state.collected(out.jobs[j])) {
+            state.finished = true;
+            out.jobs[j].converged = false;
+          }
+        }
       }
     }
   }
@@ -491,6 +583,10 @@ void execute(const Graph& graph, const std::vector<BatchJob>& jobs,
     for (const DpEngine<Table>& engine : engines) {
       merge_stage_stats(engine.stage_stats(), Table::kName, stages);
     }
+  }
+  for (const DpEngine<Table>& engine : engines) {
+    out.run.spilled_bytes += engine.spilled_bytes();
+    out.run.spill_events += engine.spill_events();
   }
   out.run.completed_iterations = done;
   if (guard.stopped()) {
@@ -531,9 +627,11 @@ BatchResult run_batch(const Graph& graph, const std::vector<BatchJob>& jobs,
     const run::MemoryPlan memory = run::plan_memory(
         plan.merged, plan.num_colors, graph.num_vertices(),
         graph.has_labels(), options.table, copies,
-        options.run.memory_budget_bytes, threads_per_copy);
+        options.run.memory_budget_bytes, threads_per_copy,
+        /*spill_available=*/!options.run.spill_dir.empty());
     setup.table = memory.table;
     setup.engine_copies = memory.engine_copies;
+    setup.spill = memory.spill;
     setup.ladder_degraded = !memory.degradations.empty();
     setup.report.degradations = memory.degradations;
     setup.report.estimated_peak_bytes = memory.estimated_peak_bytes;
@@ -569,6 +667,10 @@ BatchResult run_batch(const Graph& graph, const std::vector<BatchJob>& jobs,
       case TableKind::kHash:
         execute<HashTable>(graph, jobs, options, plan, setup, result,
                            &stages);
+        break;
+      case TableKind::kSuccinct:
+        execute<SuccinctTable>(graph, jobs, options, plan, setup, result,
+                               &stages);
         break;
     }
   }
@@ -606,6 +708,7 @@ BatchResult run_batch(const Graph& graph, const std::vector<BatchJob>& jobs,
       {"num_threads", std::to_string(options.num_threads)},
       {"min_iterations", std::to_string(options.min_iterations)},
       {"round_iterations", std::to_string(options.round_iterations)},
+      {"adaptive_batch", options.adaptive_batch ? "true" : "false"},
   };
   report->graph.vertices = static_cast<std::int64_t>(graph.num_vertices());
   report->graph.edges = static_cast<std::int64_t>(graph.num_edges());
@@ -623,6 +726,8 @@ BatchResult run_batch(const Graph& graph, const std::vector<BatchJob>& jobs,
   report->timing.per_iteration_seconds = result.seconds_per_iteration;
   report->memory.planned_peak_bytes = result.run.estimated_peak_bytes;
   report->memory.observed_peak_bytes = peak_bytes;
+  report->memory.spilled_bytes = result.run.spilled_bytes;
+  report->memory.spill_events = result.run.spill_events;
   report->memory.table = table_kind_name(result.run.table_used);
   report->memory.degradations = result.run.degradations;
   report->threads.mode = parallel_mode_name(options.mode);

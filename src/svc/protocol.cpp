@@ -36,6 +36,7 @@ TableKind table_from_name(const std::string& name) {
   if (name == "naive") return TableKind::kNaive;
   if (name == "compact") return TableKind::kCompact;
   if (name == "hash") return TableKind::kHash;
+  if (name == "succinct") return TableKind::kSuccinct;
   bad_request("unknown table kind '" + name + "'");
 }
 
@@ -180,6 +181,9 @@ Json count_options_to_json(const CountOptions& options) {
   if (options.run.memory_budget_bytes > 0) {
     out["memory_budget_bytes"] = options.run.memory_budget_bytes;
   }
+  if (!options.run.spill_dir.empty()) {
+    out["spill_dir"] = options.run.spill_dir;
+  }
   if (options.run.checkpoint_every != RunControls{}.checkpoint_every) {
     out["checkpoint_every"] = options.run.checkpoint_every;
   }
@@ -199,8 +203,8 @@ CountOptions count_options_from_json(const Json& spec) {
   check_keys(spec,
              {"iterations", "colors", "seed", "table", "partition", "mode",
               "threads", "reorder", "deadline_seconds", "memory_budget_bytes",
-              "checkpoint_every", "root", "per_vertex", "observability",
-              "label"},
+              "spill_dir", "checkpoint_every", "root", "per_vertex",
+              "observability", "label"},
              "options");
   options.sampling.iterations =
       static_cast<int>(spec.get_int("iterations", 1));
@@ -224,6 +228,7 @@ CountOptions count_options_from_json(const Json& spec) {
   options.run.deadline_seconds = spec.get_double("deadline_seconds", 0.0);
   options.run.memory_budget_bytes =
       static_cast<std::size_t>(spec.get_int("memory_budget_bytes", 0));
+  options.run.spill_dir = spec.get_string("spill_dir");
   if (const Json* every = spec.find("checkpoint_every")) {
     options.run.checkpoint_every = static_cast<int>(every->as_int(16));
   }
@@ -245,11 +250,15 @@ Json batch_options_to_json(const sched::BatchOptions& options) {
   out["cross_template_reuse"] = options.cross_template_reuse;
   out["min_iterations"] = options.min_iterations;
   out["round_iterations"] = options.round_iterations;
+  if (options.adaptive_batch) out["adaptive_batch"] = true;
   if (options.run.deadline_seconds > 0) {
     out["deadline_seconds"] = options.run.deadline_seconds;
   }
   if (options.run.memory_budget_bytes > 0) {
     out["memory_budget_bytes"] = options.run.memory_budget_bytes;
+  }
+  if (!options.run.spill_dir.empty()) {
+    out["spill_dir"] = options.run.spill_dir;
   }
   if (options.observability.enabled) out["observability"] = true;
   return out;
@@ -262,7 +271,8 @@ sched::BatchOptions batch_options_from_json(const Json& spec) {
   check_keys(spec,
              {"colors", "seed", "table", "partition", "mode", "threads",
               "cross_template_reuse", "min_iterations", "round_iterations",
-              "deadline_seconds", "memory_budget_bytes", "observability"},
+              "adaptive_batch", "deadline_seconds", "memory_budget_bytes",
+              "spill_dir", "observability"},
              "batch options");
   options.num_colors = static_cast<int>(spec.get_int("colors", 0));
   if (const Json* seed = spec.find("seed")) options.seed = seed->as_uint(1);
@@ -281,9 +291,11 @@ sched::BatchOptions batch_options_from_json(const Json& spec) {
       static_cast<int>(spec.get_int("min_iterations", 4));
   options.round_iterations =
       static_cast<int>(spec.get_int("round_iterations", 0));
+  options.adaptive_batch = spec.get_bool("adaptive_batch", false);
   options.run.deadline_seconds = spec.get_double("deadline_seconds", 0.0);
   options.run.memory_budget_bytes =
       static_cast<std::size_t>(spec.get_int("memory_budget_bytes", 0));
+  options.run.spill_dir = spec.get_string("spill_dir");
   options.observability.enabled = spec.get_bool("observability", false);
   return options;
 }

@@ -165,38 +165,62 @@ std::unique_ptr<Service::Record> Service::build_record(JobSpec spec) {
   }
 
   const VertexId n = record->graph->num_vertices();
-  if (record->spec.kind == JobKind::kBatch) {
-    const sched::BatchOptions& bo = record->spec.batch_options;
-    std::size_t worst = 0;
-    for (const sched::BatchJob& job : record->spec.batch_jobs) {
-      // Shared stages only shrink the true peak, so the max over
-      // per-template estimates is a safe admission bound.
-      worst = std::max(
-          worst, estimate_job_bytes(registry_, job.tmpl, n, bo.num_colors,
-                                    bo.table, bo.partition, bo.share_tables,
-                                    /*root=*/-1,
-                                    bo.mode == ParallelMode::kOuterLoop
-                                        ? std::max(1, bo.num_threads)
-                                        : 1,
-                                    std::max(1, bo.num_threads)));
+  const auto quote = [&](TableKind table) -> std::size_t {
+    if (record->spec.kind == JobKind::kBatch) {
+      const sched::BatchOptions& bo = record->spec.batch_options;
+      std::size_t worst = 0;
+      for (const sched::BatchJob& job : record->spec.batch_jobs) {
+        // Shared stages only shrink the true peak, so the max over
+        // per-template estimates is a safe admission bound.
+        worst = std::max(
+            worst, estimate_job_bytes(registry_, job.tmpl, n, bo.num_colors,
+                                      table, bo.partition, bo.share_tables,
+                                      /*root=*/-1,
+                                      bo.mode == ParallelMode::kOuterLoop
+                                          ? std::max(1, bo.num_threads)
+                                          : 1,
+                                      std::max(1, bo.num_threads)));
+      }
+      return worst;
     }
-    record->estimated_peak_bytes = worst;
-  } else {
     const CountOptions& co = record->spec.options;
-    record->estimated_peak_bytes = estimate_job_bytes(
-        registry_, record->spec.tmpl, n, co.sampling.num_colors,
-        co.execution.table, co.execution.partition,
-        co.execution.share_tables, co.root,
-        admission_engine_copies(co.execution),
-        std::max(1, co.execution.threads));
-  }
+    return estimate_job_bytes(registry_, record->spec.tmpl, n,
+                              co.sampling.num_colors, table,
+                              co.execution.partition,
+                              co.execution.share_tables, co.root,
+                              admission_engine_copies(co.execution),
+                              std::max(1, co.execution.threads));
+  };
+  const TableKind requested = record->spec.kind == JobKind::kBatch
+                                  ? record->spec.batch_options.table
+                                  : record->spec.options.execution.table;
+  record->estimated_peak_bytes = quote(requested);
   if (config_.memory_budget_bytes > 0 &&
       record->estimated_peak_bytes > config_.memory_budget_bytes) {
-    throw resource_error(
-        "job's modeled peak (" +
-        std::to_string(record->estimated_peak_bytes) +
-        " bytes) exceeds the service admission budget (" +
-        std::to_string(config_.memory_budget_bytes) + ")");
+    // Re-quote against the succinct encoding before turning the job
+    // away: the run layer's degradation ladder would move to it under
+    // a budget anyway, so admission must not reject jobs whose
+    // succinct footprint fits.  The spec is rewritten so the run
+    // actually uses the encoding it was admitted under.
+    const std::size_t requote = requested != TableKind::kSuccinct
+                                    ? quote(TableKind::kSuccinct)
+                                    : record->estimated_peak_bytes;
+    if (requested != TableKind::kSuccinct &&
+        requote <= config_.memory_budget_bytes) {
+      if (record->spec.kind == JobKind::kBatch) {
+        record->spec.batch_options.table = TableKind::kSuccinct;
+      } else {
+        record->spec.options.execution.table = TableKind::kSuccinct;
+      }
+      record->estimated_peak_bytes = requote;
+    } else {
+      throw resource_error(
+          "job's modeled peak (" +
+          std::to_string(record->estimated_peak_bytes) +
+          " bytes; still " + std::to_string(requote) +
+          " as succinct) exceeds the service admission budget (" +
+          std::to_string(config_.memory_budget_bytes) + ")");
+    }
   }
   return record;
 }

@@ -86,7 +86,8 @@ TEST(Counter, ResultsIndependentOfConfiguration) {
 
   std::vector<CountOptions> variants;
   for (TableKind table :
-       {TableKind::kNaive, TableKind::kCompact, TableKind::kHash}) {
+       {TableKind::kNaive, TableKind::kCompact, TableKind::kHash,
+        TableKind::kSuccinct}) {
     for (auto strategy : {PartitionStrategy::kOneAtATime,
                           PartitionStrategy::kBalanced}) {
       for (bool share : {true, false}) {
@@ -139,7 +140,8 @@ TEST(Counter, VectorizedKernelsBitIdenticalToReference) {
                                const char* tag) {
     for (const TreeTemplate& tree : shapes) {
       for (TableKind table :
-           {TableKind::kNaive, TableKind::kCompact, TableKind::kHash}) {
+           {TableKind::kNaive, TableKind::kCompact, TableKind::kHash,
+            TableKind::kSuccinct}) {
         for (auto strategy : {PartitionStrategy::kOneAtATime,
                               PartitionStrategy::kBalanced}) {
           for (auto mode :

@@ -140,7 +140,8 @@ TEST(ReorderCounting, BitIdenticalAcrossModesTablesAndLayouts) {
   const TreeTemplate& tree = catalog_entry("U7-1").tree;
 
   for (TableKind table :
-       {TableKind::kNaive, TableKind::kCompact, TableKind::kHash}) {
+       {TableKind::kNaive, TableKind::kCompact, TableKind::kHash,
+        TableKind::kSuccinct}) {
     const CountResult reference = count_template(
         g, tree,
         reorder_options(ReorderMode::kNone, ParallelMode::kSerial, table));
@@ -198,7 +199,8 @@ TEST(ReorderCounting, LabeledBitIdenticalAcrossReorders) {
                       TableKind::kCompact));
   for (ReorderMode reorder :
        {ReorderMode::kDegree, ReorderMode::kBfs, ReorderMode::kHybrid}) {
-    for (TableKind table : {TableKind::kCompact, TableKind::kHash}) {
+    for (TableKind table :
+         {TableKind::kCompact, TableKind::kHash, TableKind::kSuccinct}) {
       const CountResult result = count_template(
           g, tree, reorder_options(reorder, ParallelMode::kHybrid, table));
       ASSERT_EQ(result.per_iteration.size(),

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -20,7 +21,9 @@
 #include "run/controls.hpp"
 #include "run/guard.hpp"
 #include "run/memory.hpp"
+#include "run/spill.hpp"
 #include "sched/batch.hpp"
+#include "sched/plan.hpp"
 #include "treelet/catalog.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -225,6 +228,93 @@ TEST(MemoryPlan, ImpossibleBudgetReportsNotFitting) {
   EXPECT_FALSE(plan.degradations.empty());
 }
 
+TEST(MemoryPlan, SuccinctRungBetweenCompactAndHash) {
+  const TreeTemplate& tree = catalog_entry("U7-1").tree;
+  const auto part =
+      partition_template(tree, PartitionStrategy::kOneAtATime, true);
+  const VertexId n = 100000;
+  const auto compact = run::estimate_peak_bytes(part, 7, n,
+                                                TableKind::kCompact, false);
+  const auto succinct = run::estimate_peak_bytes(part, 7, n,
+                                                 TableKind::kSuccinct, false);
+  ASSERT_LT(succinct, compact);
+  // Between the two estimates the ladder must stop on succinct — not
+  // jump past it to hash (modeled larger on unselective instances) or
+  // report not fitting.
+  const auto plan = run::plan_memory(part, 7, n, false, TableKind::kCompact,
+                                     1, (compact + succinct) / 2);
+  EXPECT_EQ(plan.table, TableKind::kSuccinct);
+  EXPECT_TRUE(plan.fits);
+  EXPECT_FALSE(plan.spill);
+  EXPECT_FALSE(plan.degradations.empty());
+}
+
+TEST(MemoryPlan, SuccinctEstimateBracketsMeasuredPeak) {
+  // Unlike naive's closed form, succinct bytes depend on run-time slot
+  // occupancy (and slab rounding), so the contract is a factor
+  // bracket: the planning estimate must land within 4x of the
+  // MemTracker-measured table peak of a real run in either direction,
+  // and stay below the dense model it degrades from.
+  const Graph g = erdos_renyi_gnm(2000, 6000, 7);
+  const TreeTemplate& tree = catalog_entry("U7-1").tree;
+  const auto part =
+      partition_template(tree, PartitionStrategy::kOneAtATime, true);
+  const auto plan = run::plan_memory(part, 7, g.num_vertices(), false,
+                                     TableKind::kSuccinct, 1, 0, 1);
+  const auto naive = run::estimate_peak_bytes(part, 7, g.num_vertices(),
+                                              TableKind::kNaive, false);
+  CountOptions options = base_options();
+  options.sampling.iterations = 2;
+  options.execution.table = TableKind::kSuccinct;
+  const CountResult result = count_template(g, tree, options);
+  ASSERT_GT(result.peak_table_bytes, 0u);
+  EXPECT_GE(4 * plan.estimated_peak_bytes, result.peak_table_bytes);
+  EXPECT_LE(plan.estimated_peak_bytes, 4 * result.peak_table_bytes);
+  EXPECT_LT(run::estimate_peak_bytes(part, 7, g.num_vertices(),
+                                     TableKind::kSuccinct, false),
+            naive);
+}
+
+TEST(MemoryPlan, SpillRungArmsOnlyWithDirectory) {
+  // A budget below every in-memory layout but above the paged working
+  // set: without a spill directory the plan honestly reports not
+  // fitting; with one it takes the out-of-core rung and fits.  A
+  // single template's one-at-a-time schedule already frees everything
+  // outside the active triple, so this needs a merged multi-template
+  // partition — the case paging exists for.
+  const Graph g = erdos_renyi_gnm(2000, 6000, 7);
+  std::vector<sched::BatchJob> jobs;
+  for (TreeTemplate t : {TreeTemplate::path(10), TreeTemplate::star(10)}) {
+    sched::BatchJob job;
+    job.tmpl = std::move(t);
+    job.iterations = 2;
+    jobs.push_back(std::move(job));
+  }
+  const sched::BatchPlan plan = sched::plan_batch(g, jobs, {});
+  const int k = plan.num_colors;
+  const VertexId n = g.num_vertices();
+  const auto succinct = run::estimate_peak_bytes(plan.merged, k, n,
+                                                 TableKind::kSuccinct, false);
+  const auto working = run::estimate_spill_working_set_bytes(
+      plan.merged, k, n, TableKind::kSuccinct, false);
+  ASSERT_LT(working, succinct);
+  const std::size_t budget = (working + succinct) / 2;
+
+  const auto no_spill = run::plan_memory(plan.merged, k, n, false,
+                                         TableKind::kCompact, 1, budget, 1,
+                                         /*spill_available=*/false);
+  EXPECT_FALSE(no_spill.fits);
+  EXPECT_FALSE(no_spill.spill);
+
+  const auto paged = run::plan_memory(plan.merged, k, n, false,
+                                      TableKind::kCompact, 1, budget, 1,
+                                      /*spill_available=*/true);
+  EXPECT_TRUE(paged.spill);
+  EXPECT_TRUE(paged.fits);
+  EXPECT_EQ(paged.table, TableKind::kSuccinct);
+  EXPECT_LE(paged.estimated_peak_bytes, budget);
+}
+
 // ---- checkpoint file format ----------------------------------------------
 
 TEST(Checkpoint, SaveLoadRoundTrip) {
@@ -307,6 +397,71 @@ TEST(Checkpoint, GarbageFileRejectedNotCrashing) {
   EXPECT_FALSE(run::load_checkpoint(path, &why).has_value());
   EXPECT_FALSE(why.empty());
   std::remove(path.c_str());
+}
+
+// ---- spill page file format ----------------------------------------------
+
+TEST(SpillFile, WriterReaderRoundTrip) {
+  const std::string path = temp_path("fascia_spill_page.bin");
+  std::remove(path.c_str());
+  {
+    run::SpillWriter writer(path, 10, 4);
+    const std::vector<double> first = {1.0, 0.0, 2.5, 3.0};
+    const std::vector<double> second = {0.0, 4.0, 0.0, 0.25};
+    writer.write_row(2, first);
+    writer.write_row(7, second);
+    EXPECT_GT(writer.finalize(), 0u);
+  }
+  const run::SpillReader reader(path);
+  EXPECT_EQ(reader.num_vertices(), 10);
+  EXPECT_EQ(reader.num_colorsets(), 4u);
+  ASSERT_EQ(reader.num_rows(), 2u);
+  EXPECT_EQ(reader.row_vertex(0), 2);
+  EXPECT_EQ(reader.row_vertex(1), 7);
+  ASSERT_EQ(reader.row(0).size(), 4u);
+  EXPECT_EQ(reader.row(0)[0], 1.0);
+  EXPECT_EQ(reader.row(0)[2], 2.5);
+  EXPECT_EQ(reader.row(1)[1], 4.0);
+  EXPECT_EQ(reader.row(1)[3], 0.25);
+  std::remove(path.c_str());
+}
+
+TEST(SpillFile, CorruptByteRejectedByChecksum) {
+  // A damaged page cannot be consumed bit-identically, so unlike a
+  // checkpoint the reader must throw instead of degrading silently.
+  const std::string path = temp_path("fascia_spill_corrupt.bin");
+  std::remove(path.c_str());
+  {
+    run::SpillWriter writer(path, 6, 3);
+    const std::vector<double> row = {1.0, 2.0, 3.0};
+    writer.write_row(1, row);
+    writer.finalize();
+  }
+  {
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(20);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(20);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+  }
+  EXPECT_THROW(run::SpillReader reader(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(SpillFile, AbandonedWriterLeavesNoFiles) {
+  const std::string path = temp_path("fascia_spill_abandoned.bin");
+  std::remove(path.c_str());
+  {
+    run::SpillWriter writer(path, 4, 2);
+    const std::vector<double> row = {1.0, 2.0};
+    writer.write_row(0, row);
+    // no finalize(): destructor must remove the temp file
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
 // ---- count_template under controls ---------------------------------------
@@ -456,6 +611,89 @@ TEST(ResilientCount, OuterModeResumeBitIdentical) {
     EXPECT_EQ(resumed.per_iteration[i], reference.per_iteration[i]) << i;
   }
   std::remove(path.c_str());
+}
+
+TEST(ResilientCount, SuccinctResumeBitIdentical) {
+  const Graph g = test_graph();
+  const TreeTemplate& tree = catalog_entry("U5-2").tree;
+  const std::string path = temp_path("fascia_resume_succinct.bin");
+  std::remove(path.c_str());
+
+  CountOptions reference_options = base_options();
+  reference_options.sampling.iterations = 10;
+  reference_options.execution.table = TableKind::kSuccinct;
+  const CountResult reference = count_template(g, tree, reference_options);
+
+  CountOptions first = reference_options;
+  first.sampling.iterations = 4;
+  first.run.checkpoint_path = path;
+  first.run.checkpoint_every = 2;
+  const CountResult partial = count_template(g, tree, first);
+  EXPECT_EQ(partial.run.status, RunStatus::kCompleted);
+
+  CountOptions second = reference_options;
+  second.run.checkpoint_path = path;
+  second.run.resume = true;
+  const CountResult resumed = count_template(g, tree, second);
+  EXPECT_TRUE(resumed.run.resumed);
+  EXPECT_EQ(resumed.run.resumed_iterations, 4);
+  ASSERT_EQ(resumed.per_iteration.size(), reference.per_iteration.size());
+  for (std::size_t i = 0; i < reference.per_iteration.size(); ++i) {
+    EXPECT_EQ(resumed.per_iteration[i], reference.per_iteration[i]) << i;
+  }
+  EXPECT_EQ(resumed.estimate, reference.estimate);
+  std::remove(path.c_str());
+}
+
+TEST(ResilientBatch, PagedRunSpillsAndStaysBitIdentical) {
+  // The out-of-core rung end to end: a k = 10 multi-template batch
+  // whose budget sits between the paged working set and the cheapest
+  // in-memory estimate must page tables out (spilled bytes > 0),
+  // finish every requested coloring, and reproduce the unconstrained
+  // run bit for bit — pages store rows as verbatim doubles, so a
+  // spill/restore round trip is exact.
+  const Graph g = erdos_renyi_gnm(2000, 6000, 7);
+  std::vector<sched::BatchJob> jobs;
+  for (TreeTemplate t : {TreeTemplate::path(10), TreeTemplate::star(10)}) {
+    sched::BatchJob job;
+    job.tmpl = std::move(t);
+    job.iterations = 2;
+    jobs.push_back(std::move(job));
+  }
+  sched::BatchOptions batch;
+  batch.table = TableKind::kSuccinct;
+  batch.mode = ParallelMode::kSerial;
+  batch.seed = 123;
+  const sched::BatchResult reference = sched::run_batch(g, jobs, batch);
+
+  const sched::BatchPlan plan = sched::plan_batch(g, jobs, batch);
+  const auto succinct = run::estimate_peak_bytes(
+      plan.merged, plan.num_colors, g.num_vertices(), TableKind::kSuccinct,
+      false);
+  // Well under the floor layout's estimate, so planning arms the spill
+  // rung — and under the real resident peak too (the model's slot
+  // density understates this instance), so eviction actually fires.
+  const std::string spill_dir = temp_path("fascia_paged_batch");
+  std::filesystem::create_directories(spill_dir);
+  sched::BatchOptions paged = batch;
+  paged.run.memory_budget_bytes = succinct * 3 / 5;
+  paged.run.spill_dir = spill_dir;
+  const sched::BatchResult spilled = sched::run_batch(g, jobs, paged);
+
+  EXPECT_EQ(spilled.run.status, RunStatus::kMemDegraded);
+  EXPECT_EQ(spilled.run.completed_iterations,
+            reference.run.completed_iterations);
+  EXPECT_GT(spilled.run.spilled_bytes, 0u);
+  EXPECT_GT(spilled.run.spill_events, 0);
+  ASSERT_EQ(spilled.jobs.size(), reference.jobs.size());
+  for (std::size_t j = 0; j < reference.jobs.size(); ++j) {
+    EXPECT_EQ(spilled.jobs[j].per_iteration, reference.jobs[j].per_iteration)
+        << "job " << j;
+    EXPECT_EQ(spilled.jobs[j].estimate, reference.jobs[j].estimate);
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir, ec);
 }
 
 TEST(ResilientCount, MismatchedCheckpointRejectedNotBlended) {

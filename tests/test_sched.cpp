@@ -211,6 +211,94 @@ TEST(Sched, AdaptiveLooseTargetRetiresEarly) {
   EXPECT_LT(batch.jobs[0].iterations, 500);
 }
 
+TEST(Sched, AdaptiveBatchSingleJobMatchesUniform) {
+  // With one adaptive job the greedy controller has nobody to steal
+  // from or donate to: grants land on the same global coloring rounds
+  // the uniform allocation would run, so the sample stream — and every
+  // per-iteration estimate — must match bit for bit.
+  const Graph g = largest_component(erdos_renyi_gnm(40, 80, 13));
+  std::vector<sched::BatchJob> jobs;
+  sched::BatchJob job;
+  job.tmpl = TreeTemplate::path(4);
+  job.target_relative_stderr = 0.05;
+  job.max_iterations = 600;
+  jobs.push_back(std::move(job));
+  sched::BatchOptions uniform;
+  uniform.mode = ParallelMode::kSerial;
+  uniform.round_iterations = 16;
+  uniform.seed = 3;
+  sched::BatchOptions greedy = uniform;
+  greedy.adaptive_batch = true;
+
+  const sched::BatchResult a = sched::run_batch(g, jobs, uniform);
+  const sched::BatchResult b = sched::run_batch(g, jobs, greedy);
+  EXPECT_EQ(a.jobs[0].converged, b.jobs[0].converged);
+  EXPECT_EQ(a.jobs[0].per_iteration, b.jobs[0].per_iteration);
+  EXPECT_EQ(a.jobs[0].estimate, b.jobs[0].estimate);
+}
+
+TEST(Sched, AdaptiveBatchReallocatesBudgetToHardJob) {
+  // Motivo-style cross-template reallocation: an easy job (loose
+  // target) converges in its warm-up round and donates its unused
+  // budget to the pool; a hard job (unreachable target) then draws
+  // grants PAST its own max_iterations.  Fixed-budget jobs ride the
+  // same shared colorings either way and must stay bit-identical to
+  // the uniform run.
+  const Graph g = test_graph();
+  std::vector<sched::BatchJob> jobs;
+  sched::BatchJob easy;
+  easy.tmpl = TreeTemplate::path(4);
+  easy.target_relative_stderr = 0.9;  // any 2+ iterations satisfy this
+  easy.max_iterations = 400;
+  jobs.push_back(std::move(easy));
+  sched::BatchJob hard;
+  hard.tmpl = TreeTemplate::star(4);
+  hard.target_relative_stderr = 1e-9;  // unreachable on purpose
+  hard.max_iterations = 12;
+  jobs.push_back(std::move(hard));
+  sched::BatchJob fixed;
+  fixed.tmpl = TreeTemplate::path(3);
+  fixed.iterations = 10;
+  jobs.push_back(std::move(fixed));
+
+  sched::BatchOptions uniform;
+  uniform.mode = ParallelMode::kSerial;
+  uniform.round_iterations = 8;
+  uniform.seed = 11;
+  sched::BatchOptions greedy = uniform;
+  greedy.adaptive_batch = true;
+
+  const sched::BatchResult base = sched::run_batch(g, jobs, uniform);
+  const sched::BatchResult pooled = sched::run_batch(g, jobs, greedy);
+
+  EXPECT_TRUE(pooled.jobs[0].converged);
+  // Uniform honors the per-job cap; greedy spends the pooled budget on
+  // the worst job instead.
+  EXPECT_LE(base.jobs[1].iterations, 12);
+  EXPECT_GT(pooled.jobs[1].iterations, 12);
+  EXPECT_FALSE(pooled.jobs[1].converged);
+  // The fixed job is untouched by the controller mode.
+  EXPECT_EQ(base.jobs[2].iterations, 10);
+  EXPECT_EQ(pooled.jobs[2].iterations, 10);
+  EXPECT_EQ(base.jobs[2].per_iteration, pooled.jobs[2].per_iteration);
+}
+
+TEST(Sched, AdaptiveBatchRejectsCheckpointing) {
+  // Greedy grants decouple per-job sample streams from the global
+  // coloring counter that the checkpoint format indexes by.
+  const Graph g = test_graph();
+  std::vector<sched::BatchJob> jobs;
+  sched::BatchJob job;
+  job.tmpl = TreeTemplate::path(4);
+  job.target_relative_stderr = 0.1;
+  job.max_iterations = 100;
+  jobs.push_back(std::move(job));
+  sched::BatchOptions options;
+  options.adaptive_batch = true;
+  options.run.checkpoint_path = "unused.ckpt";
+  EXPECT_THROW(sched::run_batch(g, jobs, options), fascia::Error);
+}
+
 TEST(Sched, ValidationErrors) {
   const Graph g = test_graph();
   EXPECT_THROW(sched::run_batch(g, {}, {}), fascia::Error);

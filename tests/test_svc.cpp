@@ -255,6 +255,60 @@ TEST(SvcService, AdmissionRejectsJobsThatCanNeverFit) {
   EXPECT_THROW(service.submit(std::move(spec)), Error);
 }
 
+TEST(SvcService, AdmissionRequotesSuccinctInsteadOfRejecting) {
+  const TreeTemplate tmpl = catalog_entry("U7-1").tree;
+  const Graph graph = erdos_renyi_gnm(5000, 20000, 1);
+
+  // Learn both quotes from an unbounded service: admission records the
+  // modeled peak for the requested encoding in JobInfo.
+  std::size_t compact_quote = 0;
+  std::size_t succinct_quote = 0;
+  {
+    svc::Service service({});
+    service.registry().put("g", erdos_renyi_gnm(5000, 20000, 1));
+    svc::JobSpec compact = count_spec("g", tmpl, 2);
+    compact.options.execution.table = TableKind::kCompact;
+    svc::JobSpec succinct = count_spec("g", tmpl, 2);
+    succinct.options.execution.table = TableKind::kSuccinct;
+    const svc::JobId a = service.submit(std::move(compact));
+    const svc::JobId b = service.submit(std::move(succinct));
+    compact_quote = service.info(a).estimated_peak_bytes;
+    succinct_quote = service.info(b).estimated_peak_bytes;
+    service.wait(a);
+    service.wait(b);
+  }
+  ASSERT_LT(succinct_quote, compact_quote);
+
+  // Under a budget only the succinct encoding satisfies, a compact job
+  // must be admitted by re-quoting — the run layer's ladder would move
+  // to succinct anyway — with the spec rewritten so the run uses the
+  // encoding it was admitted under, and the numbers must match the
+  // direct succinct call bit for bit.
+  CountOptions direct;
+  direct.sampling.iterations = 2;
+  direct.sampling.seed = 7;
+  direct.execution.mode = ParallelMode::kSerial;
+  direct.execution.table = TableKind::kSuccinct;
+  const CountResult expected = count_template(graph, tmpl, direct);
+
+  svc::Service::Config config;
+  config.memory_budget_bytes = (succinct_quote + compact_quote) / 2;
+  svc::Service service(config);
+  service.registry().put("g", erdos_renyi_gnm(5000, 20000, 1));
+  svc::JobSpec spec = count_spec("g", tmpl, 2);
+  spec.options.execution.table = TableKind::kCompact;
+  const svc::JobId id = service.submit(std::move(spec));
+  EXPECT_EQ(service.info(id).estimated_peak_bytes, succinct_quote);
+  EXPECT_EQ(service.wait(id).state, svc::JobState::kCompleted);
+  const CountResult got = service.count_result(id);
+  EXPECT_EQ(got.run.table_used, TableKind::kSuccinct);
+  ASSERT_EQ(got.per_iteration.size(), expected.per_iteration.size());
+  for (std::size_t i = 0; i < expected.per_iteration.size(); ++i) {
+    EXPECT_EQ(got.per_iteration[i], expected.per_iteration[i]) << i;
+  }
+  EXPECT_EQ(got.estimate, expected.estimate);
+}
+
 TEST(SvcService, ShutdownCancelsQueuedJobs) {
   svc::Service::Config config;
   config.workers = 1;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #ifdef _OPENMP
@@ -9,6 +10,7 @@
 #include "dp/table_compact.hpp"
 #include "dp/table_hash.hpp"
 #include "dp/table_naive.hpp"
+#include "dp/table_succinct.hpp"
 #include "util/mem_tracker.hpp"
 
 namespace fascia {
@@ -18,7 +20,8 @@ namespace {
 template <class T>
 class TableContract : public ::testing::Test {};
 
-using TableKinds = ::testing::Types<NaiveTable, CompactTable, HashTable>;
+using TableKinds =
+    ::testing::Types<NaiveTable, CompactTable, HashTable, SuccinctTable>;
 TYPED_TEST_SUITE(TableContract, TableKinds);
 
 TYPED_TEST(TableContract, FreshTableReadsZero) {
@@ -198,6 +201,154 @@ TEST(HashTable, OverwriteSameKey) {
   table.commit_row(1, std::vector<double>{7.0, 1.0});
   EXPECT_DOUBLE_EQ(table.get(1, 0), 7.0);
   EXPECT_DOUBLE_EQ(table.get(1, 1), 1.0);
+}
+
+// ---- succinct layout ----------------------------------------------------
+
+TEST(SuccinctTable, EmptyRowNotAllocated) {
+  SuccinctTable table(4, 3);
+  table.commit_row(1, std::vector<double>{0.0, 0.0, 0.0});
+  EXPECT_FALSE(table.has_vertex(1));
+  EXPECT_EQ(table.num_active_vertices(), 0);
+  table.commit_row(2, std::vector<double>{0.0, 1.0, 0.0});
+  EXPECT_EQ(table.num_active_vertices(), 1);
+}
+
+TEST(SuccinctTable, DensityPicksBitmapOrSortedSlots) {
+  // 256 colorsets: the bitmap header is 4 words + 2 rank words = 6
+  // words per row, a sorted-slot row is ~1.5 words per nonzero — so a
+  // dense row must choose the bitmap and a 1-nonzero row the slots.
+  constexpr std::uint32_t kWidth = 256;
+  SuccinctTable table(4, kWidth);
+  std::vector<double> dense(kWidth, 2.0);
+  table.commit_row(0, dense);
+  std::vector<double> sparse(kWidth, 0.0);
+  sparse[200] = 7.0;
+  table.commit_row(1, sparse);
+  EXPECT_EQ(table.num_bitmap_rows(), 1u);
+  EXPECT_EQ(table.num_sparse_rows(), 1u);
+  for (ColorsetIndex c = 0; c < kWidth; ++c) {
+    EXPECT_DOUBLE_EQ(table.get(0, c), 2.0);
+    EXPECT_DOUBLE_EQ(table.get(1, c), c == 200 ? 7.0 : 0.0);
+  }
+}
+
+TEST(SuccinctTable, DecodeRowRoundTripsBothModes) {
+  // Width > 64 exercises the multi-word bitmap paths, including the
+  // all-ones fast path for word 0 of the dense row.
+  constexpr std::uint32_t kWidth = 100;
+  SuccinctTable table(3, kWidth);
+  std::vector<double> dense(kWidth);
+  for (std::uint32_t c = 0; c < kWidth; ++c) {
+    dense[c] = c % 7 == 3 ? 0.0 : static_cast<double>(c + 1);
+  }
+  std::vector<double> mostly_full(kWidth, 1.0);
+  mostly_full[70] = 0.0;  // word 0 stays all-ones, word 1 does not
+  std::vector<double> sparse(kWidth, 0.0);
+  sparse[3] = 5.0;
+  sparse[64] = 6.0;
+  table.commit_row(0, dense);
+  table.commit_row(1, mostly_full);
+  table.commit_row(2, sparse);
+  std::vector<double> out(kWidth, -1.0);
+  for (VertexId v = 0; v < 3; ++v) {
+    const std::vector<double>& expect =
+        v == 0 ? dense : (v == 1 ? mostly_full : sparse);
+    table.decode_row(v, out.data());
+    EXPECT_EQ(out, expect) << "vertex " << v;
+  }
+}
+
+TEST(SuccinctTable, AddRowIntoAccumulates) {
+  constexpr std::uint32_t kWidth = 80;
+  SuccinctTable table(2, kWidth);
+  std::vector<double> a(kWidth, 1.0);  // word 0 all-ones fast path
+  std::vector<double> b(kWidth, 0.0);
+  b[10] = 3.0;
+  b[79] = 4.0;
+  table.commit_row(0, a);
+  table.commit_row(1, b);
+  std::vector<double> acc(kWidth, 1.0);
+  table.add_row_into(0, acc.data());
+  table.add_row_into(1, acc.data());
+  for (std::uint32_t c = 0; c < kWidth; ++c) {
+    double expect = 2.0;
+    if (c == 10) expect += 3.0;
+    if (c == 79) expect += 4.0;
+    EXPECT_DOUBLE_EQ(acc[c], expect) << "slot " << c;
+  }
+}
+
+TEST(SuccinctTable, ForEachNonzeroAscendingSlots) {
+  SuccinctTable table(1, 130);
+  std::vector<double> row(130, 0.0);
+  row[0] = 1.0;
+  row[63] = 2.0;
+  row[64] = 3.0;
+  row[129] = 4.0;
+  table.commit_row(0, row);
+  std::vector<std::pair<ColorsetIndex, double>> seen;
+  table.for_each_nonzero(0, [&](ColorsetIndex idx, double value) {
+    seen.emplace_back(idx, value);
+  });
+  const std::vector<std::pair<ColorsetIndex, double>> expect = {
+      {0, 1.0}, {63, 2.0}, {64, 3.0}, {129, 4.0}};
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(SuccinctTable, RecommitReplacesRow) {
+  // The restore path (checkpoint / spill page-in) re-commits rows;
+  // the old blob strands in its slab but readers must see only the
+  // new encoding, across a mode flip.
+  constexpr std::uint32_t kWidth = 256;
+  SuccinctTable table(2, kWidth);
+  table.commit_row(0, std::vector<double>(kWidth, 1.0));  // bitmap
+  EXPECT_EQ(table.num_bitmap_rows(), 1u);
+  std::vector<double> sparse(kWidth, 0.0);
+  sparse[17] = 9.0;
+  table.commit_row(0, sparse);  // flips to sorted slots
+  EXPECT_EQ(table.num_bitmap_rows(), 0u);
+  EXPECT_EQ(table.num_sparse_rows(), 1u);
+  for (ColorsetIndex c = 0; c < kWidth; ++c) {
+    EXPECT_DOUBLE_EQ(table.get(0, c), c == 17 ? 9.0 : 0.0);
+  }
+  EXPECT_DOUBLE_EQ(table.vertex_total(0), 9.0);
+}
+
+TEST(SuccinctTable, SparseFootprintBeatsCompact) {
+  // Fig. 7's regime: the whole point of the layout.  Compact pays the
+  // full row width per active vertex; succinct pays ~12 B per nonzero
+  // (plus slab slack bounded by one geometric growth step).
+  constexpr VertexId kN = 20000;
+  constexpr std::uint32_t kWidth = 924;  // C(12,6): the k = 12 midpoint
+  SuccinctTable succinct(kN, kWidth);
+  CompactTable compact(kN, kWidth);
+  std::vector<double> row(kWidth, 0.0);
+  for (std::uint32_t c = 0; c < kWidth; c += 16) row[c] = 1.0;
+  for (VertexId v = 0; v < kN; ++v) {
+    succinct.commit_row(v, row);
+    compact.commit_row(v, row);
+  }
+  EXPECT_LT(succinct.bytes(), compact.bytes() / 4);
+  EXPECT_DOUBLE_EQ(succinct.total(), compact.total());
+}
+
+TEST(SuccinctTable, BytesCoverSlabsAndMemTrackerBalances) {
+  MemTracker::reset_all();
+  const std::size_t before = MemTracker::current();
+  {
+    SuccinctTable table(1000, 64);
+    std::vector<double> row(64, 1.0);
+    for (VertexId v = 0; v < 1000; ++v) table.commit_row(v, row);
+    // bytes() reports slab *capacity* (the allocation), never less
+    // than the handed-out blobs: 1000 rows x (1 header + 1 bitmap +
+    // 1 rank + 64 values) words, plus the row-pointer array.
+    const std::size_t floor_bytes =
+        1000 * sizeof(std::uint64_t*) + 1000 * 67 * sizeof(std::uint64_t);
+    EXPECT_GE(table.bytes(), floor_bytes);
+    EXPECT_EQ(MemTracker::current() - before, table.bytes());
+  }
+  EXPECT_EQ(MemTracker::current(), before);
 }
 
 }  // namespace
