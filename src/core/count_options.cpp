@@ -20,6 +20,16 @@ const char* parallel_mode_name(ParallelMode mode) noexcept {
   return "?";
 }
 
+const char* kernel_family_name(KernelFamily family) noexcept {
+  switch (family) {
+    case KernelFamily::kFrontier:
+      return "frontier";
+    case KernelFamily::kSpmm:
+      return "spmm";
+  }
+  return "?";
+}
+
 void CountOptions::validate() const {
   if (execution.threads < 0) {
     throw usage_error("execution.threads must be >= 0 (0 = runtime default), got " +
@@ -41,6 +51,12 @@ void CountOptions::validate() const {
                       std::to_string(execution.outer_copies) +
                       ") exceeds execution.threads (" +
                       std::to_string(execution.threads) + ")");
+  }
+  if (execution.reference_kernels &&
+      execution.kernel_family == KernelFamily::kSpmm) {
+    throw usage_error(
+        "execution.reference_kernels and KernelFamily::kSpmm are mutually "
+        "exclusive (the reference path has no SpMM form; pick one)");
   }
   if (run.resume && run.checkpoint_path.empty()) {
     throw usage_error(

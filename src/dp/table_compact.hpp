@@ -5,6 +5,7 @@
 // vertices and neighbor reads (§III-C) — the source of FASCIA's
 // speedup on selective (labeled / sparse) instances.
 
+#include <cstring>
 #include <memory>
 #include <span>
 
@@ -23,6 +24,7 @@ class CompactTable {
   /// Rows are per-vertex contiguous arrays (absent until first nonzero
   /// commit), so the DP can borrow a raw row pointer per vertex.
   static constexpr bool kContiguousRows = true;
+  static constexpr bool kDenseRows = false;
   static constexpr const char* kName = "compact";
 
   [[nodiscard]] bool has_vertex(VertexId v) const noexcept {
@@ -49,6 +51,19 @@ class CompactTable {
   void prefetch_row(VertexId v) const noexcept {
     const double* row = rows_[static_cast<std::size_t>(v)];
     if (row != nullptr) FASCIA_PREFETCH(row);
+  }
+
+  /// Blocked row export for the SpMM multivector (core/
+  /// spmm_kernels.hpp): columns [begin, begin + count) of v's row into
+  /// out — one contiguous copy, exact zeros when the row is absent.
+  void export_row_block(VertexId v, ColorsetIndex begin, std::uint32_t count,
+                        double* out) const noexcept {
+    const double* row = rows_[static_cast<std::size_t>(v)];
+    if (row == nullptr) {
+      std::memset(out, 0, count * sizeof(double));
+    } else {
+      std::memcpy(out, row + begin, count * sizeof(double));
+    }
   }
 
   /// Allocates the vertex row iff `row` has a nonzero entry.  Safe to

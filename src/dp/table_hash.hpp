@@ -35,6 +35,7 @@ class HashTable {
   /// per-vertex storage exists to borrow.  row_ptr() always returns
   /// nullptr; kernels fall back to keyed get() reads.
   static constexpr bool kContiguousRows = false;
+  static constexpr bool kDenseRows = false;
   static constexpr const char* kName = "hash";
 
   [[nodiscard]] bool has_vertex(VertexId v) const noexcept {
@@ -59,6 +60,19 @@ class HashTable {
       if (found == key) return values_[slot];
       if (found == kEmpty) return 0.0;
       slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Blocked row export for the SpMM multivector (core/
+  /// spmm_kernels.hpp): columns [begin, begin + count) of v's row into
+  /// out.  One keyed probe per column — expensive per call, but the
+  /// export runs once per stage per frontier vertex where the gather
+  /// kernels probe once per *edge*; that amortization is the SpMM
+  /// family's whole win on this layout.
+  void export_row_block(VertexId v, ColorsetIndex begin, std::uint32_t count,
+                        double* out) const noexcept {
+    for (std::uint32_t c = 0; c < count; ++c) {
+      out[c] = get(v, begin + c);
     }
   }
 

@@ -40,6 +40,12 @@ TableKind table_from_name(const std::string& name) {
   bad_request("unknown table kind '" + name + "'");
 }
 
+KernelFamily kernel_family_from_name(const std::string& name) {
+  if (name == "frontier") return KernelFamily::kFrontier;
+  if (name == "spmm") return KernelFamily::kSpmm;
+  bad_request("unknown kernel family '" + name + "'");
+}
+
 ParallelMode mode_from_name(const std::string& name) {
   if (name == "serial") return ParallelMode::kSerial;
   if (name == "inner") return ParallelMode::kInnerLoop;
@@ -175,6 +181,7 @@ Json count_options_to_json(const CountOptions& options) {
   out["mode"] = mode_to_name(options.execution.mode);
   out["threads"] = options.execution.threads;
   out["reorder"] = reorder_mode_name(options.execution.reorder);
+  out["kernel_family"] = kernel_family_name(options.execution.kernel_family);
   if (options.run.deadline_seconds > 0) {
     out["deadline_seconds"] = options.run.deadline_seconds;
   }
@@ -202,9 +209,9 @@ CountOptions count_options_from_json(const Json& spec) {
   if (!spec.is_object()) bad_request("options must be an object");
   check_keys(spec,
              {"iterations", "colors", "seed", "table", "partition", "mode",
-              "threads", "reorder", "deadline_seconds", "memory_budget_bytes",
-              "spill_dir", "checkpoint_every", "root", "per_vertex",
-              "observability", "label"},
+              "threads", "reorder", "kernel_family", "deadline_seconds",
+              "memory_budget_bytes", "spill_dir", "checkpoint_every", "root",
+              "per_vertex", "observability", "label"},
              "options");
   options.sampling.iterations =
       static_cast<int>(spec.get_int("iterations", 1));
@@ -224,6 +231,10 @@ CountOptions count_options_from_json(const Json& spec) {
   options.execution.threads = static_cast<int>(spec.get_int("threads", 0));
   if (const Json* reorder = spec.find("reorder")) {
     options.execution.reorder = parse_reorder_mode(reorder->as_string());
+  }
+  if (const Json* family = spec.find("kernel_family")) {
+    options.execution.kernel_family =
+        kernel_family_from_name(family->as_string());
   }
   options.run.deadline_seconds = spec.get_double("deadline_seconds", 0.0);
   options.run.memory_budget_bytes =

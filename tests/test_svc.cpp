@@ -309,6 +309,38 @@ TEST(SvcService, AdmissionRequotesSuccinctInsteadOfRejecting) {
   EXPECT_EQ(got.estimate, expected.estimate);
 }
 
+TEST(SvcService, AdmissionQuotesSpmmWorkspaceOnTopOfTables) {
+  // The SpMM kernel family carries a dense multivector working set
+  // per engine copy on top of the table peak; admission must price it
+  // (otherwise a fleet of SpMM jobs admitted on table-only quotes
+  // blows the budget), and the job must still complete with numbers
+  // bit-identical to the frontier family.
+  const TreeTemplate tmpl = catalog_entry("U7-1").tree;
+
+  svc::Service service({});
+  service.registry().put("g", erdos_renyi_gnm(5000, 20000, 1));
+  svc::JobSpec frontier_spec = count_spec("g", tmpl, 2);
+  svc::JobSpec spmm_spec = count_spec("g", tmpl, 2);
+  spmm_spec.options.execution.kernel_family = KernelFamily::kSpmm;
+  const svc::JobId a = service.submit(std::move(frontier_spec));
+  const svc::JobId b = service.submit(std::move(spmm_spec));
+  const std::size_t frontier_quote = service.info(a).estimated_peak_bytes;
+  const std::size_t spmm_quote = service.info(b).estimated_peak_bytes;
+  EXPECT_GT(spmm_quote, frontier_quote);
+
+  EXPECT_EQ(service.wait(a).state, svc::JobState::kCompleted);
+  EXPECT_EQ(service.wait(b).state, svc::JobState::kCompleted);
+  const CountResult frontier_result = service.count_result(a);
+  const CountResult spmm_result = service.count_result(b);
+  ASSERT_EQ(spmm_result.per_iteration.size(),
+            frontier_result.per_iteration.size());
+  for (std::size_t i = 0; i < frontier_result.per_iteration.size(); ++i) {
+    EXPECT_EQ(spmm_result.per_iteration[i], frontier_result.per_iteration[i])
+        << i;
+  }
+  EXPECT_EQ(spmm_result.estimate, frontier_result.estimate);
+}
+
 TEST(SvcService, ShutdownCancelsQueuedJobs) {
   svc::Service::Config config;
   config.workers = 1;
