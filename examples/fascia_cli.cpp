@@ -5,14 +5,23 @@
 //       --iterations 100 --table compact --partition oaat --mode inner
 //   build/examples/fascia_cli --graph my.edges --template-file my_tree.txt
 //   build/examples/fascia_cli --dataset ecoli --template U5-2 --enumerate 5
+//   build/examples/fascia_cli --dataset ecoli --template U5-2
+//       --apply-delta edits.delta      # incremental recount after a delta
+//
+// A delta file holds one edit per line: "+ u v" inserts edge (u, v),
+// "- u v" removes it, '#' starts a comment.
 
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/counter.hpp"
 #include "core/extract.hpp"
+#include "graph/delta.hpp"
 #include "core/mixed_counter.hpp"
 #include "core/triangle.hpp"
 #include "obs/metrics.hpp"
@@ -28,6 +37,35 @@
 #include "util/table_printer.hpp"
 
 namespace {
+
+/// Reads a delta file: "+ u v" / "- u v" per line, '#' comments.
+fascia::GraphDelta read_delta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw fascia::bad_input("cannot open delta file: " + path);
+  fascia::GraphDelta delta;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    char sign = 0;
+    fascia::VertexId u = -1;
+    fascia::VertexId v = -1;
+    if (!(fields >> sign)) continue;  // blank / comment-only line
+    if ((sign != '+' && sign != '-') || !(fields >> u >> v)) {
+      throw fascia::bad_input(path + ":" + std::to_string(line_no) +
+                              ": expected '+ u v' or '- u v'");
+    }
+    if (sign == '+') {
+      delta.insert(u, v);
+    } else {
+      delta.remove(u, v);
+    }
+  }
+  return delta;
+}
 
 fascia::TableKind parse_table(const std::string& name) {
   if (name == "naive") return fascia::TableKind::kNaive;
@@ -150,6 +188,12 @@ int main(int argc, char** argv) {
                  "0");
   cli.add_flag("verbose", "print reorder and thread-layout diagnostics");
   cli.add_option("enumerate", "also sample this many embeddings", "0");
+  cli.add_option("apply-delta",
+                 "edit file ('+ u v' inserts, '- u v' removes, '#' "
+                 "comments): count incrementally, apply the delta through "
+                 "the versioned service API, and recount only the dirty "
+                 "region",
+                 "");
   cli.add_option("deadline", "soft wall-clock limit in seconds (0 = none)",
                  "0");
   cli.add_option("mem-budget-mb", "DP table memory budget in MiB (0 = none)",
@@ -190,8 +234,11 @@ int main(int argc, char** argv) {
     service_config.workers = 1;
     svc::Service service(service_config);
     svc::Session session(service);
-    const Graph& graph =
-        *service.registry().put("cli", std::move(loaded));
+    // Hold the shared handle: --apply-delta re-registers a mutated
+    // graph, and the registry's own reference to this one dies then.
+    const std::shared_ptr<const Graph> graph_handle =
+        service.registry().put("cli", std::move(loaded));
+    const Graph& graph = *graph_handle;
     std::printf("graph: n=%d m=%lld d_avg=%.1f d_max=%lld\n",
                 graph.num_vertices(),
                 static_cast<long long>(graph.num_edges()), graph.avg_degree(),
@@ -220,7 +267,15 @@ int main(int argc, char** argv) {
     // counts run as service jobs and rebind SIGINT to the job's own
     // source while they run.
     CancelSource direct_cancel;
-    options.run.cancel = &direct_cancel.flag();
+    const std::string delta_path = cli.str("apply-delta");
+    if (delta_path.empty()) {
+      options.run.cancel = &direct_cancel.flag();
+    } else {
+      // Incremental counts retain complete per-iteration DP state, so
+      // RunControls (including the implicit SIGINT cancel binding) are
+      // off; validate() rejects the combinations the flags can spell.
+      options.execution.incremental = true;
+    }
     g_active_cancel.store(&direct_cancel, std::memory_order_relaxed);
     const std::string report_path = cli.str("report");
     const std::string trace_path = cli.str("trace");
@@ -231,6 +286,7 @@ int main(int argc, char** argv) {
 
     // Tree counts go through the service session — the same code path
     // a socket client exercises, with per-job cancellation.
+    svc::JobId last_tree_job = 0;
     auto run_tree_count = [&](const TreeTemplate& t) {
       svc::JobSpec spec;
       spec.kind = svc::JobKind::kCount;
@@ -240,6 +296,7 @@ int main(int argc, char** argv) {
       spec.priority = svc::Priority::kInteractive;
       spec.preemptible = false;
       const svc::JobId id = session.submit(std::move(spec));
+      last_tree_job = id;
       g_active_cancel.store(&service.cancel_source(id),
                             std::memory_order_relaxed);
       const svc::JobInfo done = service.wait(id);
@@ -335,6 +392,65 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(obs::trace_recorded()),
                   obs::trace_dropped() > 0 ? ", ring wrapped" : "",
                   trace_path.c_str());
+    }
+
+    if (!delta_path.empty()) {
+      if (!is_tree) {
+        throw usage_error(
+            "--apply-delta requires a tree template (triangle and mixed "
+            "templates have no incremental path)");
+      }
+      const GraphDelta delta = read_delta_file(delta_path);
+      const svc::Service::Mutation mutation =
+          service.mutate_graph("cli", 0, delta);
+      std::printf("\ndelta %s: %lld edits -> graph version %llu\n",
+                  delta_path.c_str(),
+                  static_cast<long long>(mutation.applied_edges),
+                  static_cast<unsigned long long>(mutation.version));
+
+      svc::JobSpec spec;
+      spec.kind = svc::JobKind::kRecount;
+      spec.recount_of = last_tree_job;
+      spec.priority = svc::Priority::kInteractive;
+      spec.preemptible = false;
+      const svc::JobId id = session.submit(std::move(spec));
+      const svc::JobInfo done = service.wait(id);
+      if (done.state == svc::JobState::kFailed) {
+        throw std::runtime_error(done.error);
+      }
+      const CountResult recount = service.count_result(id);
+
+      TablePrinter delta_table({"recount metric", "value"});
+      delta_table.add_row(
+          {"estimate", TablePrinter::sci(recount.estimate, 6)});
+      delta_table.add_row(
+          {"dirty vertices",
+           TablePrinter::num(static_cast<long long>(
+               recount.delta.dirty_vertices)) +
+               " (" + TablePrinter::num(recount.delta.dirty_fraction * 100.0,
+                                        2) +
+               "% of n)"});
+      delta_table.add_row({"stages recomputed",
+                           TablePrinter::num(static_cast<long long>(
+                               recount.delta.stages_recomputed))});
+      delta_table.add_row(
+          {"rows recomputed / copied",
+           TablePrinter::num(static_cast<long long>(
+               recount.delta.rows_recomputed)) +
+               " / " +
+               TablePrinter::num(static_cast<long long>(
+                   recount.delta.rows_copied))});
+      delta_table.add_row(
+          {"recount time (s)", TablePrinter::num(recount.seconds_total, 3)});
+      delta_table.print();
+
+      // With --report, the file should describe the run the user ended
+      // on: overwrite the initial count's report with the recount's
+      // (kind "incremental_count", carrying the delta accounting).
+      if (!report_path.empty() && recount.report) {
+        recount.report->write(report_path);
+        std::printf("recount report: %s\n", report_path.c_str());
+      }
     }
 
     const auto how_many = static_cast<std::size_t>(cli.integer("enumerate"));

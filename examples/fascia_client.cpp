@@ -8,15 +8,71 @@
 //   fascia_client --port 7071 --op count --graph enron --template U5-1
 //                 --iterations 8 --stream   (one command line)
 //   fascia_client --port 7071 --op status
+//   fascia_client --port 7071 --op mutate_graph --graph enron
+//                 --delta edits.delta --expect-version 3
+//   fascia_client --port 7071 --op recount --job 12
 //   fascia_client --port 7071 --op shutdown
+//
+// Ops the server does not advertise (health reply "capabilities") are
+// refused client-side with a protocol-version message instead of being
+// sent and bounced — old servers never see ops they cannot parse.
 
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "svc/client.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+
+namespace {
+
+/// Parses a delta file into the wire format: one edit per line,
+/// "+ u v" inserts, "- u v" removes, '#' starts a comment.
+fascia::obs::Json delta_from_file(const std::string& path) {
+  using fascia::obs::Json;
+  std::ifstream in(path);
+  if (!in) throw fascia::bad_input("cannot open delta file: " + path);
+  Json insert = Json::array();
+  Json remove = Json::array();
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    char sign = 0;
+    long long u = -1;
+    long long v = -1;
+    if (!(fields >> sign)) continue;  // blank / comment-only line
+    if ((sign != '+' && sign != '-') || !(fields >> u >> v)) {
+      throw fascia::bad_input(path + ":" + std::to_string(line_no) +
+                              ": expected '+ u v' or '- u v'");
+    }
+    Json edge = Json::array();
+    edge.push_back(u);
+    edge.push_back(v);
+    (sign == '+' ? insert : remove).push_back(std::move(edge));
+  }
+  Json delta = Json::object();
+  if (insert.size() > 0) delta["insert"] = std::move(insert);
+  if (remove.size() > 0) delta["remove"] = std::move(remove);
+  return delta;
+}
+
+void print_hello(fascia::svc::Client& client) {
+  std::string caps;
+  for (const std::string& cap : client.capabilities()) {
+    caps += caps.empty() ? cap : " " + cap;
+  }
+  std::fprintf(stderr, "fascia_client: server protocol %d, capabilities: %s\n",
+               client.protocol_version(), caps.empty() ? "(none)" : caps.c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using fascia::Cli;
@@ -26,8 +82,8 @@ int main(int argc, char** argv) {
   cli.add_option("port", "server TCP port", "7071");
   cli.add_option("unix", "connect via Unix socket instead ('' = TCP)", "");
   cli.add_option("op",
-                 "load_graph | count | gdd | run_batch | status | health | "
-                 "drain | cancel | shutdown",
+                 "load_graph | count | gdd | run_batch | mutate_graph | "
+                 "recount | status | health | drain | cancel | shutdown",
                  "status");
   cli.add_option("graph", "graph name in the server registry", "");
   cli.add_option("dataset", "dataset to load (default: the graph name)", "");
@@ -40,7 +96,15 @@ int main(int argc, char** argv) {
   cli.add_option("threads", "OpenMP threads (0 = default)", "0");
   cli.add_option("orbit", "gdd orbit vertex", "0");
   cli.add_option("priority", "interactive | batch", "interactive");
-  cli.add_option("job", "job id for cancel", "0");
+  cli.add_option("job", "job id for cancel / recount", "0");
+  cli.add_option("delta",
+                 "edit file for mutate_graph: '+ u v' inserts, '- u v' "
+                 "removes, '#' comments",
+                 "");
+  cli.add_option("expect-version",
+                 "mutate_graph version token (0 = accept any)", "0");
+  cli.add_flag("incremental",
+               "count only: retain DP state server-side for later recounts");
   cli.add_flag("stream", "stream progress events while the job runs");
   cli.add_flag("report", "include the full RunReport in the response");
   cli.add_option("request-id",
@@ -99,6 +163,18 @@ int main(int argc, char** argv) {
       options["iterations"] = cli.integer("iterations");
       options["seed"] = cli.integer("seed");
       options["threads"] = cli.integer("threads");
+      if (cli.flag("incremental")) {
+        if (op != "count") {
+          throw fascia::usage_error("--incremental only applies to count");
+        }
+        if (!client.has_capability("mutate_graph")) {
+          print_hello(client);
+          throw fascia::usage_error(
+              "server does not support incremental counts (no mutate_graph "
+              "capability)");
+        }
+        options["incremental"] = true;
+      }
       if (op == "run_batch") {
         Json job = Json::object();
         job["template"] = std::move(tmpl_spec);
@@ -115,12 +191,38 @@ int main(int argc, char** argv) {
         if (op == "gdd") request["orbit"] = cli.integer("orbit");
         request["options"] = std::move(options);
       }
+    } else if (op == "mutate_graph") {
+      // Client-side capability gate: mutate_graph() refuses with a
+      // protocol-version message when the server predates v2.
+      print_hello(client);
+      const Json delta = cli.str("delta").empty()
+                             ? Json::object()
+                             : delta_from_file(cli.str("delta"));
+      const Json response = client.mutate_graph(
+          cli.str("graph"), delta,
+          static_cast<std::uint64_t>(cli.integer("expect-version")));
+      std::printf("%s\n", response.dump().c_str());
+      return response.get_bool("ok", false) ? 0 : 1;
+    } else if (op == "recount") {
+      if (!client.has_capability("mutate_graph")) {
+        print_hello(client);
+        throw fascia::usage_error(
+            "server does not support recount (no mutate_graph capability)");
+      }
+      request["recount_of"] = cli.integer("job");
+      request["stream"] = cli.flag("stream");
+      request["report"] = cli.flag("report");
+      request["priority"] = cli.str("priority");
+      if (!cli.str("request-id").empty()) {
+        request["request_id"] = cli.str("request-id");
+      }
     } else if (op == "cancel") {
       request["job"] = cli.integer("job");
     }
     // status / shutdown need no more fields.
 
     const Json response = client.request(request);
+    if (op == "status" || op == "health") print_hello(client);
     std::printf("%s\n", response.dump().c_str());
     return response.get_bool("ok", false) ? 0 : 1;
   } catch (const std::exception& e) {

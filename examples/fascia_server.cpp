@@ -61,6 +61,10 @@ int main(int argc, char** argv) {
                  "0");
   cli.add_option("retry-after",
                  "Retry-After hint (seconds) on shed/draining replies", "2.0");
+  cli.add_option("max-retained-runs",
+                 "incremental-count handles kept for recount ops", "4");
+  cli.add_option("delta-log-limit",
+                 "mutations logged per graph for recount catch-up", "32");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -83,6 +87,10 @@ int main(int argc, char** argv) {
     config.service.queued_bytes_budget =
         static_cast<std::size_t>(cli.integer("queued-budget-mb")) << 20;
     config.service.retry_after_seconds = cli.real("retry-after");
+    config.service.max_retained_runs =
+        static_cast<int>(cli.integer("max-retained-runs"));
+    config.service.delta_log_limit =
+        static_cast<std::size_t>(cli.integer("delta-log-limit"));
     config.max_connections =
         static_cast<std::size_t>(cli.integer("max-connections"));
     config.idle_timeout_seconds = cli.real("idle-timeout");

@@ -58,6 +58,33 @@ void CountOptions::validate() const {
         "execution.reference_kernels and KernelFamily::kSpmm are mutually "
         "exclusive (the reference path has no SpMM form; pick one)");
   }
+  if (execution.incremental) {
+    if (execution.reference_kernels) {
+      throw usage_error(
+          "execution.incremental requires the frontier/SpMM kernels; "
+          "reference_kernels retain no frontiers to recount from");
+    }
+    if (execution.mode == ParallelMode::kOuterLoop ||
+        execution.mode == ParallelMode::kHybrid) {
+      throw usage_error(
+          std::string("execution.incremental supports serial/inner "
+                      "parallelism only; mode is ") +
+          parallel_mode_name(execution.mode));
+    }
+    if (execution.reorder != ReorderMode::kNone) {
+      throw usage_error(
+          "execution.incremental and execution.reorder are mutually "
+          "exclusive (retained tables are keyed on original vertex ids)");
+    }
+    if (run.deadline_seconds > 0.0 || run.memory_budget_bytes != 0 ||
+        run.cancel != nullptr || !run.checkpoint_path.empty() ||
+        !run.spill_dir.empty() || run.resume) {
+      throw usage_error(
+          "execution.incremental cannot combine with RunControls "
+          "(deadline, memory budget, cancel, checkpoint/resume, spill): "
+          "retained state must come from complete uninterrupted passes");
+    }
+  }
   if (run.resume && run.checkpoint_path.empty()) {
     throw usage_error(
         "run.resume requires run.checkpoint_path (use "

@@ -147,6 +147,16 @@ struct ExecutionOptions {
   /// validate() rejects combining kSpmm with reference_kernels (the
   /// reference path predates frontiers and has no SpMM form).
   KernelFamily kernel_family = KernelFamily::kFrontier;
+
+  /// Retain per-iteration DP state for incremental recounting after
+  /// graph deltas (core/incremental.hpp: begin_incremental /
+  /// RunHandle::recount).  Memory grows to iterations x the non-leaf
+  /// table set, so it is opt-in.  validate() rejects it combined with
+  /// reference_kernels, kOuterLoop/kHybrid modes, a reorder pass, or
+  /// any armed RunControls — the retained state must be a plain
+  /// inner-parallel pass keyed on original vertex ids.
+  /// count_template refuses the flag (use begin_incremental).
+  bool incremental = false;
 };
 
 /// What the run records about itself (DESIGN.md §10).  Metrics and
@@ -251,6 +261,10 @@ class CountOptions::Builder {
   }
   Builder& kernel_family(KernelFamily family) {
     opts_.execution.kernel_family = family;
+    return *this;
+  }
+  Builder& incremental(bool on) {
+    opts_.execution.incremental = on;
     return *this;
   }
   Builder& root(int vertex) {
@@ -358,6 +372,18 @@ struct CountResult : RunOutcome {
   double reorder_gap_before = 0.0;
   double reorder_gap_after = 0.0;
   double reorder_seconds = 0.0;
+
+  /// Incremental-recount accounting (all zero outside the delta path —
+  /// core/incremental.hpp fills it on every RunHandle::recount).
+  struct DeltaStats {
+    std::uint64_t applied_edges = 0;    ///< insertions + deletions
+    std::uint64_t dirty_vertices = 0;   ///< outermost-ball size
+    double dirty_fraction = 0.0;        ///< dirty_vertices / n
+    std::uint64_t stages_recomputed = 0;  ///< non-leaf passes, all iters
+    std::uint64_t rows_recomputed = 0;
+    std::uint64_t rows_copied = 0;      ///< clean rows spliced verbatim
+  };
+  DeltaStats delta;
 
   /// Estimate after the first i+1 iterations (prefix means) — the
   /// error-vs-iterations curves of Figs. 10-11 read these.

@@ -831,6 +831,11 @@ int effective_colors(const TreeTemplate& tmpl, const CountOptions& options) {
 
 CountResult count_template(const Graph& graph, const TreeTemplate& tmpl,
                            const CountOptions& options) {
+  if (options.execution.incremental) {
+    throw usage_error(
+        "count_template does not retain DP state; use begin_incremental "
+        "(core/incremental.hpp) for incremental recounting");
+  }
   if (options.observability.enabled) obs::set_enabled(true);
   if (options.execution.reorder == ReorderMode::kNone) {
     return dispatch_count(graph, tmpl, options, nullptr);

@@ -91,6 +91,67 @@ struct LabelFrontiers {
   }
 };
 
+/// Dirty-vertex balls for the incremental delta path: BFS distance
+/// from the endpoints of every changed edge, measured on the POST-delta
+/// graph, capped at `radius` (= template size - 1).  A DP row for a
+/// subtemplate of size s at vertex v can change only if
+/// dist(v, seeds) <= s - 1: a gained embedding reaches an inserted
+/// edge within s-1 new-graph hops, and a lost embedding's tree path
+/// from v to its first deleted-edge use survives (undeleted) in the
+/// new graph.  Leaf tables depend only on colorings, so nothing is
+/// recomputed at radius < 1.
+struct DirtyBalls {
+  int radius = 0;
+  /// BFS distance per vertex; -1 = farther than radius (clean at every
+  /// stage).
+  std::vector<int> distance;
+  /// ball[r] = sorted {v : distance[v] <= r}, r in [0, radius].
+  std::vector<std::vector<VertexId>> ball;
+
+  [[nodiscard]] bool dirty(VertexId v, int r) const noexcept {
+    const int d = distance[static_cast<std::size_t>(v)];
+    return d >= 0 && d <= r;
+  }
+
+  /// Vertices within `r` hops of any seed (r clamped to the built
+  /// radius — larger stages reuse the outermost ball).
+  [[nodiscard]] const std::vector<VertexId>& at(int r) const noexcept {
+    return ball[static_cast<std::size_t>(std::clamp(r, 0, radius))];
+  }
+
+  static DirtyBalls build(const Graph& graph,
+                          const std::vector<VertexId>& seeds, int radius) {
+    DirtyBalls out;
+    out.radius = std::max(0, radius);
+    out.distance.assign(static_cast<std::size_t>(graph.num_vertices()), -1);
+    out.ball.resize(static_cast<std::size_t>(out.radius) + 1);
+    std::vector<VertexId> level = seeds;  // sorted unique by contract
+    for (const VertexId v : level) {
+      out.distance[static_cast<std::size_t>(v)] = 0;
+    }
+    out.ball[0] = level;
+    for (int r = 1; r <= out.radius; ++r) {
+      std::vector<VertexId> next;
+      for (const VertexId v : level) {
+        for (const VertexId u : graph.neighbors(v)) {
+          if (out.distance[static_cast<std::size_t>(u)] >= 0) continue;
+          out.distance[static_cast<std::size_t>(u)] = r;
+          next.push_back(u);
+        }
+      }
+      std::sort(next.begin(), next.end());
+      out.ball[static_cast<std::size_t>(r)].resize(
+          out.ball[static_cast<std::size_t>(r) - 1].size() + next.size());
+      std::merge(out.ball[static_cast<std::size_t>(r) - 1].begin(),
+                 out.ball[static_cast<std::size_t>(r) - 1].end(),
+                 next.begin(), next.end(),
+                 out.ball[static_cast<std::size_t>(r)].begin());
+      level = std::move(next);
+    }
+    return out;
+  }
+};
+
 /// Engine tuning knobs (all default to the production fast path).
 struct DpEngineOptions {
   /// Run the pre-frontier scalar kernels instead of the vectorized
@@ -490,6 +551,219 @@ class DpEngine {
   [[nodiscard]] const std::vector<VertexId>& frontier(int node)
       const noexcept {
     return frontiers_[static_cast<std::size_t>(node)];
+  }
+
+  /// Retained DP state of one coloring's pass: every non-leaf table
+  /// plus its frontier, as left behind by run(..., keep_tables = true)
+  /// or run_delta().  Moved out per iteration by the incremental
+  /// counter (core/incremental.hpp) and re-adopted before the next
+  /// recount of the same iteration.
+  struct Retained {
+    std::vector<std::unique_ptr<Table>> tables;
+    std::vector<std::vector<VertexId>> frontiers;
+  };
+
+  /// Per-pass work accounting for the delta path (aggregated across
+  /// iterations into CountResult::delta).
+  struct DeltaPassStats {
+    std::uint64_t rows_recomputed = 0;
+    std::uint64_t rows_copied = 0;
+    int stages_recomputed = 0;
+  };
+
+  /// Moves the current tables/frontiers out (leaving empty slots);
+  /// valid after run(..., keep_tables = true) or run_delta().
+  [[nodiscard]] Retained take_retained() {
+    Retained out;
+    out.tables = std::move(tables_);
+    out.frontiers = std::move(frontiers_);
+    tables_.clear();
+    tables_.resize(static_cast<std::size_t>(partition_.num_nodes()));
+    frontiers_.assign(static_cast<std::size_t>(partition_.num_nodes()),
+                      std::vector<VertexId>());
+    return out;
+  }
+
+  /// Installs previously taken retained state.  The state must come
+  /// from an engine over the same partition and table layout.
+  void adopt_retained(Retained&& retained) {
+    release_all_tables();
+    tables_ = std::move(retained.tables);
+    frontiers_ = std::move(retained.frontiers);
+    tables_.resize(static_cast<std::size_t>(partition_.num_nodes()));
+    frontiers_.resize(static_cast<std::size_t>(partition_.num_nodes()));
+  }
+
+  /// Incremental recount after a graph delta — the engine half of the
+  /// delta path.  Preconditions: spill disabled, reference_kernels
+  /// off, graph_ is the POST-delta graph, and tables_/frontiers_ hold
+  /// the retained state of this configuration's previous pass over the
+  /// PRE-delta graph under the SAME coloring (adopt_retained).
+  ///
+  /// Each non-leaf stage of size h is recomputed restricted to the
+  /// dirty ball of radius h-1 (leaf tables depend only on colors and
+  /// are never materialized).  Rows outside the ball are preserved by
+  /// one of two routes: patchable layouts (CompactTable) keep the
+  /// RETAINED table and overwrite only the ball rows in place, so the
+  /// pass never touches the O(n) clean region; the other layouts copy
+  /// every clean row verbatim into the fresh table (run/spill.hpp's
+  /// decode -> commit_row round trip, proven bit-exact).  The
+  /// resulting tables, frontiers, and return value are bit-identical
+  /// to a full run(colors, ..., keep_tables = true) on the new graph
+  /// either way.
+  double run_delta(const ColorArray& colors, bool parallel_inner,
+                   const DirtyBalls& dirty,
+                   DeltaPassStats* delta_stats = nullptr,
+                   std::vector<double>* per_vertex = nullptr) {
+    const int num_nodes = partition_.num_nodes();
+    std::vector<std::unique_ptr<Table>> old_tables = std::move(tables_);
+    std::vector<std::vector<VertexId>> old_frontiers = std::move(frontiers_);
+    old_tables.resize(static_cast<std::size_t>(num_nodes));
+    old_frontiers.resize(static_cast<std::size_t>(num_nodes));
+    tables_.clear();
+    tables_.resize(static_cast<std::size_t>(num_nodes));
+    frontiers_.assign(static_cast<std::size_t>(num_nodes),
+                      std::vector<VertexId>());
+
+    std::vector<VertexId> restricted;  // ball ∩ new active frontier (S/G)
+    std::vector<VertexId> clean;       // retained rows kept verbatim
+    std::vector<double> rowbuf;
+    for (int i = 0; i < num_nodes; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const Subtemplate& node = partition_.node(i);
+      if (node.is_leaf()) continue;
+      const int h = node.size();
+      const std::vector<VertexId>& ball = dirty.at(h - 1);
+      if (ball.empty() && old_tables[idx] != nullptr) {
+        // Empty delta: nothing inside any ball, the retained stage is
+        // the new stage.
+        tables_[idx] = std::move(old_tables[idx]);
+        frontiers_[idx] = std::move(old_frontiers[idx]);
+        continue;
+      }
+      // Pair / single-active stages draw candidates from a leaf
+      // frontier (or all vertices): the ball stands in directly, with
+      // the leaf label filter re-applied per vertex.  Single-passive /
+      // general stages draw from the active child's (already rebuilt)
+      // frontier: restrict to the intersection so the survivor set
+      // matches a full pass exactly — dense tables would otherwise
+      // commit spurious zero rows for ball vertices off the frontier.
+      const int a = partition_.node(node.active).size();
+      if (h == 2 || a == 1) {
+        delta_restrict_ = &ball;
+      } else {
+        const std::vector<VertexId>& af =
+            frontiers_[static_cast<std::size_t>(node.active)];
+        restricted.clear();
+        for (const VertexId v : ball) {
+          if (std::binary_search(af.begin(), af.end(), v)) {
+            restricted.push_back(v);
+          }
+        }
+        delta_restrict_ = &restricted;
+      }
+      compute_node(i, colors, parallel_inner);
+      delta_restrict_ = nullptr;
+
+      std::vector<VertexId>& fresh_frontier = frontiers_[idx];
+      if (delta_stats != nullptr) {
+        ++delta_stats->stages_recomputed;
+        delta_stats->rows_recomputed += fresh_frontier.size();
+      }
+      // Preserve the clean rows: every retained-frontier vertex
+      // outside the ball kept its row (the dirty-ball bound).  The
+      // retained frontier entries are kept even when rowless (zero-row
+      // carry-overs, see kernel_single_passive) — a full pass keeps
+      // them too.
+      Table* old = old_tables[idx].get();
+      const std::vector<VertexId>& old_frontier = old_frontiers[idx];
+      clean.clear();
+      if constexpr (Table::kPatchableRows) {
+        if (old != nullptr) {
+          // Patch route: the RETAINED table stays; only ball rows are
+          // rewritten from the freshly computed dirty stage (or
+          // cleared, for ball vertices a full pass would not commit —
+          // off the new frontier or recomputed to all-zero).  Clean
+          // rows are physically untouched, so the pass costs O(ball),
+          // not O(n).
+          const Table& fresh = *tables_[idx];
+          const std::uint32_t width = fresh.num_colorsets();
+          for (const VertexId v : ball) {
+            const double* prow = fresh.row_ptr(v);
+            if (prow != nullptr) {
+              old->patch_row(v, std::span<const double>(prow, width));
+            } else {
+              old->clear_row(v);
+            }
+          }
+          for (const VertexId v : old_frontier) {
+            if (!dirty.dirty(v, h - 1)) clean.push_back(v);
+          }
+          if (delta_stats != nullptr) {
+            delta_stats->rows_copied += clean.size();
+          }
+          tables_[idx] = std::move(old_tables[idx]);
+        }
+      } else if (old != nullptr) {
+        // Copy route: splice every clean row verbatim into the fresh
+        // table.
+        Table& fresh = *tables_[idx];
+        const std::uint32_t width = fresh.num_colorsets();
+        rowbuf.resize(width);
+        for (const VertexId v : old_frontier) {
+          if (dirty.dirty(v, h - 1)) continue;
+          clean.push_back(v);
+          if constexpr (Table::kContiguousRows) {
+            const double* prow = old->row_ptr(v);
+            if (prow == nullptr) continue;
+            std::copy(prow, prow + width, rowbuf.begin());
+          } else if constexpr (DecodableRowTable<Table>) {
+            if (!old->has_vertex(v)) continue;
+            old->decode_row(v, rowbuf.data());
+          } else {
+            if (!old->has_vertex(v)) continue;
+            for (std::uint32_t c = 0; c < width; ++c) {
+              rowbuf[static_cast<std::size_t>(c)] = old->get(v, c);
+            }
+          }
+          fresh.commit_row(v, rowbuf);
+          if (delta_stats != nullptr) ++delta_stats->rows_copied;
+        }
+      }
+      if (!clean.empty()) {
+        std::vector<VertexId> merged(clean.size() + fresh_frontier.size());
+        std::merge(clean.begin(), clean.end(), fresh_frontier.begin(),
+                   fresh_frontier.end(), merged.begin());
+        fresh_frontier = std::move(merged);
+      }
+      // The retained stage is fully absorbed (or adopted): drop any
+      // leftover now to bound the transient peak at one duplicated
+      // stage.
+      old_tables[idx].reset();
+      std::vector<VertexId>().swap(old_frontiers[idx]);
+    }
+
+    const int root = partition_.root_node();
+    const Subtemplate& root_node = partition_.node(root);
+    if (root_node.is_leaf()) {
+      double count = 0.0;
+      for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+        if (leaf_matches(root_node, v)) {
+          count += 1.0;
+          if (per_vertex != nullptr) {
+            (*per_vertex)[static_cast<std::size_t>(v)] += 1.0;
+          }
+        }
+      }
+      return count;
+    }
+    const Table& table = *tables_[static_cast<std::size_t>(root)];
+    if (per_vertex != nullptr) {
+      for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+        (*per_vertex)[static_cast<std::size_t>(v)] += table.vertex_total(v);
+      }
+    }
+    return table.total();
   }
 
   [[nodiscard]] const PartitionTree& partition() const noexcept {
@@ -935,8 +1209,10 @@ class DpEngine {
                    std::vector<VertexId>* frontier_out, DpStageStats& stat) {
     const Subtemplate& active = partition_.node(node.active);
     const Subtemplate& passive = partition_.node(node.passive);
-    const std::vector<VertexId>* candidates = leaf_frontier(active);
-    const bool check_active = candidates == nullptr;
+    const std::vector<VertexId>* candidates =
+        delta_restrict_ != nullptr ? delta_restrict_ : leaf_frontier(active);
+    const bool check_active =
+        delta_restrict_ != nullptr || candidates == nullptr;
     for_frontier(
         parallel, {candidates, graph_.num_vertices()}, out.num_colorsets(),
         static_cast<std::uint32_t>(k_), 0, frontier_out, stat,
@@ -975,8 +1251,10 @@ class DpEngine {
     const Table& tp = *tables_[static_cast<std::size_t>(node.passive)];
     const SingleActiveSplit& split =
         *node_single_[static_cast<std::size_t>(index)];
-    const std::vector<VertexId>* candidates = leaf_frontier(active);
-    const bool check_active = candidates == nullptr;
+    const std::vector<VertexId>* candidates =
+        delta_restrict_ != nullptr ? delta_restrict_ : leaf_frontier(active);
+    const bool check_active =
+        delta_restrict_ != nullptr || candidates == nullptr;
     for_frontier(
         parallel, {candidates, graph_.num_vertices()}, out.num_colorsets(),
         0, 0, frontier_out, stat, [&](VertexId v, Workspace& ws) {
@@ -1063,7 +1341,9 @@ class DpEngine {
     const SingleActiveSplit& split =
         *node_single_[static_cast<std::size_t>(index)];
     const std::vector<VertexId>& active_frontier =
-        frontiers_[static_cast<std::size_t>(node.active)];
+        delta_restrict_ != nullptr
+            ? *delta_restrict_
+            : frontiers_[static_cast<std::size_t>(node.active)];
     for_frontier(
         parallel, {&active_frontier, graph_.num_vertices()},
         out.num_colorsets(), static_cast<std::uint32_t>(k_), 0, frontier_out,
@@ -1144,7 +1424,9 @@ class DpEngine {
     const SplitTable& split =
         *node_general_[static_cast<std::size_t>(index)];
     const std::vector<VertexId>& active_frontier =
-        frontiers_[static_cast<std::size_t>(node.active)];
+        delta_restrict_ != nullptr
+            ? *delta_restrict_
+            : frontiers_[static_cast<std::size_t>(node.active)];
     const std::uint32_t num_actives = split.num_actives();
     const std::uint32_t per_active = split.per_active();
     const std::uint32_t passive_width = tp.num_colorsets();
@@ -1377,8 +1659,12 @@ class DpEngine {
         frontiers_[static_cast<std::size_t>(node.passive)];
     const std::size_t fp = passive_frontier.size();
     if (fp == 0) return false;
-    const std::size_t deg_sum =
-        frontier_degree_sum(leaf_frontier(partition_.node(node.active)));
+    // Delta passes sweep only the dirty candidates: price the export
+    // against that restricted edge work, not the full frontier's.
+    const std::size_t deg_sum = frontier_degree_sum(
+        delta_restrict_ != nullptr
+            ? delta_restrict_
+            : leaf_frontier(partition_.node(node.active)));
     if constexpr (Table::kDenseRows) {
       return deg_sum >= 2 * fp;  // naive
     } else if constexpr (Table::kContiguousRows ||
@@ -1399,7 +1685,9 @@ class DpEngine {
     const auto& passive_frontier =
         frontiers_[static_cast<std::size_t>(node.passive)];
     const auto& active_frontier =
-        frontiers_[static_cast<std::size_t>(node.active)];
+        delta_restrict_ != nullptr
+            ? *delta_restrict_
+            : frontiers_[static_cast<std::size_t>(node.active)];
     const std::size_t fp = passive_frontier.size();
     if (fp == 0 || active_frontier.empty()) return false;
     const std::size_t deg_sum = frontier_degree_sum(&active_frontier);
@@ -1424,8 +1712,10 @@ class DpEngine {
     const Table& tp = *tables_[static_cast<std::size_t>(node.passive)];
     const SingleActiveSplit& split =
         *node_single_[static_cast<std::size_t>(index)];
-    const std::vector<VertexId>* candidates = leaf_frontier(active);
-    const bool check_active = candidates == nullptr;
+    const std::vector<VertexId>* candidates =
+        delta_restrict_ != nullptr ? delta_restrict_ : leaf_frontier(active);
+    const bool check_active =
+        delta_restrict_ != nullptr || candidates == nullptr;
     spmm_.build(tp, frontiers_[static_cast<std::size_t>(node.passive)],
                 graph_.num_vertices(), parallel, effective_inner_threads());
     spmm_peak_bytes_ = std::max(spmm_peak_bytes_, spmm_.bytes());
@@ -1472,7 +1762,9 @@ class DpEngine {
     const SplitTable& split =
         *node_general_[static_cast<std::size_t>(index)];
     const std::vector<VertexId>& active_frontier =
-        frontiers_[static_cast<std::size_t>(node.active)];
+        delta_restrict_ != nullptr
+            ? *delta_restrict_
+            : frontiers_[static_cast<std::size_t>(node.active)];
     const std::uint32_t num_actives = split.num_actives();
     const std::uint32_t passive_width = tp.num_colorsets();
     const std::uint32_t num_parents = out.num_colorsets();
@@ -1703,6 +1995,12 @@ class DpEngine {
   int k_;
   DpEngineOptions opts_;
   const RunGuard* guard_ = nullptr;
+  /// Candidate override for run_delta(): when set, every kernel sweeps
+  /// this sorted list instead of its usual candidate source (with the
+  /// leaf label filter re-applied per vertex where one exists), and
+  /// the SpMM gates price their export against it.  Null outside
+  /// delta passes.
+  const std::vector<VertexId>* delta_restrict_ = nullptr;
   std::vector<std::unique_ptr<Table>> tables_;
   std::vector<std::vector<VertexId>> frontiers_;
   std::vector<std::optional<SingleActiveSplit>> single_splits_;

@@ -48,6 +48,22 @@
 // contiguous storage (the hash table) sets the flag false and returns
 // nullptr unconditionally — callers must fall back to get().
 //
+// In-place patch contract (the incremental delta path's fast path):
+//
+//   static constexpr bool kPatchableRows;
+//   void patch_row(VertexId v, std::span<const double> row);
+//   void clear_row(VertexId v);
+//
+// When kPatchableRows is true, a finished table can be mutated row-
+// wise after the fact: patch_row replaces (or creates) v's row with
+// the given nonzero row, clear_row removes it so has_vertex(v) turns
+// false again.  DpEngine::run_delta then rewrites only the dirty-ball
+// rows of a retained table instead of copying every clean row into a
+// fresh one — the difference between O(ball) and O(n) recounts.  Only
+// the compact layout supports this (its rows are independent per-
+// vertex allocations); dense, probe-table, and bit-packed layouts set
+// the flag false and keep the copy-splice path.
+//
 // Prefetch hints (best-effort, may be no-ops):
 //
 //   void prefetch_slot(VertexId v) const;  // per-vertex indirection cell

@@ -57,6 +57,23 @@ void CompactTable::commit_row(VertexId v, std::span<const double> row) {
   slot = copy;
 }
 
+void CompactTable::patch_row(VertexId v, std::span<const double> row) {
+  double*& slot = rows_[static_cast<std::size_t>(v)];
+  if (slot == nullptr) {
+    slot = new double[num_colorsets_];
+    MemTracker::add(row_bytes(num_colorsets_));
+  }
+  std::memcpy(slot, row.data(), row_bytes(num_colorsets_));
+}
+
+void CompactTable::clear_row(VertexId v) noexcept {
+  double*& slot = rows_[static_cast<std::size_t>(v)];
+  if (slot == nullptr) return;
+  delete[] slot;
+  slot = nullptr;
+  MemTracker::sub(row_bytes(num_colorsets_));
+}
+
 double CompactTable::total() const noexcept {
   double sum = 0.0;
   for (VertexId v = 0; v < n_; ++v) {

@@ -25,6 +25,9 @@ class CompactTable {
   /// commit), so the DP can borrow a raw row pointer per vertex.
   static constexpr bool kContiguousRows = true;
   static constexpr bool kDenseRows = false;
+  /// Rows are independent heap allocations behind a pointer array, so
+  /// a finished table can be patched row-wise (count_table.hpp).
+  static constexpr bool kPatchableRows = true;
   static constexpr const char* kName = "compact";
 
   [[nodiscard]] bool has_vertex(VertexId v) const noexcept {
@@ -70,6 +73,14 @@ class CompactTable {
   /// call concurrently for distinct vertices: each writes its own slot
   /// and operator new is thread-safe.
   void commit_row(VertexId v, std::span<const double> row);
+
+  /// Replaces (or creates) v's row with `row`, which the caller
+  /// guarantees has a nonzero entry — the delta path's in-place patch
+  /// (count_table.hpp).  Not safe concurrently with reads.
+  void patch_row(VertexId v, std::span<const double> row);
+
+  /// Drops v's row; has_vertex(v) turns false.  No-op when absent.
+  void clear_row(VertexId v) noexcept;
 
   [[nodiscard]] double total() const noexcept;
   [[nodiscard]] double vertex_total(VertexId v) const noexcept;

@@ -36,6 +36,9 @@ class HashTable {
   /// nullptr; kernels fall back to keyed get() reads.
   static constexpr bool kContiguousRows = false;
   static constexpr bool kDenseRows = false;
+  /// Open addressing has no O(1) row erase (tombstones would bleed
+  /// into probe chains) — the delta path keeps the copy-splice here.
+  static constexpr bool kPatchableRows = false;
   static constexpr const char* kName = "hash";
 
   [[nodiscard]] bool has_vertex(VertexId v) const noexcept {

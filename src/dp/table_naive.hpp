@@ -25,6 +25,9 @@ class NaiveTable {
   /// Every vertex owns a stored (possibly all-zero) row — kernels that
   /// count "neighbors with rows" must count every neighbor.
   static constexpr bool kDenseRows = true;
+  /// Patching a dense table would not beat re-copying it — the delta
+  /// path keeps the copy-splice for this layout (count_table.hpp).
+  static constexpr bool kPatchableRows = false;
   static constexpr const char* kName = "naive";
 
   [[nodiscard]] bool has_vertex(VertexId) const noexcept { return true; }

@@ -62,6 +62,9 @@ class SuccinctTable {
   /// contiguous row to borrow.  Kernels fall back to get().
   static constexpr bool kContiguousRows = false;
   static constexpr bool kDenseRows = false;
+  /// Rows are bit-packed into one stream — no in-place rewrites; the
+  /// delta path keeps the decode -> commit copy-splice here.
+  static constexpr bool kPatchableRows = false;
   static constexpr const char* kName = "succinct";
 
   [[nodiscard]] bool has_vertex(VertexId v) const noexcept {

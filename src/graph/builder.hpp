@@ -4,6 +4,10 @@
 // Accepts arbitrary (possibly duplicated, self-looped, unordered) edge
 // lists and produces a clean symmetric CSR Graph.  Used by the I/O
 // layer, every generator, and tests that build graphs by hand.
+//
+// MIGRATION (docs/API.md): GraphSource (graph/source.hpp) is the
+// canonical construction entry point; build_graph stays one release as
+// a thin wrapper over GraphSource::from_edges(...).build().
 
 #include <utility>
 #include <vector>

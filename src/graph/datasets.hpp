@@ -11,6 +11,11 @@
 //
 // When a real edge-list file is available, `load_or_make` reads it
 // instead, restoring the paper's exact inputs.
+//
+// MIGRATION (docs/API.md): GraphSource (graph/source.hpp) is the
+// canonical construction entry point; make_dataset / load_or_make stay
+// one release as thin wrappers over
+// GraphSource::from_dataset(name).scale(s).seed(x).build().
 
 #include <cstdint>
 #include <string>

@@ -1,0 +1,140 @@
+#include "graph/delta.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fascia {
+
+namespace {
+
+std::string edge_str(VertexId u, VertexId v) {
+  return "(" + std::to_string(u) + ", " + std::to_string(v) + ")";
+}
+
+Edge normalized(VertexId u, VertexId v) {
+  if (u < 0 || v < 0) {
+    throw usage_error("GraphDelta: negative endpoint in edge " +
+                      edge_str(u, v));
+  }
+  if (u == v) {
+    throw usage_error("GraphDelta: self loop " + edge_str(u, v));
+  }
+  return {std::min(u, v), std::max(u, v)};
+}
+
+/// Sorted copy of an edit list, with adjacent-duplicate detection.
+EdgeList sorted_checked(const EdgeList& edits, const char* what) {
+  EdgeList sorted = edits;
+  std::sort(sorted.begin(), sorted.end());
+  const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+  if (dup != sorted.end()) {
+    throw usage_error(std::string("GraphDelta: duplicate ") + what + " of " +
+                      edge_str(dup->first, dup->second) +
+                      " (dedup() collapses exact repeats)");
+  }
+  return sorted;
+}
+
+}  // namespace
+
+void GraphDelta::insert(VertexId u, VertexId v) {
+  insertions_.push_back(normalized(u, v));
+}
+
+void GraphDelta::remove(VertexId u, VertexId v) {
+  deletions_.push_back(normalized(u, v));
+}
+
+void GraphDelta::dedup() {
+  std::sort(insertions_.begin(), insertions_.end());
+  insertions_.erase(std::unique(insertions_.begin(), insertions_.end()),
+                    insertions_.end());
+  std::sort(deletions_.begin(), deletions_.end());
+  deletions_.erase(std::unique(deletions_.begin(), deletions_.end()),
+                   deletions_.end());
+}
+
+void GraphDelta::validate(const Graph& graph) const {
+  const EdgeList ins = sorted_checked(insertions_, "insert");
+  const EdgeList del = sorted_checked(deletions_, "delete");
+
+  // Insert+delete of the same edge: a set of edits, not a sequence, so
+  // the pair has no coherent meaning.
+  EdgeList conflict;
+  std::set_intersection(ins.begin(), ins.end(), del.begin(), del.end(),
+                        std::back_inserter(conflict));
+  if (!conflict.empty()) {
+    throw usage_error("GraphDelta: edge " +
+                      edge_str(conflict.front().first,
+                               conflict.front().second) +
+                      " both inserted and deleted in one batch");
+  }
+
+  const VertexId n = graph.num_vertices();
+  for (const auto& [u, v] : ins) {
+    if (u >= n || v >= n) {
+      throw bad_input("GraphDelta: insert " + edge_str(u, v) +
+                      " names a vertex outside the graph (n = " +
+                      std::to_string(n) + ")");
+    }
+    if (graph.has_edge(u, v)) {
+      throw bad_input("GraphDelta: insert of existing edge " + edge_str(u, v));
+    }
+  }
+  for (const auto& [u, v] : del) {
+    if (u >= n || v >= n) {
+      throw bad_input("GraphDelta: delete " + edge_str(u, v) +
+                      " names a vertex outside the graph (n = " +
+                      std::to_string(n) + ")");
+    }
+    if (!graph.has_edge(u, v)) {
+      throw bad_input("GraphDelta: delete of absent edge " + edge_str(u, v));
+    }
+  }
+}
+
+std::vector<VertexId> GraphDelta::touched_vertices() const {
+  std::vector<VertexId> seeds;
+  seeds.reserve(2 * size());
+  for (const auto& [u, v] : insertions_) {
+    seeds.push_back(u);
+    seeds.push_back(v);
+  }
+  for (const auto& [u, v] : deletions_) {
+    seeds.push_back(u);
+    seeds.push_back(v);
+  }
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  return seeds;
+}
+
+GraphDelta compose(const GraphDelta& first, const GraphDelta& second) {
+  // Working sets of the net effect; start from `first` and let
+  // `second` cancel or extend.  Both inputs are already normalized
+  // (min, max), so plain Edge equality is edge identity.
+  std::vector<Edge> inserts(first.insertions());
+  std::vector<Edge> removes(first.deletions());
+  const auto drop = [](std::vector<Edge>& edits, const Edge& e) {
+    auto it = std::find(edits.begin(), edits.end(), e);
+    if (it == edits.end()) return false;
+    edits.erase(it);
+    return true;
+  };
+  for (const Edge& e : second.insertions()) {
+    // first deleted it, second re-inserted: net no-op on that edge.
+    if (!drop(removes, e)) inserts.push_back(e);
+  }
+  for (const Edge& e : second.deletions()) {
+    if (!drop(inserts, e)) removes.push_back(e);
+  }
+  GraphDelta out;
+  for (const Edge& e : inserts) out.insert(e.first, e.second);
+  for (const Edge& e : removes) out.remove(e.first, e.second);
+  out.dedup();
+  return out;
+}
+
+}  // namespace fascia

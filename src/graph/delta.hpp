@@ -1,0 +1,86 @@
+#pragma once
+// Edge mutation batches for dynamic graphs (the incremental engine's
+// input type; DESIGN.md "Dynamic graphs").
+//
+// A GraphDelta is a validated batch of edge insertions and deletions
+// against one Graph.  Edits are normalized to (min, max) endpoint
+// order as they are recorded, so (u, v) and (v, u) name the same
+// undirected edge; self loops are rejected at the recording site.
+// Batch-level coherence (duplicate edits, an edge both inserted and
+// deleted) and graph-level coherence (unknown vertices, insert of a
+// present edge, delete of an absent edge) are checked by
+// Graph::apply / GraphDelta::validate before any mutation happens, so
+// a failed apply leaves the graph untouched.
+//
+// Error taxonomy (util/error.hpp):
+//   * self loop, negative endpoint, duplicate or conflicting edit
+//       -> Error(kUsage)   — the batch itself is malformed;
+//   * endpoint >= n, insert-of-present, delete-of-absent
+//       -> Error(kBadInput) — the batch does not fit this graph.
+//
+// Streams that may legitimately repeat an edit can call dedup() to
+// collapse exact duplicates before applying; validation still rejects
+// an insert+delete conflict on the same edge, which has no coherent
+// batch meaning (deltas are sets of edits, not sequences).
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+
+namespace fascia {
+
+class GraphDelta {
+ public:
+  GraphDelta() = default;
+
+  /// Records one edge insertion / deletion.  Normalizes endpoint
+  /// order; throws Error(kUsage) on a self loop or negative endpoint.
+  void insert(VertexId u, VertexId v);
+  void remove(VertexId u, VertexId v);
+
+  [[nodiscard]] const EdgeList& insertions() const noexcept {
+    return insertions_;
+  }
+  [[nodiscard]] const EdgeList& deletions() const noexcept {
+    return deletions_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return insertions_.empty() && deletions_.empty();
+  }
+
+  /// Total edits recorded (insertions + deletions).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return insertions_.size() + deletions_.size();
+  }
+
+  /// Collapses exact duplicate edits (same edge inserted twice, same
+  /// edge deleted twice) and sorts both lists.  Insert+delete
+  /// conflicts are NOT resolved here — they stay for validate() to
+  /// reject, because a set-of-edits delta gives them no meaning.
+  void dedup();
+
+  /// Batch + graph coherence checks (see the header comment for the
+  /// error taxonomy).  Called by Graph::apply before mutating; callers
+  /// that want to fail fast can invoke it directly.
+  void validate(const Graph& graph) const;
+
+  /// Sorted unique endpoints of every edit — the BFS seed set for the
+  /// incremental engine's dirty-vertex ball.
+  [[nodiscard]] std::vector<VertexId> touched_vertices() const;
+
+ private:
+  EdgeList insertions_;
+  EdgeList deletions_;
+};
+
+/// Net edit set of applying `first` then `second` to the same graph —
+/// what the counting service uses to fold its per-version delta log
+/// into ONE batch a stale incremental handle can catch up with.  An
+/// edge inserted by `first` and deleted by `second` (or vice versa)
+/// cancels; everything else accumulates.  The result is dedup()ed.
+GraphDelta compose(const GraphDelta& first, const GraphDelta& second);
+
+}  // namespace fascia

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "graph/delta.hpp"
 
 namespace fascia {
 
@@ -41,6 +44,65 @@ bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
   if (degree(u) > degree(v)) std::swap(u, v);
   const auto nbrs = neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void Graph::apply(const GraphDelta& delta) {
+  delta.validate(*this);  // throws before any mutation
+  if (delta.empty()) {
+    ++version_;
+    return;
+  }
+
+  const VertexId n = num_vertices();
+  // Per-vertex edit lists: the neighbors each vertex gains and loses.
+  // Sorted per vertex because the batch lists are re-sorted here and
+  // each edge contributes both directions.
+  std::vector<std::vector<VertexId>> gains(static_cast<std::size_t>(n));
+  std::vector<std::vector<VertexId>> losses(static_cast<std::size_t>(n));
+  for (const auto& [u, v] : delta.insertions()) {
+    gains[static_cast<std::size_t>(u)].push_back(v);
+    gains[static_cast<std::size_t>(v)].push_back(u);
+  }
+  for (const auto& [u, v] : delta.deletions()) {
+    losses[static_cast<std::size_t>(u)].push_back(v);
+    losses[static_cast<std::size_t>(v)].push_back(u);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(gains[static_cast<std::size_t>(v)].begin(),
+              gains[static_cast<std::size_t>(v)].end());
+    std::sort(losses[static_cast<std::size_t>(v)].begin(),
+              losses[static_cast<std::size_t>(v)].end());
+  }
+
+  std::vector<EdgeCount> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[static_cast<std::size_t>(v) + 1] =
+        offsets[static_cast<std::size_t>(v)] + degree(v) +
+        static_cast<EdgeCount>(gains[static_cast<std::size_t>(v)].size()) -
+        static_cast<EdgeCount>(losses[static_cast<std::size_t>(v)].size());
+  }
+  std::vector<VertexId> adjacency(static_cast<std::size_t>(offsets.back()));
+  for (VertexId v = 0; v < n; ++v) {
+    const auto old_nbrs = neighbors(v);
+    const auto& gain = gains[static_cast<std::size_t>(v)];
+    const auto& loss = losses[static_cast<std::size_t>(v)];
+    auto* out = adjacency.data() +
+                static_cast<std::size_t>(offsets[static_cast<std::size_t>(v)]);
+    if (gain.empty() && loss.empty()) {
+      out = std::copy(old_nbrs.begin(), old_nbrs.end(), out);
+      continue;
+    }
+    // Merge the surviving old neighbors (old minus losses; both
+    // sorted) with the gained ones, keeping the list sorted.
+    std::vector<VertexId> kept;
+    kept.reserve(old_nbrs.size());
+    std::set_difference(old_nbrs.begin(), old_nbrs.end(), loss.begin(),
+                        loss.end(), std::back_inserter(kept));
+    std::merge(kept.begin(), kept.end(), gain.begin(), gain.end(), out);
+  }
+  offsets_ = std::move(offsets);
+  adjacency_ = std::move(adjacency);
+  ++version_;
 }
 
 void Graph::set_labels(std::vector<std::uint8_t> labels, int num_values) {

@@ -1,5 +1,5 @@
 #pragma once
-// Immutable undirected graph in CSR (compressed sparse row) form.
+// Undirected graph in CSR (compressed sparse row) form.
 //
 // This is the substrate every other module consumes.  Invariants
 // enforced by the builder:
@@ -9,6 +9,13 @@
 // Vertices are dense 0-based int32 ids; the largest network in the
 // paper (31.2M edges) fits comfortably.  Edge *endpoints* are counted
 // in int64 since 2m can exceed 2^31 on --full workloads.
+//
+// Construction freezes the structure; the ONE post-construction
+// mutation point is apply(GraphDelta) — a validated edge batch that
+// rebuilds the CSR in place (O(n + m + d log d)) with the vertex set
+// and labels unchanged, and bumps version() so holders of derived
+// state (cached reorder permutations, retained DP tables) can detect
+// staleness.  A failed apply throws before any mutation.
 //
 // Optional vertex labels support the paper's labeled-template
 // experiments (Fig. 4): small integer attributes, at most 255 distinct.
@@ -21,6 +28,8 @@ namespace fascia {
 
 using VertexId = std::int32_t;
 using EdgeCount = std::int64_t;
+
+class GraphDelta;
 
 class Graph {
  public:
@@ -57,6 +66,21 @@ class Graph {
 
   [[nodiscard]] bool has_edge(VertexId u, VertexId v) const noexcept;
 
+  // ---- mutation (graph/delta.hpp) ---------------------------------------
+
+  /// Applies a validated edge batch in place: insertions must be
+  /// absent, deletions present, endpoints within [0, n) — anything
+  /// else throws (Error(kUsage)/(kBadInput), see delta.hpp) BEFORE any
+  /// mutation.  The vertex set and labels are unchanged; adjacency
+  /// invariants (sorted, symmetric, loop/dup-free) are preserved;
+  /// version() increments by one.
+  void apply(const GraphDelta& delta);
+
+  /// Mutation counter: 0 at construction, +1 per successful apply().
+  /// Derived caches (reorder permutations, retained DP state) key on
+  /// it to detect staleness.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
   // ---- labels -----------------------------------------------------------
   [[nodiscard]] bool has_labels() const noexcept { return !labels_.empty(); }
   [[nodiscard]] int num_label_values() const noexcept { return num_label_values_; }
@@ -79,6 +103,7 @@ class Graph {
   std::vector<VertexId> adjacency_;
   std::vector<std::uint8_t> labels_;
   int num_label_values_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace fascia

@@ -5,6 +5,10 @@
 // whitespace-separated, 0-based ids (SNAP files, which are the paper's
 // data source, parse directly).  Labels: one integer per line, line i
 // labeling vertex i.
+//
+// MIGRATION (docs/API.md): GraphSource (graph/source.hpp) is the
+// canonical construction entry point; read_edge_list stays one release
+// as a thin wrapper over GraphSource::from_file(path).build().
 
 #include <string>
 

@@ -1,0 +1,92 @@
+#include "graph/source.hpp"
+
+#include <utility>
+
+#include "graph/datasets.hpp"
+#include "graph/io.hpp"
+
+namespace fascia {
+
+GraphSource GraphSource::from_edges(VertexId n, EdgeList edges) {
+  GraphSource source;
+  source.kind_ = Kind::kEdges;
+  source.n_ = n;
+  source.edges_ = std::move(edges);
+  return source;
+}
+
+GraphSource GraphSource::from_edges(EdgeList edges) {
+  GraphSource source;
+  source.kind_ = Kind::kEdges;
+  source.edges_ = std::move(edges);
+  return source;
+}
+
+GraphSource GraphSource::from_file(std::string path) {
+  GraphSource source;
+  source.kind_ = Kind::kFile;
+  source.path_ = std::move(path);
+  return source;
+}
+
+GraphSource GraphSource::from_dataset(std::string name) {
+  GraphSource source;
+  source.kind_ = Kind::kDataset;
+  source.name_ = std::move(name);
+  return source;
+}
+
+GraphSource& GraphSource::labels(std::string path) & {
+  label_path_ = std::move(path);
+  return *this;
+}
+GraphSource&& GraphSource::labels(std::string path) && {
+  label_path_ = std::move(path);
+  return std::move(*this);
+}
+
+GraphSource& GraphSource::scale(double scale) & {
+  scale_ = scale;
+  return *this;
+}
+GraphSource&& GraphSource::scale(double scale) && {
+  scale_ = scale;
+  return std::move(*this);
+}
+
+GraphSource& GraphSource::seed(std::uint64_t seed) & {
+  seed_ = seed;
+  return *this;
+}
+GraphSource&& GraphSource::seed(std::uint64_t seed) && {
+  seed_ = seed;
+  return std::move(*this);
+}
+
+GraphSource& GraphSource::file(std::string path) & {
+  path_ = std::move(path);
+  return *this;
+}
+GraphSource&& GraphSource::file(std::string path) && {
+  path_ = std::move(path);
+  return std::move(*this);
+}
+
+Graph GraphSource::build() const {
+  Graph graph;
+  switch (kind_) {
+    case Kind::kEdges:
+      graph = n_ >= 0 ? build_graph(n_, edges_) : build_graph(edges_);
+      break;
+    case Kind::kFile:
+      graph = read_edge_list(path_);
+      break;
+    case Kind::kDataset:
+      graph = load_or_make(name_, path_, scale_, seed_);
+      break;
+  }
+  if (!label_path_.empty()) read_labels(graph, label_path_);
+  return graph;
+}
+
+}  // namespace fascia

@@ -1,0 +1,84 @@
+#pragma once
+// GraphSource — the one graph-construction entry point (docs/API.md).
+//
+// Historically three ad-hoc construction paths produced Graphs: the
+// edge-list builder (builder.hpp), the text reader (io.hpp), and the
+// dataset/generator registry (datasets.hpp).  GraphSource consolidates
+// them behind one factory: a small value describing WHERE a graph
+// comes from, with build() producing the same validated, cleaned CSR
+// Graph every path always produced.  With construction funneled here,
+// Graph::apply(GraphDelta) is the only post-construction mutation
+// point — holders of a built Graph can rely on version() telling the
+// whole mutation story.
+//
+// The old spellings (build_graph, read_edge_list, make_dataset,
+// load_or_make) remain for one release as thin wrappers over the same
+// internals; new code should construct through GraphSource.  The
+// migration table lives in docs/API.md.
+//
+//   Graph g = GraphSource::from_edges(n, edges).build();
+//   Graph g = GraphSource::from_file("web.txt").labels("web.lab").build();
+//   Graph g = GraphSource::from_dataset("enron").scale(0.25).seed(7).build();
+
+#include <cstdint>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+
+namespace fascia {
+
+class GraphSource {
+ public:
+  /// Edge-list source (builder.hpp semantics): self loops dropped,
+  /// duplicates merged, endpoints validated against [0, n).
+  static GraphSource from_edges(VertexId n, EdgeList edges);
+
+  /// Like from_edges but derives n = 1 + max endpoint.
+  static GraphSource from_edges(EdgeList edges);
+
+  /// Text edge-list file (io.hpp format: "u v" lines, '#'/'%' comments).
+  static GraphSource from_file(std::string path);
+
+  /// Named dataset from the Table I registry (datasets.hpp), generated
+  /// at scale()/seed() — or loaded from file() when one is attached,
+  /// restoring the paper's exact inputs.
+  static GraphSource from_dataset(std::string name);
+
+  /// Attaches a per-vertex label file (io.hpp read_labels) applied
+  /// after construction.  Valid for every source kind.
+  GraphSource& labels(std::string path) &;
+  GraphSource&& labels(std::string path) &&;
+
+  /// Dataset knobs (no-ops for other kinds).
+  GraphSource& scale(double scale) &;
+  GraphSource&& scale(double scale) &&;
+  GraphSource& seed(std::uint64_t seed) &;
+  GraphSource&& seed(std::uint64_t seed) &&;
+
+  /// Dataset kind only: prefer this edge-list file over the generator
+  /// (load_or_make semantics).
+  GraphSource& file(std::string path) &;
+  GraphSource&& file(std::string path) &&;
+
+  /// Produces the validated Graph.  Throws the underlying path's typed
+  /// errors (usage for bad edge lists, bad-input for unreadable or
+  /// malformed files, invalid_argument for unknown dataset names).
+  [[nodiscard]] Graph build() const;
+
+ private:
+  enum class Kind { kEdges, kFile, kDataset };
+
+  GraphSource() = default;
+
+  Kind kind_ = Kind::kEdges;
+  VertexId n_ = -1;  ///< kEdges: explicit n; -1 derives from endpoints
+  EdgeList edges_;
+  std::string path_;        ///< kFile: edge-list path; kDataset: file()
+  std::string name_;        ///< kDataset
+  std::string label_path_;  ///< optional, every kind
+  double scale_ = 1.0;
+  std::uint64_t seed_ = 1;
+};
+
+}  // namespace fascia

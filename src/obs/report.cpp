@@ -102,6 +102,20 @@ Json RunReport::to_json() const {
   r["checkpoint_failures"] = run.checkpoint_failures;
   doc["run"] = std::move(r);
 
+  if (delta.incremental) {
+    Json d = Json::object();
+    d["incremental"] = delta.incremental;
+    d["graph_version"] = delta.graph_version;
+    d["recounts"] = delta.recounts;
+    d["applied_edges"] = delta.applied_edges;
+    d["dirty_vertices"] = delta.dirty_vertices;
+    d["dirty_fraction"] = delta.dirty_fraction;
+    d["stages_recomputed"] = delta.stages_recomputed;
+    d["rows_recomputed"] = delta.rows_recomputed;
+    d["rows_copied"] = delta.rows_copied;
+    doc["delta"] = std::move(d);
+  }
+
   Json stage_arr = Json::array();
   for (const ReportStage& stage : stages) {
     Json e = Json::object();
@@ -225,6 +239,24 @@ bool RunReport::from_json(const Json& doc, RunReport* out,
         static_cast<int>(r->get_int("checkpoints_written"));
     rep.run.checkpoint_failures =
         static_cast<int>(r->get_int("checkpoint_failures"));
+  }
+  if (const Json* d = doc.find("delta")) {
+    rep.delta.incremental = d->get_bool("incremental");
+    const Json* version = d->find("graph_version");
+    rep.delta.graph_version = version ? version->as_uint() : 0;
+    const Json* recounts = d->find("recounts");
+    rep.delta.recounts = recounts ? recounts->as_uint() : 0;
+    const Json* applied = d->find("applied_edges");
+    rep.delta.applied_edges = applied ? applied->as_uint() : 0;
+    const Json* dirty = d->find("dirty_vertices");
+    rep.delta.dirty_vertices = dirty ? dirty->as_uint() : 0;
+    rep.delta.dirty_fraction = d->get_double("dirty_fraction");
+    const Json* stages_re = d->find("stages_recomputed");
+    rep.delta.stages_recomputed = stages_re ? stages_re->as_uint() : 0;
+    const Json* rows_re = d->find("rows_recomputed");
+    rep.delta.rows_recomputed = rows_re ? rows_re->as_uint() : 0;
+    const Json* rows_cp = d->find("rows_copied");
+    rep.delta.rows_copied = rows_cp ? rows_cp->as_uint() : 0;
   }
   if (const Json* arr = doc.find("stages"); arr && arr->is_array()) {
     for (const Json& e : arr->elements()) {

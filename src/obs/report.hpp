@@ -115,6 +115,21 @@ struct RunReport {
     int checkpoint_failures = 0;
   } run;
 
+  /// Incremental-recount activity (core/incremental.hpp).  Emitted
+  /// only when `incremental` is set, so static-run documents are
+  /// unchanged.
+  struct Delta {
+    bool incremental = false;  ///< report came from the delta path
+    std::uint64_t graph_version = 0;   ///< Graph::version() counted
+    std::uint64_t recounts = 0;        ///< recounts served so far
+    std::uint64_t applied_edges = 0;   ///< last delta: edits applied
+    std::uint64_t dirty_vertices = 0;  ///< last delta: outermost ball
+    double dirty_fraction = 0.0;       ///< dirty_vertices / n
+    std::uint64_t stages_recomputed = 0;  ///< non-leaf passes, all iters
+    std::uint64_t rows_recomputed = 0;
+    std::uint64_t rows_copied = 0;     ///< clean rows spliced verbatim
+  } delta;
+
   std::vector<ReportStage> stages;
   std::vector<ReportJob> jobs;  ///< batch / motif-profile runs only
 

@@ -114,6 +114,23 @@ std::size_t estimate_peak_bytes(const PartitionTree& partition,
   return peak;
 }
 
+std::size_t estimate_retained_bytes(const PartitionTree& partition,
+                                    int num_colors, VertexId n,
+                                    TableKind kind, bool labeled,
+                                    int iterations) {
+  std::size_t per_pass = 0;
+  for (const Subtemplate& node : partition.nodes()) {
+    if (node.is_leaf()) continue;  // leaves never materialize tables
+    const auto sets =
+        static_cast<std::uint64_t>(num_colorsets(num_colors, node.size()));
+    // Each retained stage also keeps its frontier list (~one VertexId
+    // per occupied row; bound it by n).
+    per_pass += estimate_table_bytes(kind, n, sets, labeled) +
+                static_cast<std::size_t>(n) * sizeof(VertexId);
+  }
+  return per_pass * static_cast<std::size_t>(std::max(0, iterations));
+}
+
 std::size_t estimate_spill_working_set_bytes(const PartitionTree& partition,
                                              int num_colors, VertexId n,
                                              TableKind kind, bool labeled) {

@@ -42,6 +42,16 @@ std::size_t estimate_peak_bytes(const PartitionTree& partition,
                                 int num_colors, VertexId n, TableKind kind,
                                 bool labeled);
 
+/// Modeled bytes an incremental handle (core/incremental.hpp) keeps
+/// alive between recounts: every non-leaf table plus its frontier
+/// list, times `iterations` — retention skips the free_after schedule
+/// entirely, so this is a sum, not a peak.  The counting service
+/// prices incremental admissions with it.
+std::size_t estimate_retained_bytes(const PartitionTree& partition,
+                                    int num_colors, VertexId n,
+                                    TableKind kind, bool labeled,
+                                    int iterations);
+
 /// Modeled minimum RESIDENT set under out-of-core paging: the largest
 /// (node + non-leaf children) table triple over the stage schedule.
 /// Every completed table outside the triple can be spilled, so this is

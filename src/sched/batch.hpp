@@ -36,6 +36,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/count_options.hpp"
@@ -123,6 +125,19 @@ struct BatchOptions {
   /// checkpoint/resume (per-job sample streams decouple from the
   /// global coloring counter).
   bool adaptive_batch = false;
+
+  /// Optional partition-tree source: when set, the planner calls this
+  /// instead of running partition_template itself, so a host with a
+  /// memoization layer (the service's GraphRegistry) can serve cached
+  /// trees.  Must return exactly what partition_template(tmpl,
+  /// strategy, share_tables, root) would.  Partition trees are
+  /// graph-independent, which is why this cache survives graph
+  /// mutations (mutate_graph) that invalidate reorder permutations.
+  /// Never serialized: the host injects it at execution time.
+  std::function<std::shared_ptr<const PartitionTree>(
+      const TreeTemplate& tmpl, PartitionStrategy strategy, bool share_tables,
+      int root)>
+      partition_provider;
 
   /// Resilience controls (deadline, memory budget, cancellation,
   /// checkpoint/resume).  Inert by default; see run/controls.hpp.

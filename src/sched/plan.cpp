@@ -79,8 +79,15 @@ BatchPlan plan_batch(const Graph& graph, const std::vector<BatchJob>& jobs,
   std::vector<Subtemplate> nodes;
   std::map<std::string, int> intern;
   for (const BatchJob& job : jobs) {
-    const PartitionTree part = partition_template(
-        job.tmpl, options.partition, options.share_tables, /*root=*/-1);
+    const std::shared_ptr<const PartitionTree> cached =
+        options.partition_provider
+            ? options.partition_provider(job.tmpl, options.partition,
+                                         options.share_tables, /*root=*/-1)
+            : nullptr;
+    const PartitionTree part =
+        cached ? *cached
+               : partition_template(job.tmpl, options.partition,
+                                    options.share_tables, /*root=*/-1);
     plan.job_dp_cost.push_back(part.dp_cost(plan.num_colors));
 
     std::vector<int> local_to_merged(

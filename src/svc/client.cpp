@@ -193,4 +193,44 @@ Json Client::shutdown() {
   return request(req);
 }
 
+Json Client::mutate_graph(const std::string& graph, const Json& delta,
+                          std::uint64_t expect_version) {
+  if (!has_capability("mutate_graph")) {
+    throw usage_error(
+        "server (protocol " + std::to_string(protocol_version()) +
+        ") does not support mutate_graph — upgrade it or reload the graph");
+  }
+  Json req = Json::object();
+  req["op"] = "mutate_graph";
+  req["graph"] = graph;
+  req["delta"] = delta;
+  if (expect_version != 0) req["expect_version"] = expect_version;
+  return request(req);
+}
+
+int Client::protocol_version() {
+  capabilities();  // fills the hello cache
+  return protocol_version_;
+}
+
+const std::vector<std::string>& Client::capabilities() {
+  if (!hello_cached_) {
+    const Json reply = health();
+    protocol_version_ = static_cast<int>(reply.get_int("protocol", 1));
+    capabilities_.clear();
+    if (const Json* caps = reply.find("capabilities")) {
+      for (const Json& cap : caps->elements()) {
+        capabilities_.push_back(cap.as_string());
+      }
+    }
+    hello_cached_ = true;
+  }
+  return capabilities_;
+}
+
+bool Client::has_capability(const std::string& name) {
+  const std::vector<std::string>& caps = capabilities();
+  return std::find(caps.begin(), caps.end(), name) != caps.end();
+}
+
 }  // namespace fascia::svc

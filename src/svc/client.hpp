@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "util/socket.hpp"
@@ -103,6 +104,21 @@ class Client {
   obs::Json cancel(std::uint64_t job_id);
   obs::Json shutdown();
 
+  /// Applies a delta ({"insert": [[u,v],...], "remove": [[u,v],...]})
+  /// to a registered graph.  `expect_version` 0 accepts any current
+  /// version; otherwise a mismatch returns the "stale_version" error
+  /// envelope with "current_version" (see docs/SERVER.md for the
+  /// refresh-and-retry contract).  Throws Error(kUsage) when the
+  /// server does not advertise the "mutate_graph" capability.
+  obs::Json mutate_graph(const std::string& graph, const obs::Json& delta,
+                         std::uint64_t expect_version = 0);
+
+  /// The server's protocol version and capability list, fetched from
+  /// health() on first use and cached for the connection's lifetime.
+  [[nodiscard]] int protocol_version();
+  [[nodiscard]] const std::vector<std::string>& capabilities();
+  [[nodiscard]] bool has_capability(const std::string& name);
+
   void close() { socket_.close(); }
 
  private:
@@ -119,6 +135,10 @@ class Client {
   std::string unix_path_;  ///< empty: not a Unix-socket client
   std::uint64_t jitter_state_ = 0;
   EventHandler on_event_;
+
+  bool hello_cached_ = false;  ///< protocol/capabilities fetched
+  int protocol_version_ = 0;
+  std::vector<std::string> capabilities_;
 };
 
 }  // namespace fascia::svc

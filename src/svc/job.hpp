@@ -28,9 +28,11 @@ namespace fascia::svc {
 using JobId = std::uint64_t;
 
 enum class JobKind {
-  kCount,  ///< count_template
-  kGdd,    ///< graphlet_degrees (per-vertex counts at options.root)
-  kBatch,  ///< sched::run_batch over a template set
+  kCount,    ///< count_template (or begin_incremental when
+             ///< options.execution.incremental — the handle is retained)
+  kGdd,      ///< graphlet_degrees (per-vertex counts at options.root)
+  kBatch,    ///< sched::run_batch over a template set
+  kRecount,  ///< incremental recount of a retained run (recount_of)
 };
 
 const char* job_kind_name(JobKind kind) noexcept;
@@ -76,6 +78,13 @@ struct JobSpec {
   /// kBatch payload.
   std::vector<sched::BatchJob> batch_jobs;
   sched::BatchOptions batch_options;
+
+  /// kRecount payload: job id of the retained incremental count to
+  /// advance.  The service folds every mutation logged since that
+  /// handle's graph version into one composed delta; no delta travels
+  /// in the spec.  `graph` may be left empty (it is implied by the
+  /// retained run).
+  JobId recount_of = 0;
 
   Priority priority = Priority::kBatch;
 

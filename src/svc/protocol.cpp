@@ -105,6 +105,14 @@ Json run_report_to_json(const RunReport& run) {
 
 }  // namespace
 
+Json capabilities_json() {
+  Json out = Json::array();
+  out.push_back("mutate_graph");
+  out.push_back("kernel_family");
+  out.push_back("adaptive_batch");
+  return out;
+}
+
 // ---- templates ------------------------------------------------------------
 
 Json template_to_json(const TreeTemplate& tmpl) {
@@ -194,6 +202,7 @@ Json count_options_to_json(const CountOptions& options) {
   if (options.run.checkpoint_every != RunControls{}.checkpoint_every) {
     out["checkpoint_every"] = options.run.checkpoint_every;
   }
+  if (options.execution.incremental) out["incremental"] = true;
   if (options.root >= 0) out["root"] = options.root;
   if (options.per_vertex) out["per_vertex"] = true;
   if (options.observability.enabled) out["observability"] = true;
@@ -209,9 +218,10 @@ CountOptions count_options_from_json(const Json& spec) {
   if (!spec.is_object()) bad_request("options must be an object");
   check_keys(spec,
              {"iterations", "colors", "seed", "table", "partition", "mode",
-              "threads", "reorder", "kernel_family", "deadline_seconds",
-              "memory_budget_bytes", "spill_dir", "checkpoint_every", "root",
-              "per_vertex", "observability", "label"},
+              "threads", "reorder", "kernel_family", "incremental",
+              "deadline_seconds", "memory_budget_bytes", "spill_dir",
+              "checkpoint_every", "root", "per_vertex", "observability",
+              "label"},
              "options");
   options.sampling.iterations =
       static_cast<int>(spec.get_int("iterations", 1));
@@ -236,6 +246,7 @@ CountOptions count_options_from_json(const Json& spec) {
     options.execution.kernel_family =
         kernel_family_from_name(family->as_string());
   }
+  options.execution.incremental = spec.get_bool("incremental", false);
   options.run.deadline_seconds = spec.get_double("deadline_seconds", 0.0);
   options.run.memory_budget_bytes =
       static_cast<std::size_t>(spec.get_int("memory_budget_bytes", 0));
@@ -311,6 +322,55 @@ sched::BatchOptions batch_options_from_json(const Json& spec) {
   return options;
 }
 
+// ---- deltas ---------------------------------------------------------------
+
+Json delta_to_json(const GraphDelta& delta) {
+  const auto edges_json = [](const EdgeList& edges) {
+    Json out = Json::array();
+    for (const auto& [u, v] : edges) {
+      Json edge = Json::array();
+      edge.push_back(u);
+      edge.push_back(v);
+      out.push_back(std::move(edge));
+    }
+    return out;
+  };
+  Json out = Json::object();
+  if (!delta.insertions().empty()) {
+    out["insert"] = edges_json(delta.insertions());
+  }
+  if (!delta.deletions().empty()) {
+    out["remove"] = edges_json(delta.deletions());
+  }
+  return out;
+}
+
+GraphDelta delta_from_json(const Json& spec) {
+  if (!spec.is_object()) bad_request("delta must be an object");
+  check_keys(spec, {"insert", "remove"}, "delta");
+  GraphDelta delta;
+  const auto read_edges = [](const Json& edges, const char* what,
+                             auto&& record) {
+    if (!edges.is_array()) bad_request(std::string(what) + " must be an array");
+    for (const Json& edge : edges.elements()) {
+      if (!edge.is_array() || edge.size() != 2) {
+        bad_request(std::string(what) + " edit must be [u, v]");
+      }
+      record(static_cast<VertexId>(edge.elements()[0].as_int()),
+             static_cast<VertexId>(edge.elements()[1].as_int()));
+    }
+  };
+  if (const Json* insert = spec.find("insert")) {
+    read_edges(*insert, "delta insert",
+               [&](VertexId u, VertexId v) { delta.insert(u, v); });
+  }
+  if (const Json* remove = spec.find("remove")) {
+    read_edges(*remove, "delta remove",
+               [&](VertexId u, VertexId v) { delta.remove(u, v); });
+  }
+  return delta;
+}
+
 // ---- results --------------------------------------------------------------
 
 Json count_result_to_json(const CountResult& result, bool include_report) {
@@ -325,6 +385,21 @@ Json count_result_to_json(const CountResult& result, bool include_report) {
   out["colorful_probability"] = result.colorful_probability;
   out["automorphisms"] = result.automorphisms;
   out["seconds_total"] = result.seconds_total;
+  if (result.report && result.report->delta.incremental) {
+    // Incremental accounting, mirrored from the report so callers that
+    // skip include_report still see the version token and dirty-set
+    // economics of the recount.
+    Json delta = Json::object();
+    delta["graph_version"] = result.report->delta.graph_version;
+    delta["recounts"] = result.report->delta.recounts;
+    delta["applied_edges"] = result.delta.applied_edges;
+    delta["dirty_vertices"] = result.delta.dirty_vertices;
+    delta["dirty_fraction"] = result.delta.dirty_fraction;
+    delta["stages_recomputed"] = result.delta.stages_recomputed;
+    delta["rows_recomputed"] = result.delta.rows_recomputed;
+    delta["rows_copied"] = result.delta.rows_copied;
+    out["delta"] = std::move(delta);
+  }
   out["run"] = run_report_to_json(result.run);
   if (include_report && result.report) {
     out["report"] = result.report->to_json();
@@ -394,17 +469,29 @@ JobSpec job_spec_from_request(const Json& request) {
     spec.kind = JobKind::kGdd;
   } else if (op == "run_batch") {
     spec.kind = JobKind::kBatch;
+  } else if (op == "recount") {
+    spec.kind = JobKind::kRecount;
   } else {
     bad_request("op '" + op + "' is not a job");
   }
   spec.graph = request.get_string("graph");
-  if (spec.graph.empty()) bad_request("missing 'graph'");
+  // recount infers the graph from the retained run; everything else
+  // must name one.
+  if (spec.graph.empty() && spec.kind != JobKind::kRecount) {
+    bad_request("missing 'graph'");
+  }
   spec.priority = priority_from_name(request.get_string("priority"));
   spec.preemptible = request.get_bool("preemptible", true);
   spec.label = request.get_string("label");
   spec.request_id = request.get_string("request_id");
 
-  if (spec.kind == JobKind::kBatch) {
+  if (spec.kind == JobKind::kRecount) {
+    spec.recount_of =
+        static_cast<JobId>(request.get_int("recount_of", 0));
+    if (spec.recount_of == 0) {
+      bad_request("recount needs 'recount_of' (the retained job id)");
+    }
+  } else if (spec.kind == JobKind::kBatch) {
     const Json* jobs = request.find("jobs");
     if (jobs == nullptr || !jobs->is_array() || jobs->size() == 0) {
       bad_request("run_batch needs a non-empty 'jobs' array");
@@ -452,13 +539,18 @@ Json job_spec_to_request_json(const JobSpec& spec) {
     case JobKind::kBatch:
       out["op"] = "run_batch";
       break;
+    case JobKind::kRecount:
+      out["op"] = "recount";
+      break;
   }
   out["graph"] = spec.graph;
   out["priority"] = priority_name(spec.priority);
   out["preemptible"] = spec.preemptible;
   if (!spec.label.empty()) out["label"] = spec.label;
   if (!spec.request_id.empty()) out["request_id"] = spec.request_id;
-  if (spec.kind == JobKind::kBatch) {
+  if (spec.kind == JobKind::kRecount) {
+    out["recount_of"] = spec.recount_of;
+  } else if (spec.kind == JobKind::kBatch) {
     Json jobs = Json::array();
     for (const sched::BatchJob& job : spec.batch_jobs) {
       Json entry = Json::object();

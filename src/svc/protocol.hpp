@@ -9,13 +9,19 @@
 // frames never do, which is the client's framing rule for streams.
 //
 // Requests are objects with an "op" key:
-//   load_graph  register a dataset or edge-list file under a name
-//   count       count one template on a registered graph
-//   gdd         graphlet degrees at an orbit vertex
-//   run_batch   a template set through the batch engine
-//   status      one job or the whole service
-//   cancel      cooperative per-job cancellation
-//   shutdown    stop the server after replying
+//   load_graph    register a dataset or edge-list file under a name
+//   count         count one template on a registered graph
+//   gdd           graphlet degrees at an orbit vertex
+//   run_batch     a template set through the batch engine
+//   mutate_graph  apply a GraphDelta to a registered graph (versioned)
+//   recount       advance a retained incremental count (recount_of)
+//   status        one job or the whole service
+//   cancel        cooperative per-job cancellation
+//   shutdown      stop the server after replying
+//
+// Feature detection: status and health replies carry "protocol" (the
+// version below) and "capabilities" (capabilities_json) so clients can
+// refuse or adapt instead of probing with trial requests.
 //
 // This header is the single source of truth both sides compile
 // against: the server parses requests and renders results with these
@@ -27,6 +33,7 @@
 
 #include <string>
 
+#include "graph/delta.hpp"
 #include "obs/json.hpp"
 #include "sched/batch.hpp"
 #include "svc/job.hpp"
@@ -36,7 +43,16 @@ namespace fascia::svc {
 using obs::Json;
 
 /// Current protocol major version, echoed in every terminal response.
-inline constexpr int kProtocolVersion = 1;
+/// Version 2 added graph mutation: mutate_graph/recount ops, graph
+/// version tokens, and the capabilities array.
+inline constexpr int kProtocolVersion = 2;
+
+/// The server's feature list, as a JSON array of strings.  A client
+/// checks for the capability before sending the op it names:
+///   "mutate_graph"   mutate_graph + recount ops, version tokens
+///   "kernel_family"  count options accept "kernel_family" (PR 9)
+///   "adaptive_batch" batch options accept "adaptive_batch" (PR 8)
+Json capabilities_json();
 
 // ---- template specs -------------------------------------------------------
 // {"name": "U7-1"} | {"path": 7} | {"star": 7} |
@@ -54,6 +70,13 @@ CountOptions count_options_from_json(const Json& spec);
 
 Json batch_options_to_json(const sched::BatchOptions& options);
 sched::BatchOptions batch_options_from_json(const Json& spec);
+
+// ---- deltas ---------------------------------------------------------------
+// {"insert": [[u, v], ...], "remove": [[u, v], ...]} — either key may
+// be absent.  Malformed edits surface GraphDelta's own taxonomy.
+
+Json delta_to_json(const GraphDelta& delta);
+GraphDelta delta_from_json(const Json& spec);
 
 // ---- results --------------------------------------------------------------
 

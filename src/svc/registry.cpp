@@ -42,6 +42,12 @@ void GraphRegistry::evict_locked(std::size_t incoming_bytes) {
         [](const Entry& a, const Entry& b) { return a.last_use < b.last_use; });
     resident_bytes_ -= victim->bytes;
     ++evictions_;
+    if (victim->graph) {
+      // A running job may outlive the eviction through its shared_ptr;
+      // remember the copy weakly so a re-register can reconcile against
+      // it instead of duplicating the allocation.
+      held_.push_back({victim->key, victim->graph});
+    }
     entries_.erase(victim);
   }
 }
@@ -49,10 +55,34 @@ void GraphRegistry::evict_locked(std::size_t incoming_bytes) {
 std::shared_ptr<const Graph> GraphRegistry::put(const std::string& name,
                                                 Graph graph) {
   auto shared = std::make_shared<const Graph>(std::move(graph));
-  const std::size_t bytes = shared->bytes();
+  std::size_t bytes = shared->bytes();
   const std::string key = "g:" + name;
 
   std::lock_guard<std::mutex> lock(mutex_);
+  // Reconcile against an evicted-but-held copy: if some job still holds
+  // the graph this name used to resolve to and the caller is re-putting
+  // the SAME graph (version + shape match), adopt the held copy so the
+  // process carries one allocation, not two, and the accounting matches
+  // reality.  A different version (e.g. after mutate_graph) never
+  // matches and is admitted as the new graph it is.
+  for (auto it = held_.begin(); it != held_.end();) {
+    std::shared_ptr<const Graph> held = it->graph.lock();
+    if (!held) {
+      it = held_.erase(it);
+      continue;
+    }
+    if (it->key == key && held->version() == shared->version() &&
+        held->num_vertices() == shared->num_vertices() &&
+        held->num_edges() == shared->num_edges() &&
+        held->has_labels() == shared->has_labels()) {
+      shared = std::move(held);
+      bytes = shared->bytes();
+      ++resurrections_;
+      it = held_.erase(it);
+      continue;
+    }
+    ++it;
+  }
   // Replace first (so the old copy does not count against the budget
   // while making room), dropping the graph's cached permutations too.
   const std::string perm_prefix = "p:" + name + ":";
@@ -216,6 +246,7 @@ GraphRegistry::Stats GraphRegistry::stats() {
   out.hits = hits_;
   out.misses = misses_;
   out.evictions = evictions_;
+  out.resurrections = resurrections_;
   return out;
 }
 

@@ -85,6 +85,9 @@ class GraphRegistry {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Re-registers served by resurrecting an evicted-but-held copy
+    /// instead of admitting a duplicate allocation.
+    std::uint64_t resurrections = 0;
   };
   [[nodiscard]] Stats stats();
 
@@ -107,12 +110,26 @@ class GraphRegistry {
 
   std::mutex mutex_;
   std::vector<Entry> entries_;
+
+  /// Evicted graphs that running jobs may still hold alive.  Eviction
+  /// only drops the registry's strong reference, so a re-register of
+  /// the same graph would otherwise build a SECOND resident copy while
+  /// the accounting sees one — put() locks these to resurrect the held
+  /// copy instead, reconciling bytes and LRU with what is actually in
+  /// memory.  Expired pointers are pruned opportunistically.
+  struct HeldGraph {
+    std::string key;
+    std::weak_ptr<const Graph> graph;
+  };
+  std::vector<HeldGraph> held_;
+
   std::size_t budget_bytes_ = 0;
   std::size_t resident_bytes_ = 0;
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t resurrections_ = 0;
 };
 
 }  // namespace fascia::svc

@@ -208,12 +208,43 @@ void Server::send(int fd, const Json& response) {
 bool Server::handle_request(int fd, const Json& request,
                             std::vector<obs::MetricSnapshot>& baseline) {
   const std::string op = request.get_string("op");
-  if (op == "count" || op == "gdd" || op == "run_batch") {
+  if (op == "count" || op == "gdd" || op == "run_batch" || op == "recount") {
     handle_job(fd, request, baseline);
     return true;
   }
   if (op == "load_graph") {
     handle_load_graph(fd, request);
+    return true;
+  }
+  if (op == "mutate_graph") {
+    const std::string name = request.get_string("graph");
+    if (name.empty()) {
+      send(fd, error_response("mutate_graph needs 'graph'", "usage"));
+      return true;
+    }
+    const GraphDelta delta = delta_from_json(
+        request.find("delta") != nullptr ? *request.find("delta") : Json());
+    const std::uint64_t expect =
+        request.find("expect_version") != nullptr
+            ? request.find("expect_version")->as_uint(0)
+            : 0;
+    try {
+      const Service::Mutation mutation =
+          service_.mutate_graph(name, expect, delta);
+      Json out = Json::object();
+      out["ok"] = true;
+      out["graph"] = name;
+      out["version"] = mutation.version;
+      out["applied_edges"] = mutation.applied_edges;
+      out["protocol"] = kProtocolVersion;
+      send(fd, out);
+    } catch (const StaleVersionError& e) {
+      // Distinct category plus the current token: the documented retry
+      // is read "current_version", rebase the delta, resend.
+      Json out = error_response(e.what(), "stale_version");
+      out["current_version"] = e.current_version();
+      send(fd, out);
+    }
     return true;
   }
   if (op == "status") {
@@ -234,11 +265,13 @@ bool Server::handle_request(int fd, const Json& request,
     out["journal_replays"] = health.journal_replays;
     out["journal"] = health.journal_path;
     out["uptime_seconds"] = health.uptime_seconds;
+    out["retained_runs"] = health.retained_runs;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       out["connections"] = live_fds_.size();
     }
     out["protocol"] = kProtocolVersion;
+    out["capabilities"] = capabilities_json();
     send(fd, out);
     return true;
   }
@@ -377,6 +410,7 @@ void Server::handle_load_graph(int fd, const Json& request) {
   out["n"] = loaded.graph->num_vertices();
   out["m"] = loaded.graph->num_edges();
   out["bytes"] = loaded.graph->bytes();
+  out["version"] = loaded.graph->version();
   out["protocol"] = kProtocolVersion;
   send(fd, out);
 }
@@ -403,14 +437,19 @@ void Server::handle_status(int fd, const Json& request) {
     registry["hits"] = stats.hits;
     registry["misses"] = stats.misses;
     registry["evictions"] = stats.evictions;
+    registry["resurrections"] = stats.resurrections;
     out["registry"] = std::move(registry);
     Json names = Json::array();
+    Json versions = Json::object();
     for (const std::string& graph : service_.registry().graph_names()) {
       names.push_back(graph);
+      versions[graph] = service_.graph_version(graph);
     }
     out["graph_names"] = std::move(names);
+    out["graph_versions"] = std::move(versions);
   }
   out["protocol"] = kProtocolVersion;
+  out["capabilities"] = capabilities_json();
   send(fd, out);
 }
 

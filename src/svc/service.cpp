@@ -22,6 +22,8 @@ const char* job_kind_name(JobKind kind) noexcept {
       return "gdd";
     case JobKind::kBatch:
       return "batch";
+    case JobKind::kRecount:
+      return "recount";
   }
   return "unknown";
 }
@@ -121,6 +123,7 @@ const obs::Metric& replays_metric() {
 Service::Service(Config config)
     : config_(std::move(config)), registry_(config_.registry_budget_bytes) {
   if (config_.workers < 1) config_.workers = 1;
+  if (config_.max_retained_runs < 1) config_.max_retained_runs = 1;
   if (!config_.work_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(config_.work_dir, ec);
@@ -162,6 +165,34 @@ std::unique_ptr<Service::Record> Service::build_record(JobSpec spec) {
         throw usage_error("batch job needs at least one template");
       }
       break;
+    case JobKind::kRecount: {
+      if (spec.recount_of == 0) {
+        throw usage_error("recount job needs recount_of (the retained "
+                          "incremental count's job id)");
+      }
+      // Resolve the retained run now so an unknown/evicted handle (or
+      // one lost in a restart — handles do not survive the journal)
+      // fails on the submitter's thread with the precise reason.  The
+      // admission figure is the handle's resident bytes: a recount's
+      // transient working set is bounded by the retained state it is
+      // splicing into.
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = retained_.find(spec.recount_of);
+      if (it == retained_.end()) {
+        throw bad_input("no retained run for job " +
+                        std::to_string(spec.recount_of) +
+                        " (never incremental, evicted from the retained-run "
+                        "pool, or lost in a restart) — submit a new count "
+                        "with options.incremental");
+      }
+      if (spec.graph.empty()) spec.graph = it->second.graph;
+      if (spec.graph != it->second.graph) {
+        throw usage_error("recount graph '" + spec.graph +
+                          "' does not match the retained run's graph '" +
+                          it->second.graph + "'");
+      }
+      break;
+    }
   }
 
   auto record = std::make_unique<Record>();
@@ -170,6 +201,21 @@ std::unique_ptr<Service::Record> Service::build_record(JobSpec spec) {
   if (!record->graph) {
     throw usage_error("unknown graph '" + record->spec.graph +
                       "' — load_graph it first");
+  }
+  if (record->spec.kind == JobKind::kRecount) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = retained_.find(record->spec.recount_of);
+    record->estimated_peak_bytes =
+        it != retained_.end() ? it->second.handle->retained_bytes() : 0;
+    if (config_.memory_budget_bytes > 0 &&
+        record->estimated_peak_bytes > config_.memory_budget_bytes) {
+      throw resource_error(
+          "recount working set (" +
+          std::to_string(record->estimated_peak_bytes) +
+          " retained bytes) exceeds the service admission budget (" +
+          std::to_string(config_.memory_budget_bytes) + ")");
+    }
+    return record;
   }
 
   const VertexId n = record->graph->num_vertices();
@@ -193,13 +239,26 @@ std::unique_ptr<Service::Record> Service::build_record(JobSpec spec) {
       return worst;
     }
     const CountOptions& co = record->spec.options;
-    return estimate_job_bytes(registry_, record->spec.tmpl, n,
-                              co.sampling.num_colors, table,
-                              co.execution.kernel_family,
-                              co.execution.partition,
-                              co.execution.share_tables, co.root,
-                              admission_engine_copies(co.execution),
-                              std::max(1, co.execution.threads));
+    std::size_t bytes = estimate_job_bytes(
+        registry_, record->spec.tmpl, n, co.sampling.num_colors, table,
+        co.execution.kernel_family, co.execution.partition,
+        co.execution.share_tables, co.root,
+        admission_engine_copies(co.execution),
+        std::max(1, co.execution.threads));
+    if (co.execution.incremental) {
+      // Incremental counts keep every iteration's non-leaf tables
+      // alive past the run — price the retention, not just the pass.
+      const auto partition = registry_.partition_of(
+          record->spec.tmpl, co.execution.partition,
+          co.execution.share_tables, co.root);
+      const int colors = co.sampling.num_colors > 0
+                             ? co.sampling.num_colors
+                             : record->spec.tmpl.size();
+      bytes += run::estimate_retained_bytes(
+          *partition, colors, n, table, record->spec.tmpl.has_labels(),
+          co.sampling.iterations);
+    }
+    return bytes;
   };
   const TableKind requested = record->spec.kind == JobKind::kBatch
                                   ? record->spec.batch_options.table
@@ -436,6 +495,15 @@ void Service::execute(Record& record) {
     if (record.spec.kind == JobKind::kBatch) {
       sched::BatchOptions options = record.spec.batch_options;
       options.run.cancel = &record.cancel.flag();
+      // Serve partition trees from the registry's memo: admission
+      // already partitioned these templates for the quote, and the
+      // trees are graph-independent so the cache stays hot across
+      // mutate_graph re-registers.
+      options.partition_provider =
+          [this](const TreeTemplate& tmpl, PartitionStrategy strategy,
+                 bool share_tables, int root) {
+            return registry_.partition_of(tmpl, strategy, share_tables, root);
+          };
       if (options.run.checkpoint_path.empty() && record.spec.preemptible &&
           record.spec.priority == Priority::kBatch &&
           !config_.work_dir.empty()) {
@@ -447,6 +515,21 @@ void Service::execute(Record& record) {
           sched::run_batch(*record.graph, record.spec.batch_jobs, options);
       ran_cancelled = result.status() == RunStatus::kCancelled;
       record.batch.emplace(std::move(result));
+    } else if (record.spec.kind == JobKind::kRecount) {
+      record.count.emplace(execute_recount(record));
+    } else if (record.spec.kind == JobKind::kCount &&
+               record.spec.options.execution.incremental) {
+      // No cancel/checkpoint wiring: begin_incremental validates that
+      // RunControls stay inert (retained state must come from one
+      // complete uninterrupted pass), and the handle outlives the job
+      // in the retained-run pool so recount jobs can advance it.
+      RunHandle handle = begin_incremental(*record.graph, record.spec.tmpl,
+                                           record.spec.options);
+      record.count.emplace(handle.result());
+      std::lock_guard<std::mutex> lock(mutex_);
+      retain_locked(record.id,
+                    std::make_unique<RunHandle>(std::move(handle)),
+                    record.spec.graph);
     } else {
       CountOptions options = record.spec.options;
       options.run.cancel = &record.cancel.flag();
@@ -629,6 +712,7 @@ Service::Health Service::health() const {
   health.shed_total = shed_total_;
   health.journal_replays = journal_replays_;
   health.journal_path = config_.journal_path;
+  health.retained_runs = retained_.size();
   health.uptime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started_at_)
@@ -706,7 +790,14 @@ Service::LoadedGraph Service::load_graph(const std::string& name,
     }
   }
   const std::string source = dataset.empty() ? name : dataset;
-  out.graph = registry_.put(name, load_or_make(source, file, scale, seed));
+  {
+    // A (re)load resets the graph's mutation history: the fresh CSR is
+    // version 0 again and no logged delta can bridge to it.
+    std::lock_guard<std::mutex> mlock(mutation_mutex_);
+    out.graph = registry_.put(name, load_or_make(source, file, scale, seed));
+    std::lock_guard<std::mutex> lock(mutex_);
+    graph_meta_.erase(name);
+  }
   // Journal only once the load succeeded: a registration that cannot
   // be rebuilt must not be replayed as if it could.
   Json doc = Json::object();
@@ -717,6 +808,164 @@ Service::LoadedGraph Service::load_graph(const std::string& name,
   doc["seed"] = seed;
   journal_event(JournalKind::kGraph, 0, doc.dump());
   return out;
+}
+
+Service::Mutation Service::mutate_graph(const std::string& name,
+                                        std::uint64_t expect_version,
+                                        const GraphDelta& delta) {
+  // One mutation at a time, end to end: the version check, the
+  // copy-apply, and the re-register are a single optimistic-concurrency
+  // transaction.  Readers (jobs, status) never wait on this lock.
+  std::lock_guard<std::mutex> mlock(mutation_mutex_);
+  std::shared_ptr<const Graph> current = registry_.get(name);
+  if (!current) {
+    throw usage_error("unknown graph '" + name + "' — load_graph it first");
+  }
+  const std::uint64_t version = current->version();
+  if (expect_version != 0 && expect_version != version) {
+    throw StaleVersionError(
+        "graph '" + name + "' is at version " + std::to_string(version) +
+            ", not the expected " + std::to_string(expect_version) +
+            " — refresh the version token and retry",
+        version);
+  }
+  // Copy, apply (validates first — a malformed delta escapes here and
+  // the registered graph is untouched), then swap the mutated copy in.
+  // Running jobs keep counting their pinned pre-mutation shared_ptr;
+  // the re-register drops the registry's cached reorder permutations
+  // for this name, which were keyed on the old adjacency.
+  Graph mutated = *current;
+  mutated.apply(delta);
+  const std::uint64_t new_version = mutated.version();
+  registry_.put(name, std::move(mutated));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GraphMeta& meta = graph_meta_[name];
+    meta.version = new_version;
+    meta.log.emplace_back(version, delta);
+    while (meta.log.size() > config_.delta_log_limit) meta.log.pop_front();
+  }
+  Mutation out;
+  out.version = new_version;
+  out.applied_edges = delta.size();
+  return out;
+}
+
+std::uint64_t Service::graph_version(const std::string& name) {
+  std::shared_ptr<const Graph> graph = registry_.get(name);
+  if (!graph) {
+    throw usage_error("unknown graph '" + name + "' — load_graph it first");
+  }
+  return graph->version();
+}
+
+void Service::retain_locked(JobId id, std::unique_ptr<RunHandle> handle,
+                            const std::string& graph) {
+  RetainedRun run;
+  run.handle = std::move(handle);
+  run.graph = graph;
+  run.last_use = ++retained_tick_;
+  retained_[id] = std::move(run);
+  while (retained_.size() >
+         static_cast<std::size_t>(config_.max_retained_runs)) {
+    auto victim = retained_.end();
+    for (auto it = retained_.begin(); it != retained_.end(); ++it) {
+      if (it->second.in_use || it->first == id) continue;
+      if (victim == retained_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == retained_.end()) break;  // everything else is pinned
+    retained_.erase(victim);
+  }
+}
+
+CountResult Service::execute_recount(Record& record) {
+  const JobId of = record.spec.recount_of;
+  RunHandle* handle = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = retained_.find(of);
+    if (it == retained_.end()) {
+      throw bad_input("no retained run for job " + std::to_string(of) +
+                      " (evicted from the retained-run pool or lost in a "
+                      "restart) — submit a new count with "
+                      "options.incremental");
+    }
+    if (it->second.in_use) {
+      throw usage_error("retained run " + std::to_string(of) +
+                        " is already being advanced by another recount");
+    }
+    it->second.in_use = true;
+    handle = it->second.handle.get();
+  }
+  try {
+    // Read the current graph and fold the catch-up delta under the
+    // mutation lock, so a concurrent mutate_graph cannot slide between
+    // the version read and the graph fetch.
+    std::shared_ptr<const Graph> graph;
+    GraphDelta composed;
+    {
+      std::lock_guard<std::mutex> mlock(mutation_mutex_);
+      graph = registry_.get(record.spec.graph);
+      if (!graph) {
+        throw usage_error("graph '" + record.spec.graph +
+                          "' is no longer registered");
+      }
+      const std::uint64_t current = graph->version();
+      std::uint64_t at = handle->graph_version();
+      std::lock_guard<std::mutex> lock(mutex_);
+      const GraphMeta& meta = graph_meta_[record.spec.graph];
+      if (at > current) {
+        // The graph was reloaded underneath the handle; its history is
+        // gone and no composition can bridge the reset.
+        throw StaleVersionError(
+            "retained run " + std::to_string(of) + " is at version " +
+                std::to_string(at) + " but graph '" + record.spec.graph +
+                "' was reset to version " + std::to_string(current) +
+                " — submit a new count with options.incremental",
+            current);
+      }
+      while (at < current) {
+        const GraphDelta* step = nullptr;
+        for (const auto& [from, delta] : meta.log) {
+          if (from == at) {
+            step = &delta;
+            break;
+          }
+        }
+        if (step == nullptr) {
+          throw StaleVersionError(
+              "retained run " + std::to_string(of) + " at graph version " +
+                  std::to_string(at) +
+                  " has fallen out of the delta log (limit " +
+                  std::to_string(config_.delta_log_limit) +
+                  " mutations) — submit a new count with "
+                  "options.incremental",
+              current);
+        }
+        composed = compose(composed, *step);
+        ++at;
+      }
+    }
+    handle->recount(*graph, composed);
+    CountResult result = handle->result();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = retained_.find(of);
+    if (it != retained_.end()) {
+      it->second.in_use = false;
+      it->second.last_use = ++retained_tick_;
+    }
+    return result;
+  } catch (...) {
+    // Stale, missing graph, or a mid-recount failure (which poisons
+    // the handle): the retained run cannot serve further recounts, so
+    // drop it and let the error surface as the job's failure.
+    std::lock_guard<std::mutex> lock(mutex_);
+    retained_.erase(of);
+    throw;
+  }
 }
 
 void Service::recover() {

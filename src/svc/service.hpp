@@ -38,6 +38,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/incremental.hpp"
+#include "graph/delta.hpp"
 #include "obs/metrics.hpp"
 #include "svc/job.hpp"
 #include "svc/journal.hpp"
@@ -62,6 +64,26 @@ class OverloadedError : public Error {
 
  private:
   double retry_after_seconds_;
+};
+
+/// Thrown when a mutate_graph carries an expect_version that no longer
+/// matches, or a recount's retained handle is too far behind the
+/// graph's delta log to catch up.  Category kBadInput; carries the
+/// graph's CURRENT version so the client can refresh and retry (the
+/// documented recovery: re-read the version from status / load_graph,
+/// then resend — see docs/SERVER.md "Graph versions").
+class StaleVersionError : public Error {
+ public:
+  StaleVersionError(const std::string& message, std::uint64_t current_version)
+      : Error(ErrorCategory::kBadInput, message),
+        current_version_(current_version) {}
+
+  [[nodiscard]] std::uint64_t current_version() const noexcept {
+    return current_version_;
+  }
+
+ private:
+  std::uint64_t current_version_;
 };
 
 class Service {
@@ -110,6 +132,19 @@ class Service {
     /// are parked at a checkpoint immediately (they resume after a
     /// restart via the journal); non-preemptible ones are cancelled.
     double shutdown_grace_seconds = 2.0;
+
+    /// Incremental counts (options.execution.incremental) retain their
+    /// RunHandle — every non-leaf DP table, per iteration — so later
+    /// recount jobs can advance them.  This caps how many handles stay
+    /// resident; beyond it the least-recently-recounted idle handle is
+    /// dropped (its next recount fails with a typed "no retained run"
+    /// error and the client re-runs a full incremental count).
+    int max_retained_runs = 4;
+
+    /// Mutations logged per graph for stale-handle catch-up.  A handle
+    /// more than this many versions behind cannot compose its way to
+    /// the present and gets StaleVersionError.
+    std::size_t delta_log_limit = 32;
   };
 
   /// health() snapshot — cheap, never blocks on running jobs.
@@ -124,6 +159,7 @@ class Service {
     std::uint64_t journal_replays = 0;   ///< jobs re-admitted at startup
     std::string journal_path;            ///< empty = journaling off
     double uptime_seconds = 0.0;
+    std::size_t retained_runs = 0;       ///< live incremental handles
   };
 
   explicit Service(Config config);
@@ -153,6 +189,26 @@ class Service {
   LoadedGraph load_graph(const std::string& name, const std::string& dataset,
                          const std::string& file, double scale,
                          std::uint64_t seed, bool reload);
+
+  /// Applies `delta` to the registered graph `name`, re-registering
+  /// the mutated copy (which invalidates the registry's cached reorder
+  /// permutations for that graph) and logging the delta so stale
+  /// incremental handles can catch up.  `expect_version` is the
+  /// optimistic-concurrency token: 0 accepts any current version;
+  /// anything else must equal the graph's current version or the call
+  /// throws StaleVersionError without mutating.  Malformed deltas
+  /// propagate GraphDelta's usage/bad-input taxonomy, also without
+  /// mutating.  Mutations are serialized per service.
+  struct Mutation {
+    std::uint64_t version = 0;      ///< the graph's version after apply
+    std::size_t applied_edges = 0;  ///< delta size actually applied
+  };
+  Mutation mutate_graph(const std::string& name, std::uint64_t expect_version,
+                        const GraphDelta& delta);
+
+  /// Current version token of a registered graph (0 for a freshly
+  /// loaded one).  Throws Error(kUsage) on an unknown name.
+  [[nodiscard]] std::uint64_t graph_version(const std::string& name);
 
   /// Requests cooperative cancellation; returns false for unknown or
   /// already-terminal jobs.  A queued job cancels immediately.
@@ -215,9 +271,35 @@ class Service {
   void journal_event(JournalKind kind, JobId id, const std::string& payload);
   void recover();
 
+  /// Per-graph mutation state: the current version token plus a
+  /// bounded log of (from_version, delta) pairs — applying `delta` to
+  /// version `from_version` yields `from_version + 1`.  A recount
+  /// composes the log suffix from its handle's version to the present.
+  struct GraphMeta {
+    std::uint64_t version = 0;
+    std::deque<std::pair<std::uint64_t, GraphDelta>> log;
+  };
+
+  /// One retained incremental run (JobKind::kCount with
+  /// options.execution.incremental).  `in_use` pins it against LRU
+  /// eviction while a recount job is advancing it — handles are
+  /// stateful, so two recounts of the same run serialize by failing
+  /// the second instead of corrupting the first.
+  struct RetainedRun {
+    std::unique_ptr<RunHandle> handle;
+    std::string graph;
+    std::uint64_t last_use = 0;
+    bool in_use = false;
+  };
+
+  void retain_locked(JobId id, std::unique_ptr<RunHandle> handle,
+                     const std::string& graph);
+  CountResult execute_recount(Record& record);
+
   Config config_;
   GraphRegistry registry_;
   std::optional<Journal> journal_;
+  std::mutex mutation_mutex_;  ///< serializes mutate_graph end to end
   std::chrono::steady_clock::time_point started_at_ =
       std::chrono::steady_clock::now();
 
@@ -230,6 +312,9 @@ class Service {
   std::deque<JobId> queue_batch_;
   std::size_t running_estimated_bytes_ = 0;
   int running_jobs_ = 0;
+  std::unordered_map<std::string, GraphMeta> graph_meta_;
+  std::unordered_map<JobId, RetainedRun> retained_;
+  std::uint64_t retained_tick_ = 0;
   JobId next_id_ = 1;
   bool stopping_ = false;
   bool draining_ = false;

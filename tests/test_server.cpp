@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "core/counter.hpp"
+#include "graph/builder.hpp"
+#include "graph/delta.hpp"
 #include "graph/generators.hpp"
 #include "obs/json.hpp"
 #include "svc/client.hpp"
@@ -309,6 +311,83 @@ TEST(SvcServer, CancelOverASecondConnectionStopsAStreamedJob) {
   // partial result in state "cancelled".
   EXPECT_EQ(terminal.get_string("state"), "cancelled");
   EXPECT_TRUE(terminal.get_bool("ok"));
+  server.stop();
+}
+
+TEST(SvcServer, MutateGraphAndRecountOverTheWire) {
+  Graph mirror = erdos_renyi_gnm(600, 2400, 31);
+
+  svc::Server::Config config;
+  svc::Server server(config);
+  server.service().registry().put("g", erdos_renyi_gnm(600, 2400, 31));
+  server.start();
+  svc::Client client = svc::Client::connect_tcp("127.0.0.1", server.port());
+
+  // Feature detection: health advertises the protocol version and the
+  // capability this test is about to use.
+  Json health_req = Json::object();
+  health_req["op"] = "health";
+  const Json health = client.request(health_req);
+  EXPECT_EQ(health.get_int("protocol", 0), svc::kProtocolVersion);
+  EXPECT_TRUE(client.has_capability("mutate_graph"));
+
+  // Retained incremental count.
+  Json seed_req = count_request("g", "U5-1", 4, 17);
+  seed_req["options"]["incremental"] = true;
+  const Json seeded = client.request(seed_req);
+  ASSERT_TRUE(seeded.get_bool("ok"));
+  const std::int64_t job = seeded.get_int("job");
+
+  // Stale optimistic-concurrency token: typed category plus the
+  // current version, so the client can refresh and resend.
+  Json delta = Json::object();
+  Json remove = Json::array();
+  const Edge gone = edge_list(mirror).front();
+  Json pair = Json::array();
+  pair.push_back(static_cast<std::int64_t>(gone.first));
+  pair.push_back(static_cast<std::int64_t>(gone.second));
+  remove.push_back(std::move(pair));
+  delta["remove"] = std::move(remove);
+
+  Json stale = Json::object();
+  stale["op"] = "mutate_graph";
+  stale["graph"] = "g";
+  stale["expect_version"] = 9;
+  stale["delta"] = delta;
+  const Json refused = client.request(stale);
+  EXPECT_FALSE(refused.get_bool("ok", true));
+  EXPECT_EQ(refused.get_string("category"), "stale_version");
+  EXPECT_EQ(refused.get_int("current_version", -1), 0);
+
+  // Correct token: the mutation lands and reports the new version.
+  const Json mutated = client.mutate_graph("g", delta, /*expect_version=*/0);
+  ASSERT_TRUE(mutated.get_bool("ok"));
+  EXPECT_EQ(mutated.get_int("version"), 1);
+  EXPECT_EQ(mutated.get_int("applied_edges"), 1);
+
+  // Recount over the wire: bit-identical to the direct full pass on
+  // the mutated graph, with the dirty-set economics in the reply.
+  GraphDelta applied;
+  applied.remove(gone.first, gone.second);
+  mirror.apply(applied);
+  CountOptions direct;
+  direct.sampling.iterations = 4;
+  direct.sampling.seed = 17;
+  direct.execution.mode = ParallelMode::kSerial;
+  const CountResult expected =
+      count_template(mirror, catalog_entry("U5-1").tree, direct);
+
+  Json recount = Json::object();
+  recount["op"] = "recount";
+  recount["recount_of"] = job;
+  const Json response = client.request(recount);
+  ASSERT_TRUE(response.get_bool("ok"));
+  EXPECT_EQ(response.get_double("estimate"), expected.estimate);
+  const Json* stats = response.find("delta");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->get_int("graph_version"), 1);
+  EXPECT_EQ(stats->get_int("applied_edges"), 1);
+  EXPECT_GT(stats->get_int("dirty_vertices"), 0);
   server.stop();
 }
 

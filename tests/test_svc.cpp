@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -17,12 +18,15 @@
 #include <vector>
 
 #include "core/counter.hpp"
+#include "graph/builder.hpp"
+#include "graph/delta.hpp"
 #include "graph/generators.hpp"
 #include "obs/metrics.hpp"
 #include "run/checkpoint.hpp"
 #include "svc/service.hpp"
 #include "treelet/catalog.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace fascia {
 namespace {
@@ -482,6 +486,229 @@ TEST(SvcCheckpoint, ConcurrentJobsShareAWorkDirWithoutCollisions) {
       count_template(graph, catalog_entry("U5-1").tree, resume);
   EXPECT_TRUE(resumed.run.resumed);
   EXPECT_EQ(resumed.estimate, a.estimate);
+}
+
+// ---- dynamic graphs: mutate_graph / recount --------------------------------
+
+/// One removable edge plus one insertable absent pair, valid against
+/// the CURRENT state of `g` (regenerate after every apply).
+GraphDelta simple_delta(const Graph& g, unsigned salt) {
+  Xoshiro256 rng(1234 + salt);
+  const EdgeList edges = edge_list(g);
+  GraphDelta delta;
+  const Edge gone =
+      edges[rng.bounded(static_cast<std::uint32_t>(edges.size()))];
+  delta.remove(gone.first, gone.second);
+  const auto n = static_cast<std::uint32_t>(g.num_vertices());
+  while (true) {
+    const VertexId u = static_cast<VertexId>(rng.bounded(n));
+    const VertexId v = static_cast<VertexId>(rng.bounded(n));
+    if (u == v || g.has_edge(u, v)) continue;
+    if (std::min(u, v) == gone.first && std::max(u, v) == gone.second) {
+      continue;
+    }
+    delta.insert(u, v);
+    break;
+  }
+  return delta;
+}
+
+svc::JobSpec incremental_spec(const std::string& graph,
+                              const TreeTemplate& tmpl, int iterations,
+                              std::uint64_t seed = 7) {
+  svc::JobSpec spec = count_spec(graph, tmpl, iterations, seed);
+  spec.options.execution.incremental = true;
+  return spec;
+}
+
+svc::JobSpec recount_spec(svc::JobId of) {
+  svc::JobSpec spec;
+  spec.kind = svc::JobKind::kRecount;
+  spec.recount_of = of;
+  return spec;
+}
+
+TEST(SvcDelta, RecountAfterMutationMatchesDirectFullCount) {
+  const TreeTemplate tmpl = catalog_entry("U5-1").tree;
+  Graph mirror = erdos_renyi_gnm(800, 3200, 21);
+
+  svc::Service service({});
+  service.registry().put("g", erdos_renyi_gnm(800, 3200, 21));
+
+  const svc::JobId base_id =
+      service.submit(incremental_spec("g", tmpl, 5, 13));
+  ASSERT_EQ(service.wait(base_id).state, svc::JobState::kCompleted);
+  EXPECT_EQ(service.health().retained_runs, 1u);
+  EXPECT_EQ(service.graph_version("g"), 0u);
+
+  const GraphDelta delta = simple_delta(mirror, 0);
+  const svc::Service::Mutation mutation =
+      service.mutate_graph("g", 0, delta);
+  EXPECT_EQ(mutation.version, 1u);
+  EXPECT_EQ(mutation.applied_edges, delta.size());
+  EXPECT_EQ(service.graph_version("g"), 1u);
+
+  const svc::JobId recount_id = service.submit(recount_spec(base_id));
+  ASSERT_EQ(service.wait(recount_id).state, svc::JobState::kCompleted);
+  const CountResult got = service.count_result(recount_id);
+  EXPECT_EQ(got.delta.applied_edges, delta.size());
+  EXPECT_GT(got.delta.dirty_vertices, 0u);
+  EXPECT_GT(got.delta.stages_recomputed, 0u);
+
+  // Same seed, full pass over the mutated graph: must be bit-identical.
+  mirror.apply(delta);
+  CountOptions direct;
+  direct.sampling.iterations = 5;
+  direct.sampling.seed = 13;
+  direct.execution.mode = ParallelMode::kSerial;
+  const CountResult expected = count_template(mirror, tmpl, direct);
+  ASSERT_EQ(got.per_iteration.size(), expected.per_iteration.size());
+  for (std::size_t i = 0; i < expected.per_iteration.size(); ++i) {
+    EXPECT_EQ(got.per_iteration[i], expected.per_iteration[i]) << i;
+  }
+  EXPECT_EQ(got.estimate, expected.estimate);
+}
+
+TEST(SvcDelta, StaleExpectVersionRefusesWithoutMutating) {
+  svc::Service service({});
+  service.registry().put("g", erdos_renyi_gnm(200, 600, 5));
+  const Graph mirror = erdos_renyi_gnm(200, 600, 5);
+  const GraphDelta delta = simple_delta(mirror, 1);
+
+  try {
+    service.mutate_graph("g", 7, delta);  // current version is 0
+    FAIL() << "expected StaleVersionError";
+  } catch (const svc::StaleVersionError& e) {
+    EXPECT_EQ(e.current_version(), 0u);
+    EXPECT_EQ(e.category(), ErrorCategory::kBadInput);
+  }
+  EXPECT_EQ(service.graph_version("g"), 0u);  // nothing mutated
+
+  // The documented recovery: refresh the version and resend.
+  EXPECT_EQ(service.mutate_graph("g", 0, delta).version, 1u);
+  const GraphDelta next = simple_delta(*service.registry().get("g"), 2);
+  EXPECT_EQ(service.mutate_graph("g", 1, next).version, 2u);
+
+  EXPECT_THROW(service.mutate_graph("absent", 0, delta), Error);
+}
+
+TEST(SvcDelta, RecountComposesAcrossMultipleMutations) {
+  const TreeTemplate tmpl = catalog_entry("U5-2").tree;
+  Graph mirror = erdos_renyi_gnm(700, 2800, 9);
+
+  svc::Service service({});
+  service.registry().put("g", erdos_renyi_gnm(700, 2800, 9));
+  const svc::JobId base_id =
+      service.submit(incremental_spec("g", tmpl, 4, 19));
+  ASSERT_EQ(service.wait(base_id).state, svc::JobState::kCompleted);
+
+  // Two mutations land before the handle recounts: the service must
+  // compose the delta-log suffix, not just the last edit.
+  for (unsigned round = 0; round < 2; ++round) {
+    const GraphDelta delta = simple_delta(mirror, 10 + round);
+    service.mutate_graph("g", round, delta);
+    mirror.apply(delta);
+  }
+
+  const svc::JobId recount_id = service.submit(recount_spec(base_id));
+  ASSERT_EQ(service.wait(recount_id).state, svc::JobState::kCompleted);
+  const CountResult got = service.count_result(recount_id);
+
+  CountOptions direct;
+  direct.sampling.iterations = 4;
+  direct.sampling.seed = 19;
+  direct.execution.mode = ParallelMode::kSerial;
+  const CountResult expected = count_template(mirror, tmpl, direct);
+  ASSERT_EQ(got.per_iteration.size(), expected.per_iteration.size());
+  for (std::size_t i = 0; i < expected.per_iteration.size(); ++i) {
+    EXPECT_EQ(got.per_iteration[i], expected.per_iteration[i]) << i;
+  }
+  EXPECT_EQ(got.estimate, expected.estimate);
+
+  // The handle advanced to the current version: a further mutation and
+  // recount still work from the same retained run.
+  const GraphDelta more = simple_delta(mirror, 30);
+  service.mutate_graph("g", 2, more);
+  mirror.apply(more);
+  const svc::JobId again = service.submit(recount_spec(base_id));
+  ASSERT_EQ(service.wait(again).state, svc::JobState::kCompleted);
+  EXPECT_EQ(service.count_result(again).estimate,
+            count_template(mirror, tmpl, direct).estimate);
+}
+
+TEST(SvcDelta, HandleBehindTruncatedDeltaLogFailsStale) {
+  svc::Service::Config config;
+  config.delta_log_limit = 1;  // only the latest mutation is replayable
+  svc::Service service(config);
+  service.registry().put("g", erdos_renyi_gnm(300, 1200, 7));
+  Graph mirror = erdos_renyi_gnm(300, 1200, 7);
+
+  const svc::JobId base_id =
+      service.submit(incremental_spec("g", catalog_entry("U5-1").tree, 3));
+  ASSERT_EQ(service.wait(base_id).state, svc::JobState::kCompleted);
+
+  for (unsigned round = 0; round < 2; ++round) {
+    const GraphDelta delta = simple_delta(mirror, 40 + round);
+    service.mutate_graph("g", round, delta);
+    mirror.apply(delta);
+  }
+
+  // The handle is at version 0; the log only reaches back to version 1.
+  const svc::JobId recount_id = service.submit(recount_spec(base_id));
+  const svc::JobInfo done = service.wait(recount_id);
+  EXPECT_EQ(done.state, svc::JobState::kFailed);
+  EXPECT_NE(done.error.find("delta log"), std::string::npos) << done.error;
+
+  // A stale handle is dropped, and a later recount says so at submit.
+  EXPECT_EQ(service.health().retained_runs, 0u);
+  try {
+    service.submit(recount_spec(base_id));
+    FAIL() << "expected a typed no-retained-run error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kBadInput);
+    EXPECT_NE(std::string(e.what()).find("no retained run"),
+              std::string::npos);
+  }
+}
+
+TEST(SvcDelta, RetainedPoolEvictsLeastRecentlyUsed) {
+  svc::Service::Config config;
+  config.max_retained_runs = 1;
+  svc::Service service(config);
+  service.registry().put("g", erdos_renyi_gnm(300, 1200, 3));
+
+  const svc::JobId first =
+      service.submit(incremental_spec("g", catalog_entry("U5-1").tree, 2));
+  ASSERT_EQ(service.wait(first).state, svc::JobState::kCompleted);
+  const svc::JobId second =
+      service.submit(incremental_spec("g", catalog_entry("U5-2").tree, 2));
+  ASSERT_EQ(service.wait(second).state, svc::JobState::kCompleted);
+
+  // The pool holds one handle: the older run was evicted to make room.
+  EXPECT_EQ(service.health().retained_runs, 1u);
+  EXPECT_THROW(service.submit(recount_spec(first)), Error);
+
+  const GraphDelta delta =
+      simple_delta(*service.registry().get("g"), 50);
+  service.mutate_graph("g", 0, delta);
+  const svc::JobId recount_id = service.submit(recount_spec(second));
+  EXPECT_EQ(service.wait(recount_id).state, svc::JobState::kCompleted);
+}
+
+TEST(SvcRegistry, ReRegisterResurrectsHeldEvictedGraph) {
+  const Graph probe = erdos_renyi_gnm(500, 1500, 1);
+  svc::GraphRegistry registry(probe.bytes() + probe.bytes() / 2);
+  auto held = registry.put("g", erdos_renyi_gnm(500, 1500, 1));
+  registry.put("other", erdos_renyi_gnm(500, 1500, 2));
+  EXPECT_FALSE(registry.contains("g"));  // evicted; `held` keeps it alive
+
+  // Re-registering the same graph must resurrect the held copy, not
+  // admit a second allocation the byte accounting would undercount.
+  auto back = registry.put("g", erdos_renyi_gnm(500, 1500, 1));
+  EXPECT_EQ(back.get(), held.get());
+  EXPECT_EQ(registry.stats().resurrections, 1u);
+  EXPECT_TRUE(registry.contains("g"));
+  EXPECT_LE(registry.stats().resident_bytes, registry.stats().budget_bytes);
 }
 
 // ---- concurrent sessions over the shared obs registry ----------------------
